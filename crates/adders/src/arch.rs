@@ -1,0 +1,121 @@
+//! A unified handle over every baseline adder architecture.
+
+use crate::{block_cla, carry_select, carry_skip, prefix_adder, ripple_carry, PrefixArch};
+use std::fmt;
+use vlsa_netlist::Netlist;
+
+/// Every reliable ("traditional") adder architecture in this crate.
+///
+/// The paper's baseline is the DesignWare library adder — in practice a
+/// tuned parallel-prefix network. [`AdderArch::BASELINES`] plays that
+/// role here: the experiment harness picks the fastest per width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AdderArch {
+    /// Ripple-carry: smallest, slowest.
+    Ripple,
+    /// Carry-skip with the given block size.
+    CarrySkip {
+        /// Ripple-block size in bits.
+        block: usize,
+    },
+    /// Carry-select with the given block size.
+    CarrySelect {
+        /// Block size in bits.
+        block: usize,
+    },
+    /// Single-level block carry-lookahead with the given group size.
+    Cla {
+        /// Lookahead group size in bits.
+        group: usize,
+    },
+    /// Conditional-sum adder (Sklansky 1960).
+    ConditionalSum,
+    /// A parallel-prefix network.
+    Prefix(PrefixArch),
+}
+
+impl AdderArch {
+    /// The candidates considered when choosing a "traditional fast
+    /// adder" baseline (all log-depth architectures).
+    pub const BASELINES: [AdderArch; 6] = [
+        AdderArch::ConditionalSum,
+        AdderArch::Prefix(PrefixArch::Sklansky),
+        AdderArch::Prefix(PrefixArch::KoggeStone),
+        AdderArch::Prefix(PrefixArch::BrentKung),
+        AdderArch::Prefix(PrefixArch::HanCarlson),
+        AdderArch::Prefix(PrefixArch::LadnerFischer),
+    ];
+
+    /// Generates the adder netlist at width `nbits` with the standard
+    /// `a`/`b` → `s`/`cout` interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbits` is zero (or a block/group parameter is zero).
+    pub fn generate(self, nbits: usize) -> Netlist {
+        match self {
+            AdderArch::Ripple => ripple_carry(nbits),
+            AdderArch::CarrySkip { block } => carry_skip(nbits, block),
+            AdderArch::CarrySelect { block } => carry_select(nbits, block),
+            AdderArch::Cla { group } => block_cla(nbits, group),
+            AdderArch::ConditionalSum => crate::conditional_sum(nbits),
+            AdderArch::Prefix(arch) => prefix_adder(nbits, arch),
+        }
+    }
+}
+
+impl fmt::Display for AdderArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdderArch::Ripple => f.write_str("ripple"),
+            AdderArch::CarrySkip { block } => write!(f, "carry-skip/{block}"),
+            AdderArch::CarrySelect { block } => write!(f, "carry-select/{block}"),
+            AdderArch::Cla { group } => write!(f, "cla/{group}"),
+            AdderArch::ConditionalSum => f.write_str("conditional-sum"),
+            AdderArch::Prefix(arch) => write!(f, "{arch}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vlsa_sim::check_adder_random;
+
+    #[test]
+    fn every_architecture_generates_and_adds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(67);
+        let archs = [
+            AdderArch::Ripple,
+            AdderArch::CarrySkip { block: 4 },
+            AdderArch::CarrySelect { block: 4 },
+            AdderArch::Cla { group: 4 },
+            AdderArch::ConditionalSum,
+            AdderArch::Prefix(PrefixArch::BrentKung),
+        ];
+        for arch in archs {
+            let nl = arch.generate(32);
+            let report = check_adder_random(&nl, 32, 64, &mut rng).expect("sim");
+            assert!(report.is_exact(), "{arch}");
+        }
+    }
+
+    #[test]
+    fn baselines_are_log_depth() {
+        for arch in AdderArch::BASELINES {
+            let depth = arch.generate(64).depth();
+            assert!(depth <= 16, "{arch}: depth {depth}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AdderArch::Ripple.to_string(), "ripple");
+        assert_eq!(AdderArch::CarrySkip { block: 8 }.to_string(), "carry-skip/8");
+        assert_eq!(
+            AdderArch::Prefix(PrefixArch::KoggeStone).to_string(),
+            "kogge-stone"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Single-level block carry-lookahead adder (CLA).
+//!
+//! Bits are split into groups of `group` bits. Within a group every
+//! carry is computed in two logic levels from the bit `g`/`p` signals
+//! and the group carry-in; group (G, P) pairs ripple across groups
+//! through the carry operator. This is the error-recovery structure the
+//! paper reuses in §4.2, so the implementation is shared with
+//! `vlsa-core` via [`build_group_carries`].
+
+use crate::{adder_outputs, adder_ports, pg_signals, sum_from_carries, PgSignals};
+use vlsa_netlist::{NetId, Netlist};
+
+/// The flat sum-of-products carry: `c_out = g[hi] + p[hi]g[hi-1] + ... +
+/// p[hi]..p[lo]·cin`, built in two levels (AND tree per term, OR tree).
+///
+/// `gp` slices are indexed within the group (`lo..=hi` of the caller).
+fn lookahead_carry(nl: &mut Netlist, g: &[NetId], p: &[NetId], cin: NetId) -> NetId {
+    let mut terms = Vec::with_capacity(g.len() + 1);
+    for (t, &gt) in g.iter().enumerate() {
+        // g_t AND p_{t+1} .. p_{last}
+        let mut factors = vec![gt];
+        factors.extend_from_slice(&p[t + 1..]);
+        terms.push(nl.and_tree(&factors));
+    }
+    // cin AND all propagates.
+    let mut factors = vec![cin];
+    factors.extend_from_slice(p);
+    terms.push(nl.and_tree(&factors));
+    nl.or_tree(&terms)
+}
+
+/// Emits lookahead carries for every bit position given per-bit `g`/`p`
+/// and a group size, returning carries **into** bits `0..n` plus the
+/// final carry-out (`n + 1` nets in total).
+///
+/// Group (G, P) ripple between groups through AO21 carry operators.
+///
+/// # Panics
+///
+/// Panics if `group` is zero or the signal widths disagree.
+pub fn build_group_carries(
+    nl: &mut Netlist,
+    pg: &PgSignals,
+    group: usize,
+) -> Vec<NetId> {
+    assert!(group > 0, "group size must be positive");
+    let n = pg.width();
+    let mut carries = Vec::with_capacity(n + 1);
+    let mut carry = nl.constant(false);
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + group).min(n);
+        let g = &pg.g[lo..hi];
+        let p = &pg.p[lo..hi];
+        // Carry into each bit of the group, flat from the group carry-in.
+        carries.push(carry);
+        for j in 1..(hi - lo) {
+            let c = lookahead_carry(nl, &g[..j], &p[..j], carry);
+            carries.push(c);
+        }
+        // Group carry-out.
+        carry = lookahead_carry(nl, g, p, carry);
+        lo = hi;
+    }
+    carries.push(carry);
+    carries
+}
+
+/// Generates an `nbits` single-level block-CLA adder with groups of
+/// `group` bits and the standard `a`/`b` → `s`/`cout` interface.
+///
+/// # Panics
+///
+/// Panics if `nbits` or `group` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_adders::{block_cla, ripple_carry};
+///
+/// let cla = block_cla(64, 4);
+/// assert!(cla.depth() < ripple_carry(64).depth());
+/// ```
+pub fn block_cla(nbits: usize, group: usize) -> Netlist {
+    assert!(nbits > 0, "adder width must be positive");
+    assert!(group > 0, "group size must be positive");
+    let mut nl = Netlist::new(format!("cla{nbits}g{group}"));
+    let (a, b) = adder_ports(&mut nl, nbits);
+    let pg = pg_signals(&mut nl, &a, &b);
+    let carries = build_group_carries(&mut nl, &pg, group);
+    let sum = sum_from_carries(&mut nl, &pg.p, &carries[..nbits]);
+    adder_outputs(&mut nl, &sum, carries[nbits]);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ripple_carry;
+    use rand::SeedableRng;
+    use vlsa_sim::{check_adder_exhaustive, check_adder_random, equiv_random};
+
+    #[test]
+    fn exhaustive_small() {
+        for (nbits, group) in [(4, 2), (4, 4), (6, 3), (7, 4), (8, 4), (5, 8)] {
+            let nl = block_cla(nbits, group);
+            let report = check_adder_exhaustive(&nl, nbits).expect("simulate");
+            assert!(report.is_exact(), "n={nbits} g={group}");
+        }
+    }
+
+    #[test]
+    fn random_wide() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(59);
+        for (nbits, group) in [(64, 4), (100, 5), (128, 8)] {
+            let nl = block_cla(nbits, group);
+            let report = check_adder_random(&nl, nbits, 128, &mut rng).expect("sim");
+            assert!(report.is_exact(), "n={nbits} g={group}");
+        }
+    }
+
+    #[test]
+    fn equivalent_to_ripple() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        equiv_random(&block_cla(20, 4), &ripple_carry(20), 8, &mut rng)
+            .expect("equivalent");
+    }
+
+    #[test]
+    fn group_carries_has_n_plus_one_entries() {
+        let mut nl = Netlist::new("t");
+        let (a, b) = adder_ports(&mut nl, 10);
+        let pg = pg_signals(&mut nl, &a, &b);
+        let carries = build_group_carries(&mut nl, &pg, 4);
+        assert_eq!(carries.len(), 11);
+    }
+
+    #[test]
+    fn shallower_than_ripple() {
+        assert!(block_cla(64, 4).depth() < ripple_carry(64).depth());
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn zero_group_rejected() {
+        block_cla(8, 0);
+    }
+}

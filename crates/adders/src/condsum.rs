@@ -1,0 +1,143 @@
+//! Conditional-sum adder (Sklansky 1960 — the paper's reference [13]).
+//!
+//! Every block keeps *two* versions of its sum and carry-out — one per
+//! possible carry-in — and merging two blocks is a row of muxes steered
+//! by the lower block's carries. `log2 n` merge levels give a
+//! logarithmic adder built entirely from muxes, the ancestor of the
+//! carry-select family.
+
+use crate::{adder_outputs, adder_ports};
+use vlsa_netlist::{Bus, NetId, Netlist};
+
+/// One block's conditional state: sums and carry-outs under both
+/// possible carry-ins.
+struct CondBlock {
+    sum0: Vec<NetId>,
+    sum1: Vec<NetId>,
+    c0: NetId,
+    c1: NetId,
+}
+
+/// Generates an `nbits` conditional-sum adder with the standard
+/// `a`/`b` → `s`/`cout` interface.
+///
+/// # Panics
+///
+/// Panics if `nbits` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_adders::{conditional_sum, ripple_carry};
+///
+/// let cs = conditional_sum(64);
+/// assert!(cs.depth() < ripple_carry(64).depth() / 3);
+/// ```
+pub fn conditional_sum(nbits: usize) -> Netlist {
+    assert!(nbits > 0, "adder width must be positive");
+    let mut nl = Netlist::new(format!("condsum{nbits}"));
+    let (a, b) = adder_ports(&mut nl, nbits);
+
+    // Per-bit blocks: sum and carry under carry-in 0 and 1.
+    let mut blocks: Vec<CondBlock> = (0..nbits)
+        .map(|i| {
+            let p = nl.xor2(a[i], b[i]);
+            let np = nl.xnor2(a[i], b[i]);
+            let g = nl.and2(a[i], b[i]);
+            let t = nl.or2(a[i], b[i]);
+            CondBlock {
+                sum0: vec![p],  // cin 0: s = p
+                sum1: vec![np], // cin 1: s = !p
+                c0: g,          // cin 0: carry = g
+                c1: t,          // cin 1: carry = a | b
+            }
+        })
+        .collect();
+
+    // Merge pairs of blocks until one remains.
+    while blocks.len() > 1 {
+        let mut merged = Vec::with_capacity(blocks.len().div_ceil(2));
+        let mut iter = blocks.into_iter();
+        while let Some(lo) = iter.next() {
+            match iter.next() {
+                None => merged.push(lo),
+                Some(hi) => {
+                    // Under block carry-in 0: the high half is steered
+                    // by lo.c0; under carry-in 1, by lo.c1.
+                    let mut sum0 = lo.sum0.clone();
+                    for (s0, s1) in hi.sum0.iter().zip(&hi.sum1) {
+                        sum0.push(nl.mux2(*s0, *s1, lo.c0));
+                    }
+                    let mut sum1 = lo.sum1.clone();
+                    for (s0, s1) in hi.sum0.iter().zip(&hi.sum1) {
+                        sum1.push(nl.mux2(*s0, *s1, lo.c1));
+                    }
+                    let c0 = nl.mux2(hi.c0, hi.c1, lo.c0);
+                    let c1 = nl.mux2(hi.c0, hi.c1, lo.c1);
+                    merged.push(CondBlock { sum0, sum1, c0, c1 });
+                }
+            }
+        }
+        blocks = merged;
+    }
+    let top = blocks.pop().expect("nbits > 0 leaves one block");
+    adder_outputs(&mut nl, &Bus::from_nets(top.sum0), top.c0);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ripple_carry;
+    use rand::SeedableRng;
+    use vlsa_sim::{check_adder_exhaustive, check_adder_random, equiv_random};
+
+    #[test]
+    fn exhaustive_small() {
+        for nbits in [1usize, 2, 3, 5, 7, 8] {
+            let nl = conditional_sum(nbits);
+            let report = check_adder_exhaustive(&nl, nbits).expect("simulate");
+            assert!(report.is_exact(), "n={nbits}");
+        }
+    }
+
+    #[test]
+    fn random_wide() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(311);
+        for nbits in [33usize, 64, 100, 128] {
+            let nl = conditional_sum(nbits);
+            let report = check_adder_random(&nl, nbits, 128, &mut rng).expect("sim");
+            assert!(report.is_exact(), "n={nbits}");
+        }
+    }
+
+    #[test]
+    fn equivalent_to_ripple() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(313);
+        equiv_random(&conditional_sum(29), &ripple_carry(29), 8, &mut rng)
+            .expect("equivalent");
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        // 1 level of pg + log2(n) mux levels.
+        assert!(conditional_sum(64).depth() <= 8);
+        assert!(conditional_sum(256).depth() <= 10);
+    }
+
+    #[test]
+    fn area_is_n_log_n_in_muxes() {
+        use vlsa_netlist::CellKind;
+        let nl = conditional_sum(64);
+        let stats = nl.stats();
+        let muxes = stats.cells.get(&CellKind::Mux2).copied().unwrap_or(0);
+        // Roughly n log2 n sum muxes plus 2 carry muxes per merge.
+        assert!(muxes > 64 * 5 && muxes < 64 * 9, "{muxes}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        conditional_sum(0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Baseline ("traditional") adder generators for the VLSA workspace.
+//!
+//! The DATE 2008 paper compares its speculative adder against reliable
+//! fast adders — in their flow, the Synopsys DesignWare library adder.
+//! This crate implements that baseline space from scratch as
+//! [`vlsa_netlist::Netlist`] generators, all sharing the port convention
+//! `a[0..n]`, `b[0..n]` → `s[0..n]`, `cout`:
+//!
+//! - [`ripple_carry`]: linear-delay, minimum-area reference,
+//! - [`carry_skip`] / [`carry_select`]: classic block accelerators,
+//! - [`block_cla`]: single-level carry-lookahead (also the paper's error
+//!   recovery structure, exposed via [`build_group_carries`]),
+//! - [`prefix_adder`]: the parallel-prefix family
+//!   ([`PrefixArch::Sklansky`], [`PrefixArch::KoggeStone`],
+//!   [`PrefixArch::BrentKung`], [`PrefixArch::HanCarlson`],
+//!   [`PrefixArch::LadnerFischer`], plus the serial chain).
+//!
+//! [`AdderArch`] unifies them for sweeps.
+//!
+//! # Examples
+//!
+//! ```
+//! use vlsa_adders::{prefix_adder, PrefixArch};
+//!
+//! let adder = prefix_adder(32, PrefixArch::Sklansky);
+//! assert_eq!(adder.primary_inputs().len(), 64);
+//! assert!(adder.depth() <= 12); // logarithmic
+//! ```
+
+mod arch;
+mod cla;
+mod condsum;
+mod pg;
+mod prefix;
+mod ripple;
+mod select;
+mod skip;
+mod sparse;
+
+pub use arch::AdderArch;
+pub use cla::{block_cla, build_group_carries};
+pub use condsum::conditional_sum;
+pub use pg::{adder_outputs, adder_ports, pg_signals, sum_from_carries, PgSignals};
+pub use prefix::{
+    build_prefix_carries, build_prefix_gp, prefix_adder, schedule_is_complete, schedule_stats,
+    PrefixArch,
+    PrefixOp, PrefixSchedule, ScheduleStats,
+};
+pub use ripple::ripple_carry;
+pub use select::carry_select;
+pub use skip::carry_skip;
+pub use sparse::sparse_prefix;
+
+#[cfg(test)]
+mod proptests;

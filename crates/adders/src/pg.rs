@@ -1,0 +1,126 @@
+//! Generate/propagate decomposition shared by all adder architectures.
+//!
+//! For operands `A`, `B` the per-bit signals are `g_i = a_i·b_i`,
+//! `p_i = a_i ⊕ b_i` and the carry recurrence is `c_{i+1} = g_i + p_i·c_i`
+//! (paper §3). Every adder in this crate is some strategy for evaluating
+//! that recurrence; the sum bits are always `s_i = p_i ⊕ c_i`.
+
+use vlsa_netlist::{Bus, NetId, Netlist};
+
+/// Per-bit generate and propagate nets for one operand pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PgSignals {
+    /// Generate nets `g_i = a_i AND b_i`, LSB first.
+    pub g: Vec<NetId>,
+    /// Propagate nets `p_i = a_i XOR b_i`, LSB first.
+    pub p: Vec<NetId>,
+}
+
+impl PgSignals {
+    /// Operand width.
+    pub fn width(&self) -> usize {
+        self.g.len()
+    }
+}
+
+/// Emits the `g`/`p` layer for buses `a` and `b`.
+///
+/// # Panics
+///
+/// Panics if the buses differ in width.
+pub fn pg_signals(nl: &mut Netlist, a: &Bus, b: &Bus) -> PgSignals {
+    assert_eq!(a.width(), b.width(), "operand width mismatch");
+    let mut g = Vec::with_capacity(a.width());
+    let mut p = Vec::with_capacity(a.width());
+    for i in 0..a.width() {
+        g.push(nl.and2(a[i], b[i]));
+        p.push(nl.xor2(a[i], b[i]));
+    }
+    PgSignals { g, p }
+}
+
+/// Emits sum bits `s_i = p_i ⊕ c_i` given carries **into** each position
+/// (`carries[0]` is the carry into bit 0).
+///
+/// # Panics
+///
+/// Panics if `p` and `carries` differ in length.
+pub fn sum_from_carries(nl: &mut Netlist, p: &[NetId], carries: &[NetId]) -> Bus {
+    assert_eq!(p.len(), carries.len(), "carry count mismatch");
+    p.iter()
+        .zip(carries)
+        .map(|(&pi, &ci)| nl.xor2(pi, ci))
+        .collect()
+}
+
+/// Declares the standard adder interface: input buses `a`, `b` of width
+/// `nbits`, returning them for the architecture body to use.
+pub fn adder_ports(nl: &mut Netlist, nbits: usize) -> (Bus, Bus) {
+    let a = nl.input_bus("a", nbits);
+    let b = nl.input_bus("b", nbits);
+    (a, b)
+}
+
+/// Registers the standard adder outputs: bus `s` and carry-out `cout`.
+pub fn adder_outputs(nl: &mut Netlist, sum: &Bus, cout: NetId) {
+    nl.output_bus("s", sum);
+    nl.output("cout", cout);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsa_netlist::{CellKind, Netlist};
+
+    #[test]
+    fn pg_layer_structure() {
+        let mut nl = Netlist::new("pg");
+        let (a, b) = adder_ports(&mut nl, 4);
+        let pg = pg_signals(&mut nl, &a, &b);
+        assert_eq!(pg.width(), 4);
+        assert_eq!(nl.node(pg.g[0]).kind(), CellKind::And2);
+        assert_eq!(nl.node(pg.p[3]).kind(), CellKind::Xor2);
+        assert_eq!(nl.gate_count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn pg_rejects_mismatched_buses() {
+        let mut nl = Netlist::new("pg");
+        let a = nl.input_bus("a", 3);
+        let b = nl.input_bus("b", 4);
+        pg_signals(&mut nl, &a, &b);
+    }
+
+    #[test]
+    fn sum_layer_width() {
+        let mut nl = Netlist::new("s");
+        let (a, b) = adder_ports(&mut nl, 3);
+        let pg = pg_signals(&mut nl, &a, &b);
+        let zero = nl.constant(false);
+        let carries = vec![zero; 3];
+        let s = sum_from_carries(&mut nl, &pg.p, &carries);
+        assert_eq!(s.width(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "carry count")]
+    fn sum_rejects_mismatched_carries() {
+        let mut nl = Netlist::new("s");
+        let (a, b) = adder_ports(&mut nl, 3);
+        let pg = pg_signals(&mut nl, &a, &b);
+        let zero = nl.constant(false);
+        sum_from_carries(&mut nl, &pg.p, &[zero]);
+    }
+
+    #[test]
+    fn standard_ports_are_named() {
+        let mut nl = Netlist::new("ports");
+        let (a, _b) = adder_ports(&mut nl, 2);
+        let cout = nl.constant(false);
+        let sum = Bus::from_nets(vec![a[0], a[1]]);
+        adder_outputs(&mut nl, &sum, cout);
+        let outs: Vec<_> = nl.primary_outputs().iter().map(|(n, _)| n.clone()).collect();
+        assert_eq!(outs, vec!["s[0]", "s[1]", "cout"]);
+    }
+}

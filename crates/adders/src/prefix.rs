@@ -1,0 +1,430 @@
+//! Parallel-prefix adder framework.
+//!
+//! A prefix adder evaluates the carry recurrence with the associative
+//! operator `(g, p) ◦ (g', p') = (g + p·g', p·p')` over some prefix
+//! network. The network is a *schedule*: a list of levels, each holding
+//! `(pos, from)` combine operations meaning "position `pos` absorbs the
+//! span ending at `from`". All classic architectures differ only in
+//! their schedule:
+//!
+//! | architecture  | depth        | ops         | max fanout |
+//! |---------------|--------------|-------------|------------|
+//! | serial        | `n-1`        | `n-1`       | 1          |
+//! | Sklansky      | `log n`      | `n/2 log n` | `n/2`      |
+//! | Kogge-Stone   | `log n`      | `~n log n`  | 2          |
+//! | Brent-Kung    | `2 log n - 1`| `~2n`       | 2          |
+//! | Han-Carlson   | `log n + 1`  | `~n/2 log n`| 2          |
+//! | Ladner-Fischer| `log n + 1`  | `~n/4 log n`| `n/4`      |
+
+use crate::{adder_outputs, adder_ports, pg_signals, sum_from_carries};
+use std::fmt;
+use vlsa_netlist::{NetId, Netlist};
+
+/// A combine operation: position `pos` absorbs the prefix span ending at
+/// `from` (`from < pos`).
+pub type PrefixOp = (usize, usize);
+
+/// A prefix network: levels of combine operations. Operations within a
+/// level read the values produced by earlier levels only.
+pub type PrefixSchedule = Vec<Vec<PrefixOp>>;
+
+/// The classic parallel-prefix architectures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PrefixArch {
+    /// Linear chain (PG-form ripple): minimal ops, depth `n-1`.
+    Serial,
+    /// Sklansky / conditional-sum: minimal depth, high fanout.
+    Sklansky,
+    /// Kogge-Stone: minimal depth and fanout, maximal wiring.
+    KoggeStone,
+    /// Brent-Kung: near-minimal ops, depth `2 log n - 1`.
+    BrentKung,
+    /// Han-Carlson: Kogge-Stone over odd positions plus a fixup level.
+    HanCarlson,
+    /// Ladner-Fischer: Sklansky over odd positions plus a fixup level.
+    LadnerFischer,
+}
+
+impl PrefixArch {
+    /// All architectures, in a stable order.
+    pub const ALL: [PrefixArch; 6] = [
+        PrefixArch::Serial,
+        PrefixArch::Sklansky,
+        PrefixArch::KoggeStone,
+        PrefixArch::BrentKung,
+        PrefixArch::HanCarlson,
+        PrefixArch::LadnerFischer,
+    ];
+
+    /// Lowercase architecture name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefixArch::Serial => "serial",
+            PrefixArch::Sklansky => "sklansky",
+            PrefixArch::KoggeStone => "kogge-stone",
+            PrefixArch::BrentKung => "brent-kung",
+            PrefixArch::HanCarlson => "han-carlson",
+            PrefixArch::LadnerFischer => "ladner-fischer",
+        }
+    }
+
+    /// Builds the prefix schedule for `n` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn schedule(self, n: usize) -> PrefixSchedule {
+        assert!(n > 0, "prefix width must be positive");
+        match self {
+            PrefixArch::Serial => serial(n),
+            PrefixArch::Sklansky => sklansky(n),
+            PrefixArch::KoggeStone => kogge_stone(n),
+            PrefixArch::BrentKung => brent_kung(n),
+            PrefixArch::HanCarlson => hybrid_odd(n, kogge_stone),
+            PrefixArch::LadnerFischer => hybrid_odd(n, sklansky),
+        }
+    }
+}
+
+impl fmt::Display for PrefixArch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn serial(n: usize) -> PrefixSchedule {
+    (1..n).map(|i| vec![(i, i - 1)]).collect()
+}
+
+fn sklansky(n: usize) -> PrefixSchedule {
+    let mut levels = Vec::new();
+    let mut d = 0;
+    while (1usize << d) < n {
+        let mut ops = Vec::new();
+        for i in 0..n {
+            if (i >> d) & 1 == 1 {
+                let partner = (i >> d << d) - 1;
+                ops.push((i, partner));
+            }
+        }
+        levels.push(ops);
+        d += 1;
+    }
+    levels
+}
+
+fn kogge_stone(n: usize) -> PrefixSchedule {
+    let mut levels = Vec::new();
+    let mut shift = 1;
+    while shift < n {
+        levels.push((shift..n).map(|i| (i, i - shift)).collect());
+        shift <<= 1;
+    }
+    levels
+}
+
+fn brent_kung(n: usize) -> PrefixSchedule {
+    let mut levels = Vec::new();
+    // Up-sweep: build power-of-two spans.
+    let mut shift = 1;
+    while shift < n {
+        let step = shift << 1;
+        let ops: Vec<PrefixOp> = (step - 1..n).step_by(step).map(|i| (i, i - shift)).collect();
+        if !ops.is_empty() {
+            levels.push(ops);
+        }
+        shift = step;
+    }
+    // Down-sweep: fill in the remaining positions.
+    shift >>= 1;
+    while shift >= 1 {
+        let step = shift << 1;
+        let ops: Vec<PrefixOp> = (step + shift - 1..n)
+            .step_by(step)
+            .map(|i| (i, i - shift))
+            .collect();
+        if !ops.is_empty() {
+            levels.push(ops);
+        }
+        if shift == 1 {
+            break;
+        }
+        shift >>= 1;
+    }
+    levels
+}
+
+/// Builds a network that runs `core` over the odd positions (in terms of
+/// pair indices) and fixes the even positions with one final level — the
+/// common structure of Han-Carlson and Ladner-Fischer.
+fn hybrid_odd(n: usize, core: fn(usize) -> PrefixSchedule) -> PrefixSchedule {
+    if n <= 2 {
+        return serial(n);
+    }
+    let mut levels = Vec::new();
+    // Level 0: every odd position absorbs its even neighbour.
+    levels.push((1..n).step_by(2).map(|i| (i, i - 1)).collect::<Vec<_>>());
+    // Core network over the odd positions (indices 1, 3, 5, ...).
+    let odd_count = n / 2;
+    let odd_pos = |idx: usize| 2 * idx + 1;
+    for level in core(odd_count) {
+        levels.push(
+            level
+                .into_iter()
+                .map(|(i, j)| (odd_pos(i), odd_pos(j)))
+                .collect(),
+        );
+    }
+    // Fixup: even positions (>= 2) absorb the completed odd prefix below.
+    levels.push((2..n).step_by(2).map(|i| (i, i - 1)).collect::<Vec<_>>());
+    levels
+}
+
+/// Structural summary of a schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Number of levels (prefix depth).
+    pub depth: usize,
+    /// Total combine operations.
+    pub ops: usize,
+    /// Maximum number of consumers of one position's value within a
+    /// single level.
+    pub max_fanout: usize,
+}
+
+/// Computes depth, operation count and per-level fanout of a schedule.
+pub fn schedule_stats(schedule: &PrefixSchedule) -> ScheduleStats {
+    let mut stats = ScheduleStats {
+        depth: schedule.len(),
+        ..ScheduleStats::default()
+    };
+    for level in schedule {
+        stats.ops += level.len();
+        let mut counts = std::collections::HashMap::new();
+        for &(_, from) in level {
+            *counts.entry(from).or_insert(0usize) += 1;
+        }
+        stats.max_fanout = stats.max_fanout.max(counts.values().copied().max().unwrap_or(0));
+    }
+    stats
+}
+
+/// Verifies that a schedule computes all prefixes: every combine must
+/// join adjacent spans, and every position must end covering `[0..=i]`.
+///
+/// Returns `false` (rather than panicking) so tests can assert on it.
+pub fn schedule_is_complete(n: usize, schedule: &PrefixSchedule) -> bool {
+    // lo[i]: lowest index currently covered by position i's value.
+    let mut lo: Vec<usize> = (0..n).collect();
+    for level in schedule {
+        let snapshot = lo.clone();
+        for &(pos, from) in level {
+            if pos >= n || from >= pos {
+                return false;
+            }
+            // Spans must be adjacent: [snapshot[from] ..= from] + [snapshot[pos] ..= pos].
+            if snapshot[pos] != from + 1 {
+                return false;
+            }
+            lo[pos] = snapshot[from];
+        }
+    }
+    lo.iter().all(|&l| l == 0)
+}
+
+/// Emits the prefix network into `nl`, returning both the group
+/// generate and group propagate nets of every prefix `[0..=i]`.
+///
+/// `g`/`p` are the per-bit generate/propagate nets; both are consumed as
+/// the initial per-position values.
+pub fn build_prefix_gp(
+    nl: &mut Netlist,
+    g: &[NetId],
+    p: &[NetId],
+    schedule: &PrefixSchedule,
+) -> (Vec<NetId>, Vec<NetId>) {
+    let mut gv = g.to_vec();
+    let mut pv = p.to_vec();
+    for level in schedule {
+        let gs = gv.clone();
+        let ps = pv.clone();
+        for &(pos, from) in level {
+            // (G, P)[pos] = (G_hi + P_hi·G_lo, P_hi·P_lo)
+            gv[pos] = nl.ao21(ps[pos], gs[from], gs[pos]);
+            pv[pos] = nl.and2(ps[pos], ps[from]);
+        }
+    }
+    (gv, pv)
+}
+
+/// Emits the prefix carry network into `nl`, returning the group
+/// generate net of every prefix `[0..=i]` (see [`build_prefix_gp`]).
+pub fn build_prefix_carries(
+    nl: &mut Netlist,
+    g: &[NetId],
+    p: &[NetId],
+    schedule: &PrefixSchedule,
+) -> Vec<NetId> {
+    build_prefix_gp(nl, g, p, schedule).0
+}
+
+/// Generates an `nbits` parallel-prefix adder netlist with the standard
+/// `a`/`b` → `s`/`cout` interface.
+///
+/// # Panics
+///
+/// Panics if `nbits` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_adders::{prefix_adder, PrefixArch};
+///
+/// let ks = prefix_adder(64, PrefixArch::KoggeStone);
+/// let bk = prefix_adder(64, PrefixArch::BrentKung);
+/// // Kogge-Stone is shallower but much larger.
+/// assert!(ks.depth() < bk.depth());
+/// assert!(ks.gate_count() > bk.gate_count());
+/// ```
+pub fn prefix_adder(nbits: usize, arch: PrefixArch) -> Netlist {
+    assert!(nbits > 0, "adder width must be positive");
+    let mut nl = Netlist::new(format!("{}{nbits}", arch.name().replace('-', "_")));
+    let (a, b) = adder_ports(&mut nl, nbits);
+    let pg = pg_signals(&mut nl, &a, &b);
+    let schedule = arch.schedule(nbits);
+    debug_assert!(schedule_is_complete(nbits, &schedule), "{arch} schedule");
+    let group_g = build_prefix_carries(&mut nl, &pg.g, &pg.p, &schedule);
+    let zero = nl.constant(false);
+    let carries: Vec<NetId> = std::iter::once(zero)
+        .chain(group_g.iter().copied().take(nbits - 1))
+        .collect();
+    let sum = sum_from_carries(&mut nl, &pg.p, &carries);
+    adder_outputs(&mut nl, &sum, group_g[nbits - 1]);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vlsa_sim::{check_adder_exhaustive, check_adder_random};
+
+    #[test]
+    fn all_schedules_complete() {
+        for arch in PrefixArch::ALL {
+            for n in [1usize, 2, 3, 4, 7, 8, 13, 16, 32, 33, 64, 100, 128] {
+                assert!(
+                    schedule_is_complete(n, &arch.schedule(n)),
+                    "{arch} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_architectures_add_correctly_exhaustive() {
+        for arch in PrefixArch::ALL {
+            for nbits in [1usize, 2, 3, 5, 6] {
+                let nl = prefix_adder(nbits, arch);
+                let report = check_adder_exhaustive(&nl, nbits).expect("simulate");
+                assert!(report.is_exact(), "{arch} nbits={nbits}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_architectures_add_correctly_wide_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for arch in PrefixArch::ALL {
+            for nbits in [64usize, 100, 128] {
+                let nl = prefix_adder(nbits, arch);
+                let report =
+                    check_adder_random(&nl, nbits, 128, &mut rng).expect("simulate");
+                assert!(report.is_exact(), "{arch} nbits={nbits}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_ordering_matches_theory() {
+        let n = 64;
+        let depth = |arch: PrefixArch| schedule_stats(&arch.schedule(n)).depth;
+        assert_eq!(depth(PrefixArch::Serial), n - 1);
+        assert_eq!(depth(PrefixArch::Sklansky), 6); // log2(64)
+        assert_eq!(depth(PrefixArch::KoggeStone), 6);
+        assert_eq!(depth(PrefixArch::BrentKung), 2 * 6 - 1);
+        assert_eq!(depth(PrefixArch::HanCarlson), 7);
+        assert_eq!(depth(PrefixArch::LadnerFischer), 7);
+    }
+
+    #[test]
+    fn op_counts_match_theory() {
+        let n = 64;
+        let ops = |arch: PrefixArch| schedule_stats(&arch.schedule(n)).ops;
+        assert_eq!(ops(PrefixArch::Serial), n - 1);
+        assert_eq!(ops(PrefixArch::Sklansky), n / 2 * 6); // (n/2) log n
+        assert_eq!(ops(PrefixArch::KoggeStone), 64 * 6 - 63); // n log n - n + 1 = 321
+        // Brent-Kung: 2(n-1) - log n = 120.
+        assert_eq!(ops(PrefixArch::BrentKung), 2 * (n - 1) - 6);
+        assert!(ops(PrefixArch::HanCarlson) < ops(PrefixArch::KoggeStone));
+        assert!(ops(PrefixArch::LadnerFischer) < ops(PrefixArch::HanCarlson));
+    }
+
+    #[test]
+    fn fanout_ordering_matches_theory() {
+        let n = 64;
+        let fo = |arch: PrefixArch| schedule_stats(&arch.schedule(n)).max_fanout;
+        assert_eq!(fo(PrefixArch::KoggeStone), 1);
+        assert!(fo(PrefixArch::Sklansky) >= n / 4);
+        assert!(fo(PrefixArch::BrentKung) <= 2);
+        assert!(fo(PrefixArch::HanCarlson) <= 2);
+    }
+
+    #[test]
+    fn netlists_validate() {
+        for arch in PrefixArch::ALL {
+            let nl = prefix_adder(32, arch);
+            // Dead-gate check skipped: the final P of the full span is
+            // unused by design.
+            assert!(nl.validate(false).is_ok(), "{arch}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_widths() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(37);
+        for arch in PrefixArch::ALL {
+            for nbits in [5usize, 24, 100] {
+                let nl = prefix_adder(nbits, arch);
+                let report = check_adder_random(&nl, nbits, 64, &mut rng).expect("sim");
+                assert!(report.is_exact(), "{arch} nbits={nbits}");
+            }
+        }
+    }
+
+    #[test]
+    fn width_one_has_no_prefix_ops() {
+        for arch in PrefixArch::ALL {
+            let stats = schedule_stats(&arch.schedule(1));
+            assert_eq!(stats.ops, 0, "{arch}");
+        }
+    }
+
+    #[test]
+    fn schedule_validator_rejects_bad_networks() {
+        // Missing coverage.
+        assert!(!schedule_is_complete(4, &vec![vec![(1, 0)]]));
+        // Non-adjacent combine.
+        assert!(!schedule_is_complete(4, &vec![vec![(3, 0)]]));
+        // Out of range.
+        assert!(!schedule_is_complete(2, &vec![vec![(5, 0)]]));
+        // from >= pos.
+        assert!(!schedule_is_complete(4, &vec![vec![(1, 1)]]));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PrefixArch::KoggeStone.to_string(), "kogge-stone");
+        assert_eq!(PrefixArch::Serial.name(), "serial");
+    }
+}

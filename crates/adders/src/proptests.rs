@@ -1,0 +1,62 @@
+//! Property-based tests: every architecture adds correctly at every
+//! width, and schedules stay structurally sound.
+
+use crate::*;
+use proptest::prelude::*;
+use vlsa_sim::check_adder_random;
+
+fn archs() -> impl Strategy<Value = AdderArch> {
+    prop_oneof![
+        Just(AdderArch::Ripple),
+        (1usize..10).prop_map(|b| AdderArch::CarrySkip { block: b }),
+        (1usize..10).prop_map(|b| AdderArch::CarrySelect { block: b }),
+        (1usize..10).prop_map(|g| AdderArch::Cla { group: g }),
+        Just(AdderArch::ConditionalSum),
+        proptest::sample::select(&PrefixArch::ALL[..]).prop_map(AdderArch::Prefix),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_architecture_any_width_adds(
+        arch in archs(),
+        nbits in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let nl = arch.generate(nbits);
+        prop_assert!(nl.validate(false).is_ok());
+        let report = check_adder_random(&nl, nbits, 64, &mut rng)
+            .expect("standard port convention");
+        prop_assert!(report.is_exact(), "{arch} nbits={nbits}: {:?}", report.first_failure);
+    }
+
+    #[test]
+    fn schedules_complete_at_any_width(
+        arch in proptest::sample::select(&PrefixArch::ALL[..]),
+        n in 1usize..200,
+    ) {
+        prop_assert!(schedule_is_complete(n, &arch.schedule(n)), "{arch} n={n}");
+    }
+
+    #[test]
+    fn schedule_ops_reference_valid_positions(
+        arch in proptest::sample::select(&PrefixArch::ALL[..]),
+        n in 1usize..128,
+    ) {
+        for level in arch.schedule(n) {
+            for (pos, from) in level {
+                prop_assert!(pos < n && from < pos);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_is_op_optimal(n in 1usize..256) {
+        let stats = schedule_stats(&PrefixArch::Serial.schedule(n));
+        prop_assert_eq!(stats.ops, n.saturating_sub(1));
+    }
+}

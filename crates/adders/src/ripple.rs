@@ -1,0 +1,82 @@
+//! The ripple-carry adder: minimum area, linear delay.
+
+use crate::{adder_outputs, adder_ports};
+use vlsa_netlist::Netlist;
+
+/// Generates an `nbits` ripple-carry adder netlist with the standard
+/// `a`/`b` → `s`/`cout` interface.
+///
+/// Uses one XOR pair and one majority gate per bit: `3n` gates, depth
+/// `O(n)`.
+///
+/// # Panics
+///
+/// Panics if `nbits` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_adders::ripple_carry;
+///
+/// let nl = ripple_carry(8);
+/// assert_eq!(nl.primary_outputs().len(), 9); // s[0..8] + cout
+/// assert!(nl.depth() >= 8); // linear carry chain
+/// ```
+pub fn ripple_carry(nbits: usize) -> Netlist {
+    assert!(nbits > 0, "adder width must be positive");
+    let mut nl = Netlist::new(format!("ripple{nbits}"));
+    let (a, b) = adder_ports(&mut nl, nbits);
+    let mut carry = nl.constant(false);
+    let mut sum = vlsa_netlist::Bus::new();
+    for i in 0..nbits {
+        let p = nl.xor2(a[i], b[i]);
+        sum.push(nl.xor2(p, carry));
+        carry = nl.maj3(a[i], b[i], carry);
+    }
+    adder_outputs(&mut nl, &sum, carry);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vlsa_sim::{check_adder_exhaustive, check_adder_random};
+
+    #[test]
+    fn exhaustive_small_widths() {
+        for nbits in 1..=6 {
+            let nl = ripple_carry(nbits);
+            let report = check_adder_exhaustive(&nl, nbits).expect("simulate");
+            assert!(report.is_exact(), "nbits={nbits}: {:?}", report.first_failure);
+        }
+    }
+
+    #[test]
+    fn random_wide() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for nbits in [64usize, 127, 256] {
+            let nl = ripple_carry(nbits);
+            let report = check_adder_random(&nl, nbits, 128, &mut rng).expect("simulate");
+            assert!(report.is_exact(), "nbits={nbits}");
+        }
+    }
+
+    #[test]
+    fn gate_count_is_linear() {
+        let nl = ripple_carry(32);
+        assert_eq!(nl.gate_count(), 3 * 32);
+        assert!(nl.validate(false).is_ok());
+    }
+
+    #[test]
+    fn depth_is_linear() {
+        assert!(ripple_carry(64).depth() >= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        ripple_carry(0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Carry-select adder: each block computes both possible sums and picks
+//! one when its true carry-in arrives.
+
+use crate::{adder_outputs, adder_ports};
+use vlsa_netlist::{Bus, NetId, Netlist};
+
+/// Generates an `nbits` carry-select adder with blocks of `block` bits
+/// and the standard `a`/`b` → `s`/`cout` interface.
+///
+/// Each block beyond the first contains two ripple chains (carry-in 0
+/// and 1); the block's true carry-in steers muxes on the sum bits and on
+/// the block carry-out, so carries traverse one mux per block instead of
+/// `block` full-adder stages.
+///
+/// # Panics
+///
+/// Panics if `nbits` or `block` is zero.
+pub fn carry_select(nbits: usize, block: usize) -> Netlist {
+    assert!(nbits > 0, "adder width must be positive");
+    assert!(block > 0, "block size must be positive");
+    let mut nl = Netlist::new(format!("select{nbits}b{block}"));
+    let (a, b) = adder_ports(&mut nl, nbits);
+    let mut sum = Bus::new();
+    // First block: plain ripple from carry-in 0.
+    let mut carry = nl.constant(false);
+    let first_hi = block.min(nbits);
+    for i in 0..first_hi {
+        let p = nl.xor2(a[i], b[i]);
+        sum.push(nl.xor2(p, carry));
+        carry = nl.maj3(a[i], b[i], carry);
+    }
+    // Remaining blocks: dual ripple chains + selection.
+    let mut lo = first_hi;
+    while lo < nbits {
+        let hi = (lo + block).min(nbits);
+        let ripple = |nl: &mut Netlist, cin: NetId| -> (Vec<NetId>, NetId) {
+            let mut c = cin;
+            let mut sums = Vec::with_capacity(hi - lo);
+            for i in lo..hi {
+                let p = nl.xor2(a[i], b[i]);
+                sums.push(nl.xor2(p, c));
+                c = nl.maj3(a[i], b[i], c);
+            }
+            (sums, c)
+        };
+        let zero = nl.constant(false);
+        let one = nl.constant(true);
+        let (sum0, cout0) = ripple(&mut nl, zero);
+        let (sum1, cout1) = ripple(&mut nl, one);
+        for (s0, s1) in sum0.iter().zip(&sum1) {
+            sum.push(nl.mux2(*s0, *s1, carry));
+        }
+        carry = nl.mux2(cout0, cout1, carry);
+        lo = hi;
+    }
+    adder_outputs(&mut nl, &sum, carry);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ripple_carry;
+    use rand::SeedableRng;
+    use vlsa_sim::{check_adder_exhaustive, check_adder_random, equiv_random};
+
+    #[test]
+    fn exhaustive_small() {
+        for (nbits, block) in [(4, 2), (6, 3), (7, 3), (8, 4), (5, 8)] {
+            let nl = carry_select(nbits, block);
+            let report = check_adder_exhaustive(&nl, nbits).expect("simulate");
+            assert!(report.is_exact(), "n={nbits} b={block}");
+        }
+    }
+
+    #[test]
+    fn random_wide() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(47);
+        for (nbits, block) in [(64, 8), (100, 9), (128, 16)] {
+            let nl = carry_select(nbits, block);
+            let report = check_adder_random(&nl, nbits, 128, &mut rng).expect("sim");
+            assert!(report.is_exact(), "n={nbits} b={block}");
+        }
+    }
+
+    #[test]
+    fn equivalent_to_ripple() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        equiv_random(&carry_select(24, 4), &ripple_carry(24), 8, &mut rng)
+            .expect("equivalent");
+    }
+
+    #[test]
+    fn costs_roughly_double_area_for_speed() {
+        let sel = carry_select(64, 8);
+        let rip = ripple_carry(64);
+        assert!(sel.depth() < rip.depth());
+        assert!(sel.gate_count() > rip.gate_count());
+        assert!(sel.gate_count() < 3 * rip.gate_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        carry_select(0, 4);
+    }
+}

@@ -1,0 +1,158 @@
+//! Sparse prefix adder: a prefix network over `group`-bit blocks with
+//! flat lookahead inside each block — the structure production CPUs use
+//! (sparse-4 Kogge-Stone etc.) to cut prefix wiring, and structurally
+//! the same split the paper's error recovery performs over the ACA's
+//! blocks.
+
+use crate::{
+    adder_outputs, adder_ports, build_prefix_gp, pg_signals, sum_from_carries, PrefixArch,
+};
+use vlsa_netlist::{NetId, Netlist};
+
+/// Generates an `nbits` sparse prefix adder: block size `group`, block
+/// carries through an `arch` prefix network, flat lookahead within
+/// blocks. Standard `a`/`b` → `s`/`cout` interface.
+///
+/// # Panics
+///
+/// Panics if `nbits` or `group` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_adders::{prefix_adder, sparse_prefix, PrefixArch};
+///
+/// // Sparse-4 Kogge-Stone: ~same depth class, far fewer prefix nodes.
+/// let sparse = sparse_prefix(64, 4, PrefixArch::KoggeStone);
+/// let dense = prefix_adder(64, PrefixArch::KoggeStone);
+/// assert!(sparse.gate_count() < dense.gate_count());
+/// ```
+pub fn sparse_prefix(nbits: usize, group: usize, arch: PrefixArch) -> Netlist {
+    assert!(nbits > 0, "adder width must be positive");
+    assert!(group > 0, "group size must be positive");
+    let mut nl = Netlist::new(format!(
+        "sparse{nbits}g{group}_{}",
+        arch.name().replace('-', "_")
+    ));
+    let (a, b) = adder_ports(&mut nl, nbits);
+    let pg = pg_signals(&mut nl, &a, &b);
+
+    // Block (G, P) by a balanced tree fold of the carry operator.
+    let nblocks = nbits.div_ceil(group);
+    let mut block_g = Vec::with_capacity(nblocks);
+    let mut block_p = Vec::with_capacity(nblocks);
+    for blk in 0..nblocks {
+        let lo = blk * group;
+        let hi = ((blk + 1) * group).min(nbits);
+        let mut items: Vec<(NetId, NetId)> = (lo..hi).map(|i| (pg.g[i], pg.p[i])).collect();
+        while items.len() > 1 {
+            let mut next = Vec::with_capacity(items.len().div_ceil(2));
+            let mut iter = items.chunks(2);
+            for chunk in &mut iter {
+                next.push(match *chunk {
+                    // chunk is ordered low..high; combine as hi ∘ lo.
+                    [(lo_g, lo_p), (hi_g, hi_p)] => {
+                        (nl.ao21(hi_p, lo_g, hi_g), nl.and2(hi_p, lo_p))
+                    }
+                    [single] => single,
+                    _ => unreachable!("chunks(2)"),
+                });
+            }
+            items = next;
+        }
+        let (g, p) = items[0];
+        block_g.push(g);
+        block_p.push(p);
+    }
+
+    // Block-level prefix network.
+    let schedule = arch.schedule(nblocks);
+    let (blk_prefix_g, _) = build_prefix_gp(&mut nl, &block_g, &block_p, &schedule);
+
+    // Intra-block carries: flat lookahead from the block carry-in.
+    let zero = nl.constant(false);
+    let mut carries = Vec::with_capacity(nbits);
+    for blk in 0..nblocks {
+        let lo = blk * group;
+        let hi = ((blk + 1) * group).min(nbits);
+        let cin = if blk == 0 { zero } else { blk_prefix_g[blk - 1] };
+        carries.push(cin);
+        for i in (lo + 1)..hi {
+            // c_i = g_{i-1} + p_{i-1} g_{i-2} + ... + p..p cin,
+            // built as a serial fold (groups are small).
+            let mut c = cin;
+            for j in lo..i {
+                c = nl.ao21(pg.p[j], c, pg.g[j]);
+            }
+            carries.push(c);
+        }
+    }
+    let sum = sum_from_carries(&mut nl, &pg.p, &carries);
+    adder_outputs(&mut nl, &sum, blk_prefix_g[nblocks - 1]);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prefix_adder, ripple_carry};
+    use rand::SeedableRng;
+    use vlsa_sim::{check_adder_exhaustive, check_adder_random, equiv_random};
+
+    #[test]
+    fn exhaustive_small() {
+        for (nbits, group) in [(4usize, 2usize), (6, 3), (7, 2), (8, 4), (5, 8)] {
+            for arch in [PrefixArch::KoggeStone, PrefixArch::Sklansky] {
+                let nl = sparse_prefix(nbits, group, arch);
+                let report = check_adder_exhaustive(&nl, nbits).expect("simulate");
+                assert!(report.is_exact(), "n={nbits} g={group} {arch}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_wide() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(389);
+        for (nbits, group) in [(64usize, 4usize), (100, 5), (128, 8), (96, 3)] {
+            let nl = sparse_prefix(nbits, group, PrefixArch::KoggeStone);
+            let report = check_adder_random(&nl, nbits, 128, &mut rng).expect("sim");
+            assert!(report.is_exact(), "n={nbits} g={group}");
+        }
+    }
+
+    #[test]
+    fn equivalent_to_ripple() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(397);
+        equiv_random(
+            &sparse_prefix(40, 4, PrefixArch::BrentKung),
+            &ripple_carry(40),
+            8,
+            &mut rng,
+        )
+        .expect("equivalent");
+    }
+
+    #[test]
+    fn smaller_than_dense_prefix() {
+        let sparse = sparse_prefix(128, 4, PrefixArch::KoggeStone);
+        let dense = prefix_adder(128, PrefixArch::KoggeStone);
+        assert!(sparse.gate_count() < dense.gate_count());
+        // Depth stays in the logarithmic class (block fold + prefix +
+        // flat intra-block lookahead).
+        assert!(sparse.depth() <= dense.depth() + 6);
+    }
+
+    #[test]
+    fn group_one_degenerates_to_dense() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(401);
+        let nl = sparse_prefix(32, 1, PrefixArch::Sklansky);
+        let report = check_adder_random(&nl, 32, 64, &mut rng).expect("sim");
+        assert!(report.is_exact());
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn zero_group_rejected() {
+        sparse_prefix(8, 0, PrefixArch::KoggeStone);
+    }
+}

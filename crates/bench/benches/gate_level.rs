@@ -1,0 +1,68 @@
+//! Criterion: gate-level machinery — netlist generation, the fanout
+//! buffering pass, 64-lane simulation, and static timing analysis.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use vlsa_adders::{prefix_adder, PrefixArch};
+use vlsa_core::{almost_correct_adder, vlsa_adder};
+use vlsa_sim::{simulate, Stimulus};
+use vlsa_techlib::TechLibrary;
+use vlsa_timing::{analyze, area};
+
+const NBITS: usize = 256;
+const WINDOW: usize = 21;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_256bit");
+    for arch in [PrefixArch::KoggeStone, PrefixArch::BrentKung, PrefixArch::Sklansky] {
+        group.bench_with_input(
+            BenchmarkId::new("prefix", arch.name()),
+            &arch,
+            |b, &arch| b.iter(|| prefix_adder(black_box(NBITS), arch)),
+        );
+    }
+    group.bench_function("aca", |b| {
+        b.iter(|| almost_correct_adder(black_box(NBITS), WINDOW))
+    });
+    group.bench_function("vlsa_full", |b| b.iter(|| vlsa_adder(black_box(NBITS), WINDOW)));
+    group.bench_function("fanout_buffering", |b| {
+        let nl = vlsa_adder(NBITS, WINDOW);
+        b.iter(|| nl.with_fanout_limit(black_box(8)))
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("simulate_64lanes");
+    for (name, nl) in [
+        ("kogge_stone_256", prefix_adder(NBITS, PrefixArch::KoggeStone)),
+        ("aca_256", almost_correct_adder(NBITS, WINDOW)),
+        ("vlsa_256", vlsa_adder(NBITS, WINDOW)),
+    ] {
+        let mut stim = Stimulus::new();
+        for (port, _) in nl.primary_inputs() {
+            stim.set(port.clone(), rng.gen::<u64>());
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| simulate(black_box(&nl), black_box(&stim)).expect("simulate"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_timing(c: &mut Criterion) {
+    let lib = TechLibrary::umc180();
+    let nl = vlsa_adder(NBITS, WINDOW).with_fanout_limit(8);
+    let mut group = c.benchmark_group("analysis_256bit");
+    group.bench_function("sta", |b| {
+        b.iter(|| analyze(black_box(&nl), black_box(&lib)).expect("timing"))
+    });
+    group.bench_function("area", |b| {
+        b.iter(|| area(black_box(&nl), black_box(&lib)).expect("area"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_simulation, bench_timing);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion: word-level speculative addition vs native addition, and
+//! wide-operand scaling — the software-model cost of the paper's ACA.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use vlsa_core::{windowed_sum_u64, windowed_sum_wide, SpeculativeAdder};
+
+fn bench_windowed_u64(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let pairs: Vec<(u64, u64)> = (0..1024).map(|_| (rng.gen(), rng.gen())).collect();
+    let mut group = c.benchmark_group("software_add_64bit");
+    group.bench_function("native_wrapping", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y) in &pairs {
+                acc ^= black_box(x).wrapping_add(black_box(y));
+            }
+            acc
+        })
+    });
+    for window in [4usize, 8, 18, 64] {
+        group.bench_with_input(BenchmarkId::new("windowed", window), &window, |b, &w| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &(x, y) in &pairs {
+                    acc ^= windowed_sum_u64(black_box(x), black_box(y), 64, w);
+                }
+                acc
+            })
+        });
+    }
+    group.bench_function("speculative_adder_api", |b| {
+        let adder = SpeculativeAdder::for_accuracy(64, 0.9999).expect("valid");
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y) in &pairs {
+                acc ^= adder.add_u64(black_box(x), black_box(y)).speculative;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_windowed_wide(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("software_add_wide");
+    for nbits in [256usize, 1024, 4096] {
+        let nwords = nbits / 64;
+        let a: Vec<u64> = (0..nwords).map(|_| rng.gen()).collect();
+        let b_op: Vec<u64> = (0..nwords).map(|_| rng.gen()).collect();
+        group.bench_with_input(BenchmarkId::new("windowed", nbits), &nbits, |bch, &n| {
+            bch.iter(|| windowed_sum_wide(black_box(&a), black_box(&b_op), n, 22))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_windowed_u64, bench_windowed_wide);
+criterion_main!(benches);

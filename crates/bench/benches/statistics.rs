@@ -1,0 +1,66 @@
+//! Criterion: the exact run-length statistics (Table 1 machinery) and
+//! the pipeline/attack workloads built on them.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use vlsa_core::SpeculativeAdder;
+use vlsa_crypto::{AcaAdder32, ArxCipher, EnglishScorer, ExactAdder32, SAMPLE_CORPUS};
+use vlsa_pipeline::{random_operands, VlsaPipeline};
+use vlsa_runstats::{count_bounded_runs, min_bound_for_prob, prob_longest_run_gt};
+
+fn bench_exact_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runstats_exact");
+    for n in [256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("count_A_n_x", n), &n, |b, &n| {
+            b.iter(|| count_bounded_runs(black_box(n), 20))
+        });
+    }
+    group.bench_function("table1_cell_1024_9999", |b| {
+        b.iter(|| min_bound_for_prob(black_box(1024), 0.9999))
+    });
+    group.bench_function("tail_prob_2048", |b| {
+        b.iter(|| prob_longest_run_gt(black_box(2048), 23))
+    });
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let ops = random_operands(64, 10_000, &mut rng);
+    let mut group = c.benchmark_group("vlsa_pipeline_10k_ops");
+    for window in [8usize, 18] {
+        group.bench_with_input(BenchmarkId::new("window", window), &window, |b, &w| {
+            let adder = SpeculativeAdder::new(64, w).expect("valid");
+            b.iter(|| VlsaPipeline::new(adder).run(black_box(&ops)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let key = [1u32, 2, 3, 4];
+    let cipher = ArxCipher::new(key, 12);
+    let mut enc = ExactAdder32::new();
+    let ct = cipher.encrypt_bytes(SAMPLE_CORPUS.as_bytes(), &mut enc);
+    let mut group = c.benchmark_group("crypto_corpus_decrypt");
+    group.bench_function("exact_adder", |b| {
+        b.iter(|| {
+            let mut adder = ExactAdder32::new();
+            cipher.decrypt_bytes(black_box(&ct), &mut adder)
+        })
+    });
+    group.bench_function("aca_adder_w18", |b| {
+        b.iter(|| {
+            let mut adder = AcaAdder32::new(18).expect("valid");
+            cipher.decrypt_bytes(black_box(&ct), &mut adder)
+        })
+    });
+    group.bench_function("english_score", |b| {
+        let scorer = EnglishScorer::new();
+        b.iter(|| scorer.score(black_box(SAMPLE_CORPUS.as_bytes())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_counts, bench_pipeline, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Validates the paper's §3 accuracy claim: at the Table 1 design
+//! points the ACA is correct in ≥ 99.99% of uniform additions. Measures
+//! the gate-level netlist (bit-parallel simulation) and the software
+//! model against the exact prediction.
+//!
+//! Usage:
+//!   cargo run --release -p vlsa-bench --bin error_rate [-- vectors N]
+//!   cargo run --release -p vlsa-bench --bin error_rate -- sweep     # window sweep at 64 bits
+//!   cargo run --release -p vlsa-bench --bin error_rate -- magnitude # error-size metrics
+//!   cargo run --release -p vlsa-bench --bin error_rate -- workloads # non-uniform operands
+
+use rand::{Rng, SeedableRng};
+use vlsa_bench::paper_window;
+use vlsa_core::{
+    almost_correct_adder, measure_error_magnitude, measure_uniform_error_magnitude,
+    SpeculativeAdder,
+};
+use vlsa_runstats::{min_bound_for_prob_biased, prob_longest_run_gt};
+use vlsa_sim::check_adder_random;
+
+fn design_points(vectors: usize) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9999);
+    println!("ACA error rate at the paper's 99.99% design points");
+    println!("({vectors} random vectors per width, gate-level simulation)\n");
+    println!(
+        "{:>6} {:>7} | {:>13} {:>13} {:>13} {:>13}",
+        "bits", "window", "P(detect)", "P(err) exact", "gate-level", "detected(sw)"
+    );
+    for nbits in [16usize, 32, 64, 128, 256] {
+        let w = paper_window(nbits);
+        let nl = almost_correct_adder(nbits, w);
+        let report = check_adder_random(&nl, nbits, vectors, &mut rng).expect("simulate");
+        // Software detection rate over u64-capable widths.
+        let detected = if nbits <= 64 {
+            let adder = SpeculativeAdder::new(nbits, w).expect("valid");
+            let mut pipe_rng = rand::rngs::StdRng::seed_from_u64(4242);
+            let ops = vlsa_pipeline::random_operands(nbits, vectors, &mut pipe_rng);
+            let d = ops
+                .iter()
+                .filter(|&&(a, b)| adder.add_u64(a, b).error_detected)
+                .count();
+            format!("{:.3e}", d as f64 / vectors as f64)
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{nbits:>6} {w:>7} | {:>13.3e} {:>13.3e} {:>13.3e} {:>13}",
+            prob_longest_run_gt(nbits, w - 1),
+            vlsa_core::prob_aca_error(nbits, w),
+            report.error_rate(),
+            detected
+        );
+        assert!(
+            report.error_rate() <= prob_longest_run_gt(nbits, w - 1) + 1e-9
+                || report.error_rate() < 5e-4,
+            "gate-level error rate exceeds the detection bound"
+        );
+    }
+    println!(
+        "\nMeasured rates track the exact error probability (Markov chain \
+         over carry state), which sits ~2x below the detection bound — \
+         the gap is the detector's false alarms."
+    );
+}
+
+fn window_sweep(vectors: usize) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31337);
+    let nbits = 64;
+    println!("Accuracy vs window at {nbits} bits ({vectors} vectors per point)\n");
+    println!(
+        "{:>7} | {:>13} {:>13} {:>9}",
+        "window", "P(err) bound", "measured", "depth"
+    );
+    for w in [4usize, 6, 8, 10, 12, 16, 20, 24, 32, 64] {
+        let nl = almost_correct_adder(nbits, w);
+        let report = check_adder_random(&nl, nbits, vectors, &mut rng).expect("simulate");
+        println!(
+            "{w:>7} | {:>13.3e} {:>13.3e} {:>9}",
+            prob_longest_run_gt(nbits, w - 1),
+            report.error_rate(),
+            nl.depth()
+        );
+    }
+    println!("\nAccuracy improves ~2x per extra window bit while depth grows ~log.");
+}
+
+fn magnitude(samples: u64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(404);
+    println!("Error-magnitude metrics (approximate-computing view), 64 bits\n");
+    println!(
+        "{:>7} | {:>11} {:>13} {:>15} {:>13} {:>11}",
+        "window", "error rate", "mean |err|", "mean |err||err", "max |err|", "mean rel"
+    );
+    for w in [8usize, 12, 16, 18, 24] {
+        let adder = SpeculativeAdder::new(64, w).expect("valid");
+        let stats = measure_uniform_error_magnitude(&adder, samples, &mut rng);
+        println!(
+            "{w:>7} | {:>11.3e} {:>13.3e} {:>15.3e} {:>13.3e} {:>11.3e}",
+            stats.error_rate(),
+            stats.mean_abs_error,
+            stats.mean_abs_error_given_error,
+            stats.max_abs_error as f64,
+            stats.mean_relative_error
+        );
+    }
+    println!(
+        "\nEvery error is a multiple of 2^window (low bits are always \
+         exact), so magnitude-tolerant applications lose only high-order \
+         precision."
+    );
+}
+
+fn workloads(samples: u64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(808);
+    let nbits = 64;
+    let w = paper_window(nbits);
+    let adder = SpeculativeAdder::new(nbits, w).expect("valid");
+    println!(
+        "Detection rate of the 64-bit / window-{w} ACA under non-uniform \
+         operand distributions ({samples} samples each)\n"
+    );
+    let show = |name: &str, stats: vlsa_core::ErrorMagnitude| {
+        println!(
+            "{name:<28} detect {:>10.3e}  wrong {:>10.3e}  mean|err| {:>10.3e}",
+            stats.detection_rate(),
+            stats.error_rate(),
+            stats.mean_abs_error
+        );
+    };
+    show(
+        "uniform",
+        measure_uniform_error_magnitude(&adder, samples, &mut rng),
+    );
+    // Small unsigned values: high bits are zero, so high propagate bits
+    // are zero — speculation gets *safer*.
+    show(
+        "small unsigned (<= 2^16)",
+        measure_error_magnitude(&adder, samples, &mut rng, |rng| {
+            (rng.gen::<u64>() & 0xFFFF, rng.gen::<u64>() & 0xFFFF)
+        }),
+    );
+    // Mixed-sign two's complement around zero: sign extension fills the
+    // high bits with ones, manufacturing long propagate runs.
+    show(
+        "small signed (|v| <= 2^16)",
+        measure_error_magnitude(&adder, samples, &mut rng, |rng| {
+            let v = |rng: &mut rand::rngs::StdRng| {
+                let m = (rng.gen::<u64>() & 0xFFFF) as i64 - 0x8000;
+                m as u64
+            };
+            (v(rng), v(rng))
+        }),
+    );
+    // Biased bits: each operand bit set with probability 0.75.
+    show(
+        "biased bits (p = 0.75)",
+        measure_error_magnitude(&adder, samples, &mut rng, |rng| {
+            let gen = |rng: &mut rand::rngs::StdRng| {
+                (0..64).fold(0u64, |acc, i| {
+                    acc | ((rng.gen_bool(0.75) as u64) << i)
+                })
+            };
+            (gen(rng), gen(rng))
+        }),
+    );
+    // Propagate bias for 0.75-biased operands: P(p_i = 1) = 2*0.75*0.25.
+    let p_prop: f64 = 2.0 * 0.75 * 0.25;
+    println!(
+        "\nBiased-bit check: propagate bias {p_prop:.3} needs window {} \
+         for 99.99% (uniform needs {w}); sign-extended small signed \
+         operands are the true hazard — a carry out of the low bits \
+         propagates through the entire sign extension.",
+        min_bound_for_prob_biased(nbits, 0.9999, p_prop) + 1
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "sweep") {
+        window_sweep(100_000);
+        return;
+    }
+    if args.first().is_some_and(|a| a == "magnitude") {
+        magnitude(300_000);
+        return;
+    }
+    if args.first().is_some_and(|a| a == "workloads") {
+        workloads(300_000);
+        return;
+    }
+    let vectors: usize = args
+        .iter()
+        .position(|a| a == "vectors")
+        .and_then(|i| args.get(i + 1))
+        .map(|a| a.parse().expect("vector count"))
+        .unwrap_or(200_000);
+    design_points(vectors);
+}

@@ -1,0 +1,124 @@
+//! Regenerates the paper's **Fig. 8**: delay (left panel) and
+//! normalized hardware area (right panel) of the traditional adder, the
+//! ACA, the error detector, and ACA + error recovery across bitwidths.
+//!
+//! Usage:
+//!   cargo run --release -p vlsa-bench --bin fig8             # both panels
+//!   cargo run --release -p vlsa-bench --bin fig8 -- delay    # one panel
+//!   cargo run --release -p vlsa-bench --bin fig8 -- area
+//!   cargo run --release -p vlsa-bench --bin fig8 -- ablation # naive-ACA area ablation
+//!   cargo run --release -p vlsa-bench --bin fig8 -- baseline # per-architecture baseline sweep
+
+use vlsa_adders::AdderArch;
+use vlsa_bench::{fig8_rows, paper_window, synthesize, Fig8Row, FIG8_BITWIDTHS, MAX_FANOUT};
+use vlsa_core::{almost_correct_adder_styled, AcaStyle};
+use vlsa_techlib::TechLibrary;
+use vlsa_timing::{analyze, area};
+
+fn delay_panel(rows: &[Fig8Row]) {
+    println!("Fig. 8 (left): delay in ns vs input bitwidth");
+    println!(
+        "{:>8} {:>6} | {:>12} {:>8} {:>8} {:>10} | {:>8} {:>8} {:>8}",
+        "bits", "window", "traditional", "aca", "detect", "aca+recov", "speedup", "det/trad", "rec/trad"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>6} | {:>12.3} {:>8.3} {:>8.3} {:>10.3} | {:>8.2} {:>8.2} {:>8.2}",
+            r.nbits,
+            r.window,
+            r.traditional_ps / 1000.0,
+            r.aca_ps / 1000.0,
+            r.detect_ps / 1000.0,
+            r.recovery_ps / 1000.0,
+            r.aca_speedup(),
+            r.detect_fraction(),
+            r.recovery_fraction(),
+        );
+    }
+    println!();
+}
+
+fn area_panel(rows: &[Fig8Row]) {
+    println!("Fig. 8 (right): hardware area normalized to the traditional adder");
+    println!(
+        "{:>8} | {:>12} {:>8} {:>8} {:>10}",
+        "bits", "traditional", "aca", "detect", "aca+recov"
+    );
+    for r in rows {
+        println!(
+            "{:>8} | {:>12.2} {:>8.2} {:>8.2} {:>10.2}",
+            r.nbits,
+            1.0,
+            r.aca_area / r.traditional_area,
+            r.detect_area / r.traditional_area,
+            r.recovery_area / r.traditional_area,
+        );
+    }
+    println!();
+}
+
+fn ablation(lib: &TechLibrary) {
+    println!("Ablation: shared-strip ACA (paper Fig. 4) vs naive per-bit small adders");
+    println!(
+        "{:>8} {:>6} | {:>12} {:>12} {:>8}",
+        "bits", "window", "shared NAND2e", "naive NAND2e", "ratio"
+    );
+    for &n in &FIG8_BITWIDTHS {
+        let w = paper_window(n);
+        let shared = synthesize(&almost_correct_adder_styled(n, w, AcaStyle::SharedStrip));
+        let naive = synthesize(&almost_correct_adder_styled(n, w, AcaStyle::PerBitRipple));
+        let sa = area(&shared, lib).expect("area").total;
+        let na = area(&naive, lib).expect("area").total;
+        println!("{n:>8} {w:>6} | {sa:>12.0} {na:>12.0} {:>8.2}", na / sa);
+    }
+    println!();
+}
+
+fn baseline_sweep(lib: &TechLibrary) {
+    println!("Baseline robustness: delay (ns) of each prefix architecture");
+    print!("{:>8}", "bits");
+    for arch in AdderArch::BASELINES {
+        print!(" {:>16}", arch.to_string());
+    }
+    println!();
+    for &n in &FIG8_BITWIDTHS {
+        print!("{n:>8}");
+        for arch in AdderArch::BASELINES {
+            let nl = synthesize(&arch.generate(n));
+            let d = analyze(&nl, lib).expect("timing").max_delay_ps;
+            print!(" {:>16.3}", d / 1000.0);
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "both".to_string());
+    let lib = TechLibrary::umc180();
+    match mode.as_str() {
+        "ablation" => {
+            ablation(&lib);
+            return;
+        }
+        "baseline" => {
+            baseline_sweep(&lib);
+            return;
+        }
+        _ => {}
+    }
+    let rows = fig8_rows(&FIG8_BITWIDTHS, &lib).expect("timing analysis");
+    match mode.as_str() {
+        "delay" => delay_panel(&rows),
+        "area" => area_panel(&rows),
+        _ => {
+            delay_panel(&rows);
+            area_panel(&rows);
+        }
+    }
+    println!(
+        "Technology: synthetic UMC 0.18um-class library (FO4 = {:.0} ps), \
+         fanout capped at {MAX_FANOUT} with buffer trees.",
+        lib.fo4_delay_ps()
+    );
+}

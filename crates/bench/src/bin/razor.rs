@@ -1,0 +1,56 @@
+//! Extension experiment: logical speculation (the paper) vs timing
+//! speculation (Razor-style underclocking of an exact adder).
+//!
+//! Both paradigms compute the *same* windowed sums; they differ only in
+//! how errors are detected. This binary compares stall rates and window
+//! sizing for equal speed.
+//!
+//! Usage: `cargo run --release -p vlsa-bench --bin razor`
+
+use vlsa_core::{prob_aca_error, SpeculativeAdder, TimingSpeculativeAdder};
+use vlsa_runstats::{min_bound_for_prob, prob_carry_chain_gt};
+
+fn main() {
+    let nbits = 64;
+    println!(
+        "Logical (ACA detector) vs timing (Razor shadow latch) speculation, \
+         {nbits}-bit adders\n"
+    );
+    println!(
+        "{:>7} | {:>13} {:>13} {:>13} | {:>13}",
+        "k", "ACA stalls", "exact errors", "Razor stalls", "ACA false-alm"
+    );
+    for k in [8usize, 10, 12, 14, 16, 18, 20, 22] {
+        let aca = SpeculativeAdder::new(nbits, k).expect("valid");
+        let razor = TimingSpeculativeAdder::new(nbits, k).expect("valid");
+        let det = aca.detection_probability();
+        let err = prob_aca_error(nbits, k);
+        println!(
+            "{k:>7} | {det:>13.3e} {err:>13.3e} {:>13.3e} | {:>13.3e}",
+            razor.stall_probability(),
+            det - err
+        );
+    }
+
+    // Capacity sizing: how many chain positions must the short clock
+    // cover for the usual accuracy targets, vs the ACA window?
+    println!("\nSizing for a stall-rate target ({nbits}-bit):");
+    println!(
+        "{:>12} | {:>12} {:>16}",
+        "target", "ACA window", "Razor capacity"
+    );
+    for target in [1e-2, 1e-3, 1e-4, 1e-5] {
+        let window = min_bound_for_prob(nbits, 1.0 - target) + 1;
+        let capacity = (1..=nbits)
+            .find(|&c| prob_carry_chain_gt(nbits, c) <= target)
+            .unwrap_or(nbits);
+        println!("{target:>12.0e} | {window:>12} {capacity:>16}");
+    }
+    println!(
+        "\nReading: the two paradigms err identically; Razor's exact \
+         detection stalls ~2x less often and needs ~1 bit less coverage, \
+         but requires shadow latches and hold-time margining that the \
+         paper's all-logic detector avoids. The paper's choice is the \
+         conservative, purely synchronous corner of the same design space."
+    );
+}

@@ -1,0 +1,54 @@
+//! Validates the §3.1 asymptotics the paper cites: Schilling's
+//! expectation `log2(n) - 2/3` for the longest run, the variance limit,
+//! and the Gordon–Schilling–Waterman exponential tail — against both the
+//! exact recurrence and sampling.
+//!
+//! Usage: `cargo run --release -p vlsa-bench --bin schilling [-- samples N]`
+
+use rand::SeedableRng;
+use vlsa_runstats::{
+    expected_longest_run, gordon_tail_prob, prob_longest_run_gt, sample_histogram,
+    schilling_expected_run, variance_longest_run, ASYMPTOTIC_RUN_VARIANCE,
+    PAPER_QUOTED_VARIANCE,
+};
+
+fn main() {
+    let samples: u64 = std::env::args()
+        .nth(2)
+        .map(|a| a.parse().expect("sample count"))
+        .unwrap_or(50_000);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1990);
+
+    println!("Longest-run asymptotics (Schilling 1990, Gordon et al. 1986)\n");
+    println!(
+        "{:>6} | {:>10} {:>10} {:>10} | {:>10} {:>10}",
+        "n", "E exact", "E approx", "E sampled", "Var exact", "Var sampled"
+    );
+    for n in [64usize, 128, 256, 512, 1024, 2048, 4096] {
+        let hist = sample_histogram(n, samples, &mut rng);
+        println!(
+            "{n:>6} | {:>10.3} {:>10.3} {:>10.3} | {:>10.3} {:>10.3}",
+            expected_longest_run(n),
+            schilling_expected_run(n),
+            hist.mean(),
+            variance_longest_run(n),
+            hist.variance(),
+        );
+    }
+    println!(
+        "\nVariance limit: pi^2/(6 ln^2 2) + 1/12 = {ASYMPTOTIC_RUN_VARIANCE:.3} \
+         (the paper prints {PAPER_QUOTED_VARIANCE}, which exact enumeration \
+         does not reproduce — see EXPERIMENTS.md)."
+    );
+
+    println!("\nExponential tail (n = 1024): exact vs Poisson-clump approximation");
+    println!("{:>6} {:>14} {:>14}", "x", "P(run>x) exact", "approx");
+    for x in [12usize, 14, 16, 18, 20, 22, 24] {
+        println!(
+            "{x:>6} {:>14.3e} {:>14.3e}",
+            prob_longest_run_gt(1024, x),
+            gordon_tail_prob(1024, x)
+        );
+    }
+    println!("\nEach extra window bit halves the error probability (paper §3.1).");
+}

@@ -1,0 +1,82 @@
+//! The paper's §5 headline numbers, paper vs this reproduction, in one
+//! table — the source for `EXPERIMENTS.md`.
+//!
+//! Usage: `cargo run --release -p vlsa-bench --bin summary`
+
+use rand::SeedableRng;
+use vlsa_bench::{fig8_rows, FIG8_BITWIDTHS};
+use vlsa_core::SpeculativeAdder;
+use vlsa_pipeline::{random_operands, EffectiveLatency, VlsaPipeline};
+use vlsa_techlib::TechLibrary;
+
+fn main() {
+    let lib = TechLibrary::umc180();
+    let rows = fig8_rows(&FIG8_BITWIDTHS, &lib).expect("timing analysis");
+
+    let speedups: Vec<f64> = rows.iter().map(|r| r.aca_speedup()).collect();
+    let det: Vec<f64> = rows.iter().map(|r| r.detect_fraction()).collect();
+    let rec: Vec<f64> = rows.iter().map(|r| r.recovery_fraction()).collect();
+    let area: Vec<f64> = rows
+        .iter()
+        .map(|r| r.aca_area / r.traditional_area)
+        .collect();
+    let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = |v: &[f64]| v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+    // Average latency and effective speedup at 64 bits.
+    let adder = SpeculativeAdder::for_accuracy(64, 0.9999).expect("valid");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut pipe = VlsaPipeline::new(adder);
+    let trace = pipe.run(&random_operands(64, 1_000_000, &mut rng));
+    let row64 = &rows[0];
+    let eff = EffectiveLatency {
+        t_clock_ps: row64.aca_ps.max(row64.detect_ps),
+        t_traditional_ps: row64.traditional_ps,
+    };
+
+    println!("Headline claims (paper §5) vs this reproduction\n");
+    println!("{:<46} {:>14} {:>18}", "claim", "paper", "measured");
+    println!(
+        "{:<46} {:>14} {:>18}",
+        "ACA speedup over traditional adder",
+        "1.5x - 2.5x",
+        format!("{:.2}x - {:.2}x", min(&speedups), max(&speedups))
+    );
+    println!(
+        "{:<46} {:>14} {:>18}",
+        "error-detection delay / traditional",
+        "~2/3",
+        format!("{:.2} - {:.2}", min(&det), max(&det))
+    );
+    println!(
+        "{:<46} {:>14} {:>18}",
+        "ACA+recovery delay / traditional",
+        "~1.0",
+        format!("{:.2} - {:.2}", min(&rec), max(&rec))
+    );
+    println!(
+        "{:<46} {:>14} {:>18}",
+        "ACA area / traditional",
+        "smaller",
+        format!("{:.2} - {:.2}", min(&area), max(&area))
+    );
+    println!(
+        "{:<46} {:>14} {:>18}",
+        "VLSA average latency (cycles)",
+        "1.0001",
+        format!("{:.6}", trace.average_latency())
+    );
+    println!(
+        "{:<46} {:>14} {:>18}",
+        "VLSA effective speedup (64 bits)",
+        "~1.5x - 2x",
+        format!("{:.2}x", eff.speedup(&trace))
+    );
+    println!(
+        "\nBaselines per width: {}",
+        rows.iter()
+            .map(|r| format!("{}:{}", r.nbits, r.baseline))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+}

@@ -1,0 +1,40 @@
+//! Validates the paper's **Theorem 1**: a run of `k` heads needs
+//! `2^{k+1} - 2` fair flips on average — closed form vs the recurrence
+//! vs Monte Carlo on the line-graph walk (paper Fig. 2).
+//!
+//! Usage: `cargo run --release -p vlsa-bench --bin theorem1 [-- trials N]`
+
+use rand::SeedableRng;
+use vlsa_runstats::{
+    expected_flips_for_run, monte_carlo_expected_flips, recurrence_expected_flips,
+};
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(2)
+        .map(|a| a.parse().expect("trial count"))
+        .unwrap_or(100_000);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2008);
+    let max_k = 12u32;
+    let rec = recurrence_expected_flips(max_k);
+
+    println!("Theorem 1: expected flips to the first run of k heads");
+    println!("({trials} Monte Carlo walks per k)\n");
+    println!(
+        "{:>4} {:>14} {:>14} {:>14} {:>10}",
+        "k", "2^(k+1)-2", "recurrence", "monte carlo", "std err"
+    );
+    for k in 1..=max_k {
+        let exact = expected_flips_for_run(k);
+        let (mc, se) = monte_carlo_expected_flips(k, trials, &mut rng);
+        println!(
+            "{k:>4} {exact:>14.1} {:>14.1} {mc:>14.1} {se:>10.2}",
+            rec[k as usize]
+        );
+        assert!(
+            (mc - exact).abs() < 6.0 * se + 1.0,
+            "Monte Carlo deviates beyond 6 sigma at k={k}"
+        );
+    }
+    println!("\nAll Monte Carlo means within 6 sigma of 2^(k+1)-2.");
+}

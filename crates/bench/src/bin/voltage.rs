@@ -1,0 +1,66 @@
+//! Extension experiment: speculation vs voltage overdrive.
+//!
+//! The paper's related work (Razor; Hegde & Shanbhag) trades supply
+//! voltage against timing errors. This binary asks the converse
+//! question: how much *overdrive* (and hence dynamic power, `P ∝ V²f`)
+//! would a traditional adder need to match the VLSA's effective
+//! latency at nominal supply?
+//!
+//! Usage: `cargo run --release -p vlsa-bench --bin voltage`
+
+use rand::SeedableRng;
+use vlsa_bench::{fastest_traditional, paper_window, synthesize};
+use vlsa_core::{almost_correct_adder, error_detector, SpeculativeAdder};
+use vlsa_pipeline::{random_operands, EffectiveLatency, VlsaPipeline};
+use vlsa_techlib::{power_factor_at_voltage, voltage_for_delay_factor, TechLibrary};
+use vlsa_timing::analyze;
+
+fn main() {
+    let lib = TechLibrary::umc180();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+    println!("Speculation vs voltage overdrive (alpha-power law, 0.18 um)\n");
+    println!(
+        "{:>6} | {:>12} {:>12} {:>9} | {:>10} {:>12}",
+        "bits", "VLSA eff ps", "trad ps", "ratio", "Vdd needed", "power cost"
+    );
+    for nbits in [32usize, 48, 64] {
+        let w = paper_window(nbits);
+        let aca_ps = analyze(&synthesize(&almost_correct_adder(nbits, w)), &lib)
+            .expect("timing")
+            .max_delay_ps;
+        let det_ps = analyze(&synthesize(&error_detector(nbits, w)), &lib)
+            .expect("timing")
+            .max_delay_ps;
+        let (_, _, trad_ps) = fastest_traditional(nbits, &lib).expect("timing");
+
+        let adder = SpeculativeAdder::new(nbits, w).expect("valid");
+        let mut pipe = VlsaPipeline::new(adder);
+        let trace = pipe.run(&random_operands(nbits, 200_000, &mut rng));
+        let eff = EffectiveLatency {
+            t_clock_ps: aca_ps.max(det_ps),
+            t_traditional_ps: trad_ps,
+        };
+        let eff_ps = eff.time_per_add_ps(&trace);
+        let ratio = eff_ps / trad_ps;
+        if ratio < 1.0 {
+            let vdd = voltage_for_delay_factor(ratio);
+            let power = power_factor_at_voltage(vdd);
+            println!(
+                "{nbits:>6} | {eff_ps:>12.0} {trad_ps:>12.0} {ratio:>9.2} | {:>9.0}% {:>11.0}%",
+                vdd * 100.0,
+                power * 100.0
+            );
+        } else {
+            println!(
+                "{nbits:>6} | {eff_ps:>12.0} {trad_ps:>12.0} {ratio:>9.2} | {:>10} {:>12}",
+                "-", "-"
+            );
+        }
+    }
+    println!(
+        "\nReading: to match the VLSA's average add latency, a reliable adder \
+         must be overdriven to the listed supply, paying quadratically in \
+         dynamic power — speculation buys the same speed at nominal volts \
+         (plus the recovery logic's area)."
+    );
+}

@@ -1,0 +1,383 @@
+//! The Almost Correct Adder (ACA) generator — paper §3.
+//!
+//! The ACA computes each carry from a fixed-width window of preceding
+//! bit positions, assuming zero carry into the window. It is exact
+//! whenever the operands contain no propagate run of `window` or more
+//! consecutive positions — which for `window ≈ log2 n + margin` is
+//! almost always (Table 1).
+//!
+//! Area is kept near-linear by the paper's Fig. 4 *shared strip*:
+//! carry-operator spans of power-of-two widths are built once per
+//! position by logarithmic doubling (the clamped Kogge-Stone levels) and
+//! every window product is then assembled from at most `popcount(window)`
+//! precomputed pieces, so each intermediate is reused a bounded number
+//! of times.
+
+use vlsa_adders::{adder_outputs, adder_ports, pg_signals, sum_from_carries, PgSignals};
+use vlsa_netlist::{NetId, Netlist};
+
+/// How the per-position window products are implemented.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AcaStyle {
+    /// The paper's Fig. 4 log-depth shared strip (default).
+    #[default]
+    SharedStrip,
+    /// One serial carry chain per bit position — the naive "multitude of
+    /// small adders" the paper's §3.1 exists to avoid. Kept as the area
+    /// ablation baseline.
+    PerBitRipple,
+}
+
+/// The shared strip of clamped power-of-two carry-operator spans.
+///
+/// `level d`, position `i` holds the `(G, P)` of bit span
+/// `[max(0, i - 2^d + 1) ..= i]`.
+pub(crate) struct WindowStrip {
+    levels_g: Vec<Vec<NetId>>,
+    levels_p: Vec<Vec<NetId>>,
+}
+
+impl WindowStrip {
+    /// Builds doubling levels `0..=floor(log2(max_width))`.
+    pub(crate) fn build(nl: &mut Netlist, pg: &PgSignals, max_width: usize) -> Self {
+        let n = pg.width();
+        let mut levels_g = vec![pg.g.clone()];
+        let mut levels_p = vec![pg.p.clone()];
+        let mut span = 1usize;
+        while span * 2 <= max_width {
+            let (prev_g, prev_p) = (
+                levels_g.last().expect("at least level 0"),
+                levels_p.last().expect("at least level 0"),
+            );
+            let mut g = Vec::with_capacity(n);
+            let mut p = Vec::with_capacity(n);
+            for i in 0..n {
+                if i >= span {
+                    // [i-2span+1 ..= i] = [i-span+1 ..= i] ∘ [i-2span+1 ..= i-span]
+                    g.push(nl.ao21(prev_p[i], prev_g[i - span], prev_g[i]));
+                    p.push(nl.and2(prev_p[i], prev_p[i - span]));
+                } else {
+                    // Clamped at bit 0: the span is already the full prefix.
+                    g.push(prev_g[i]);
+                    p.push(prev_p[i]);
+                }
+            }
+            levels_g.push(g);
+            levels_p.push(p);
+            span *= 2;
+        }
+        WindowStrip { levels_g, levels_p }
+    }
+
+    /// The `(G, P)` of the width-`width` span ending at `end` (clamped
+    /// at bit 0), assembled from precomputed power-of-two pieces.
+    pub(crate) fn span(
+        &self,
+        nl: &mut Netlist,
+        end: usize,
+        width: usize,
+    ) -> (NetId, NetId) {
+        assert!(width > 0, "span width must be positive");
+        // Collect the binary-decomposition pieces, highest span first.
+        let mut pieces: Vec<(NetId, NetId)> = Vec::new();
+        let mut cursor = end as isize;
+        for d in (0..self.levels_g.len()).rev() {
+            let piece = 1usize << d;
+            if width & piece == 0 {
+                continue;
+            }
+            if cursor < 0 {
+                break; // remaining pieces are entirely below bit 0
+            }
+            let i = cursor as usize;
+            pieces.push((self.levels_g[d][i], self.levels_p[d][i]));
+            cursor -= piece as isize;
+        }
+        // The carry operator is associative, so adjacent pieces combine
+        // in a balanced tree: depth log(popcount(width)) instead of a
+        // serial chain.
+        while pieces.len() > 1 {
+            let mut next = Vec::with_capacity(pieces.len().div_ceil(2));
+            let mut iter = pieces.chunks(2);
+            for chunk in &mut iter {
+                next.push(match *chunk {
+                    [(hi_g, hi_p), (lo_g, lo_p)] => {
+                        (nl.ao21(hi_p, lo_g, hi_g), nl.and2(hi_p, lo_p))
+                    }
+                    [single] => single,
+                    _ => unreachable!("chunks(2)"),
+                });
+            }
+            pieces = next;
+        }
+        pieces.pop().expect("width > 0 guarantees at least one piece")
+    }
+}
+
+/// Internal handle to an ACA built inside a netlist, exposing the nets
+/// the error detector and recovery layers reuse.
+pub(crate) struct AcaParts {
+    /// Per-bit generate/propagate nets.
+    pub pg: PgSignals,
+    /// The shared strip (for additional span reuse, e.g. partial blocks).
+    pub strip: WindowStrip,
+    /// Window-span `(G, P)` ending at every bit position (shared-strip
+    /// style only; empty for the naive style).
+    pub win: Vec<(NetId, NetId)>,
+    /// Speculative sum bits.
+    pub sum: vlsa_netlist::Bus,
+    /// Speculative carry-out.
+    pub cout: NetId,
+    /// The carry window width.
+    pub window: usize,
+}
+
+/// Builds the ACA datapath into `nl` (ports must already exist).
+pub(crate) fn build_aca(
+    nl: &mut Netlist,
+    a: &vlsa_netlist::Bus,
+    b: &vlsa_netlist::Bus,
+    window: usize,
+    style: AcaStyle,
+) -> AcaParts {
+    let nbits = a.width();
+    assert!(window > 0, "window must be positive");
+    let window = window.min(nbits);
+    let pg = pg_signals(nl, a, b);
+    let strip = WindowStrip::build(nl, &pg, window);
+    // Shared-strip: materialize the window span ending at every
+    // position once; carries, the carry-out, the error detector and the
+    // recovery blocks all read from this table (the paper's "reuse the
+    // computation inside the ACA").
+    let win: Vec<(NetId, NetId)> = match style {
+        AcaStyle::SharedStrip => (0..nbits).map(|e| strip.span(nl, e, window)).collect(),
+        AcaStyle::PerBitRipple => Vec::new(),
+    };
+    let zero = nl.constant(false);
+    let mut carries = Vec::with_capacity(nbits);
+    carries.push(zero);
+    for i in 1..nbits {
+        let c = match style {
+            AcaStyle::SharedStrip => win[i - 1].0,
+            AcaStyle::PerBitRipple => ripple_window(nl, &pg, i - 1, window),
+        };
+        carries.push(c);
+    }
+    let cout = match style {
+        AcaStyle::SharedStrip => win[nbits - 1].0,
+        AcaStyle::PerBitRipple => ripple_window(nl, &pg, nbits - 1, window),
+    };
+    let sum = sum_from_carries(nl, &pg.p, &carries);
+    AcaParts {
+        pg,
+        strip,
+        win,
+        sum,
+        cout,
+        window,
+    }
+}
+
+/// Serial window carry for the naive per-bit style.
+fn ripple_window(nl: &mut Netlist, pg: &PgSignals, end: usize, window: usize) -> NetId {
+    let lo = end.saturating_sub(window - 1);
+    let mut carry = pg.g[lo];
+    for i in lo + 1..=end {
+        carry = nl.ao21(pg.p[i], carry, pg.g[i]);
+    }
+    carry
+}
+
+/// Builds an ACA datapath on existing buses inside `nl`, returning the
+/// speculative sum and carry-out — the embeddable form of
+/// [`almost_correct_adder`], for datapaths that want a speculative
+/// final adder (e.g. the multiplier extension).
+///
+/// # Panics
+///
+/// Panics if the buses differ in width, are empty, or `window` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_netlist::Netlist;
+/// use vlsa_core::aca_into;
+///
+/// let mut nl = Netlist::new("embedded");
+/// let a = nl.input_bus("a", 16);
+/// let b = nl.input_bus("b", 16);
+/// let (sum, cout) = aca_into(&mut nl, &a, &b, 6);
+/// nl.output_bus("s", &sum);
+/// nl.output("cout", cout);
+/// ```
+pub fn aca_into(
+    nl: &mut Netlist,
+    a: &vlsa_netlist::Bus,
+    b: &vlsa_netlist::Bus,
+    window: usize,
+) -> (vlsa_netlist::Bus, NetId) {
+    assert!(!a.is_empty(), "adder width must be positive");
+    assert_eq!(a.width(), b.width(), "operand width mismatch");
+    let parts = build_aca(nl, a, b, window, AcaStyle::SharedStrip);
+    (parts.sum, parts.cout)
+}
+
+/// Generates an `nbits` Almost Correct Adder with carry window `window`
+/// and the standard `a`/`b` → `s`/`cout` interface.
+///
+/// The result is exact for every operand pair whose propagate vector
+/// `a ⊕ b` contains no run of `window` or more ones; the fraction of
+/// such pairs is `vlsa_runstats::prob_longest_run_le(nbits, window - 1)`.
+/// With `window >= nbits` the adder degenerates to an exact prefix adder.
+///
+/// # Panics
+///
+/// Panics if `nbits` or `window` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_core::almost_correct_adder;
+/// use vlsa_adders::{prefix_adder, PrefixArch};
+///
+/// // The ACA is much shallower than an exact Kogge-Stone at 256 bits.
+/// let aca = almost_correct_adder(256, 14);
+/// let exact = prefix_adder(256, PrefixArch::KoggeStone);
+/// assert!(aca.depth() < exact.depth());
+/// ```
+pub fn almost_correct_adder(nbits: usize, window: usize) -> Netlist {
+    almost_correct_adder_styled(nbits, window, AcaStyle::SharedStrip)
+}
+
+/// [`almost_correct_adder`] with an explicit implementation
+/// [`AcaStyle`] (the naive style exists for the area ablation).
+///
+/// # Panics
+///
+/// Panics if `nbits` or `window` is zero.
+pub fn almost_correct_adder_styled(nbits: usize, window: usize, style: AcaStyle) -> Netlist {
+    assert!(nbits > 0, "adder width must be positive");
+    let mut nl = Netlist::new(format!("aca{nbits}w{window}"));
+    let (a, b) = adder_ports(&mut nl, nbits);
+    let parts = build_aca(&mut nl, &a, &b, window, style);
+    adder_outputs(&mut nl, &parts.sum, parts.cout);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::software::windowed_sum_wide;
+    use rand::SeedableRng;
+    use vlsa_runstats::longest_one_run_words;
+    use vlsa_sim::{adder_sums, check_adder_exhaustive, random_pairs, wide_add, wide_xor};
+
+    #[test]
+    fn exact_when_window_covers_width() {
+        for style in [AcaStyle::SharedStrip, AcaStyle::PerBitRipple] {
+            for nbits in [1usize, 2, 5, 6] {
+                let nl = almost_correct_adder_styled(nbits, nbits, style);
+                let report = check_adder_exhaustive(&nl, nbits).expect("simulate");
+                assert!(report.is_exact(), "{style:?} nbits={nbits}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_window_clamps() {
+        let nl = almost_correct_adder(4, 100);
+        let report = check_adder_exhaustive(&nl, 4).expect("simulate");
+        assert!(report.is_exact());
+    }
+
+    #[test]
+    fn errors_only_on_long_propagate_runs() {
+        // Exhaustive over 6-bit operands, window 3: every mismatch must
+        // exhibit a propagate run >= 3, every run <= 2 must be exact.
+        let nbits = 6;
+        let window = 3;
+        for style in [AcaStyle::SharedStrip, AcaStyle::PerBitRipple] {
+            let nl = almost_correct_adder_styled(nbits, window, style);
+            let mut pairs = Vec::new();
+            for a in 0u64..64 {
+                for b in 0u64..64 {
+                    pairs.push((vec![a], vec![b]));
+                }
+            }
+            let sums = adder_sums(&nl, nbits, &pairs).expect("simulate");
+            for ((a, b), got) in pairs.iter().zip(&sums) {
+                let exact = wide_add(a, b, nbits);
+                let p = wide_xor(a, b, nbits);
+                let run = longest_one_run_words(&p, nbits) as usize;
+                if run < window {
+                    assert_eq!(*got, exact, "{style:?} a={} b={}", a[0], b[0]);
+                }
+                if *got != exact {
+                    assert!(run >= window, "{style:?} a={} b={} run={run}", a[0], b[0]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn styles_are_functionally_identical() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let shared = almost_correct_adder_styled(64, 7, AcaStyle::SharedStrip);
+        let naive = almost_correct_adder_styled(64, 7, AcaStyle::PerBitRipple);
+        vlsa_sim::equiv_random(&shared, &naive, 8, &mut rng).expect("same function");
+    }
+
+    #[test]
+    fn gate_level_matches_software_model() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        for (nbits, window) in [(64usize, 6usize), (100, 9), (128, 12)] {
+            let nl = almost_correct_adder(nbits, window);
+            let pairs = random_pairs(nbits, 128, &mut rng);
+            let sums = adder_sums(&nl, nbits, &pairs).expect("simulate");
+            for ((a, b), got) in pairs.iter().zip(&sums) {
+                let model = windowed_sum_wide(a, b, nbits, window);
+                assert_eq!(*got, model, "nbits={nbits} w={window}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_strip_is_much_smaller_than_naive() {
+        let shared = almost_correct_adder_styled(256, 16, AcaStyle::SharedStrip);
+        let naive = almost_correct_adder_styled(256, 16, AcaStyle::PerBitRipple);
+        // O(n log k) vs O(n k).
+        assert!(shared.gate_count() * 2 < naive.gate_count());
+    }
+
+    #[test]
+    fn depth_grows_with_log_window_not_width() {
+        let d64 = almost_correct_adder(64, 8).depth();
+        let d2048 = almost_correct_adder(2048, 8).depth();
+        assert!(d2048 <= d64 + 1, "{d64} vs {d2048}");
+    }
+
+    #[test]
+    fn non_power_of_two_windows() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(79);
+        for window in [3usize, 5, 6, 7, 11, 13] {
+            let nl = almost_correct_adder(64, window);
+            let pairs = random_pairs(64, 64, &mut rng);
+            let sums = adder_sums(&nl, 64, &pairs).expect("simulate");
+            for ((a, b), got) in pairs.iter().zip(&sums) {
+                assert_eq!(*got, windowed_sum_wide(a, b, 64, window), "w={window}");
+            }
+        }
+    }
+
+    #[test]
+    fn validates_structurally() {
+        let nl = almost_correct_adder(128, 11);
+        assert!(nl.validate(false).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        almost_correct_adder(8, 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Error-magnitude analysis of speculative addition.
+//!
+//! The follow-on approximate-computing literature characterizes adders
+//! like the ACA not just by error *rate* but by error *magnitude*
+//! (mean/worst absolute error, mean relative error). This module
+//! measures those metrics, and exposes the structural fact that makes
+//! ACA errors benign for magnitude-tolerant applications: a wrong sum
+//! differs from the exact one only at bit `window` and above, so the
+//! absolute error is always a multiple of `2^window`.
+
+use crate::SpeculativeAdder;
+use rand::Rng;
+
+/// Aggregate error-magnitude metrics over a sample of additions.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ErrorMagnitude {
+    /// Additions sampled.
+    pub samples: u64,
+    /// Additions whose speculative sum was wrong.
+    pub errors: u64,
+    /// Additions flagged by the detector (includes false alarms).
+    pub detections: u64,
+    /// Mean absolute error over *all* samples.
+    pub mean_abs_error: f64,
+    /// Mean absolute error conditioned on an error occurring.
+    pub mean_abs_error_given_error: f64,
+    /// Largest absolute error observed.
+    pub max_abs_error: u128,
+    /// Mean relative error `|Δ| / max(a + b, 1)` over all samples
+    /// (denominator is the true, unwrapped sum).
+    pub mean_relative_error: f64,
+}
+
+impl ErrorMagnitude {
+    /// Fraction of samples that were wrong.
+    pub fn error_rate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.samples as f64
+        }
+    }
+
+    /// Fraction of samples flagged by the detector.
+    pub fn detection_rate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.detections as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Measures error magnitudes of `adder` over `samples` operand pairs
+/// drawn by `gen_pair`.
+///
+/// # Panics
+///
+/// Panics if the adder is wider than 64 bits.
+pub fn measure_error_magnitude<R, F>(
+    adder: &SpeculativeAdder,
+    samples: u64,
+    rng: &mut R,
+    mut gen_pair: F,
+) -> ErrorMagnitude
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> (u64, u64),
+{
+    let mut stats = ErrorMagnitude {
+        samples,
+        ..ErrorMagnitude::default()
+    };
+    let mut sum_abs = 0.0f64;
+    let mut sum_abs_err_only = 0.0f64;
+    let mut sum_rel = 0.0f64;
+    for _ in 0..samples {
+        let (a, b) = gen_pair(rng);
+        let r = adder.add_u64(a, b);
+        if r.error_detected {
+            stats.detections += 1;
+        }
+        let diff = (r.exact as u128).abs_diff(r.speculative as u128);
+        if diff != 0 {
+            stats.errors += 1;
+            sum_abs_err_only += diff as f64;
+            stats.max_abs_error = stats.max_abs_error.max(diff);
+        }
+        sum_abs += diff as f64;
+        let true_sum = a as u128 + b as u128;
+        sum_rel += diff as f64 / true_sum.max(1) as f64;
+    }
+    stats.mean_abs_error = sum_abs / samples.max(1) as f64;
+    stats.mean_abs_error_given_error = if stats.errors == 0 {
+        0.0
+    } else {
+        sum_abs_err_only / stats.errors as f64
+    };
+    stats.mean_relative_error = sum_rel / samples.max(1) as f64;
+    stats
+}
+
+/// Convenience: [`measure_error_magnitude`] with uniform operands.
+pub fn measure_uniform_error_magnitude<R: Rng + ?Sized>(
+    adder: &SpeculativeAdder,
+    samples: u64,
+    rng: &mut R,
+) -> ErrorMagnitude {
+    let nbits = adder.nbits();
+    let mask = if nbits == 64 { u64::MAX } else { (1u64 << nbits) - 1 };
+    measure_error_magnitude(adder, samples, rng, |rng| {
+        (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn error_is_multiple_of_two_to_the_window() {
+        // Structural invariant: low `window` bits of the sum are exact.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(271);
+        for window in [4usize, 6, 9] {
+            let adder = SpeculativeAdder::new(64, window).expect("valid");
+            let mut seen_error = false;
+            for _ in 0..30_000 {
+                let r = adder.add_u64(rng.gen(), rng.gen());
+                let diff = (r.exact as u128).abs_diff(r.speculative as u128);
+                if diff != 0 {
+                    seen_error = true;
+                    assert_eq!(
+                        diff % (1u128 << window),
+                        0,
+                        "error {diff:#x} not aligned to window {window}"
+                    );
+                }
+            }
+            assert!(seen_error, "window {window} should err in 30k samples");
+        }
+    }
+
+    #[test]
+    fn stats_bookkeeping() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(277);
+        let adder = SpeculativeAdder::new(32, 6).expect("valid");
+        let stats = measure_uniform_error_magnitude(&adder, 20_000, &mut rng);
+        assert_eq!(stats.samples, 20_000);
+        assert!(stats.errors > 0);
+        assert!(stats.detections >= stats.errors);
+        assert!(stats.error_rate() <= stats.detection_rate());
+        assert!(stats.mean_abs_error_given_error >= 64.0); // >= 2^6
+        assert!(stats.max_abs_error >= stats.mean_abs_error_given_error as u128);
+        assert!(stats.mean_relative_error < 1.0);
+    }
+
+    #[test]
+    fn exact_adder_has_zero_magnitude() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(281);
+        let adder = SpeculativeAdder::new(48, 48).expect("valid");
+        let stats = measure_uniform_error_magnitude(&adder, 5_000, &mut rng);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.mean_abs_error, 0.0);
+        assert_eq!(stats.max_abs_error, 0);
+        assert_eq!(stats.error_rate(), 0.0);
+    }
+
+    #[test]
+    fn custom_generator_is_used() {
+        // Adversarial pairs: everything errs, with the same magnitude.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(283);
+        let adder = SpeculativeAdder::new(16, 4).expect("valid");
+        let stats = measure_error_magnitude(&adder, 1_000, &mut rng, |_| (0x7FFF, 1));
+        assert_eq!(stats.errors, 1_000);
+        assert_eq!(stats.detections, 1_000);
+        // exact = 0x8000; the carry from bit 0 survives windows ending
+        // at bits 1..=4 and is dropped from bit 5 up, so
+        // spec = 0x7FE0 and the error is exactly 0x20.
+        let expected = 0x20u128;
+        assert_eq!(stats.max_abs_error, expected);
+        assert!((stats.mean_abs_error - expected as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_error_stays_small_at_design_point() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(293);
+        let adder = SpeculativeAdder::for_accuracy(64, 0.9999).expect("valid");
+        let stats = measure_uniform_error_magnitude(&adder, 100_000, &mut rng);
+        // Errors are rare AND their relative size is bounded, so the
+        // mean relative error is tiny — the approximate-computing view.
+        assert!(stats.mean_relative_error < 1e-4, "{}", stats.mean_relative_error);
+    }
+}

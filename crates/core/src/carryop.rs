@@ -1,0 +1,223 @@
+//! The carry operator as matrix algebra (paper §3.1).
+//!
+//! The carry recurrence `c_i = g_i + p_i·c_{i-1}` is the linear map
+//!
+//! ```text
+//! [ c_i ]   [ p_i  g_i ] [ c_{i-1} ]
+//! [  1  ] = [  0    1  ] [    1    ]
+//! ```
+//!
+//! over the boolean semiring, so a span of bit positions composes into a
+//! single `(g, p)` pair via matrix product. [`CarryOp`] is that pair with
+//! its associative composition — the object the ACA's shared strip
+//! (paper Fig. 4) computes for every k-wide window.
+
+use std::fmt;
+
+/// A composed carry operator over a span of bit positions: the span
+/// generates a carry (`g`) and/or propagates an incoming one (`p`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct CarryOp {
+    /// Group generate: the span produces a carry-out by itself.
+    pub g: bool,
+    /// Group propagate: a carry into the span emerges at the top.
+    pub p: bool,
+}
+
+impl CarryOp {
+    /// The operator of a single bit position with operand bits `a`, `b`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vlsa_core::CarryOp;
+    /// assert_eq!(CarryOp::from_bits(true, true), CarryOp { g: true, p: false });
+    /// assert_eq!(CarryOp::from_bits(true, false), CarryOp { g: false, p: true });
+    /// ```
+    pub fn from_bits(a: bool, b: bool) -> Self {
+        CarryOp { g: a && b, p: a ^ b }
+    }
+
+    /// The identity operator (empty span: propagates, never generates).
+    pub fn identity() -> Self {
+        CarryOp { g: false, p: true }
+    }
+
+    /// Composes `self` (the **higher** span) after `lower`:
+    /// `(g, p) = (g_hi + p_hi·g_lo, p_hi·p_lo)`.
+    ///
+    /// Matches the matrix product `M_hi · M_lo`; associative but not
+    /// commutative.
+    pub fn after(self, lower: CarryOp) -> CarryOp {
+        CarryOp {
+            g: self.g || (self.p && lower.g),
+            p: self.p && lower.p,
+        }
+    }
+
+    /// Applies the operator to an incoming carry: `c_out = g + p·c_in`.
+    pub fn apply(self, carry_in: bool) -> bool {
+        self.g || (self.p && carry_in)
+    }
+}
+
+impl fmt::Display for CarryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.g, self.p) {
+            (true, _) => f.write_str("generate"),
+            (false, true) => f.write_str("propagate"),
+            (false, false) => f.write_str("kill"),
+        }
+    }
+}
+
+/// 64 lanes of carry operators, for word-parallel span composition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CarryOpWord {
+    /// Generate lanes.
+    pub g: u64,
+    /// Propagate lanes.
+    pub p: u64,
+}
+
+impl CarryOpWord {
+    /// Per-lane single-bit operators from operand words.
+    pub fn from_bits(a: u64, b: u64) -> Self {
+        CarryOpWord { g: a & b, p: a ^ b }
+    }
+
+    /// Lane-wise identity.
+    pub fn identity() -> Self {
+        CarryOpWord { g: 0, p: u64::MAX }
+    }
+
+    /// Lane-wise composition (see [`CarryOp::after`]).
+    pub fn after(self, lower: CarryOpWord) -> CarryOpWord {
+        CarryOpWord {
+            g: self.g | (self.p & lower.g),
+            p: self.p & lower.p,
+        }
+    }
+
+    /// Lane-wise application to incoming carries.
+    pub fn apply(self, carry_in: u64) -> u64 {
+        self.g | (self.p & carry_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [CarryOp; 3] = [
+        CarryOp { g: true, p: false },  // generate
+        CarryOp { g: false, p: true },  // propagate
+        CarryOp { g: false, p: false }, // kill
+    ];
+
+    #[test]
+    fn from_bits_cases() {
+        assert_eq!(CarryOp::from_bits(false, false), CarryOp { g: false, p: false });
+        assert_eq!(CarryOp::from_bits(false, true), CarryOp { g: false, p: true });
+        assert_eq!(CarryOp::from_bits(true, true), CarryOp { g: true, p: false });
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        for op in ALL {
+            assert_eq!(op.after(CarryOp::identity()), op);
+            assert_eq!(CarryOp::identity().after(op), op);
+        }
+    }
+
+    #[test]
+    fn associativity_exhaustive() {
+        for x in ALL {
+            for y in ALL {
+                for z in ALL {
+                    assert_eq!(x.after(y).after(z), x.after(y.after(z)), "{x} {y} {z}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        // Applying hi∘lo must equal applying lo then hi, for all carries.
+        for hi in ALL {
+            for lo in ALL {
+                for c in [false, true] {
+                    assert_eq!(hi.after(lo).apply(c), hi.apply(lo.apply(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generate_dominates() {
+        let gen = CarryOp { g: true, p: false };
+        let kill = CarryOp { g: false, p: false };
+        assert_eq!(gen.after(kill).apply(false), true);
+        assert_eq!(kill.after(gen).apply(true), false); // kill above wins
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CarryOp { g: true, p: false }.to_string(), "generate");
+        assert_eq!(CarryOp { g: false, p: true }.to_string(), "propagate");
+        assert_eq!(CarryOp { g: false, p: false }.to_string(), "kill");
+    }
+
+    #[test]
+    fn word_version_matches_scalar() {
+        // Drive all 9 (hi, lo) combinations through lanes.
+        let mut hi_g = 0u64;
+        let mut hi_p = 0u64;
+        let mut lo_g = 0u64;
+        let mut lo_p = 0u64;
+        let mut cin = 0u64;
+        let mut lane = 0;
+        let mut expect_g = 0u64;
+        let mut expect_out = 0u64;
+        for hi in ALL {
+            for lo in ALL {
+                for c in [false, true] {
+                    if hi.g {
+                        hi_g |= 1 << lane;
+                    }
+                    if hi.p {
+                        hi_p |= 1 << lane;
+                    }
+                    if lo.g {
+                        lo_g |= 1 << lane;
+                    }
+                    if lo.p {
+                        lo_p |= 1 << lane;
+                    }
+                    if c {
+                        cin |= 1 << lane;
+                    }
+                    let composed = hi.after(lo);
+                    if composed.g {
+                        expect_g |= 1 << lane;
+                    }
+                    if composed.apply(c) {
+                        expect_out |= 1 << lane;
+                    }
+                    lane += 1;
+                }
+            }
+        }
+        let hi = CarryOpWord { g: hi_g, p: hi_p };
+        let lo = CarryOpWord { g: lo_g, p: lo_p };
+        let composed = hi.after(lo);
+        let mask = (1u64 << lane) - 1;
+        assert_eq!(composed.g & mask, expect_g);
+        assert_eq!(composed.apply(cin) & mask, expect_out);
+        assert_eq!(CarryOpWord::identity().p, u64::MAX);
+        assert_eq!(
+            CarryOpWord::from_bits(0b11, 0b01),
+            CarryOpWord { g: 0b01, p: 0b10 }
+        );
+    }
+}

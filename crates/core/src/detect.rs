@@ -1,0 +1,219 @@
+//! The standalone error-detection network (paper §4.1).
+//!
+//! `ER = Σ_{i=0}^{n-1-k} Π_{j=i}^{i+k} p_j`: a wide OR over all
+//! placements of a `window`-long all-propagate chain. The circuit uses
+//! only AND/OR gates (no carry operators), which is why the paper
+//! measures it at roughly two thirds of a traditional adder's delay
+//! despite having the same `O(log n)` level count.
+
+use vlsa_netlist::{NetId, Netlist};
+
+/// Builds the windowed-AND strip over the propagate nets and returns
+/// `AND(p[e-width+1..=e])` for every end position `e >= width - 1`.
+///
+/// Shared doubling structure: AND spans of power-of-two lengths, then
+/// one combine per end position for non-power-of-two widths.
+pub(crate) fn window_and_spans(
+    nl: &mut Netlist,
+    p: &[NetId],
+    width: usize,
+) -> Vec<NetId> {
+    assert!(width > 0, "window must be positive");
+    let n = p.len();
+    if width > n {
+        return Vec::new();
+    }
+    // levels[d][i] = AND of p[i-2^d+1 ..= i], valid for i >= 2^d - 1.
+    let mut levels: Vec<Vec<NetId>> = vec![p.to_vec()];
+    let mut span = 1usize;
+    while span * 2 <= width {
+        let prev = levels.last().expect("level 0 exists");
+        let mut next = prev.clone();
+        for (i, slot) in next.iter_mut().enumerate().skip(2 * span - 1) {
+            *slot = nl.and2(prev[i], prev[i - span]);
+        }
+        levels.push(next);
+        span *= 2;
+    }
+    // Assemble width from binary pieces for every end position.
+    let mut out = Vec::with_capacity(n - width + 1);
+    for end in (width - 1)..n {
+        let mut acc: Option<NetId> = None;
+        let mut cursor = end;
+        for d in (0..levels.len()).rev() {
+            let piece = 1usize << d;
+            if width & piece == 0 {
+                continue;
+            }
+            let part = levels[d][cursor];
+            acc = Some(match acc {
+                None => part,
+                Some(hi) => nl.and2(hi, part),
+            });
+            // end >= width-1 keeps this in range until the last piece.
+            cursor = cursor.wrapping_sub(piece);
+        }
+        out.push(acc.expect("width > 0"));
+    }
+    out
+}
+
+/// Generates the standalone `nbits` error detector for carry window
+/// `window`: inputs `a[0..n]`, `b[0..n]`, output `err`, which is 1 iff
+/// the propagate vector `a ⊕ b` contains a run of `window` or more ones.
+///
+/// # Panics
+///
+/// Panics if `nbits` or `window` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_core::error_detector;
+/// use vlsa_adders::{prefix_adder, PrefixArch};
+///
+/// // Detection is log-depth, like the adder, but from simpler gates.
+/// let det = error_detector(256, 14);
+/// let add = prefix_adder(256, PrefixArch::Sklansky);
+/// assert!(det.depth() <= add.depth() + 2);
+/// assert!(det.gate_count() < add.gate_count());
+/// ```
+pub fn error_detector(nbits: usize, window: usize) -> Netlist {
+    assert!(nbits > 0, "width must be positive");
+    assert!(window > 0, "window must be positive");
+    let mut nl = Netlist::new(format!("detect{nbits}w{window}"));
+    let a = nl.input_bus("a", nbits);
+    let b = nl.input_bus("b", nbits);
+    let p: Vec<NetId> = (0..nbits).map(|i| nl.xor2(a[i], b[i])).collect();
+    let err = if window > nbits {
+        nl.constant(false)
+    } else {
+        let windows = window_and_spans(&mut nl, &p, window);
+        nl.or_tree(&windows)
+    };
+    nl.output("err", err);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use vlsa_runstats::longest_one_run_words;
+    use vlsa_sim::{pack_lanes, simulate, Stimulus};
+
+    /// Drives the detector with 64 operand pairs and returns the err lanes.
+    fn run_detector(nl: &Netlist, nbits: usize, pairs: &[(Vec<u64>, Vec<u64>)]) -> u64 {
+        let a_ops: Vec<Vec<u64>> = pairs.iter().map(|(a, _)| a.clone()).collect();
+        let b_ops: Vec<Vec<u64>> = pairs.iter().map(|(_, b)| b.clone()).collect();
+        let mut stim = Stimulus::new();
+        stim.set_bus("a", &pack_lanes(&a_ops, nbits));
+        stim.set_bus("b", &pack_lanes(&b_ops, nbits));
+        simulate(nl, &stim).expect("simulate").output("err").expect("err port")
+    }
+
+    #[test]
+    fn matches_run_predicate_exhaustively() {
+        let nbits = 6;
+        for window in 1..=6 {
+            let nl = error_detector(nbits, window);
+            let mut pairs = Vec::new();
+            for a in 0u64..64 {
+                for b in 0u64..64 {
+                    pairs.push((vec![a], vec![b]));
+                }
+            }
+            for chunk in pairs.chunks(64) {
+                let err = run_detector(&nl, nbits, chunk);
+                for (lane, (a, b)) in chunk.iter().enumerate() {
+                    let p = a[0] ^ b[0];
+                    let expected =
+                        longest_one_run_words(&[p], nbits) as usize >= window;
+                    assert_eq!(
+                        (err >> lane) & 1 == 1,
+                        expected,
+                        "w={window} a={} b={}",
+                        a[0],
+                        b[0]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_run_predicate_wide_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(107);
+        for (nbits, window) in [(64usize, 7usize), (100, 9), (128, 11)] {
+            let nl = error_detector(nbits, window);
+            let nwords = nbits.div_ceil(64);
+            let rem = nbits % 64;
+            let pairs: Vec<(Vec<u64>, Vec<u64>)> = (0..64)
+                .map(|_| {
+                    let mut mk = || {
+                        let mut w: Vec<u64> = (0..nwords).map(|_| rng.gen()).collect();
+                        if rem != 0 {
+                            *w.last_mut().unwrap() &= (1u64 << rem) - 1;
+                        }
+                        w
+                    };
+                    (mk(), mk())
+                })
+                .collect();
+            let err = run_detector(&nl, nbits, &pairs);
+            for (lane, (a, b)) in pairs.iter().enumerate() {
+                let p: Vec<u64> = a.iter().zip(b).map(|(x, y)| x ^ y).collect();
+                let expected = longest_one_run_words(&p, nbits) as usize >= window;
+                assert_eq!((err >> lane) & 1 == 1, expected, "lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_window_never_fires() {
+        let nl = error_detector(4, 9);
+        let pairs = vec![(vec![0xFu64], vec![0x0u64]); 1];
+        assert_eq!(run_detector(&nl, 4, &pairs) & 1, 0);
+    }
+
+    #[test]
+    fn window_one_is_any_propagate() {
+        let nl = error_detector(8, 1);
+        let pairs = vec![
+            (vec![0u64], vec![0u64]),      // no propagates
+            (vec![0xFFu64], vec![0xFFu64]),// all generate, no propagate
+            (vec![1u64], vec![0u64]),      // one propagate
+        ];
+        let err = run_detector(&nl, 8, &pairs);
+        assert_eq!(err & 0b111, 0b100);
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let d256 = error_detector(256, 14).depth();
+        let d2048 = error_detector(2048, 18).depth();
+        assert!(d2048 <= d256 + 4, "{d256} vs {d2048}");
+    }
+
+    #[test]
+    fn uses_only_simple_gates() {
+        use vlsa_netlist::CellKind::*;
+        let nl = error_detector(64, 7);
+        for (_, node) in nl.nodes() {
+            assert!(
+                matches!(
+                    node.kind(),
+                    Input | Const0 | Const1 | Xor2 | And2 | And3 | And4 | Or2 | Or3 | Or4
+                ),
+                "unexpected {:?}",
+                node.kind()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        error_detector(8, 0);
+    }
+}

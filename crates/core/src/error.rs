@@ -1,0 +1,60 @@
+//! Error types for speculative adder construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Invalid speculative adder configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpecError {
+    /// The operand width is zero.
+    InvalidWidth {
+        /// The rejected width.
+        nbits: usize,
+    },
+    /// The carry window is zero or wider than the operands.
+    InvalidWindow {
+        /// The rejected window.
+        window: usize,
+        /// The operand width it was checked against.
+        nbits: usize,
+    },
+    /// The accuracy target is not a probability in `(0, 1]`.
+    InvalidAccuracy {
+        /// The rejected accuracy.
+        accuracy: f64,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::InvalidWidth { nbits } => {
+                write!(f, "invalid operand width {nbits}")
+            }
+            SpecError::InvalidWindow { window, nbits } => {
+                write!(f, "invalid carry window {window} for {nbits}-bit operands")
+            }
+            SpecError::InvalidAccuracy { accuracy } => {
+                write!(f, "accuracy {accuracy} is not in (0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SpecError::InvalidWidth { nbits: 0 }.to_string().contains('0'));
+        assert!(SpecError::InvalidWindow { window: 9, nbits: 8 }
+            .to_string()
+            .contains("9"));
+        assert!(SpecError::InvalidAccuracy { accuracy: 2.0 }
+            .to_string()
+            .contains("2"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Exact ACA error and false-alarm probabilities.
+//!
+//! The paper bounds the ACA's error rate by the probability of a long
+//! propagate run (the detector's firing rate). The true error rate is
+//! lower: a long run only corrupts the sum when a real carry enters it.
+//! Both probabilities are computable exactly with one Markov chain over
+//! `(trailing propagate run, latched carry)`:
+//!
+//! - at every bit position, the windowed carry differs from the true
+//!   carry iff the trailing run has reached `window` *and* the carry
+//!   latched below the run is 1;
+//! - on uniform operands each position is propagate with probability
+//!   1/2, generate with 1/4 (latching carry 1), kill with 1/4
+//!   (latching carry 0).
+
+use vlsa_runstats::prob_longest_run_gt;
+
+/// Exact probability that an `nbits`-wide ACA with the given `window`
+/// produces a **wrong sum** on uniform random operands.
+///
+/// Strictly smaller than the detection probability
+/// ([`prob_aca_detection`]): the gap is the false-alarm rate.
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_core::{prob_aca_detection, prob_aca_error};
+///
+/// let err = prob_aca_error(64, 18);
+/// let det = prob_aca_detection(64, 18);
+/// assert!(err > 0.0 && err < det);
+/// ```
+pub fn prob_aca_error(nbits: usize, window: usize) -> f64 {
+    assert!(window > 0, "window must be positive");
+    if window >= nbits {
+        return 0.0;
+    }
+    // Survival DP: probability of never visiting a "wrong carry" state.
+    // State (r, b): r = trailing propagate run capped at `window`,
+    // b = carry latched at the last non-propagate position.
+    // A sum bit is wrong when its incoming state has r >= window and
+    // b = 1; such mass is dropped from the survival distribution.
+    let w = window;
+    let mut state = vec![[0.0f64; 2]; w + 1];
+    state[0][0] = 1.0; // before bit 0: empty run, carry-in 0
+    for _ in 0..nbits {
+        // Drop the error states (they would produce a wrong sum bit
+        // here — once wrong, the addition is wrong).
+        state[w][1] = 0.0;
+        let mut next = vec![[0.0f64; 2]; w + 1];
+        for (r, probs) in state.iter().enumerate() {
+            for (b, &p) in probs.iter().enumerate() {
+                if p == 0.0 {
+                    continue;
+                }
+                // generate: run resets, carry latches 1.
+                next[0][1] += p * 0.25;
+                // kill: run resets, carry latches 0.
+                next[0][0] += p * 0.25;
+                // propagate: run extends.
+                next[(r + 1).min(w)][b] += p * 0.5;
+            }
+        }
+        state = next;
+    }
+    // Mass still alive after the last bit never produced a wrong sum
+    // bit. (A dangerous state entering "bit nbits" would only corrupt
+    // the carry-out; like `Speculation::is_correct`, this probability
+    // is defined over the n-bit sum.)
+    let survive: f64 = state.iter().flatten().sum();
+    1.0 - survive
+}
+
+/// The detector's firing probability — identical to the longest-run
+/// tail of `vlsa-runstats`, re-exported here for symmetry.
+pub fn prob_aca_detection(nbits: usize, window: usize) -> f64 {
+    assert!(window > 0, "window must be positive");
+    if window >= nbits {
+        return 0.0;
+    }
+    prob_longest_run_gt(nbits, window - 1)
+}
+
+/// Exact false-alarm probability: the detector fires but the sum is
+/// correct (the long run carried no live carry into it).
+pub fn prob_aca_false_alarm(nbits: usize, window: usize) -> f64 {
+    (prob_aca_detection(nbits, window) - prob_aca_error(nbits, window)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpeculativeAdder;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force error probability by enumerating all operand pairs.
+    fn brute_error(nbits: usize, window: usize) -> f64 {
+        let adder = SpeculativeAdder::new(nbits, window).expect("valid");
+        let mut wrong = 0u64;
+        for a in 0u64..(1 << nbits) {
+            for b in 0u64..(1 << nbits) {
+                if !adder.add_u64(a, b).is_correct() {
+                    wrong += 1;
+                }
+            }
+        }
+        wrong as f64 / (1u64 << (2 * nbits)) as f64
+    }
+
+    #[test]
+    fn matches_brute_force_exhaustively() {
+        for nbits in [4usize, 6, 8] {
+            for window in 1..nbits {
+                let exact = prob_aca_error(nbits, window);
+                let brute = brute_error(nbits, window);
+                assert!(
+                    (exact - brute).abs() < 1e-12,
+                    "n={nbits} w={window}: {exact} vs {brute}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo_at_64_bits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(307);
+        let adder = SpeculativeAdder::new(64, 8).expect("valid");
+        let trials = 200_000;
+        let wrong = (0..trials)
+            .filter(|_| !adder.add_u64(rng.gen(), rng.gen()).is_correct())
+            .count();
+        let measured = wrong as f64 / trials as f64;
+        let exact = prob_aca_error(64, 8);
+        assert!(
+            (measured - exact).abs() < 0.15 * exact + 1e-3,
+            "{measured} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn error_detection_and_false_alarm_are_consistent() {
+        for (n, w) in [(32usize, 6usize), (64, 12), (128, 15)] {
+            let err = prob_aca_error(n, w);
+            let det = prob_aca_detection(n, w);
+            let fa = prob_aca_false_alarm(n, w);
+            assert!(err > 0.0);
+            assert!(err < det, "n={n} w={w}");
+            assert!((err + fa - det).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn false_alarms_are_a_sizable_fraction() {
+        // A long all-propagate window with carry-in 0 is no rarer than
+        // one with carry-in 1, so false alarms are comparable to errors.
+        let err = prob_aca_error(64, 10);
+        let fa = prob_aca_false_alarm(64, 10);
+        assert!(fa > 0.2 * err, "err {err}, fa {fa}");
+    }
+
+    #[test]
+    fn full_window_never_errs() {
+        assert_eq!(prob_aca_error(16, 16), 0.0);
+        assert_eq!(prob_aca_detection(16, 20), 0.0);
+        assert_eq!(prob_aca_false_alarm(16, 16), 0.0);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_window() {
+        let mut prev = 1.0;
+        for w in 2..20 {
+            let e = prob_aca_error(64, w);
+            assert!(e < prev, "w={w}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_zero_window() {
+        prob_aca_error(8, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Multi-input speculative addition — the paper's §6 future-work item.
+//!
+//! Summing `m` operands through a tree of speculative adders compounds
+//! the per-addition error probability roughly `m-1` times, but each
+//! stage stays exponentially faster than an exact adder. This module
+//! provides the word-level model (with end-to-end detection) and the
+//! window sizing rule that keeps the *total* error probability at a
+//! target level.
+
+use crate::{SpecError, Speculation, SpeculativeAdder};
+use vlsa_runstats::min_bound_for_prob;
+
+/// A tree of speculative adders summing many operands.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_core::MultiOperandAdder;
+///
+/// let adder = MultiOperandAdder::for_accuracy(64, 8, 0.999)?;
+/// let r = adder.sum_u64(&[1, 2, 3, 4, 5]);
+/// assert_eq!(r.exact, 15);
+/// assert!(r.is_correct());
+/// # Ok::<(), vlsa_core::SpecError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MultiOperandAdder {
+    stage: SpeculativeAdder,
+    max_operands: usize,
+}
+
+impl MultiOperandAdder {
+    /// Wraps an explicit per-stage adder for summing up to
+    /// `max_operands` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidWidth`] if `max_operands < 2`.
+    pub fn new(stage: SpeculativeAdder, max_operands: usize) -> Result<Self, SpecError> {
+        if max_operands < 2 {
+            return Err(SpecError::InvalidWidth { nbits: max_operands });
+        }
+        Ok(MultiOperandAdder {
+            stage,
+            max_operands,
+        })
+    }
+
+    /// Sizes the per-stage window so the probability that the whole
+    /// `max_operands`-input sum is exact stays at least `accuracy`
+    /// (union bound over the `max_operands - 1` stage additions).
+    ///
+    /// # Errors
+    ///
+    /// As [`SpeculativeAdder::for_accuracy`], plus
+    /// [`SpecError::InvalidWidth`] if `max_operands < 2`.
+    pub fn for_accuracy(
+        nbits: usize,
+        max_operands: usize,
+        accuracy: f64,
+    ) -> Result<Self, SpecError> {
+        if max_operands < 2 {
+            return Err(SpecError::InvalidWidth { nbits: max_operands });
+        }
+        if nbits == 0 {
+            return Err(SpecError::InvalidWidth { nbits });
+        }
+        if !(accuracy > 0.0 && accuracy <= 1.0) {
+            return Err(SpecError::InvalidAccuracy { accuracy });
+        }
+        // Per-stage failure budget: (1 - accuracy) / (stages).
+        let stages = (max_operands - 1) as f64;
+        let per_stage = 1.0 - (1.0 - accuracy) / stages;
+        let window = (min_bound_for_prob(nbits, per_stage) + 1).min(nbits);
+        let stage = SpeculativeAdder::new(nbits, window)?;
+        Ok(MultiOperandAdder {
+            stage,
+            max_operands,
+        })
+    }
+
+    /// The per-stage speculative adder.
+    pub fn stage(&self) -> &SpeculativeAdder {
+        &self.stage
+    }
+
+    /// Maximum number of operands this adder was sized for.
+    pub fn max_operands(&self) -> usize {
+        self.max_operands
+    }
+
+    /// Sums the operands through a balanced tree of speculative
+    /// additions; `error_detected` is the OR of every stage's flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operands` is empty, exceeds `max_operands`, or the
+    /// stage adder is wider than 64 bits.
+    pub fn sum_u64(&self, operands: &[u64]) -> Speculation<u64> {
+        assert!(!operands.is_empty(), "at least one operand required");
+        assert!(
+            operands.len() <= self.max_operands,
+            "{} operands exceeds configured maximum {}",
+            operands.len(),
+            self.max_operands
+        );
+        let nbits = self.stage.nbits();
+        let mask = if nbits == 64 { u64::MAX } else { (1u64 << nbits) - 1 };
+        let mut level: Vec<u64> = operands.iter().map(|&v| v & mask).collect();
+        let mut detected = false;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for chunk in level.chunks(2) {
+                match chunk {
+                    [x, y] => {
+                        let r = self.stage.add_u64(*x, *y);
+                        detected |= r.error_detected;
+                        next.push(r.speculative);
+                    }
+                    [x] => next.push(*x),
+                    _ => unreachable!(),
+                }
+            }
+            level = next;
+        }
+        let exact = operands
+            .iter()
+            .fold(0u64, |acc, &v| acc.wrapping_add(v & mask))
+            & mask;
+        Speculation {
+            speculative: level[0],
+            exact,
+            error_detected: detected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exact_on_small_sums() {
+        let adder = MultiOperandAdder::for_accuracy(32, 8, 0.999).expect("valid");
+        let r = adder.sum_u64(&[10, 20, 30]);
+        assert_eq!(r.exact, 60);
+        assert!(r.is_correct());
+        assert!(!r.error_detected);
+    }
+
+    #[test]
+    fn detection_covers_all_errors() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(131);
+        // Deliberately small window so errors occur.
+        let stage = SpeculativeAdder::new(32, 4).expect("valid");
+        let adder = MultiOperandAdder::new(stage, 8).expect("valid");
+        let mut wrong = 0;
+        for _ in 0..5_000 {
+            let ops: Vec<u64> = (0..8).map(|_| rng.gen::<u64>() & 0xFFFF_FFFF).collect();
+            let r = adder.sum_u64(&ops);
+            if !r.is_correct() {
+                wrong += 1;
+                assert!(r.error_detected, "missed multi-operand error");
+            }
+        }
+        assert!(wrong > 0, "window 4 over 7 additions should err sometimes");
+    }
+
+    #[test]
+    fn accuracy_budget_holds_empirically() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(137);
+        let adder = MultiOperandAdder::for_accuracy(64, 16, 0.999).expect("valid");
+        let trials = 20_000;
+        let mut wrong = 0;
+        for _ in 0..trials {
+            let ops: Vec<u64> = (0..16).map(|_| rng.gen()).collect();
+            if !adder.sum_u64(&ops).is_correct() {
+                wrong += 1;
+            }
+        }
+        let rate = wrong as f64 / trials as f64;
+        assert!(rate <= 0.002, "error rate {rate} exceeds budget");
+    }
+
+    #[test]
+    fn wider_fanin_needs_wider_window() {
+        let few = MultiOperandAdder::for_accuracy(64, 2, 0.9999).expect("valid");
+        let many = MultiOperandAdder::for_accuracy(64, 64, 0.9999).expect("valid");
+        assert!(many.stage().window() > few.stage().window());
+        assert_eq!(many.max_operands(), 64);
+    }
+
+    #[test]
+    fn single_operand_is_identity() {
+        let adder = MultiOperandAdder::for_accuracy(16, 4, 0.99).expect("valid");
+        let r = adder.sum_u64(&[0x1234]);
+        assert_eq!(r.speculative, 0x1234);
+        assert!(r.is_correct());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        let stage = SpeculativeAdder::new(16, 4).expect("valid");
+        assert!(MultiOperandAdder::new(stage, 1).is_err());
+        assert!(MultiOperandAdder::for_accuracy(16, 1, 0.9).is_err());
+        assert!(MultiOperandAdder::for_accuracy(0, 4, 0.9).is_err());
+        assert!(MultiOperandAdder::for_accuracy(16, 4, 1.5).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds configured maximum")]
+    fn too_many_operands_panics() {
+        let adder = MultiOperandAdder::for_accuracy(16, 2, 0.99).expect("valid");
+        adder.sum_u64(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Razor-style timing speculation, modelled for comparison with the
+//! paper's logical speculation.
+//!
+//! The related work the paper cites (Ernst et al.'s Razor, Hegde &
+//! Shanbhag) speculates on *timing*: clock an exact adder so short it
+//! only completes carry chains of `capacity` positions, and catch the
+//! rare longer chain with a shadow latch. Functionally, a
+//! chain-truncated exact adder computes exactly the windowed sum of the
+//! ACA with `window = capacity` — the two paradigms produce the *same
+//! wrong answers*. They differ in detection:
+//!
+//! - the ACA's logic detector fires on any `window`-long propagate run
+//!   (conservative: false alarms when no live carry entered the run);
+//! - the Razor shadow latch compares against the settled value, so it
+//!   flags *exactly* the wrong sums — strictly fewer stalls for the
+//!   same speed, paid for with latch/hold-time infrastructure this
+//!   model does not cost out.
+
+use crate::{SpecError, Speculation, windowed_sum_u64};
+use vlsa_runstats::{longest_carry_chain_u64, prob_carry_chain_gt};
+
+/// An exact adder clocked to complete only carry chains of at most
+/// `capacity` positions, with Razor-style exact error detection.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_core::{SpeculativeAdder, TimingSpeculativeAdder};
+///
+/// let razor = TimingSpeculativeAdder::new(64, 18)?;
+/// let aca = SpeculativeAdder::new(64, 18)?;
+/// // Same speculative function...
+/// let (a, b) = (0x0FFF_FF00u64, 0x0000_0100u64);
+/// assert_eq!(razor.add_u64(a, b).speculative, aca.add_u64(a, b).speculative);
+/// // ...but the Razor detector never false-alarms.
+/// assert!(razor.stall_probability() < aca.detection_probability());
+/// # Ok::<(), vlsa_core::SpecError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimingSpeculativeAdder {
+    nbits: usize,
+    capacity: usize,
+}
+
+impl TimingSpeculativeAdder {
+    /// Creates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidWidth`] for zero width and
+    /// [`SpecError::InvalidWindow`] if `capacity` is zero or exceeds
+    /// the width.
+    pub fn new(nbits: usize, capacity: usize) -> Result<Self, SpecError> {
+        if nbits == 0 {
+            return Err(SpecError::InvalidWidth { nbits });
+        }
+        if capacity == 0 || capacity > nbits {
+            return Err(SpecError::InvalidWindow {
+                window: capacity,
+                nbits,
+            });
+        }
+        Ok(TimingSpeculativeAdder { nbits, capacity })
+    }
+
+    /// Operand width.
+    pub fn nbits(&self) -> usize {
+        self.nbits
+    }
+
+    /// Carry-chain capacity within one short clock.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Exact probability of a replay on uniform operands:
+    /// `P(carry chain > capacity)`. This is both the error rate and the
+    /// stall rate — the shadow latch has no false alarms. (The chain
+    /// statistic counts chains ending anywhere in the word, including
+    /// ones that only corrupt the carry-out, so it overstates the
+    /// sum-only rate by about one part in `nbits`.)
+    pub fn stall_probability(&self) -> f64 {
+        prob_carry_chain_gt(self.nbits, self.capacity)
+    }
+
+    /// Adds with the short clock; `error_detected` reflects the shadow
+    /// latch (exactly the wrong sums).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adder is wider than 64 bits.
+    pub fn add_u64(&self, a: u64, b: u64) -> Speculation<u64> {
+        assert!(self.nbits <= 64, "adder is {} bits wide", self.nbits);
+        let mask = if self.nbits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.nbits) - 1
+        };
+        let a = a & mask;
+        let b = b & mask;
+        // A truncated carry chain delivers exactly the windowed sum.
+        let speculative = windowed_sum_u64(a, b, self.nbits, self.capacity);
+        let exact = a.wrapping_add(b) & mask;
+        Speculation {
+            speculative,
+            exact,
+            error_detected: speculative != exact,
+        }
+    }
+
+    /// The longest live carry chain of an operand pair — the quantity
+    /// the short clock races against.
+    pub fn dynamic_chain(&self, a: u64, b: u64) -> u32 {
+        longest_carry_chain_u64(a, b, self.nbits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpeculativeAdder;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn same_speculative_function_as_aca() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(359);
+        for cap in [4usize, 8, 16] {
+            let razor = TimingSpeculativeAdder::new(64, cap).expect("valid");
+            let aca = SpeculativeAdder::new(64, cap).expect("valid");
+            for _ in 0..2_000 {
+                let (a, b) = (rng.gen(), rng.gen());
+                assert_eq!(
+                    razor.add_u64(a, b).speculative,
+                    aca.add_u64(a, b).speculative,
+                    "cap={cap} a={a:#x} b={b:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detection_is_exact_no_false_alarms() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(367);
+        let razor = TimingSpeculativeAdder::new(32, 5).expect("valid");
+        for _ in 0..20_000 {
+            let r = razor.add_u64(rng.gen(), rng.gen());
+            assert_eq!(r.error_detected, !r.is_correct());
+            assert!(!r.is_false_alarm());
+        }
+    }
+
+    #[test]
+    fn stall_probability_matches_measurement() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(373);
+        let razor = TimingSpeculativeAdder::new(64, 8).expect("valid");
+        let trials = 100_000;
+        let stalls = (0..trials)
+            .filter(|_| razor.add_u64(rng.gen(), rng.gen()).error_detected)
+            .count();
+        let measured = stalls as f64 / trials as f64;
+        let exact = razor.stall_probability();
+        assert!(
+            (measured - exact).abs() < 0.15 * exact + 1e-3,
+            "{measured} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn razor_stalls_less_than_aca_for_same_speed() {
+        for (n, k) in [(32usize, 8usize), (64, 12), (64, 18)] {
+            let razor = TimingSpeculativeAdder::new(n, k).expect("valid");
+            let aca = SpeculativeAdder::new(n, k).expect("valid");
+            assert!(
+                razor.stall_probability() < aca.detection_probability(),
+                "n={n} k={k}"
+            );
+            // And the error rates coincide (same wrong sums).
+            let err = aca.error_probability();
+            let diff = (razor.stall_probability() - err).abs();
+            assert!(diff < 0.35 * err + 1e-12, "n={n} k={k}: {} vs {err}", razor.stall_probability());
+        }
+    }
+
+    #[test]
+    fn dynamic_chain_agrees_with_error() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(379);
+        let razor = TimingSpeculativeAdder::new(48, 7).expect("valid");
+        for _ in 0..20_000 {
+            let (a, b) = (rng.gen::<u64>(), rng.gen::<u64>());
+            let r = razor.add_u64(a, b);
+            let chain = razor.dynamic_chain(a, b);
+            if (chain as usize) <= 7 {
+                assert!(r.is_correct(), "chain {chain} within capacity must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(TimingSpeculativeAdder::new(0, 1).is_err());
+        assert!(TimingSpeculativeAdder::new(8, 0).is_err());
+        assert!(TimingSpeculativeAdder::new(8, 9).is_err());
+        let t = TimingSpeculativeAdder::new(8, 3).expect("valid");
+        assert_eq!(t.nbits(), 8);
+        assert_eq!(t.capacity(), 3);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the speculative addition invariants.
+
+use crate::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn carry_op_associative(ops in proptest::collection::vec(any::<(bool, bool)>(), 3)) {
+        let v: Vec<CarryOp> = ops
+            .iter()
+            .map(|&(a, b)| CarryOp::from_bits(a, b))
+            .collect();
+        prop_assert_eq!(v[2].after(v[1]).after(v[0]), v[2].after(v[1].after(v[0])));
+    }
+
+    #[test]
+    fn carry_op_composition_consistent(a in any::<(bool, bool)>(), b in any::<(bool, bool)>(), c in any::<bool>()) {
+        let hi = CarryOp::from_bits(a.0, a.1);
+        let lo = CarryOp::from_bits(b.0, b.1);
+        prop_assert_eq!(hi.after(lo).apply(c), hi.apply(lo.apply(c)));
+    }
+
+    #[test]
+    fn full_window_speculation_is_exact(a in any::<u64>(), b in any::<u64>()) {
+        let adder = SpeculativeAdder::new(64, 64).expect("valid");
+        let r = adder.add_u64(a, b);
+        prop_assert!(r.is_correct());
+        prop_assert_eq!(r.exact, a.wrapping_add(b));
+    }
+
+    #[test]
+    fn detection_dominates_errors(a in any::<u64>(), b in any::<u64>(), w in 1usize..=64) {
+        // The central safety invariant: a wrong speculative sum is
+        // always flagged.
+        let adder = SpeculativeAdder::new(64, w).expect("valid");
+        let r = adder.add_u64(a, b);
+        if !r.is_correct() {
+            prop_assert!(r.error_detected, "missed error at w={w} a={a:#x} b={b:#x}");
+        }
+        if !r.error_detected {
+            prop_assert_eq!(r.speculative, r.exact);
+        }
+    }
+
+    #[test]
+    fn wider_windows_never_hurt(a in any::<u64>(), b in any::<u64>(), w in 1usize..63) {
+        // If the narrow window is correct on (a, b), so is any wider one
+        // whenever the narrow one detected nothing.
+        let narrow = SpeculativeAdder::new(64, w).expect("valid").add_u64(a, b);
+        let wide = SpeculativeAdder::new(64, w + 1).expect("valid").add_u64(a, b);
+        if !narrow.error_detected {
+            prop_assert!(!wide.error_detected);
+            prop_assert!(wide.is_correct());
+        }
+    }
+
+    #[test]
+    fn wide_and_narrow_models_agree(a in any::<u64>(), b in any::<u64>(), w in 1usize..=64) {
+        prop_assert_eq!(
+            windowed_sum_wide(&[a], &[b], 64, w),
+            vec![windowed_sum_u64(a, b, 64, w)]
+        );
+    }
+
+    #[test]
+    fn speculative_sum_differs_only_above_a_long_run(
+        a in any::<u64>(), b in any::<u64>(), w in 2usize..=64,
+    ) {
+        let adder = SpeculativeAdder::new(64, w).expect("valid");
+        let r = adder.add_u64(a, b);
+        let run = vlsa_runstats::longest_one_run_u64(a ^ b) as usize;
+        if run < w {
+            prop_assert!(r.is_correct());
+            prop_assert!(!r.error_detected);
+        }
+        prop_assert_eq!(r.error_detected, run >= w);
+    }
+
+    #[test]
+    fn multi_operand_detection_dominates(
+        ops in proptest::collection::vec(any::<u32>(), 2..8),
+        w in 3usize..16,
+    ) {
+        let stage = SpeculativeAdder::new(32, w).expect("valid");
+        let adder = MultiOperandAdder::new(stage, 8).expect("valid");
+        let wide: Vec<u64> = ops.iter().map(|&v| v as u64).collect();
+        let r = adder.sum_u64(&wide);
+        if !r.is_correct() {
+            prop_assert!(r.error_detected);
+        }
+        let exact = wide.iter().fold(0u64, |acc, &v| acc.wrapping_add(v)) & 0xFFFF_FFFF;
+        prop_assert_eq!(r.exact, exact);
+    }
+}

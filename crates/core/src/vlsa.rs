@@ -1,0 +1,299 @@
+//! The combinational Variable Latency Speculative Adder (paper §4).
+//!
+//! One netlist containing the three cooperating subcircuits:
+//!
+//! 1. the ACA producing the speculative sum (`spec[i]`),
+//! 2. the error detector (`err`), reading the ACA's shared window strip,
+//! 3. error recovery (`s[i]`, `cout`): the paper's §4.2 scheme — the
+//!    per-block `(G, P)` pairs already computed inside the ACA feed an
+//!    `n/k`-block lookahead layer that produces true block carries;
+//!    intra-block prefixes then rebuild the exact sum.
+//!
+//! The speculative (`spec`) and exact (`s`) buses are exposed side by
+//! side: in the paper's Fig. 6 the SUM register captures `spec` on a
+//! clean cycle and `s` on the recovery cycle, so the selection is
+//! sequential rather than a combinational mux. The pipelined,
+//! variable-latency organization built around this netlist lives in
+//! `vlsa-pipeline`.
+
+use crate::aca::{build_aca, AcaStyle};
+use vlsa_adders::{adder_ports, build_prefix_gp, PrefixArch};
+use vlsa_netlist::{NetId, Netlist};
+
+/// Generates the `nbits` combinational VLSA with carry window (= block
+/// size) `window`.
+///
+/// Interface: inputs `a[0..n]`, `b[0..n]`; outputs
+///
+/// - `spec[0..n]` — the speculative (ACA) sum,
+/// - `err` — the detection flag (a propagate run ≥ `window` exists),
+/// - `s[0..n]` — the exact sum from error recovery,
+/// - `cout` — the exact carry-out.
+///
+/// # Panics
+///
+/// Panics if `nbits` or `window` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_core::vlsa_adder;
+///
+/// let nl = vlsa_adder(64, 8);
+/// let names: Vec<_> = nl.primary_outputs().iter().map(|(n, _)| n.as_str()).collect();
+/// assert!(names.contains(&"spec[0]"));
+/// assert!(names.contains(&"err"));
+/// assert!(names.contains(&"s[63]"));
+/// assert!(names.contains(&"cout"));
+/// ```
+pub fn vlsa_adder(nbits: usize, window: usize) -> Netlist {
+    assert!(nbits > 0, "adder width must be positive");
+    assert!(window > 0, "window must be positive");
+    let mut nl = Netlist::new(format!("vlsa{nbits}w{window}"));
+    let (a, b) = adder_ports(&mut nl, nbits);
+    let nets = vlsa_into(&mut nl, &a, &b, window);
+
+    // --- Outputs. In the paper's Fig. 6 the SUM register captures the
+    // speculative bus on a clean cycle and the recovery bus on the
+    // extra cycle; that selection is sequential, so the combinational
+    // netlist exposes both buses plus the flag rather than muxing them
+    // (which would hang the whole output load on the `err` net).
+    nl.output_bus("spec", &nets.speculative);
+    nl.output("err", nets.err);
+    nl.output_bus("s", &nets.recovered);
+    nl.output("cout", nets.cout);
+    nl
+}
+
+/// The nets produced by an embedded VLSA datapath (see [`vlsa_into`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VlsaNets {
+    /// The speculative (ACA) sum bits.
+    pub speculative: vlsa_netlist::Bus,
+    /// The detection flag: a propagate run of `window`+ exists.
+    pub err: NetId,
+    /// The exact sum from error recovery.
+    pub recovered: vlsa_netlist::Bus,
+    /// The exact carry-out.
+    pub cout: NetId,
+}
+
+/// Builds the full VLSA datapath (ACA + detection + recovery) on
+/// existing buses inside `nl` — the embeddable form of [`vlsa_adder`],
+/// used by the sequential Fig. 6 wrapper in `vlsa-seq`.
+///
+/// # Panics
+///
+/// Panics if the buses differ in width, are empty, or `window` is zero.
+pub fn vlsa_into(
+    nl: &mut Netlist,
+    a: &vlsa_netlist::Bus,
+    b: &vlsa_netlist::Bus,
+    window: usize,
+) -> VlsaNets {
+    assert!(!a.is_empty(), "adder width must be positive");
+    assert_eq!(a.width(), b.width(), "operand width mismatch");
+    assert!(window > 0, "window must be positive");
+    let nbits = a.width();
+    let parts = build_aca(nl, a, b, window, AcaStyle::SharedStrip);
+    let k = parts.window; // clamped window = block size
+
+    // --- Error detection, reading the shared strip's window P's. -------
+    let err = if k >= nbits {
+        // Window covers the whole operand: the ACA is exact.
+        nl.constant(false)
+    } else {
+        let window_p: Vec<NetId> = ((k - 1)..nbits).map(|e| parts.win[e].1).collect();
+        nl.or_tree(&window_p)
+    };
+
+    // --- Error recovery (paper §4.2). ----------------------------------
+    // Block (G, P) pairs: full blocks reuse the ACA window spans ending
+    // on block boundaries; a trailing partial block takes a shorter span
+    // from the same strip.
+    let nblocks = nbits.div_ceil(k);
+    let mut block_g = Vec::with_capacity(nblocks);
+    let mut block_p = Vec::with_capacity(nblocks);
+    for j in 0..nblocks {
+        let lo = j * k;
+        let hi = ((j + 1) * k).min(nbits);
+        let (g, p) = if hi - lo == k {
+            parts.win[hi - 1]
+        } else {
+            parts.strip.span(nl, hi - 1, hi - lo)
+        };
+        block_g.push(g);
+        block_p.push(p);
+    }
+    // Block-level lookahead (the paper's n/k-bit CLA): a log-depth
+    // prefix over the block operators gives the true carry out of every
+    // block prefix. Kogge-Stone keeps the fanout at the lookahead layer
+    // minimal so post-buffering depth stays flat.
+    let schedule = PrefixArch::KoggeStone.schedule(nblocks);
+    let (block_prefix_g, _) = build_prefix_gp(nl, &block_g, &block_p, &schedule);
+    let cout = block_prefix_g[nblocks - 1];
+
+    // Intra-block prefixes rebuild exact carries into every bit.
+    let zero = nl.constant(false);
+    let mut exact_carries = Vec::with_capacity(nbits);
+    for j in 0..nblocks {
+        let lo = j * k;
+        let hi = ((j + 1) * k).min(nbits);
+        let c_block = if j == 0 { zero } else { block_prefix_g[j - 1] };
+        let width = hi - lo;
+        let intra = PrefixArch::KoggeStone.schedule(width);
+        let (ig, ip) =
+            build_prefix_gp(nl, &parts.pg.g[lo..hi], &parts.pg.p[lo..hi], &intra);
+        for t in 0..width {
+            let c = if t == 0 {
+                c_block
+            } else {
+                // carry into bit lo+t = G[lo..lo+t-1] + P[..]*c_block
+                nl.ao21(ip[t - 1], c_block, ig[t - 1])
+            };
+            exact_carries.push(c);
+        }
+    }
+    let recovered: vlsa_netlist::Bus = parts
+        .pg
+        .p
+        .iter()
+        .zip(&exact_carries)
+        .map(|(&p, &c)| nl.xor2(p, c))
+        .collect();
+
+    VlsaNets {
+        speculative: parts.sum,
+        err,
+        recovered,
+        cout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use vlsa_runstats::longest_one_run_words;
+    use vlsa_sim::{
+        check_adder_exhaustive, check_adder_random, pack_lanes, simulate, unpack_lanes,
+        wide_add, Stimulus,
+    };
+
+    #[test]
+    fn exact_output_is_exhaustively_correct() {
+        for (nbits, window) in [(4usize, 2usize), (6, 2), (6, 3), (7, 3), (8, 4), (5, 5)] {
+            let nl = vlsa_adder(nbits, window);
+            let report = check_adder_exhaustive(&nl, nbits).expect("simulate");
+            assert!(
+                report.is_exact(),
+                "n={nbits} w={window}: {:?}",
+                report.first_failure
+            );
+        }
+    }
+
+    #[test]
+    fn exact_output_is_correct_wide_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(109);
+        for (nbits, window) in [(64usize, 6usize), (100, 9), (128, 12), (256, 14)] {
+            let nl = vlsa_adder(nbits, window);
+            let report = check_adder_random(&nl, nbits, 192, &mut rng).expect("sim");
+            assert!(report.is_exact(), "n={nbits} w={window}");
+        }
+    }
+
+    #[test]
+    fn spec_err_and_sum_are_consistent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(113);
+        let nbits = 64;
+        let window = 6;
+        let nl = vlsa_adder(nbits, window);
+        let pairs: Vec<(u64, u64)> = (0..64).map(|_| (rng.gen(), rng.gen())).collect();
+        let a_ops: Vec<Vec<u64>> = pairs.iter().map(|&(a, _)| vec![a]).collect();
+        let b_ops: Vec<Vec<u64>> = pairs.iter().map(|&(_, b)| vec![b]).collect();
+        let mut stim = Stimulus::new();
+        stim.set_bus("a", &pack_lanes(&a_ops, nbits));
+        stim.set_bus("b", &pack_lanes(&b_ops, nbits));
+        let waves = simulate(&nl, &stim).expect("simulate");
+        let err = waves.output("err").expect("err");
+        let spec = unpack_lanes(
+            &waves.output_bus("spec", nbits).expect("spec"),
+            nbits,
+            64,
+        );
+        let s = unpack_lanes(&waves.output_bus("s", nbits).expect("s"), nbits, 64);
+        for (lane, &(a, b)) in pairs.iter().enumerate() {
+            let exact = wide_add(&[a], &[b], nbits);
+            let e = (err >> lane) & 1 == 1;
+            // Exact output is always right.
+            assert_eq!(s[lane], exact, "lane {lane}");
+            // err mirrors the propagate-run predicate.
+            let run = longest_one_run_words(&[a ^ b], nbits) as usize;
+            assert_eq!(e, run >= window, "lane {lane}");
+            // No error flag => speculative sum is already exact.
+            if !e {
+                assert_eq!(spec[lane], exact, "lane {lane}");
+            }
+            // Speculative output matches the software model.
+            assert_eq!(
+                spec[lane],
+                crate::windowed_sum_wide(&[a], &[b], nbits, window),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn cout_is_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(127);
+        let nbits = 32;
+        let nl = vlsa_adder(nbits, 5);
+        let pairs: Vec<(u64, u64)> = (0..64)
+            .map(|_| (rng.gen::<u64>() & 0xFFFF_FFFF, rng.gen::<u64>() & 0xFFFF_FFFF))
+            .collect();
+        let a_ops: Vec<Vec<u64>> = pairs.iter().map(|&(a, _)| vec![a]).collect();
+        let b_ops: Vec<Vec<u64>> = pairs.iter().map(|&(_, b)| vec![b]).collect();
+        let mut stim = Stimulus::new();
+        stim.set_bus("a", &pack_lanes(&a_ops, nbits));
+        stim.set_bus("b", &pack_lanes(&b_ops, nbits));
+        let waves = simulate(&nl, &stim).expect("simulate");
+        let cout = waves.output("cout").expect("cout");
+        for (lane, &(a, b)) in pairs.iter().enumerate() {
+            let expected = (a + b) >> nbits & 1 == 1;
+            assert_eq!((cout >> lane) & 1 == 1, expected, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn window_covering_width_means_no_error_ever() {
+        let nl = vlsa_adder(6, 6);
+        let mut pairs = Vec::new();
+        for a in 0u64..64 {
+            for b in 0u64..64 {
+                pairs.push((vec![a], vec![b]));
+            }
+        }
+        for chunk in pairs.chunks(64) {
+            let a_ops: Vec<Vec<u64>> = chunk.iter().map(|(a, _)| a.clone()).collect();
+            let b_ops: Vec<Vec<u64>> = chunk.iter().map(|(_, b)| b.clone()).collect();
+            let mut stim = Stimulus::new();
+            stim.set_bus("a", &pack_lanes(&a_ops, 6));
+            stim.set_bus("b", &pack_lanes(&b_ops, 6));
+            let waves = simulate(&nl, &stim).expect("simulate");
+            assert_eq!(waves.output("err").expect("err"), 0);
+        }
+    }
+
+    #[test]
+    fn validates_structurally() {
+        let nl = vlsa_adder(128, 11);
+        assert!(nl.validate(false).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        vlsa_adder(8, 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The pluggable 32-bit adder the toy cipher's datapath is built on.
+//!
+//! The paper's motivating application swaps the ALU adder inside a
+//! decryption kernel for an Almost Correct Adder. This trait is that
+//! swap point: the cipher is generic over it, and implementations count
+//! how many additions were performed and how many speculated wrong.
+
+use vlsa_core::{SpecError, SpeculativeAdder};
+
+/// A 32-bit two's-complement adder with bookkeeping.
+pub trait Adder32 {
+    /// Adds two words modulo `2^32` (possibly approximately).
+    fn add(&mut self, a: u32, b: u32) -> u32;
+
+    /// Subtracts modulo `2^32` by adding the two's complement (the
+    /// negation itself is not routed through the speculative datapath).
+    fn sub(&mut self, a: u32, b: u32) -> u32 {
+        self.add(a, b.wrapping_neg())
+    }
+
+    /// Number of additions performed so far.
+    fn additions(&self) -> u64;
+
+    /// Number of additions whose result differed from the exact sum.
+    fn errors(&self) -> u64;
+}
+
+/// An exact adder (the reliable baseline).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExactAdder32 {
+    additions: u64,
+}
+
+impl ExactAdder32 {
+    /// Creates the adder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Adder32 for ExactAdder32 {
+    fn add(&mut self, a: u32, b: u32) -> u32 {
+        self.additions += 1;
+        a.wrapping_add(b)
+    }
+
+    fn additions(&self) -> u64 {
+        self.additions
+    }
+
+    fn errors(&self) -> u64 {
+        0
+    }
+}
+
+/// A 32-bit Almost Correct Adder (the paper's fast unreliable adder).
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_crypto::{Adder32, AcaAdder32};
+///
+/// let mut adder = AcaAdder32::for_accuracy(0.999)?;
+/// let s = adder.add(700_000, 42);
+/// assert_eq!(s, 700_042);
+/// assert_eq!(adder.additions(), 1);
+/// # Ok::<(), vlsa_core::SpecError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AcaAdder32 {
+    inner: SpeculativeAdder,
+    additions: u64,
+    errors: u64,
+}
+
+impl AcaAdder32 {
+    /// Wraps an explicit 32-bit speculative adder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidWindow`] if `window` is invalid for
+    /// 32-bit operands.
+    pub fn new(window: usize) -> Result<Self, SpecError> {
+        Ok(AcaAdder32 {
+            inner: SpeculativeAdder::new(32, window)?,
+            additions: 0,
+            errors: 0,
+        })
+    }
+
+    /// Sizes the window for a per-addition accuracy target.
+    ///
+    /// # Errors
+    ///
+    /// As [`SpeculativeAdder::for_accuracy`].
+    pub fn for_accuracy(accuracy: f64) -> Result<Self, SpecError> {
+        Ok(AcaAdder32 {
+            inner: SpeculativeAdder::for_accuracy(32, accuracy)?,
+            additions: 0,
+            errors: 0,
+        })
+    }
+
+    /// The wrapped speculative adder.
+    pub fn speculative(&self) -> &SpeculativeAdder {
+        &self.inner
+    }
+}
+
+impl Adder32 for AcaAdder32 {
+    fn add(&mut self, a: u32, b: u32) -> u32 {
+        self.additions += 1;
+        let r = self.inner.add_u64(a as u64, b as u64);
+        if !r.is_correct() {
+            self.errors += 1;
+        }
+        r.speculative as u32
+    }
+
+    fn additions(&self) -> u64 {
+        self.additions
+    }
+
+    fn errors(&self) -> u64 {
+        self.errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exact_adder_is_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(157);
+        let mut adder = ExactAdder32::new();
+        for _ in 0..100 {
+            let a: u32 = rng.gen();
+            let b: u32 = rng.gen();
+            assert_eq!(adder.add(a, b), a.wrapping_add(b));
+            assert_eq!(adder.sub(a, b), a.wrapping_sub(b));
+        }
+        assert_eq!(adder.additions(), 200);
+        assert_eq!(adder.errors(), 0);
+    }
+
+    #[test]
+    fn aca_with_full_window_is_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(163);
+        let mut adder = AcaAdder32::new(32).expect("valid");
+        for _ in 0..100 {
+            let a: u32 = rng.gen();
+            let b: u32 = rng.gen();
+            assert_eq!(adder.add(a, b), a.wrapping_add(b));
+        }
+        assert_eq!(adder.errors(), 0);
+    }
+
+    #[test]
+    fn aca_counts_its_errors() {
+        let mut adder = AcaAdder32::new(3).expect("valid");
+        // Full-width carry defeats a window of 3.
+        let wrong = adder.add(0x7FFF_FFFF, 1);
+        assert_ne!(wrong, 0x8000_0000);
+        assert_eq!(adder.errors(), 1);
+        assert_eq!(adder.additions(), 1);
+    }
+
+    #[test]
+    fn error_rate_small_at_design_accuracy() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(167);
+        let mut adder = AcaAdder32::for_accuracy(0.999).expect("valid");
+        for _ in 0..20_000 {
+            adder.add(rng.gen(), rng.gen());
+        }
+        let rate = adder.errors() as f64 / adder.additions() as f64;
+        assert!(rate < 0.001, "rate {rate}");
+        assert!(adder.speculative().window() < 32);
+    }
+
+    #[test]
+    fn subtraction_via_complement() {
+        let mut adder = AcaAdder32::new(32).expect("valid");
+        assert_eq!(adder.sub(10, 3), 7);
+        assert_eq!(adder.sub(3, 10), 3u32.wrapping_sub(10));
+    }
+}

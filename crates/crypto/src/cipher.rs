@@ -1,0 +1,209 @@
+//! A TEA-style ARX block cipher whose additions route through a
+//! pluggable [`Adder32`].
+//!
+//! 64-bit blocks, 128-bit keys, a Feistel-like structure built from
+//! additions, shifts and XORs. Not cryptographically serious — it exists
+//! so the ciphertext-only attack exercises exactly the code path the
+//! paper describes: a decryption kernel dominated by integer additions
+//! that may silently be approximate.
+
+use crate::Adder32;
+
+/// Golden-ratio round constant (as in TEA).
+const DELTA: u32 = 0x9E37_79B9;
+
+/// The toy ARX cipher.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_crypto::{ArxCipher, ExactAdder32};
+///
+/// let cipher = ArxCipher::new([1, 2, 3, 4], 16);
+/// let mut adder = ExactAdder32::new();
+/// let ct = cipher.encrypt_block(0x0123_4567_89AB_CDEF, &mut adder);
+/// let pt = cipher.decrypt_block(ct, &mut adder);
+/// assert_eq!(pt, 0x0123_4567_89AB_CDEF);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ArxCipher {
+    key: [u32; 4],
+    rounds: u32,
+}
+
+impl ArxCipher {
+    /// Creates a cipher with a 128-bit key and the given round count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    pub fn new(key: [u32; 4], rounds: u32) -> Self {
+        assert!(rounds > 0, "at least one round required");
+        ArxCipher { key, rounds }
+    }
+
+    /// The key schedule words.
+    pub fn key(&self) -> [u32; 4] {
+        self.key
+    }
+
+    /// Number of rounds.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn round_fn<A: Adder32 + ?Sized>(
+        &self,
+        v: u32,
+        sum: u32,
+        k0: u32,
+        k1: u32,
+        adder: &mut A,
+    ) -> u32 {
+        // ((v << 4) + k0) ^ (v + sum) ^ ((v >> 5) + k1)
+        let t0 = adder.add(v << 4, k0);
+        let t1 = adder.add(v, sum);
+        let t2 = adder.add(v >> 5, k1);
+        t0 ^ t1 ^ t2
+    }
+
+    /// Encrypts one 64-bit block through `adder`.
+    pub fn encrypt_block<A: Adder32 + ?Sized>(&self, block: u64, adder: &mut A) -> u64 {
+        let [k0, k1, k2, k3] = self.key;
+        let mut v0 = block as u32;
+        let mut v1 = (block >> 32) as u32;
+        let mut sum = 0u32;
+        for _ in 0..self.rounds {
+            sum = adder.add(sum, DELTA);
+            let f0 = self.round_fn(v1, sum, k0, k1, adder);
+            v0 = adder.add(v0, f0);
+            let f1 = self.round_fn(v0, sum, k2, k3, adder);
+            v1 = adder.add(v1, f1);
+        }
+        (v1 as u64) << 32 | v0 as u64
+    }
+
+    /// Decrypts one 64-bit block through `adder`.
+    pub fn decrypt_block<A: Adder32 + ?Sized>(&self, block: u64, adder: &mut A) -> u64 {
+        let [k0, k1, k2, k3] = self.key;
+        let mut v0 = block as u32;
+        let mut v1 = (block >> 32) as u32;
+        // sum after `rounds` exact increments; the schedule is public so
+        // it is not routed through the speculative datapath.
+        let mut sum = DELTA.wrapping_mul(self.rounds);
+        for _ in 0..self.rounds {
+            let f1 = self.round_fn(v0, sum, k2, k3, adder);
+            v1 = adder.sub(v1, f1);
+            let f0 = self.round_fn(v1, sum, k0, k1, adder);
+            v0 = adder.sub(v0, f0);
+            sum = sum.wrapping_sub(DELTA);
+        }
+        (v1 as u64) << 32 | v0 as u64
+    }
+
+    /// Encrypts a byte slice in ECB fashion (the paper's "fixed-size
+    /// blocks encrypted individually"), zero-padding the tail.
+    pub fn encrypt_bytes<A: Adder32 + ?Sized>(&self, data: &[u8], adder: &mut A) -> Vec<u64> {
+        data.chunks(8)
+            .map(|chunk| {
+                let mut b = [0u8; 8];
+                b[..chunk.len()].copy_from_slice(chunk);
+                self.encrypt_block(u64::from_le_bytes(b), adder)
+            })
+            .collect()
+    }
+
+    /// Decrypts blocks back to bytes.
+    pub fn decrypt_bytes<A: Adder32 + ?Sized>(
+        &self,
+        blocks: &[u64],
+        adder: &mut A,
+    ) -> Vec<u8> {
+        let mut out = Vec::with_capacity(blocks.len() * 8);
+        for &blk in blocks {
+            out.extend_from_slice(&self.decrypt_block(blk, adder).to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AcaAdder32, ExactAdder32};
+    use rand::{Rng, SeedableRng};
+
+    const KEY: [u32; 4] = [0xDEAD_BEEF, 0x0123_4567, 0x89AB_CDEF, 0x5555_AAAA];
+
+    #[test]
+    fn round_trips_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(173);
+        let cipher = ArxCipher::new(KEY, 16);
+        let mut adder = ExactAdder32::new();
+        for _ in 0..200 {
+            let pt: u64 = rng.gen();
+            let ct = cipher.encrypt_block(pt, &mut adder);
+            assert_ne!(ct, pt);
+            assert_eq!(cipher.decrypt_block(ct, &mut adder), pt);
+        }
+    }
+
+    #[test]
+    fn byte_interface_round_trips() {
+        let cipher = ArxCipher::new(KEY, 12);
+        let mut adder = ExactAdder32::new();
+        let msg = b"attack at dawn! bring the big ladder.";
+        let ct = cipher.encrypt_bytes(msg, &mut adder);
+        let pt = cipher.decrypt_bytes(&ct, &mut adder);
+        assert_eq!(&pt[..msg.len()], msg);
+        // Padding zeros beyond the message.
+        assert!(pt[msg.len()..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn wrong_key_scrambles() {
+        let cipher = ArxCipher::new(KEY, 16);
+        let wrong = ArxCipher::new([1, 2, 3, 4], 16);
+        let mut adder = ExactAdder32::new();
+        let pt = 0x1122_3344_5566_7788u64;
+        let ct = cipher.encrypt_block(pt, &mut adder);
+        assert_ne!(wrong.decrypt_block(ct, &mut adder), pt);
+    }
+
+    #[test]
+    fn diffusion_is_nontrivial() {
+        let cipher = ArxCipher::new(KEY, 16);
+        let mut adder = ExactAdder32::new();
+        let base = cipher.encrypt_block(0, &mut adder);
+        let flipped = cipher.encrypt_block(1, &mut adder);
+        let diff = (base ^ flipped).count_ones();
+        assert!(diff > 16, "only {diff} bits differ");
+    }
+
+    #[test]
+    fn speculative_decryption_mostly_correct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(179);
+        let cipher = ArxCipher::new(KEY, 16);
+        let mut exact = ExactAdder32::new();
+        let mut aca = AcaAdder32::for_accuracy(0.9999).expect("valid");
+        let mut wrong_blocks = 0;
+        let total = 2_000;
+        for _ in 0..total {
+            let pt: u64 = rng.gen();
+            let ct = cipher.encrypt_block(pt, &mut exact);
+            if cipher.decrypt_block(ct, &mut aca) != pt {
+                wrong_blocks += 1;
+            }
+        }
+        // ~100 additions per block at 1e-4 per-add error: a few percent
+        // of blocks at most.
+        assert!(wrong_blocks < total / 10, "{wrong_blocks} of {total} wrong");
+        assert!(aca.errors() > 0 || wrong_blocks == 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        ArxCipher::new(KEY, 0);
+    }
+}

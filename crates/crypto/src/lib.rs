@@ -1,0 +1,44 @@
+//! The paper's motivating application: a ciphertext-only
+//! frequency-analysis attack whose decryption kernel runs on an
+//! Almost Correct Adder.
+//!
+//! §1 of the DATE 2008 paper argues that attacks which aggregate a
+//! statistic over many independently decrypted blocks tolerate a rare
+//! mis-decryption, so the ALU adder in the hot loop may be speculative.
+//! This crate builds that scenario end to end:
+//!
+//! - [`Adder32`] / [`ExactAdder32`] / [`AcaAdder32`]: the pluggable
+//!   adder datapath with error accounting,
+//! - [`ArxCipher`]: a TEA-style ARX block cipher generic over the adder,
+//! - [`EnglishScorer`]: letter-frequency scoring of candidate plaintext,
+//! - [`run_attack`]: the key search itself, plus [`candidate_keys`] and
+//!   a built-in [`SAMPLE_CORPUS`].
+//!
+//! # Examples
+//!
+//! ```
+//! use vlsa_crypto::{
+//!     candidate_keys, run_attack, AcaAdder32, ArxCipher, ExactAdder32, SAMPLE_CORPUS,
+//! };
+//!
+//! let key = [7, 11, 13, 17];
+//! let cipher = ArxCipher::new(key, 12);
+//! let mut enc = ExactAdder32::new();
+//! let ct = cipher.encrypt_bytes(SAMPLE_CORPUS.as_bytes(), &mut enc);
+//!
+//! // Attack with a speculative adder in the decryption kernel.
+//! let mut aca = AcaAdder32::for_accuracy(0.9999)?;
+//! let outcome = run_attack(&ct, &candidate_keys(key, 4), 12, &mut aca);
+//! assert_eq!(outcome.best_key(), key);
+//! # Ok::<(), vlsa_core::SpecError>(())
+//! ```
+
+mod adder32;
+mod attack;
+mod cipher;
+mod freq;
+
+pub use adder32::{AcaAdder32, Adder32, ExactAdder32};
+pub use attack::{candidate_keys, run_attack, AttackOutcome, KeyScore, SAMPLE_CORPUS};
+pub use cipher::ArxCipher;
+pub use freq::{EnglishScorer, ENGLISH_LETTER_FREQ};

@@ -1,0 +1,34 @@
+//! HDL emission for VLSA netlists.
+//!
+//! The paper's flow generated VHDL from a C++ circuit generator and
+//! synthesized it with a commercial tool. This crate is that last mile:
+//! any [`vlsa_netlist::Netlist`] — baseline adders, the ACA, detectors,
+//! the full VLSA — can be written out as structural VHDL
+//! ([`to_vhdl`]) or Verilog ([`to_verilog`]) for use in an external
+//! synthesis or simulation flow.
+//!
+//! Bit ports following the workspace convention `name[i]` are collapsed
+//! into HDL vector ports; all other identifiers are legalized.
+//!
+//! # Examples
+//!
+//! ```
+//! use vlsa_core::almost_correct_adder;
+//! use vlsa_hdl::{to_verilog, to_vhdl};
+//!
+//! let aca = almost_correct_adder(16, 5);
+//! let verilog = to_verilog(&aca);
+//! assert!(verilog.contains("input [15:0] a;"));
+//! let vhdl = to_vhdl(&aca);
+//! assert!(vhdl.contains("a : in std_logic_vector(15 downto 0)"));
+//! ```
+
+mod ports;
+mod testbench;
+mod verilog;
+mod vhdl;
+
+pub use ports::{group_ports, legalize, Port};
+pub use testbench::verilog_testbench;
+pub use verilog::to_verilog;
+pub use vhdl::to_vhdl;

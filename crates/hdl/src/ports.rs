@@ -1,0 +1,165 @@
+//! Port analysis shared by the HDL emitters: grouping `name[i]` bit
+//! ports into HDL vector ports and legalizing identifiers.
+
+use std::collections::BTreeMap;
+use vlsa_netlist::NetId;
+
+/// A port in the emitted HDL interface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Port {
+    /// A single-bit port.
+    Scalar {
+        /// Legalized port name.
+        name: String,
+        /// The net carrying the bit.
+        net: NetId,
+    },
+    /// A multi-bit vector port, LSB first.
+    Vector {
+        /// Legalized base name.
+        name: String,
+        /// The nets for bits `0..width`.
+        nets: Vec<NetId>,
+    },
+}
+
+impl Port {
+    /// The port's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Port::Scalar { name, .. } | Port::Vector { name, .. } => name,
+        }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        match self {
+            Port::Scalar { .. } => 1,
+            Port::Vector { nets, .. } => nets.len(),
+        }
+    }
+}
+
+/// Replaces characters illegal in HDL identifiers and guards leading
+/// digits.
+pub fn legalize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, 'p');
+    }
+    out
+}
+
+/// Splits `name[idx]` into its base and index, if it has that shape.
+fn split_indexed(name: &str) -> Option<(&str, usize)> {
+    let open = name.find('[')?;
+    let close = name.strip_suffix(']')?;
+    let idx: usize = close[open + 1..].parse().ok()?;
+    Some((&name[..open], idx))
+}
+
+/// Groups a flat `(name, net)` port list into scalar and vector ports.
+///
+/// Bits named `base[i]` with a contiguous index range `0..w` become one
+/// vector; anything else stays scalar (with its brackets legalized).
+pub fn group_ports(flat: &[(String, NetId)]) -> Vec<Port> {
+    let mut vectors: BTreeMap<&str, BTreeMap<usize, NetId>> = BTreeMap::new();
+    let mut order: Vec<&str> = Vec::new();
+    let mut scalars: Vec<Port> = Vec::new();
+    for (name, net) in flat {
+        match split_indexed(name) {
+            Some((base, idx)) => {
+                if !vectors.contains_key(base) {
+                    order.push(base);
+                }
+                vectors.entry(base).or_default().insert(idx, *net);
+            }
+            None => scalars.push(Port::Scalar {
+                name: legalize(name),
+                net: *net,
+            }),
+        }
+    }
+    let mut out: Vec<Port> = Vec::new();
+    for base in order {
+        let bits = &vectors[base];
+        let contiguous = !bits.is_empty() && bits.keys().copied().eq(0..bits.len());
+        if contiguous {
+            out.push(Port::Vector {
+                name: legalize(base),
+                nets: bits.values().copied().collect(),
+            });
+        } else {
+            // Sparse indices: fall back to scalars bit by bit.
+            for (idx, net) in bits {
+                out.push(Port::Scalar {
+                    name: format!("{}_{idx}", legalize(base)),
+                    net: *net,
+                });
+            }
+        }
+    }
+    out.extend(scalars);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsa_netlist::Netlist;
+
+    #[test]
+    fn legalize_rules() {
+        assert_eq!(legalize("a[0]"), "a_0_");
+        assert_eq!(legalize("9lives"), "p9lives");
+        assert_eq!(legalize("ok_name"), "ok_name");
+        assert_eq!(legalize(""), "p");
+    }
+
+    #[test]
+    fn groups_contiguous_bus() {
+        let mut nl = Netlist::new("t");
+        let bus = nl.input_bus("a", 3);
+        let cin = nl.input("cin");
+        let ports = group_ports(nl.primary_inputs());
+        assert_eq!(ports.len(), 2);
+        match &ports[0] {
+            Port::Vector { name, nets } => {
+                assert_eq!(name, "a");
+                assert_eq!(nets.len(), 3);
+                assert_eq!(nets[2], bus[2]);
+            }
+            other => panic!("expected vector, got {other:?}"),
+        }
+        assert_eq!(ports[1], Port::Scalar { name: "cin".into(), net: cin });
+        assert_eq!(ports[0].width(), 3);
+        assert_eq!(ports[1].width(), 1);
+        assert_eq!(ports[0].name(), "a");
+    }
+
+    #[test]
+    fn sparse_indices_fall_back_to_scalars() {
+        let mut nl = Netlist::new("t");
+        let x = nl.input("x[0]");
+        let y = nl.input("x[2]");
+        let ports = group_ports(nl.primary_inputs());
+        assert_eq!(
+            ports,
+            vec![
+                Port::Scalar { name: "x_0".into(), net: x },
+                Port::Scalar { name: "x_2".into(), net: y },
+            ]
+        );
+    }
+
+    #[test]
+    fn non_numeric_brackets_stay_scalar() {
+        let mut nl = Netlist::new("t");
+        let x = nl.input("x[y]");
+        let ports = group_ports(nl.primary_inputs());
+        assert_eq!(ports, vec![Port::Scalar { name: "x_y_".into(), net: x }]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Carry-save reduction: compressing a matrix of weighted bits down to
+//! two addends with full/half adders (the Wallace-tree core).
+
+use vlsa_netlist::{Bus, NetId, Netlist};
+
+/// A bit matrix organized by weight: `columns[j]` holds all nets of
+/// weight `2^j` that still need summing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitMatrix {
+    columns: Vec<Vec<NetId>>,
+}
+
+impl BitMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        BitMatrix::default()
+    }
+
+    /// Adds one bit of weight `2^column`.
+    pub fn push(&mut self, column: usize, net: NetId) {
+        if self.columns.len() <= column {
+            self.columns.resize(column + 1, Vec::new());
+        }
+        self.columns[column].push(net);
+    }
+
+    /// Number of weight columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Height of the tallest column.
+    pub fn max_height(&self) -> usize {
+        self.columns.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The nets in one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column >= self.width()`.
+    pub fn column(&self, column: usize) -> &[NetId] {
+        &self.columns[column]
+    }
+
+    /// Reduces the matrix with 3:2 (full-adder) and 2:2 (half-adder)
+    /// compressors until every column holds at most two bits, then
+    /// returns the two addends as equal-width buses (zero-padded).
+    ///
+    /// Each reduction pass rewrites every column in parallel, so the
+    /// tree depth is `O(log height)` full-adder stages — the classic
+    /// Wallace shape.
+    pub fn reduce_to_two(mut self, nl: &mut Netlist) -> (Bus, Bus) {
+        while self.max_height() > 2 {
+            let mut next = BitMatrix::new();
+            // Make the final width stable even if a top column empties.
+            if self.width() > 0 {
+                next.columns.resize(self.width(), Vec::new());
+            }
+            for (j, col) in self.columns.iter().enumerate() {
+                let mut chunks = col.chunks(3);
+                for chunk in &mut chunks {
+                    match *chunk {
+                        [x, y, z] => {
+                            // Full adder: sum stays, carry moves up.
+                            let xy = nl.xor2(x, y);
+                            let sum = nl.xor2(xy, z);
+                            let carry = nl.maj3(x, y, z);
+                            next.push(j, sum);
+                            next.push(j + 1, carry);
+                        }
+                        [x, y] => {
+                            // Half adder.
+                            let sum = nl.xor2(x, y);
+                            let carry = nl.and2(x, y);
+                            next.push(j, sum);
+                            next.push(j + 1, carry);
+                        }
+                        [x] => next.push(j, x),
+                        _ => unreachable!("chunks(3)"),
+                    }
+                }
+            }
+            self = next;
+        }
+        // Assemble the two addends, padding with constant zeros.
+        let width = self.width().max(1);
+        let zero = nl.constant(false);
+        let mut x = Bus::new();
+        let mut y = Bus::new();
+        for j in 0..width {
+            let col = self.columns.get(j).map(Vec::as_slice).unwrap_or(&[]);
+            x.push(col.first().copied().unwrap_or(zero));
+            y.push(col.get(1).copied().unwrap_or(zero));
+        }
+        (x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsa_sim::{simulate, Stimulus};
+
+    /// Sums lane values of a bus under a simulation, per lane 0 only.
+    fn bus_value(waves: &vlsa_sim::Waves<'_>, bus: &Bus) -> u64 {
+        bus.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, net)| acc | ((waves.net(net) & 1) << i))
+    }
+
+    #[test]
+    fn reduces_unary_counter() {
+        // 7 bits of weight 1 must sum to the popcount.
+        for popcount in 0..=7u32 {
+            let mut nl = Netlist::new("count");
+            let mut m = BitMatrix::new();
+            let mut stim = Stimulus::new();
+            for i in 0..7 {
+                let input = nl.input(format!("i{i}"));
+                m.push(0, input);
+                stim.set(format!("i{i}"), if i < popcount { 1 } else { 0 });
+            }
+            let (x, y) = m.reduce_to_two(&mut nl);
+            assert_eq!(x.width(), y.width());
+            let waves = simulate(&nl, &stim).expect("simulate");
+            let total = bus_value(&waves, &x) + bus_value(&waves, &y);
+            assert_eq!(total, popcount as u64, "popcount {popcount}");
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic_in_height() {
+        // 32 bits in one column: ~log_{3/2}(32/2) ≈ 7 FA stages, each 2
+        // XOR deep.
+        let mut nl = Netlist::new("deep");
+        let mut m = BitMatrix::new();
+        for i in 0..32 {
+            let input = nl.input(format!("i{i}"));
+            m.push(0, input);
+        }
+        let (x, y) = m.reduce_to_two(&mut nl);
+        let out = nl.xor2(x[0], y[0]);
+        nl.output("o", out);
+        assert!(nl.depth() <= 18, "depth {}", nl.depth());
+    }
+
+    #[test]
+    fn bookkeeping() {
+        let mut nl = Netlist::new("bk");
+        let a = nl.input("a");
+        let mut m = BitMatrix::new();
+        assert_eq!(m.max_height(), 0);
+        m.push(3, a);
+        assert_eq!(m.width(), 4);
+        assert_eq!(m.max_height(), 1);
+        assert_eq!(m.column(3), &[a]);
+        assert!(m.column(0).is_empty());
+    }
+
+    #[test]
+    fn empty_matrix_reduces_to_zero_buses() {
+        let mut nl = Netlist::new("e");
+        let (x, y) = BitMatrix::new().reduce_to_two(&mut nl);
+        assert_eq!(x.width(), 1);
+        assert_eq!(y.width(), 1);
+    }
+}

@@ -1,0 +1,283 @@
+//! Multiplier netlist generators: partial products, Wallace reduction,
+//! and a pluggable final adder — exact or speculative.
+
+use crate::BitMatrix;
+use std::fmt;
+use vlsa_adders::{build_prefix_gp, pg_signals, sum_from_carries, PrefixArch};
+use vlsa_core::aca_into;
+use vlsa_netlist::{Bus, NetId, Netlist};
+
+/// The carry-propagate adder closing the multiplier's carry-save form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FinalAdder {
+    /// An exact parallel-prefix adder.
+    Exact(PrefixArch),
+    /// An Almost Correct Adder with the given carry window — the
+    /// paper's §6 "almost correct multiplier".
+    Speculative {
+        /// Carry window of the final ACA.
+        window: usize,
+    },
+}
+
+impl fmt::Display for FinalAdder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FinalAdder::Exact(arch) => write!(f, "exact/{arch}"),
+            FinalAdder::Speculative { window } => write!(f, "aca/w{window}"),
+        }
+    }
+}
+
+/// Emits the AND-matrix of partial products for `a × b` into a
+/// weight-indexed bit matrix.
+pub fn partial_products(nl: &mut Netlist, a: &Bus, b: &Bus) -> BitMatrix {
+    let mut m = BitMatrix::new();
+    for i in 0..a.width() {
+        for j in 0..b.width() {
+            let pp = nl.and2(a[i], b[j]);
+            m.push(i + j, pp);
+        }
+    }
+    m
+}
+
+/// Adds two equal-width buses exactly with a prefix adder, in place.
+fn exact_sum_into(nl: &mut Netlist, x: &Bus, y: &Bus, arch: PrefixArch) -> Bus {
+    let pg = pg_signals(nl, x, y);
+    let n = x.width();
+    let schedule = arch.schedule(n);
+    let (g, _) = build_prefix_gp(nl, &pg.g, &pg.p, &schedule);
+    let zero = nl.constant(false);
+    let carries: Vec<NetId> = std::iter::once(zero)
+        .chain(g.iter().copied().take(n - 1))
+        .collect();
+    sum_from_carries(nl, &pg.p, &carries)
+}
+
+/// Generates an `nbits × nbits` Wallace-tree multiplier with the given
+/// final adder. Interface: inputs `a[0..n]`, `b[0..n]`, output
+/// `p[0..2n]`.
+///
+/// With [`FinalAdder::Speculative`] the product is wrong exactly when
+/// the final carry-save addends contain a propagate run of `window` or
+/// more — the multiplier analogue of the paper's ACA.
+///
+/// # Panics
+///
+/// Panics if `nbits` is zero, or a speculative window is zero.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_adders::PrefixArch;
+/// use vlsa_multiplier::{wallace_multiplier, FinalAdder};
+///
+/// let exact = wallace_multiplier(16, FinalAdder::Exact(PrefixArch::KoggeStone));
+/// let spec = wallace_multiplier(16, FinalAdder::Speculative { window: 8 });
+/// assert!(spec.depth() <= exact.depth());
+/// ```
+pub fn wallace_multiplier(nbits: usize, final_adder: FinalAdder) -> Netlist {
+    assert!(nbits > 0, "multiplier width must be positive");
+    let name = match final_adder {
+        FinalAdder::Exact(arch) => format!("mul{nbits}_{}", arch.name().replace('-', "_")),
+        FinalAdder::Speculative { window } => format!("mul{nbits}_aca_w{window}"),
+    };
+    let mut nl = Netlist::new(name);
+    let a = nl.input_bus("a", nbits);
+    let b = nl.input_bus("b", nbits);
+    let matrix = partial_products(&mut nl, &a, &b);
+    let (mut x, mut y) = matrix.reduce_to_two(&mut nl);
+    // Pad to the full product width.
+    let zero = nl.constant(false);
+    while x.width() < 2 * nbits {
+        x.push(zero);
+        y.push(zero);
+    }
+    let product = match final_adder {
+        FinalAdder::Exact(arch) => exact_sum_into(&mut nl, &x, &y, arch),
+        FinalAdder::Speculative { window } => aca_into(&mut nl, &x, &y, window).0,
+    };
+    nl.output_bus("p", &product);
+    nl
+}
+
+/// Generates the carry-save front half only: inputs `a`, `b`, outputs
+/// the two final addends `x[0..2n]`, `y[0..2n]`. Used to analyze the
+/// statistics the speculative final adder actually sees.
+pub fn wallace_csa(nbits: usize) -> Netlist {
+    assert!(nbits > 0, "multiplier width must be positive");
+    let mut nl = Netlist::new(format!("mulcsa{nbits}"));
+    let a = nl.input_bus("a", nbits);
+    let b = nl.input_bus("b", nbits);
+    let matrix = partial_products(&mut nl, &a, &b);
+    let (mut x, mut y) = matrix.reduce_to_two(&mut nl);
+    let zero = nl.constant(false);
+    while x.width() < 2 * nbits {
+        x.push(zero);
+        y.push(zero);
+    }
+    nl.output_bus("x", &x);
+    nl.output_bus("y", &y);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use vlsa_sim::{pack_lanes, simulate, unpack_lanes, Stimulus};
+
+    /// Gate-level products for up to 64 operand pairs.
+    pub(crate) fn run_multiplier(
+        nl: &Netlist,
+        nbits: usize,
+        pairs: &[(u64, u64)],
+    ) -> Vec<Vec<u64>> {
+        let a_ops: Vec<Vec<u64>> = pairs.iter().map(|&(a, _)| vec![a]).collect();
+        let b_ops: Vec<Vec<u64>> = pairs.iter().map(|&(_, b)| vec![b]).collect();
+        let mut stim = Stimulus::new();
+        stim.set_bus("a", &pack_lanes(&a_ops, nbits));
+        stim.set_bus("b", &pack_lanes(&b_ops, nbits));
+        let waves = simulate(nl, &stim).expect("simulate");
+        let p = waves.output_bus("p", 2 * nbits).expect("product bus");
+        unpack_lanes(&p, 2 * nbits, pairs.len())
+    }
+
+    fn as_u128(w: &[u64]) -> u128 {
+        w.iter()
+            .enumerate()
+            .fold(0u128, |acc, (i, &word)| acc | ((word as u128) << (64 * i)))
+    }
+
+    #[test]
+    fn exact_multiplier_exhaustive_4x4() {
+        let nl = wallace_multiplier(4, FinalAdder::Exact(PrefixArch::Sklansky));
+        let mut pairs = Vec::new();
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                pairs.push((a, b));
+            }
+        }
+        for chunk in pairs.chunks(64) {
+            let products = run_multiplier(&nl, 4, chunk);
+            for (&(a, b), p) in chunk.iter().zip(&products) {
+                assert_eq!(as_u128(p), (a * b) as u128, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_multiplier_random_wide() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(211);
+        for nbits in [8usize, 16, 32] {
+            let nl = wallace_multiplier(nbits, FinalAdder::Exact(PrefixArch::BrentKung));
+            let mask = (1u64 << nbits) - 1;
+            let pairs: Vec<(u64, u64)> = (0..64)
+                .map(|_| (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask))
+                .collect();
+            let products = run_multiplier(&nl, nbits, &pairs);
+            for (&(a, b), p) in pairs.iter().zip(&products) {
+                assert_eq!(as_u128(p), a as u128 * b as u128, "{a}*{b} n={nbits}");
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_with_full_window_is_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(223);
+        let nbits = 12;
+        let nl = wallace_multiplier(nbits, FinalAdder::Speculative { window: 2 * nbits });
+        let mask = (1u64 << nbits) - 1;
+        let pairs: Vec<(u64, u64)> = (0..64)
+            .map(|_| (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask))
+            .collect();
+        let products = run_multiplier(&nl, nbits, &pairs);
+        for (&(a, b), p) in pairs.iter().zip(&products) {
+            assert_eq!(as_u128(p), a as u128 * b as u128);
+        }
+    }
+
+    #[test]
+    fn speculative_errors_are_run_bounded() {
+        // Whenever the speculative product is wrong, the CSA addends
+        // must exhibit a long propagate run.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(227);
+        let nbits = 10;
+        let window = 5;
+        let spec = wallace_multiplier(nbits, FinalAdder::Speculative { window });
+        let csa = wallace_csa(nbits);
+        let mask = (1u64 << nbits) - 1;
+        let pairs: Vec<(u64, u64)> = (0..64)
+            .map(|_| (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask))
+            .collect();
+        let products = run_multiplier(&spec, nbits, &pairs);
+
+        let a_ops: Vec<Vec<u64>> = pairs.iter().map(|&(a, _)| vec![a]).collect();
+        let b_ops: Vec<Vec<u64>> = pairs.iter().map(|&(_, b)| vec![b]).collect();
+        let mut stim = Stimulus::new();
+        stim.set_bus("a", &pack_lanes(&a_ops, nbits));
+        stim.set_bus("b", &pack_lanes(&b_ops, nbits));
+        let waves = simulate(&csa, &stim).expect("simulate");
+        let xs = unpack_lanes(
+            &waves.output_bus("x", 2 * nbits).expect("x"),
+            2 * nbits,
+            pairs.len(),
+        );
+        let ys = unpack_lanes(
+            &waves.output_bus("y", 2 * nbits).expect("y"),
+            2 * nbits,
+            pairs.len(),
+        );
+        for (i, (&(a, b), p)) in pairs.iter().zip(&products).enumerate() {
+            let exact = a as u128 * b as u128;
+            // The speculative product equals the windowed sum of the CSA
+            // addends.
+            let model = vlsa_core::windowed_sum_wide(&xs[i], &ys[i], 2 * nbits, window);
+            assert_eq!(p, &model, "{a}*{b}");
+            if as_u128(p) != exact {
+                let run = vlsa_runstats::longest_one_run_words(
+                    &vlsa_sim::wide_xor(&xs[i], &ys[i], 2 * nbits),
+                    2 * nbits,
+                );
+                assert!(run as usize >= window, "{a}*{b}: run {run}");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_level_matches_software_model_bit_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(251);
+        for (nbits, window) in [(8usize, 4usize), (12, 7), (16, 9)] {
+            let nl = wallace_multiplier(nbits, FinalAdder::Speculative { window });
+            let model = crate::SpeculativeMultiplier::new(nbits, window).expect("valid");
+            let mask = (1u64 << nbits) - 1;
+            let pairs: Vec<(u64, u64)> = (0..64)
+                .map(|_| (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask))
+                .collect();
+            let products = run_multiplier(&nl, nbits, &pairs);
+            for (&(a, b), p) in pairs.iter().zip(&products) {
+                assert_eq!(
+                    as_u128(p),
+                    model.mul(a, b).speculative,
+                    "{a}*{b} n={nbits} w={window}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            FinalAdder::Exact(PrefixArch::KoggeStone).to_string(),
+            "exact/kogge-stone"
+        );
+        assert_eq!(FinalAdder::Speculative { window: 9 }.to_string(), "aca/w9");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        wallace_multiplier(0, FinalAdder::Exact(PrefixArch::Sklansky));
+    }
+}

@@ -1,0 +1,42 @@
+//! Speculative multiplication — the DATE 2008 paper's §6 future-work
+//! item ("fast almost correct design for other arithmetic components
+//! such as multipliers"), built on the workspace's ACA.
+//!
+//! A Wallace-tree multiplier is a carry-save reduction (depth
+//! `O(log n)`) followed by one `2n`-bit carry-propagate addition — which
+//! dominates the critical path and is exactly where the Almost Correct
+//! Adder slots in:
+//!
+//! - [`wallace_multiplier`]: gate-level generator with a pluggable
+//!   [`FinalAdder`] (exact prefix or speculative ACA),
+//! - [`wallace_csa`]: the reduction front end alone, for analyzing the
+//!   statistics the final adder actually sees,
+//! - [`SpeculativeMultiplier`]: a bit-exact word-level model with error
+//!   accounting (the final adder's operands are *not* uniform, so the
+//!   Table 1 sizing must be re-validated empirically — see the
+//!   `multiplier` experiment binary),
+//! - [`BitMatrix`]: the weighted-bit compressor shared by both.
+//!
+//! # Examples
+//!
+//! ```
+//! use vlsa_multiplier::SpeculativeMultiplier;
+//!
+//! let m = SpeculativeMultiplier::new(16, 12)?;
+//! let r = m.mul(1234, 5678);
+//! assert_eq!(r.exact, 1234 * 5678);
+//! if !r.error_detected {
+//!     assert_eq!(r.speculative, r.exact);
+//! }
+//! # Ok::<(), vlsa_core::SpecError>(())
+//! ```
+
+mod csa;
+mod generate;
+mod signed;
+mod software;
+
+pub use csa::BitMatrix;
+pub use generate::{partial_products, wallace_csa, wallace_multiplier, FinalAdder};
+pub use signed::{baugh_wooley_matrix, signed_multiplier};
+pub use software::SpeculativeMultiplier;

@@ -1,0 +1,238 @@
+//! Signed (two's complement) multiplication: the Baugh-Wooley matrix.
+//!
+//! Two's complement products reduce to the same carry-save machinery as
+//! unsigned ones once the partial-product matrix is rewritten: the
+//! cross terms involving a sign bit are NANDed instead of ANDed and a
+//! constant `2^{2n-1} + 2^n` is added (derived symbolically and checked
+//! exhaustively in the tests). The final adder stays pluggable, so the
+//! speculative variant carries over unchanged.
+
+use crate::{BitMatrix, FinalAdder};
+use vlsa_core::aca_into;
+use vlsa_netlist::{Bus, Netlist};
+
+/// Emits the Baugh-Wooley partial-product matrix for signed `a × b`.
+///
+/// # Panics
+///
+/// Panics if the buses differ in width or are narrower than 2 bits.
+pub fn baugh_wooley_matrix(nl: &mut Netlist, a: &Bus, b: &Bus) -> BitMatrix {
+    assert_eq!(a.width(), b.width(), "operand width mismatch");
+    let n = a.width();
+    assert!(n >= 2, "signed multiplication needs at least 2 bits");
+    let mut m = BitMatrix::new();
+    // Magnitude x magnitude terms.
+    for i in 0..n - 1 {
+        for j in 0..n - 1 {
+            let pp = nl.and2(a[i], b[j]);
+            m.push(i + j, pp);
+        }
+    }
+    // Sign x sign.
+    let ss = nl.and2(a[n - 1], b[n - 1]);
+    m.push(2 * n - 2, ss);
+    // Sign x magnitude cross terms enter inverted (NAND).
+    for j in 0..n - 1 {
+        let t = nl.nand2(a[n - 1], b[j]);
+        m.push(j + n - 1, t);
+    }
+    for i in 0..n - 1 {
+        let t = nl.nand2(a[i], b[n - 1]);
+        m.push(i + n - 1, t);
+    }
+    // Correction constant 2^{2n-1} + 2^n.
+    let one = nl.constant(true);
+    m.push(2 * n - 1, one);
+    m.push(n, one);
+    m
+}
+
+/// Generates an `nbits × nbits` **signed** (two's complement) Wallace
+/// multiplier with the given final adder. Interface: inputs `a[0..n]`,
+/// `b[0..n]`, output `p[0..2n]` (the low `2n` bits of the signed
+/// product).
+///
+/// # Panics
+///
+/// Panics if `nbits < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_adders::PrefixArch;
+/// use vlsa_multiplier::{signed_multiplier, FinalAdder};
+///
+/// let nl = signed_multiplier(16, FinalAdder::Exact(PrefixArch::BrentKung));
+/// assert_eq!(nl.primary_outputs().len(), 32);
+/// ```
+pub fn signed_multiplier(nbits: usize, final_adder: FinalAdder) -> Netlist {
+    assert!(nbits >= 2, "signed multiplication needs at least 2 bits");
+    let name = match final_adder {
+        FinalAdder::Exact(arch) => {
+            format!("smul{nbits}_{}", arch.name().replace('-', "_"))
+        }
+        FinalAdder::Speculative { window } => format!("smul{nbits}_aca_w{window}"),
+    };
+    let mut nl = Netlist::new(name);
+    let a = nl.input_bus("a", nbits);
+    let b = nl.input_bus("b", nbits);
+    let matrix = baugh_wooley_matrix(&mut nl, &a, &b);
+    let (mut x, mut y) = matrix.reduce_to_two(&mut nl);
+    let zero = nl.constant(false);
+    while x.width() < 2 * nbits {
+        x.push(zero);
+        y.push(zero);
+    }
+    // Columns above 2n-1 (reduction carries out of the top column) are
+    // modular overflow and must be dropped.
+    let x = x.slice(0, 2 * nbits);
+    let y = y.slice(0, 2 * nbits);
+    let product = match final_adder {
+        FinalAdder::Exact(arch) => {
+            let pg = vlsa_adders::pg_signals(&mut nl, &x, &y);
+            let schedule = arch.schedule(2 * nbits);
+            let (g, _) = vlsa_adders::build_prefix_gp(&mut nl, &pg.g, &pg.p, &schedule);
+            let zero = nl.constant(false);
+            let carries: Vec<_> = std::iter::once(zero)
+                .chain(g.iter().copied().take(2 * nbits - 1))
+                .collect();
+            vlsa_adders::sum_from_carries(&mut nl, &pg.p, &carries)
+        }
+        FinalAdder::Speculative { window } => aca_into(&mut nl, &x, &y, window).0,
+    };
+    nl.output_bus("p", &product);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use vlsa_adders::PrefixArch;
+    use vlsa_sim::{pack_lanes, simulate, unpack_lanes, Stimulus};
+
+    fn run(nl: &Netlist, nbits: usize, pairs: &[(u64, u64)]) -> Vec<u128> {
+        let a_ops: Vec<Vec<u64>> = pairs.iter().map(|&(a, _)| vec![a]).collect();
+        let b_ops: Vec<Vec<u64>> = pairs.iter().map(|&(_, b)| vec![b]).collect();
+        let mut stim = Stimulus::new();
+        stim.set_bus("a", &pack_lanes(&a_ops, nbits));
+        stim.set_bus("b", &pack_lanes(&b_ops, nbits));
+        let waves = simulate(nl, &stim).expect("simulate");
+        let p = waves.output_bus("p", 2 * nbits).expect("product bus");
+        unpack_lanes(&p, 2 * nbits, pairs.len())
+            .into_iter()
+            .map(|w| {
+                w.iter()
+                    .enumerate()
+                    .fold(0u128, |acc, (i, &word)| acc | ((word as u128) << (64 * i)))
+            })
+            .collect()
+    }
+
+    fn signed_product_mod(a: u64, b: u64, nbits: usize) -> u128 {
+        let sign = |v: u64| -> i64 {
+            if (v >> (nbits - 1)) & 1 == 1 {
+                v as i64 - (1i64 << nbits)
+            } else {
+                v as i64
+            }
+        };
+        let p = (sign(a) as i128) * (sign(b) as i128);
+        (p as u128) & ((1u128 << (2 * nbits)) - 1)
+    }
+
+    #[test]
+    fn exhaustive_4x4_signed() {
+        let nl = signed_multiplier(4, FinalAdder::Exact(PrefixArch::Sklansky));
+        let mut pairs = Vec::new();
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                pairs.push((a, b));
+            }
+        }
+        for chunk in pairs.chunks(64) {
+            let products = run(&nl, 4, chunk);
+            for (&(a, b), &p) in chunk.iter().zip(&products) {
+                assert_eq!(p, signed_product_mod(a, b, 4), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_5x5_signed() {
+        let nl = signed_multiplier(5, FinalAdder::Exact(PrefixArch::BrentKung));
+        let mut pairs = Vec::new();
+        for a in 0u64..32 {
+            for b in 0u64..32 {
+                pairs.push((a, b));
+            }
+        }
+        for chunk in pairs.chunks(64) {
+            let products = run(&nl, 5, chunk);
+            for (&(a, b), &p) in chunk.iter().zip(&products) {
+                assert_eq!(p, signed_product_mod(a, b, 5), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_wide_signed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(331);
+        for nbits in [8usize, 16, 24, 32] {
+            let nl = signed_multiplier(nbits, FinalAdder::Exact(PrefixArch::KoggeStone));
+            let mask = (1u64 << nbits) - 1;
+            let pairs: Vec<(u64, u64)> = (0..64)
+                .map(|_| (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask))
+                .collect();
+            let products = run(&nl, nbits, &pairs);
+            for (&(a, b), &p) in pairs.iter().zip(&products) {
+                assert_eq!(p, signed_product_mod(a, b, nbits), "{a}*{b} n={nbits}");
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_signed_full_window_is_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(337);
+        let nbits = 10;
+        let nl = signed_multiplier(nbits, FinalAdder::Speculative { window: 2 * nbits });
+        let mask = (1u64 << nbits) - 1;
+        let pairs: Vec<(u64, u64)> = (0..64)
+            .map(|_| (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask))
+            .collect();
+        let products = run(&nl, nbits, &pairs);
+        for (&(a, b), &p) in pairs.iter().zip(&products) {
+            assert_eq!(p, signed_product_mod(a, b, nbits));
+        }
+    }
+
+    #[test]
+    fn speculative_signed_mostly_correct_at_design_window() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(347);
+        let nbits = 16;
+        let window = vlsa_runstats::min_bound_for_prob(2 * nbits, 0.9999) + 1;
+        let nl = signed_multiplier(nbits, FinalAdder::Speculative { window });
+        let mask = (1u64 << nbits) - 1;
+        let mut wrong = 0;
+        let mut total = 0;
+        for _ in 0..8 {
+            let pairs: Vec<(u64, u64)> = (0..64)
+                .map(|_| (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask))
+                .collect();
+            let products = run(&nl, nbits, &pairs);
+            for (&(a, b), &p) in pairs.iter().zip(&products) {
+                total += 1;
+                if p != signed_product_mod(a, b, nbits) {
+                    wrong += 1;
+                }
+            }
+        }
+        assert!(wrong * 50 < total, "{wrong}/{total} wrong");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 bits")]
+    fn width_one_rejected() {
+        signed_multiplier(1, FinalAdder::Exact(PrefixArch::Sklansky));
+    }
+}

@@ -1,0 +1,330 @@
+//! Structural analysis: levelization, fanout, logic cones, statistics,
+//! and validation.
+
+use crate::{CellKind, NetId, Netlist};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A structural defect found by [`Netlist::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateNetlistError {
+    /// A node references a net at or after its own position (would imply
+    /// a cycle; unreachable through the builder, but checked for
+    /// netlists deserialized or constructed by hand).
+    ForwardReference {
+        /// The offending node.
+        node: NetId,
+        /// The referenced (not yet defined) input.
+        input: NetId,
+    },
+    /// A node's input count disagrees with its cell arity.
+    ArityMismatch {
+        /// The offending node.
+        node: NetId,
+        /// The node's cell kind.
+        kind: CellKind,
+        /// The number of inputs actually present.
+        found: usize,
+    },
+    /// A primary output references a net that does not exist.
+    DanglingOutput {
+        /// The output port name.
+        name: String,
+    },
+    /// A gate's output drives nothing and is not a primary output.
+    DeadGate {
+        /// The unused node.
+        node: NetId,
+    },
+}
+
+impl fmt::Display for ValidateNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateNetlistError::ForwardReference { node, input } => {
+                write!(f, "node {node} references later net {input}")
+            }
+            ValidateNetlistError::ArityMismatch { node, kind, found } => write!(
+                f,
+                "node {node} of kind {kind} has {found} inputs, expected {}",
+                kind.arity()
+            ),
+            ValidateNetlistError::DanglingOutput { name } => {
+                write!(f, "output `{name}` references a missing net")
+            }
+            ValidateNetlistError::DeadGate { node } => {
+                write!(f, "gate {node} drives no load and no output")
+            }
+        }
+    }
+}
+
+impl Error for ValidateNetlistError {}
+
+/// Summary statistics for a netlist.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Gate count per cell kind (inputs/constants included).
+    pub cells: BTreeMap<CellKind, usize>,
+    /// Unit-delay depth (number of gate levels on the longest path).
+    pub depth: usize,
+    /// Largest fanout of any net (including primary inputs).
+    pub max_fanout: usize,
+    /// Total logic gates (excludes inputs and constants).
+    pub gates: usize,
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "gates: {}, depth: {}, max fanout: {}",
+            self.gates, self.depth, self.max_fanout
+        )?;
+        for (kind, count) in &self.cells {
+            if kind.is_gate() {
+                writeln!(f, "  {kind:>6}: {count}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Netlist {
+    /// Unit-delay logic level of every net: inputs and constants are
+    /// level 0; a gate is one more than its deepest input.
+    pub fn levels(&self) -> Vec<usize> {
+        let mut levels = vec![0usize; self.len()];
+        for (id, node) in self.nodes() {
+            if node.kind().is_gate() {
+                let deepest = node
+                    .inputs()
+                    .iter()
+                    .map(|i| levels[i.index()])
+                    .max()
+                    .unwrap_or(0);
+                levels[id.index()] = deepest + 1;
+            }
+        }
+        levels
+    }
+
+    /// Unit-delay depth of the whole netlist (maximum over output cones).
+    pub fn depth(&self) -> usize {
+        let levels = self.levels();
+        self.primary_outputs()
+            .iter()
+            .map(|(_, net)| levels[net.index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of loads on each net (gate inputs plus primary outputs).
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.len()];
+        for (_, node) in self.nodes() {
+            for input in node.inputs() {
+                counts[input.index()] += 1;
+            }
+        }
+        for (_, net) in self.primary_outputs() {
+            counts[net.index()] += 1;
+        }
+        counts
+    }
+
+    /// Largest fanout of any net.
+    pub fn max_fanout(&self) -> usize {
+        self.fanout_counts().into_iter().max().unwrap_or(0)
+    }
+
+    /// The transitive fan-in cone of `net`, as a sorted list of nets
+    /// (including `net` itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to this netlist.
+    pub fn cone(&self, net: NetId) -> Vec<NetId> {
+        assert!(net.index() < self.len(), "net {net} out of range");
+        let mut in_cone = vec![false; self.len()];
+        let mut stack = vec![net];
+        in_cone[net.index()] = true;
+        while let Some(n) = stack.pop() {
+            for &input in self.node(n).inputs() {
+                if !in_cone[input.index()] {
+                    in_cone[input.index()] = true;
+                    stack.push(input);
+                }
+            }
+        }
+        (0..self.len())
+            .filter(|&i| in_cone[i])
+            .map(|i| NetId(i as u32))
+            .collect()
+    }
+
+    /// Collects summary statistics.
+    pub fn stats(&self) -> NetlistStats {
+        let mut cells = BTreeMap::new();
+        for (_, node) in self.nodes() {
+            *cells.entry(node.kind()).or_insert(0) += 1;
+        }
+        NetlistStats {
+            gates: self.gate_count(),
+            depth: self.depth(),
+            max_fanout: self.max_fanout(),
+            cells,
+        }
+    }
+
+    /// Checks structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first defect found: forward references, arity
+    /// mismatches, dangling outputs, or (when `check_dead` is set) gates
+    /// whose output is unused.
+    pub fn validate(&self, check_dead: bool) -> Result<(), ValidateNetlistError> {
+        for (id, node) in self.nodes() {
+            if node.inputs().len() != node.kind().arity() {
+                return Err(ValidateNetlistError::ArityMismatch {
+                    node: id,
+                    kind: node.kind(),
+                    found: node.inputs().len(),
+                });
+            }
+            for &input in node.inputs() {
+                if input.index() >= id.index() {
+                    return Err(ValidateNetlistError::ForwardReference { node: id, input });
+                }
+            }
+        }
+        for (name, net) in self.primary_outputs() {
+            if net.index() >= self.len() {
+                return Err(ValidateNetlistError::DanglingOutput { name: name.clone() });
+            }
+        }
+        if check_dead {
+            let fanout = self.fanout_counts();
+            for (id, node) in self.nodes() {
+                if node.kind().is_gate() && fanout[id.index()] == 0 {
+                    return Err(ValidateNetlistError::DeadGate { node: id });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+
+    fn adder_ish() -> (Netlist, NetId, NetId) {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let x = nl.xor2(a, b);
+        let s = nl.xor2(x, c);
+        let m = nl.maj3(a, b, c);
+        nl.output("s", s);
+        nl.output("co", m);
+        (nl, s, m)
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let (nl, s, m) = adder_ish();
+        let levels = nl.levels();
+        assert_eq!(levels[s.index()], 2);
+        assert_eq!(levels[m.index()], 1);
+        assert_eq!(nl.depth(), 2);
+    }
+
+    #[test]
+    fn depth_of_empty_is_zero() {
+        let nl = Netlist::new("e");
+        assert_eq!(nl.depth(), 0);
+        assert_eq!(nl.max_fanout(), 0);
+    }
+
+    #[test]
+    fn fanout_counts_include_outputs() {
+        let (nl, s, _) = adder_ish();
+        let fo = nl.fanout_counts();
+        // a feeds xor2 and maj3.
+        assert_eq!(fo[0], 2);
+        // s is only a primary output.
+        assert_eq!(fo[s.index()], 1);
+        assert_eq!(nl.max_fanout(), 2);
+    }
+
+    #[test]
+    fn cone_collects_transitive_fanin() {
+        let (nl, s, m) = adder_ish();
+        let cone = nl.cone(s);
+        // s's cone: a, b, c, x, s — not maj3.
+        assert_eq!(cone.len(), 5);
+        assert!(!cone.contains(&m));
+        let cone_m = nl.cone(m);
+        assert_eq!(cone_m.len(), 4);
+    }
+
+    #[test]
+    fn stats_counts_kinds() {
+        let (nl, _, _) = adder_ish();
+        let stats = nl.stats();
+        assert_eq!(stats.gates, 3);
+        assert_eq!(stats.cells[&CellKind::Xor2], 2);
+        assert_eq!(stats.cells[&CellKind::Maj3], 1);
+        assert_eq!(stats.cells[&CellKind::Input], 3);
+        assert_eq!(stats.depth, 2);
+        let display = stats.to_string();
+        assert!(display.contains("gates: 3"));
+        assert!(display.contains("xor2"));
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        let (nl, _, _) = adder_ish();
+        assert_eq!(nl.validate(true), Ok(()));
+    }
+
+    #[test]
+    fn validate_flags_dead_gate() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let _dead = nl.and2(a, b);
+        let live = nl.or2(a, b);
+        nl.output("y", live);
+        assert!(matches!(
+            nl.validate(true),
+            Err(ValidateNetlistError::DeadGate { .. })
+        ));
+        // Without dead checking it passes.
+        assert_eq!(nl.validate(false), Ok(()));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = ValidateNetlistError::DeadGate { node: NetId(7) };
+        assert!(err.to_string().contains("n7"));
+        let err = ValidateNetlistError::ArityMismatch {
+            node: NetId(3),
+            kind: CellKind::And2,
+            found: 1,
+        };
+        assert!(err.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cone_rejects_foreign_net() {
+        let (nl, _, _) = adder_ish();
+        nl.cone(NetId(1000));
+    }
+}

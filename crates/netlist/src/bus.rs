@@ -1,0 +1,177 @@
+//! Multi-bit signal bundles.
+
+use crate::NetId;
+use std::ops::Index;
+
+/// An ordered bundle of nets representing a multi-bit word,
+/// least-significant bit first.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_netlist::{Bus, Netlist};
+///
+/// let mut nl = Netlist::new("t");
+/// let a: Bus = nl.input_bus("a", 8);
+/// assert_eq!(a.width(), 8);
+/// let low_nibble = a.slice(0, 4);
+/// assert_eq!(low_nibble.width(), 4);
+/// assert_eq!(low_nibble[0], a[0]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bus {
+    nets: Vec<NetId>,
+}
+
+impl Bus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Bus::default()
+    }
+
+    /// Wraps an explicit list of nets (LSB first).
+    pub fn from_nets(nets: Vec<NetId>) -> Self {
+        Bus { nets }
+    }
+
+    /// Number of bits.
+    pub fn width(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Whether the bus has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// The nets, LSB first.
+    pub fn as_slice(&self) -> &[NetId] {
+        &self.nets
+    }
+
+    /// Iterates the nets, LSB first.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = NetId> + '_ {
+        self.nets.iter().copied()
+    }
+
+    /// Appends a net as the new most-significant bit.
+    pub fn push(&mut self, net: NetId) {
+        self.nets.push(net);
+    }
+
+    /// A sub-bus of `len` bits starting at bit `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` exceeds the width.
+    pub fn slice(&self, start: usize, len: usize) -> Bus {
+        Bus {
+            nets: self.nets[start..start + len].to_vec(),
+        }
+    }
+
+    /// The most significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is empty.
+    pub fn msb(&self) -> NetId {
+        *self.nets.last().expect("empty bus has no msb")
+    }
+}
+
+impl Index<usize> for Bus {
+    type Output = NetId;
+    fn index(&self, i: usize) -> &NetId {
+        &self.nets[i]
+    }
+}
+
+impl FromIterator<NetId> for Bus {
+    fn from_iter<T: IntoIterator<Item = NetId>>(iter: T) -> Self {
+        Bus {
+            nets: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<NetId> for Bus {
+    fn extend<T: IntoIterator<Item = NetId>>(&mut self, iter: T) {
+        self.nets.extend(iter);
+    }
+}
+
+impl IntoIterator for Bus {
+    type Item = NetId;
+    type IntoIter = std::vec::IntoIter<NetId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.nets.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bus {
+    type Item = &'a NetId;
+    type IntoIter = std::slice::Iter<'a, NetId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.nets.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+
+    #[test]
+    fn construction_and_access() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let mut bus = Bus::new();
+        assert!(bus.is_empty());
+        bus.push(a);
+        bus.push(b);
+        assert_eq!(bus.width(), 2);
+        assert_eq!(bus[0], a);
+        assert_eq!(bus.msb(), b);
+        assert_eq!(bus.as_slice(), &[a, b]);
+    }
+
+    #[test]
+    fn slicing() {
+        let mut nl = Netlist::new("t");
+        let bus = nl.input_bus("a", 8);
+        let mid = bus.slice(2, 4);
+        assert_eq!(mid.width(), 4);
+        assert_eq!(mid[0], bus[2]);
+        assert_eq!(mid[3], bus[5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_out_of_range_panics() {
+        let mut nl = Netlist::new("t");
+        let bus = nl.input_bus("a", 4);
+        bus.slice(2, 4);
+    }
+
+    #[test]
+    fn collect_and_iterate() {
+        let mut nl = Netlist::new("t");
+        let bus: Bus = (0..5).map(|i| nl.input(format!("i{i}"))).collect();
+        assert_eq!(bus.width(), 5);
+        let round: Vec<_> = bus.iter().collect();
+        assert_eq!(round.len(), 5);
+        let mut extended = bus.clone();
+        extended.extend(bus.clone());
+        assert_eq!(extended.width(), 10);
+        let consumed: Vec<_> = bus.into_iter().collect();
+        assert_eq!(consumed.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bus")]
+    fn msb_of_empty_panics() {
+        Bus::new().msb();
+    }
+}

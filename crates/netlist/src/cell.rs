@@ -1,0 +1,320 @@
+//! The cell library: every combinational gate kind a netlist may contain.
+//!
+//! The set mirrors a typical standard-cell library's combinational slice:
+//! inverters/buffers, 2-4 input simple gates, XORs, a 2:1 mux, a majority
+//! gate (full-adder carry), and the complex AND-OR gates used for the
+//! carry operator `g + p·c` of lookahead adders.
+
+use std::fmt;
+
+/// A combinational cell kind. Every cell drives exactly one output net.
+///
+/// `Input` and `Const*` are pseudo-cells with no logic inputs; `Output`
+/// markers do not exist — primary outputs are recorded separately on the
+/// netlist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CellKind {
+    /// Primary input (no fan-in).
+    Input,
+    /// Constant logic 0.
+    Const0,
+    /// Constant logic 1.
+    Const1,
+    /// Buffer: `y = a`.
+    Buf,
+    /// Inverter: `y = !a`.
+    Not,
+    /// 2-input AND.
+    And2,
+    /// 3-input AND.
+    And3,
+    /// 4-input AND.
+    And4,
+    /// 2-input OR.
+    Or2,
+    /// 3-input OR.
+    Or3,
+    /// 4-input OR.
+    Or4,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer: `y = s ? b : a`, inputs ordered `[a, b, s]`.
+    Mux2,
+    /// 3-input majority (full-adder carry): `y = ab + bc + ca`.
+    Maj3,
+    /// AND-OR: `y = a·b + c` — the carry operator `g_out = g + p·c`.
+    Ao21,
+    /// OR-AND: `y = (a + b)·c`.
+    Oa21,
+    /// AND-OR-INVERT: `y = !(a·b + c)`.
+    Aoi21,
+    /// OR-AND-INVERT: `y = !((a + b)·c)`.
+    Oai21,
+}
+
+impl CellKind {
+    /// All kinds, in a stable order (useful for iterating a library).
+    pub const ALL: [CellKind; 23] = [
+        CellKind::Input,
+        CellKind::Const0,
+        CellKind::Const1,
+        CellKind::Buf,
+        CellKind::Not,
+        CellKind::And2,
+        CellKind::And3,
+        CellKind::And4,
+        CellKind::Or2,
+        CellKind::Or3,
+        CellKind::Or4,
+        CellKind::Nand2,
+        CellKind::Nand3,
+        CellKind::Nor2,
+        CellKind::Nor3,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+        CellKind::Maj3,
+        CellKind::Ao21,
+        CellKind::Oa21,
+        CellKind::Aoi21,
+        CellKind::Oai21,
+    ];
+
+    /// Number of logic inputs the cell consumes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vlsa_netlist::CellKind;
+    /// assert_eq!(CellKind::Maj3.arity(), 3);
+    /// assert_eq!(CellKind::Input.arity(), 0);
+    /// ```
+    pub fn arity(self) -> usize {
+        use CellKind::*;
+        match self {
+            Input | Const0 | Const1 => 0,
+            Buf | Not => 1,
+            And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 => 2,
+            And3 | Or3 | Nand3 | Nor3 | Maj3 | Mux2 | Ao21 | Oa21 | Aoi21 | Oai21 => 3,
+            And4 | Or4 => 4,
+        }
+    }
+
+    /// Whether the cell is a logic gate (as opposed to an input or
+    /// constant pseudo-cell).
+    pub fn is_gate(self) -> bool {
+        !matches!(self, CellKind::Input | CellKind::Const0 | CellKind::Const1)
+    }
+
+    /// Evaluates the cell on boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        self.eval_words(&words) & 1 == 1
+    }
+
+    /// Evaluates the cell on 64 input vectors at once (bit-parallel).
+    ///
+    /// Bit `i` of the result is the output for the assignment formed by
+    /// bit `i` of each input word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vlsa_netlist::CellKind;
+    /// // XOR of two vectors, 64 evaluations in one call.
+    /// let y = CellKind::Xor2.eval_words(&[0b1100, 0b1010]);
+    /// assert_eq!(y & 0b1111, 0b0110);
+    /// ```
+    pub fn eval_words(self, inputs: &[u64]) -> u64 {
+        use CellKind::*;
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "cell {self} expects {} inputs, got {}",
+            self.arity(),
+            inputs.len()
+        );
+        match self {
+            Input => panic!("primary inputs have no evaluation"),
+            Const0 => 0,
+            Const1 => u64::MAX,
+            Buf => inputs[0],
+            Not => !inputs[0],
+            And2 => inputs[0] & inputs[1],
+            And3 => inputs[0] & inputs[1] & inputs[2],
+            And4 => inputs[0] & inputs[1] & inputs[2] & inputs[3],
+            Or2 => inputs[0] | inputs[1],
+            Or3 => inputs[0] | inputs[1] | inputs[2],
+            Or4 => inputs[0] | inputs[1] | inputs[2] | inputs[3],
+            Nand2 => !(inputs[0] & inputs[1]),
+            Nand3 => !(inputs[0] & inputs[1] & inputs[2]),
+            Nor2 => !(inputs[0] | inputs[1]),
+            Nor3 => !(inputs[0] | inputs[1] | inputs[2]),
+            Xor2 => inputs[0] ^ inputs[1],
+            Xnor2 => !(inputs[0] ^ inputs[1]),
+            Mux2 => (inputs[0] & !inputs[2]) | (inputs[1] & inputs[2]),
+            Maj3 => {
+                (inputs[0] & inputs[1]) | (inputs[1] & inputs[2]) | (inputs[0] & inputs[2])
+            }
+            Ao21 => (inputs[0] & inputs[1]) | inputs[2],
+            Oa21 => (inputs[0] | inputs[1]) & inputs[2],
+            Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
+            Oai21 => !((inputs[0] | inputs[1]) & inputs[2]),
+        }
+    }
+
+    /// Canonical library cell name (lowercase), as used by the HDL
+    /// emitters and the technology library.
+    pub fn name(self) -> &'static str {
+        use CellKind::*;
+        match self {
+            Input => "input",
+            Const0 => "const0",
+            Const1 => "const1",
+            Buf => "buf",
+            Not => "inv",
+            And2 => "and2",
+            And3 => "and3",
+            And4 => "and4",
+            Or2 => "or2",
+            Or3 => "or3",
+            Or4 => "or4",
+            Nand2 => "nand2",
+            Nand3 => "nand3",
+            Nor2 => "nor2",
+            Nor3 => "nor3",
+            Xor2 => "xor2",
+            Xnor2 => "xnor2",
+            Mux2 => "mux2",
+            Maj3 => "maj3",
+            Ao21 => "ao21",
+            Oa21 => "oa21",
+            Aoi21 => "aoi21",
+            Oai21 => "oai21",
+        }
+    }
+
+    /// Looks a cell kind up by its canonical [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<CellKind> {
+        CellKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_consistent_with_eval() {
+        for kind in CellKind::ALL {
+            if kind == CellKind::Input {
+                continue;
+            }
+            let inputs = vec![0u64; kind.arity()];
+            let _ = kind.eval_words(&inputs); // must not panic
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn eval_rejects_wrong_arity() {
+        CellKind::And2.eval_words(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no evaluation")]
+    fn eval_rejects_input_cell() {
+        CellKind::Input.eval_words(&[]);
+    }
+
+    #[test]
+    fn truth_tables_two_input() {
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        assert_eq!(CellKind::And2.eval_words(&[a, b]) & 0xF, 0b1000);
+        assert_eq!(CellKind::Or2.eval_words(&[a, b]) & 0xF, 0b1110);
+        assert_eq!(CellKind::Nand2.eval_words(&[a, b]) & 0xF, 0b0111);
+        assert_eq!(CellKind::Nor2.eval_words(&[a, b]) & 0xF, 0b0001);
+        assert_eq!(CellKind::Xor2.eval_words(&[a, b]) & 0xF, 0b0110);
+        assert_eq!(CellKind::Xnor2.eval_words(&[a, b]) & 0xF, 0b1001);
+    }
+
+    #[test]
+    fn truth_tables_three_input() {
+        // Enumerate all 8 assignments via the low bits of three words.
+        let a = 0b1111_0000u64;
+        let b = 0b1100_1100u64;
+        let c = 0b1010_1010u64;
+        assert_eq!(CellKind::Maj3.eval_words(&[a, b, c]) & 0xFF, 0b1110_1000);
+        assert_eq!(CellKind::Mux2.eval_words(&[a, b, c]) & 0xFF, 0b1101_1000);
+        assert_eq!(CellKind::Ao21.eval_words(&[a, b, c]) & 0xFF, 0b1110_1010);
+        assert_eq!(CellKind::Oa21.eval_words(&[a, b, c]) & 0xFF, 0b1010_1000);
+        assert_eq!(
+            CellKind::Aoi21.eval_words(&[a, b, c]) & 0xFF,
+            !0b1110_1010u64 & 0xFF
+        );
+        assert_eq!(
+            CellKind::Oai21.eval_words(&[a, b, c]) & 0xFF,
+            !0b1010_1000u64 & 0xFF
+        );
+    }
+
+    #[test]
+    fn bool_eval_matches_word_eval() {
+        for kind in CellKind::ALL {
+            if kind == CellKind::Input {
+                continue;
+            }
+            let n = kind.arity();
+            for assignment in 0..(1u32 << n) {
+                let bools: Vec<bool> = (0..n).map(|i| (assignment >> i) & 1 == 1).collect();
+                let words: Vec<u64> =
+                    bools.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+                assert_eq!(
+                    kind.eval(&bools),
+                    kind.eval_words(&words) & 1 == 1,
+                    "{kind} {assignment:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in CellKind::ALL {
+            assert_eq!(CellKind::from_name(kind.name()), Some(kind));
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+        assert_eq!(CellKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn constants_saturate_words() {
+        assert_eq!(CellKind::Const0.eval_words(&[]), 0);
+        assert_eq!(CellKind::Const1.eval_words(&[]), u64::MAX);
+    }
+}

@@ -1,0 +1,103 @@
+//! Graphviz DOT export for visual inspection of generated circuits.
+
+use crate::{CellKind, Netlist};
+use std::fmt::Write as _;
+
+impl Netlist {
+    /// Renders the netlist as a Graphviz `digraph`.
+    ///
+    /// Inputs are drawn as boxes, constants as diamonds, gates as
+    /// ellipses labelled with their cell kind, and primary outputs as
+    /// double octagons.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vlsa_netlist::Netlist;
+    ///
+    /// let mut nl = Netlist::new("tiny");
+    /// let a = nl.input("a");
+    /// let y = nl.not(a);
+    /// nl.output("y", y);
+    /// let dot = nl.to_dot();
+    /// assert!(dot.starts_with("digraph tiny {"));
+    /// assert!(dot.contains("inv"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {} {{", sanitize(self.name()));
+        let _ = writeln!(out, "  rankdir=LR;");
+        for (id, node) in self.nodes() {
+            let (shape, label) = match node.kind() {
+                CellKind::Input => {
+                    let name = self
+                        .primary_inputs()
+                        .iter()
+                        .find(|(_, n)| *n == id)
+                        .map(|(name, _)| name.as_str())
+                        .unwrap_or("?");
+                    ("box", name.to_string())
+                }
+                CellKind::Const0 => ("diamond", "0".to_string()),
+                CellKind::Const1 => ("diamond", "1".to_string()),
+                kind => ("ellipse", kind.name().to_string()),
+            };
+            let _ = writeln!(out, "  {id} [shape={shape} label=\"{label}\"];");
+            for input in node.inputs() {
+                let _ = writeln!(out, "  {input} -> {id};");
+            }
+        }
+        for (name, net) in self.primary_outputs() {
+            let port = format!("out_{}", sanitize(name));
+            let _ = writeln!(out, "  {port} [shape=doubleoctagon label=\"{name}\"];");
+            let _ = writeln!(out, "  {net} -> {port};");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Netlist;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let mut nl = Netlist::new("fa");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let y = nl.xor2(a, b);
+        nl.output("y", y);
+        let dot = nl.to_dot();
+        assert!(dot.contains("n0 [shape=box label=\"a\"]"));
+        assert!(dot.contains("n1 [shape=box label=\"b\"]"));
+        assert!(dot.contains("n0 -> n2"));
+        assert!(dot.contains("n1 -> n2"));
+        assert!(dot.contains("doubleoctagon"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_sanitizes_names() {
+        let mut nl = Netlist::new("my adder[8]");
+        let a = nl.input("a[0]");
+        nl.output("s[0]", a);
+        let dot = nl.to_dot();
+        assert!(dot.starts_with("digraph my_adder_8_ {"));
+        assert!(dot.contains("out_s_0_"));
+    }
+
+    #[test]
+    fn dot_renders_constants() {
+        let mut nl = Netlist::new("c");
+        let one = nl.constant(true);
+        nl.output("y", one);
+        assert!(nl.to_dot().contains("diamond"));
+    }
+}

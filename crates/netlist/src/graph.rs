@@ -1,0 +1,470 @@
+//! The netlist graph and its builder API.
+//!
+//! A [`Netlist`] is a DAG of single-output cells. Construction order is
+//! topological by design: a gate can only reference nets that already
+//! exist, so node index order is always a valid evaluation order and no
+//! combinational loops can be expressed.
+
+use crate::{Bus, CellKind};
+use std::fmt;
+
+/// Handle to a net — the single output of one cell in a [`Netlist`].
+///
+/// Net indices are dense and identical to node indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The dense index of this net within its netlist.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One cell instance: a kind plus its input nets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    kind: CellKind,
+    inputs: Vec<NetId>,
+}
+
+impl Node {
+    /// The cell kind.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// The input nets, in pin order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+}
+
+/// A combinational gate-level netlist.
+///
+/// # Examples
+///
+/// Build a full adder and inspect it:
+///
+/// ```
+/// use vlsa_netlist::Netlist;
+///
+/// let mut nl = Netlist::new("full_adder");
+/// let a = nl.input("a");
+/// let b = nl.input("b");
+/// let cin = nl.input("cin");
+/// let sum = {
+///     let axb = nl.xor2(a, b);
+///     nl.xor2(axb, cin)
+/// };
+/// let cout = nl.maj3(a, b, cin);
+/// nl.output("sum", sum);
+/// nl.output("cout", cout);
+/// assert_eq!(nl.gate_count(), 3);
+/// assert_eq!(nl.primary_inputs().len(), 3);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    input_names: Vec<(String, NetId)>,
+    outputs: Vec<(String, NetId)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given module name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            nodes: Vec::new(),
+            input_names: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nodes (inputs + constants + gates).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the netlist has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of logic gates (excludes inputs and constants).
+    pub fn gate_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind.is_gate()).count()
+    }
+
+    /// The node driving `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to this netlist.
+    pub fn node(&self, net: NetId) -> &Node {
+        &self.nodes[net.index()]
+    }
+
+    /// All nodes in topological (construction) order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = (NetId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Primary inputs in declaration order, with their names.
+    pub fn primary_inputs(&self) -> &[(String, NetId)] {
+        &self.input_names
+    }
+
+    /// Primary outputs in declaration order, with their names.
+    pub fn primary_outputs(&self) -> &[(String, NetId)] {
+        &self.outputs
+    }
+
+    fn push(&mut self, kind: CellKind, inputs: Vec<NetId>) -> NetId {
+        debug_assert_eq!(inputs.len(), kind.arity());
+        for &i in &inputs {
+            assert!(
+                i.index() < self.nodes.len(),
+                "input net {i} does not exist in netlist `{}`",
+                self.name
+            );
+        }
+        let id = NetId(u32::try_from(self.nodes.len()).expect("netlist too large"));
+        self.nodes.push(Node { kind, inputs });
+        id
+    }
+
+    /// Declares a named primary input and returns its net.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.push(CellKind::Input, Vec::new());
+        self.input_names.push((name.into(), id));
+        id
+    }
+
+    /// Declares a `width`-bit input bus named `name[0..width]`,
+    /// least-significant bit first.
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Bus {
+        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+    }
+
+    /// A constant net (0 or 1).
+    pub fn constant(&mut self, value: bool) -> NetId {
+        let kind = if value { CellKind::Const1 } else { CellKind::Const0 };
+        self.push(kind, Vec::new())
+    }
+
+    /// Marks `net` as a primary output named `name`.
+    pub fn output(&mut self, name: impl Into<String>, net: NetId) {
+        assert!(
+            net.index() < self.nodes.len(),
+            "output net {net} does not exist"
+        );
+        self.outputs.push((name.into(), net));
+    }
+
+    /// Marks every bit of `bus` as an output `name[i]`.
+    pub fn output_bus(&mut self, name: &str, bus: &Bus) {
+        for (i, net) in bus.iter().enumerate() {
+            self.output(format!("{name}[{i}]"), net);
+        }
+    }
+
+    /// Instantiates an arbitrary cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs does not match the cell's arity, or
+    /// if any input net is out of range.
+    pub fn cell(&mut self, kind: CellKind, inputs: &[NetId]) -> NetId {
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "cell {kind} expects {} inputs, got {}",
+            kind.arity(),
+            inputs.len()
+        );
+        assert!(kind.is_gate(), "use input()/constant() for {kind}");
+        self.push(kind, inputs.to_vec())
+    }
+
+    /// Buffer: `y = a`.
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.push(CellKind::Buf, vec![a])
+    }
+
+    /// Inverter: `y = !a`.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.push(CellKind::Not, vec![a])
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::And2, vec![a, b])
+    }
+
+    /// 3-input AND.
+    pub fn and3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.push(CellKind::And3, vec![a, b, c])
+    }
+
+    /// 4-input AND.
+    pub fn and4(&mut self, a: NetId, b: NetId, c: NetId, d: NetId) -> NetId {
+        self.push(CellKind::And4, vec![a, b, c, d])
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::Or2, vec![a, b])
+    }
+
+    /// 3-input OR.
+    pub fn or3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.push(CellKind::Or3, vec![a, b, c])
+    }
+
+    /// 4-input OR.
+    pub fn or4(&mut self, a: NetId, b: NetId, c: NetId, d: NetId) -> NetId {
+        self.push(CellKind::Or4, vec![a, b, c, d])
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::Nand2, vec![a, b])
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::Nor2, vec![a, b])
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::Xor2, vec![a, b])
+    }
+
+    /// 2-input XNOR.
+    pub fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.push(CellKind::Xnor2, vec![a, b])
+    }
+
+    /// 2:1 mux: `y = s ? b : a`.
+    pub fn mux2(&mut self, a: NetId, b: NetId, s: NetId) -> NetId {
+        self.push(CellKind::Mux2, vec![a, b, s])
+    }
+
+    /// 3-input majority: `y = ab + bc + ca`.
+    pub fn maj3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.push(CellKind::Maj3, vec![a, b, c])
+    }
+
+    /// AND-OR: `y = a·b + c` (the lookahead carry operator `g + p·c`).
+    pub fn ao21(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.push(CellKind::Ao21, vec![a, b, c])
+    }
+
+    /// OR-AND: `y = (a + b)·c`.
+    pub fn oa21(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.push(CellKind::Oa21, vec![a, b, c])
+    }
+
+    /// AND-OR-INVERT: `y = !(a·b + c)`.
+    pub fn aoi21(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.push(CellKind::Aoi21, vec![a, b, c])
+    }
+
+    /// OR-AND-INVERT: `y = !((a + b)·c)`.
+    pub fn oai21(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.push(CellKind::Oai21, vec![a, b, c])
+    }
+
+    /// Balanced AND tree over any number of nets, using 4/3/2-input ANDs.
+    ///
+    /// Returns constant 1 for an empty slice (the identity of AND).
+    pub fn and_tree(&mut self, nets: &[NetId]) -> NetId {
+        self.reduce_tree(nets, true)
+    }
+
+    /// Balanced OR tree over any number of nets, using 4/3/2-input ORs.
+    ///
+    /// Returns constant 0 for an empty slice (the identity of OR).
+    pub fn or_tree(&mut self, nets: &[NetId]) -> NetId {
+        self.reduce_tree(nets, false)
+    }
+
+    fn reduce_tree(&mut self, nets: &[NetId], is_and: bool) -> NetId {
+        match nets.len() {
+            0 => self.constant(is_and),
+            1 => nets[0],
+            _ => {
+                let mut level: Vec<NetId> = nets.to_vec();
+                while level.len() > 1 {
+                    let mut next = Vec::with_capacity(level.len().div_ceil(4));
+                    let mut chunks = level.chunks(4);
+                    for chunk in &mut chunks {
+                        let id = match (chunk, is_and) {
+                            ([a, b, c, d], true) => self.and4(*a, *b, *c, *d),
+                            ([a, b, c], true) => self.and3(*a, *b, *c),
+                            ([a, b], true) => self.and2(*a, *b),
+                            ([a], _) => *a,
+                            ([a, b, c, d], false) => self.or4(*a, *b, *c, *d),
+                            ([a, b, c], false) => self.or3(*a, *b, *c),
+                            ([a, b], false) => self.or2(*a, *b),
+                            _ => unreachable!("chunks(4) yields 1..=4 items"),
+                        };
+                        next.push(id);
+                    }
+                    level = next;
+                }
+                level[0]
+            }
+        }
+    }
+
+    /// Balanced XOR tree (parity) over any number of nets.
+    ///
+    /// Returns constant 0 for an empty slice.
+    pub fn xor_tree(&mut self, nets: &[NetId]) -> NetId {
+        match nets.len() {
+            0 => self.constant(false),
+            1 => nets[0],
+            _ => {
+                let mut level: Vec<NetId> = nets.to_vec();
+                while level.len() > 1 {
+                    let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                    let mut iter = level.chunks(2);
+                    for chunk in &mut iter {
+                        next.push(match chunk {
+                            [a, b] => self.xor2(*a, *b),
+                            [a] => *a,
+                            _ => unreachable!(),
+                        });
+                    }
+                    level = next;
+                }
+                level[0]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let y = nl.and2(a, b);
+        nl.output("y", y);
+        assert_eq!(nl.len(), 3);
+        assert_eq!(nl.gate_count(), 1);
+        assert_eq!(nl.name(), "t");
+        assert_eq!(nl.node(y).kind(), CellKind::And2);
+        assert_eq!(nl.node(y).inputs(), &[a, b]);
+        assert_eq!(nl.primary_outputs(), &[("y".to_string(), y)]);
+        assert!(!nl.is_empty());
+    }
+
+    #[test]
+    fn input_bus_names_lsb_first() {
+        let mut nl = Netlist::new("t");
+        let bus = nl.input_bus("a", 3);
+        assert_eq!(bus.width(), 3);
+        assert_eq!(nl.primary_inputs()[0].0, "a[0]");
+        assert_eq!(nl.primary_inputs()[2].0, "a[2]");
+    }
+
+    #[test]
+    fn output_bus_registers_all_bits() {
+        let mut nl = Netlist::new("t");
+        let bus = nl.input_bus("a", 2);
+        nl.output_bus("y", &bus);
+        assert_eq!(nl.primary_outputs().len(), 2);
+        assert_eq!(nl.primary_outputs()[1].0, "y[1]");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn foreign_net_rejected() {
+        let mut other = Netlist::new("other");
+        let foreign = other.input("x");
+        let _ = other.input("pad"); // make `other` longer than `nl`
+        let mut nl = Netlist::new("t");
+        // `foreign` has index 0, which exists in nl only after an input.
+        // Use an index beyond nl's length to trigger the check.
+        let deep = other.and2(foreign, foreign);
+        nl.buf(deep);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn generic_cell_checks_arity() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        nl.cell(CellKind::And2, &[a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "use input()")]
+    fn generic_cell_rejects_pseudo_cells() {
+        let mut nl = Netlist::new("t");
+        nl.cell(CellKind::Input, &[]);
+    }
+
+    #[test]
+    fn and_tree_shapes() {
+        let mut nl = Netlist::new("t");
+        let nets: Vec<NetId> = (0..13).map(|i| nl.input(format!("i{i}"))).collect();
+        let before = nl.len();
+        let _y = nl.and_tree(&nets);
+        // 13 -> 4 (4,4,4,1) -> 1: 3 AND4 + 1 AND4 = 4 gates.
+        assert_eq!(nl.len() - before, 4);
+    }
+
+    #[test]
+    fn trees_handle_degenerate_sizes() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        assert_eq!(nl.and_tree(&[a]), a);
+        assert_eq!(nl.or_tree(&[a]), a);
+        assert_eq!(nl.xor_tree(&[a]), a);
+        let c1 = nl.and_tree(&[]);
+        assert_eq!(nl.node(c1).kind(), CellKind::Const1);
+        let c0 = nl.or_tree(&[]);
+        assert_eq!(nl.node(c0).kind(), CellKind::Const0);
+    }
+
+    #[test]
+    fn xor_tree_depth_is_logarithmic() {
+        let mut nl = Netlist::new("t");
+        let nets: Vec<NetId> = (0..16).map(|i| nl.input(format!("i{i}"))).collect();
+        let before = nl.len();
+        nl.xor_tree(&nets);
+        assert_eq!(nl.len() - before, 15); // n-1 XOR2 gates
+    }
+
+    #[test]
+    fn display_of_net_id() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        assert_eq!(a.to_string(), "n0");
+        assert_eq!(a.index(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Gate-level netlist intermediate representation for the VLSA project.
+//!
+//! All circuits in this workspace — the baseline adders of
+//! `vlsa-adders`, the Almost Correct Adder and its error
+//! detection/recovery networks in `vlsa-core` — are built as [`Netlist`]
+//! DAGs of single-output [`CellKind`] gates. Downstream crates simulate
+//! them (`vlsa-sim`), time them (`vlsa-timing`), and emit them as HDL
+//! (`vlsa-hdl`).
+//!
+//! The representation is deliberately simple:
+//!
+//! - every node drives exactly one net, so [`NetId`] doubles as a node
+//!   handle;
+//! - nodes are created in topological order (a gate can only reference
+//!   existing nets), so index order is always a valid evaluation order
+//!   and cycles are unrepresentable;
+//! - multi-bit values are [`Bus`]es of nets, LSB first.
+//!
+//! # Examples
+//!
+//! ```
+//! use vlsa_netlist::Netlist;
+//!
+//! // y = a & b | c, with structural stats.
+//! let mut nl = Netlist::new("ao");
+//! let a = nl.input("a");
+//! let b = nl.input("b");
+//! let c = nl.input("c");
+//! let y = nl.ao21(a, b, c);
+//! nl.output("y", y);
+//! assert_eq!(nl.depth(), 1);
+//! assert_eq!(nl.validate(true), Ok(()));
+//! ```
+
+mod analyze;
+mod bus;
+mod cell;
+mod dot;
+mod graph;
+mod opt;
+mod textfmt;
+mod xform;
+
+pub use analyze::{NetlistStats, ValidateNetlistError};
+pub use textfmt::ParseNetlistError;
+pub use bus::Bus;
+pub use cell::CellKind;
+pub use graph::{NetId, Netlist, Node};

@@ -1,0 +1,525 @@
+//! Logic optimization passes: constant folding, buffer elision,
+//! structural deduplication (common-subexpression elimination), and
+//! dead-logic sweeping.
+//!
+//! Generators in this workspace favour clarity over minimality — the
+//! ACA's clamped strip duplicates low-position spans, block recovery
+//! re-derives prefixes, constants pad partial blocks. A synthesis tool
+//! would clean all of that up before timing; [`Netlist::simplified`] is
+//! that cleanup.
+
+use crate::{CellKind, NetId, Netlist};
+use std::collections::HashMap;
+
+/// A partially-known signal during folding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Value {
+    Known(bool),
+    Net(NetId),
+}
+
+/// Rewrites one gate given (possibly known) inputs, emitting into `nl`.
+/// Returns the folded value. Native complex kinds are preserved unless a
+/// constant or duplicate input genuinely simplifies them, so the pass
+/// never increases gate count.
+fn fold_gate(nl: &mut Netlist, memo: &mut Memo, kind: CellKind, ins: &[Value]) -> Value {
+    use CellKind::*;
+    // Fully-known gates evaluate outright.
+    if ins.iter().all(|v| matches!(v, Value::Known(_))) {
+        let bits: Vec<bool> = ins
+            .iter()
+            .map(|v| match v {
+                Value::Known(b) => *b,
+                Value::Net(_) => unreachable!(),
+            })
+            .collect();
+        return Value::Known(kind.eval(&bits));
+    }
+    match kind {
+        Buf => ins[0],
+        Not => match ins[0] {
+            Value::Known(b) => Value::Known(!b),
+            Value::Net(n) => memo.emit(nl, Not, &[n]),
+        },
+        And2 | And3 | And4 => fold_and_or(nl, memo, ins, true),
+        Or2 | Or3 | Or4 => fold_and_or(nl, memo, ins, false),
+        Nand2 | Nand3 | Nor2 | Nor3 => {
+            // Fold the inner AND/OR; if it survives at full arity, emit
+            // the native inverting gate instead of AND+NOT.
+            let is_and = matches!(kind, Nand2 | Nand3);
+            let nets = surviving_nets(ins, is_and);
+            match nets {
+                None => Value::Known(!is_and ^ true), // dominant const: NAND->1, NOR->... see below
+                Some(nets) => match nets.len() {
+                    0 => Value::Known(!is_and), // all neutral: AND of {} = 1 -> NAND = 0
+                    1 => memo.emit(nl, Not, &[nets[0]]),
+                    2 => memo.emit(nl, if is_and { Nand2 } else { Nor2 }, &nets),
+                    3 => memo.emit(nl, if is_and { Nand3 } else { Nor3 }, &nets),
+                    _ => unreachable!("arity at most 3"),
+                },
+            }
+        }
+        Xor2 => match (ins[0], ins[1]) {
+            (Value::Known(false), v) | (v, Value::Known(false)) => v,
+            (Value::Known(true), v) | (v, Value::Known(true)) => {
+                fold_gate(nl, memo, Not, &[v])
+            }
+            (Value::Net(a), Value::Net(b)) if a == b => Value::Known(false),
+            (Value::Net(a), Value::Net(b)) => memo.emit(nl, Xor2, &[a, b]),
+        },
+        Xnor2 => match (ins[0], ins[1]) {
+            (Value::Known(true), v) | (v, Value::Known(true)) => v,
+            (Value::Known(false), v) | (v, Value::Known(false)) => {
+                fold_gate(nl, memo, Not, &[v])
+            }
+            (Value::Net(a), Value::Net(b)) if a == b => Value::Known(true),
+            (Value::Net(a), Value::Net(b)) => memo.emit(nl, Xnor2, &[a, b]),
+        },
+        Mux2 => match ins[2] {
+            // y = s ? b : a, inputs [a, b, s]
+            Value::Known(false) => ins[0],
+            Value::Known(true) => ins[1],
+            Value::Net(_) if ins[0] == ins[1] => ins[0],
+            Value::Net(s) => match (ins[0], ins[1]) {
+                // One-gate reductions.
+                (Value::Known(false), v) => {
+                    fold_gate(nl, memo, And2, &[Value::Net(s), v])
+                }
+                (v, Value::Known(true)) => fold_gate(nl, memo, Or2, &[Value::Net(s), v]),
+                // The remaining const cases would need NOT+gate; keep the
+                // native mux with a materialized constant instead.
+                (a, b) => {
+                    let an = memo.materialize(nl, a);
+                    let bn = memo.materialize(nl, b);
+                    memo.emit(nl, Mux2, &[an, bn, s])
+                }
+            },
+        },
+        Maj3 => {
+            let known_true = ins.iter().filter(|v| **v == Value::Known(true)).count();
+            let known_false = ins.iter().filter(|v| **v == Value::Known(false)).count();
+            let nets: Vec<Value> = ins
+                .iter()
+                .copied()
+                .filter(|v| matches!(v, Value::Net(_)))
+                .collect();
+            match (known_true, known_false) {
+                (0, 0) => {
+                    let (a, b, c) = (net(ins[0]), net(ins[1]), net(ins[2]));
+                    // Majority with a repeated input is that input.
+                    if a == b || a == c {
+                        Value::Net(a)
+                    } else if b == c {
+                        Value::Net(b)
+                    } else {
+                        memo.emit(nl, Maj3, &[a, b, c])
+                    }
+                }
+                (1, 0) => fold_gate(nl, memo, Or2, &nets),
+                (0, 1) => fold_gate(nl, memo, And2, &nets),
+                (2, _) => Value::Known(true),
+                (_, 2) => Value::Known(false),
+                _ => unreachable!("covered by fully-known fast path"),
+            }
+        }
+        Ao21 | Oa21 | Aoi21 | Oai21 => {
+            let inner_and = matches!(kind, Ao21 | Aoi21);
+            let inverted = matches!(kind, Aoi21 | Oai21);
+            // All-net, non-degenerate compounds stay native.
+            if let (Value::Net(a), Value::Net(b), Value::Net(c)) = (ins[0], ins[1], ins[2])
+            {
+                if a != b {
+                    return memo.emit(nl, kind, &[a, b, c]);
+                }
+            }
+            // Known c collapses the compound to (a possibly inverted)
+            // two-input gate on (a, b).
+            if let Value::Known(c) = ins[2] {
+                // outer op is OR when the inner is AND, and vice versa.
+                let outer_is_or = inner_and;
+                if c == outer_is_or {
+                    // Dominant: outer = c. Result = c (^ inversion).
+                    return Value::Known(c ^ inverted);
+                }
+                // Neutral c: result = f(inner(a, b)).
+                let reduced = match (inner_and, inverted) {
+                    (true, false) => And2,
+                    (false, false) => Or2,
+                    (true, true) => Nand2,
+                    (false, true) => Nor2,
+                };
+                return fold_gate(nl, memo, reduced, &ins[..2]);
+            }
+            // Here c is a net and the inner pair is degenerate (a == b,
+            // or one of them known), so folding it emits no gate.
+            let inner = fold_and_or(nl, memo, &ins[..2], inner_and);
+            let outer_is_or = inner_and;
+            match surviving_nets(&[inner, ins[2]], !inner_and) {
+                None => Value::Known(outer_is_or ^ inverted),
+                Some(nets) => match nets.len() {
+                    0 => Value::Known(!outer_is_or ^ inverted),
+                    1 => {
+                        if inverted {
+                            memo.emit(nl, Not, &[nets[0]])
+                        } else {
+                            Value::Net(nets[0])
+                        }
+                    }
+                    2 => {
+                        let g = match (outer_is_or, inverted) {
+                            (true, false) => Or2,
+                            (false, false) => And2,
+                            (true, true) => Nor2,
+                            (false, true) => Nand2,
+                        };
+                        memo.emit(nl, g, &nets)
+                    }
+                    _ => unreachable!("two values at most"),
+                },
+            }
+        }
+        Input | Const0 | Const1 => unreachable!("handled by caller"),
+    }
+}
+
+fn net(v: Value) -> NetId {
+    match v {
+        Value::Net(n) => n,
+        Value::Known(_) => unreachable!("caller checked"),
+    }
+}
+
+/// Surviving net inputs of an AND/OR after constant elimination:
+/// `None` when a dominant constant fixes the result.
+fn surviving_nets(ins: &[Value], is_and: bool) -> Option<Vec<NetId>> {
+    let mut nets = Vec::with_capacity(ins.len());
+    for v in ins {
+        match v {
+            Value::Known(b) if *b == !is_and => return None,
+            Value::Known(_) => {}
+            Value::Net(n) => {
+                if !nets.contains(n) {
+                    nets.push(*n);
+                }
+            }
+        }
+    }
+    Some(nets)
+}
+
+/// Folds an N-ary AND (or OR when `is_and` is false) with identities:
+/// dominant constants, neutral constants, duplicate inputs.
+fn fold_and_or(nl: &mut Netlist, memo: &mut Memo, ins: &[Value], is_and: bool) -> Value {
+    let Some(nets) = surviving_nets(ins, is_and) else {
+        return Value::Known(!is_and);
+    };
+    match nets.len() {
+        0 => Value::Known(is_and),
+        1 => Value::Net(nets[0]),
+        2 => memo.emit(nl, if is_and { CellKind::And2 } else { CellKind::Or2 }, &nets),
+        3 => memo.emit(nl, if is_and { CellKind::And3 } else { CellKind::Or3 }, &nets),
+        4 => memo.emit(nl, if is_and { CellKind::And4 } else { CellKind::Or4 }, &nets),
+        _ => unreachable!("arity is at most 4"),
+    }
+}
+
+/// Structural-hashing memo: `(kind, normalized inputs)` → existing net,
+/// plus memoized constant nets.
+#[derive(Default)]
+struct Memo {
+    table: HashMap<(CellKind, Vec<NetId>), NetId>,
+    consts: [Option<NetId>; 2],
+}
+
+impl Memo {
+    fn emit(&mut self, nl: &mut Netlist, kind: CellKind, inputs: &[NetId]) -> Value {
+        let mut key_inputs = inputs.to_vec();
+        if is_commutative(kind) {
+            key_inputs.sort_unstable();
+        }
+        let key = (kind, key_inputs);
+        if let Some(&net) = self.table.get(&key) {
+            return Value::Net(net);
+        }
+        let net = nl.cell(kind, inputs);
+        self.table.insert(key, net);
+        Value::Net(net)
+    }
+
+    fn materialize(&mut self, nl: &mut Netlist, v: Value) -> NetId {
+        match v {
+            Value::Net(n) => n,
+            Value::Known(b) => {
+                *self.consts[b as usize].get_or_insert_with(|| nl.constant(b))
+            }
+        }
+    }
+}
+
+fn is_commutative(kind: CellKind) -> bool {
+    use CellKind::*;
+    matches!(
+        kind,
+        And2 | And3 | And4 | Or2 | Or3 | Or4 | Nand2 | Nand3 | Nor2 | Nor3 | Xor2 | Xnor2
+            | Maj3
+    )
+}
+
+impl Netlist {
+    /// Returns a functionally identical netlist after constant folding,
+    /// buffer elision, structural deduplication, and a dead-logic
+    /// sweep. Primary input and output names are preserved.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vlsa_netlist::Netlist;
+    ///
+    /// let mut nl = Netlist::new("redundant");
+    /// let a = nl.input("a");
+    /// let b = nl.input("b");
+    /// let zero = nl.constant(false);
+    /// let x = nl.or2(a, zero);      // = a
+    /// let y1 = nl.and2(x, b);
+    /// let y2 = nl.and2(b, a);       // duplicate of y1 (commutative)
+    /// let out = nl.xor2(y1, y2);    // = 0
+    /// nl.output("y", out);
+    /// let opt = nl.simplified();
+    /// assert_eq!(opt.gate_count(), 0); // folded to a constant
+    /// ```
+    pub fn simplified(&self) -> Netlist {
+        let mut out = Netlist::new(self.name());
+        let mut memo = Memo::default();
+        let mut map: Vec<Value> = Vec::with_capacity(self.len());
+        for (id, node) in self.nodes() {
+            let value = match node.kind() {
+                CellKind::Input => {
+                    let name = self
+                        .primary_inputs()
+                        .iter()
+                        .find(|(_, n)| *n == id)
+                        .map(|(name, _)| name.clone())
+                        .unwrap_or_else(|| format!("in{}", id.index()));
+                    Value::Net(out.input(name))
+                }
+                CellKind::Const0 => Value::Known(false),
+                CellKind::Const1 => Value::Known(true),
+                kind => {
+                    let ins: Vec<Value> =
+                        node.inputs().iter().map(|i| map[i.index()]).collect();
+                    fold_gate(&mut out, &mut memo, kind, &ins)
+                }
+            };
+            map.push(value);
+        }
+        for (name, net) in self.primary_outputs() {
+            let target = memo.materialize(&mut out, map[net.index()]);
+            out.output(name.clone(), target);
+        }
+        out.swept()
+    }
+
+    /// Returns a copy containing only logic reachable from the primary
+    /// outputs (dead-logic elimination). Unused primary inputs are
+    /// kept so the interface is stable.
+    pub fn swept(&self) -> Netlist {
+        let mut live = vec![false; self.len()];
+        let mut stack: Vec<NetId> = self.primary_outputs().iter().map(|(_, n)| *n).collect();
+        for &net in &stack {
+            live[net.index()] = true;
+        }
+        while let Some(net) = stack.pop() {
+            for &input in self.node(net).inputs() {
+                if !live[input.index()] {
+                    live[input.index()] = true;
+                    stack.push(input);
+                }
+            }
+        }
+        let mut out = Netlist::new(self.name());
+        let mut map: Vec<Option<NetId>> = vec![None; self.len()];
+        for (id, node) in self.nodes() {
+            if node.kind() == CellKind::Input {
+                // Keep the interface intact even if unused.
+                let name = self
+                    .primary_inputs()
+                    .iter()
+                    .find(|(_, n)| *n == id)
+                    .map(|(name, _)| name.clone())
+                    .unwrap_or_else(|| format!("in{}", id.index()));
+                map[id.index()] = Some(out.input(name));
+                continue;
+            }
+            if !live[id.index()] {
+                continue;
+            }
+            let inputs: Vec<NetId> = node
+                .inputs()
+                .iter()
+                .map(|i| map[i.index()].expect("inputs precede consumers"))
+                .collect();
+            map[id.index()] = Some(match node.kind() {
+                CellKind::Const0 => out.constant(false),
+                CellKind::Const1 => out.constant(true),
+                kind => out.cell(kind, &inputs),
+            });
+        }
+        for (name, net) in self.primary_outputs() {
+            out.output(name.clone(), map[net.index()].expect("outputs are live"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_constants_through_gates() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let one = nl.constant(true);
+        let zero = nl.constant(false);
+        let x = nl.and2(a, one); // = a
+        let y = nl.or2(x, zero); // = a
+        let z = nl.xor2(y, zero); // = a
+        nl.output("y", z);
+        let opt = nl.simplified();
+        assert_eq!(opt.gate_count(), 0);
+        assert_eq!(opt.primary_outputs()[0].1, opt.primary_inputs()[0].1);
+    }
+
+    #[test]
+    fn dominant_constants_kill_cones() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let zero = nl.constant(false);
+        let x = nl.xor2(a, b);
+        let y = nl.and3(x, a, zero); // = 0 regardless of the cone
+        nl.output("y", y);
+        let opt = nl.simplified();
+        assert_eq!(opt.gate_count(), 0);
+        assert_eq!(opt.node(opt.primary_outputs()[0].1).kind(), CellKind::Const0);
+    }
+
+    #[test]
+    fn cse_merges_commutative_duplicates() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.and2(a, b);
+        let y = nl.and2(b, a);
+        let z = nl.or2(x, y); // = x
+        nl.output("z", z);
+        let opt = nl.simplified();
+        // Single AND remains; the OR of identical nets folds away.
+        assert_eq!(opt.gate_count(), 1);
+    }
+
+    #[test]
+    fn mux_with_known_select_folds() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let one = nl.constant(true);
+        let y = nl.mux2(a, b, one); // = b
+        nl.output("y", y);
+        let opt = nl.simplified();
+        assert_eq!(opt.gate_count(), 0);
+    }
+
+    #[test]
+    fn maj_with_known_input_reduces() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let one = nl.constant(true);
+        let zero = nl.constant(false);
+        let or_form = nl.maj3(a, b, one); // = a | b
+        let and_form = nl.maj3(a, zero, b); // = a & b
+        nl.output("o", or_form);
+        nl.output("a", and_form);
+        let opt = nl.simplified();
+        let kinds: Vec<CellKind> = opt
+            .primary_outputs()
+            .iter()
+            .map(|(_, n)| opt.node(*n).kind())
+            .collect();
+        assert_eq!(kinds, vec![CellKind::Or2, CellKind::And2]);
+    }
+
+    #[test]
+    fn xor_of_identical_nets_is_zero() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.and2(a, b);
+        let y = nl.and2(a, b);
+        let z = nl.xor2(x, y);
+        nl.output("z", z);
+        let opt = nl.simplified();
+        assert_eq!(opt.gate_count(), 0);
+        assert_eq!(opt.node(opt.primary_outputs()[0].1).kind(), CellKind::Const0);
+    }
+
+    #[test]
+    fn buffers_are_elided() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b1 = nl.buf(a);
+        let b2 = nl.buf(b1);
+        let y = nl.not(b2);
+        nl.output("y", y);
+        let opt = nl.simplified();
+        assert_eq!(opt.gate_count(), 1);
+        assert_eq!(opt.node(opt.primary_outputs()[0].1).kind(), CellKind::Not);
+    }
+
+    #[test]
+    fn sweep_drops_dead_logic_keeps_interface() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let _dead = nl.xor2(a, b);
+        let live = nl.and2(a, b);
+        nl.output("y", live);
+        let swept = nl.swept();
+        assert_eq!(swept.gate_count(), 1);
+        assert_eq!(swept.primary_inputs().len(), 2);
+        assert!(swept.validate(true).is_ok());
+    }
+
+    #[test]
+    fn simplified_is_idempotent() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let x = nl.maj3(a, b, c);
+        let y = nl.ao21(a, b, x);
+        let z = nl.xnor2(y, c);
+        nl.output("z", z);
+        let once = nl.simplified();
+        let twice = once.simplified();
+        assert_eq!(once.gate_count(), twice.gate_count());
+        assert_eq!(once.depth(), twice.depth());
+    }
+
+    #[test]
+    fn preserves_output_names_and_order() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let zero = nl.constant(false);
+        nl.output("first", a);
+        nl.output("second", zero);
+        let opt = nl.simplified();
+        let names: Vec<&str> = opt
+            .primary_outputs()
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(names, vec!["first", "second"]);
+    }
+}

@@ -1,0 +1,352 @@
+//! A plain-text netlist interchange format (`.vnet`).
+//!
+//! One declaration per line, in topological order — the role BLIF/EDIF
+//! play in larger flows, sized to this workspace:
+//!
+//! ```text
+//! netlist aca8w3
+//! input n0 a[0]
+//! const n2 0
+//! gate n5 and2 n0 n1
+//! output s[0] n5
+//! ```
+//!
+//! Net names are the canonical `n<index>` handles, so a round-trip
+//! reproduces the exact graph (asserted by tests and usable as a golden
+//! file format).
+
+use crate::{CellKind, NetId, Netlist};
+use std::error::Error;
+use std::fmt;
+
+/// Failure to parse a `.vnet` netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseNetlistError {
+    /// A line did not match any declaration form.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A referenced net was not (yet) declared.
+    UnknownNet {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown handle.
+        name: String,
+    },
+    /// The gate kind is not in the cell library.
+    UnknownCell {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown kind name.
+        kind: String,
+    },
+    /// A net handle was declared twice or out of order.
+    BadHandle {
+        /// 1-based line number.
+        line: usize,
+        /// The offending handle.
+        name: String,
+    },
+    /// The `netlist <name>` header is missing.
+    MissingHeader,
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetlistError::BadLine { line, text } => {
+                write!(f, "line {line}: unrecognized declaration `{text}`")
+            }
+            ParseNetlistError::UnknownNet { line, name } => {
+                write!(f, "line {line}: unknown net `{name}`")
+            }
+            ParseNetlistError::UnknownCell { line, kind } => {
+                write!(f, "line {line}: unknown cell `{kind}`")
+            }
+            ParseNetlistError::BadHandle { line, name } => {
+                write!(f, "line {line}: handle `{name}` out of sequence")
+            }
+            ParseNetlistError::MissingHeader => write!(f, "missing `netlist <name>` header"),
+        }
+    }
+}
+
+impl Error for ParseNetlistError {}
+
+impl Netlist {
+    /// Serializes the netlist in the `.vnet` text format.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vlsa_netlist::Netlist;
+    ///
+    /// let mut nl = Netlist::new("t");
+    /// let a = nl.input("a");
+    /// let y = nl.not(a);
+    /// nl.output("y", y);
+    /// let text = nl.to_vnet();
+    /// let back = Netlist::from_vnet(&text)?;
+    /// assert_eq!(back, nl);
+    /// # Ok::<(), vlsa_netlist::ParseNetlistError>(())
+    /// ```
+    pub fn to_vnet(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "netlist {}", self.name());
+        for (id, node) in self.nodes() {
+            match node.kind() {
+                CellKind::Input => {
+                    let name = self
+                        .primary_inputs()
+                        .iter()
+                        .find(|(_, n)| *n == id)
+                        .map(|(name, _)| name.as_str())
+                        .unwrap_or("?");
+                    let _ = writeln!(out, "input {id} {name}");
+                }
+                CellKind::Const0 => {
+                    let _ = writeln!(out, "const {id} 0");
+                }
+                CellKind::Const1 => {
+                    let _ = writeln!(out, "const {id} 1");
+                }
+                kind => {
+                    let ins: Vec<String> =
+                        node.inputs().iter().map(|n| n.to_string()).collect();
+                    let _ = writeln!(out, "gate {id} {} {}", kind.name(), ins.join(" "));
+                }
+            }
+        }
+        for (name, net) in self.primary_outputs() {
+            let _ = writeln!(out, "output {name} {net}");
+        }
+        out
+    }
+
+    /// Parses a `.vnet` netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNetlistError`] describing the first malformed
+    /// line.
+    pub fn from_vnet(text: &str) -> Result<Netlist, ParseNetlistError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .by_ref()
+            .find(|(_, l)| !l.trim().is_empty())
+            .ok_or(ParseNetlistError::MissingHeader)?;
+        let name = header
+            .trim()
+            .strip_prefix("netlist ")
+            .ok_or(ParseNetlistError::MissingHeader)?;
+        let mut nl = Netlist::new(name.trim());
+
+        let parse_net = |tok: &str, nl: &Netlist, line: usize| -> Result<NetId, ParseNetlistError> {
+            let idx: usize = tok
+                .strip_prefix('n')
+                .and_then(|d| d.parse().ok())
+                .ok_or_else(|| ParseNetlistError::UnknownNet {
+                    line,
+                    name: tok.to_string(),
+                })?;
+            if idx >= nl.len() {
+                return Err(ParseNetlistError::UnknownNet {
+                    line,
+                    name: tok.to_string(),
+                });
+            }
+            Ok(NetId(idx as u32))
+        };
+
+        let expect_handle =
+            |tok: &str, nl: &Netlist, line: usize| -> Result<(), ParseNetlistError> {
+                let expected = format!("n{}", nl.len());
+                if tok == expected {
+                    Ok(())
+                } else {
+                    Err(ParseNetlistError::BadHandle {
+                        line,
+                        name: tok.to_string(),
+                    })
+                }
+            };
+
+        for (i, raw) in lines {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let head = parts.next().expect("nonempty line");
+            match head {
+                "input" => {
+                    let handle = parts.next().ok_or_else(|| bad(line_no, line))?;
+                    expect_handle(handle, &nl, line_no)?;
+                    let name = parts.next().ok_or_else(|| bad(line_no, line))?;
+                    nl.input(name);
+                }
+                "const" => {
+                    let handle = parts.next().ok_or_else(|| bad(line_no, line))?;
+                    expect_handle(handle, &nl, line_no)?;
+                    match parts.next() {
+                        Some("0") => nl.constant(false),
+                        Some("1") => nl.constant(true),
+                        _ => return Err(bad(line_no, line)),
+                    };
+                }
+                "gate" => {
+                    let handle = parts.next().ok_or_else(|| bad(line_no, line))?;
+                    expect_handle(handle, &nl, line_no)?;
+                    let kind_name = parts.next().ok_or_else(|| bad(line_no, line))?;
+                    let kind = CellKind::from_name(kind_name).ok_or_else(|| {
+                        ParseNetlistError::UnknownCell {
+                            line: line_no,
+                            kind: kind_name.to_string(),
+                        }
+                    })?;
+                    let inputs: Vec<NetId> = parts
+                        .map(|tok| parse_net(tok, &nl, line_no))
+                        .collect::<Result<_, _>>()?;
+                    if inputs.len() != kind.arity() || !kind.is_gate() {
+                        return Err(bad(line_no, line));
+                    }
+                    nl.cell(kind, &inputs);
+                }
+                "output" => {
+                    let name = parts.next().ok_or_else(|| bad(line_no, line))?;
+                    let net = parts.next().ok_or_else(|| bad(line_no, line))?;
+                    let net = parse_net(net, &nl, line_no)?;
+                    nl.output(name, net);
+                }
+                _ => return Err(bad(line_no, line)),
+            }
+        }
+        Ok(nl)
+    }
+}
+
+fn bad(line: usize, text: &str) -> ParseNetlistError {
+    ParseNetlistError::BadLine {
+        line,
+        text: text.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("fa");
+        let a = nl.input("a[0]");
+        let b = nl.input("b");
+        let one = nl.constant(true);
+        let x = nl.xor2(a, b);
+        let y = nl.maj3(a, b, one);
+        nl.output("s", x);
+        nl.output("co", y);
+        nl
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let nl = sample();
+        let text = nl.to_vnet();
+        let back = Netlist::from_vnet(&text).expect("parse");
+        assert_eq!(back, nl);
+        // And a second round trip is byte-identical.
+        assert_eq!(back.to_vnet(), text);
+    }
+
+    #[test]
+    fn format_shape() {
+        let text = sample().to_vnet();
+        assert!(text.starts_with("netlist fa\n"));
+        assert!(text.contains("input n0 a[0]"));
+        assert!(text.contains("const n2 1"));
+        assert!(text.contains("gate n3 xor2 n0 n1"));
+        assert!(text.contains("output co n4"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "netlist t\n\n# a comment\ninput n0 a\noutput y n0\n";
+        let nl = Netlist::from_vnet(text).expect("parse");
+        assert_eq!(nl.len(), 1);
+        assert_eq!(nl.primary_outputs()[0].0, "y");
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert_eq!(
+            Netlist::from_vnet("input n0 a\n"),
+            Err(ParseNetlistError::MissingHeader)
+        );
+        assert_eq!(Netlist::from_vnet(""), Err(ParseNetlistError::MissingHeader));
+    }
+
+    #[test]
+    fn rejects_forward_references() {
+        let text = "netlist t\ninput n0 a\ngate n1 and2 n0 n5\noutput y n1\n";
+        assert!(matches!(
+            Netlist::from_vnet(text),
+            Err(ParseNetlistError::UnknownNet { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_cells_and_bad_arity() {
+        let text = "netlist t\ninput n0 a\ngate n1 frobnicate n0\n";
+        assert!(matches!(
+            Netlist::from_vnet(text),
+            Err(ParseNetlistError::UnknownCell { .. })
+        ));
+        let text = "netlist t\ninput n0 a\ngate n1 and2 n0\n";
+        assert!(matches!(
+            Netlist::from_vnet(text),
+            Err(ParseNetlistError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_sequence_handles() {
+        let text = "netlist t\ninput n7 a\n";
+        assert!(matches!(
+            Netlist::from_vnet(text),
+            Err(ParseNetlistError::BadHandle { .. })
+        ));
+    }
+
+    #[test]
+    fn big_circuit_round_trips() {
+        // A realistic netlist exercises every cell kind path.
+        let mut nl = Netlist::new("big");
+        let ins: Vec<_> = (0..8).map(|i| nl.input(format!("i[{i}]"))).collect();
+        let mut acc = ins[0];
+        for kind in CellKind::ALL {
+            if !kind.is_gate() {
+                continue;
+            }
+            let mut args = vec![acc];
+            for k in 0..kind.arity().saturating_sub(1) {
+                args.push(ins[k % ins.len()]);
+            }
+            acc = nl.cell(kind, &args[..kind.arity()]);
+        }
+        nl.output("out", acc);
+        let back = Netlist::from_vnet(&nl.to_vnet()).expect("parse");
+        assert_eq!(back, nl);
+    }
+
+    #[test]
+    fn error_messages_carry_context() {
+        let e = ParseNetlistError::UnknownCell { line: 9, kind: "zap".into() };
+        assert!(e.to_string().contains("line 9"));
+        assert!(e.to_string().contains("zap"));
+    }
+}

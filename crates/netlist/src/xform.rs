@@ -1,0 +1,167 @@
+//! Netlist transformations: fanout buffering.
+//!
+//! A synthesis flow never leaves a net driving hundreds of pins; it
+//! inserts a buffer tree. Since our timing model charges the full pin
+//! load to the driver, circuits with structurally high fanout (Sklansky
+//! prefix nodes, primary inputs of wide adders) must be buffered before
+//! timing to be compared fairly — exactly what
+//! [`Netlist::with_fanout_limit`] does.
+
+use crate::{CellKind, NetId, Netlist};
+
+/// Builds `count` load taps for `src`, inserting a balanced buffer tree
+/// so no net (including `src` itself and intermediate buffers) drives
+/// more than `max_fanout` pins.
+fn taps_for(nl: &mut Netlist, src: NetId, count: usize, max_fanout: usize) -> Vec<NetId> {
+    if count <= max_fanout {
+        return vec![src; count];
+    }
+    // One leaf buffer per max_fanout consumers; the leaves' own inputs
+    // are taps of a recursively buffered `src`.
+    let leaves = count.div_ceil(max_fanout);
+    let parents = taps_for(nl, src, leaves, max_fanout);
+    let mut out = Vec::with_capacity(count);
+    let mut remaining = count;
+    for parent in parents {
+        let leaf = nl.buf(parent);
+        let serve = remaining.min(max_fanout);
+        out.extend(std::iter::repeat_n(leaf, serve));
+        remaining -= serve;
+    }
+    out
+}
+
+impl Netlist {
+    /// Returns a functionally identical netlist in which no net drives
+    /// more than `max_fanout` pins, inserting balanced buffer trees
+    /// where needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_fanout < 2`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vlsa_netlist::Netlist;
+    ///
+    /// let mut nl = Netlist::new("fan");
+    /// let a = nl.input("a");
+    /// for i in 0..100 {
+    ///     let y = nl.not(a);
+    ///     nl.output(format!("y[{i}]"), y);
+    /// }
+    /// let buffered = nl.with_fanout_limit(8);
+    /// assert!(buffered.max_fanout() <= 8);
+    /// assert!(buffered.gate_count() > nl.gate_count()); // buffers added
+    /// ```
+    pub fn with_fanout_limit(&self, max_fanout: usize) -> Netlist {
+        assert!(max_fanout >= 2, "max_fanout must be at least 2");
+        let fanout = self.fanout_counts();
+        let mut out = Netlist::new(self.name());
+        // taps[old net] = remaining buffered copies for its consumers,
+        // handed out in construction order.
+        let mut taps: Vec<Vec<NetId>> = Vec::with_capacity(self.len());
+        for (id, node) in self.nodes() {
+            let new_id = match node.kind() {
+                CellKind::Input => {
+                    let name = self
+                        .primary_inputs()
+                        .iter()
+                        .find(|(_, n)| *n == id)
+                        .map(|(name, _)| name.clone())
+                        .unwrap_or_else(|| format!("in{}", id.index()));
+                    out.input(name)
+                }
+                CellKind::Const0 => out.constant(false),
+                CellKind::Const1 => out.constant(true),
+                kind => {
+                    let inputs: Vec<NetId> = node
+                        .inputs()
+                        .iter()
+                        .map(|i| {
+                            taps[i.index()].pop().expect("fanout accounting is exact")
+                        })
+                        .collect();
+                    out.cell(kind, &inputs)
+                }
+            };
+            let mut t = taps_for(&mut out, new_id, fanout[id.index()], max_fanout);
+            t.reverse(); // pop() hands taps out in forward order
+            taps.push(t);
+        }
+        for (name, net) in self.primary_outputs() {
+            let tap = taps[net.index()].pop().expect("output tap reserved");
+            out.output(name.clone(), tap);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wide_fan(n: usize) -> Netlist {
+        let mut nl = Netlist::new("fan");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.xor2(a, b);
+        for i in 0..n {
+            let y = nl.not(x);
+            nl.output(format!("y[{i}]"), y);
+        }
+        nl
+    }
+
+    #[test]
+    fn caps_fanout() {
+        for max in [2usize, 4, 8] {
+            let buffered = wide_fan(100).with_fanout_limit(max);
+            assert!(
+                buffered.max_fanout() <= max,
+                "max={max}: got {}",
+                buffered.max_fanout()
+            );
+            assert!(buffered.validate(false).is_ok());
+        }
+    }
+
+    #[test]
+    fn low_fanout_netlist_unchanged_in_size() {
+        let mut nl = Netlist::new("small");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let y = nl.and2(a, b);
+        nl.output("y", y);
+        let buffered = nl.with_fanout_limit(4);
+        assert_eq!(buffered.gate_count(), nl.gate_count());
+        assert_eq!(buffered.depth(), nl.depth());
+    }
+
+    #[test]
+    fn buffer_tree_depth_is_logarithmic() {
+        let buffered = wide_fan(1000).with_fanout_limit(4);
+        // Tree over 1000 loads with branching 4: about 5 buffer levels.
+        assert!(buffered.depth() <= wide_fan(1000).depth() + 6);
+        assert!(buffered.max_fanout() <= 4);
+    }
+
+    #[test]
+    fn inputs_with_high_fanout_are_buffered() {
+        let mut nl = Netlist::new("infan");
+        let a = nl.input("a");
+        for i in 0..50 {
+            let y = nl.buf(a);
+            nl.output(format!("y[{i}]"), y);
+        }
+        let buffered = nl.with_fanout_limit(6);
+        assert!(buffered.max_fanout() <= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_fanout")]
+    fn rejects_tiny_limit() {
+        wide_fan(4).with_fanout_limit(1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Processor-integration model: the VLSA behind an issue queue.
+//!
+//! §4.2 argues the speculative adder belongs "inside a processor": ops
+//! arrive from an issue stage, the adder usually retires one per cycle,
+//! and the rare recovery cycle backpressures the queue. This module
+//! quantifies that — queue occupancy, waiting time, and drop behaviour
+//! under a Bernoulli arrival process — so the `1 + p` average service
+//! time can be judged as a *system* property, not just a device one.
+
+use crate::VlsaPipeline;
+use rand::Rng;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Arrival process and queue geometry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueueConfig {
+    /// Probability that a new operand pair arrives each cycle.
+    pub arrival_prob: f64,
+    /// Maximum operands waiting (arrivals beyond this are dropped and
+    /// counted — i.e. the issue stage would have stalled).
+    pub capacity: usize,
+}
+
+/// Aggregate statistics of a queued run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueueStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Operands that arrived.
+    pub arrivals: u64,
+    /// Operands completed (VALID results delivered).
+    pub completed: u64,
+    /// Arrivals rejected because the queue was full.
+    pub dropped: u64,
+    /// Recovery (stall) cycles taken by the adder.
+    pub recovery_cycles: u64,
+    /// Sum over completed ops of (completion − arrival) in cycles.
+    pub total_wait_cycles: u64,
+    /// Sum over cycles of the queue length (for the mean).
+    pub queue_len_integral: u64,
+    /// Largest queue length observed.
+    pub max_queue_len: usize,
+}
+
+impl QueueStats {
+    /// Mean cycles from arrival to completed result.
+    pub fn mean_wait(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.total_wait_cycles as f64 / self.completed as f64
+        }
+    }
+
+    /// Mean queue occupancy.
+    pub fn mean_queue_len(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.queue_len_integral as f64 / self.cycles as f64
+        }
+    }
+
+    /// Completed operations per cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of arrivals dropped (issue-stage stalls).
+    pub fn drop_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.arrivals as f64
+        }
+    }
+}
+
+impl fmt::Display for QueueStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ops in {} cycles: wait {:.3} cyc, queue {:.3}, throughput {:.3}, drops {:.2e}",
+            self.completed,
+            self.cycles,
+            self.mean_wait(),
+            self.mean_queue_len(),
+            self.throughput(),
+            self.drop_rate()
+        )
+    }
+}
+
+impl VlsaPipeline {
+    /// Runs the adder behind a bounded queue with Bernoulli arrivals
+    /// for `cycles` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival_prob` is not in `[0, 1]` or `capacity` is
+    /// zero, or if the adder is wider than 64 bits.
+    pub fn run_queued<R: Rng + ?Sized>(
+        &mut self,
+        config: QueueConfig,
+        cycles: u64,
+        rng: &mut R,
+    ) -> QueueStats {
+        assert!(
+            (0.0..=1.0).contains(&config.arrival_prob),
+            "arrival probability must be in [0, 1]"
+        );
+        assert!(config.capacity > 0, "queue capacity must be positive");
+        let nbits = self.adder().nbits();
+        let mask = if nbits == 64 { u64::MAX } else { (1u64 << nbits) - 1 };
+        let mut stats = QueueStats {
+            cycles,
+            ..QueueStats::default()
+        };
+        // Queue of (a, b, arrival_cycle).
+        let mut queue: VecDeque<(u64, u64, u64)> = VecDeque::new();
+        // Remaining recovery for the op at the head (0 = fresh).
+        let mut recovering = false;
+        let adder = *self.adder();
+        for cycle in 0..cycles {
+            // Arrival at the start of the cycle.
+            if rng.gen_bool(config.arrival_prob) {
+                stats.arrivals += 1;
+                if queue.len() < config.capacity {
+                    queue.push_back((rng.gen::<u64>() & mask, rng.gen::<u64>() & mask, cycle));
+                } else {
+                    stats.dropped += 1;
+                }
+            }
+            // Service.
+            if let Some(&(a, b, arrived)) = queue.front() {
+                if recovering {
+                    // Recovery cycle completes the op.
+                    recovering = false;
+                    queue.pop_front();
+                    stats.completed += 1;
+                    stats.total_wait_cycles += cycle - arrived + 1;
+                    stats.recovery_cycles += 1;
+                } else {
+                    let r = adder.add_u64(a, b);
+                    if r.error_detected {
+                        recovering = true; // stays at head one more cycle
+                    } else {
+                        queue.pop_front();
+                        stats.completed += 1;
+                        stats.total_wait_cycles += cycle - arrived + 1;
+                    }
+                }
+            }
+            stats.queue_len_integral += queue.len() as u64;
+            stats.max_queue_len = stats.max_queue_len.max(queue.len());
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vlsa_core::SpeculativeAdder;
+
+    fn pipeline(nbits: usize, window: usize) -> VlsaPipeline {
+        VlsaPipeline::new(SpeculativeAdder::new(nbits, window).expect("valid"))
+    }
+
+    #[test]
+    fn no_arrivals_means_nothing_happens() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(409);
+        let stats = pipeline(32, 8).run_queued(
+            QueueConfig { arrival_prob: 0.0, capacity: 4 },
+            10_000,
+            &mut rng,
+        );
+        assert_eq!(stats.arrivals, 0);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.mean_wait(), 0.0);
+        assert_eq!(stats.throughput(), 0.0);
+    }
+
+    #[test]
+    fn light_load_has_single_cycle_waits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(419);
+        let stats = pipeline(64, 64).run_queued(
+            QueueConfig { arrival_prob: 0.3, capacity: 8 },
+            100_000,
+            &mut rng,
+        );
+        assert_eq!(stats.dropped, 0);
+        assert!((stats.mean_wait() - 1.0).abs() < 1e-9, "{}", stats.mean_wait());
+        assert!((stats.throughput() - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn full_load_exact_adder_keeps_up() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(421);
+        let stats = pipeline(32, 32).run_queued(
+            QueueConfig { arrival_prob: 1.0, capacity: 4 },
+            50_000,
+            &mut rng,
+        );
+        // Service rate 1/cycle matches arrivals: no drops, wait 1.
+        assert_eq!(stats.dropped, 0);
+        assert!((stats.mean_wait() - 1.0).abs() < 1e-9);
+        assert!(stats.max_queue_len <= 1);
+    }
+
+    #[test]
+    fn full_load_with_errors_backs_up_and_drops() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(431);
+        // Window 4 at 32 bits: ~20% of ops need two cycles, so the
+        // queue saturates under back-to-back arrivals.
+        let stats = pipeline(32, 4).run_queued(
+            QueueConfig { arrival_prob: 1.0, capacity: 4 },
+            50_000,
+            &mut rng,
+        );
+        assert!(stats.dropped > 0);
+        assert_eq!(stats.max_queue_len, 4);
+        assert!(stats.mean_wait() > 2.0, "{}", stats.mean_wait());
+        assert!(stats.recovery_cycles > 1_000);
+    }
+
+    #[test]
+    fn moderate_load_absorbs_recoveries() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(433);
+        // 80% load, ~2% recovery rate: queue stays shallow.
+        let stats = pipeline(64, 10).run_queued(
+            QueueConfig { arrival_prob: 0.8, capacity: 16 },
+            200_000,
+            &mut rng,
+        );
+        assert_eq!(stats.dropped, 0);
+        assert!(stats.mean_wait() < 1.6, "{}", stats.mean_wait());
+        assert!(stats.mean_queue_len() < 1.5, "{}", stats.mean_queue_len());
+        let display = stats.to_string();
+        assert!(display.contains("throughput"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        pipeline(8, 8).run_queued(
+            QueueConfig { arrival_prob: 0.5, capacity: 0 },
+            10,
+            &mut rng,
+        );
+    }
+}

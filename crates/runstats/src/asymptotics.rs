@@ -1,0 +1,173 @@
+//! Asymptotic approximations for the longest head run, due to
+//! Schilling (1990) and Gordon, Schilling & Waterman (1986).
+//!
+//! The paper cites Schilling's result that the expected longest run in `n`
+//! fair flips is `log2(n) - 2/3`, and Gordon et al.'s extreme-value theory
+//! showing the exceedance probability decays exponentially as the bound
+//! grows. Both are used to sanity-check the exact recurrence and to size
+//! speculation windows quickly without big-integer arithmetic.
+//!
+//! **Note on the variance constant.** The paper prints a variance of
+//! `1.873`. Exact enumeration (see [`crate::variance_longest_run`] and the
+//! brute-force tests in `exact.rs`) shows the variance of the longest
+//! 1-run converges to the Gumbel-limit value `π²/(6·ln²2) + 1/12 ≈ 3.507`;
+//! we expose that as [`ASYMPTOTIC_RUN_VARIANCE`] and record the
+//! discrepancy in `EXPERIMENTS.md`.
+
+/// Schilling's approximation to the expected longest run of heads in `n`
+/// fair flips: `log2(n) - 2/3`.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_runstats::schilling_expected_run;
+/// assert!((schilling_expected_run(1024) - (10.0 - 2.0 / 3.0)).abs() < 1e-12);
+/// ```
+pub fn schilling_expected_run(n: usize) -> f64 {
+    (n as f64).log2() - 2.0 / 3.0
+}
+
+/// Asymptotic variance of the longest 1-run: `π²/(6·ln²2) + 1/12 ≈ 3.507`
+/// (the limit oscillates slightly with `n`; exact values for finite `n`
+/// come from [`crate::variance_longest_run`]).
+pub const ASYMPTOTIC_RUN_VARIANCE: f64 =
+    std::f64::consts::PI * std::f64::consts::PI / (6.0 * 0.480_453_013_918_201_4) + 1.0 / 12.0;
+// 0.4804530139182014 = ln(2)^2
+
+/// The variance figure printed in the DATE 2008 paper (quoting Schilling).
+/// Kept for reference; see the module docs for why it disagrees with
+/// exact enumeration.
+pub const PAPER_QUOTED_VARIANCE: f64 = 1.873;
+
+/// Gordon–Schilling–Waterman extreme-value tail via the Poisson clumping
+/// heuristic: the probability that the longest run in `n` flips exceeds
+/// `x` is approximately `1 - exp(-n · 2^{-(x+2)})`.
+///
+/// Each position begins a maximal run of length `> x` with probability
+/// `2^{-(x+2)}` (a zero followed by `x+1` ones), and for large `n` the
+/// number of such clumps is approximately Poisson.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_runstats::{gordon_tail_prob, prob_longest_run_gt};
+/// let approx = gordon_tail_prob(256, 12);
+/// let exact = prob_longest_run_gt(256, 12);
+/// assert!((approx - exact).abs() / exact < 0.1);
+/// ```
+pub fn gordon_tail_prob(n: usize, x: usize) -> f64 {
+    let lambda = n as f64 * 2f64.powi(-(x as i32 + 2));
+    -(-lambda).exp_m1()
+}
+
+/// Quick window estimate from the extreme-value tail: an `x` with
+/// `P(longest run > x) <= epsilon`, without exact counting.
+///
+/// Accurate to within about one bit of the exact answer;
+/// [`crate::min_bound_for_prob`] gives the exact bound.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_runstats::estimate_bound_for_tail;
+/// let x = estimate_bound_for_tail(1024, 1e-4);
+/// assert!((20..=24).contains(&x));
+/// ```
+pub fn estimate_bound_for_tail(n: usize, epsilon: f64) -> usize {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+    // Solve 1 - exp(-n 2^{-(x+2)}) = epsilon for x.
+    let lambda = -(1.0 - epsilon).ln();
+    let x = (n as f64 / lambda).log2() - 2.0;
+    x.ceil().max(0.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{expected_longest_run, min_bound_for_prob, prob_longest_run_gt,
+        variance_longest_run};
+
+    #[test]
+    fn schilling_tracks_exact_expectation() {
+        for n in [128usize, 512, 2048] {
+            let exact = expected_longest_run(n);
+            let approx = schilling_expected_run(n);
+            assert!((exact - approx).abs() < 0.1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn variance_constant_tracks_exact() {
+        let v = variance_longest_run(4096);
+        assert!((v - ASYMPTOTIC_RUN_VARIANCE).abs() < 0.05, "{v}");
+        // And the paper's printed figure does NOT match exact enumeration.
+        assert!((v - PAPER_QUOTED_VARIANCE).abs() > 1.0);
+    }
+
+    #[test]
+    fn tail_prob_is_probability_and_decays() {
+        for n in [64usize, 1024] {
+            let mut prev = 1.0;
+            for x in 0..40 {
+                let p = gordon_tail_prob(n, x);
+                assert!((0.0..=1.0).contains(&p), "n={n} x={x} p={p}");
+                assert!(p <= prev + 1e-15);
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn tail_halves_per_extra_bit() {
+        // Deep in the tail, one extra window bit halves the error rate.
+        for x in [15usize, 20, 25] {
+            let ratio = gordon_tail_prob(1024, x) / gordon_tail_prob(1024, x + 1);
+            assert!((ratio - 2.0).abs() < 0.01, "x={x} ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn tail_matches_exact_in_the_tail() {
+        for (n, x) in [(256usize, 12usize), (1024, 15), (2048, 18)] {
+            let approx = gordon_tail_prob(n, x);
+            let exact = prob_longest_run_gt(n, x);
+            assert!(
+                (approx - exact).abs() / exact < 0.1,
+                "n={n} x={x}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_close_to_exact_bound() {
+        for n in [64usize, 256, 1024, 2048] {
+            for eps in [0.01, 0.0001] {
+                let est = estimate_bound_for_tail(n, eps);
+                let exact = min_bound_for_prob(n, 1.0 - eps);
+                let diff = est as i64 - exact as i64;
+                assert!(diff.abs() <= 1, "n={n} eps={eps}: est {est} exact {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_is_safe_or_near_safe() {
+        // The estimated bound's true tail should be within 2x of epsilon.
+        for n in [128usize, 512] {
+            for eps in [0.01, 0.001, 0.0001] {
+                let x = estimate_bound_for_tail(n, eps);
+                assert!(prob_longest_run_gt(n, x) <= 2.0 * eps, "n={n} eps={eps}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in")]
+    fn estimate_rejects_bad_epsilon() {
+        estimate_bound_for_tail(64, 1.5);
+    }
+}

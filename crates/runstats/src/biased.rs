@@ -1,0 +1,180 @@
+//! Longest-run statistics for *biased* bits.
+//!
+//! Table 1 assumes uniform operands, so propagate bits are fair coin
+//! flips. Real workloads are not uniform: sign-extended small integers,
+//! counters, and addresses all bias individual propagate bits, and a
+//! bias toward 1 lengthens runs exponentially. This module generalizes
+//! the exact recurrence to an i.i.d. head probability `p`, which is the
+//! tool for sizing windows against a characterized workload (and for
+//! seeing how badly a hostile distribution breaks speculation).
+
+use rand::Rng;
+
+/// Exact probability that the longest run of heads in `n` flips of a
+/// coin with head probability `p` is at most `x`.
+///
+/// Dynamic program over the run length ending at each position
+/// (`O(n·x)` time, `O(x)` space), the biased generalization of
+/// [`crate::prob_longest_run_le`].
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_runstats::{prob_longest_run_le, prob_longest_run_le_biased};
+///
+/// // At p = 1/2 the biased DP agrees with the exact fair recurrence.
+/// let fair = prob_longest_run_le(64, 6);
+/// let biased = prob_longest_run_le_biased(64, 6, 0.5);
+/// assert!((fair - biased).abs() < 1e-12);
+/// // Heads-heavy coins produce much longer runs.
+/// assert!(prob_longest_run_le_biased(64, 6, 0.9) < fair);
+/// ```
+pub fn prob_longest_run_le_biased(n: usize, x: usize, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if n <= x {
+        return 1.0;
+    }
+    if x == 0 {
+        return (1.0 - p).powi(n as i32);
+    }
+    // state[r] = P(no run > x so far, current trailing run == r).
+    let mut state = vec![0.0f64; x + 1];
+    state[0] = 1.0;
+    for _ in 0..n {
+        let mut next = vec![0.0f64; x + 1];
+        let mut to_zero = 0.0;
+        for (r, &prob) in state.iter().enumerate() {
+            if prob == 0.0 {
+                continue;
+            }
+            to_zero += prob * (1.0 - p);
+            if r < x {
+                next[r + 1] += prob * p;
+            }
+            // r == x && heads -> run of x+1: absorbed (failure).
+        }
+        next[0] = to_zero;
+        state = next;
+    }
+    state.iter().sum()
+}
+
+/// Complement of [`prob_longest_run_le_biased`]: the windowed adder's
+/// detection probability under biased propagate bits.
+pub fn prob_longest_run_gt_biased(n: usize, x: usize, p: f64) -> f64 {
+    1.0 - prob_longest_run_le_biased(n, x, p)
+}
+
+/// Smallest run bound met with probability at least `prob` under head
+/// probability `p` — the biased Table 1 cell.
+///
+/// # Panics
+///
+/// Panics if `prob` is not in `(0, 1]` or `p` is not in `[0, 1]`.
+pub fn min_bound_for_prob_biased(n: usize, prob: f64, p: f64) -> usize {
+    assert!(prob > 0.0 && prob <= 1.0, "prob must be in (0, 1]");
+    for x in 0..=n {
+        if prob_longest_run_le_biased(n, x, p) >= prob {
+            return x;
+        }
+    }
+    n
+}
+
+/// Samples the longest head run of `n` flips with head probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn sample_longest_run_biased<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> u32 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut best = 0u32;
+    let mut run = 0u32;
+    for _ in 0..n {
+        if rng.gen_bool(p) {
+            run += 1;
+            best = best.max(run);
+        } else {
+            run = 0;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob_longest_run_le;
+    use rand::SeedableRng;
+
+    #[test]
+    fn agrees_with_fair_recurrence() {
+        for n in [1usize, 8, 33, 100, 256] {
+            for x in [0usize, 1, 3, 7, 12] {
+                let fair = prob_longest_run_le(n, x);
+                let biased = prob_longest_run_le_biased(n, x, 0.5);
+                assert!((fair - biased).abs() < 1e-12, "n={n} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        // p = 0: never any heads.
+        assert_eq!(prob_longest_run_le_biased(50, 0, 0.0), 1.0);
+        // p = 1: the run is always n.
+        assert_eq!(prob_longest_run_le_biased(50, 49, 1.0), 0.0);
+        assert_eq!(prob_longest_run_le_biased(50, 50, 1.0), 1.0);
+    }
+
+    #[test]
+    fn monotone_in_bias() {
+        let mut prev = 1.0;
+        for p in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let q = prob_longest_run_le_biased(128, 8, p);
+            assert!(q <= prev + 1e-12, "p={p}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(269);
+        for p in [0.3, 0.7] {
+            let n = 96;
+            let x = 6;
+            let trials = 40_000;
+            let hits = (0..trials)
+                .filter(|_| sample_longest_run_biased(n, p, &mut rng) as usize <= x)
+                .count();
+            let measured = hits as f64 / trials as f64;
+            let exact = prob_longest_run_le_biased(n, x, p);
+            assert!((measured - exact).abs() < 0.01, "p={p}: {measured} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn bias_inflates_required_window() {
+        let fair = min_bound_for_prob_biased(64, 0.9999, 0.5);
+        let hot = min_bound_for_prob_biased(64, 0.9999, 0.8);
+        assert!(hot > fair + 5, "fair {fair}, hot {hot}");
+        assert_eq!(fair, crate::min_bound_for_prob(64, 0.9999));
+    }
+
+    #[test]
+    fn complement_identity() {
+        let le = prob_longest_run_le_biased(77, 5, 0.6);
+        let gt = prob_longest_run_gt_biased(77, 5, 0.6);
+        assert!((le + gt - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn rejects_bad_bias() {
+        prob_longest_run_le_biased(8, 2, 1.5);
+    }
+}

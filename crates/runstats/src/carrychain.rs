@@ -1,0 +1,187 @@
+//! Statistics of the longest *true carry chain* in an addition.
+//!
+//! A propagate run only matters if a live carry enters it, so the
+//! dynamic critical path of an adder on given operands is the longest
+//! **generate followed by propagates** chain. This is the statistic
+//! behind timing speculation (Razor-style underclocking, Nowick's
+//! speculative completion): an exact adder clocked to cover chains of
+//! length `c` errs exactly when a longer chain occurs.
+
+use rand::Rng;
+
+/// Exact probability that an `n`-bit addition of uniform operands
+/// contains a carry chain longer than `c` positions.
+///
+/// A chain of length `L` means a generate at some bit `j` whose carry
+/// propagates through `L - 1` consecutive propagate positions above it
+/// (so it influences the sum bit at `j + L - 1`; chains are counted
+/// within the `n` sum bits).
+///
+/// Dynamic program over the current chain length, `O(n·c)`.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_runstats::{prob_carry_chain_gt, prob_longest_run_gt};
+///
+/// // A chain needs a generate plus propagates, so it is rarer than a
+/// // bare propagate run of the same length.
+/// let chain = prob_carry_chain_gt(64, 10);
+/// let run = prob_longest_run_gt(64, 10);
+/// assert!(chain < run);
+/// assert!(chain > 0.0);
+/// ```
+pub fn prob_carry_chain_gt(n: usize, c: usize) -> f64 {
+    if c >= n {
+        return 0.0;
+    }
+    // Survival DP over chain length ending at the previous bit, capped
+    // at c (state c+? would be a failure).
+    // Per bit: generate (1/4) -> chain = 1; kill (1/4) -> chain = 0;
+    // propagate (1/2) -> chain = chain + 1 if chain > 0 else 0.
+    let mut state = vec![0.0f64; c + 1];
+    state[0] = 1.0;
+    for _ in 0..n {
+        let mut next = vec![0.0f64; c + 1];
+        let mut dead = 0.0; // mass with failure
+        for (len, &p) in state.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            next[0] += p * 0.25; // kill
+            next[1.min(c)] += p * 0.25; // generate starts a chain of 1
+            if c == 0 {
+                // any generate is already a chain longer than 0
+                dead += p * 0.25;
+                next[0] -= p * 0.25;
+            }
+            // propagate
+            if len == 0 {
+                next[0] += p * 0.5;
+            } else if len + 1 > c {
+                dead += p * 0.5;
+            } else {
+                next[len + 1] += p * 0.5;
+            }
+        }
+        let _ = dead;
+        state = next;
+    }
+    1.0 - state.iter().sum::<f64>()
+}
+
+/// Longest true carry chain of one operand pair (bit-exact, for
+/// validation and workload measurement).
+///
+/// # Panics
+///
+/// Panics if `nbits > 64`.
+pub fn longest_carry_chain_u64(a: u64, b: u64, nbits: usize) -> u32 {
+    assert!(nbits <= 64, "nbits must be at most 64");
+    let mut best = 0u32;
+    let mut chain = 0u32;
+    for i in 0..nbits {
+        let ai = (a >> i) & 1 == 1;
+        let bi = (b >> i) & 1 == 1;
+        if ai && bi {
+            chain = 1; // generate
+        } else if (ai ^ bi) && chain > 0 {
+            chain += 1; // propagate extends a live chain
+        } else if ai ^ bi {
+            chain = 0; // propagate with no carry below
+        } else {
+            chain = 0; // kill
+        }
+        best = best.max(chain);
+    }
+    best
+}
+
+/// Samples the longest carry chain of a random `nbits`-bit addition.
+///
+/// # Panics
+///
+/// Panics unless `1 <= nbits <= 64`.
+pub fn sample_carry_chain<R: Rng + ?Sized>(nbits: usize, rng: &mut R) -> u32 {
+    assert!((1..=64).contains(&nbits), "nbits must be in 1..=64");
+    let mask = if nbits == 64 { u64::MAX } else { (1u64 << nbits) - 1 };
+    longest_carry_chain_u64(rng.gen::<u64>() & mask, rng.gen::<u64>() & mask, nbits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Brute-force tail probability by enumeration.
+    fn brute(n: usize, c: usize) -> f64 {
+        let mut hits = 0u64;
+        for a in 0u64..(1 << n) {
+            for b in 0u64..(1 << n) {
+                if longest_carry_chain_u64(a, b, n) as usize > c {
+                    hits += 1;
+                }
+            }
+        }
+        hits as f64 / (1u64 << (2 * n)) as f64
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for n in [3usize, 5, 7] {
+            for c in 0..=n {
+                let exact = prob_carry_chain_gt(n, c);
+                let b = brute(n, c);
+                assert!((exact - b).abs() < 1e-12, "n={n} c={c}: {exact} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_is_rarer_than_run() {
+        for (n, x) in [(32usize, 5usize), (64, 8), (128, 12)] {
+            assert!(
+                prob_carry_chain_gt(n, x) < crate::prob_longest_run_gt(n, x),
+                "n={n} x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn known_chain_values() {
+        // 0111 + 0001: generate at bit 0, propagates at 1, 2 -> chain 3.
+        assert_eq!(longest_carry_chain_u64(0b0111, 0b0001, 4), 3);
+        // Propagates with no generate below carry nothing.
+        assert_eq!(longest_carry_chain_u64(0b1110, 0b0000, 4), 0);
+        // All generates: chains of length 1 everywhere... but each new
+        // generate restarts; a generate *under* a generate still feeds
+        // a carry into it. The local definition counts restart chains.
+        assert_eq!(longest_carry_chain_u64(0b1111, 0b1111, 4), 1);
+        assert_eq!(longest_carry_chain_u64(0, 0, 4), 0);
+    }
+
+    #[test]
+    fn monte_carlo_agrees() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(353);
+        let trials = 60_000;
+        for c in [4usize, 8] {
+            let hits = (0..trials)
+                .filter(|_| sample_carry_chain(48, &mut rng) as usize > c)
+                .count();
+            let measured = hits as f64 / trials as f64;
+            let exact = prob_carry_chain_gt(48, c);
+            assert!((measured - exact).abs() < 0.01, "c={c}: {measured} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn degenerate_capacity() {
+        // Capacity >= n can never be exceeded.
+        assert_eq!(prob_carry_chain_gt(8, 8), 0.0);
+        // Capacity 0: exceeded by any generate among the low n bits...
+        // except nothing can top a chain at the last bit without being
+        // counted; P(c=0 exceeded) = P(any generate) = 1 - (3/4)^n.
+        let p = prob_carry_chain_gt(8, 0);
+        assert!((p - (1.0 - 0.75f64.powi(8))).abs() < 1e-12, "{p}");
+    }
+}

@@ -1,0 +1,169 @@
+//! The full exact distribution of the longest run, as a first-class
+//! object (CDF/PMF/quantiles), built on the exact recurrence.
+
+use crate::{prob_longest_run_le, Ubig};
+
+/// The exact probability distribution of the longest run of ones in
+/// `n` fair coin flips.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_runstats::RunLengthDistribution;
+///
+/// let dist = RunLengthDistribution::new(64);
+/// // The 99.99% quantile is the paper's Table 1 entry.
+/// assert_eq!(dist.quantile(0.9999), 17);
+/// assert!((dist.cdf(64) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunLengthDistribution {
+    n: usize,
+    /// `cdf[x] = P(L <= x)` for `x = 0..=n`.
+    cdf: Vec<f64>,
+}
+
+impl RunLengthDistribution {
+    /// Computes the distribution for `n` flips.
+    ///
+    /// The CDF is evaluated exactly until the tail falls below `f64`
+    /// resolution, then saturated at 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "n must be positive");
+        let mut cdf = Vec::with_capacity(n + 1);
+        let mut saturated = false;
+        for x in 0..=n {
+            if saturated {
+                cdf.push(1.0);
+                continue;
+            }
+            let p = prob_longest_run_le(n, x);
+            if 1.0 - p < 1e-18 {
+                saturated = true;
+                cdf.push(1.0);
+            } else {
+                cdf.push(p);
+            }
+        }
+        RunLengthDistribution { n, cdf }
+    }
+
+    /// Number of flips.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `P(L <= x)`, saturating at 1 beyond `n`.
+    pub fn cdf(&self, x: usize) -> f64 {
+        self.cdf.get(x).copied().unwrap_or(1.0)
+    }
+
+    /// `P(L = x)`.
+    pub fn pmf(&self, x: usize) -> f64 {
+        if x == 0 {
+            self.cdf(0)
+        } else {
+            (self.cdf(x) - self.cdf(x - 1)).max(0.0)
+        }
+    }
+
+    /// Smallest `x` with `P(L <= x) >= q` — the Table 1 operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> usize {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        self.cdf
+            .iter()
+            .position(|&p| p >= q)
+            .unwrap_or(self.n)
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        (0..self.n).map(|x| 1.0 - self.cdf(x)).sum()
+    }
+
+    /// Variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        let second: f64 = (0..self.n)
+            .map(|x| (2 * x + 1) as f64 * (1.0 - self.cdf(x)))
+            .sum();
+        second - mean * mean
+    }
+
+    /// The exact count of `n`-bit strings with longest run exactly `x`
+    /// (big-integer arithmetic, no rounding).
+    pub fn exact_count(&self, x: usize) -> Ubig {
+        let at_most = crate::count_bounded_runs(self.n, x);
+        if x == 0 {
+            at_most
+        } else {
+            &at_most - &crate::count_bounded_runs(self.n, x - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{expected_longest_run, min_bound_for_prob, variance_longest_run};
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let dist = RunLengthDistribution::new(100);
+        let total: f64 = (0..=100).map(|x| dist.pmf(x)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_match_min_bound() {
+        let dist = RunLengthDistribution::new(256);
+        for q in [0.5, 0.9, 0.99, 0.9999] {
+            assert_eq!(dist.quantile(q), min_bound_for_prob(256, q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn moments_match_exact_functions() {
+        let dist = RunLengthDistribution::new(128);
+        assert!((dist.mean() - expected_longest_run(128)).abs() < 1e-9);
+        assert!((dist.variance() - variance_longest_run(128)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_counts_partition_the_space() {
+        let dist = RunLengthDistribution::new(20);
+        let mut total = Ubig::zero();
+        for x in 0..=20 {
+            total += &dist.exact_count(x);
+        }
+        assert_eq!(total, Ubig::pow2(20));
+    }
+
+    #[test]
+    fn cdf_saturates_and_is_monotone() {
+        let dist = RunLengthDistribution::new(64);
+        let mut prev = 0.0;
+        for x in 0..=64 {
+            let c = dist.cdf(x);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(dist.cdf(64), 1.0);
+        assert_eq!(dist.cdf(1000), 1.0);
+        assert_eq!(dist.n(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_rejects_zero() {
+        RunLengthDistribution::new(8).quantile(0.0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Exact distribution of the longest run of ones in `n` fair coin flips.
+//!
+//! The paper (§3.1) uses the recurrence
+//!
+//! ```text
+//! A_n(x) = 2^n                                   if n <= x
+//! A_n(x) = sum_{j=0}^{x} A_{n-j-1}(x)            otherwise
+//! ```
+//!
+//! where `A_n(x)` counts the n-bit strings whose longest run of ones is at
+//! most `x` (split on the position of the first zero). Counts are held in
+//! [`Ubig`] so the arithmetic is exact up to thousands of bits; only the
+//! final ratio against `2^n` is rounded to `f64`.
+
+use crate::Ubig;
+
+/// `A_n(x)`: the number of `n`-bit strings with no run of ones longer
+/// than `x`, computed exactly.
+///
+/// Runs in `O(n)` big-integer additions using a sliding window over the
+/// recurrence.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_runstats::count_bounded_runs;
+///
+/// // 3-bit strings with no pair of adjacent ones: 000,001,010,100,101.
+/// assert_eq!(count_bounded_runs(3, 1).to_string(), "5");
+/// // Every 4-bit string has longest run <= 4.
+/// assert_eq!(count_bounded_runs(4, 4).to_string(), "16");
+/// ```
+pub fn count_bounded_runs(n: usize, x: usize) -> Ubig {
+    count_runs_impl(n, x)
+}
+
+/// Exact probability that the longest run of ones in `n` fair flips is at
+/// most `x`.
+pub fn prob_longest_run_le(n: usize, x: usize) -> f64 {
+    if n <= x {
+        return 1.0;
+    }
+    count_runs_impl(n, x).ratio(&Ubig::pow2(n))
+}
+
+fn count_runs_impl(n: usize, x: usize) -> Ubig {
+    if n <= x {
+        return Ubig::pow2(n);
+    }
+    let w = x + 1;
+    let mut hist: Vec<Ubig> = (0..=x).map(Ubig::pow2).collect();
+    let mut window = Ubig::zero();
+    for a in &hist {
+        window += a;
+    }
+    let mut head = 0usize;
+    let mut last = Ubig::zero();
+    for _ in (x + 1)..=n {
+        let next = window.clone();
+        window += &next;
+        window -= &hist[head];
+        hist[head] = next.clone();
+        head = (head + 1) % w;
+        last = next;
+    }
+    last
+}
+
+/// Exact probability that the longest run of ones in `n` fair flips
+/// **exceeds** `x` — the error probability of a speculative adder whose
+/// window tolerates runs of length `x`.
+///
+/// Computed as an exact big-integer difference, so tiny tail probabilities
+/// do not suffer catastrophic cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_runstats::prob_longest_run_gt;
+///
+/// // P(some run of >= 1 one in 2 flips) = 3/4.
+/// assert_eq!(prob_longest_run_gt(2, 0), 0.75);
+/// ```
+pub fn prob_longest_run_gt(n: usize, x: usize) -> f64 {
+    if n <= x {
+        return 0.0;
+    }
+    let total = Ubig::pow2(n);
+    let good = count_runs_impl(n, x);
+    (&total - &good).ratio(&total)
+}
+
+/// Smallest `x` such that the longest run of ones in `n` flips is at most
+/// `x` with probability at least `prob` (one cell of the paper's Table 1).
+///
+/// # Panics
+///
+/// Panics if `prob` is not in `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_runstats::min_bound_for_prob;
+///
+/// // For 1024-bit operands the paper reports runs stay below ~2*log2(n)
+/// // with probability 99.99%.
+/// let x = min_bound_for_prob(1024, 0.9999);
+/// assert!(x > 10 && x < 30, "{x}");
+/// ```
+pub fn min_bound_for_prob(n: usize, prob: f64) -> usize {
+    assert!(prob > 0.0 && prob <= 1.0, "prob must be in (0, 1]");
+    for x in 0..=n {
+        if prob_longest_run_le(n, x) >= prob {
+            return x;
+        }
+    }
+    n
+}
+
+/// Exact expected longest run of ones in `n` fair flips:
+/// `E[L] = Σ_{x≥0} P(L > x)`.
+///
+/// Truncates once the tail drops below `1e-18` (beyond `f64` resolution).
+pub fn expected_longest_run(n: usize) -> f64 {
+    let mut sum = 0.0;
+    for x in 0..n {
+        let tail = prob_longest_run_gt(n, x);
+        sum += tail;
+        if tail < 1e-18 {
+            break;
+        }
+    }
+    sum
+}
+
+/// Exact variance of the longest run of ones in `n` fair flips, using
+/// `E[L^2] = Σ_{x≥0} (2x+1) P(L > x)`.
+pub fn variance_longest_run(n: usize) -> f64 {
+    let mut mean = 0.0;
+    let mut second = 0.0;
+    for x in 0..n {
+        let tail = prob_longest_run_gt(n, x);
+        mean += tail;
+        second += (2 * x + 1) as f64 * tail;
+        if tail < 1e-18 {
+            break;
+        }
+    }
+    second - mean * mean
+}
+
+/// One row of the paper's Table 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Operand bitwidth `n`.
+    pub bitwidth: usize,
+    /// Longest-run bounds, one per requested probability, in the same
+    /// order as passed to [`table1`].
+    pub bounds: Vec<usize>,
+}
+
+/// Regenerates the paper's Table 1: for each bitwidth, the smallest run
+/// bound met with each of the given probabilities (the paper uses 99% and
+/// 99.99%).
+///
+/// # Panics
+///
+/// Panics if any probability is not in `(0, 1]`.
+pub fn table1(bitwidths: &[usize], probs: &[f64]) -> Vec<Table1Row> {
+    bitwidths
+        .iter()
+        .map(|&n| Table1Row {
+            bitwidth: n,
+            bounds: probs.iter().map(|&p| min_bound_for_prob(n, p)).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force count by enumerating all n-bit strings.
+    fn brute_count(n: usize, x: usize) -> u64 {
+        let mut count = 0;
+        for v in 0u64..(1u64 << n) {
+            if crate::longest_one_run_u64(v & ((1u64 << n) - 1)) as usize <= x {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn matches_brute_force_small() {
+        for n in 1..=16 {
+            for x in 0..=n {
+                let exact = count_runs_impl(n, x);
+                assert_eq!(
+                    exact.to_string(),
+                    brute_count(n, x).to_string(),
+                    "n={n} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fibonacci_case() {
+        // A_n(1) is the Fibonacci-like count F(n+2).
+        let fib = [1u64, 2, 3, 5, 8, 13, 21, 34, 55, 89];
+        for (i, &f) in fib.iter().enumerate() {
+            assert_eq!(count_runs_impl(i, 1).to_string(), f.to_string());
+        }
+    }
+
+    #[test]
+    fn probabilities_are_monotone_in_x() {
+        let n = 128;
+        let mut prev = 0.0;
+        for x in 0..=n {
+            let p = prob_longest_run_le(n, x);
+            assert!(p >= prev - 1e-15, "x={x}");
+            prev = p;
+        }
+        assert_eq!(prob_longest_run_le(n, n), 1.0);
+    }
+
+    #[test]
+    fn tail_is_complement() {
+        for (n, x) in [(64, 8), (256, 10), (1024, 12)] {
+            let le = prob_longest_run_le(n, x);
+            let gt = prob_longest_run_gt(n, x);
+            assert!((le + gt - 1.0).abs() < 1e-12, "n={n} x={x}");
+        }
+    }
+
+    #[test]
+    fn table1_shape_matches_paper() {
+        // Paper: for 1024-bit addition the largest carry propagation is
+        // under ~2*log2(n) bits in 99.99% of cases.
+        let rows = table1(&[64, 128, 256, 512, 1024, 2048], &[0.99, 0.9999]);
+        for row in &rows {
+            let lg = (row.bitwidth as f64).log2();
+            assert!(row.bounds[0] >= lg as usize - 2, "{row:?}");
+            assert!(row.bounds[1] > row.bounds[0], "{row:?}");
+            // The 99.99% bound exceeds the 99% bound by roughly
+            // log2(100) ≈ 6.6 positions (Gordon et al. exponential tail).
+            let delta = row.bounds[1] - row.bounds[0];
+            assert!((5..=9).contains(&delta), "{row:?}");
+        }
+        // Bounds grow by ~1 per doubling of n.
+        for pair in rows.windows(2) {
+            let d = pair[1].bounds[0] as i64 - pair[0].bounds[0] as i64;
+            assert!((0..=2).contains(&d), "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn paper_claim_1024_bits() {
+        // "In case of a 1024-bit adder the largest carry propagation is
+        // under ~ 2 log n bits in 99.99% cases."
+        let x = min_bound_for_prob(1024, 0.9999);
+        assert!(prob_longest_run_le(1024, x) >= 0.9999);
+        assert!(prob_longest_run_le(1024, x - 1) < 0.9999);
+        assert!(x <= 24, "bound {x} should be well under 24");
+    }
+
+    #[test]
+    fn expectation_close_to_schilling() {
+        // E[L_n] ~= log2(n) - 2/3 for large n.
+        for n in [256usize, 1024, 4096] {
+            let e = expected_longest_run(n);
+            let approx = (n as f64).log2() - 2.0 / 3.0;
+            assert!((e - approx).abs() < 0.1, "n={n}: {e} vs {approx}");
+        }
+    }
+
+    #[test]
+    fn variance_approaches_gumbel_limit() {
+        // Var[L_n] -> pi^2/(6 ln^2 2) + 1/12 ~= 3.507 (with small
+        // oscillation in n); see asymptotics.rs for why this differs from
+        // the figure printed in the paper.
+        for n in [1024usize, 4096] {
+            let v = variance_longest_run(n);
+            assert!((v - 3.507).abs() < 0.08, "n={n}: {v}");
+        }
+    }
+
+    #[test]
+    fn min_bound_extremes() {
+        // Probability 1 requires tolerating the all-ones string.
+        assert_eq!(min_bound_for_prob(8, 1.0), 8);
+        // Tiny probability is met by x = 0 only when P(no ones)≥p.
+        assert_eq!(min_bound_for_prob(1, 0.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prob must be in")]
+    fn min_bound_rejects_bad_prob() {
+        min_bound_for_prob(8, 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Longest-run-of-ones statistics for speculative adder design.
+//!
+//! The error behaviour of the Almost Correct Adder of Verma, Brisk &
+//! Ienne (*Variable Latency Speculative Addition*, DATE 2008) is governed
+//! entirely by the longest run of propagate signals — equivalently, the
+//! longest run of ones in `A XOR B`, which for uniform operands is the
+//! longest run of heads in `n` fair coin flips. This crate provides:
+//!
+//! - [`count_bounded_runs`] / [`prob_longest_run_le`] /
+//!   [`prob_longest_run_gt`]: the paper's exact recurrence `A_n(x)` over an
+//!   internal arbitrary-precision integer ([`Ubig`]), valid to thousands of
+//!   bits,
+//! - [`min_bound_for_prob`] / [`table1`]: regeneration of the paper's
+//!   Table 1 (run bounds holding with 99% / 99.99% probability),
+//! - [`expected_flips_for_run`] and friends: Theorem 1 (`2^{k+1}-2`
+//!   expected flips to a `k`-head run) with recurrence, Markov-chain and
+//!   Monte Carlo cross-checks,
+//! - [`schilling_expected_run`] / [`gordon_tail_prob`]: the cited
+//!   asymptotics,
+//! - [`sample_histogram`] and the [`RunHistogram`] estimator for widths
+//!   where enumeration is impossible.
+//!
+//! # Examples
+//!
+//! Size a speculation window for 64-bit operands that is correct in at
+//! least 99.99% of additions:
+//!
+//! ```
+//! use vlsa_runstats::{min_bound_for_prob, prob_longest_run_gt};
+//!
+//! let k = min_bound_for_prob(64, 0.9999);
+//! assert!(prob_longest_run_gt(64, k) <= 1e-4);
+//! ```
+
+mod asymptotics;
+mod biased;
+mod carrychain;
+mod distribution;
+mod exact;
+mod montecarlo;
+mod runs;
+mod theorem1;
+mod ubig;
+
+pub use asymptotics::{
+    estimate_bound_for_tail, gordon_tail_prob, schilling_expected_run, ASYMPTOTIC_RUN_VARIANCE,
+    PAPER_QUOTED_VARIANCE,
+};
+pub use biased::{
+    min_bound_for_prob_biased, prob_longest_run_gt_biased, prob_longest_run_le_biased,
+    sample_longest_run_biased,
+};
+pub use carrychain::{longest_carry_chain_u64, prob_carry_chain_gt, sample_carry_chain};
+pub use distribution::RunLengthDistribution;
+pub use exact::{
+    count_bounded_runs, expected_longest_run, min_bound_for_prob, prob_longest_run_gt,
+    prob_longest_run_le, table1, variance_longest_run, Table1Row,
+};
+pub use montecarlo::{random_words, sample_histogram, sample_longest_run, RunHistogram};
+pub use runs::{has_one_run_longer_than, longest_one_run_u64, longest_one_run_words, OneRuns};
+pub use theorem1::{
+    expected_flips_for_run, flips_until_run, monte_carlo_expected_flips, prob_run_within,
+    recurrence_expected_flips,
+};
+pub use ubig::Ubig;
+
+#[cfg(test)]
+mod proptests;

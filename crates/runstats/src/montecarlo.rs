@@ -1,0 +1,205 @@
+//! Monte Carlo estimation of longest-run statistics.
+//!
+//! These estimators validate the exact recurrence and asymptotics on
+//! bitwidths where exhaustive enumeration is impossible, and they are the
+//! statistical backbone of the `schilling` and `error_rate` experiment
+//! binaries.
+
+use crate::longest_one_run_words;
+use rand::Rng;
+
+/// Empirical distribution of the longest run of ones over random `n`-bit
+/// words.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunHistogram {
+    /// `counts[x]` = number of samples whose longest run was exactly `x`.
+    counts: Vec<u64>,
+    samples: u64,
+}
+
+impl RunHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observed longest-run length.
+    pub fn record(&mut self, run: u32) {
+        let idx = run as usize;
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.samples += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Empirical probability that the longest run is exactly `x`.
+    pub fn pmf(&self, x: usize) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.counts.get(x).copied().unwrap_or(0) as f64 / self.samples as f64
+    }
+
+    /// Empirical probability that the longest run exceeds `x`.
+    pub fn tail(&self, x: usize) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let above: u64 = self.counts.iter().skip(x + 1).sum();
+        above as f64 / self.samples as f64
+    }
+
+    /// Empirical mean longest run.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let total: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(x, &c)| x as f64 * c as f64)
+            .sum();
+        total / self.samples as f64
+    }
+
+    /// Empirical variance of the longest run.
+    pub fn variance(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let total: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(x, &c)| (x as f64 - mean).powi(2) * c as f64)
+            .sum();
+        total / self.samples as f64
+    }
+
+    /// Largest observed run length, if any samples were recorded.
+    pub fn max_observed(&self) -> Option<u32> {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|x| x as u32)
+    }
+}
+
+/// Samples the longest run of ones in a uniformly random `n`-bit word.
+///
+/// # Panics
+///
+/// Panics if `nbits` is zero.
+pub fn sample_longest_run<R: Rng + ?Sized>(nbits: usize, rng: &mut R) -> u32 {
+    assert!(nbits > 0, "nbits must be positive");
+    let words = random_words(nbits, rng);
+    longest_one_run_words(&words, nbits)
+}
+
+/// Generates `ceil(nbits / 64)` random words with bits above `nbits`
+/// cleared.
+pub fn random_words<R: Rng + ?Sized>(nbits: usize, rng: &mut R) -> Vec<u64> {
+    let nwords = nbits.div_ceil(64);
+    let mut words: Vec<u64> = (0..nwords).map(|_| rng.gen()).collect();
+    let rem = nbits % 64;
+    if rem != 0 {
+        *words.last_mut().expect("nwords >= 1") &= (1u64 << rem) - 1;
+    }
+    words
+}
+
+/// Builds an empirical longest-run histogram from `samples` random
+/// `nbits`-bit words.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use vlsa_runstats::{sample_histogram, schilling_expected_run};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let hist = sample_histogram(256, 2_000, &mut rng);
+/// assert!((hist.mean() - schilling_expected_run(256)).abs() < 0.5);
+/// ```
+pub fn sample_histogram<R: Rng + ?Sized>(
+    nbits: usize,
+    samples: u64,
+    rng: &mut R,
+) -> RunHistogram {
+    let mut hist = RunHistogram::new();
+    for _ in 0..samples {
+        hist.record(sample_longest_run(nbits, rng));
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{expected_longest_run, prob_longest_run_gt};
+    use rand::SeedableRng;
+
+    #[test]
+    fn histogram_bookkeeping() {
+        let mut h = RunHistogram::new();
+        assert_eq!(h.samples(), 0);
+        assert_eq!(h.max_observed(), None);
+        h.record(3);
+        h.record(3);
+        h.record(5);
+        assert_eq!(h.samples(), 3);
+        assert_eq!(h.pmf(3), 2.0 / 3.0);
+        assert_eq!(h.pmf(4), 0.0);
+        assert_eq!(h.tail(3), 1.0 / 3.0);
+        assert_eq!(h.tail(5), 0.0);
+        assert_eq!(h.max_observed(), Some(5));
+        assert!((h.mean() - 11.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_words_mask_high_bits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for nbits in [1usize, 63, 64, 65, 130] {
+            let w = random_words(nbits, &mut rng);
+            assert_eq!(w.len(), nbits.div_ceil(64));
+            let rem = nbits % 64;
+            if rem != 0 {
+                assert_eq!(w.last().unwrap() >> rem, 0, "nbits={nbits}");
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let hist = sample_histogram(128, 20_000, &mut rng);
+        let exact = expected_longest_run(128);
+        assert!((hist.mean() - exact).abs() < 0.05, "{} vs {exact}", hist.mean());
+    }
+
+    #[test]
+    fn empirical_tail_matches_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let hist = sample_histogram(256, 50_000, &mut rng);
+        for x in [6usize, 8, 10] {
+            let emp = hist.tail(x);
+            let exact = prob_longest_run_gt(256, x);
+            assert!((emp - exact).abs() < 0.01, "x={x}: {emp} vs {exact}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nbits must be positive")]
+    fn sample_rejects_zero_bits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        sample_longest_run(0, &mut rng);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the statistics substrate.
+
+use crate::*;
+use proptest::prelude::*;
+
+fn ubig(v: u128) -> Ubig {
+    Ubig::from(v)
+}
+
+proptest! {
+    #[test]
+    fn ubig_add_matches_u128(a in 0..u128::MAX / 2, b in 0..u128::MAX / 2) {
+        prop_assert_eq!(&ubig(a) + &ubig(b), ubig(a + b));
+    }
+
+    #[test]
+    fn ubig_sub_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(&ubig(hi) - &ubig(lo), ubig(hi - lo));
+    }
+
+    #[test]
+    fn ubig_shl_matches_u128(a in any::<u64>(), s in 0usize..64) {
+        prop_assert_eq!(&ubig(a as u128) << s, ubig((a as u128) << s));
+    }
+
+    #[test]
+    fn ubig_mul_div_small_round_trip(a in any::<u128>(), m in 1u64..u64::MAX) {
+        let mut v = ubig(a);
+        v.mul_small(m);
+        prop_assert_eq!(v.div_small(m), 0);
+        prop_assert_eq!(v, ubig(a));
+    }
+
+    #[test]
+    fn ubig_div_small_matches_u128(a in any::<u128>(), d in 1u64..u64::MAX) {
+        let mut v = ubig(a);
+        let r = v.div_small(d);
+        prop_assert_eq!(v, ubig(a / d as u128));
+        prop_assert_eq!(r, (a % d as u128) as u64);
+    }
+
+    #[test]
+    fn ubig_ratio_close_to_f64(a in 1u128.., b in 1u128..) {
+        let exact = a as f64 / b as f64;
+        let got = ubig(a).ratio(&ubig(b));
+        prop_assert!((got - exact).abs() <= exact * 1e-9,
+            "{got} vs {exact}");
+    }
+
+    #[test]
+    fn ubig_ordering_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(ubig(a).cmp(&ubig(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn ubig_decimal_display_matches_u128(a in any::<u128>()) {
+        prop_assert_eq!(ubig(a).to_string(), a.to_string());
+    }
+
+    #[test]
+    fn longest_run_words_matches_scalar(v in any::<u64>()) {
+        prop_assert_eq!(longest_one_run_words(&[v], 64), longest_one_run_u64(v));
+    }
+
+    #[test]
+    fn one_runs_iterator_reconstructs_word(v in any::<u64>()) {
+        let mut rebuilt = 0u64;
+        let mut longest = 0usize;
+        for (start, len) in OneRuns::new(&[v], 64) {
+            for i in start..start + len {
+                rebuilt |= 1 << i;
+            }
+            longest = longest.max(len);
+        }
+        prop_assert_eq!(rebuilt, v);
+        prop_assert_eq!(longest as u32, longest_one_run_u64(v));
+    }
+
+    #[test]
+    fn counts_are_complementary(n in 1usize..200, x in 0usize..32) {
+        // A_n(x) + (tail count) must equal 2^n exactly.
+        let good = count_bounded_runs(n, x);
+        let total = Ubig::pow2(n);
+        prop_assert!(good <= total);
+        let le = prob_longest_run_le(n, x);
+        let gt = prob_longest_run_gt(n, x);
+        prop_assert!((le + gt - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts_monotone_in_x(n in 1usize..150, x in 0usize..31) {
+        prop_assert!(count_bounded_runs(n, x) <= count_bounded_runs(n, x + 1));
+    }
+
+    #[test]
+    fn min_bound_is_tight(n in 2usize..300, p in 0.5f64..0.99999) {
+        let x = min_bound_for_prob(n, p);
+        prop_assert!(prob_longest_run_le(n, x) >= p);
+        if x > 0 {
+            prop_assert!(prob_longest_run_le(n, x - 1) < p);
+        }
+    }
+
+    #[test]
+    fn markov_chain_cross_checks_recurrence(n in 1usize..120, k in 1u32..12) {
+        let markov = prob_run_within(k, n);
+        let exact = prob_longest_run_gt(n, k as usize - 1);
+        prop_assert!((markov - exact).abs() < 1e-9, "{markov} vs {exact}");
+    }
+}

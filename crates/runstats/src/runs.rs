@@ -1,0 +1,218 @@
+//! Bit-level run analysis of binary words.
+//!
+//! The carry chain of `A + B` propagates across exactly the positions where
+//! `p_i = a_i XOR b_i` is set, so the reach of speculation errors is
+//! governed by the **longest run of ones** in `A XOR B`. These helpers are
+//! the ground truth used by both the statistics and the adder error
+//! predicates.
+
+/// Length of the longest run of consecutive `1` bits in a `u64`.
+///
+/// Uses the classic `x &= x << 1` reduction: after `r` iterations the word
+/// is nonzero iff it originally contained a run of length `> r`.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_runstats::longest_one_run_u64;
+///
+/// assert_eq!(longest_one_run_u64(0), 0);
+/// assert_eq!(longest_one_run_u64(0b0111_0110), 3);
+/// assert_eq!(longest_one_run_u64(u64::MAX), 64);
+/// ```
+pub fn longest_one_run_u64(mut x: u64) -> u32 {
+    let mut len = 0;
+    while x != 0 {
+        x &= x << 1;
+        len += 1;
+    }
+    len
+}
+
+/// Length of the longest run of ones across a little-endian word slice,
+/// considering only the low `nbits` bits.
+///
+/// Runs crossing word boundaries are counted correctly.
+///
+/// # Panics
+///
+/// Panics if `nbits > 64 * words.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_runstats::longest_one_run_words;
+///
+/// // A run of 4 ones straddling the 64-bit boundary: bits 62..=65.
+/// let words = [0b11u64 << 62, 0b11u64];
+/// assert_eq!(longest_one_run_words(&words, 128), 4);
+/// ```
+pub fn longest_one_run_words(words: &[u64], nbits: usize) -> u32 {
+    assert!(
+        nbits <= 64 * words.len(),
+        "nbits ({nbits}) exceeds capacity of {} words",
+        words.len()
+    );
+    let mut best: u32 = 0;
+    let mut current: u32 = 0;
+    for bit in 0..nbits {
+        let w = words[bit / 64];
+        if (w >> (bit % 64)) & 1 == 1 {
+            current += 1;
+            best = best.max(current);
+        } else {
+            current = 0;
+        }
+    }
+    best
+}
+
+/// Whether `x` contains a run of ones strictly longer than `max_len`
+/// within its low `nbits` bits.
+///
+/// This is the exact predicate for "an almost-correct adder with window
+/// covering runs of length `max_len` errs on these propagate bits".
+pub fn has_one_run_longer_than(words: &[u64], nbits: usize, max_len: u32) -> bool {
+    longest_one_run_words(words, nbits) > max_len
+}
+
+/// An iterator over the maximal runs of ones in the low `nbits` bits of a
+/// word slice, yielding `(start_bit, length)` pairs in ascending order.
+#[derive(Clone, Debug)]
+pub struct OneRuns<'a> {
+    words: &'a [u64],
+    nbits: usize,
+    pos: usize,
+}
+
+impl<'a> OneRuns<'a> {
+    /// Creates the iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbits > 64 * words.len()`.
+    pub fn new(words: &'a [u64], nbits: usize) -> Self {
+        assert!(nbits <= 64 * words.len());
+        OneRuns { words, nbits, pos: 0 }
+    }
+
+    fn bit(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+}
+
+impl Iterator for OneRuns<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        while self.pos < self.nbits && !self.bit(self.pos) {
+            self.pos += 1;
+        }
+        if self.pos >= self.nbits {
+            return None;
+        }
+        let start = self.pos;
+        while self.pos < self.nbits && self.bit(self.pos) {
+            self.pos += 1;
+        }
+        Some((start, self.pos - start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slow_longest(words: &[u64], nbits: usize) -> u32 {
+        let mut best = 0;
+        let mut cur = 0;
+        for i in 0..nbits {
+            if (words[i / 64] >> (i % 64)) & 1 == 1 {
+                cur += 1;
+                best = best.max(cur);
+            } else {
+                cur = 0;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn u64_known_values() {
+        assert_eq!(longest_one_run_u64(0), 0);
+        assert_eq!(longest_one_run_u64(1), 1);
+        assert_eq!(longest_one_run_u64(0b1010_1010), 1);
+        assert_eq!(longest_one_run_u64(0b1101_1011), 2);
+        assert_eq!(longest_one_run_u64(0xFFFF_0000_FFFF_0000), 16);
+        assert_eq!(longest_one_run_u64(u64::MAX), 64);
+        assert_eq!(longest_one_run_u64(u64::MAX >> 1), 63);
+    }
+
+    #[test]
+    fn words_boundary_run() {
+        let words = [1u64 << 63, 1u64];
+        assert_eq!(longest_one_run_words(&words, 128), 2);
+        // Truncating nbits to 64 cuts the run at the boundary.
+        assert_eq!(longest_one_run_words(&words, 64), 1);
+    }
+
+    #[test]
+    fn words_nbits_masks_high_bits() {
+        // All ones, but only 10 bits considered.
+        let words = [u64::MAX];
+        assert_eq!(longest_one_run_words(&words, 10), 10);
+        assert_eq!(longest_one_run_words(&words, 0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn words_nbits_overflow_panics() {
+        longest_one_run_words(&[0], 65);
+    }
+
+    #[test]
+    fn predicate_threshold() {
+        let words = [0b0111_0u64];
+        assert!(has_one_run_longer_than(&words, 5, 2));
+        assert!(!has_one_run_longer_than(&words, 5, 3));
+    }
+
+    #[test]
+    fn runs_iterator_enumerates_maximal_runs() {
+        let words = [0b1_0011_0111_0u64];
+        let runs: Vec<_> = OneRuns::new(&words, 10).collect();
+        assert_eq!(runs, vec![(1, 3), (5, 2), (9, 1)]);
+    }
+
+    #[test]
+    fn runs_iterator_empty() {
+        let words = [0u64];
+        assert_eq!(OneRuns::new(&words, 64).count(), 0);
+    }
+
+    #[test]
+    fn runs_iterator_cross_word() {
+        let words = [0b11u64 << 62, 0b111u64];
+        let runs: Vec<_> = OneRuns::new(&words, 128).collect();
+        assert_eq!(runs, vec![(62, 5)]);
+    }
+
+    #[test]
+    fn agreement_with_slow_reference() {
+        let mut state = 0x1234_5678_9ABC_DEFu64;
+        for _ in 0..200 {
+            // xorshift
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let words = [state, state.rotate_left(17), !state];
+            for nbits in [1usize, 17, 64, 100, 128, 192] {
+                assert_eq!(
+                    longest_one_run_words(&words, nbits),
+                    slow_longest(&words, nbits)
+                );
+            }
+            assert_eq!(longest_one_run_u64(state), slow_longest(&[state], 64));
+        }
+    }
+}

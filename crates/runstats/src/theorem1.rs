@@ -1,0 +1,193 @@
+//! Theorem 1 of the paper: the expected number of fair coin flips needed
+//! to first observe a run of `k` heads is `2^{k+1} - 2`.
+//!
+//! The proof walks an infinite line graph (paper Fig. 2): from node `i`, a
+//! head advances to `i+1` and a tail resets to node 0. This module provides
+//! the closed form, the recurrence it solves, an exact absorbing-chain
+//! expectation for finite budgets, and a Monte Carlo counterpart used by
+//! the `theorem1` experiment binary.
+
+use rand::Rng;
+
+/// Closed-form expected flips to reach a run of `k` heads: `2^{k+1} - 2`.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_runstats::expected_flips_for_run;
+///
+/// assert_eq!(expected_flips_for_run(1), 2.0);
+/// assert_eq!(expected_flips_for_run(3), 14.0);
+/// ```
+pub fn expected_flips_for_run(k: u32) -> f64 {
+    2f64.powi(k as i32 + 1) - 2.0
+}
+
+/// Solves the paper's recurrence `T_k = T_{k-1} + 1/2 * 2 + 1/2 * (1 + T_k)`
+/// numerically — i.e. `T_k = 2 * T_{k-1} + 2` with `T_0 = 0` — and returns
+/// `T_0..=T_k`.
+///
+/// Returned values agree with [`expected_flips_for_run`]; the function
+/// exists so tests can check the derivation step by step.
+pub fn recurrence_expected_flips(k: u32) -> Vec<f64> {
+    let mut t = vec![0.0];
+    for _ in 1..=k {
+        let prev = *t.last().expect("nonempty");
+        t.push(2.0 * prev + 2.0);
+    }
+    t
+}
+
+/// Simulates the line-graph walk once: flips a fair coin until a run of
+/// `k` heads occurs and returns the number of flips used.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use vlsa_runstats::flips_until_run;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let flips = flips_until_run(3, &mut rng);
+/// assert!(flips >= 3);
+/// ```
+pub fn flips_until_run<R: Rng + ?Sized>(k: u32, rng: &mut R) -> u64 {
+    let mut flips = 0u64;
+    let mut run = 0u32;
+    while run < k {
+        flips += 1;
+        if rng.gen::<bool>() {
+            run += 1;
+        } else {
+            run = 0;
+        }
+    }
+    flips
+}
+
+/// Monte Carlo estimate of the expected flips to a `k`-head run over
+/// `trials` independent walks, returned as `(mean, standard_error)`.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero.
+pub fn monte_carlo_expected_flips<R: Rng + ?Sized>(
+    k: u32,
+    trials: u64,
+    rng: &mut R,
+) -> (f64, f64) {
+    assert!(trials > 0, "at least one trial required");
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for _ in 0..trials {
+        let f = flips_until_run(k, rng) as f64;
+        sum += f;
+        sum_sq += f * f;
+    }
+    let mean = sum / trials as f64;
+    let var = (sum_sq / trials as f64 - mean * mean).max(0.0);
+    (mean, (var / trials as f64).sqrt())
+}
+
+/// Exact probability that a run of `k` heads appears within `n` flips,
+/// computed by stepping the absorbing Markov chain on states `0..=k`.
+///
+/// This is the complement of `A_n(k-1)/2^n` and is used to cross-check the
+/// [`crate::count_bounded_runs`] recurrence through an independent model.
+///
+/// # Panics
+///
+/// Panics if `k` is zero (a run of zero heads is vacuously present).
+pub fn prob_run_within(k: u32, n: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let k = k as usize;
+    // state i = current head-run length; state k absorbs.
+    let mut dist = vec![0.0f64; k + 1];
+    dist[0] = 1.0;
+    for _ in 0..n {
+        let mut next = vec![0.0f64; k + 1];
+        next[k] = dist[k];
+        for (i, &p) in dist.iter().enumerate().take(k) {
+            next[0] += p * 0.5;
+            next[(i + 1).min(k)] += p * 0.5;
+        }
+        dist = next;
+    }
+    dist[k]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn closed_form_values() {
+        assert_eq!(expected_flips_for_run(0), 0.0);
+        assert_eq!(expected_flips_for_run(1), 2.0);
+        assert_eq!(expected_flips_for_run(2), 6.0);
+        assert_eq!(expected_flips_for_run(4), 30.0);
+        assert_eq!(expected_flips_for_run(10), 2046.0);
+    }
+
+    #[test]
+    fn recurrence_matches_closed_form() {
+        let t = recurrence_expected_flips(16);
+        for (k, &v) in t.iter().enumerate() {
+            assert_eq!(v, expected_flips_for_run(k as u32), "k={k}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_theorem() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for k in [1u32, 3, 6] {
+            let (mean, se) = monte_carlo_expected_flips(k, 20_000, &mut rng);
+            let exact = expected_flips_for_run(k);
+            assert!(
+                (mean - exact).abs() < 5.0 * se + 0.5,
+                "k={k}: mean {mean}, exact {exact}, se {se}"
+            );
+        }
+    }
+
+    #[test]
+    fn walk_takes_at_least_k_flips() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(flips_until_run(5, &mut rng) >= 5);
+        }
+    }
+
+    #[test]
+    fn markov_chain_agrees_with_exact_count() {
+        for (k, n) in [(3u32, 10usize), (5, 64), (8, 200)] {
+            let markov = prob_run_within(k, n);
+            let exact = crate::prob_longest_run_gt(n, k as usize - 1);
+            assert!((markov - exact).abs() < 1e-12, "k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn prob_run_within_monotone_in_n() {
+        let mut prev = 0.0;
+        for n in 0..100 {
+            let p = prob_run_within(4, n);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn prob_run_rejects_zero_k() {
+        prob_run_within(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn monte_carlo_rejects_zero_trials() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        monte_carlo_expected_flips(3, 0, &mut rng);
+    }
+}

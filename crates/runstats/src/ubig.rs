@@ -1,0 +1,492 @@
+//! A minimal arbitrary-precision unsigned integer.
+//!
+//! The exact run-length recurrence `A_n(x)` counts subsets of `{0,1}^n` for
+//! `n` up to several thousand bits, so the counts themselves need thousands
+//! of bits. Only addition, subtraction, shifting, small multiplication and
+//! float conversion are required, so we implement a compact limb vector
+//! here instead of pulling in a general bignum dependency.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Shl, Sub, SubAssign};
+
+/// An arbitrary-precision unsigned integer stored as little-endian `u64`
+/// limbs with no trailing zero limbs (zero is the empty limb vector).
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_runstats::Ubig;
+///
+/// let a = Ubig::from(u64::MAX);
+/// let b = &a + &a;
+/// assert_eq!(b.bit_len(), 65);
+/// assert_eq!(b.to_f64(), 2.0 * u64::MAX as f64);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Ubig {
+    limbs: Vec<u64>,
+}
+
+impl Ubig {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Ubig { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Ubig { limbs: vec![1] }
+    }
+
+    /// `2^exp`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vlsa_runstats::Ubig;
+    /// assert_eq!(Ubig::pow2(10), Ubig::from(1024u64));
+    /// ```
+    pub fn pow2(exp: usize) -> Self {
+        let mut limbs = vec![0u64; exp / 64 + 1];
+        limbs[exp / 64] = 1u64 << (exp % 64);
+        let mut v = Ubig { limbs };
+        v.normalize();
+        v
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (zero has bit length 0).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Multiply in place by a small constant.
+    pub fn mul_small(&mut self, m: u64) {
+        if m == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry: u128 = 0;
+        for limb in &mut self.limbs {
+            let prod = *limb as u128 * m as u128 + carry;
+            *limb = prod as u64;
+            carry = prod >> 64;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u64);
+        }
+    }
+
+    /// Divide in place by a small constant, returning the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn div_small(&mut self, d: u64) -> u64 {
+        assert!(d != 0, "division by zero");
+        let mut rem: u128 = 0;
+        for limb in self.limbs.iter_mut().rev() {
+            let cur = (rem << 64) | *limb as u128;
+            *limb = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        self.normalize();
+        rem as u64
+    }
+
+    /// Approximate the value as an `f64`, saturating to `f64::INFINITY`
+    /// for values beyond the exponent range.
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bit_len();
+        if bits == 0 {
+            return 0.0;
+        }
+        if bits <= 64 {
+            return self.limbs[0] as f64;
+        }
+        // Take the top 64 significant bits as a mantissa and scale.
+        let (mant, exp) = self.top_bits();
+        let scaled = mant as f64;
+        let e = exp as i32;
+        if e > f64::MAX_EXP {
+            f64::INFINITY
+        } else {
+            scaled * 2f64.powi(e)
+        }
+    }
+
+    /// Top 64 significant bits and the power-of-two exponent such that the
+    /// value is approximately `mantissa * 2^exp`.
+    fn top_bits(&self) -> (u64, usize) {
+        let bits = self.bit_len();
+        debug_assert!(bits > 64);
+        let shift = bits - 64;
+        let limb_idx = shift / 64;
+        let bit_idx = shift % 64;
+        let lo = self.limbs[limb_idx] >> bit_idx;
+        let mant = if bit_idx == 0 {
+            lo
+        } else {
+            lo | (self.limbs.get(limb_idx + 1).copied().unwrap_or(0) << (64 - bit_idx))
+        };
+        (mant, shift)
+    }
+
+    /// Ratio `self / other` as an `f64`, correct to mantissa precision even
+    /// when both operands exceed the `f64` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vlsa_runstats::Ubig;
+    /// let num = Ubig::pow2(4000);
+    /// let den = Ubig::pow2(4001);
+    /// assert_eq!(num.ratio(&den), 0.5);
+    /// ```
+    pub fn ratio(&self, other: &Ubig) -> f64 {
+        assert!(!other.is_zero(), "division by zero");
+        if self.is_zero() {
+            return 0.0;
+        }
+        let nb = self.bit_len();
+        let db = other.bit_len();
+        let num_mant = self.mantissa64();
+        let den_mant = other.mantissa64();
+        let exp = nb as i64 - db as i64;
+        (num_mant / den_mant) * 2f64.powi(exp as i32)
+    }
+
+    /// Mantissa in `[0.5, 1.0)` such that value ≈ mantissa * 2^bit_len.
+    fn mantissa64(&self) -> f64 {
+        let bits = self.bit_len();
+        if bits <= 64 {
+            self.limbs[0] as f64 / 2f64.powi(bits as i32)
+        } else {
+            let (mant, _) = self.top_bits();
+            mant as f64 / 2f64.powi(64)
+        }
+    }
+
+    /// Base-2 logarithm, or negative infinity for zero.
+    pub fn log2(&self) -> f64 {
+        if self.is_zero() {
+            return f64::NEG_INFINITY;
+        }
+        let bits = self.bit_len();
+        self.mantissa64().log2() + bits as f64
+    }
+}
+
+impl From<u64> for Ubig {
+    fn from(v: u64) -> Self {
+        let mut b = Ubig { limbs: vec![v] };
+        b.normalize();
+        b
+    }
+}
+
+impl From<u128> for Ubig {
+    fn from(v: u128) -> Self {
+        let mut b = Ubig {
+            limbs: vec![v as u64, (v >> 64) as u64],
+        };
+        b.normalize();
+        b
+    }
+}
+
+impl PartialOrd for Ubig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ubig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl AddAssign<&Ubig> for Ubig {
+    fn add_assign(&mut self, rhs: &Ubig) {
+        if self.limbs.len() < rhs.limbs.len() {
+            self.limbs.resize(rhs.limbs.len(), 0);
+        }
+        let mut carry = 0u64;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let r = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = limb.overflowing_add(r);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *limb = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+}
+
+impl Add<&Ubig> for &Ubig {
+    type Output = Ubig;
+    fn add(self, rhs: &Ubig) -> Ubig {
+        let mut out = self.clone();
+        out += rhs;
+        out
+    }
+}
+
+impl SubAssign<&Ubig> for Ubig {
+    /// # Panics
+    ///
+    /// Panics if `rhs > self` (unsigned subtraction would underflow).
+    fn sub_assign(&mut self, rhs: &Ubig) {
+        assert!(*self >= *rhs, "ubig subtraction underflow");
+        let mut borrow = 0u64;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let r = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = limb.overflowing_sub(r);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *limb = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        self.normalize();
+    }
+}
+
+impl Sub<&Ubig> for &Ubig {
+    type Output = Ubig;
+    fn sub(self, rhs: &Ubig) -> Ubig {
+        let mut out = self.clone();
+        out -= rhs;
+        out
+    }
+}
+
+impl Shl<usize> for &Ubig {
+    type Output = Ubig;
+    fn shl(self, shift: usize) -> Ubig {
+        if self.is_zero() {
+            return Ubig::zero();
+        }
+        let limb_shift = shift / 64;
+        let bit_shift = shift % 64;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        let mut out = Ubig { limbs };
+        out.normalize();
+        out
+    }
+}
+
+impl fmt::Display for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Repeated division by 10^19 (largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut v = self.clone();
+        let mut chunks = Vec::new();
+        while !v.is_zero() {
+            chunks.push(v.div_small(CHUNK));
+        }
+        let mut s = chunks.pop().expect("nonzero value has chunks").to_string();
+        for c in chunks.iter().rev() {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::LowerHex for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut s = format!("{:x}", self.limbs.last().expect("nonzero"));
+        for limb in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{limb:016x}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Binary for Ubig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut s = format!("{:b}", self.limbs.last().expect("nonzero"));
+        for limb in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{limb:064b}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> Ubig {
+        Ubig::from(v)
+    }
+
+    #[test]
+    fn zero_properties() {
+        let z = Ubig::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.bit_len(), 0);
+        assert_eq!(z.to_f64(), 0.0);
+        assert_eq!(z.to_string(), "0");
+        assert_eq!(Ubig::default(), z);
+    }
+
+    #[test]
+    fn add_matches_u128() {
+        let a = big(0xFFFF_FFFF_FFFF_FFFF_FFFF);
+        let b = big(0x1_0000_0000);
+        let s = &a + &b;
+        assert_eq!(s, big(0xFFFF_FFFF_FFFF_FFFF_FFFF + 0x1_0000_0000));
+    }
+
+    #[test]
+    fn sub_matches_u128() {
+        let a = big(u128::MAX);
+        let b = big(u64::MAX as u128 + 17);
+        let d = &a - &b;
+        assert_eq!(d, big(u128::MAX - (u64::MAX as u128 + 17)));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &big(1) - &big(2);
+    }
+
+    #[test]
+    fn shl_matches_u128() {
+        let a = big(0xDEAD_BEEF);
+        assert_eq!(&a << 13, big(0xDEAD_BEEF << 13));
+        assert_eq!(&a << 64, big((0xDEAD_BEEFu128) << 64));
+        assert_eq!(&a << 0, a);
+    }
+
+    #[test]
+    fn pow2_bit_len() {
+        for e in [0usize, 1, 63, 64, 65, 127, 128, 1000] {
+            let p = Ubig::pow2(e);
+            assert_eq!(p.bit_len(), e + 1, "2^{e}");
+        }
+    }
+
+    #[test]
+    fn mul_div_small_round_trip() {
+        let mut v = big(123_456_789_012_345_678_901_234_567u128);
+        v.mul_small(9_999_991);
+        let r = v.div_small(9_999_991);
+        assert_eq!(r, 0);
+        assert_eq!(v, big(123_456_789_012_345_678_901_234_567u128));
+    }
+
+    #[test]
+    fn div_small_remainder() {
+        let mut v = big(1000);
+        let r = v.div_small(7);
+        assert_eq!(v, big(142));
+        assert_eq!(r, 6);
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(big(12345).to_string(), "12345");
+        // 2^128 = 340282366920938463463374607431768211456
+        let p = Ubig::pow2(128);
+        assert_eq!(p.to_string(), "340282366920938463463374607431768211456");
+    }
+
+    #[test]
+    fn hex_and_binary_formatting() {
+        let v = big(0xABCD_0123_4567_89EF_0011_2233u128);
+        assert_eq!(format!("{v:x}"), format!("{:x}", 0xABCD_0123_4567_89EF_0011_2233u128));
+        let w = big(0b1011);
+        assert_eq!(format!("{w:b}"), "1011");
+    }
+
+    #[test]
+    fn to_f64_large() {
+        let p = Ubig::pow2(100);
+        assert_eq!(p.to_f64(), 2f64.powi(100));
+        let huge = Ubig::pow2(5000);
+        assert!(huge.to_f64().is_infinite());
+    }
+
+    #[test]
+    fn ratio_beyond_f64_range() {
+        let a = Ubig::pow2(4096);
+        let b = &Ubig::pow2(4096) + &Ubig::pow2(4095);
+        let r = a.ratio(&b);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12, "{r}");
+    }
+
+    #[test]
+    fn ratio_small_values() {
+        assert_eq!(big(3).ratio(&big(4)), 0.75);
+        assert_eq!(Ubig::zero().ratio(&big(4)), 0.0);
+    }
+
+    #[test]
+    fn log2_values() {
+        assert_eq!(big(1024).log2(), 10.0);
+        let p = Ubig::pow2(4096);
+        assert!((p.log2() - 4096.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(5) < big(6));
+        assert!(Ubig::pow2(100) > big(u128::MAX >> 30));
+        assert_eq!(big(7).cmp(&big(7)), std::cmp::Ordering::Equal);
+    }
+}

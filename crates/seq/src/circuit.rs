@@ -1,0 +1,232 @@
+//! Registered circuits: a combinational [`Netlist`] core plus D
+//! flip-flops closing the loop.
+//!
+//! A register's `q` side is modelled as a primary input of the core and
+//! its `d` side as any core net, so the combinational netlist stays a
+//! plain DAG and all existing analysis (simulation, timing, HDL
+//! emission) applies to the core unchanged.
+
+use std::error::Error;
+use std::fmt;
+use vlsa_netlist::{NetId, Netlist};
+
+/// One D flip-flop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Register {
+    /// Register name (also the name of the core input carrying `q`).
+    pub name: String,
+    /// The core input net presenting the register's current state.
+    pub q: NetId,
+    /// The core net sampled into the register at each clock edge.
+    pub d: NetId,
+    /// Reset value.
+    pub init: bool,
+}
+
+/// A defect found when sealing a sequential circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SealCircuitError {
+    /// A register was declared but never connected to a `d` net.
+    UnconnectedRegister {
+        /// The register's name.
+        name: String,
+    },
+    /// A register name was declared twice.
+    DuplicateRegister {
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for SealCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SealCircuitError::UnconnectedRegister { name } => {
+                write!(f, "register `{name}` has no d connection")
+            }
+            SealCircuitError::DuplicateRegister { name } => {
+                write!(f, "register `{name}` declared twice")
+            }
+        }
+    }
+}
+
+impl Error for SealCircuitError {}
+
+/// Builder for a sequential circuit: wraps a combinational netlist and
+/// tracks register declarations.
+///
+/// # Examples
+///
+/// A toggle flip-flop:
+///
+/// ```
+/// use vlsa_seq::SeqBuilder;
+///
+/// let mut b = SeqBuilder::new("toggle");
+/// let q = b.register("t", false);
+/// let d = b.comb().not(q);
+/// b.connect(q, d);
+/// b.comb().output("out", q);
+/// let circuit = b.seal()?;
+/// assert_eq!(circuit.registers().len(), 1);
+/// # Ok::<(), vlsa_seq::SealCircuitError>(())
+/// ```
+#[derive(Debug)]
+pub struct SeqBuilder {
+    comb: Netlist,
+    regs: Vec<(String, NetId, Option<NetId>, bool)>,
+}
+
+impl SeqBuilder {
+    /// Creates a builder for a circuit named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        SeqBuilder {
+            comb: Netlist::new(name),
+            regs: Vec::new(),
+        }
+    }
+
+    /// Mutable access to the combinational core for building logic.
+    pub fn comb(&mut self) -> &mut Netlist {
+        &mut self.comb
+    }
+
+    /// Declares a register with a reset value, returning its `q` net
+    /// (usable immediately as a logic input). Connect its `d` side
+    /// later with [`SeqBuilder::connect`].
+    pub fn register(&mut self, name: impl Into<String>, init: bool) -> NetId {
+        let name = name.into();
+        let q = self.comb.input(format!("__reg_{name}"));
+        self.regs.push((name, q, None, init));
+        q
+    }
+
+    /// Connects the `d` input of the register whose `q` net is `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` does not identify a declared register.
+    pub fn connect(&mut self, q: NetId, d: NetId) {
+        let reg = self
+            .regs
+            .iter_mut()
+            .find(|(_, rq, _, _)| *rq == q)
+            .unwrap_or_else(|| panic!("{q} is not a register q net"));
+        reg.2 = Some(d);
+    }
+
+    /// Finalizes the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SealCircuitError`] if a register is unconnected or a
+    /// name is duplicated.
+    pub fn seal(self) -> Result<SeqCircuit, SealCircuitError> {
+        let mut names = std::collections::HashSet::new();
+        let mut regs = Vec::with_capacity(self.regs.len());
+        for (name, q, d, init) in self.regs {
+            if !names.insert(name.clone()) {
+                return Err(SealCircuitError::DuplicateRegister { name });
+            }
+            let d = d.ok_or_else(|| SealCircuitError::UnconnectedRegister {
+                name: name.clone(),
+            })?;
+            regs.push(Register { name, q, d, init });
+        }
+        Ok(SeqCircuit {
+            comb: self.comb,
+            regs,
+        })
+    }
+}
+
+/// A sealed sequential circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeqCircuit {
+    comb: Netlist,
+    regs: Vec<Register>,
+}
+
+impl SeqCircuit {
+    /// The combinational core. Register `q` sides appear as inputs
+    /// named `__reg_<name>`.
+    pub fn comb(&self) -> &Netlist {
+        &self.comb
+    }
+
+    /// The registers.
+    pub fn registers(&self) -> &[Register] {
+        &self.regs
+    }
+
+    /// The free (non-register) primary inputs of the core.
+    pub fn free_inputs(&self) -> impl Iterator<Item = &(String, NetId)> {
+        self.comb
+            .primary_inputs()
+            .iter()
+            .filter(|(name, _)| !name.starts_with("__reg_"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_registers() {
+        let mut b = SeqBuilder::new("c");
+        let q0 = b.register("r0", false);
+        let q1 = b.register("r1", true);
+        let d = b.comb().xor2(q0, q1);
+        b.connect(q0, d);
+        b.connect(q1, q0);
+        let c = b.seal().expect("sealed");
+        assert_eq!(c.registers().len(), 2);
+        assert_eq!(c.registers()[1].init, true);
+        assert_eq!(c.registers()[1].d, q0);
+        assert_eq!(c.free_inputs().count(), 0);
+    }
+
+    #[test]
+    fn free_inputs_exclude_registers() {
+        let mut b = SeqBuilder::new("c");
+        let q = b.register("r", false);
+        let x = b.comb().input("x");
+        let d = b.comb().and2(q, x);
+        b.connect(q, d);
+        let c = b.seal().expect("sealed");
+        let free: Vec<&str> = c.free_inputs().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(free, vec!["x"]);
+    }
+
+    #[test]
+    fn unconnected_register_rejected() {
+        let mut b = SeqBuilder::new("c");
+        let _ = b.register("lonely", false);
+        assert_eq!(
+            b.seal().unwrap_err(),
+            SealCircuitError::UnconnectedRegister { name: "lonely".into() }
+        );
+    }
+
+    #[test]
+    fn duplicate_register_rejected() {
+        let mut b = SeqBuilder::new("c");
+        let q0 = b.register("r", false);
+        let q1 = b.register("r", false);
+        b.connect(q0, q0);
+        b.connect(q1, q1);
+        let err = b.seal().unwrap_err();
+        assert!(matches!(err, SealCircuitError::DuplicateRegister { .. }));
+        assert!(err.to_string().contains('r'));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a register")]
+    fn connecting_non_register_panics() {
+        let mut b = SeqBuilder::new("c");
+        let x = b.comb().input("x");
+        b.connect(x, x);
+    }
+}

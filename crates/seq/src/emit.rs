@@ -1,0 +1,150 @@
+//! Sequential Verilog emission: the combinational core (via
+//! `vlsa-hdl`) plus a clocked wrapper holding the registers.
+
+use crate::SeqCircuit;
+use std::fmt::Write as _;
+use vlsa_hdl::{group_ports, legalize, to_verilog, Port};
+
+/// Emits a sequential circuit as two Verilog modules: the structural
+/// combinational core and a `<name>_seq` wrapper with `clk`/`rst` and
+/// the register bank (synchronous reset to each register's init value).
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_seq::{sequential_vlsa, to_verilog_seq};
+///
+/// let circuit = sequential_vlsa(8, 3)?;
+/// let v = to_verilog_seq(&circuit);
+/// assert!(v.contains("module vlsa_seq8w3_seq(clk, rst"));
+/// assert!(v.contains("always @(posedge clk)"));
+/// # Ok::<(), vlsa_seq::SealCircuitError>(())
+/// ```
+pub fn to_verilog_seq(circuit: &SeqCircuit) -> String {
+    let core_name = legalize(circuit.comb().name());
+    let wrapper_name = format!("{core_name}_seq");
+
+    // External interface: the core's free inputs plus all outputs.
+    let free_inputs: Vec<(String, vlsa_netlist::NetId)> =
+        circuit.free_inputs().cloned().collect();
+    let inputs = group_ports(&free_inputs);
+    let outputs = group_ports(circuit.comb().primary_outputs());
+
+    let mut out = String::new();
+    let port_names: Vec<String> = ["clk", "rst"]
+        .into_iter()
+        .map(str::to_string)
+        .chain(inputs.iter().map(|p| p.name().to_string()))
+        .chain(outputs.iter().map(|p| p.name().to_string()))
+        .collect();
+    let _ = writeln!(out, "module {wrapper_name}({});", port_names.join(", "));
+    let _ = writeln!(out, "  input clk, rst;");
+    let decl = |port: &Port, dir: &str| -> String {
+        if port.width() == 1 {
+            format!("  {dir} {};\n", port.name())
+        } else {
+            format!("  {dir} [{}:0] {};\n", port.width() - 1, port.name())
+        }
+    };
+    for p in &inputs {
+        out.push_str(&decl(p, "input"));
+    }
+    for p in &outputs {
+        out.push_str(&decl(p, "output"));
+    }
+    // Register bank.
+    for reg in circuit.registers() {
+        let _ = writeln!(out, "  reg r_{};", legalize(&reg.name));
+        let _ = writeln!(out, "  wire d_{};", legalize(&reg.name));
+    }
+    // Core instance: register q sides connect through the core's
+    // `__reg_*` input ports; d sides come back through the `__d_*`
+    // outputs added to the `_with_d` core variant emitted below.
+    let conns: Vec<String> = inputs
+        .iter()
+        .chain(&outputs)
+        .map(|p| format!(".{0}({0})", p.name()))
+        .chain(circuit.registers().iter().map(|reg| {
+            format!(".__reg_{0}(r_{0})", legalize(&reg.name))
+        }))
+        .chain(circuit.registers().iter().map(|reg| {
+            format!(".__d_{0}(d_{0})", legalize(&reg.name))
+        }))
+        .collect();
+    let _ = writeln!(out, "  {core_name}_with_d core({});", conns.join(", "));
+    let _ = writeln!(out, "  always @(posedge clk) begin");
+    let _ = writeln!(out, "    if (rst) begin");
+    for reg in circuit.registers() {
+        let _ = writeln!(
+            out,
+            "      r_{} <= 1'b{};",
+            legalize(&reg.name),
+            reg.init as u8
+        );
+    }
+    let _ = writeln!(out, "    end else begin");
+    for reg in circuit.registers() {
+        let _ = writeln!(out, "      r_{0} <= d_{0};", legalize(&reg.name));
+    }
+    let _ = writeln!(out, "    end");
+    let _ = writeln!(out, "  end");
+    let _ = writeln!(out, "endmodule");
+
+    // The `_with_d` core: the plain core plus one output per register d.
+    let mut with_d = circuit.comb().clone();
+    for reg in circuit.registers() {
+        with_d.output(format!("__d_{}", legalize(&reg.name)), reg.d);
+    }
+    // Rename by emitting and patching the module name (Netlist names are
+    // immutable once built).
+    let with_d_text = to_verilog(&with_d)
+        .replace(&format!("module {core_name}("), &format!("module {core_name}_with_d("));
+
+    format!("{with_d_text}\n{out}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sequential_vlsa, SeqBuilder};
+
+    #[test]
+    fn wrapper_structure() {
+        let circuit = sequential_vlsa(4, 2).expect("sealed");
+        let v = to_verilog_seq(&circuit);
+        assert!(v.contains("module vlsa_seq4w2_with_d("));
+        assert!(v.contains("module vlsa_seq4w2_seq(clk, rst"));
+        assert!(v.contains("always @(posedge clk)"));
+        assert!(v.contains("if (rst) begin"));
+        // One r_/d_ pair per register (1 + 2*4 registers).
+        assert_eq!(v.matches("  reg r_").count(), 9);
+        assert_eq!(v.matches("  wire d_").count(), 9);
+        // The core does not appear twice.
+        assert_eq!(v.matches("module vlsa_seq4w2_with_d(").count(), 1);
+    }
+
+    #[test]
+    fn register_resets_respect_init() {
+        let mut b = SeqBuilder::new("inits");
+        let q0 = b.register("zero", false);
+        let q1 = b.register("one", true);
+        let d = b.comb().xor2(q0, q1);
+        b.connect(q0, d);
+        b.connect(q1, d);
+        b.comb().output("y", d);
+        let circuit = b.seal().expect("sealed");
+        let v = to_verilog_seq(&circuit);
+        assert!(v.contains("r_zero <= 1'b0;"));
+        assert!(v.contains("r_one <= 1'b1;"));
+        assert!(v.contains("r_zero <= d_zero;"));
+    }
+
+    #[test]
+    fn d_outputs_are_exported() {
+        let circuit = sequential_vlsa(4, 2).expect("sealed");
+        let v = to_verilog_seq(&circuit);
+        assert!(v.contains("__d_in_recovery"));
+        assert!(v.contains(".__reg_in_recovery(r_in_recovery)"));
+        assert!(v.contains(".__d_in_recovery(d_in_recovery)"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Sequential gate-level substrate for the VLSA workspace.
+//!
+//! The combinational crates stop at DAGs; this crate adds D flip-flops
+//! and clocked simulation so the paper's Fig. 6 — the actual
+//! variable-latency *circuit* with its VALID/STALL handshake — exists
+//! at gate level and can be locked step-for-step against the
+//! `vlsa-pipeline` software model:
+//!
+//! - [`SeqBuilder`] / [`SeqCircuit`]: a combinational
+//!   [`vlsa_netlist::Netlist`] core plus registers (`q` modelled as a
+//!   core input, `d` as a core net),
+//! - [`SeqSim`]: 64-lane cycle simulation with reset and state
+//!   inspection,
+//! - [`sequential_vlsa`]: the Fig. 6 adder itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::collections::HashMap;
+//! use vlsa_seq::{sequential_vlsa, SeqSim};
+//!
+//! let circuit = sequential_vlsa(8, 8)?; // window covers width: never stalls
+//! let mut sim = SeqSim::new(&circuit);
+//! let mut inputs = HashMap::new();
+//! for i in 0..8 {
+//!     inputs.insert(format!("a[{i}]"), if (5 >> i) & 1 == 1 { u64::MAX } else { 0 });
+//!     inputs.insert(format!("b[{i}]"), if (9 >> i) & 1 == 1 { u64::MAX } else { 0 });
+//! }
+//! let out = sim.step(&inputs)?;
+//! assert_eq!(out["valid"] & 1, 1);
+//! let sum: u64 = (0..8).map(|i| (out[&format!("sum[{i}]")] & 1) << i).sum();
+//! assert_eq!(sum, 14);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod circuit;
+mod emit;
+mod fig6;
+mod simulate;
+mod vcd;
+
+pub use circuit::{Register, SealCircuitError, SeqBuilder, SeqCircuit};
+pub use emit::to_verilog_seq;
+pub use fig6::sequential_vlsa;
+pub use simulate::SeqSim;
+pub use vcd::VcdRecorder;

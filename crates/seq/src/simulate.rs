@@ -1,0 +1,207 @@
+//! Clocked simulation of sequential circuits, 64 lanes at a time.
+
+use crate::SeqCircuit;
+use std::collections::HashMap;
+use vlsa_sim::{simulate, SimulateError, Stimulus};
+
+/// A cycle-by-cycle simulator holding register state.
+///
+/// Each lane of the 64-bit words is an independent instance of the
+/// circuit, all sharing the same input stream.
+///
+/// # Examples
+///
+/// A toggle flip-flop alternates every cycle:
+///
+/// ```
+/// use vlsa_seq::{SeqBuilder, SeqSim};
+///
+/// let mut b = SeqBuilder::new("toggle");
+/// let q = b.register("t", false);
+/// let d = b.comb().not(q);
+/// b.connect(q, d);
+/// b.comb().output("out", q);
+/// let circuit = b.seal()?;
+///
+/// let mut sim = SeqSim::new(&circuit);
+/// let first = sim.step(&Default::default())?;
+/// let second = sim.step(&Default::default())?;
+/// assert_eq!(first["out"] & 1, 0);
+/// assert_eq!(second["out"] & 1, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SeqSim<'a> {
+    circuit: &'a SeqCircuit,
+    state: Vec<u64>,
+    cycles: u64,
+}
+
+impl<'a> SeqSim<'a> {
+    /// Creates a simulator with all registers at their reset values.
+    pub fn new(circuit: &'a SeqCircuit) -> Self {
+        let state = circuit
+            .registers()
+            .iter()
+            .map(|r| if r.init { u64::MAX } else { 0 })
+            .collect();
+        SeqSim {
+            circuit,
+            state,
+            cycles: 0,
+        }
+    }
+
+    /// Number of clock edges simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Current state of the register named `name` (64 lanes).
+    pub fn register_state(&self, name: &str) -> Option<u64> {
+        self.circuit
+            .registers()
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| self.state[i])
+    }
+
+    /// Resets all registers to their initial values.
+    pub fn reset(&mut self) {
+        for (slot, reg) in self.state.iter_mut().zip(self.circuit.registers()) {
+            *slot = if reg.init { u64::MAX } else { 0 };
+        }
+        self.cycles = 0;
+    }
+
+    /// Advances one clock cycle: evaluates the core under `inputs` plus
+    /// the current register state, latches the `d` nets, and returns
+    /// the primary output values *before* the edge (Moore outputs of
+    /// this cycle).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimulateError`] for missing or unknown input ports.
+    pub fn step(
+        &mut self,
+        inputs: &HashMap<String, u64>,
+    ) -> Result<HashMap<String, u64>, SimulateError> {
+        let mut stim = Stimulus::new();
+        for (name, value) in inputs {
+            stim.set(name.clone(), *value);
+        }
+        for (reg, &value) in self.circuit.registers().iter().zip(&self.state) {
+            stim.set(format!("__reg_{}", reg.name), value);
+        }
+        let waves = simulate(self.circuit.comb(), &stim)?;
+        let outputs = self
+            .circuit
+            .comb()
+            .primary_outputs()
+            .iter()
+            .map(|(name, net)| (name.clone(), waves.net(*net)))
+            .collect();
+        for (slot, reg) in self.state.iter_mut().zip(self.circuit.registers()) {
+            *slot = waves.net(reg.d);
+        }
+        self.cycles += 1;
+        Ok(outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeqBuilder;
+
+    /// A 3-bit counter built from half adders.
+    fn counter() -> SeqCircuit {
+        let mut b = SeqBuilder::new("count3");
+        let q0 = b.register("b0", false);
+        let q1 = b.register("b1", false);
+        let q2 = b.register("b2", false);
+        let one = b.comb().constant(true);
+        // bit0 toggles; carry chains up.
+        let d0 = b.comb().xor2(q0, one);
+        let c0 = b.comb().and2(q0, one);
+        let d1 = b.comb().xor2(q1, c0);
+        let c1 = b.comb().and2(q1, c0);
+        let d2 = b.comb().xor2(q2, c1);
+        b.connect(q0, d0);
+        b.connect(q1, d1);
+        b.connect(q2, d2);
+        b.comb().output("v0", q0);
+        b.comb().output("v1", q1);
+        b.comb().output("v2", q2);
+        b.seal().expect("sealed")
+    }
+
+    #[test]
+    fn counter_counts() {
+        let c = counter();
+        let mut sim = SeqSim::new(&c);
+        for expected in 0u64..16 {
+            let out = sim.step(&HashMap::new()).expect("step");
+            let value =
+                (out["v0"] & 1) | ((out["v1"] & 1) << 1) | ((out["v2"] & 1) << 2);
+            assert_eq!(value, expected % 8, "cycle {expected}");
+        }
+        assert_eq!(sim.cycles(), 16);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let c = counter();
+        let mut sim = SeqSim::new(&c);
+        for _ in 0..5 {
+            sim.step(&HashMap::new()).expect("step");
+        }
+        assert_ne!(sim.register_state("b0"), Some(0));
+        sim.reset();
+        assert_eq!(sim.cycles(), 0);
+        assert_eq!(sim.register_state("b0"), Some(0));
+        assert_eq!(sim.register_state("nope"), None);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // An enabled toggle: lane i toggles only when its enable bit is 1.
+        let mut b = SeqBuilder::new("entoggle");
+        let q = b.register("t", false);
+        let en = b.comb().input("en");
+        let d = b.comb().xor2(q, en);
+        b.connect(q, d);
+        b.comb().output("out", q);
+        let c = b.seal().expect("sealed");
+        let mut sim = SeqSim::new(&c);
+        let mut inputs = HashMap::new();
+        inputs.insert("en".to_string(), 0b10u64); // only lane 1 enabled
+        sim.step(&inputs).expect("step");
+        let out = sim.step(&inputs).expect("step");
+        assert_eq!(out["out"] & 0b11, 0b10);
+    }
+
+    #[test]
+    fn initial_values_respected() {
+        let mut b = SeqBuilder::new("init");
+        let q = b.register("r", true);
+        b.connect(q, q);
+        b.comb().output("out", q);
+        let c = b.seal().expect("sealed");
+        let mut sim = SeqSim::new(&c);
+        let out = sim.step(&HashMap::new()).expect("step");
+        assert_eq!(out["out"], u64::MAX);
+    }
+
+    #[test]
+    fn missing_input_is_error() {
+        let mut b = SeqBuilder::new("needs_x");
+        let q = b.register("r", false);
+        let x = b.comb().input("x");
+        let d = b.comb().or2(q, x);
+        b.connect(q, d);
+        let c = b.seal().expect("sealed");
+        let mut sim = SeqSim::new(&c);
+        assert!(sim.step(&HashMap::new()).is_err());
+    }
+}

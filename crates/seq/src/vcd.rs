@@ -1,0 +1,228 @@
+//! VCD (Value Change Dump) waveform capture for clocked simulations.
+//!
+//! Records lane 0 of selected signals each cycle and emits the standard
+//! VCD format any waveform viewer (GTKWave etc.) opens — the debugging
+//! companion to [`crate::SeqSim`].
+
+use crate::{SeqCircuit, SeqSim};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use vlsa_sim::SimulateError;
+
+/// A waveform recorder over a sequential simulation.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashMap;
+/// use vlsa_seq::{SeqBuilder, VcdRecorder};
+///
+/// let mut b = SeqBuilder::new("toggle");
+/// let q = b.register("t", false);
+/// let d = b.comb().not(q);
+/// b.connect(q, d);
+/// b.comb().output("out", q);
+/// let circuit = b.seal()?;
+///
+/// let mut rec = VcdRecorder::new(&circuit);
+/// for _ in 0..4 {
+///     rec.step(&HashMap::new())?;
+/// }
+/// let vcd = rec.finish();
+/// assert!(vcd.contains("$var wire 1"));
+/// assert!(vcd.contains("#3"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct VcdRecorder<'a> {
+    sim: SeqSim<'a>,
+    signals: Vec<String>, // output names + register names
+    history: Vec<Vec<bool>>,
+}
+
+impl<'a> VcdRecorder<'a> {
+    /// Creates a recorder capturing every primary output and register
+    /// of `circuit` (lane 0).
+    pub fn new(circuit: &'a SeqCircuit) -> Self {
+        let mut signals: Vec<String> = circuit
+            .comb()
+            .primary_outputs()
+            .iter()
+            .map(|(name, _)| name.clone())
+            .collect();
+        signals.extend(circuit.registers().iter().map(|r| format!("reg:{}", r.name)));
+        VcdRecorder {
+            sim: SeqSim::new(circuit),
+            signals,
+            history: Vec::new(),
+        }
+    }
+
+    /// Advances one cycle (see [`SeqSim::step`]) and records the
+    /// signals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimulateError`] for missing inputs.
+    pub fn step(&mut self, inputs: &HashMap<String, u64>) -> Result<(), SimulateError> {
+        // Register values are sampled *before* the edge.
+        let regs: Vec<bool> = self
+            .signals
+            .iter()
+            .filter_map(|s| s.strip_prefix("reg:"))
+            .map(|name| self.sim.register_state(name).unwrap_or(0) & 1 == 1)
+            .collect();
+        let outputs = self.sim.step(inputs)?;
+        let mut row = Vec::with_capacity(self.signals.len());
+        let mut reg_iter = regs.into_iter();
+        for sig in &self.signals {
+            if sig.starts_with("reg:") {
+                row.push(reg_iter.next().expect("one sample per register"));
+            } else {
+                row.push(outputs[sig] & 1 == 1);
+            }
+        }
+        self.history.push(row);
+        Ok(())
+    }
+
+    /// Number of recorded cycles.
+    pub fn cycles(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Emits the VCD text (timescale 1 ns, one timestep per cycle).
+    pub fn finish(self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$date vlsa-seq $end");
+        let _ = writeln!(out, "$timescale 1ns $end");
+        let _ = writeln!(out, "$scope module dut $end");
+        // Base-94 printable identifiers (multi-char beyond 94 signals).
+        let ident = |mut i: usize| -> String {
+            let mut s = String::new();
+            loop {
+                s.push(char::from_u32(33 + (i % 94) as u32).expect("printable"));
+                i /= 94;
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+            }
+            s
+        };
+        let idents: Vec<String> = (0..self.signals.len()).map(ident).collect();
+        for (sig, id) in self.signals.iter().zip(&idents) {
+            let clean: String = sig
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let _ = writeln!(out, "$var wire 1 {id} {clean} $end");
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        let mut last: Vec<Option<bool>> = vec![None; self.signals.len()];
+        for (t, row) in self.history.iter().enumerate() {
+            let mut emitted_time = false;
+            for ((value, id), prev) in row.iter().zip(&idents).zip(last.iter_mut()) {
+                if *prev != Some(*value) {
+                    if !emitted_time {
+                        let _ = writeln!(out, "#{t}");
+                        emitted_time = true;
+                    }
+                    let _ = writeln!(out, "{}{id}", if *value { 1 } else { 0 });
+                    *prev = Some(*value);
+                }
+            }
+        }
+        let _ = writeln!(out, "#{}", self.history.len());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sequential_vlsa, SeqBuilder};
+
+    fn toggle() -> SeqCircuit {
+        let mut b = SeqBuilder::new("toggle");
+        let q = b.register("t", false);
+        let d = b.comb().not(q);
+        b.connect(q, d);
+        b.comb().output("out", q);
+        b.seal().expect("sealed")
+    }
+
+    #[test]
+    fn toggle_waveform_alternates() {
+        let c = toggle();
+        let mut rec = VcdRecorder::new(&c);
+        for _ in 0..6 {
+            rec.step(&HashMap::new()).expect("step");
+        }
+        assert_eq!(rec.cycles(), 6);
+        let vcd = rec.finish();
+        // Header.
+        assert!(vcd.contains("$timescale 1ns $end"));
+        assert!(vcd.contains("$var wire 1 ! out $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        // The toggle changes value every cycle: timestamps 0..5 appear.
+        for t in 0..6 {
+            assert!(vcd.contains(&format!("#{t}\n")), "missing #{t} in {vcd}");
+        }
+        // Alternating values on identifier '!'.
+        assert!(vcd.contains("0!"));
+        assert!(vcd.contains("1!"));
+    }
+
+    #[test]
+    fn unchanged_signals_emit_once() {
+        // A constant circuit: only timestamp 0 carries changes.
+        let mut b = SeqBuilder::new("hold");
+        let q = b.register("r", true);
+        b.connect(q, q);
+        b.comb().output("out", q);
+        let c = b.seal().expect("sealed");
+        let mut rec = VcdRecorder::new(&c);
+        for _ in 0..5 {
+            rec.step(&HashMap::new()).expect("step");
+        }
+        let vcd = rec.finish();
+        assert!(vcd.contains("#0\n1!"));
+        assert!(!vcd.contains("#2\n"), "{vcd}");
+    }
+
+    #[test]
+    fn vlsa_stall_visible_in_waveform() {
+        let c = sequential_vlsa(8, 3).expect("sealed");
+        let mut rec = VcdRecorder::new(&c);
+        // Drive the all-propagate pair twice (environment holds inputs
+        // during the stall).
+        let mut inputs = HashMap::new();
+        for i in 0..8 {
+            inputs.insert(
+                format!("a[{i}]"),
+                if (0x7Fu64 >> i) & 1 == 1 { u64::MAX } else { 0 },
+            );
+            inputs.insert(format!("b[{i}]"), if i == 0 { u64::MAX } else { 0 });
+        }
+        rec.step(&inputs).expect("step");
+        rec.step(&inputs).expect("step");
+        let vcd = rec.finish();
+        // The stall output and the in_recovery register both pulse.
+        assert!(vcd.contains("reg_in_recovery"));
+        assert!(rec_signal_toggles(&vcd, "stall"));
+    }
+
+    fn rec_signal_toggles(vcd: &str, name: &str) -> bool {
+        // Find the identifier for `name`, then check both values occur.
+        let id = vcd
+            .lines()
+            .find(|l| l.contains(&format!(" {name} $end")))
+            .and_then(|l| l.split_whitespace().nth(3).map(str::to_string));
+        match id {
+            None => false,
+            Some(id) => vcd.contains(&format!("0{id}")) && vcd.contains(&format!("1{id}")),
+        }
+    }
+}

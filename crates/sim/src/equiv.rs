@@ -1,0 +1,265 @@
+//! Combinational equivalence checking between two netlists.
+//!
+//! Two netlists are compared by *port name*: they must expose the same
+//! primary input and output names, and are checked either exhaustively
+//! (few inputs) or on random vectors. Used to verify that structurally
+//! different adder architectures implement the same function, and that
+//! error recovery makes the speculative adder exact.
+
+use crate::{simulate, SimulateError, Stimulus};
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+use vlsa_netlist::Netlist;
+
+/// Why two netlists failed equivalence checking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EquivError {
+    /// The interfaces differ (input or output name sets are not equal).
+    InterfaceMismatch {
+        /// Ports present in exactly one of the two netlists.
+        differing: Vec<String>,
+    },
+    /// A simulation failed.
+    Simulate(SimulateError),
+    /// A counterexample was found.
+    Mismatch {
+        /// The output port that differs.
+        output: String,
+        /// Input assignment, as `(port, bit)` pairs.
+        assignment: Vec<(String, bool)>,
+    },
+}
+
+impl fmt::Display for EquivError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivError::InterfaceMismatch { differing } => {
+                write!(f, "interfaces differ on ports: {differing:?}")
+            }
+            EquivError::Simulate(e) => write!(f, "simulation failed: {e}"),
+            EquivError::Mismatch { output, .. } => {
+                write!(f, "outputs differ on `{output}`")
+            }
+        }
+    }
+}
+
+impl Error for EquivError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EquivError::Simulate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimulateError> for EquivError {
+    fn from(e: SimulateError) -> Self {
+        EquivError::Simulate(e)
+    }
+}
+
+fn check_interfaces(left: &Netlist, right: &Netlist) -> Result<(), EquivError> {
+    let li: BTreeSet<_> = left.primary_inputs().iter().map(|(n, _)| n.clone()).collect();
+    let ri: BTreeSet<_> = right.primary_inputs().iter().map(|(n, _)| n.clone()).collect();
+    let lo: BTreeSet<_> = left.primary_outputs().iter().map(|(n, _)| n.clone()).collect();
+    let ro: BTreeSet<_> = right.primary_outputs().iter().map(|(n, _)| n.clone()).collect();
+    let mut differing: Vec<String> = li.symmetric_difference(&ri).cloned().collect();
+    differing.extend(lo.symmetric_difference(&ro).cloned());
+    if differing.is_empty() {
+        Ok(())
+    } else {
+        Err(EquivError::InterfaceMismatch { differing })
+    }
+}
+
+fn compare_under(
+    left: &Netlist,
+    right: &Netlist,
+    stim: &Stimulus,
+    lanes_used: u64,
+) -> Result<(), EquivError> {
+    let lw = simulate(left, stim)?;
+    let rw = simulate(right, stim)?;
+    for (name, _) in left.primary_outputs() {
+        let l = lw.output(name)?;
+        let r = rw.output(name)?;
+        let diff = (l ^ r) & lanes_used;
+        if diff != 0 {
+            let lane = diff.trailing_zeros();
+            let assignment = left
+                .primary_inputs()
+                .iter()
+                .map(|(n, _)| {
+                    let bit = stim.get(n).unwrap_or(0) >> lane & 1 == 1;
+                    (n.clone(), bit)
+                })
+                .collect();
+            return Err(EquivError::Mismatch {
+                output: name.clone(),
+                assignment,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustively proves equivalence of two netlists with at most 16
+/// primary inputs.
+///
+/// # Panics
+///
+/// Panics if either netlist has more than 16 inputs.
+///
+/// # Errors
+///
+/// Returns [`EquivError::InterfaceMismatch`] for differing port sets and
+/// [`EquivError::Mismatch`] with a counterexample when the functions
+/// differ.
+pub fn equiv_exhaustive(left: &Netlist, right: &Netlist) -> Result<(), EquivError> {
+    check_interfaces(left, right)?;
+    let inputs: Vec<String> = left
+        .primary_inputs()
+        .iter()
+        .map(|(n, _)| n.clone())
+        .collect();
+    assert!(inputs.len() <= 16, "exhaustive equivalence limited to 16 inputs");
+    let total: u64 = 1 << inputs.len();
+    let mut assignment = 0u64;
+    while assignment < total {
+        // Fill up to 64 assignments per pass: lane j gets assignment+j.
+        let lanes = (total - assignment).min(64);
+        let mut stim = Stimulus::new();
+        for (i, name) in inputs.iter().enumerate() {
+            let mut word = 0u64;
+            for lane in 0..lanes {
+                word |= ((assignment + lane) >> i & 1) << lane;
+            }
+            stim.set(name.clone(), word);
+        }
+        let used = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+        compare_under(left, right, &stim, used)?;
+        assignment += lanes;
+    }
+    Ok(())
+}
+
+/// Checks equivalence on `rounds * 64` random vectors.
+///
+/// # Errors
+///
+/// As [`equiv_exhaustive`]; a passing result is evidence, not proof.
+pub fn equiv_random<R: Rng + ?Sized>(
+    left: &Netlist,
+    right: &Netlist,
+    rounds: usize,
+    rng: &mut R,
+) -> Result<(), EquivError> {
+    check_interfaces(left, right)?;
+    for _ in 0..rounds {
+        let mut stim = Stimulus::new();
+        for (name, _) in left.primary_inputs() {
+            stim.set(name.clone(), rng.gen::<u64>());
+        }
+        compare_under(left, right, &stim, u64::MAX)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use vlsa_netlist::Netlist;
+
+    fn xor_gate() -> Netlist {
+        let mut nl = Netlist::new("x");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let y = nl.xor2(a, b);
+        nl.output("y", y);
+        nl
+    }
+
+    fn xor_via_nands() -> Netlist {
+        let mut nl = Netlist::new("x2");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let nab = nl.nand2(a, b);
+        let l = nl.nand2(a, nab);
+        let r = nl.nand2(b, nab);
+        let y = nl.nand2(l, r);
+        nl.output("y", y);
+        nl
+    }
+
+    fn or_gate() -> Netlist {
+        let mut nl = Netlist::new("o");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let y = nl.or2(a, b);
+        nl.output("y", y);
+        nl
+    }
+
+    #[test]
+    fn structurally_different_xors_are_equivalent() {
+        equiv_exhaustive(&xor_gate(), &xor_via_nands()).expect("equivalent");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        equiv_random(&xor_gate(), &xor_via_nands(), 4, &mut rng).expect("equivalent");
+    }
+
+    #[test]
+    fn mismatch_produces_counterexample() {
+        let err = equiv_exhaustive(&xor_gate(), &or_gate()).unwrap_err();
+        match err {
+            EquivError::Mismatch { output, assignment } => {
+                assert_eq!(output, "y");
+                // XOR and OR differ exactly on a = b = 1.
+                assert!(assignment.iter().all(|(_, v)| *v), "{assignment:?}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn random_also_finds_easy_mismatch() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let err = equiv_random(&xor_gate(), &or_gate(), 4, &mut rng).unwrap_err();
+        assert!(matches!(err, EquivError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn interface_mismatch_detected() {
+        let mut other = xor_gate();
+        other.output("extra", vlsa_netlist::Netlist::primary_inputs(&other)[0].1);
+        let err = equiv_exhaustive(&xor_gate(), &other).unwrap_err();
+        match err {
+            EquivError::InterfaceMismatch { differing } => {
+                assert_eq!(differing, vec!["extra".to_string()]);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn exhaustive_handles_more_than_64_assignments() {
+        // 7 inputs = 128 assignments = 2 passes.
+        let mk = |name: &str| {
+            let mut nl = Netlist::new(name);
+            let bits: Vec<_> = (0..7).map(|i| nl.input(format!("i{i}"))).collect();
+            let y = nl.and_tree(&bits);
+            nl.output("y", y);
+            nl
+        };
+        equiv_exhaustive(&mk("l"), &mk("r")).expect("equivalent");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EquivError::InterfaceMismatch { differing: vec!["p".into()] };
+        assert!(e.to_string().contains("p"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Stuck-at fault injection.
+//!
+//! Classic manufacturing-test machinery: force one net to a constant
+//! and observe the outputs. Used here to validate testbench vector
+//! quality (do the vectors *detect* faults?) and to study how stuck-at
+//! defects interact with the speculative adder's error detector.
+
+use crate::{simulate, SimulateError, Stimulus};
+use vlsa_netlist::{CellKind, NetId, Netlist};
+
+/// A single stuck-at fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StuckAt {
+    /// The faulted net.
+    pub net: NetId,
+    /// The value it is stuck at.
+    pub value: bool,
+}
+
+impl StuckAt {
+    /// Stuck-at-0 on `net`.
+    pub fn zero(net: NetId) -> Self {
+        StuckAt { net, value: false }
+    }
+
+    /// Stuck-at-1 on `net`.
+    pub fn one(net: NetId) -> Self {
+        StuckAt { net, value: true }
+    }
+}
+
+/// Simulates `netlist` under `stimulus` with `fault` injected.
+///
+/// Implemented by rebuilding the netlist with the faulted net replaced
+/// by a constant (fanout of the faulty net sees the stuck value; logic
+/// upstream still switches, as in the classic single-stuck-at model).
+///
+/// # Errors
+///
+/// Propagates [`SimulateError`] from the underlying simulation.
+///
+/// # Panics
+///
+/// Panics if `fault.net` is out of range.
+pub fn simulate_with_fault<'a>(
+    netlist: &'a Netlist,
+    stimulus: &Stimulus,
+    fault: StuckAt,
+) -> Result<FaultWaves<'a>, SimulateError> {
+    assert!(fault.net.index() < netlist.len(), "fault net out of range");
+    let waves = simulate(netlist, stimulus)?;
+    // Recompute downstream values with the fault forced, reusing the
+    // fault-free values for everything not in the faulted cone.
+    let mut values: Vec<u64> = netlist.nodes().map(|(id, _)| waves.net(id)).collect();
+    values[fault.net.index()] = if fault.value { u64::MAX } else { 0 };
+    let mut dirty = vec![false; netlist.len()];
+    dirty[fault.net.index()] = true;
+    let mut input_buf = Vec::with_capacity(4);
+    for (id, node) in netlist.nodes() {
+        if id == fault.net || !node.kind().is_gate() {
+            continue;
+        }
+        if node.inputs().iter().any(|i| dirty[i.index()]) {
+            input_buf.clear();
+            input_buf.extend(node.inputs().iter().map(|i| values[i.index()]));
+            let new = match node.kind() {
+                CellKind::Input => unreachable!(),
+                kind => kind.eval_words(&input_buf),
+            };
+            if new != values[id.index()] {
+                values[id.index()] = new;
+                dirty[id.index()] = true;
+            }
+        }
+    }
+    Ok(FaultWaves { netlist, values })
+}
+
+/// Net values under an injected fault (mirrors [`crate::Waves`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultWaves<'a> {
+    netlist: &'a Netlist,
+    values: Vec<u64>,
+}
+
+impl FaultWaves<'_> {
+    /// The 64-lane value of a net under the fault.
+    pub fn net(&self, net: NetId) -> u64 {
+        self.values[net.index()]
+    }
+
+    /// The faulted value of output `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulateError::UnknownPort`] if no output has that name.
+    pub fn output(&self, name: &str) -> Result<u64, SimulateError> {
+        self.netlist
+            .primary_outputs()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, net)| self.net(*net))
+            .ok_or_else(|| SimulateError::UnknownPort { name: name.to_string() })
+    }
+}
+
+/// Fault-coverage summary of a stimulus set (see [`fault_coverage`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultCoverage {
+    /// Faults whose effect reached some primary output.
+    pub detected: usize,
+    /// Total faults injected (two per gate output).
+    pub total: usize,
+}
+
+impl FaultCoverage {
+    /// Detected fraction.
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.total as f64
+        }
+    }
+}
+
+/// Measures single-stuck-at coverage of `stimulus` over every gate
+/// output of `netlist`: a fault counts as detected if any primary
+/// output differs from the fault-free run in any lane.
+///
+/// # Errors
+///
+/// Propagates [`SimulateError`] from the underlying simulations.
+pub fn fault_coverage(
+    netlist: &Netlist,
+    stimulus: &Stimulus,
+) -> Result<FaultCoverage, SimulateError> {
+    let golden = simulate(netlist, stimulus)?;
+    let mut cov = FaultCoverage::default();
+    for (id, node) in netlist.nodes() {
+        if !node.kind().is_gate() {
+            continue;
+        }
+        for value in [false, true] {
+            cov.total += 1;
+            let faulty = simulate_with_fault(netlist, stimulus, StuckAt { net: id, value })?;
+            let detected = netlist
+                .primary_outputs()
+                .iter()
+                .any(|(_, net)| faulty.net(*net) != golden.net(*net));
+            if detected {
+                cov.detected += 1;
+            }
+        }
+    }
+    Ok(cov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsa_netlist::Netlist;
+
+    fn xor_chain() -> (Netlist, NetId, NetId) {
+        let mut nl = Netlist::new("xc");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.xor2(a, b);
+        let y = nl.xor2(x, a);
+        nl.output("y", y);
+        (nl, x, y)
+    }
+
+    #[test]
+    fn stuck_net_holds_its_value() {
+        let (nl, x, y) = xor_chain();
+        let mut stim = Stimulus::new();
+        stim.set("a", 0b1100).set("b", 0b1010);
+        let faulty = simulate_with_fault(&nl, &stim, StuckAt::one(x)).expect("sim");
+        assert_eq!(faulty.net(x), u64::MAX);
+        // y = x ^ a with x stuck at 1 = !a.
+        assert_eq!(faulty.net(y) & 0xF, !0b1100u64 & 0xF);
+        assert_eq!(faulty.output("y").expect("port") & 0xF, 0b0011);
+    }
+
+    #[test]
+    fn fault_off_the_sensitized_path_is_invisible() {
+        let mut nl = Netlist::new("masked");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.xor2(a, b);
+        let zero = nl.constant(false);
+        let y = nl.and2(x, zero); // output is 0 regardless of x
+        nl.output("y", y);
+        let mut stim = Stimulus::new();
+        stim.set("a", u64::MAX).set("b", 0);
+        let golden = simulate(&nl, &stim).expect("sim");
+        let faulty = simulate_with_fault(&nl, &stim, StuckAt::zero(x)).expect("sim");
+        assert_eq!(golden.net(y), faulty.net(y));
+    }
+
+    #[test]
+    fn input_faults_are_injectable() {
+        let (nl, _, y) = xor_chain();
+        let a = nl.primary_inputs()[0].1;
+        let mut stim = Stimulus::new();
+        stim.set("a", 0).set("b", 0b1111);
+        let faulty = simulate_with_fault(&nl, &stim, StuckAt::one(a)).expect("sim");
+        // y = (a^b)^a; with a stuck at 1: (1^b)^1 = b.
+        assert_eq!(faulty.net(y) & 0xF, 0b1111);
+    }
+
+    #[test]
+    fn coverage_of_exhaustive_vectors_is_high() {
+        let (nl, _, _) = xor_chain();
+        // All 4 input assignments in 4 lanes: XOR logic is fully
+        // sensitized.
+        let mut stim = Stimulus::new();
+        stim.set("a", 0b1100).set("b", 0b1010);
+        let cov = fault_coverage(&nl, &stim).expect("coverage");
+        assert_eq!(cov.total, 4);
+        assert_eq!(cov.detected, 4);
+        assert_eq!(cov.ratio(), 1.0);
+    }
+
+    #[test]
+    fn coverage_of_a_single_vector_is_partial() {
+        let mut nl = Netlist::new("andor");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.and2(a, b);
+        nl.output("x", x);
+        let mut stim = Stimulus::new();
+        stim.set("a", 0).set("b", 0); // single all-zero vector
+        let cov = fault_coverage(&nl, &stim).expect("coverage");
+        // Only stuck-at-1 on the AND output is visible.
+        assert_eq!(cov.detected, 1);
+        assert_eq!(cov.total, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_foreign_net() {
+        let (nl, _, _) = xor_chain();
+        let mut other = Netlist::new("o");
+        let big: Vec<_> = (0..100).map(|i| other.input(format!("i{i}"))).collect();
+        let mut stim = Stimulus::new();
+        stim.set("a", 0).set("b", 0);
+        let _ = simulate_with_fault(&nl, &stim, StuckAt::zero(big[99]));
+    }
+}

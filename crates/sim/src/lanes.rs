@@ -1,0 +1,202 @@
+//! Lane packing: transposing between per-operand bit vectors and the
+//! per-bit lane words the simulator consumes.
+//!
+//! To simulate 64 additions at once, operand `j`'s bit `i` must land in
+//! bit `j` (the lane) of the stimulus word for input `a[i]`. These
+//! helpers perform that transposition for arbitrarily wide operands
+//! stored as little-endian `u64` slices.
+
+/// A multi-bit operand stored as little-endian `u64` words.
+pub type WideWord = Vec<u64>;
+
+/// Extracts bit `bit` of a wide word.
+fn wide_bit(value: &[u64], bit: usize) -> u64 {
+    value.get(bit / 64).map_or(0, |w| (w >> (bit % 64)) & 1)
+}
+
+/// Sets bit `bit` of a wide word, growing it as needed.
+fn set_wide_bit(value: &mut WideWord, bit: usize) {
+    let word = bit / 64;
+    if value.len() <= word {
+        value.resize(word + 1, 0);
+    }
+    value[word] |= 1u64 << (bit % 64);
+}
+
+/// Packs up to 64 `nbits`-wide operands into per-bit lane words:
+/// `result[i]` has bit `j` equal to bit `i` of `operands[j]`.
+///
+/// # Panics
+///
+/// Panics if more than 64 operands are supplied.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_sim::pack_lanes;
+///
+/// let ops = vec![vec![0b01u64], vec![0b10u64]];
+/// let lanes = pack_lanes(&ops, 2);
+/// assert_eq!(lanes, vec![0b01, 0b10]); // bit0: lane0 only; bit1: lane1 only
+/// ```
+pub fn pack_lanes(operands: &[WideWord], nbits: usize) -> Vec<u64> {
+    assert!(operands.len() <= 64, "at most 64 lanes per pass");
+    let mut out = vec![0u64; nbits];
+    for (lane, op) in operands.iter().enumerate() {
+        for (bit, word) in out.iter_mut().enumerate() {
+            *word |= wide_bit(op, bit) << lane;
+        }
+    }
+    out
+}
+
+/// Inverse of [`pack_lanes`]: recovers `nlanes` operands of `nbits` bits
+/// from per-bit lane words.
+///
+/// # Panics
+///
+/// Panics if `nlanes > 64` or `words.len() < nbits`.
+pub fn unpack_lanes(words: &[u64], nbits: usize, nlanes: usize) -> Vec<WideWord> {
+    assert!(nlanes <= 64, "at most 64 lanes per pass");
+    assert!(words.len() >= nbits, "missing per-bit words");
+    let mut out = vec![vec![0u64; nbits.div_ceil(64).max(1)]; nlanes];
+    for (bit, &word) in words.iter().enumerate().take(nbits) {
+        for (lane, op) in out.iter_mut().enumerate() {
+            if (word >> lane) & 1 == 1 {
+                set_wide_bit(op, bit);
+            }
+        }
+    }
+    out
+}
+
+/// Adds two wide words modulo `2^nbits`, returning the wide sum.
+/// The reference model all adders are checked against.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_sim::wide_add;
+///
+/// // 2^64 - 1 + 1 = 2^64 (carry into the second word).
+/// let s = wide_add(&[u64::MAX], &[1], 128);
+/// assert_eq!(s, vec![0, 1]);
+/// // Truncated at 64 bits the carry is lost.
+/// assert_eq!(wide_add(&[u64::MAX], &[1], 64), vec![0]);
+/// ```
+pub fn wide_add(a: &[u64], b: &[u64], nbits: usize) -> WideWord {
+    let nwords = nbits.div_ceil(64).max(1);
+    let mut out = vec![0u64; nwords];
+    let mut carry = 0u64;
+    for (i, word) in out.iter_mut().enumerate() {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        let (s1, c1) = x.overflowing_add(y);
+        let (s2, c2) = s1.overflowing_add(carry);
+        *word = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    let rem = nbits % 64;
+    if rem != 0 {
+        *out.last_mut().expect("nwords >= 1") &= (1u64 << rem) - 1;
+    }
+    out
+}
+
+/// Bitwise XOR of two wide words over `nbits` bits — the propagate
+/// vector of an addition.
+pub fn wide_xor(a: &[u64], b: &[u64], nbits: usize) -> WideWord {
+    let nwords = nbits.div_ceil(64).max(1);
+    let mut out = vec![0u64; nwords];
+    for (i, word) in out.iter_mut().enumerate() {
+        *word = a.get(i).copied().unwrap_or(0) ^ b.get(i).copied().unwrap_or(0);
+    }
+    let rem = nbits % 64;
+    if rem != 0 {
+        *out.last_mut().expect("nwords >= 1") &= (1u64 << rem) - 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for nbits in [1usize, 17, 64, 65, 130] {
+            let nwords = nbits.div_ceil(64);
+            let ops: Vec<WideWord> = (0..64)
+                .map(|_| {
+                    let mut w: WideWord = (0..nwords).map(|_| rng.gen()).collect();
+                    let rem = nbits % 64;
+                    if rem != 0 {
+                        *w.last_mut().unwrap() &= (1u64 << rem) - 1;
+                    }
+                    w
+                })
+                .collect();
+            let lanes = pack_lanes(&ops, nbits);
+            let back = unpack_lanes(&lanes, nbits, 64);
+            assert_eq!(back, ops, "nbits={nbits}");
+        }
+    }
+
+    #[test]
+    fn pack_fewer_than_64_lanes() {
+        let ops = vec![vec![0b11u64], vec![0b01u64], vec![0b10u64]];
+        let lanes = pack_lanes(&ops, 2);
+        assert_eq!(lanes[0], 0b011); // bit0 set in ops 0 and 1
+        assert_eq!(lanes[1], 0b101); // bit1 set in ops 0 and 2
+        let back = unpack_lanes(&lanes, 2, 3);
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0][0], 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn pack_rejects_too_many_lanes() {
+        let ops = vec![vec![0u64]; 65];
+        pack_lanes(&ops, 1);
+    }
+
+    #[test]
+    fn wide_add_matches_u128() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let a: u128 = rng.gen();
+            let b: u128 = rng.gen();
+            let aw = vec![a as u64, (a >> 64) as u64];
+            let bw = vec![b as u64, (b >> 64) as u64];
+            let s = wide_add(&aw, &bw, 128);
+            let expected = a.wrapping_add(b);
+            assert_eq!(s, vec![expected as u64, (expected >> 64) as u64]);
+        }
+    }
+
+    #[test]
+    fn wide_add_truncates_to_nbits() {
+        let s = wide_add(&[0b1111], &[0b0001], 4);
+        assert_eq!(s, vec![0]); // 16 mod 2^4
+        // All-ones + 1 wraps through both words; the final carry is lost
+        // and the high word is masked to nbits.
+        let s = wide_add(&[u64::MAX, u64::MAX], &[1], 100);
+        assert_eq!(s, vec![0, 0]);
+    }
+
+    #[test]
+    fn wide_xor_is_propagate_vector() {
+        let p = wide_xor(&[0b1100], &[0b1010], 4);
+        assert_eq!(p, vec![0b0110]);
+        // Masks above nbits.
+        let p = wide_xor(&[u64::MAX], &[0], 8);
+        assert_eq!(p, vec![0xFF]);
+    }
+
+    #[test]
+    fn wide_bit_out_of_range_is_zero() {
+        assert_eq!(wide_bit(&[1], 100), 0);
+    }
+}

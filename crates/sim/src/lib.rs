@@ -1,0 +1,47 @@
+//! Bit-parallel functional simulation for VLSA netlists.
+//!
+//! Simulates [`vlsa_netlist::Netlist`] DAGs 64 test vectors at a time
+//! ([`simulate`]), packs wide operands into simulation lanes
+//! ([`pack_lanes`] / [`unpack_lanes`]), checks adder netlists against
+//! reference arithmetic ([`check_adder`], [`check_adder_random`],
+//! [`check_adder_exhaustive`]) and proves or refutes combinational
+//! equivalence between netlists ([`equiv_exhaustive`], [`equiv_random`]).
+//!
+//! The measured error rates of Almost Correct Adders (experiment E3 in
+//! `DESIGN.md`) come from this crate's [`AdderReport`].
+//!
+//! # Examples
+//!
+//! ```
+//! use vlsa_netlist::Netlist;
+//! use vlsa_sim::{simulate, Stimulus};
+//!
+//! let mut nl = Netlist::new("andor");
+//! let a = nl.input("a");
+//! let b = nl.input("b");
+//! let y = nl.ao21(a, b, a);
+//! nl.output("y", y);
+//! let mut stim = Stimulus::new();
+//! stim.set("a", 0b11).set("b", 0b01);
+//! let waves = simulate(&nl, &stim)?;
+//! assert_eq!(waves.output("y")? & 0b11, 0b11);
+//! # Ok::<(), vlsa_sim::SimulateError>(())
+//! ```
+
+mod adder_harness;
+mod engine;
+mod fault;
+mod equiv;
+mod lanes;
+
+pub use adder_harness::{
+    adder_sums, check_adder, check_adder_exhaustive, check_adder_random, random_pairs,
+    AdderReport,
+};
+pub use engine::{simulate, SimulateError, Stimulus, Waves};
+pub use fault::{fault_coverage, simulate_with_fault, FaultCoverage, FaultWaves, StuckAt};
+pub use equiv::{equiv_exhaustive, equiv_random, EquivError};
+pub use lanes::{pack_lanes, unpack_lanes, wide_add, wide_xor, WideWord};
+
+#[cfg(test)]
+mod proptests;

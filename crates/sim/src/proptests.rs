@@ -1,0 +1,71 @@
+//! Property-based tests for lane packing and reference arithmetic.
+
+use crate::*;
+use proptest::prelude::*;
+
+/// An arbitrary wide word of up to 3 limbs, masked to `nbits`.
+fn wide(nbits: usize) -> impl Strategy<Value = WideWord> {
+    let nwords = nbits.div_ceil(64).max(1);
+    proptest::collection::vec(any::<u64>(), nwords).prop_map(move |mut w| {
+        let rem = nbits % 64;
+        if rem != 0 {
+            *w.last_mut().expect("at least one word") &= (1u64 << rem) - 1;
+        }
+        w
+    })
+}
+
+proptest! {
+    #[test]
+    fn pack_unpack_round_trip(
+        nbits in 1usize..150,
+        seed in any::<u64>(),
+        lanes in 1usize..=64,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let nwords = nbits.div_ceil(64);
+        let rem = nbits % 64;
+        let ops: Vec<WideWord> = (0..lanes)
+            .map(|_| {
+                let mut w: WideWord = (0..nwords).map(|_| rng.gen()).collect();
+                if rem != 0 {
+                    *w.last_mut().unwrap() &= (1u64 << rem) - 1;
+                }
+                w
+            })
+            .collect();
+        let packed = pack_lanes(&ops, nbits);
+        prop_assert_eq!(unpack_lanes(&packed, nbits, lanes), ops);
+    }
+
+    #[test]
+    fn wide_add_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let aw = vec![a as u64, (a >> 64) as u64];
+        let bw = vec![b as u64, (b >> 64) as u64];
+        let expected = a.wrapping_add(b);
+        prop_assert_eq!(
+            wide_add(&aw, &bw, 128),
+            vec![expected as u64, (expected >> 64) as u64]
+        );
+    }
+
+    #[test]
+    fn wide_add_commutes_and_has_identity(a in wide(100), b in wide(100)) {
+        prop_assert_eq!(wide_add(&a, &b, 100), wide_add(&b, &a, 100));
+        prop_assert_eq!(wide_add(&a, &[0], 100), a.clone());
+    }
+
+    #[test]
+    fn wide_add_is_associative(a in wide(90), b in wide(90), c in wide(90)) {
+        let left = wide_add(&wide_add(&a, &b, 90), &c, 90);
+        let right = wide_add(&a, &wide_add(&b, &c, 90), 90);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn wide_xor_involution(a in wide(77), b in wide(77)) {
+        let p = wide_xor(&a, &b, 77);
+        prop_assert_eq!(wide_xor(&p, &b, 77), a.clone());
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic standard-cell technology library with logical-effort timing.
+//!
+//! The DATE 2008 VLSA paper synthesized its adders against a commercial
+//! UMC 0.18 µm library. This crate stands in for that flow: it
+//! characterizes every [`vlsa_netlist::CellKind`] with an area (NAND2
+//! equivalents) and logical-effort timing parameters, provides the
+//! [`TechLibrary::umc180`] calibration used throughout the workspace,
+//! and persists libraries in a Liberty-lite text format
+//! ([`TechLibrary::from_liberty`] / [`TechLibrary::to_liberty`]).
+//!
+//! Delays are computed by `vlsa-timing`; this crate only answers "how
+//! slow is one gate under a given load".
+//!
+//! # Examples
+//!
+//! ```
+//! use vlsa_techlib::TechLibrary;
+//! use vlsa_netlist::CellKind;
+//!
+//! let lib = TechLibrary::umc180();
+//! // A NAND2 driving four inverters:
+//! let load = 4.0 * lib.pin_cap(CellKind::Not);
+//! let d = lib.gate_delay_ps(CellKind::Nand2, load);
+//! assert!(d > 0.0);
+//! ```
+
+mod liberty;
+mod library;
+mod voltage;
+
+pub use liberty::ParseLibraryError;
+pub use library::{CellTiming, TechLibrary};
+pub use voltage::{
+    delay_factor_at_voltage, power_factor_at_voltage, voltage_for_delay_factor, ALPHA,
+    NOMINAL_VDD, THRESHOLD_V,
+};

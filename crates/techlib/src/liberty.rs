@@ -1,0 +1,326 @@
+//! A Liberty-lite text format for technology libraries.
+//!
+//! Real flows exchange `.lib` files; we support a small structured subset
+//! sufficient to persist and share [`TechLibrary`] instances:
+//!
+//! ```text
+//! library umc180 {
+//!   tau_ps 16;
+//!   wire_cap 0.15;
+//!   output_load 4;
+//!   cell nand2 { area 1; effort 1.333; parasitic 1.4; }
+//! }
+//! ```
+
+use crate::{CellTiming, TechLibrary};
+use std::error::Error;
+use std::fmt;
+use vlsa_netlist::CellKind;
+
+/// Failure to parse a Liberty-lite library.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseLibraryError {
+    /// The token stream ended unexpectedly.
+    UnexpectedEnd,
+    /// An unexpected token was found.
+    UnexpectedToken {
+        /// What was found.
+        found: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A cell name is not a known [`CellKind`].
+    UnknownCell {
+        /// The offending cell name.
+        name: String,
+    },
+    /// A numeric attribute failed to parse.
+    BadNumber {
+        /// The attribute name.
+        attribute: String,
+        /// The offending literal.
+        literal: String,
+    },
+    /// A required attribute was missing from a cell block.
+    MissingAttribute {
+        /// The cell being parsed.
+        cell: String,
+        /// The missing attribute name.
+        attribute: &'static str,
+    },
+}
+
+impl fmt::Display for ParseLibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseLibraryError::UnexpectedEnd => write!(f, "unexpected end of library text"),
+            ParseLibraryError::UnexpectedToken { found, expected } => {
+                write!(f, "expected {expected}, found `{found}`")
+            }
+            ParseLibraryError::UnknownCell { name } => write!(f, "unknown cell `{name}`"),
+            ParseLibraryError::BadNumber { attribute, literal } => {
+                write!(f, "attribute `{attribute}` has invalid number `{literal}`")
+            }
+            ParseLibraryError::MissingAttribute { cell, attribute } => {
+                write!(f, "cell `{cell}` is missing attribute `{attribute}`")
+            }
+        }
+    }
+}
+
+impl Error for ParseLibraryError {}
+
+struct Tokens<'a> {
+    items: Vec<&'a str>,
+    pos: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(text: &'a str) -> Self {
+        Tokens {
+            items: lex(text),
+            pos: 0,
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, ParseLibraryError> {
+        let tok = self
+            .items
+            .get(self.pos)
+            .copied()
+            .ok_or(ParseLibraryError::UnexpectedEnd)?;
+        self.pos += 1;
+        Ok(tok)
+    }
+
+    fn expect(&mut self, token: &'static str) -> Result<(), ParseLibraryError> {
+        let found = self.next()?;
+        if found == token {
+            Ok(())
+        } else {
+            Err(ParseLibraryError::UnexpectedToken {
+                found: found.to_string(),
+                expected: token,
+            })
+        }
+    }
+
+    fn peek(&self) -> Option<&'a str> {
+        self.items.get(self.pos).copied()
+    }
+}
+
+/// Tokenizes on whitespace, treating `{`, `}`, `;` as separate tokens and
+/// `#` as a to-end-of-line comment. Tokens borrow from `text`.
+fn lex(text: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("");
+        let mut rest = line;
+        while !rest.is_empty() {
+            rest = rest.trim_start();
+            if rest.is_empty() {
+                break;
+            }
+            let first = rest.chars().next().expect("nonempty");
+            if first == '{' || first == '}' || first == ';' {
+                items.push(&rest[..1]);
+                rest = &rest[1..];
+            } else {
+                let end = rest
+                    .char_indices()
+                    .find(|&(_, c)| c.is_whitespace() || c == '{' || c == '}' || c == ';')
+                    .map(|(i, _)| i)
+                    .unwrap_or(rest.len());
+                items.push(&rest[..end]);
+                rest = &rest[end..];
+            }
+        }
+    }
+    items
+}
+
+fn parse_number(attribute: &str, tokens: &mut Tokens) -> Result<f64, ParseLibraryError> {
+    let lit = tokens.next()?;
+    let value = lit.parse::<f64>().map_err(|_| ParseLibraryError::BadNumber {
+        attribute: attribute.to_string(),
+        literal: lit.to_string(),
+    })?;
+    tokens.expect(";")?;
+    Ok(value)
+}
+
+/// Parses a Liberty-lite library (see module docs for the grammar).
+pub(crate) fn parse(text: &str) -> Result<TechLibrary, ParseLibraryError> {
+    let mut tokens = Tokens::new(text);
+    tokens.expect("library")?;
+    let name = tokens.next()?.to_string();
+    tokens.expect("{")?;
+
+    let mut lib = TechLibrary::new(name, 16.0, 0.0, 0.0);
+    loop {
+        let tok = tokens.next()?;
+        match tok {
+            "}" => break,
+            "tau_ps" => lib.tau_ps = parse_number("tau_ps", &mut tokens)?,
+            "wire_cap" => lib.wire_cap = parse_number("wire_cap", &mut tokens)?,
+            "output_load" => lib.output_load = parse_number("output_load", &mut tokens)?,
+            "cell" => {
+                let cell_name = tokens.next()?.to_string();
+                let kind = CellKind::from_name(&cell_name)
+                    .ok_or(ParseLibraryError::UnknownCell { name: cell_name.clone() })?;
+                tokens.expect("{")?;
+                let (mut area, mut effort, mut parasitic) = (None, None, None);
+                loop {
+                    let attr = tokens.next()?;
+                    match attr {
+                        "}" => break,
+                        "area" => area = Some(parse_number("area", &mut tokens)?),
+                        "effort" => effort = Some(parse_number("effort", &mut tokens)?),
+                        "parasitic" => {
+                            parasitic = Some(parse_number("parasitic", &mut tokens)?)
+                        }
+                        other => {
+                            return Err(ParseLibraryError::UnexpectedToken {
+                                found: other.to_string(),
+                                expected: "cell attribute",
+                            })
+                        }
+                    }
+                }
+                let missing = |attribute| ParseLibraryError::MissingAttribute {
+                    cell: cell_name.clone(),
+                    attribute,
+                };
+                lib.insert(
+                    kind,
+                    CellTiming {
+                        area: area.ok_or_else(|| missing("area"))?,
+                        effort: effort.ok_or_else(|| missing("effort"))?,
+                        parasitic: parasitic.ok_or_else(|| missing("parasitic"))?,
+                    },
+                );
+            }
+            other => {
+                return Err(ParseLibraryError::UnexpectedToken {
+                    found: other.to_string(),
+                    expected: "library attribute or cell",
+                })
+            }
+        }
+    }
+    if tokens.peek().is_some() {
+        return Err(ParseLibraryError::UnexpectedToken {
+            found: tokens.peek().expect("peeked").to_string(),
+            expected: "end of input",
+        });
+    }
+    Ok(lib)
+}
+
+/// Emits the Liberty-lite text form of `lib`.
+pub(crate) fn emit(lib: &TechLibrary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "library {} {{", lib.name());
+    let _ = writeln!(out, "  tau_ps {};", lib.tau_ps);
+    let _ = writeln!(out, "  wire_cap {};", lib.wire_cap);
+    let _ = writeln!(out, "  output_load {};", lib.output_load);
+    for (kind, t) in lib.cells() {
+        let _ = writeln!(
+            out,
+            "  cell {} {{ area {}; effort {}; parasitic {}; }}",
+            kind.name(),
+            t.area,
+            t.effort,
+            t.parasitic
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_default_library() {
+        let lib = TechLibrary::umc180();
+        let text = lib.to_liberty();
+        let parsed = TechLibrary::from_liberty(&text).expect("round trip");
+        assert_eq!(parsed, lib);
+    }
+
+    #[test]
+    fn parses_minimal_library() {
+        let text = "library t { tau_ps 10; cell inv { area 0.7; effort 1; parasitic 1; } }";
+        let lib = TechLibrary::from_liberty(text).expect("parse");
+        assert_eq!(lib.name(), "t");
+        assert_eq!(lib.tau_ps, 10.0);
+        assert_eq!(lib.cell(CellKind::Not).area, 0.7);
+    }
+
+    #[test]
+    fn comments_and_whitespace_ignored() {
+        let text = "# header\nlibrary t { # inline\n  tau_ps 12; }";
+        let lib = TechLibrary::from_liberty(text).expect("parse");
+        assert_eq!(lib.tau_ps, 12.0);
+    }
+
+    #[test]
+    fn unknown_cell_rejected() {
+        let text = "library t { cell flux { area 1; effort 1; parasitic 1; } }";
+        assert_eq!(
+            TechLibrary::from_liberty(text),
+            Err(ParseLibraryError::UnknownCell { name: "flux".to_string() })
+        );
+    }
+
+    #[test]
+    fn missing_attribute_rejected() {
+        let text = "library t { cell inv { area 1; parasitic 1; } }";
+        assert!(matches!(
+            TechLibrary::from_liberty(text),
+            Err(ParseLibraryError::MissingAttribute { attribute: "effort", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let text = "library t { tau_ps banana; }";
+        assert!(matches!(
+            TechLibrary::from_liberty(text),
+            Err(ParseLibraryError::BadNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let text = "library t { tau_ps 10";
+        assert_eq!(
+            TechLibrary::from_liberty(text),
+            Err(ParseLibraryError::UnexpectedEnd)
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let text = "library t { } extra";
+        assert!(matches!(
+            TechLibrary::from_liberty(text),
+            Err(ParseLibraryError::UnexpectedToken { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ParseLibraryError::UnknownCell { name: "foo".into() };
+        assert!(e.to_string().contains("foo"));
+        let e = ParseLibraryError::BadNumber {
+            attribute: "tau_ps".into(),
+            literal: "x".into(),
+        };
+        assert!(e.to_string().contains("tau_ps"));
+    }
+}

@@ -1,0 +1,325 @@
+//! The technology library: per-cell area and logical-effort timing.
+//!
+//! We model every cell at unit drive. In logical-effort terms a unit-drive
+//! gate presents an input capacitance equal to its logical effort `g`
+//! (normalized to the unit inverter), and its stage delay is
+//!
+//! ```text
+//! d = tau * (p + g * h),   h = C_load / C_in,   C_in = g
+//!   = tau * (p + C_load)
+//! ```
+//!
+//! so delay grows with the *sum of the logical efforts of the driven
+//! pins* plus a per-fanout wire adder. This reproduces the two effects the
+//! paper's synthesis numbers hinge on: complex gates (the OR-AND `g+p·c`
+//! carry operator) are slower per level than simple AND/OR gates, and
+//! high fanout costs delay.
+
+use crate::ParseLibraryError;
+use std::collections::BTreeMap;
+use vlsa_netlist::{CellKind, Netlist};
+
+/// Area and logical-effort parameters of one cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellTiming {
+    /// Cell area in NAND2 gate equivalents.
+    pub area: f64,
+    /// Logical effort `g`: also the input capacitance of each pin in
+    /// unit-inverter input capacitances.
+    pub effort: f64,
+    /// Parasitic delay `p` in units of `tau`.
+    pub parasitic: f64,
+}
+
+/// A technology library mapping every [`CellKind`] to timing and area.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_techlib::TechLibrary;
+/// use vlsa_netlist::CellKind;
+///
+/// let lib = TechLibrary::umc180();
+/// let nand = lib.cell(CellKind::Nand2);
+/// assert!(nand.effort > 1.0); // worse than an inverter
+/// assert!(lib.fo4_delay_ps() > 50.0 && lib.fo4_delay_ps() < 150.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct TechLibrary {
+    name: String,
+    /// Process time constant in picoseconds (delay of `p + g·h = 1`).
+    pub tau_ps: f64,
+    /// Extra load per fanout branch (wire capacitance), in unit caps.
+    pub wire_cap: f64,
+    /// Capacitive load presented by a primary output, in unit caps.
+    pub output_load: f64,
+    cells: BTreeMap<CellKind, CellTiming>,
+}
+
+impl TechLibrary {
+    /// Creates a library with the given global parameters and no cells.
+    pub fn new(name: impl Into<String>, tau_ps: f64, wire_cap: f64, output_load: f64) -> Self {
+        TechLibrary {
+            name: name.into(),
+            tau_ps,
+            wire_cap,
+            output_load,
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// The library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers or replaces a cell's parameters.
+    pub fn insert(&mut self, kind: CellKind, timing: CellTiming) {
+        self.cells.insert(kind, timing);
+    }
+
+    /// Parameters of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library does not characterize `kind`; use
+    /// [`TechLibrary::get`] for a fallible lookup.
+    pub fn cell(&self, kind: CellKind) -> &CellTiming {
+        self.get(kind)
+            .unwrap_or_else(|| panic!("library `{}` has no cell `{kind}`", self.name))
+    }
+
+    /// Parameters of `kind`, if characterized.
+    pub fn get(&self, kind: CellKind) -> Option<&CellTiming> {
+        self.cells.get(&kind)
+    }
+
+    /// Iterates all characterized cells in a stable order.
+    pub fn cells(&self) -> impl Iterator<Item = (CellKind, &CellTiming)> {
+        self.cells.iter().map(|(&k, t)| (k, t))
+    }
+
+    /// Whether every kind used by `netlist` is characterized.
+    pub fn covers(&self, netlist: &Netlist) -> bool {
+        netlist.nodes().all(|(_, node)| {
+            !node.kind().is_gate() || self.cells.contains_key(&node.kind())
+        })
+    }
+
+    /// Stage delay in picoseconds of a gate of `kind` driving
+    /// `load_cap` unit capacitances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not characterized.
+    pub fn gate_delay_ps(&self, kind: CellKind, load_cap: f64) -> f64 {
+        let t = self.cell(kind);
+        self.tau_ps * (t.parasitic + load_cap)
+    }
+
+    /// Input capacitance of one pin of `kind` in unit caps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not characterized.
+    pub fn pin_cap(&self, kind: CellKind) -> f64 {
+        self.cell(kind).effort
+    }
+
+    /// The fanout-of-4 inverter delay of this library in picoseconds —
+    /// the conventional process speed yardstick.
+    pub fn fo4_delay_ps(&self) -> f64 {
+        let inv = self.cell(CellKind::Not);
+        // Load = 4 inverter input caps + 4 wire branches.
+        self.tau_ps * (inv.parasitic + 4.0 * inv.effort + 4.0 * self.wire_cap)
+    }
+
+    /// A synthetic library calibrated to a UMC 0.18 µm-class process:
+    /// `tau` chosen so FO4 ≈ 90 ps, canonical logical-effort values, and
+    /// areas in NAND2 equivalents.
+    ///
+    /// This plays the role of the commercial standard-cell library used
+    /// in the paper's synthesis flow.
+    pub fn umc180() -> Self {
+        use CellKind::*;
+        let mut lib = TechLibrary::new("umc180", 16.0, 0.15, 4.0);
+        let cells = [
+            // (kind, area [NAND2e], logical effort g, parasitic p)
+            (Buf, 1.00, 1.00, 2.0),
+            (Not, 0.67, 1.00, 1.0),
+            (And2, 1.33, 1.33, 2.0),
+            (And3, 1.67, 1.67, 2.5),
+            (And4, 2.00, 2.00, 3.0),
+            (Or2, 1.67, 1.67, 2.2),
+            (Or3, 2.33, 2.33, 2.8),
+            (Or4, 3.00, 3.00, 3.4),
+            (Nand2, 1.00, 1.33, 1.4),
+            (Nand3, 1.33, 1.67, 1.8),
+            (Nor2, 1.33, 1.67, 1.6),
+            (Nor3, 2.00, 2.33, 2.2),
+            (Xor2, 2.33, 2.00, 3.0),
+            (Xnor2, 2.33, 2.00, 3.0),
+            (Mux2, 2.33, 2.00, 3.0),
+            (Maj3, 2.67, 2.00, 3.2),
+            (Ao21, 2.00, 2.00, 2.8),
+            (Oa21, 2.00, 2.00, 2.8),
+            (Aoi21, 1.33, 1.67, 2.0),
+            (Oai21, 1.33, 1.67, 2.0),
+        ];
+        for (kind, area, effort, parasitic) in cells {
+            lib.insert(
+                kind,
+                CellTiming {
+                    area,
+                    effort,
+                    parasitic,
+                },
+            );
+        }
+        // Pseudo-cells: free.
+        for kind in [Input, Const0, Const1] {
+            lib.insert(
+                kind,
+                CellTiming {
+                    area: 0.0,
+                    effort: 0.0,
+                    parasitic: 0.0,
+                },
+            );
+        }
+        lib
+    }
+
+    /// A copy of this library with all delays scaled by `factor`
+    /// (e.g. a derate or a different process corner).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn derated(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "derate factor must be positive"
+        );
+        let mut out = self.clone();
+        out.tau_ps *= factor;
+        out.name = format!("{}_x{factor}", self.name);
+        out
+    }
+
+    /// Parses a library from the Liberty-lite text format produced by
+    /// [`TechLibrary::to_liberty`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLibraryError`] on malformed input or unknown cells.
+    pub fn from_liberty(text: &str) -> Result<Self, ParseLibraryError> {
+        crate::liberty::parse(text)
+    }
+
+    /// Serializes the library in the Liberty-lite text format.
+    pub fn to_liberty(&self) -> String {
+        crate::liberty::emit(self)
+    }
+}
+
+impl Default for TechLibrary {
+    /// The default library is [`TechLibrary::umc180`].
+    fn default() -> Self {
+        TechLibrary::umc180()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsa_netlist::Netlist;
+
+    #[test]
+    fn umc180_covers_all_gates() {
+        let lib = TechLibrary::umc180();
+        for kind in CellKind::ALL {
+            assert!(lib.get(kind).is_some(), "missing {kind}");
+        }
+    }
+
+    #[test]
+    fn fo4_in_plausible_range_for_180nm() {
+        let lib = TechLibrary::umc180();
+        let fo4 = lib.fo4_delay_ps();
+        assert!((60.0..140.0).contains(&fo4), "FO4 = {fo4} ps");
+    }
+
+    #[test]
+    fn complex_gates_cost_more_than_simple() {
+        let lib = TechLibrary::umc180();
+        // Same load: the AO21 carry operator is slower than plain AND2.
+        let load = 4.0;
+        assert!(
+            lib.gate_delay_ps(CellKind::Ao21, load) > lib.gate_delay_ps(CellKind::And2, load)
+        );
+        // Inverting forms are faster than their non-inverting composites.
+        assert!(
+            lib.gate_delay_ps(CellKind::Nand2, load) < lib.gate_delay_ps(CellKind::And2, load)
+        );
+    }
+
+    #[test]
+    fn delay_grows_with_load() {
+        let lib = TechLibrary::umc180();
+        let d1 = lib.gate_delay_ps(CellKind::Nand2, 1.0);
+        let d8 = lib.gate_delay_ps(CellKind::Nand2, 8.0);
+        assert!(d8 > d1 + 6.0 * lib.tau_ps);
+    }
+
+    #[test]
+    fn covers_checks_netlist_kinds() {
+        let mut lib = TechLibrary::new("tiny", 16.0, 0.1, 4.0);
+        lib.insert(
+            CellKind::And2,
+            CellTiming {
+                area: 1.0,
+                effort: 1.3,
+                parasitic: 2.0,
+            },
+        );
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let y = nl.and2(a, b);
+        nl.output("y", y);
+        assert!(lib.covers(&nl));
+        let x = nl.xor2(a, b);
+        nl.output("x", x);
+        assert!(!lib.covers(&nl));
+    }
+
+    #[test]
+    fn derate_scales_delay_only() {
+        let lib = TechLibrary::umc180();
+        let slow = lib.derated(1.5);
+        assert_eq!(
+            slow.gate_delay_ps(CellKind::Nand2, 2.0),
+            1.5 * lib.gate_delay_ps(CellKind::Nand2, 2.0)
+        );
+        assert_eq!(slow.cell(CellKind::Nand2).area, lib.cell(CellKind::Nand2).area);
+    }
+
+    #[test]
+    #[should_panic(expected = "derate factor")]
+    fn derate_rejects_nonpositive() {
+        TechLibrary::umc180().derated(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no cell")]
+    fn missing_cell_panics() {
+        let lib = TechLibrary::new("empty", 16.0, 0.1, 4.0);
+        lib.cell(CellKind::And2);
+    }
+
+    #[test]
+    fn default_is_umc180() {
+        assert_eq!(TechLibrary::default().name(), "umc180");
+    }
+}

@@ -1,0 +1,145 @@
+//! Supply-voltage scaling via the alpha-power law.
+//!
+//! The paper positions speculation against Razor-style voltage
+//! overscaling (its refs [2], [5]): both trade rare errors for average
+//! performance/energy. To compare the two quantitatively we model gate
+//! delay under a scaled supply with the alpha-power law,
+//!
+//! ```text
+//! d(V) ∝ V / (V - Vt)^alpha
+//! ```
+//!
+//! calibrated for the 0.18 µm-class library (`Vdd = 1.8 V`,
+//! `Vt = 0.45 V`, `alpha = 1.3`). Dynamic power scales as `V²·f`.
+
+use crate::TechLibrary;
+
+/// Nominal supply of the 0.18 µm-class process, volts.
+pub const NOMINAL_VDD: f64 = 1.8;
+/// Threshold voltage, volts.
+pub const THRESHOLD_V: f64 = 0.45;
+/// Velocity-saturation exponent.
+pub const ALPHA: f64 = 1.3;
+
+/// Relative gate delay at supply `vdd_ratio × NOMINAL_VDD`
+/// (1.0 at nominal; > 1 when undervolted, < 1 when overdriven).
+///
+/// # Panics
+///
+/// Panics unless the scaled supply stays above the threshold voltage
+/// with margin (`vdd_ratio × NOMINAL_VDD > 1.1 × THRESHOLD_V`).
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_techlib::delay_factor_at_voltage;
+///
+/// assert!((delay_factor_at_voltage(1.0) - 1.0).abs() < 1e-12);
+/// assert!(delay_factor_at_voltage(0.8) > 1.1);  // undervolting slows
+/// assert!(delay_factor_at_voltage(1.2) < 0.9);  // overdrive speeds up
+/// ```
+pub fn delay_factor_at_voltage(vdd_ratio: f64) -> f64 {
+    let v = vdd_ratio * NOMINAL_VDD;
+    assert!(
+        v > 1.1 * THRESHOLD_V,
+        "supply {v:.2} V too close to threshold {THRESHOLD_V} V"
+    );
+    let d = |v: f64| v / (v - THRESHOLD_V).powf(ALPHA);
+    d(v) / d(NOMINAL_VDD)
+}
+
+/// Relative dynamic power at supply `vdd_ratio × NOMINAL_VDD` and
+/// frequency scaled to match the voltage's delay (`P ∝ V² f`,
+/// `f ∝ 1/delay`).
+pub fn power_factor_at_voltage(vdd_ratio: f64) -> f64 {
+    vdd_ratio * vdd_ratio / delay_factor_at_voltage(vdd_ratio)
+}
+
+/// The supply ratio at which gate delay equals `target_delay_factor`
+/// times nominal (bisection; `target < 1` demands overdrive).
+///
+/// # Panics
+///
+/// Panics if the target is unreachable within `0.3×` to `2×` nominal
+/// supply.
+pub fn voltage_for_delay_factor(target_delay_factor: f64) -> f64 {
+    let (mut lo, mut hi) = (0.3f64, 2.0f64);
+    assert!(
+        delay_factor_at_voltage(hi) <= target_delay_factor
+            && delay_factor_at_voltage(lo) >= target_delay_factor,
+        "target delay factor {target_delay_factor} out of range"
+    );
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if delay_factor_at_voltage(mid) > target_delay_factor {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+impl TechLibrary {
+    /// A copy of this library timed at a scaled supply voltage.
+    ///
+    /// # Panics
+    ///
+    /// As [`delay_factor_at_voltage`].
+    pub fn at_voltage(&self, vdd_ratio: f64) -> TechLibrary {
+        self.derated(delay_factor_at_voltage(vdd_ratio))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_is_identity() {
+        assert!((delay_factor_at_voltage(1.0) - 1.0).abs() < 1e-12);
+        assert!((power_factor_at_voltage(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_voltage() {
+        let mut prev = f64::INFINITY;
+        for r in [0.5, 0.7, 0.9, 1.0, 1.2, 1.5] {
+            let d = delay_factor_at_voltage(r);
+            assert!(d < prev, "r={r}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for target in [0.7, 0.8, 1.0, 1.3, 2.0] {
+            let r = voltage_for_delay_factor(target);
+            assert!(
+                (delay_factor_at_voltage(r) - target).abs() < 1e-9,
+                "target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn library_scaling_applies_factor() {
+        let lib = TechLibrary::umc180();
+        let under = lib.at_voltage(0.8);
+        let f = delay_factor_at_voltage(0.8);
+        assert!((under.tau_ps - lib.tau_ps * f).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overdrive_costs_quadratic_power() {
+        // 20% overdrive buys speed but more than 20% power.
+        let p = power_factor_at_voltage(1.2);
+        assert!(p > 1.4, "{p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too close to threshold")]
+    fn rejects_subthreshold_supply() {
+        delay_factor_at_voltage(0.2);
+    }
+}

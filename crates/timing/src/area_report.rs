@@ -1,0 +1,155 @@
+//! Cell-area accounting in NAND2 gate equivalents.
+
+use crate::TimingError;
+use std::collections::BTreeMap;
+use std::fmt;
+use vlsa_netlist::{CellKind, Netlist};
+use vlsa_techlib::TechLibrary;
+
+/// Total and per-kind area of a netlist.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AreaReport {
+    /// Total area in NAND2 equivalents.
+    pub total: f64,
+    /// Area per cell kind.
+    pub by_kind: BTreeMap<CellKind, f64>,
+    /// Number of logic gates.
+    pub gates: usize,
+}
+
+impl AreaReport {
+    /// Area of this report relative to another (e.g. normalized against
+    /// a baseline adder, as in the paper's Fig. 8 right panel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` has zero area.
+    pub fn normalized_to(&self, baseline: &AreaReport) -> f64 {
+        assert!(baseline.total > 0.0, "baseline area is zero");
+        self.total / baseline.total
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "area: {:.1} NAND2e across {} gates", self.total, self.gates)?;
+        for (kind, a) in &self.by_kind {
+            writeln!(f, "  {kind:>6}: {a:.1}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Totals the cell area of `netlist` under `lib`.
+///
+/// # Errors
+///
+/// Returns [`TimingError::UncoveredCell`] if the library is missing any
+/// cell kind the netlist uses.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_netlist::Netlist;
+/// use vlsa_techlib::TechLibrary;
+/// use vlsa_timing::area;
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.input("a");
+/// let b = nl.input("b");
+/// let y = nl.nand2(a, b);
+/// nl.output("y", y);
+/// let report = area(&nl, &TechLibrary::umc180())?;
+/// assert_eq!(report.total, 1.0); // one NAND2 equivalent
+/// # Ok::<(), vlsa_timing::TimingError>(())
+/// ```
+pub fn area(netlist: &Netlist, lib: &TechLibrary) -> Result<AreaReport, TimingError> {
+    let mut report = AreaReport::default();
+    for (_, node) in netlist.nodes() {
+        if !node.kind().is_gate() {
+            continue;
+        }
+        let cell = lib
+            .get(node.kind())
+            .ok_or(TimingError::UncoveredCell { kind: node.kind() })?;
+        report.total += cell.area;
+        *report.by_kind.entry(node.kind()).or_insert(0.0) += cell.area;
+        report.gates += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsa_netlist::Netlist;
+
+    #[test]
+    fn sums_per_kind() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.xor2(a, b);
+        let y = nl.xor2(x, a);
+        let z = nl.and2(x, y);
+        nl.output("z", z);
+        let lib = TechLibrary::umc180();
+        let report = area(&nl, &lib).expect("area");
+        assert_eq!(report.gates, 3);
+        let xor_area = lib.cell(CellKind::Xor2).area;
+        let and_area = lib.cell(CellKind::And2).area;
+        assert!((report.total - (2.0 * xor_area + and_area)).abs() < 1e-12);
+        assert!((report.by_kind[&CellKind::Xor2] - 2.0 * xor_area).abs() < 1e-12);
+        assert!(report.to_string().contains("xor2"));
+    }
+
+    #[test]
+    fn inputs_and_constants_are_free() {
+        let mut nl = Netlist::new("t");
+        let _ = nl.input("a");
+        let c = nl.constant(true);
+        nl.output("y", c);
+        let report = area(&nl, &TechLibrary::umc180()).expect("area");
+        assert_eq!(report.total, 0.0);
+        assert_eq!(report.gates, 0);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut small = Netlist::new("s");
+        let a = small.input("a");
+        let b = small.input("b");
+        let y = small.nand2(a, b);
+        small.output("y", y);
+        let mut big = Netlist::new("b");
+        let a = big.input("a");
+        let b = big.input("b");
+        let x = big.nand2(a, b);
+        let y = big.nand2(x, b);
+        big.output("y", y);
+        let lib = TechLibrary::umc180();
+        let rs = area(&small, &lib).unwrap();
+        let rb = area(&big, &lib).unwrap();
+        assert_eq!(rb.normalized_to(&rs), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline area is zero")]
+    fn normalize_rejects_zero_baseline() {
+        let r = AreaReport::default();
+        let _ = r.normalized_to(&AreaReport::default());
+    }
+
+    #[test]
+    fn uncovered_cell_is_error() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let y = nl.maj3(a, a, a);
+        nl.output("y", y);
+        let empty = TechLibrary::new("none", 10.0, 0.1, 4.0);
+        assert!(matches!(
+            area(&nl, &empty),
+            Err(TimingError::UncoveredCell { kind: CellKind::Maj3 })
+        ));
+    }
+}

@@ -1,0 +1,38 @@
+//! Static timing analysis and area accounting over VLSA netlists.
+//!
+//! This crate plays the role of the synthesis timer in the paper's flow:
+//! given a [`vlsa_netlist::Netlist`] and a [`vlsa_techlib::TechLibrary`],
+//! it computes load-dependent arrival times for every net, extracts the
+//! critical path, and totals cell area — the numbers behind the paper's
+//! Fig. 8 delay/area comparison.
+//!
+//! The delay model is unit-drive logical effort (see `vlsa-techlib`):
+//! each gate's stage delay is `tau * (parasitic + C_load)` where `C_load`
+//! sums the logical efforts of all driven pins, a per-branch wire adder,
+//! and the primary-output load.
+//!
+//! # Examples
+//!
+//! ```
+//! use vlsa_netlist::Netlist;
+//! use vlsa_techlib::TechLibrary;
+//! use vlsa_timing::{analyze, area};
+//!
+//! let mut nl = Netlist::new("chain");
+//! let a = nl.input("a");
+//! let x = nl.not(a);
+//! let y = nl.not(x);
+//! nl.output("y", y);
+//! let lib = TechLibrary::umc180();
+//! let report = analyze(&nl, &lib)?;
+//! assert!(report.max_delay_ps > 0.0);
+//! assert_eq!(report.critical_path.len(), 3); // a -> x -> y
+//! assert!(area(&nl, &lib)?.total > 1.0);
+//! # Ok::<(), vlsa_timing::TimingError>(())
+//! ```
+
+mod area_report;
+mod sta;
+
+pub use area_report::{area, AreaReport};
+pub use sta::{analyze, TimingError, TimingReport};

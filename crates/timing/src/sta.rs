@@ -1,0 +1,312 @@
+//! Arrival-time propagation and critical-path extraction.
+
+use std::error::Error;
+use std::fmt;
+use vlsa_netlist::{CellKind, NetId, Netlist};
+use vlsa_techlib::TechLibrary;
+
+/// Failure during timing analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TimingError {
+    /// The library does not characterize a cell kind used by the netlist.
+    UncoveredCell {
+        /// The missing cell kind.
+        kind: CellKind,
+    },
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::UncoveredCell { kind } => {
+                write!(f, "library does not characterize cell `{kind}`")
+            }
+        }
+    }
+}
+
+impl Error for TimingError {}
+
+/// Result of a static timing analysis pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingReport {
+    /// Arrival time of every net in picoseconds.
+    pub arrival_ps: Vec<f64>,
+    /// Worst arrival over all primary outputs, in picoseconds.
+    pub max_delay_ps: f64,
+    /// Name of the latest-arriving primary output, if any outputs exist.
+    pub critical_output: Option<String>,
+    /// Nets on the critical path, from a primary input to the critical
+    /// output.
+    pub critical_path: Vec<NetId>,
+    /// Arrival time of every primary output, worst first.
+    pub endpoints: Vec<(String, f64)>,
+}
+
+impl TimingReport {
+    /// Arrival time of one net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range for the analyzed netlist.
+    pub fn arrival(&self, net: NetId) -> f64 {
+        self.arrival_ps[net.index()]
+    }
+
+    /// Number of gate stages on the critical path.
+    pub fn critical_depth(&self) -> usize {
+        self.critical_path.len().saturating_sub(1)
+    }
+
+    /// Slack against a clock period: `clock_ps - max_delay_ps`
+    /// (negative when the circuit misses the clock).
+    pub fn slack_ps(&self, clock_ps: f64) -> f64 {
+        clock_ps - self.max_delay_ps
+    }
+
+    /// The `count` latest-arriving outputs, worst first.
+    pub fn worst_endpoints(&self, count: usize) -> &[(String, f64)] {
+        &self.endpoints[..count.min(self.endpoints.len())]
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "max delay: {:.1} ps via output `{}` ({} stages)",
+            self.max_delay_ps,
+            self.critical_output.as_deref().unwrap_or("-"),
+            self.critical_depth()
+        )?;
+        for net in &self.critical_path {
+            writeln!(f, "  {net} @ {:.1} ps", self.arrival_ps[net.index()])?;
+        }
+        Ok(())
+    }
+}
+
+/// Capacitive load seen by every net: driven pin efforts plus wire and
+/// primary-output loading.
+fn net_loads(netlist: &Netlist, lib: &TechLibrary) -> Result<Vec<f64>, TimingError> {
+    let mut loads = vec![0.0f64; netlist.len()];
+    for (_, node) in netlist.nodes() {
+        if !node.kind().is_gate() {
+            continue;
+        }
+        let pin = lib
+            .get(node.kind())
+            .ok_or(TimingError::UncoveredCell { kind: node.kind() })?
+            .effort;
+        for input in node.inputs() {
+            loads[input.index()] += pin + lib.wire_cap;
+        }
+    }
+    for (_, net) in netlist.primary_outputs() {
+        loads[net.index()] += lib.output_load;
+    }
+    Ok(loads)
+}
+
+/// Runs static timing analysis on `netlist` under `lib`.
+///
+/// Primary inputs arrive at time zero with ideal drive; every gate adds
+/// `tau * (parasitic + load)`.
+///
+/// # Errors
+///
+/// Returns [`TimingError::UncoveredCell`] if the library is missing any
+/// cell kind the netlist uses.
+pub fn analyze(netlist: &Netlist, lib: &TechLibrary) -> Result<TimingReport, TimingError> {
+    let loads = net_loads(netlist, lib)?;
+    let mut arrival = vec![0.0f64; netlist.len()];
+    // Worst input per gate, for backtracing the critical path.
+    let mut worst_input: Vec<Option<NetId>> = vec![None; netlist.len()];
+    for (id, node) in netlist.nodes() {
+        if !node.kind().is_gate() {
+            continue;
+        }
+        let timing = lib
+            .get(node.kind())
+            .ok_or(TimingError::UncoveredCell { kind: node.kind() })?;
+        let (worst, at) = node
+            .inputs()
+            .iter()
+            .map(|&i| (i, arrival[i.index()]))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, t)| (Some(i), t))
+            .unwrap_or((None, 0.0));
+        arrival[id.index()] = at + lib.tau_ps * (timing.parasitic + loads[id.index()]);
+        worst_input[id.index()] = worst;
+    }
+
+    let mut endpoints: Vec<(String, f64)> = netlist
+        .primary_outputs()
+        .iter()
+        .map(|(name, net)| (name.clone(), arrival[net.index()]))
+        .collect();
+    endpoints.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let critical = netlist
+        .primary_outputs()
+        .iter()
+        .max_by(|a, b| arrival[a.1.index()].total_cmp(&arrival[b.1.index()]));
+    let (critical_output, max_delay_ps, critical_path) = match critical {
+        None => (None, 0.0, Vec::new()),
+        Some((name, net)) => {
+            let mut path = vec![*net];
+            let mut cursor = *net;
+            while let Some(prev) = worst_input[cursor.index()] {
+                path.push(prev);
+                cursor = prev;
+            }
+            path.reverse();
+            (Some(name.clone()), arrival[net.index()], path)
+        }
+    };
+    Ok(TimingReport {
+        arrival_ps: arrival,
+        max_delay_ps,
+        critical_output,
+        critical_path,
+        endpoints,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsa_netlist::Netlist;
+    use vlsa_techlib::TechLibrary;
+
+    fn lib() -> TechLibrary {
+        TechLibrary::umc180()
+    }
+
+    #[test]
+    fn inverter_chain_delay_is_additive() {
+        let mut nl = Netlist::new("chain");
+        let a = nl.input("a");
+        let mut cur = a;
+        for _ in 0..10 {
+            cur = nl.not(cur);
+        }
+        nl.output("y", cur);
+        let report = analyze(&nl, &lib()).expect("analyze");
+        assert_eq!(report.critical_depth(), 10);
+        // Nine interior stages each drive one inverter; the last drives
+        // the output load.
+        let l = lib();
+        let inv = l.cell(vlsa_netlist::CellKind::Not);
+        let interior = l.tau_ps * (inv.parasitic + inv.effort + l.wire_cap);
+        let last = l.tau_ps * (inv.parasitic + l.output_load);
+        let expected = 9.0 * interior + last;
+        assert!((report.max_delay_ps - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fanout_increases_delay() {
+        // One inverter driving 1 vs 8 loads.
+        let build = |fanout: usize| {
+            let mut nl = Netlist::new("fan");
+            let a = nl.input("a");
+            let x = nl.not(a);
+            for i in 0..fanout {
+                let y = nl.not(x);
+                nl.output(format!("y[{i}]"), y);
+            }
+            nl
+        };
+        let d1 = analyze(&build(1), &lib()).unwrap().max_delay_ps;
+        let d8 = analyze(&build(8), &lib()).unwrap().max_delay_ps;
+        assert!(d8 > d1 + 5.0, "d1={d1} d8={d8}");
+    }
+
+    #[test]
+    fn critical_path_traces_deepest_cone() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        // Short path: single AND. Long path: 3 inverters then AND.
+        let i1 = nl.not(b);
+        let i2 = nl.not(i1);
+        let i3 = nl.not(i2);
+        let y = nl.and2(a, i3);
+        nl.output("y", y);
+        let report = analyze(&nl, &lib()).expect("analyze");
+        assert_eq!(report.critical_output.as_deref(), Some("y"));
+        // Path: b, i1, i2, i3, y.
+        assert_eq!(report.critical_path.len(), 5);
+        assert_eq!(report.critical_path[0], b);
+        assert_eq!(*report.critical_path.last().unwrap(), y);
+        // Arrivals strictly increase along the path.
+        for pair in report.critical_path.windows(2) {
+            assert!(report.arrival(pair[1]) > report.arrival(pair[0]));
+        }
+    }
+
+    #[test]
+    fn empty_netlist_times_to_zero() {
+        let nl = Netlist::new("empty");
+        let report = analyze(&nl, &lib()).expect("analyze");
+        assert_eq!(report.max_delay_ps, 0.0);
+        assert!(report.critical_path.is_empty());
+        assert_eq!(report.critical_output, None);
+    }
+
+    #[test]
+    fn uncovered_cell_is_error() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let y = nl.not(a);
+        nl.output("y", y);
+        let empty = TechLibrary::new("none", 10.0, 0.1, 4.0);
+        let err = analyze(&nl, &empty).unwrap_err();
+        assert_eq!(err, TimingError::UncoveredCell { kind: vlsa_netlist::CellKind::Not });
+        assert!(err.to_string().contains("inv"));
+    }
+
+    #[test]
+    fn endpoints_and_slack() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let fast = nl.not(a);
+        let slow1 = nl.not(fast);
+        let slow2 = nl.not(slow1);
+        nl.output("fast", fast);
+        nl.output("slow", slow2);
+        let report = analyze(&nl, &lib()).expect("analyze");
+        assert_eq!(report.endpoints.len(), 2);
+        assert_eq!(report.endpoints[0].0, "slow");
+        assert!(report.endpoints[0].1 > report.endpoints[1].1);
+        assert_eq!(report.worst_endpoints(1)[0].0, "slow");
+        assert_eq!(report.worst_endpoints(10).len(), 2);
+        assert!(report.slack_ps(report.max_delay_ps + 100.0) > 99.9);
+        assert!(report.slack_ps(report.max_delay_ps - 100.0) < 0.0);
+    }
+
+    #[test]
+    fn report_displays_path() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let y = nl.not(a);
+        nl.output("y", y);
+        let report = analyze(&nl, &lib()).expect("analyze");
+        let text = report.to_string();
+        assert!(text.contains("max delay"));
+        assert!(text.contains("`y`"));
+    }
+
+    #[test]
+    fn derated_library_scales_analysis() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a");
+        let mut cur = a;
+        for _ in 0..4 {
+            cur = nl.xor2(cur, a);
+        }
+        nl.output("y", cur);
+        let base = analyze(&nl, &lib()).unwrap().max_delay_ps;
+        let slow = analyze(&nl, &lib().derated(2.0)).unwrap().max_delay_ps;
+        assert!((slow - 2.0 * base).abs() < 1e-9);
+    }
+}

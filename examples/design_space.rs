@@ -1,0 +1,47 @@
+//! Design-space exploration: sweep the speculation window of a 64-bit
+//! ACA and print the accuracy/delay/area tradeoff — the knob the paper's
+//! Table 1 sets by probability target.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use vlsa::core::almost_correct_adder;
+use vlsa::runstats::{min_bound_for_prob, prob_longest_run_gt};
+use vlsa::techlib::TechLibrary;
+use vlsa::timing::{analyze, area};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nbits = 64;
+    let lib = TechLibrary::umc180();
+    let exact = vlsa::adders::prefix_adder(nbits, vlsa::adders::PrefixArch::KoggeStone)
+        .with_fanout_limit(8);
+    let t_exact = analyze(&exact, &lib)?.max_delay_ps;
+    let a_exact = area(&exact, &lib)?.total;
+
+    println!("64-bit ACA window sweep (exact Kogge-Stone: {t_exact:.0} ps, {a_exact:.0} NAND2e)\n");
+    println!(
+        "{:>7} {:>13} {:>10} {:>9} {:>11} {:>10}",
+        "window", "P(error)", "delay(ps)", "speedup", "area", "area ratio"
+    );
+    for window in [2usize, 4, 6, 8, 12, 16, 20, 24, 32, 48, 64] {
+        let nl = almost_correct_adder(nbits, window).with_fanout_limit(8);
+        let t = analyze(&nl, &lib)?.max_delay_ps;
+        let a = area(&nl, &lib)?.total;
+        println!(
+            "{window:>7} {:>13.3e} {t:>10.0} {:>8.2}x {a:>11.0} {:>10.2}",
+            prob_longest_run_gt(nbits, window - 1),
+            t_exact / t,
+            a / a_exact
+        );
+    }
+
+    println!("\nTable 1 design points for common targets:");
+    for accuracy in [0.99, 0.999, 0.9999, 0.999999] {
+        let w = min_bound_for_prob(nbits, accuracy) + 1;
+        println!("  accuracy {accuracy:<9} -> window {w}");
+    }
+    println!(
+        "\nEach extra window bit halves the error rate but only nudges delay \
+         (log k), which is the whole premise of variable-latency speculation."
+    );
+    Ok(())
+}

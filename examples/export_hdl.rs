@@ -1,0 +1,53 @@
+//! Export generated circuits as synthesizable HDL — the last mile of
+//! the paper's C++ → VHDL flow.
+//!
+//! Run with: `cargo run --example export_hdl`
+//! Files are written under `target/hdl/`.
+
+use std::fs;
+use std::path::Path;
+use vlsa::core::{almost_correct_adder, vlsa_adder};
+use vlsa::hdl::{to_verilog, to_vhdl, verilog_testbench};
+use vlsa::seq::{sequential_vlsa, to_verilog_seq};
+use vlsa::techlib::TechLibrary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = Path::new("target/hdl");
+    fs::create_dir_all(out)?;
+
+    let aca = almost_correct_adder(64, 18);
+    let vlsa = vlsa_adder(64, 18).with_fanout_limit(8);
+
+    for (name, text) in [
+        ("aca64.v", to_verilog(&aca)),
+        ("aca64.vhd", to_vhdl(&aca)),
+        ("vlsa64.v", to_verilog(&vlsa)),
+        ("vlsa64.vhd", to_vhdl(&vlsa)),
+    ] {
+        let path = out.join(name);
+        fs::write(&path, &text)?;
+        println!("wrote {} ({} lines)", path.display(), text.lines().count());
+    }
+
+    // A self-checking testbench for the ACA (run under any Verilog
+    // simulator to validate the export against this workspace's model).
+    let tb_path = out.join("aca64_tb.v");
+    fs::write(&tb_path, verilog_testbench(&aca, 32, 2008)?)?;
+    println!("wrote {}", tb_path.display());
+
+    // The sequential Fig. 6 circuit, clocked wrapper included.
+    let seq_path = out.join("vlsa64_seq.v");
+    fs::write(&seq_path, to_verilog_seq(&sequential_vlsa(64, 18)?))?;
+    println!("wrote {}", seq_path.display());
+
+    // Ship the technology library alongside, in its Liberty-lite form.
+    let lib_path = out.join("umc180.lib");
+    fs::write(&lib_path, TechLibrary::umc180().to_liberty())?;
+    println!("wrote {}", lib_path.display());
+
+    // And a DOT rendering of a small ACA for documentation figures.
+    let dot_path = out.join("aca8.dot");
+    fs::write(&dot_path, almost_correct_adder(8, 3).to_dot())?;
+    println!("wrote {} (render with `dot -Tsvg`)", dot_path.display());
+    Ok(())
+}

@@ -1,0 +1,347 @@
+//! `vlsa` — command-line front end for the workspace.
+//!
+//! ```text
+//! vlsa window --bits 64 --accuracy 0.9999 [--bias 0.5]
+//! vlsa gen    --arch aca --bits 64 [--window 18] [--opt] [--fanout 8]
+//!             [--verilog out.v] [--vhdl out.vhd] [--dot out.dot]
+//! vlsa time   --arch kogge-stone --bits 256 [--window W] [--lib tech.lib]
+//! vlsa check  --arch vlsa --bits 64 --window 12 [--vectors 10000]
+//! vlsa tb     --arch aca --bits 32 --window 10 --out tb.v
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use vlsa::adders::{AdderArch, PrefixArch};
+use vlsa::core::{almost_correct_adder, error_detector, vlsa_adder};
+use vlsa::hdl::{to_verilog, to_vhdl, verilog_testbench};
+use vlsa::netlist::Netlist;
+use vlsa::runstats::{min_bound_for_prob, min_bound_for_prob_biased, prob_longest_run_gt};
+use vlsa::techlib::TechLibrary;
+use vlsa::timing::{analyze, area};
+
+/// Parsed `--key value` options plus the subcommand.
+struct Args {
+    command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let command = argv.first().cloned().ok_or("missing subcommand")?;
+    let mut options = HashMap::new();
+    let mut flags = Vec::new();
+    let mut i = 1;
+    while i < argv.len() {
+        let key = argv[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, found `{}`", argv[i]))?;
+        if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+            options.insert(key.to_string(), argv[i + 1].clone());
+            i += 2;
+        } else {
+            flags.push(key.to_string());
+            i += 1;
+        }
+    }
+    Ok(Args {
+        command,
+        options,
+        flags,
+    })
+}
+
+impl Args {
+    fn usize_opt(&self, key: &str) -> Result<Option<usize>, String> {
+        self.options
+            .get(key)
+            .map(|v| v.parse().map_err(|_| format!("--{key} expects an integer")))
+            .transpose()
+    }
+
+    fn f64_opt(&self, key: &str) -> Result<Option<f64>, String> {
+        self.options
+            .get(key)
+            .map(|v| v.parse().map_err(|_| format!("--{key} expects a number")))
+            .transpose()
+    }
+
+    fn require_usize(&self, key: &str) -> Result<usize, String> {
+        self.usize_opt(key)?.ok_or(format!("missing --{key}"))
+    }
+
+    fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Loads a netlist from `--load` or builds it from `--arch`/`--bits`.
+fn resolve_circuit(args: &Args) -> Result<Netlist, String> {
+    if let Some(path) = args.options.get("load") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        return Netlist::from_vnet(&text).map_err(|e| format!("{path}: {e}"));
+    }
+    let bits = args.require_usize("bits")?;
+    let arch = args.options.get("arch").ok_or("missing --arch (or --load)")?;
+    build_circuit(arch, bits, args.usize_opt("window")?)
+}
+
+/// Resolves an architecture name (+width/window) to a netlist.
+fn build_circuit(arch: &str, bits: usize, window: Option<usize>) -> Result<Netlist, String> {
+    let need_window = || window.ok_or(format!("--arch {arch} requires --window"));
+    let prefix = |p: PrefixArch| Ok(AdderArch::Prefix(p).generate(bits));
+    match arch {
+        "ripple" => Ok(AdderArch::Ripple.generate(bits)),
+        "cla" => Ok(AdderArch::Cla { group: 4 }.generate(bits)),
+        "carry-skip" => Ok(AdderArch::CarrySkip { block: 4 }.generate(bits)),
+        "carry-select" => Ok(AdderArch::CarrySelect { block: 4 }.generate(bits)),
+        "conditional-sum" => Ok(AdderArch::ConditionalSum.generate(bits)),
+        "serial" => prefix(PrefixArch::Serial),
+        "sklansky" => prefix(PrefixArch::Sklansky),
+        "kogge-stone" => prefix(PrefixArch::KoggeStone),
+        "brent-kung" => prefix(PrefixArch::BrentKung),
+        "han-carlson" => prefix(PrefixArch::HanCarlson),
+        "ladner-fischer" => prefix(PrefixArch::LadnerFischer),
+        "aca" => Ok(almost_correct_adder(bits, need_window()?)),
+        "detector" => Ok(error_detector(bits, need_window()?)),
+        "vlsa" => Ok(vlsa_adder(bits, need_window()?)),
+        other => Err(format!(
+            "unknown --arch `{other}` (try ripple, cla, carry-skip, carry-select, \
+             conditional-sum, serial, sklansky, kogge-stone, brent-kung, han-carlson, \
+             ladner-fischer, aca, detector, vlsa)"
+        )),
+    }
+}
+
+fn load_library(args: &Args) -> Result<TechLibrary, String> {
+    match args.options.get("lib") {
+        None => Ok(TechLibrary::umc180()),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            TechLibrary::from_liberty(&text).map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+fn cmd_window(args: &Args) -> Result<(), String> {
+    let bits = args.require_usize("bits")?;
+    let accuracy = args.f64_opt("accuracy")?.unwrap_or(0.9999);
+    let window = match args.f64_opt("bias")? {
+        None | Some(0.5) => min_bound_for_prob(bits, accuracy) + 1,
+        Some(p) => min_bound_for_prob_biased(bits, accuracy, p) + 1,
+    };
+    let window = window.min(bits);
+    println!("bits {bits}, accuracy {accuracy}: window = {window}");
+    println!(
+        "exact uniform error bound: {:.3e}",
+        prob_longest_run_gt(bits, window - 1)
+    );
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let mut nl = resolve_circuit(args)?;
+    if args.has_flag("opt") {
+        nl = nl.simplified();
+    }
+    if let Some(f) = args.usize_opt("fanout")? {
+        nl = nl.with_fanout_limit(f);
+    }
+    println!("{}", nl.stats());
+    let mut wrote = false;
+    if let Some(path) = args.options.get("verilog") {
+        std::fs::write(path, to_verilog(&nl)).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+        wrote = true;
+    }
+    if let Some(path) = args.options.get("vhdl") {
+        std::fs::write(path, to_vhdl(&nl)).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+        wrote = true;
+    }
+    if let Some(path) = args.options.get("dot") {
+        std::fs::write(path, nl.to_dot()).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+        wrote = true;
+    }
+    if let Some(path) = args.options.get("save") {
+        std::fs::write(path, nl.to_vnet()).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+        wrote = true;
+    }
+    if !wrote {
+        println!("(no output file requested; pass --verilog/--vhdl/--dot)");
+    }
+    Ok(())
+}
+
+fn cmd_time(args: &Args) -> Result<(), String> {
+    let lib = load_library(args)?;
+    let nl = resolve_circuit(args)?
+        .simplified()
+        .with_fanout_limit(args.usize_opt("fanout")?.unwrap_or(8));
+    let timing = analyze(&nl, &lib).map_err(|e| e.to_string())?;
+    let a = area(&nl, &lib).map_err(|e| e.to_string())?;
+    print!("{timing}");
+    print!("{a}");
+    Ok(())
+}
+
+fn cmd_check(args: &Args) -> Result<(), String> {
+    use rand::SeedableRng;
+    let bits = args.require_usize("bits")?;
+    let arch = args.options.get("arch").ok_or("missing --arch")?;
+    let vectors = args.usize_opt("vectors")?.unwrap_or(10_000);
+    let nl = build_circuit(arch, bits, args.usize_opt("window")?)?;
+    if arch == "detector" {
+        return Err("`check` compares sums; the detector has no `s` bus".into());
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2008);
+    let report = vlsa::sim::check_adder_random(&nl, bits, vectors, &mut rng)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{} / {} wrong (error rate {:.3e})",
+        report.mismatches,
+        report.total,
+        report.error_rate()
+    );
+    if arch == "aca" {
+        println!("(speculative adders are expected to err at the design rate)");
+    } else if !report.is_exact() {
+        return Err("exact architecture produced wrong sums".into());
+    }
+    Ok(())
+}
+
+fn cmd_tb(args: &Args) -> Result<(), String> {
+    let bits = args.require_usize("bits")?;
+    let arch = args.options.get("arch").ok_or("missing --arch")?;
+    let out = args.options.get("out").ok_or("missing --out")?;
+    let vectors = args.usize_opt("vectors")?.unwrap_or(32);
+    let nl = build_circuit(arch, bits, args.usize_opt("window")?)?;
+    let tb = verilog_testbench(&nl, vectors, 2008).map_err(|e| e.to_string())?;
+    std::fs::write(out, format!("{}{tb}", to_verilog(&nl))).map_err(|e| e.to_string())?;
+    println!("wrote {out} (dut + self-checking testbench, {vectors} vectors)");
+    Ok(())
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse_args(argv)?;
+    match args.command.as_str() {
+        "window" => cmd_window(&args),
+        "gen" => cmd_gen(&args),
+        "time" => cmd_time(&args),
+        "check" => cmd_check(&args),
+        "tb" => cmd_tb(&args),
+        "help" | "--help" => {
+            println!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`\n{HELP}")),
+    }
+}
+
+const HELP: &str = "\
+vlsa — Variable Latency Speculative Addition toolkit
+  window --bits N [--accuracy P] [--bias p]      size a speculation window
+  gen    --arch A --bits N [--window W] [--opt] [--fanout F]
+         [--verilog F] [--vhdl F] [--dot F] [--save F]  generate a circuit
+  time   --arch A --bits N | --load F [--lib F]  timing + area report
+  check  --arch A --bits N [--window W] [--vectors N]  simulate vs reference
+  tb     --arch A --bits N [--window W] --out F  emit dut + testbench";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_options_and_flags() {
+        let a = parse_args(&argv("gen --bits 64 --opt --arch aca")).expect("parse");
+        assert_eq!(a.command, "gen");
+        assert_eq!(a.require_usize("bits").unwrap(), 64);
+        assert!(a.has_flag("opt"));
+        assert_eq!(a.options.get("arch").map(String::as_str), Some("aca"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_args(&argv("")).is_err());
+        assert!(parse_args(&argv("gen bits")).is_err());
+        let a = parse_args(&argv("gen --bits banana")).expect("parse");
+        assert!(a.require_usize("bits").is_err());
+    }
+
+    #[test]
+    fn builds_every_architecture() {
+        for arch in [
+            "ripple",
+            "cla",
+            "carry-skip",
+            "carry-select",
+            "conditional-sum",
+            "serial",
+            "sklansky",
+            "kogge-stone",
+            "brent-kung",
+            "han-carlson",
+            "ladner-fischer",
+        ] {
+            assert!(build_circuit(arch, 16, None).is_ok(), "{arch}");
+        }
+        for arch in ["aca", "detector", "vlsa"] {
+            assert!(build_circuit(arch, 16, Some(5)).is_ok(), "{arch}");
+            assert!(build_circuit(arch, 16, None).is_err(), "{arch} needs window");
+        }
+        assert!(build_circuit("bogus", 16, None).is_err());
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("vlsa_cli_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("aca.vnet");
+        let path_str = path.to_str().expect("utf8 path");
+        run(&argv(&format!(
+            "gen --arch aca --bits 16 --window 5 --save {path_str}"
+        )))
+        .expect("save");
+        run(&argv(&format!("time --load {path_str}"))).expect("load+time");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn window_command_runs() {
+        run(&argv("window --bits 64 --accuracy 0.999")).expect("window");
+        run(&argv("window --bits 64 --bias 0.7")).expect("biased window");
+    }
+
+    #[test]
+    fn check_command_validates_exact_adders() {
+        run(&argv("check --arch kogge-stone --bits 24 --vectors 256")).expect("check");
+        // The ACA errs but `check` tolerates that for aca.
+        run(&argv("check --arch aca --bits 24 --window 4 --vectors 256")).expect("aca");
+        assert!(run(&argv("check --arch detector --bits 8 --window 3")).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_error() {
+        assert!(run(&argv("frobnicate")).is_err());
+        run(&argv("help")).expect("help");
+    }
+}

@@ -1,0 +1,32 @@
+//! Umbrella crate for the VLSA workspace: re-exports the full public API
+//! of the *Variable Latency Speculative Addition* (DATE 2008) reproduction.
+//!
+//! Most users only need this crate; the per-subsystem crates
+//! ([`runstats`], [`netlist`], [`techlib`], [`sim`], [`timing`],
+//! [`adders`], [`core`], [`pipeline`], [`hdl`], [`crypto`]) are
+//! re-exported as modules here.
+//!
+//! # Examples
+//!
+//! ```
+//! use vlsa::core::SpeculativeAdder;
+//!
+//! let adder = SpeculativeAdder::for_accuracy(64, 0.9999)?;
+//! let r = adder.add_u64(123456789, 987654321);
+//! assert!(r.is_correct());
+//! assert_eq!(r.exact, 123456789 + 987654321);
+//! # Ok::<(), vlsa::core::SpecError>(())
+//! ```
+
+pub use vlsa_adders as adders;
+pub use vlsa_core as core;
+pub use vlsa_crypto as crypto;
+pub use vlsa_hdl as hdl;
+pub use vlsa_multiplier as multiplier;
+pub use vlsa_netlist as netlist;
+pub use vlsa_pipeline as pipeline;
+pub use vlsa_runstats as runstats;
+pub use vlsa_seq as seq;
+pub use vlsa_sim as sim;
+pub use vlsa_techlib as techlib;
+pub use vlsa_timing as timing;

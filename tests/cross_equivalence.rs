@@ -1,0 +1,81 @@
+//! Cross-crate equivalence: every adder in the workspace — reliable
+//! baselines, the ACA at full window, VLSA recovery, and their
+//! fanout-buffered forms — computes the same function.
+
+use rand::SeedableRng;
+use vlsa::adders::{AdderArch, PrefixArch};
+use vlsa::core::{almost_correct_adder, vlsa_adder};
+use vlsa::sim::{check_adder_random, equiv_random};
+
+#[test]
+fn all_baselines_are_pairwise_equivalent() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let nbits = 48;
+    let archs = [
+        AdderArch::Ripple,
+        AdderArch::CarrySkip { block: 5 },
+        AdderArch::CarrySelect { block: 6 },
+        AdderArch::Cla { group: 4 },
+        AdderArch::ConditionalSum,
+        AdderArch::Prefix(PrefixArch::Sklansky),
+        AdderArch::Prefix(PrefixArch::KoggeStone),
+        AdderArch::Prefix(PrefixArch::BrentKung),
+        AdderArch::Prefix(PrefixArch::HanCarlson),
+        AdderArch::Prefix(PrefixArch::LadnerFischer),
+        AdderArch::Prefix(PrefixArch::Serial),
+    ];
+    let reference = archs[0].generate(nbits);
+    for arch in &archs[1..] {
+        equiv_random(&reference, &arch.generate(nbits), 6, &mut rng)
+            .unwrap_or_else(|e| panic!("{arch} differs from ripple: {e}"));
+    }
+}
+
+#[test]
+fn fanout_buffering_preserves_function() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    for arch in [
+        AdderArch::Prefix(PrefixArch::Sklansky),
+        AdderArch::Prefix(PrefixArch::KoggeStone),
+        AdderArch::Cla { group: 4 },
+    ] {
+        let nl = arch.generate(40);
+        for max_fanout in [2usize, 4, 8] {
+            let buffered = nl.with_fanout_limit(max_fanout);
+            assert!(buffered.max_fanout() <= max_fanout, "{arch}");
+            equiv_random(&nl, &buffered, 4, &mut rng)
+                .unwrap_or_else(|e| panic!("{arch} fo={max_fanout}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn aca_with_full_window_matches_exact_adders() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let nbits = 33;
+    let aca = almost_correct_adder(nbits, nbits);
+    let exact = AdderArch::Prefix(PrefixArch::BrentKung).generate(nbits);
+    equiv_random(&aca, &exact, 8, &mut rng).expect("full-window ACA is exact");
+}
+
+#[test]
+fn vlsa_recovery_output_is_exact_across_widths_and_windows() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    for (nbits, window) in [(17usize, 3usize), (64, 7), (96, 10), (160, 13)] {
+        let nl = vlsa_adder(nbits, window);
+        let report = check_adder_random(&nl, nbits, 128, &mut rng).expect("simulate");
+        assert!(
+            report.is_exact(),
+            "vlsa {nbits}/{window}: {:?}",
+            report.first_failure
+        );
+    }
+}
+
+#[test]
+fn buffered_vlsa_is_still_exact() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let nl = vlsa_adder(64, 8).with_fanout_limit(6);
+    let report = check_adder_random(&nl, 64, 128, &mut rng).expect("simulate");
+    assert!(report.is_exact());
+}

@@ -1,0 +1,102 @@
+//! End-to-end flow tests: statistics → window sizing → circuit
+//! generation → timing/area → pipeline — the whole paper in one pass.
+
+use rand::SeedableRng;
+use vlsa::core::{almost_correct_adder, error_detector, SpeculativeAdder};
+use vlsa::pipeline::{random_operands, EffectiveLatency, VlsaPipeline};
+use vlsa::runstats::{min_bound_for_prob, prob_longest_run_gt};
+use vlsa::sim::check_adder_random;
+use vlsa::techlib::TechLibrary;
+use vlsa::timing::{analyze, area};
+
+/// The full design flow at the paper's 64-bit / 99.99% design point.
+#[test]
+fn paper_design_flow_64_bits() {
+    // 1. Statistics: size the window.
+    let nbits = 64;
+    let window = min_bound_for_prob(nbits, 0.9999) + 1;
+    assert!(prob_longest_run_gt(nbits, window - 1) <= 1e-4);
+
+    // 2. Circuits.
+    let lib = TechLibrary::umc180();
+    let aca = almost_correct_adder(nbits, window).with_fanout_limit(8);
+    let det = error_detector(nbits, window).with_fanout_limit(8);
+    let trad = vlsa::adders::prefix_adder(nbits, vlsa::adders::PrefixArch::KoggeStone)
+        .with_fanout_limit(8);
+
+    // 3. Timing: the speculation and detection paths are both shorter
+    // than the exact adder (this is what makes the VLSA clock short).
+    let t_aca = analyze(&aca, &lib).expect("timing").max_delay_ps;
+    let t_det = analyze(&det, &lib).expect("timing").max_delay_ps;
+    let t_trad = analyze(&trad, &lib).expect("timing").max_delay_ps;
+    assert!(t_aca < t_trad, "{t_aca} vs {t_trad}");
+    assert!(t_det < t_trad, "{t_det} vs {t_trad}");
+
+    // 4. Area: the ACA is not larger than the traditional adder.
+    let a_aca = area(&aca, &lib).expect("area").total;
+    let a_trad = area(&trad, &lib).expect("area").total;
+    assert!(a_aca <= a_trad * 1.1, "{a_aca} vs {a_trad}");
+
+    // 5. Functional error rate at the design point.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let report = check_adder_random(&aca, nbits, 50_000, &mut rng).expect("simulate");
+    assert!(report.error_rate() <= 2e-4, "rate {}", report.error_rate());
+
+    // 6. Pipeline: near-single-cycle average latency, net speedup.
+    let adder = SpeculativeAdder::new(nbits, window).expect("valid");
+    let mut pipe = VlsaPipeline::new(adder);
+    let trace = pipe.run(&random_operands(nbits, 200_000, &mut rng));
+    assert!(trace.average_latency() < 1.001);
+    let eff = EffectiveLatency {
+        t_clock_ps: t_aca.max(t_det),
+        t_traditional_ps: t_trad,
+    };
+    assert!(eff.speedup(&trace) > 1.2, "speedup {}", eff.speedup(&trace));
+}
+
+/// The gate-level error rate agrees with the software model and the
+/// exact prediction across several design points.
+#[test]
+fn predictions_models_and_gates_agree() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    for (nbits, window) in [(32usize, 6usize), (64, 9)] {
+        let predicted = prob_longest_run_gt(nbits, window - 1);
+        // Gate level.
+        let nl = almost_correct_adder(nbits, window);
+        let gate = check_adder_random(&nl, nbits, 100_000, &mut rng)
+            .expect("simulate")
+            .error_rate();
+        // Software model (detection rate upper-bounds error rate).
+        let adder = SpeculativeAdder::new(nbits, window).expect("valid");
+        let ops = random_operands(nbits, 100_000, &mut rng);
+        let detected = ops
+            .iter()
+            .filter(|&&(a, b)| adder.add_u64(a, b).error_detected)
+            .count() as f64
+            / ops.len() as f64;
+        assert!(gate <= detected + 3e-3, "gate {gate} vs detected {detected}");
+        assert!(
+            (detected - predicted).abs() < 0.3 * predicted + 1e-3,
+            "detected {detected} vs predicted {predicted} (n={nbits} w={window})"
+        );
+    }
+}
+
+/// Scaling shape: ACA delay is flat in width while the exact adder
+/// grows logarithmically, so the speedup widens (paper Fig. 8).
+#[test]
+fn speedup_shape_versus_width() {
+    let lib = TechLibrary::umc180();
+    let mut last_speedup = 0.0;
+    for nbits in [64usize, 256, 1024] {
+        let window = min_bound_for_prob(nbits, 0.9999) + 1;
+        let aca = almost_correct_adder(nbits, window).with_fanout_limit(8);
+        let trad = vlsa::adders::prefix_adder(nbits, vlsa::adders::PrefixArch::KoggeStone)
+            .with_fanout_limit(8);
+        let speedup = analyze(&trad, &lib).expect("t").max_delay_ps
+            / analyze(&aca, &lib).expect("t").max_delay_ps;
+        assert!(speedup > last_speedup, "speedup must widen: {speedup}");
+        last_speedup = speedup;
+    }
+    assert!(last_speedup > 2.0);
+}

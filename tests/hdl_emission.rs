@@ -1,0 +1,72 @@
+//! HDL emission across generated circuits: structural sanity of the
+//! Verilog and VHDL produced for every architecture in the workspace.
+
+use vlsa::adders::{AdderArch, PrefixArch};
+use vlsa::core::{almost_correct_adder, vlsa_adder};
+use vlsa::hdl::{to_verilog, to_vhdl};
+use vlsa::netlist::{CellKind, Netlist};
+
+fn assign_count(verilog: &str) -> usize {
+    verilog.matches("assign ").count()
+}
+
+fn expected_assigns(nl: &Netlist) -> usize {
+    // One per non-input node (gates + constants) + one per input bit
+    // binding + one per output binding.
+    let non_input = nl
+        .nodes()
+        .filter(|(_, n)| n.kind() != CellKind::Input)
+        .count();
+    non_input + nl.primary_inputs().len() + nl.primary_outputs().len()
+}
+
+#[test]
+fn verilog_structure_for_all_architectures() {
+    for arch in [
+        AdderArch::Ripple,
+        AdderArch::Cla { group: 4 },
+        AdderArch::Prefix(PrefixArch::KoggeStone),
+        AdderArch::Prefix(PrefixArch::BrentKung),
+    ] {
+        let nl = arch.generate(24);
+        let v = to_verilog(&nl);
+        assert_eq!(assign_count(&v), expected_assigns(&nl), "{arch}");
+        assert!(v.contains("input [23:0] a;"), "{arch}");
+        assert!(v.contains("output [23:0] s;"), "{arch}");
+        assert!(v.contains("output cout;"), "{arch}");
+        assert!(v.trim_end().ends_with("endmodule"), "{arch}");
+    }
+}
+
+#[test]
+fn vhdl_structure_for_speculative_circuits() {
+    let aca = almost_correct_adder(32, 8);
+    let text = to_vhdl(&aca);
+    assert!(text.contains("entity aca32w8 is"));
+    assert!(text.contains("a : in std_logic_vector(31 downto 0)"));
+    assert!(text.contains("s : out std_logic_vector(31 downto 0)"));
+    assert_eq!(text.matches("signal n").count(), aca.len());
+
+    let vlsa = vlsa_adder(32, 8);
+    let text = to_vhdl(&vlsa);
+    assert!(text.contains("err : out std_logic"));
+    assert!(text.contains("spec : out std_logic_vector(31 downto 0)"));
+}
+
+#[test]
+fn emission_is_deterministic() {
+    let a = to_verilog(&almost_correct_adder(16, 5));
+    let b = to_verilog(&almost_correct_adder(16, 5));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn buffered_netlists_emit_cleanly() {
+    let nl = vlsa_adder(48, 7).with_fanout_limit(4);
+    let v = to_verilog(&nl);
+    assert_eq!(assign_count(&v), expected_assigns(&nl));
+    // Buffers appear as plain copies.
+    assert!(nl
+        .nodes()
+        .any(|(_, node)| node.kind() == CellKind::Buf));
+}

@@ -1,0 +1,112 @@
+//! Cross-crate property tests: random circuits through the whole stack
+//! (generation → transformation → simulation → emission).
+
+use proptest::prelude::*;
+use vlsa::adders::{AdderArch, PrefixArch};
+use vlsa::core::{almost_correct_adder, windowed_sum_wide};
+use vlsa::sim::{adder_sums, check_adder_random, equiv_random, random_pairs};
+
+fn any_arch() -> impl Strategy<Value = AdderArch> {
+    prop_oneof![
+        Just(AdderArch::Ripple),
+        (2usize..8).prop_map(|b| AdderArch::CarrySkip { block: b }),
+        (2usize..8).prop_map(|b| AdderArch::CarrySelect { block: b }),
+        (2usize..8).prop_map(|g| AdderArch::Cla { group: g }),
+        Just(AdderArch::ConditionalSum),
+        proptest::sample::select(&PrefixArch::ALL[..]).prop_map(AdderArch::Prefix),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Logic optimization preserves the function of arbitrary adders
+    /// while never increasing gate count.
+    #[test]
+    fn simplification_preserves_any_adder(
+        arch in any_arch(),
+        nbits in 2usize..32,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let nl = arch.generate(nbits);
+        let opt = nl.simplified();
+        prop_assert!(opt.gate_count() <= nl.gate_count());
+        prop_assert!(opt.validate(false).is_ok());
+        equiv_random(&nl, &opt, 2, &mut rng)
+            .map_err(|e| TestCaseError::fail(format!("{arch}: {e}")))?;
+    }
+
+    /// Optimizing the speculative circuits preserves their function too.
+    #[test]
+    fn simplification_preserves_vlsa(
+        nbits in 2usize..28,
+        window in 1usize..28,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let window = window.min(nbits);
+        let nl = vlsa::core::vlsa_adder(nbits, window);
+        let opt = nl.simplified();
+        equiv_random(&nl, &opt, 2, &mut rng)
+            .map_err(|e| TestCaseError::fail(format!("n={} w={}: {e}", nbits, window)))?;
+    }
+
+    /// Fanout buffering preserves the function of arbitrary adders.
+    #[test]
+    fn buffering_preserves_any_adder(
+        arch in any_arch(),
+        nbits in 2usize..32,
+        max_fanout in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let nl = arch.generate(nbits);
+        let buffered = nl.with_fanout_limit(max_fanout);
+        prop_assert!(buffered.max_fanout() <= max_fanout);
+        prop_assert!(buffered.validate(false).is_ok());
+        equiv_random(&nl, &buffered, 2, &mut rng)
+            .map_err(|e| TestCaseError::fail(format!("{arch}: {e}")))?;
+    }
+
+    /// The gate-level ACA and the software model agree at arbitrary
+    /// width/window combinations.
+    #[test]
+    fn aca_gates_match_software_model(
+        nbits in 2usize..48,
+        window in 1usize..48,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let window = window.min(nbits);
+        let nl = almost_correct_adder(nbits, window);
+        let pairs = random_pairs(nbits, 32, &mut rng);
+        let sums = adder_sums(&nl, nbits, &pairs).expect("simulate");
+        for ((a, b), got) in pairs.iter().zip(&sums) {
+            prop_assert_eq!(
+                got.clone(),
+                windowed_sum_wide(a, b, nbits, window),
+                "n={} w={}", nbits, window
+            );
+        }
+    }
+
+    /// VLSA recovery is exact at arbitrary width/window combinations.
+    #[test]
+    fn vlsa_recovery_exact_anywhere(
+        nbits in 2usize..40,
+        window in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let window = window.min(nbits);
+        let nl = vlsa::core::vlsa_adder(nbits, window);
+        let report = check_adder_random(&nl, nbits, 64, &mut rng).expect("simulate");
+        prop_assert!(report.is_exact(), "n={} w={}: {:?}", nbits, window, report.first_failure);
+    }
+}
