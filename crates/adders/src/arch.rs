@@ -112,7 +112,10 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(AdderArch::Ripple.to_string(), "ripple");
-        assert_eq!(AdderArch::CarrySkip { block: 8 }.to_string(), "carry-skip/8");
+        assert_eq!(
+            AdderArch::CarrySkip { block: 8 }.to_string(),
+            "carry-skip/8"
+        );
         assert_eq!(
             AdderArch::Prefix(PrefixArch::KoggeStone).to_string(),
             "kogge-stone"

@@ -38,11 +38,7 @@ fn lookahead_carry(nl: &mut Netlist, g: &[NetId], p: &[NetId], cin: NetId) -> Ne
 /// # Panics
 ///
 /// Panics if `group` is zero or the signal widths disagree.
-pub fn build_group_carries(
-    nl: &mut Netlist,
-    pg: &PgSignals,
-    group: usize,
-) -> Vec<NetId> {
+pub fn build_group_carries(nl: &mut Netlist, pg: &PgSignals, group: usize) -> Vec<NetId> {
     assert!(group > 0, "group size must be positive");
     let n = pg.width();
     let mut carries = Vec::with_capacity(n + 1);
@@ -122,8 +118,7 @@ mod tests {
     #[test]
     fn equivalent_to_ripple() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(61);
-        equiv_random(&block_cla(20, 4), &ripple_carry(20), 8, &mut rng)
-            .expect("equivalent");
+        equiv_random(&block_cla(20, 4), &ripple_carry(20), 8, &mut rng).expect("equivalent");
     }
 
     #[test]

@@ -114,8 +114,7 @@ mod tests {
     #[test]
     fn equivalent_to_ripple() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(313);
-        equiv_random(&conditional_sum(29), &ripple_carry(29), 8, &mut rng)
-            .expect("equivalent");
+        equiv_random(&conditional_sum(29), &ripple_carry(29), 8, &mut rng).expect("equivalent");
     }
 
     #[test]

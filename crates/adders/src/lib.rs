@@ -43,8 +43,7 @@ pub use condsum::conditional_sum;
 pub use pg::{adder_outputs, adder_ports, pg_signals, sum_from_carries, PgSignals};
 pub use prefix::{
     build_prefix_carries, build_prefix_gp, prefix_adder, schedule_is_complete, schedule_stats,
-    PrefixArch,
-    PrefixOp, PrefixSchedule, ScheduleStats,
+    PrefixArch, PrefixOp, PrefixSchedule, ScheduleStats,
 };
 pub use ripple::ripple_carry;
 pub use select::carry_select;

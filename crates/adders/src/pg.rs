@@ -120,7 +120,11 @@ mod tests {
         let cout = nl.constant(false);
         let sum = Bus::from_nets(vec![a[0], a[1]]);
         adder_outputs(&mut nl, &sum, cout);
-        let outs: Vec<_> = nl.primary_outputs().iter().map(|(n, _)| n.clone()).collect();
+        let outs: Vec<_> = nl
+            .primary_outputs()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
         assert_eq!(outs, vec!["s[0]", "s[1]", "cout"]);
     }
 }

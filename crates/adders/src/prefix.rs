@@ -129,7 +129,10 @@ fn brent_kung(n: usize) -> PrefixSchedule {
     let mut shift = 1;
     while shift < n {
         let step = shift << 1;
-        let ops: Vec<PrefixOp> = (step - 1..n).step_by(step).map(|i| (i, i - shift)).collect();
+        let ops: Vec<PrefixOp> = (step - 1..n)
+            .step_by(step)
+            .map(|i| (i, i - shift))
+            .collect();
         if !ops.is_empty() {
             levels.push(ops);
         }
@@ -204,7 +207,9 @@ pub fn schedule_stats(schedule: &PrefixSchedule) -> ScheduleStats {
         for &(_, from) in level {
             *counts.entry(from).or_insert(0usize) += 1;
         }
-        stats.max_fanout = stats.max_fanout.max(counts.values().copied().max().unwrap_or(0));
+        stats.max_fanout = stats
+            .max_fanout
+            .max(counts.values().copied().max().unwrap_or(0));
     }
     stats
 }
@@ -313,10 +318,7 @@ mod tests {
     fn all_schedules_complete() {
         for arch in PrefixArch::ALL {
             for n in [1usize, 2, 3, 4, 7, 8, 13, 16, 32, 33, 64, 100, 128] {
-                assert!(
-                    schedule_is_complete(n, &arch.schedule(n)),
-                    "{arch} n={n}"
-                );
+                assert!(schedule_is_complete(n, &arch.schedule(n)), "{arch} n={n}");
             }
         }
     }
@@ -338,8 +340,7 @@ mod tests {
         for arch in PrefixArch::ALL {
             for nbits in [64usize, 100, 128] {
                 let nl = prefix_adder(nbits, arch);
-                let report =
-                    check_adder_random(&nl, nbits, 128, &mut rng).expect("simulate");
+                let report = check_adder_random(&nl, nbits, 128, &mut rng).expect("simulate");
                 assert!(report.is_exact(), "{arch} nbits={nbits}");
             }
         }
@@ -364,7 +365,7 @@ mod tests {
         assert_eq!(ops(PrefixArch::Serial), n - 1);
         assert_eq!(ops(PrefixArch::Sklansky), n / 2 * 6); // (n/2) log n
         assert_eq!(ops(PrefixArch::KoggeStone), 64 * 6 - 63); // n log n - n + 1 = 321
-        // Brent-Kung: 2(n-1) - log n = 120.
+                                                              // Brent-Kung: 2(n-1) - log n = 120.
         assert_eq!(ops(PrefixArch::BrentKung), 2 * (n - 1) - 6);
         assert!(ops(PrefixArch::HanCarlson) < ops(PrefixArch::KoggeStone));
         assert!(ops(PrefixArch::LadnerFischer) < ops(PrefixArch::HanCarlson));

@@ -48,7 +48,11 @@ mod tests {
         for nbits in 1..=6 {
             let nl = ripple_carry(nbits);
             let report = check_adder_exhaustive(&nl, nbits).expect("simulate");
-            assert!(report.is_exact(), "nbits={nbits}: {:?}", report.first_failure);
+            assert!(
+                report.is_exact(),
+                "nbits={nbits}: {:?}",
+                report.first_failure
+            );
         }
     }
 

@@ -86,8 +86,7 @@ mod tests {
     #[test]
     fn equivalent_to_ripple() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(53);
-        equiv_random(&carry_select(24, 4), &ripple_carry(24), 8, &mut rng)
-            .expect("equivalent");
+        equiv_random(&carry_select(24, 4), &ripple_carry(24), 8, &mut rng).expect("equivalent");
     }
 
     #[test]

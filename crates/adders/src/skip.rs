@@ -84,8 +84,7 @@ mod tests {
     #[test]
     fn equivalent_to_ripple() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(43);
-        equiv_random(&carry_skip(32, 4), &ripple_carry(32), 8, &mut rng)
-            .expect("equivalent");
+        equiv_random(&carry_skip(32, 4), &ripple_carry(32), 8, &mut rng).expect("equivalent");
     }
 
     #[test]

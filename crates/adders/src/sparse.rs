@@ -75,7 +75,11 @@ pub fn sparse_prefix(nbits: usize, group: usize, arch: PrefixArch) -> Netlist {
     for blk in 0..nblocks {
         let lo = blk * group;
         let hi = ((blk + 1) * group).min(nbits);
-        let cin = if blk == 0 { zero } else { blk_prefix_g[blk - 1] };
+        let cin = if blk == 0 {
+            zero
+        } else {
+            blk_prefix_g[blk - 1]
+        };
         carries.push(cin);
         for i in (lo + 1)..hi {
             // c_i = g_{i-1} + p_{i-1} g_{i-2} + ... + p..p cin,

@@ -14,7 +14,11 @@ const WINDOW: usize = 21;
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("generate_256bit");
-    for arch in [PrefixArch::KoggeStone, PrefixArch::BrentKung, PrefixArch::Sklansky] {
+    for arch in [
+        PrefixArch::KoggeStone,
+        PrefixArch::BrentKung,
+        PrefixArch::Sklansky,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("prefix", arch.name()),
             &arch,
@@ -24,7 +28,9 @@ fn bench_generation(c: &mut Criterion) {
     group.bench_function("aca", |b| {
         b.iter(|| almost_correct_adder(black_box(NBITS), WINDOW))
     });
-    group.bench_function("vlsa_full", |b| b.iter(|| vlsa_adder(black_box(NBITS), WINDOW)));
+    group.bench_function("vlsa_full", |b| {
+        b.iter(|| vlsa_adder(black_box(NBITS), WINDOW))
+    });
     group.bench_function("fanout_buffering", |b| {
         let nl = vlsa_adder(NBITS, WINDOW);
         b.iter(|| nl.with_fanout_limit(black_box(8)))
@@ -36,7 +42,10 @@ fn bench_simulation(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let mut group = c.benchmark_group("simulate_64lanes");
     for (name, nl) in [
-        ("kogge_stone_256", prefix_adder(NBITS, PrefixArch::KoggeStone)),
+        (
+            "kogge_stone_256",
+            prefix_adder(NBITS, PrefixArch::KoggeStone),
+        ),
         ("aca_256", almost_correct_adder(NBITS, WINDOW)),
         ("vlsa_256", vlsa_adder(NBITS, WINDOW)),
     ] {

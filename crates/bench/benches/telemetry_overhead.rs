@@ -1,0 +1,90 @@
+//! Measures the cost of the telemetry layer on the hot add path — the
+//! acceptance check for "instrumentation is off by default and costs
+//! ~nothing when disabled".
+//!
+//! Three variants over the same operand stream:
+//!
+//! * `uninstrumented`: the raw speculative-add arithmetic with no
+//!   telemetry call at all (the pre-telemetry baseline, inlined here).
+//! * `disabled`: `SpeculativeAdder::add_u64`, telemetry compiled in but
+//!   globally disabled — the default state. Must sit within noise of
+//!   `uninstrumented` (the only extra work is one relaxed atomic load).
+//! * `enabled`: the same adds under a `ScopedRecorder`, paying for the
+//!   real counter updates.
+//!
+//! Run with `cargo bench -p vlsa-bench --bench telemetry_overhead`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use vlsa_core::{windowed_sum_u64, SpeculativeAdder};
+use vlsa_telemetry::ScopedRecorder;
+
+const NBITS: usize = 64;
+const WINDOW: usize = 18;
+const OPS: usize = 4096;
+
+fn operands() -> Vec<(u64, u64)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    (0..OPS).map(|_| (rng.gen(), rng.gen())).collect()
+}
+
+/// The speculative-add arithmetic with telemetry *absent* rather than
+/// disabled: exactly what `SpeculativeAdder::add_u64` computes at 64
+/// bits, minus the `record_add` call.
+fn raw_speculative_add(a: u64, b: u64, window: usize) -> (u64, bool) {
+    let spec = windowed_sum_u64(a, b, NBITS, window);
+    let exact = a.wrapping_add(b);
+    let detected = vlsa_runstats::longest_one_run_u64(a ^ b) as usize >= window;
+    black_box(exact);
+    (spec, detected)
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let ops = operands();
+    let mut group = c.benchmark_group("telemetry_overhead");
+
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| {
+            let mut errs = 0u64;
+            for &(x, y) in &ops {
+                let (s, e) = raw_speculative_add(black_box(x), black_box(y), WINDOW);
+                errs += u64::from(e);
+                black_box(s);
+            }
+            errs
+        })
+    });
+
+    let adder = SpeculativeAdder::new(NBITS, WINDOW).expect("valid");
+    group.bench_function("disabled", |b| {
+        assert!(!vlsa_telemetry::is_enabled());
+        b.iter(|| {
+            let mut errs = 0u64;
+            for &(x, y) in &ops {
+                let spec = adder.add_u64(black_box(x), black_box(y));
+                errs += u64::from(spec.error_detected);
+                black_box(spec.speculative);
+            }
+            errs
+        })
+    });
+
+    group.bench_function("enabled", |b| {
+        let scope = ScopedRecorder::install();
+        b.iter(|| {
+            let mut errs = 0u64;
+            for &(x, y) in &ops {
+                let spec = adder.add_u64(black_box(x), black_box(y));
+                errs += u64::from(spec.error_detected);
+                black_box(spec.speculative);
+            }
+            errs
+        });
+        drop(scope);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

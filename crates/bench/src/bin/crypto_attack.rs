@@ -3,16 +3,17 @@
 //! Correct Adder. Shows the true key is recovered at the same rank even
 //! with a deliberately aggressive speculation window.
 //!
-//! Usage: `cargo run --release -p vlsa-bench --bin crypto_attack [-- bits B]`
+//! Usage: `cargo run --release -p vlsa-bench --bin crypto_attack [-- bits B] [--json PATH]`
 
 use std::time::Instant;
-use vlsa_crypto::{
-    candidate_keys, run_attack, AcaAdder32, ArxCipher, ExactAdder32, SAMPLE_CORPUS,
-};
+use vlsa_bench::report::{args_without_json, Report};
+use vlsa_crypto::{candidate_keys, run_attack, AcaAdder32, ArxCipher, ExactAdder32, SAMPLE_CORPUS};
+use vlsa_telemetry::Json;
 
 fn main() {
-    let bits: u32 = std::env::args()
-        .nth(2)
+    let (args, json_path) = args_without_json();
+    let bits: u32 = args
+        .get(2)
         .map(|a| a.parse().expect("candidate bits"))
         .unwrap_or(8);
     let key = [0x5EED_1234, 0x9E37_79B9, 0x0F0F_A5A5, 0xC0DE_2008];
@@ -27,6 +28,12 @@ fn main() {
         ciphertext.len(),
         candidates.len()
     );
+
+    let mut report = Report::new("crypto_attack");
+    report
+        .set("blocks", ciphertext.len() as u64)
+        .set("candidates", candidates.len() as u64)
+        .set("rounds", u64::from(rounds));
 
     let mut exact = ExactAdder32::new();
     let t0 = Instant::now();
@@ -52,7 +59,23 @@ fn main() {
             key,
             "attack must still succeed with a speculative adder"
         );
+        let mut row = Json::obj()
+            .set("window", window as u64)
+            .set("adder_errors", outcome.adder_errors)
+            .set("additions", outcome.additions)
+            .set("wall_ns", dt.as_nanos() as u64);
+        if let Some(rank) = outcome.rank_of(key) {
+            row = row.set("true_key_rank", rank as u64);
+        }
+        report.push_row(row);
     }
+    if let Some(rank) = outcome_exact.rank_of(key) {
+        report.set("exact_true_key_rank", rank as u64);
+    }
+    report
+        .set("exact_additions", outcome_exact.additions)
+        .set("exact_wall_ns", t_exact.as_nanos() as u64);
+    report.write_if(&json_path);
 
     println!(
         "\nExact adder : rank of true key = {:?}, {} additions, wall {t_exact:?}",

@@ -4,21 +4,24 @@
 //! model against the exact prediction.
 //!
 //! Usage:
-//!   cargo run --release -p vlsa-bench --bin error_rate [-- vectors N]
+//!   cargo run --release -p vlsa-bench --bin error_rate [-- vectors N] [--json PATH]
 //!   cargo run --release -p vlsa-bench --bin error_rate -- sweep     # window sweep at 64 bits
 //!   cargo run --release -p vlsa-bench --bin error_rate -- magnitude # error-size metrics
 //!   cargo run --release -p vlsa-bench --bin error_rate -- workloads # non-uniform operands
 
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
 use vlsa_bench::paper_window;
+use vlsa_bench::report::{args_without_json, Report};
 use vlsa_core::{
     almost_correct_adder, measure_error_magnitude, measure_uniform_error_magnitude,
     SpeculativeAdder,
 };
 use vlsa_runstats::{min_bound_for_prob_biased, prob_longest_run_gt};
 use vlsa_sim::check_adder_random;
+use vlsa_telemetry::Json;
 
-fn design_points(vectors: usize) {
+fn design_points(vectors: usize, json_path: &Option<PathBuf>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9999);
     println!("ACA error rate at the paper's 99.99% design points");
     println!("({vectors} random vectors per width, gate-level simulation)\n");
@@ -26,6 +29,7 @@ fn design_points(vectors: usize) {
         "{:>6} {:>7} | {:>13} {:>13} {:>13} {:>13}",
         "bits", "window", "P(detect)", "P(err) exact", "gate-level", "detected(sw)"
     );
+    let mut rows = Vec::new();
     for nbits in [16usize, 32, 64, 128, 256] {
         let w = paper_window(nbits);
         let nl = almost_correct_adder(nbits, w);
@@ -55,7 +59,21 @@ fn design_points(vectors: usize) {
                 || report.error_rate() < 5e-4,
             "gate-level error rate exceeds the detection bound"
         );
+        rows.push(
+            Json::obj()
+                .set("bits", nbits as u64)
+                .set("window", w as u64)
+                .set("detect_prob", prob_longest_run_gt(nbits, w - 1))
+                .set("error_prob_exact", vlsa_core::prob_aca_error(nbits, w))
+                .set("error_rate_gate_level", report.error_rate()),
+        );
     }
+    let mut report = Report::new("error_rate");
+    report.set("vectors", vectors as u64);
+    for row in rows {
+        report.push_row(row);
+    }
+    report.write_if(json_path);
     println!(
         "\nMeasured rates track the exact error probability (Markov chain \
          over carry state), which sits ~2x below the detection bound — \
@@ -63,9 +81,13 @@ fn design_points(vectors: usize) {
     );
 }
 
-fn window_sweep(vectors: usize) {
+fn window_sweep(vectors: usize, json_path: &Option<PathBuf>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(31337);
     let nbits = 64;
+    let mut report = Report::new("error_rate_sweep");
+    report
+        .set("nbits", nbits as u64)
+        .set("vectors", vectors as u64);
     println!("Accuracy vs window at {nbits} bits ({vectors} vectors per point)\n");
     println!(
         "{:>7} | {:>13} {:>13} {:>9}",
@@ -73,19 +95,29 @@ fn window_sweep(vectors: usize) {
     );
     for w in [4usize, 6, 8, 10, 12, 16, 20, 24, 32, 64] {
         let nl = almost_correct_adder(nbits, w);
-        let report = check_adder_random(&nl, nbits, vectors, &mut rng).expect("simulate");
+        let check = check_adder_random(&nl, nbits, vectors, &mut rng).expect("simulate");
         println!(
             "{w:>7} | {:>13.3e} {:>13.3e} {:>9}",
             prob_longest_run_gt(nbits, w - 1),
-            report.error_rate(),
+            check.error_rate(),
             nl.depth()
         );
+        report.push_row(
+            Json::obj()
+                .set("window", w as u64)
+                .set("error_bound", prob_longest_run_gt(nbits, w - 1))
+                .set("measured", check.error_rate())
+                .set("depth", nl.depth() as u64),
+        );
     }
+    report.write_if(json_path);
     println!("\nAccuracy improves ~2x per extra window bit while depth grows ~log.");
 }
 
-fn magnitude(samples: u64) {
+fn magnitude(samples: u64, json_path: &Option<PathBuf>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(404);
+    let mut report = Report::new("error_rate_magnitude");
+    report.set("samples", samples);
     println!("Error-magnitude metrics (approximate-computing view), 64 bits\n");
     println!(
         "{:>7} | {:>11} {:>13} {:>15} {:>13} {:>11}",
@@ -102,7 +134,20 @@ fn magnitude(samples: u64) {
             stats.max_abs_error as f64,
             stats.mean_relative_error
         );
+        report.push_row(
+            Json::obj()
+                .set("window", w as u64)
+                .set("error_rate", stats.error_rate())
+                .set("mean_abs_error", stats.mean_abs_error)
+                .set(
+                    "mean_abs_error_given_error",
+                    stats.mean_abs_error_given_error,
+                )
+                .set("max_abs_error", stats.max_abs_error as f64)
+                .set("mean_relative_error", stats.mean_relative_error),
+        );
     }
+    report.write_if(json_path);
     println!(
         "\nEvery error is a multiple of 2^window (low bits are always \
          exact), so magnitude-tolerant applications lose only high-order \
@@ -110,7 +155,7 @@ fn magnitude(samples: u64) {
     );
 }
 
-fn workloads(samples: u64) {
+fn workloads(samples: u64, json_path: &Option<PathBuf>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(808);
     let nbits = 64;
     let w = paper_window(nbits);
@@ -119,12 +164,20 @@ fn workloads(samples: u64) {
         "Detection rate of the 64-bit / window-{w} ACA under non-uniform \
          operand distributions ({samples} samples each)\n"
     );
-    let show = |name: &str, stats: vlsa_core::ErrorMagnitude| {
+    let mut rows = Vec::new();
+    let mut show = |name: &str, stats: vlsa_core::ErrorMagnitude| {
         println!(
             "{name:<28} detect {:>10.3e}  wrong {:>10.3e}  mean|err| {:>10.3e}",
             stats.detection_rate(),
             stats.error_rate(),
             stats.mean_abs_error
+        );
+        rows.push(
+            Json::obj()
+                .set("workload", name)
+                .set("detection_rate", stats.detection_rate())
+                .set("error_rate", stats.error_rate())
+                .set("mean_abs_error", stats.mean_abs_error),
         );
     };
     show(
@@ -156,13 +209,20 @@ fn workloads(samples: u64) {
         "biased bits (p = 0.75)",
         measure_error_magnitude(&adder, samples, &mut rng, |rng| {
             let gen = |rng: &mut rand::rngs::StdRng| {
-                (0..64).fold(0u64, |acc, i| {
-                    acc | ((rng.gen_bool(0.75) as u64) << i)
-                })
+                (0..64).fold(0u64, |acc, i| acc | ((rng.gen_bool(0.75) as u64) << i))
             };
             (gen(rng), gen(rng))
         }),
     );
+    let mut report = Report::new("error_rate_workloads");
+    report
+        .set("nbits", nbits as u64)
+        .set("window", w as u64)
+        .set("samples", samples);
+    for row in rows {
+        report.push_row(row);
+    }
+    report.write_if(json_path);
     // Propagate bias for 0.75-biased operands: P(p_i = 1) = 2*0.75*0.25.
     let p_prop: f64 = 2.0 * 0.75 * 0.25;
     println!(
@@ -175,17 +235,18 @@ fn workloads(samples: u64) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, json_path) = args_without_json();
+    let args = &args[1..];
     if args.first().is_some_and(|a| a == "sweep") {
-        window_sweep(100_000);
+        window_sweep(100_000, &json_path);
         return;
     }
     if args.first().is_some_and(|a| a == "magnitude") {
-        magnitude(300_000);
+        magnitude(300_000, &json_path);
         return;
     }
     if args.first().is_some_and(|a| a == "workloads") {
-        workloads(300_000);
+        workloads(300_000, &json_path);
         return;
     }
     let vectors: usize = args
@@ -194,5 +255,5 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|a| a.parse().expect("vector count"))
         .unwrap_or(200_000);
-    design_points(vectors);
+    design_points(vectors, &json_path);
 }

@@ -8,18 +8,30 @@
 //!   cargo run --release -p vlsa-bench --bin fig8 -- area
 //!   cargo run --release -p vlsa-bench --bin fig8 -- ablation # naive-ACA area ablation
 //!   cargo run --release -p vlsa-bench --bin fig8 -- baseline # per-architecture baseline sweep
+//!
+//! Any mode also accepts `--json PATH` for a machine-readable report.
 
 use vlsa_adders::AdderArch;
+use vlsa_bench::report::{args_without_json, Report};
 use vlsa_bench::{fig8_rows, paper_window, synthesize, Fig8Row, FIG8_BITWIDTHS, MAX_FANOUT};
 use vlsa_core::{almost_correct_adder_styled, AcaStyle};
 use vlsa_techlib::TechLibrary;
+use vlsa_telemetry::Json;
 use vlsa_timing::{analyze, area};
 
 fn delay_panel(rows: &[Fig8Row]) {
     println!("Fig. 8 (left): delay in ns vs input bitwidth");
     println!(
         "{:>8} {:>6} | {:>12} {:>8} {:>8} {:>10} | {:>8} {:>8} {:>8}",
-        "bits", "window", "traditional", "aca", "detect", "aca+recov", "speedup", "det/trad", "rec/trad"
+        "bits",
+        "window",
+        "traditional",
+        "aca",
+        "detect",
+        "aca+recov",
+        "speedup",
+        "det/trad",
+        "rec/trad"
     );
     for r in rows {
         println!(
@@ -94,7 +106,8 @@ fn baseline_sweep(lib: &TechLibrary) {
 }
 
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "both".to_string());
+    let (args, json_path) = args_without_json();
+    let mode = args.get(1).cloned().unwrap_or_else(|| "both".to_string());
     let lib = TechLibrary::umc180();
     match mode.as_str() {
         "ablation" => {
@@ -116,6 +129,25 @@ fn main() {
             area_panel(&rows);
         }
     }
+    let mut report = Report::new("fig8");
+    report.set("accuracy", vlsa_bench::PAPER_ACCURACY);
+    for r in &rows {
+        report.push_row(
+            Json::obj()
+                .set("bits", r.nbits as u64)
+                .set("window", r.window as u64)
+                .set("baseline", r.baseline.to_string())
+                .set("traditional_ps", r.traditional_ps)
+                .set("aca_ps", r.aca_ps)
+                .set("detect_ps", r.detect_ps)
+                .set("recovery_ps", r.recovery_ps)
+                .set("traditional_area", r.traditional_area)
+                .set("aca_area", r.aca_area)
+                .set("detect_area", r.detect_area)
+                .set("recovery_area", r.recovery_area),
+        );
+    }
+    report.write_if(&json_path);
     println!(
         "Technology: synthetic UMC 0.18um-class library (FO4 = {:.0} ps), \
          fanout capped at {MAX_FANOUT} with buffer trees.",

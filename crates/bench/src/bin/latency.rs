@@ -5,19 +5,23 @@
 //! the fastest traditional adder").
 //!
 //! Usage:
-//!   cargo run --release -p vlsa-bench --bin latency [-- ops N]
+//!   cargo run --release -p vlsa-bench --bin latency [-- ops N] [--json PATH]
 //!   cargo run --release -p vlsa-bench --bin latency -- queue   # issue-queue study
 
 use rand::SeedableRng;
+use std::path::PathBuf;
+use vlsa_bench::report::{args_without_json, Report};
 use vlsa_bench::{fastest_traditional, paper_window, synthesize};
 use vlsa_core::{almost_correct_adder, error_detector, SpeculativeAdder};
 use vlsa_pipeline::{
     adversarial_operands, random_operands, EffectiveLatency, QueueConfig, VlsaPipeline,
 };
 use vlsa_techlib::TechLibrary;
+use vlsa_telemetry::Json;
 use vlsa_timing::analyze;
 
-fn queue_study() {
+fn queue_study(json_path: &Option<PathBuf>) {
+    let mut report = Report::new("latency_queue");
     let mut rng = rand::rngs::StdRng::seed_from_u64(4095);
     println!("VLSA behind an issue queue (Bernoulli arrivals, capacity 8)\n");
     println!(
@@ -29,7 +33,10 @@ fn queue_study() {
             let adder = SpeculativeAdder::new(64, window).expect("valid");
             let mut pipe = VlsaPipeline::new(adder);
             let stats = pipe.run_queued(
-                QueueConfig { arrival_prob: load, capacity: 8 },
+                QueueConfig {
+                    arrival_prob: load,
+                    capacity: 8,
+                },
                 500_000,
                 &mut rng,
             );
@@ -40,8 +47,18 @@ fn queue_study() {
                 stats.throughput(),
                 stats.drop_rate()
             );
+            report.push_row(
+                Json::obj()
+                    .set("load", load)
+                    .set("window", window as u64)
+                    .set("mean_wait", stats.mean_wait())
+                    .set("mean_queue_len", stats.mean_queue_len())
+                    .set("throughput", stats.throughput())
+                    .set("drop_rate", stats.drop_rate()),
+            );
         }
     }
+    report.write_if(json_path);
     println!(
         "\nAt the design window (18) the recovery cycles are invisible up \
          to 95% load (sub-0.01 queue occupancy); at exactly 100% load any \
@@ -53,14 +70,17 @@ fn queue_study() {
 }
 
 fn main() {
-    if std::env::args().nth(1).as_deref() == Some("queue") {
-        queue_study();
+    let (args, json_path) = args_without_json();
+    if args.get(1).map(String::as_str) == Some("queue") {
+        queue_study(&json_path);
         return;
     }
-    let ops: usize = std::env::args()
-        .nth(2)
+    let ops: usize = args
+        .get(2)
         .map(|a| a.parse().expect("op count"))
         .unwrap_or(1_000_000);
+    let mut report = Report::new("latency");
+    report.set("ops", ops as u64);
     let lib = TechLibrary::umc180();
     let mut rng = rand::rngs::StdRng::seed_from_u64(64);
 
@@ -88,14 +108,26 @@ fn main() {
             t_clock_ps: aca_ps.max(det_ps),
             t_traditional_ps: trad_ps,
         };
+        let speedup = eff.speedup(&trace).expect("non-empty trace");
         println!(
-            "{nbits:>6} {w:>7} | {:>9} {:>12.6} {predicted:>12.6} | {:>10.0} {trad_ps:>10.0} {:>9.2}",
+            "{nbits:>6} {w:>7} | {:>9} {:>12.6} {predicted:>12.6} | {:>10.0} {trad_ps:>10.0} {speedup:>9.2}",
             trace.errors,
             trace.average_latency(),
             eff.t_clock_ps,
-            eff.speedup(&trace),
+        );
+        report.push_row(
+            Json::obj()
+                .set("bits", nbits as u64)
+                .set("window", w as u64)
+                .set("errors", trace.errors)
+                .set("avg_cycles", trace.average_latency())
+                .set("pred_cycles", predicted)
+                .set("clock_ps", eff.t_clock_ps)
+                .set("trad_ps", trad_ps)
+                .set("speedup", speedup),
         );
     }
+    report.write_if(&json_path);
 
     // The paper's Fig. 7 scenario in miniature.
     println!("\nTiming diagram (paper Fig. 7 shape: op 2 errs, ops 1 and 3 are clean):");

@@ -1,0 +1,57 @@
+//! Telemetry showcase: runs the paper's 64-bit design point with full
+//! instrumentation and writes machine-readable reports.
+//!
+//! Usage:
+//!   cargo run --release -p vlsa-bench --bin metrics
+//!   cargo run --release -p vlsa-bench --bin metrics -- --json BENCH_pipeline.json
+//!
+//! Writes `BENCH_pipeline.json` (speculation/stall/queue metrics; the
+//! `--json` path overrides the destination) and `BENCH_sim.json`
+//! (simulation profiling) next to it. The schema is documented in
+//! `EXPERIMENTS.md`.
+
+use std::path::PathBuf;
+use vlsa_bench::metrics::{pipeline_report, sim_report};
+use vlsa_bench::report::args_without_json;
+use vlsa_telemetry::Json;
+
+fn main() {
+    let (args, json_path) = args_without_json();
+    assert!(
+        args.len() <= 1,
+        "metrics takes no positional arguments (got {:?})",
+        &args[1..]
+    );
+    let pipeline_path = json_path.unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
+    let sim_path = pipeline_path
+        .parent()
+        .map(|dir| dir.join("BENCH_sim.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_sim.json"));
+
+    println!("Collecting pipeline speculation metrics (64-bit, 99.99% design point)...");
+    let pipeline = pipeline_report(500_000, 200_000, 4099);
+    let doc = pipeline.to_json();
+    for field in vlsa_bench::metrics::PIPELINE_REPORT_FIELDS {
+        let rendered = doc.get(field).map(Json::to_string).unwrap_or_default();
+        let shown = if rendered.len() > 60 {
+            &rendered[..60]
+        } else {
+            &rendered[..]
+        };
+        println!("  {field:<20} {shown}");
+    }
+    pipeline
+        .write(&pipeline_path)
+        .expect("write pipeline report");
+    println!("wrote {}", pipeline_path.display());
+
+    println!("\nCollecting gate-level simulation profile (64-bit ACA)...");
+    let sim = sim_report(64, 2_000, 4099);
+    let doc = sim.to_json();
+    for field in ["passes", "gate_evals", "vectors", "measured_error_rate"] {
+        let rendered = doc.get(field).map(Json::to_string).unwrap_or_default();
+        println!("  {field:<20} {rendered}");
+    }
+    sim.write(&sim_path).expect("write sim report");
+    println!("wrote {}", sim_path.display());
+}

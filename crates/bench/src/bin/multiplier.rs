@@ -4,22 +4,27 @@
 //! window sizing survives the *non-uniform* operands the final adder
 //! sees inside a multiplier.
 //!
-//! Usage: `cargo run --release -p vlsa-bench --bin multiplier [-- trials N]`
+//! Usage: `cargo run --release -p vlsa-bench --bin multiplier [-- trials N] [--json PATH]`
 
 use rand::{Rng, SeedableRng};
 use vlsa_adders::PrefixArch;
+use vlsa_bench::report::{args_without_json, Report};
 use vlsa_bench::synthesize;
 use vlsa_multiplier::{wallace_multiplier, FinalAdder, SpeculativeMultiplier};
 use vlsa_runstats::{min_bound_for_prob, prob_longest_run_gt};
 use vlsa_techlib::TechLibrary;
+use vlsa_telemetry::Json;
 use vlsa_timing::{analyze, area};
 
 fn main() {
-    let trials: usize = std::env::args()
-        .nth(2)
+    let (args, json_path) = args_without_json();
+    let trials: usize = args
+        .get(2)
         .map(|a| a.parse().expect("trial count"))
         .unwrap_or(200_000);
     let lib = TechLibrary::umc180();
+    let mut report = Report::new("multiplier");
+    report.set("trials", trials as u64);
 
     println!("Speculative Wallace multipliers (paper §6 extension)\n");
     println!(
@@ -29,9 +34,14 @@ fn main() {
     for nbits in [16usize, 32, 64] {
         // Window sized as if the final 2n-bit addition saw uniform bits.
         let window = min_bound_for_prob(2 * nbits, 0.9999) + 1;
-        let exact =
-            synthesize(&wallace_multiplier(nbits, FinalAdder::Exact(PrefixArch::KoggeStone)));
-        let spec = synthesize(&wallace_multiplier(nbits, FinalAdder::Speculative { window }));
+        let exact = synthesize(&wallace_multiplier(
+            nbits,
+            FinalAdder::Exact(PrefixArch::KoggeStone),
+        ));
+        let spec = synthesize(&wallace_multiplier(
+            nbits,
+            FinalAdder::Speculative { window },
+        ));
         let te = analyze(&exact, &lib).expect("timing").max_delay_ps;
         let ts = analyze(&spec, &lib).expect("timing").max_delay_ps;
         let ae = area(&exact, &lib).expect("area").total;
@@ -41,6 +51,17 @@ fn main() {
             te / 1000.0,
             ts / 1000.0,
             te / ts
+        );
+        report.push_row(
+            Json::obj()
+                .set("kind", "timing")
+                .set("bits", nbits as u64)
+                .set("window", window as u64)
+                .set("exact_ps", te)
+                .set("aca_ps", ts)
+                .set("speedup", te / ts)
+                .set("exact_area", ae)
+                .set("aca_area", asp),
         );
     }
 
@@ -69,7 +90,16 @@ fn main() {
             "{nbits:>6} {window:>7} | {uniform:>14.3e} {measured:>14.3e} {:>8.2}",
             measured / uniform
         );
+        report.push_row(
+            Json::obj()
+                .set("kind", "detection")
+                .set("bits", nbits as u64)
+                .set("window", window as u64)
+                .set("uniform_model", uniform)
+                .set("measured", measured),
+        );
     }
+    report.write_if(&json_path);
     println!(
         "\nMeasured rates track the uniform-bit model within ~15% despite \
          the correlated carry-save addends, so Table 1 sizing carries \

@@ -5,13 +5,18 @@
 //! how errors are detected. This binary compares stall rates and window
 //! sizing for equal speed.
 //!
-//! Usage: `cargo run --release -p vlsa-bench --bin razor`
+//! Usage: `cargo run --release -p vlsa-bench --bin razor [--json PATH]`
 
+use vlsa_bench::report::{args_without_json, Report};
 use vlsa_core::{prob_aca_error, SpeculativeAdder, TimingSpeculativeAdder};
 use vlsa_runstats::{min_bound_for_prob, prob_carry_chain_gt};
+use vlsa_telemetry::Json;
 
 fn main() {
+    let (_, json_path) = args_without_json();
+    let mut report = Report::new("razor");
     let nbits = 64;
+    report.set("nbits", nbits as u64);
     println!(
         "Logical (ACA detector) vs timing (Razor shadow latch) speculation, \
          {nbits}-bit adders\n"
@@ -30,7 +35,16 @@ fn main() {
             razor.stall_probability(),
             det - err
         );
+        report.push_row(
+            Json::obj()
+                .set("k", k as u64)
+                .set("aca_stall_prob", det)
+                .set("exact_error_prob", err)
+                .set("razor_stall_prob", razor.stall_probability())
+                .set("aca_false_alarm_prob", det - err),
+        );
     }
+    report.write_if(&json_path);
 
     // Capacity sizing: how many chain positions must the short clock
     // cover for the usual accuracy targets, vs the ACA window?

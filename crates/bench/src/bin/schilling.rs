@@ -3,18 +3,20 @@
 //! and the Gordon–Schilling–Waterman exponential tail — against both the
 //! exact recurrence and sampling.
 //!
-//! Usage: `cargo run --release -p vlsa-bench --bin schilling [-- samples N]`
+//! Usage: `cargo run --release -p vlsa-bench --bin schilling [-- samples N] [--json PATH]`
 
 use rand::SeedableRng;
+use vlsa_bench::report::{args_without_json, Report};
 use vlsa_runstats::{
     expected_longest_run, gordon_tail_prob, prob_longest_run_gt, sample_histogram,
-    schilling_expected_run, variance_longest_run, ASYMPTOTIC_RUN_VARIANCE,
-    PAPER_QUOTED_VARIANCE,
+    schilling_expected_run, variance_longest_run, ASYMPTOTIC_RUN_VARIANCE, PAPER_QUOTED_VARIANCE,
 };
+use vlsa_telemetry::Json;
 
 fn main() {
-    let samples: u64 = std::env::args()
-        .nth(2)
+    let (args, json_path) = args_without_json();
+    let samples: u64 = args
+        .get(2)
         .map(|a| a.parse().expect("sample count"))
         .unwrap_or(50_000);
     let mut rng = rand::rngs::StdRng::seed_from_u64(1990);
@@ -24,6 +26,8 @@ fn main() {
         "{:>6} | {:>10} {:>10} {:>10} | {:>10} {:>10}",
         "n", "E exact", "E approx", "E sampled", "Var exact", "Var sampled"
     );
+    let mut report = Report::new("schilling");
+    report.set("samples", samples);
     for n in [64usize, 128, 256, 512, 1024, 2048, 4096] {
         let hist = sample_histogram(n, samples, &mut rng);
         println!(
@@ -34,7 +38,17 @@ fn main() {
             variance_longest_run(n),
             hist.variance(),
         );
+        report.push_row(
+            Json::obj()
+                .set("n", n as u64)
+                .set("mean_exact", expected_longest_run(n))
+                .set("mean_approx", schilling_expected_run(n))
+                .set("mean_sampled", hist.mean())
+                .set("var_exact", variance_longest_run(n))
+                .set("var_sampled", hist.variance()),
+        );
     }
+    report.write_if(&json_path);
     println!(
         "\nVariance limit: pi^2/(6 ln^2 2) + 1/12 = {ASYMPTOTIC_RUN_VARIANCE:.3} \
          (the paper prints {PAPER_QUOTED_VARIANCE}, which exact enumeration \

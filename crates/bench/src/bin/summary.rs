@@ -1,15 +1,18 @@
 //! The paper's §5 headline numbers, paper vs this reproduction, in one
 //! table — the source for `EXPERIMENTS.md`.
 //!
-//! Usage: `cargo run --release -p vlsa-bench --bin summary`
+//! Usage: `cargo run --release -p vlsa-bench --bin summary [--json PATH]`
 
 use rand::SeedableRng;
+use vlsa_bench::report::{args_without_json, Report};
 use vlsa_bench::{fig8_rows, FIG8_BITWIDTHS};
 use vlsa_core::SpeculativeAdder;
 use vlsa_pipeline::{random_operands, EffectiveLatency, VlsaPipeline};
 use vlsa_techlib::TechLibrary;
+use vlsa_telemetry::Json;
 
 fn main() {
+    let (_, json_path) = args_without_json();
     let lib = TechLibrary::umc180();
     let rows = fig8_rows(&FIG8_BITWIDTHS, &lib).expect("timing analysis");
 
@@ -33,6 +36,7 @@ fn main() {
         t_clock_ps: row64.aca_ps.max(row64.detect_ps),
         t_traditional_ps: row64.traditional_ps,
     };
+    let eff_speedup = eff.speedup(&trace).expect("non-empty trace");
 
     println!("Headline claims (paper §5) vs this reproduction\n");
     println!("{:<46} {:>14} {:>18}", "claim", "paper", "measured");
@@ -70,7 +74,7 @@ fn main() {
         "{:<46} {:>14} {:>18}",
         "VLSA effective speedup (64 bits)",
         "~1.5x - 2x",
-        format!("{:.2}x", eff.speedup(&trace))
+        format!("{eff_speedup:.2}x")
     );
     println!(
         "\nBaselines per width: {}",
@@ -79,4 +83,28 @@ fn main() {
             .collect::<Vec<_>>()
             .join("  ")
     );
+
+    let mut report = Report::new("summary");
+    report
+        .set("aca_speedup_min", min(&speedups))
+        .set("aca_speedup_max", max(&speedups))
+        .set("detect_fraction_min", min(&det))
+        .set("detect_fraction_max", max(&det))
+        .set("recovery_fraction_min", min(&rec))
+        .set("recovery_fraction_max", max(&rec))
+        .set("aca_area_ratio_min", min(&area))
+        .set("aca_area_ratio_max", max(&area))
+        .set("average_latency_cycles", trace.average_latency())
+        .set("effective_speedup_64", eff_speedup);
+    for row in &rows {
+        report.push_row(
+            Json::obj()
+                .set("bits", row.nbits as u64)
+                .set("baseline", row.baseline.to_string())
+                .set("aca_speedup", row.aca_speedup())
+                .set("detect_fraction", row.detect_fraction())
+                .set("recovery_fraction", row.recovery_fraction()),
+        );
+    }
+    report.write_if(&json_path);
 }

@@ -2,12 +2,15 @@
 //! of ones in `n` fair coin flips holding with 99% and 99.99%
 //! probability, computed exactly via the `A_n(x)` recurrence.
 //!
-//! Usage: `cargo run -p vlsa-bench --bin table1 [-- probs 0.99 0.9999]`
+//! Usage: `cargo run -p vlsa-bench --bin table1 [-- probs 0.99 0.9999] [--json PATH]`
 
+use vlsa_bench::report::{args_without_json, Report};
 use vlsa_runstats::{prob_longest_run_gt, table1};
+use vlsa_telemetry::Json;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, json_path) = args_without_json();
+    let args = &args[1..];
     let probs: Vec<f64> = if args.first().is_some_and(|a| a == "probs") {
         args[1..]
             .iter()
@@ -17,6 +20,8 @@ fn main() {
         vec![0.99, 0.9999]
     };
     let bitwidths = [8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+    let mut report = Report::new("table1");
+    report.set("probs", probs.clone());
 
     println!("Table 1: longest-run bounds holding with high probability");
     println!("(exact A_n(x) recurrence; paper Table 1)\n");
@@ -31,11 +36,19 @@ fn main() {
             print!(" {b:>12}");
         }
         let last = *row.bounds.last().expect("at least one probability");
-        println!(
-            " | P(run > {last}) = {:.3e}",
-            prob_longest_run_gt(row.bitwidth, last)
+        let tail = prob_longest_run_gt(row.bitwidth, last);
+        println!(" | P(run > {last}) = {tail:.3e}");
+        report.push_row(
+            Json::obj()
+                .set("bitwidth", row.bitwidth as u64)
+                .set(
+                    "bounds",
+                    row.bounds.iter().map(|&b| b as u64).collect::<Vec<_>>(),
+                )
+                .set("residual_tail", tail),
         );
     }
+    report.write_if(&json_path);
     println!();
     println!(
         "Paper claim check: for a 1024-bit adder the largest carry \

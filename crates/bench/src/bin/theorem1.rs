@@ -2,16 +2,19 @@
 //! `2^{k+1} - 2` fair flips on average — closed form vs the recurrence
 //! vs Monte Carlo on the line-graph walk (paper Fig. 2).
 //!
-//! Usage: `cargo run --release -p vlsa-bench --bin theorem1 [-- trials N]`
+//! Usage: `cargo run --release -p vlsa-bench --bin theorem1 [-- trials N] [--json PATH]`
 
 use rand::SeedableRng;
+use vlsa_bench::report::{args_without_json, Report};
 use vlsa_runstats::{
     expected_flips_for_run, monte_carlo_expected_flips, recurrence_expected_flips,
 };
+use vlsa_telemetry::Json;
 
 fn main() {
-    let trials: u64 = std::env::args()
-        .nth(2)
+    let (args, json_path) = args_without_json();
+    let trials: u64 = args
+        .get(2)
         .map(|a| a.parse().expect("trial count"))
         .unwrap_or(100_000);
     let mut rng = rand::rngs::StdRng::seed_from_u64(2008);
@@ -24,6 +27,8 @@ fn main() {
         "{:>4} {:>14} {:>14} {:>14} {:>10}",
         "k", "2^(k+1)-2", "recurrence", "monte carlo", "std err"
     );
+    let mut report = Report::new("theorem1");
+    report.set("trials", trials);
     for k in 1..=max_k {
         let exact = expected_flips_for_run(k);
         let (mc, se) = monte_carlo_expected_flips(k, trials, &mut rng);
@@ -35,6 +40,15 @@ fn main() {
             (mc - exact).abs() < 6.0 * se + 1.0,
             "Monte Carlo deviates beyond 6 sigma at k={k}"
         );
+        report.push_row(
+            Json::obj()
+                .set("k", u64::from(k))
+                .set("exact", exact)
+                .set("recurrence", rec[k as usize])
+                .set("monte_carlo", mc)
+                .set("std_err", se),
+        );
     }
+    report.write_if(&json_path);
     println!("\nAll Monte Carlo means within 6 sigma of 2^(k+1)-2.");
 }

@@ -6,16 +6,20 @@
 //! would a traditional adder need to match the VLSA's effective
 //! latency at nominal supply?
 //!
-//! Usage: `cargo run --release -p vlsa-bench --bin voltage`
+//! Usage: `cargo run --release -p vlsa-bench --bin voltage [--json PATH]`
 
 use rand::SeedableRng;
+use vlsa_bench::report::{args_without_json, Report};
 use vlsa_bench::{fastest_traditional, paper_window, synthesize};
 use vlsa_core::{almost_correct_adder, error_detector, SpeculativeAdder};
 use vlsa_pipeline::{random_operands, EffectiveLatency, VlsaPipeline};
 use vlsa_techlib::{power_factor_at_voltage, voltage_for_delay_factor, TechLibrary};
+use vlsa_telemetry::Json;
 use vlsa_timing::analyze;
 
 fn main() {
+    let (_, json_path) = args_without_json();
+    let mut report = Report::new("voltage");
     let lib = TechLibrary::umc180();
     let mut rng = rand::rngs::StdRng::seed_from_u64(18);
     println!("Speculation vs voltage overdrive (alpha-power law, 0.18 um)\n");
@@ -40,8 +44,13 @@ fn main() {
             t_clock_ps: aca_ps.max(det_ps),
             t_traditional_ps: trad_ps,
         };
-        let eff_ps = eff.time_per_add_ps(&trace);
+        let eff_ps = eff.time_per_add_ps(&trace).expect("non-empty trace");
         let ratio = eff_ps / trad_ps;
+        let mut row = Json::obj()
+            .set("bits", nbits as u64)
+            .set("eff_ps", eff_ps)
+            .set("trad_ps", trad_ps)
+            .set("ratio", ratio);
         if ratio < 1.0 {
             let vdd = voltage_for_delay_factor(ratio);
             let power = power_factor_at_voltage(vdd);
@@ -50,13 +59,16 @@ fn main() {
                 vdd * 100.0,
                 power * 100.0
             );
+            row = row.set("vdd_factor", vdd).set("power_factor", power);
         } else {
             println!(
                 "{nbits:>6} | {eff_ps:>12.0} {trad_ps:>12.0} {ratio:>9.2} | {:>10} {:>12}",
                 "-", "-"
             );
         }
+        report.push_row(row);
     }
+    report.write_if(&json_path);
     println!(
         "\nReading: to match the VLSA's average add latency, a reliable adder \
          must be overdriven to the listed supply, paying quadratically in \

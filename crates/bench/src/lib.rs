@@ -15,6 +15,9 @@
 //! | `summary`      | §5 headline ratios |
 //! | `crypto_attack`| §1 ciphertext-only attack demo |
 
+pub mod metrics;
+pub mod report;
+
 use vlsa_adders::AdderArch;
 use vlsa_core::{almost_correct_adder, error_detector, vlsa_adder};
 use vlsa_netlist::Netlist;
@@ -116,11 +119,7 @@ impl Fig8Row {
 /// # Errors
 ///
 /// Propagates [`TimingError`] if the library misses a cell.
-pub fn fig8_row(
-    nbits: usize,
-    window: usize,
-    lib: &TechLibrary,
-) -> Result<Fig8Row, TimingError> {
+pub fn fig8_row(nbits: usize, window: usize, lib: &TechLibrary) -> Result<Fig8Row, TimingError> {
     let (baseline, trad, traditional_ps) = fastest_traditional(nbits, lib)?;
     let aca = synthesize(&almost_correct_adder(nbits, window));
     let det = synthesize(&error_detector(nbits, window));
@@ -145,10 +144,7 @@ pub fn fig8_row(
 /// # Errors
 ///
 /// Propagates [`TimingError`] if the library misses a cell.
-pub fn fig8_rows(
-    bitwidths: &[usize],
-    lib: &TechLibrary,
-) -> Result<Vec<Fig8Row>, TimingError> {
+pub fn fig8_rows(bitwidths: &[usize], lib: &TechLibrary) -> Result<Vec<Fig8Row>, TimingError> {
     bitwidths
         .iter()
         .map(|&n| fig8_row(n, paper_window(n), lib))

@@ -1,0 +1,198 @@
+//! Builders for the `BENCH_pipeline.json` / `BENCH_sim.json` telemetry
+//! reports emitted by the `metrics` binary.
+//!
+//! Each builder runs a representative experiment under a
+//! [`ScopedRecorder`] so the report captures exactly that experiment's
+//! instrumentation, regardless of what else the process did.
+
+use crate::report::Report;
+use crate::{paper_window, synthesize, PAPER_ACCURACY};
+use rand::SeedableRng;
+use vlsa_core::{almost_correct_adder, SpeculativeAdder};
+use vlsa_pipeline::{random_operands, QueueConfig, VlsaPipeline};
+use vlsa_sim::{check_adder, random_pairs};
+use vlsa_telemetry::{ScopedRecorder, DEFAULT_BUCKETS};
+
+/// Runs the paper's 64-bit design point through the pipeline (a random
+/// stream plus a queued run) and reports the speculation metrics.
+pub fn pipeline_report(ops: usize, queue_cycles: u64, seed: u64) -> Report {
+    let scope = ScopedRecorder::install();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let adder = SpeculativeAdder::for_accuracy(64, PAPER_ACCURACY).expect("valid design point");
+    let window = adder.window();
+    let mut pipe = VlsaPipeline::new(adder);
+    let trace = pipe.run(&random_operands(64, ops, &mut rng));
+    let stats = pipe.run_queued(
+        QueueConfig {
+            arrival_prob: 0.9,
+            capacity: 8,
+        },
+        queue_cycles,
+        &mut rng,
+    );
+
+    let registry = scope.registry();
+    let mut report = Report::new("pipeline");
+    report
+        .set("nbits", 64u64)
+        .set("window", window as u64)
+        .set("ops", trace.operations)
+        .set("adds", registry.counter_value("vlsa.core.adds"))
+        .set(
+            "detector_fires",
+            registry.counter_value("vlsa.core.detector_fires"),
+        )
+        .set(
+            "true_errors",
+            registry.counter_value("vlsa.core.true_errors"),
+        )
+        .set(
+            "false_positives",
+            registry.counter_value("vlsa.core.false_positives"),
+        )
+        .set("average_latency_cycles", trace.average_latency())
+        .set(
+            "latency_histogram",
+            registry
+                .histogram("vlsa.pipeline.op_latency_cycles", DEFAULT_BUCKETS)
+                .to_json(),
+        )
+        .set("mean_queue_wait", stats.mean_wait())
+        .set("queue_drop_rate", stats.drop_rate())
+        .set("queue_throughput", stats.throughput());
+    report.attach_registry(registry);
+    report
+}
+
+/// Simulates random vectors through a gate-level ACA and reports the
+/// engine profiling metrics (passes, gate evals, lane utilization,
+/// sweep timing).
+pub fn sim_report(nbits: usize, vectors: usize, seed: u64) -> Report {
+    let scope = ScopedRecorder::install();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let window = paper_window(nbits);
+    let netlist = synthesize(&almost_correct_adder(nbits, window));
+    let pairs = random_pairs(nbits, vectors, &mut rng);
+    let check = check_adder(&netlist, nbits, &pairs).expect("simulate ACA");
+
+    let registry = scope.registry();
+    let mut report = Report::new("sim");
+    report
+        .set("nbits", nbits as u64)
+        .set("window", window as u64)
+        .set("vectors", check.total)
+        .set("gate_level_mismatches", check.mismatches)
+        .set("measured_error_rate", check.error_rate())
+        .set("passes", registry.counter_value("vlsa.sim.passes"))
+        .set("gate_evals", registry.counter_value("vlsa.sim.gate_evals"))
+        .set(
+            "lanes_per_pass",
+            registry
+                .histogram("vlsa.sim.lanes_per_pass", DEFAULT_BUCKETS)
+                .to_json(),
+        )
+        .set(
+            "sweep_ns",
+            registry
+                .histogram("vlsa.sim.sweep_ns", DEFAULT_BUCKETS)
+                .to_json(),
+        );
+    report.attach_registry(registry);
+    report
+}
+
+/// Required fields of `BENCH_pipeline.json`, used by the acceptance
+/// test and documented in `EXPERIMENTS.md`.
+pub const PIPELINE_REPORT_FIELDS: &[&str] = &[
+    "adds",
+    "detector_fires",
+    "false_positives",
+    "latency_histogram",
+    "mean_queue_wait",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+    use vlsa_telemetry::Json;
+
+    /// Builders install scoped recorders (process-global): serialize.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn pipeline_report_round_trips_with_required_fields() {
+        let _guard = serial();
+        let report = pipeline_report(20_000, 5_000, 64);
+        let text = report.to_json().to_string();
+        let parsed = Json::parse(&text).expect("valid JSON");
+
+        assert_eq!(
+            parsed.get("report").and_then(Json::as_str),
+            Some("pipeline")
+        );
+        for field in PIPELINE_REPORT_FIELDS {
+            assert!(parsed.get(field).is_some(), "missing field `{field}`");
+        }
+        let adds = parsed.get("adds").and_then(Json::as_u64).expect("adds");
+        // 20k stream adds plus ~0.9 × 5k queued arrivals.
+        assert!(adds >= 23_000, "adds={adds}");
+        let fires = parsed
+            .get("detector_fires")
+            .and_then(Json::as_u64)
+            .expect("fires");
+        let errors = parsed
+            .get("true_errors")
+            .and_then(Json::as_u64)
+            .expect("errors");
+        let false_pos = parsed
+            .get("false_positives")
+            .and_then(Json::as_u64)
+            .expect("fp");
+        assert!(fires >= errors + false_pos);
+        let hist = parsed.get("latency_histogram").expect("histogram");
+        assert!(hist.get("count").and_then(Json::as_u64).expect("count") >= 20_000);
+        let wait = parsed
+            .get("mean_queue_wait")
+            .and_then(Json::as_f64)
+            .expect("wait");
+        assert!(wait >= 1.0, "wait={wait}");
+        // The registry snapshot rides along.
+        assert!(parsed
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("vlsa.core.adds"))
+            .is_some());
+    }
+
+    #[test]
+    fn sim_report_round_trips_with_profile() {
+        let _guard = serial();
+        let report = sim_report(32, 130, 7);
+        let text = report.to_json().to_string();
+        let parsed = Json::parse(&text).expect("valid JSON");
+
+        assert_eq!(parsed.get("report").and_then(Json::as_str), Some("sim"));
+        // 130 vectors = 3 passes (64 + 64 + 2 lanes).
+        assert!(parsed.get("passes").and_then(Json::as_u64).expect("passes") >= 3);
+        assert!(
+            parsed
+                .get("gate_evals")
+                .and_then(Json::as_u64)
+                .expect("evals")
+                > 0
+        );
+        let lanes = parsed.get("lanes_per_pass").expect("lanes histogram");
+        assert!(lanes.get("sum").and_then(Json::as_u64).expect("sum") >= 130);
+        assert!(parsed
+            .get("sweep_ns")
+            .and_then(|h| h.get("count"))
+            .is_some());
+    }
+}

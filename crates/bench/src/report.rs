@@ -1,0 +1,177 @@
+//! Machine-readable bench output.
+//!
+//! Every `vlsa-bench` binary accepts `--json <path>` (or `--json=<path>`)
+//! anywhere on its command line: the flag is stripped before the
+//! binary's own positional arguments are parsed, and the binary writes a
+//! [`Report`] to the path in addition to its human-readable table.
+//!
+//! The JSON is hand-rolled ([`vlsa_telemetry::Json`]) because the
+//! workspace builds offline with no serde. Schema (documented in
+//! `EXPERIMENTS.md`):
+//!
+//! ```json
+//! {
+//!   "report": "<name>",
+//!   "schema": 1,
+//!   "rows": [ { "column": value, ... }, ... ],
+//!   "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} }
+//! }
+//! ```
+//!
+//! plus report-specific top-level fields. The `metrics` section is a
+//! [`vlsa_telemetry::Registry::snapshot`] taken while the experiment ran
+//! under a [`vlsa_telemetry::ScopedRecorder`].
+
+use std::path::{Path, PathBuf};
+use vlsa_telemetry::{Json, Registry};
+
+/// Current report schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Splits `--json <path>` / `--json=<path>` out of an argument list,
+/// returning the remaining arguments (argv0 included) and the path.
+pub fn split_json_flag(args: Vec<String>) -> (Vec<String>, Option<PathBuf>) {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut path = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--json" {
+            path = Some(PathBuf::from(
+                iter.next().expect("--json requires a path argument"),
+            ));
+        } else if let Some(p) = arg.strip_prefix("--json=") {
+            path = Some(PathBuf::from(p));
+        } else {
+            rest.push(arg);
+        }
+    }
+    (rest, path)
+}
+
+/// [`split_json_flag`] applied to the process arguments.
+pub fn args_without_json() -> (Vec<String>, Option<PathBuf>) {
+    split_json_flag(std::env::args().collect())
+}
+
+/// Accumulates one binary's results into the `BENCH_*.json` schema.
+#[derive(Clone, Debug)]
+pub struct Report {
+    doc: Json,
+    rows: Vec<Json>,
+}
+
+impl Report {
+    /// An empty report named `name` (e.g. `"latency"`).
+    pub fn new(name: &str) -> Report {
+        Report {
+            doc: Json::obj()
+                .set("report", name)
+                .set("schema", SCHEMA_VERSION),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets a report-specific top-level field.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Json>) -> &mut Report {
+        let doc = std::mem::replace(&mut self.doc, Json::Null);
+        self.doc = doc.set(key, value);
+        self
+    }
+
+    /// Appends one result row (an object mirroring the printed table).
+    pub fn push_row(&mut self, row: Json) -> &mut Report {
+        self.rows.push(row);
+        self
+    }
+
+    /// Attaches a full registry snapshot as the `metrics` section.
+    pub fn attach_registry(&mut self, registry: &Registry) -> &mut Report {
+        self.set("metrics", registry.snapshot())
+    }
+
+    /// The finished document.
+    pub fn to_json(&self) -> Json {
+        self.doc.clone().set("rows", Json::Arr(self.rows.clone()))
+    }
+
+    /// Writes the document to `path` (pretty enough: one line).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, format!("{}\n", self.to_json()))
+    }
+
+    /// Writes to `path` if one was requested, reporting the destination
+    /// on stderr so table output stays clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written — a bench asked for JSON it
+    /// could not produce should fail loudly, not silently.
+    pub fn write_if(&self, path: &Option<PathBuf>) {
+        if let Some(path) = path {
+            self.write(path).expect("write JSON report");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn json_flag_is_stripped_wherever_it_appears() {
+        let (rest, path) = split_json_flag(strings(&["bin", "--json", "out.json", "queue"]));
+        assert_eq!(rest, strings(&["bin", "queue"]));
+        assert_eq!(path, Some(PathBuf::from("out.json")));
+
+        let (rest, path) = split_json_flag(strings(&["bin", "ops", "500", "--json=x.json"]));
+        assert_eq!(rest, strings(&["bin", "ops", "500"]));
+        assert_eq!(path, Some(PathBuf::from("x.json")));
+
+        let (rest, path) = split_json_flag(strings(&["bin", "sweep"]));
+        assert_eq!(rest, strings(&["bin", "sweep"]));
+        assert_eq!(path, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--json requires a path")]
+    fn dangling_json_flag_panics() {
+        split_json_flag(strings(&["bin", "--json"]));
+    }
+
+    #[test]
+    fn report_round_trips_through_text() {
+        let mut report = Report::new("demo");
+        report.set("total", 3u64);
+        report.push_row(Json::obj().set("bits", 16u64).set("speedup", 1.5));
+        report.push_row(Json::obj().set("bits", 32u64).set("speedup", 1.9));
+        let registry = Registry::new();
+        registry.counter("vlsa.demo.n").add(7);
+        report.attach_registry(&registry);
+
+        let text = report.to_json().to_string();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("report").and_then(Json::as_str), Some("demo"));
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(parsed.get("total").and_then(Json::as_u64), Some(3));
+        let rows = parsed.get("rows").and_then(Json::as_arr).expect("rows");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get("bits").and_then(Json::as_u64), Some(32));
+        let counters = parsed
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .expect("metrics.counters");
+        assert_eq!(counters.get("vlsa.demo.n").and_then(Json::as_u64), Some(7));
+    }
+}

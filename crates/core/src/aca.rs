@@ -71,12 +71,7 @@ impl WindowStrip {
 
     /// The `(G, P)` of the width-`width` span ending at `end` (clamped
     /// at bit 0), assembled from precomputed power-of-two pieces.
-    pub(crate) fn span(
-        &self,
-        nl: &mut Netlist,
-        end: usize,
-        width: usize,
-    ) -> (NetId, NetId) {
+    pub(crate) fn span(&self, nl: &mut Netlist, end: usize, width: usize) -> (NetId, NetId) {
         assert!(width > 0, "span width must be positive");
         // Collect the binary-decomposition pieces, highest span first.
         let mut pieces: Vec<(NetId, NetId)> = Vec::new();
@@ -110,7 +105,9 @@ impl WindowStrip {
             }
             pieces = next;
         }
-        pieces.pop().expect("width > 0 guarantees at least one piece")
+        pieces
+            .pop()
+            .expect("width > 0 guarantees at least one piece")
     }
 }
 

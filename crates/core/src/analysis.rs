@@ -107,7 +107,11 @@ pub fn measure_uniform_error_magnitude<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> ErrorMagnitude {
     let nbits = adder.nbits();
-    let mask = if nbits == 64 { u64::MAX } else { (1u64 << nbits) - 1 };
+    let mask = if nbits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << nbits) - 1
+    };
     measure_error_magnitude(adder, samples, rng, |rng| {
         (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask)
     })
@@ -189,6 +193,10 @@ mod tests {
         let stats = measure_uniform_error_magnitude(&adder, 100_000, &mut rng);
         // Errors are rare AND their relative size is bounded, so the
         // mean relative error is tiny — the approximate-computing view.
-        assert!(stats.mean_relative_error < 1e-4, "{}", stats.mean_relative_error);
+        assert!(
+            stats.mean_relative_error < 1e-4,
+            "{}",
+            stats.mean_relative_error
+        );
     }
 }

@@ -35,7 +35,10 @@ impl CarryOp {
     /// assert_eq!(CarryOp::from_bits(true, false), CarryOp { g: false, p: true });
     /// ```
     pub fn from_bits(a: bool, b: bool) -> Self {
-        CarryOp { g: a && b, p: a ^ b }
+        CarryOp {
+            g: a && b,
+            p: a ^ b,
+        }
     }
 
     /// The identity operator (empty span: propagates, never generates).
@@ -117,9 +120,18 @@ mod tests {
 
     #[test]
     fn from_bits_cases() {
-        assert_eq!(CarryOp::from_bits(false, false), CarryOp { g: false, p: false });
-        assert_eq!(CarryOp::from_bits(false, true), CarryOp { g: false, p: true });
-        assert_eq!(CarryOp::from_bits(true, true), CarryOp { g: true, p: false });
+        assert_eq!(
+            CarryOp::from_bits(false, false),
+            CarryOp { g: false, p: false }
+        );
+        assert_eq!(
+            CarryOp::from_bits(false, true),
+            CarryOp { g: false, p: true }
+        );
+        assert_eq!(
+            CarryOp::from_bits(true, true),
+            CarryOp { g: true, p: false }
+        );
     }
 
     #[test]
@@ -157,8 +169,8 @@ mod tests {
     fn generate_dominates() {
         let gen = CarryOp { g: true, p: false };
         let kill = CarryOp { g: false, p: false };
-        assert_eq!(gen.after(kill).apply(false), true);
-        assert_eq!(kill.after(gen).apply(true), false); // kill above wins
+        assert!(gen.after(kill).apply(false));
+        assert!(!kill.after(gen).apply(true)); // kill above wins
     }
 
     #[test]

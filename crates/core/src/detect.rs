@@ -13,11 +13,7 @@ use vlsa_netlist::{NetId, Netlist};
 ///
 /// Shared doubling structure: AND spans of power-of-two lengths, then
 /// one combine per end position for non-power-of-two widths.
-pub(crate) fn window_and_spans(
-    nl: &mut Netlist,
-    p: &[NetId],
-    width: usize,
-) -> Vec<NetId> {
+pub(crate) fn window_and_spans(nl: &mut Netlist, p: &[NetId], width: usize) -> Vec<NetId> {
     assert!(width > 0, "window must be positive");
     let n = p.len();
     if width > n {
@@ -109,7 +105,10 @@ mod tests {
         let mut stim = Stimulus::new();
         stim.set_bus("a", &pack_lanes(&a_ops, nbits));
         stim.set_bus("b", &pack_lanes(&b_ops, nbits));
-        simulate(nl, &stim).expect("simulate").output("err").expect("err port")
+        simulate(nl, &stim)
+            .expect("simulate")
+            .output("err")
+            .expect("err port")
     }
 
     #[test]
@@ -127,8 +126,7 @@ mod tests {
                 let err = run_detector(&nl, nbits, chunk);
                 for (lane, (a, b)) in chunk.iter().enumerate() {
                     let p = a[0] ^ b[0];
-                    let expected =
-                        longest_one_run_words(&[p], nbits) as usize >= window;
+                    let expected = longest_one_run_words(&[p], nbits) as usize >= window;
                     assert_eq!(
                         (err >> lane) & 1 == 1,
                         expected,
@@ -180,9 +178,9 @@ mod tests {
     fn window_one_is_any_propagate() {
         let nl = error_detector(8, 1);
         let pairs = vec![
-            (vec![0u64], vec![0u64]),      // no propagates
-            (vec![0xFFu64], vec![0xFFu64]),// all generate, no propagate
-            (vec![1u64], vec![0u64]),      // one propagate
+            (vec![0u64], vec![0u64]),       // no propagates
+            (vec![0xFFu64], vec![0xFFu64]), // all generate, no propagate
+            (vec![1u64], vec![0u64]),       // one propagate
         ];
         let err = run_detector(&nl, 8, &pairs);
         assert_eq!(err & 0b111, 0b100);

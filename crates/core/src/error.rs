@@ -49,10 +49,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SpecError::InvalidWidth { nbits: 0 }.to_string().contains('0'));
-        assert!(SpecError::InvalidWindow { window: 9, nbits: 8 }
+        assert!(SpecError::InvalidWidth { nbits: 0 }
             .to_string()
-            .contains("9"));
+            .contains('0'));
+        assert!(SpecError::InvalidWindow {
+            window: 9,
+            nbits: 8
+        }
+        .to_string()
+        .contains("9"));
         assert!(SpecError::InvalidAccuracy { accuracy: 2.0 }
             .to_string()
             .contains("2"));

@@ -44,6 +44,7 @@ mod carryop;
 mod detect;
 mod error;
 mod exact_error;
+mod metrics;
 mod multiop;
 mod overclock;
 mod software;

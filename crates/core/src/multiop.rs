@@ -38,7 +38,9 @@ impl MultiOperandAdder {
     /// Returns [`SpecError::InvalidWidth`] if `max_operands < 2`.
     pub fn new(stage: SpeculativeAdder, max_operands: usize) -> Result<Self, SpecError> {
         if max_operands < 2 {
-            return Err(SpecError::InvalidWidth { nbits: max_operands });
+            return Err(SpecError::InvalidWidth {
+                nbits: max_operands,
+            });
         }
         Ok(MultiOperandAdder {
             stage,
@@ -60,7 +62,9 @@ impl MultiOperandAdder {
         accuracy: f64,
     ) -> Result<Self, SpecError> {
         if max_operands < 2 {
-            return Err(SpecError::InvalidWidth { nbits: max_operands });
+            return Err(SpecError::InvalidWidth {
+                nbits: max_operands,
+            });
         }
         if nbits == 0 {
             return Err(SpecError::InvalidWidth { nbits });
@@ -105,7 +109,11 @@ impl MultiOperandAdder {
             self.max_operands
         );
         let nbits = self.stage.nbits();
-        let mask = if nbits == 64 { u64::MAX } else { (1u64 << nbits) - 1 };
+        let mask = if nbits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << nbits) - 1
+        };
         let mut level: Vec<u64> = operands.iter().map(|&v| v & mask).collect();
         let mut detected = false;
         while level.len() > 1 {

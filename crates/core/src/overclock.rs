@@ -16,7 +16,7 @@
 //!   same speed, paid for with latch/hold-time infrastructure this
 //!   model does not cost out.
 
-use crate::{SpecError, Speculation, windowed_sum_u64};
+use crate::{windowed_sum_u64, SpecError, Speculation};
 use vlsa_runstats::{longest_carry_chain_u64, prob_carry_chain_gt};
 
 /// An exact adder clocked to complete only carry chains of at most
@@ -177,7 +177,11 @@ mod tests {
             // And the error rates coincide (same wrong sums).
             let err = aca.error_probability();
             let diff = (razor.stall_probability() - err).abs();
-            assert!(diff < 0.35 * err + 1e-12, "n={n} k={k}: {} vs {err}", razor.stall_probability());
+            assert!(
+                diff < 0.35 * err + 1e-12,
+                "n={n} k={k}: {} vs {err}",
+                razor.stall_probability()
+            );
         }
     }
 
@@ -190,7 +194,10 @@ mod tests {
             let r = razor.add_u64(a, b);
             let chain = razor.dynamic_chain(a, b);
             if (chain as usize) <= 7 {
-                assert!(r.is_correct(), "chain {chain} within capacity must be exact");
+                assert!(
+                    r.is_correct(),
+                    "chain {chain} within capacity must be exact"
+                );
             }
         }
     }

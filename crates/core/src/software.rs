@@ -151,8 +151,8 @@ impl SpeculativeAdder {
         let spec = windowed_sum_u64(a, b, self.nbits, self.window);
         let exact = a.wrapping_add(b) & mask;
         let p = a ^ b;
-        let error_detected =
-            vlsa_runstats::longest_one_run_u64(p) as usize >= self.window;
+        let error_detected = vlsa_runstats::longest_one_run_u64(p) as usize >= self.window;
+        crate::metrics::record_add(error_detected, spec == exact);
         Speculation {
             speculative: spec,
             exact,
@@ -169,6 +169,7 @@ impl SpeculativeAdder {
         let exact = vlsa_sim_free_wide_add(a, b, self.nbits);
         let p = xor_wide(a, b, self.nbits);
         let error_detected = longest_one_run_words(&p, self.nbits) as usize >= self.window;
+        crate::metrics::record_add(error_detected, spec == exact);
         Speculation {
             speculative: spec,
             exact,

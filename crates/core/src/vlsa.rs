@@ -142,8 +142,7 @@ pub fn vlsa_into(
         let c_block = if j == 0 { zero } else { block_prefix_g[j - 1] };
         let width = hi - lo;
         let intra = PrefixArch::KoggeStone.schedule(width);
-        let (ig, ip) =
-            build_prefix_gp(nl, &parts.pg.g[lo..hi], &parts.pg.p[lo..hi], &intra);
+        let (ig, ip) = build_prefix_gp(nl, &parts.pg.g[lo..hi], &parts.pg.p[lo..hi], &intra);
         for t in 0..width {
             let c = if t == 0 {
                 c_block
@@ -176,8 +175,8 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use vlsa_runstats::longest_one_run_words;
     use vlsa_sim::{
-        check_adder_exhaustive, check_adder_random, pack_lanes, simulate, unpack_lanes,
-        wide_add, Stimulus,
+        check_adder_exhaustive, check_adder_random, pack_lanes, simulate, unpack_lanes, wide_add,
+        Stimulus,
     };
 
     #[test]
@@ -217,11 +216,7 @@ mod tests {
         stim.set_bus("b", &pack_lanes(&b_ops, nbits));
         let waves = simulate(&nl, &stim).expect("simulate");
         let err = waves.output("err").expect("err");
-        let spec = unpack_lanes(
-            &waves.output_bus("spec", nbits).expect("spec"),
-            nbits,
-            64,
-        );
+        let spec = unpack_lanes(&waves.output_bus("spec", nbits).expect("spec"), nbits, 64);
         let s = unpack_lanes(&waves.output_bus("s", nbits).expect("s"), nbits, 64);
         for (lane, &(a, b)) in pairs.iter().enumerate() {
             let exact = wide_add(&[a], &[b], nbits);
@@ -250,7 +245,12 @@ mod tests {
         let nbits = 32;
         let nl = vlsa_adder(nbits, 5);
         let pairs: Vec<(u64, u64)> = (0..64)
-            .map(|_| (rng.gen::<u64>() & 0xFFFF_FFFF, rng.gen::<u64>() & 0xFFFF_FFFF))
+            .map(|_| {
+                (
+                    rng.gen::<u64>() & 0xFFFF_FFFF,
+                    rng.gen::<u64>() & 0xFFFF_FFFF,
+                )
+            })
             .collect();
         let a_ops: Vec<Vec<u64>> = pairs.iter().map(|&(a, _)| vec![a]).collect();
         let b_ops: Vec<Vec<u64>> = pairs.iter().map(|&(_, b)| vec![b]).collect();

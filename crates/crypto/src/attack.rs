@@ -59,28 +59,53 @@ impl AttackOutcome {
     }
 }
 
+/// How often [`run_attack`] emits a progress event (in candidates).
+const PROGRESS_EVERY: usize = 16;
+
 /// Runs the ciphertext-only attack: decrypts `ciphertext` under every
 /// candidate key with `adder` and ranks candidates by English score.
 ///
 /// `rounds` must match the encryption round count (it is public).
+///
+/// When telemetry is enabled, counts candidates, blocks tried, and
+/// mis-decryptions (candidate decryptions corrupted by at least one
+/// speculative adder error) under `vlsa.crypto.*`, and emits progress
+/// events from source `vlsa.crypto.attack` every few candidates.
 pub fn run_attack<A: Adder32 + ?Sized>(
     ciphertext: &[u64],
     candidates: &[[u32; 4]],
     rounds: u32,
     adder: &mut A,
 ) -> AttackOutcome {
+    let telemetry_on = vlsa_telemetry::is_enabled();
     let scorer = EnglishScorer::new();
-    let mut ranking: Vec<KeyScore> = candidates
-        .iter()
-        .map(|&key| {
-            let cipher = ArxCipher::new(key, rounds);
-            let plain = cipher.decrypt_bytes(ciphertext, adder);
-            KeyScore {
-                key,
-                score: scorer.score(&plain),
+    let mut ranking: Vec<KeyScore> = Vec::with_capacity(candidates.len());
+    for (i, &key) in candidates.iter().enumerate() {
+        let errors_before = adder.errors();
+        let cipher = ArxCipher::new(key, rounds);
+        let plain = cipher.decrypt_bytes(ciphertext, adder);
+        ranking.push(KeyScore {
+            key,
+            score: scorer.score(&plain),
+        });
+        if telemetry_on {
+            let recorder = vlsa_telemetry::recorder();
+            recorder.counter("vlsa.crypto.candidates").incr();
+            recorder
+                .counter("vlsa.crypto.blocks_tried")
+                .add(ciphertext.len() as u64);
+            if adder.errors() > errors_before {
+                recorder.counter("vlsa.crypto.mis_decryptions").incr();
             }
-        })
-        .collect();
+            if (i + 1) % PROGRESS_EVERY == 0 || i + 1 == candidates.len() {
+                vlsa_telemetry::emit(vlsa_telemetry::Event::Progress {
+                    source: "vlsa.crypto.attack".to_string(),
+                    done: (i + 1) as u64,
+                    total: candidates.len() as u64,
+                });
+            }
+        }
+    }
     ranking.sort_by(|a, b| a.score.total_cmp(&b.score));
     AttackOutcome {
         ranking,
@@ -138,8 +163,15 @@ mod tests {
         // blocks still decrypt cleanly.
         let mut adder = AcaAdder32::new(10).expect("valid");
         let outcome = run_attack(&ct, &candidates, ROUNDS, &mut adder);
-        assert_eq!(outcome.best_key(), KEY, "ACA attack must still rank the true key first");
-        assert!(outcome.adder_errors > 0, "window 10 should err during the search");
+        assert_eq!(
+            outcome.best_key(),
+            KEY,
+            "ACA attack must still rank the true key first"
+        );
+        assert!(
+            outcome.adder_errors > 0,
+            "window 10 should err during the search"
+        );
     }
 
     #[test]
@@ -159,7 +191,9 @@ mod tests {
         assert_eq!(keys.len(), 8);
         assert!(keys.contains(&KEY) || keys.iter().any(|k| k[3] & 0x7 == KEY[3] & 0x7));
         // All candidates share the high bits.
-        assert!(keys.iter().all(|k| k[0] == KEY[0] && k[3] >> 3 == KEY[3] >> 3));
+        assert!(keys
+            .iter()
+            .all(|k| k[0] == KEY[0] && k[3] >> 3 == KEY[3] >> 3));
     }
 
     #[test]

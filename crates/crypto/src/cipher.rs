@@ -114,11 +114,7 @@ impl ArxCipher {
     }
 
     /// Decrypts blocks back to bytes.
-    pub fn decrypt_bytes<A: Adder32 + ?Sized>(
-        &self,
-        blocks: &[u64],
-        adder: &mut A,
-    ) -> Vec<u8> {
+    pub fn decrypt_bytes<A: Adder32 + ?Sized>(&self, blocks: &[u64], adder: &mut A) -> Vec<u8> {
         let mut out = Vec::with_capacity(blocks.len() * 8);
         for &blk in blocks {
             out.extend_from_slice(&self.decrypt_block(blk, adder).to_le_bytes());

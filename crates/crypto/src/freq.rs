@@ -8,9 +8,8 @@
 
 /// Relative frequencies of `a`–`z` in typical English text (percent).
 pub const ENGLISH_LETTER_FREQ: [f64; 26] = [
-    8.167, 1.492, 2.782, 4.253, 12.702, 2.228, 2.015, 6.094, 6.966, 0.153, 0.772, 4.025,
-    2.406, 6.749, 7.507, 1.929, 0.095, 5.987, 6.327, 9.056, 2.758, 0.978, 2.360, 0.150,
-    1.974, 0.074,
+    8.167, 1.492, 2.782, 4.253, 12.702, 2.228, 2.015, 6.094, 6.966, 0.153, 0.772, 4.025, 2.406,
+    6.749, 7.507, 1.929, 0.095, 5.987, 6.327, 9.056, 2.758, 0.978, 2.360, 0.150, 1.974, 0.074,
 ];
 
 /// Scores how English-like a byte stream is. Lower is more English.
@@ -58,8 +57,22 @@ impl EnglishScorer {
                     counts[(b - b'A') as usize] += 1;
                     letters += 1;
                 }
-                b' ' | b'\n' | b'\r' | b'\t' | b'.' | b',' | b';' | b':' | b'\'' | b'"'
-                | b'!' | b'?' | b'-' | b'(' | b')' | b'0'..=b'9' => {}
+                b' '
+                | b'\n'
+                | b'\r'
+                | b'\t'
+                | b'.'
+                | b','
+                | b';'
+                | b':'
+                | b'\''
+                | b'"'
+                | b'!'
+                | b'?'
+                | b'-'
+                | b'('
+                | b')'
+                | b'0'..=b'9' => {}
                 _ => junk += 1,
             }
         }

@@ -1,0 +1,117 @@
+//! Exact-count checks for the `vlsa.crypto.*` attack metrics and
+//! progress events, isolated in their own test binary.
+
+use std::sync::{Arc, Mutex};
+use vlsa_crypto::{candidate_keys, run_attack, ArxCipher, ExactAdder32, SAMPLE_CORPUS};
+use vlsa_telemetry::{Event, ScopedRecorder, Sink};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+const KEY: [u32; 4] = [0xFEED_F00D, 0xCAFE_BABE, 0x0BAD_F00D, 0xDEAD_0F15];
+const ROUNDS: u32 = 12;
+
+fn ciphertext() -> Vec<u64> {
+    let cipher = ArxCipher::new(KEY, ROUNDS);
+    let mut adder = ExactAdder32::new();
+    cipher.encrypt_bytes(SAMPLE_CORPUS.as_bytes(), &mut adder)
+}
+
+/// Captures every event it receives.
+#[derive(Default)]
+struct CapturingSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Sink for CapturingSink {
+    fn event(&self, event: &Event) {
+        self.events.lock().expect("sink lock").push(event.clone());
+    }
+}
+
+#[test]
+fn attack_counts_candidates_blocks_and_progress() {
+    let _guard = serial();
+    let scope = ScopedRecorder::install();
+    let sink = Arc::new(CapturingSink::default());
+    let previous = vlsa_telemetry::set_sink(Arc::clone(&sink) as Arc<dyn Sink>);
+
+    let ct = ciphertext();
+    let candidates = candidate_keys(KEY, 5); // 32 candidates
+    let mut adder = ExactAdder32::new();
+    let outcome = run_attack(&ct, &candidates, ROUNDS, &mut adder);
+    assert_eq!(outcome.best_key(), KEY);
+
+    let registry = scope.registry();
+    assert_eq!(registry.counter_value("vlsa.crypto.candidates"), 32);
+    assert_eq!(
+        registry.counter_value("vlsa.crypto.blocks_tried"),
+        32 * ct.len() as u64
+    );
+    // The exact adder never errs, so no decryption was corrupted.
+    assert_eq!(registry.counter_value("vlsa.crypto.mis_decryptions"), 0);
+
+    // 32 candidates with an event every 16: two progress events, the
+    // last one reporting completion.
+    let events = sink.events.lock().expect("sink lock");
+    assert_eq!(events.len(), 2);
+    match &events[1] {
+        Event::Progress {
+            source,
+            done,
+            total,
+        } => {
+            assert_eq!(source, "vlsa.crypto.attack");
+            assert_eq!((*done, *total), (32, 32));
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+
+    drop(events);
+    match previous {
+        Some(p) => {
+            vlsa_telemetry::set_sink(p);
+        }
+        None => {
+            vlsa_telemetry::clear_sink();
+        }
+    }
+}
+
+#[test]
+fn speculative_adder_mis_decryptions_are_counted() {
+    let _guard = serial();
+    let scope = ScopedRecorder::install();
+
+    let ct = ciphertext();
+    let candidates = candidate_keys(KEY, 3); // 8 candidates
+                                             // Window 10 errs roughly once per couple hundred additions, so on
+                                             // a corpus this size every candidate decryption is corrupted.
+    let mut adder = vlsa_crypto::AcaAdder32::new(10).expect("valid");
+    let outcome = run_attack(&ct, &candidates, ROUNDS, &mut adder);
+    assert!(outcome.adder_errors > 0);
+
+    let registry = scope.registry();
+    let mis = registry.counter_value("vlsa.crypto.mis_decryptions");
+    assert!(mis > 0, "expected corrupted candidate decryptions");
+    assert!(mis <= registry.counter_value("vlsa.crypto.candidates"));
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let _guard = serial();
+    assert!(!vlsa_telemetry::is_enabled());
+    let before = vlsa_telemetry::recorder().counter_value("vlsa.crypto.candidates");
+    let ct = ciphertext();
+    let mut adder = ExactAdder32::new();
+    run_attack(&ct, &candidate_keys(KEY, 1), ROUNDS, &mut adder);
+    assert_eq!(
+        vlsa_telemetry::recorder().counter_value("vlsa.crypto.candidates"),
+        before
+    );
+}

@@ -45,7 +45,13 @@ impl Port {
 pub fn legalize(name: &str) -> String {
     let mut out: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         out.insert(0, 'p');
@@ -134,7 +140,13 @@ mod tests {
             }
             other => panic!("expected vector, got {other:?}"),
         }
-        assert_eq!(ports[1], Port::Scalar { name: "cin".into(), net: cin });
+        assert_eq!(
+            ports[1],
+            Port::Scalar {
+                name: "cin".into(),
+                net: cin
+            }
+        );
         assert_eq!(ports[0].width(), 3);
         assert_eq!(ports[1].width(), 1);
         assert_eq!(ports[0].name(), "a");
@@ -149,8 +161,14 @@ mod tests {
         assert_eq!(
             ports,
             vec![
-                Port::Scalar { name: "x_0".into(), net: x },
-                Port::Scalar { name: "x_2".into(), net: y },
+                Port::Scalar {
+                    name: "x_0".into(),
+                    net: x
+                },
+                Port::Scalar {
+                    name: "x_2".into(),
+                    net: y
+                },
             ]
         );
     }
@@ -160,6 +178,12 @@ mod tests {
         let mut nl = Netlist::new("t");
         let x = nl.input("x[y]");
         let ports = group_ports(nl.primary_inputs());
-        assert_eq!(ports, vec![Port::Scalar { name: "x_y_".into(), net: x }]);
+        assert_eq!(
+            ports,
+            vec![Port::Scalar {
+                name: "x_y_".into(),
+                net: x
+            }]
+        );
     }
 }

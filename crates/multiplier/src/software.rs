@@ -82,7 +82,8 @@ impl SpeculativeMultiplier {
                     match *chunk {
                         [x, y, z] => {
                             next[j].push(x ^ y ^ z);
-                            next[j + 1].push((x && y) || (y && z) || (x && z));
+                            // Majority(x, y, z), factored to appease clippy.
+                            next[j + 1].push((x && (y || z)) || (y && z));
                         }
                         [x, y] => {
                             next[j].push(x ^ y);

@@ -171,9 +171,7 @@ impl CellKind {
             Xor2 => inputs[0] ^ inputs[1],
             Xnor2 => !(inputs[0] ^ inputs[1]),
             Mux2 => (inputs[0] & !inputs[2]) | (inputs[1] & inputs[2]),
-            Maj3 => {
-                (inputs[0] & inputs[1]) | (inputs[1] & inputs[2]) | (inputs[0] & inputs[2])
-            }
+            Maj3 => (inputs[0] & inputs[1]) | (inputs[1] & inputs[2]) | (inputs[0] & inputs[2]),
             Ao21 => (inputs[0] & inputs[1]) | inputs[2],
             Oa21 => (inputs[0] | inputs[1]) & inputs[2],
             Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
@@ -292,8 +290,10 @@ mod tests {
             let n = kind.arity();
             for assignment in 0..(1u32 << n) {
                 let bools: Vec<bool> = (0..n).map(|i| (assignment >> i) & 1 == 1).collect();
-                let words: Vec<u64> =
-                    bools.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+                let words: Vec<u64> = bools
+                    .iter()
+                    .map(|&b| if b { u64::MAX } else { 0 })
+                    .collect();
                 assert_eq!(
                     kind.eval(&bools),
                     kind.eval_words(&words) & 1 == 1,

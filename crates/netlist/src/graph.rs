@@ -159,12 +159,18 @@ impl Netlist {
     /// Declares a `width`-bit input bus named `name[0..width]`,
     /// least-significant bit first.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Bus {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// A constant net (0 or 1).
     pub fn constant(&mut self, value: bool) -> NetId {
-        let kind = if value { CellKind::Const1 } else { CellKind::Const0 };
+        let kind = if value {
+            CellKind::Const1
+        } else {
+            CellKind::Const0
+        };
         self.push(kind, Vec::new())
     }
 

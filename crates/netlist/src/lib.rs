@@ -42,7 +42,7 @@ mod textfmt;
 mod xform;
 
 pub use analyze::{NetlistStats, ValidateNetlistError};
-pub use textfmt::ParseNetlistError;
 pub use bus::Bus;
 pub use cell::CellKind;
 pub use graph::{NetId, Netlist, Node};
+pub use textfmt::ParseNetlistError;

@@ -61,17 +61,13 @@ fn fold_gate(nl: &mut Netlist, memo: &mut Memo, kind: CellKind, ins: &[Value]) -
         }
         Xor2 => match (ins[0], ins[1]) {
             (Value::Known(false), v) | (v, Value::Known(false)) => v,
-            (Value::Known(true), v) | (v, Value::Known(true)) => {
-                fold_gate(nl, memo, Not, &[v])
-            }
+            (Value::Known(true), v) | (v, Value::Known(true)) => fold_gate(nl, memo, Not, &[v]),
             (Value::Net(a), Value::Net(b)) if a == b => Value::Known(false),
             (Value::Net(a), Value::Net(b)) => memo.emit(nl, Xor2, &[a, b]),
         },
         Xnor2 => match (ins[0], ins[1]) {
             (Value::Known(true), v) | (v, Value::Known(true)) => v,
-            (Value::Known(false), v) | (v, Value::Known(false)) => {
-                fold_gate(nl, memo, Not, &[v])
-            }
+            (Value::Known(false), v) | (v, Value::Known(false)) => fold_gate(nl, memo, Not, &[v]),
             (Value::Net(a), Value::Net(b)) if a == b => Value::Known(true),
             (Value::Net(a), Value::Net(b)) => memo.emit(nl, Xnor2, &[a, b]),
         },
@@ -82,9 +78,7 @@ fn fold_gate(nl: &mut Netlist, memo: &mut Memo, kind: CellKind, ins: &[Value]) -
             Value::Net(_) if ins[0] == ins[1] => ins[0],
             Value::Net(s) => match (ins[0], ins[1]) {
                 // One-gate reductions.
-                (Value::Known(false), v) => {
-                    fold_gate(nl, memo, And2, &[Value::Net(s), v])
-                }
+                (Value::Known(false), v) => fold_gate(nl, memo, And2, &[Value::Net(s), v]),
                 (v, Value::Known(true)) => fold_gate(nl, memo, Or2, &[Value::Net(s), v]),
                 // The remaining const cases would need NOT+gate; keep the
                 // native mux with a materialized constant instead.
@@ -126,8 +120,7 @@ fn fold_gate(nl: &mut Netlist, memo: &mut Memo, kind: CellKind, ins: &[Value]) -
             let inner_and = matches!(kind, Ao21 | Aoi21);
             let inverted = matches!(kind, Aoi21 | Oai21);
             // All-net, non-degenerate compounds stay native.
-            if let (Value::Net(a), Value::Net(b), Value::Net(c)) = (ins[0], ins[1], ins[2])
-            {
+            if let (Value::Net(a), Value::Net(b), Value::Net(c)) = (ins[0], ins[1], ins[2]) {
                 if a != b {
                     return memo.emit(nl, kind, &[a, b, c]);
                 }
@@ -195,7 +188,7 @@ fn surviving_nets(ins: &[Value], is_and: bool) -> Option<Vec<NetId>> {
     let mut nets = Vec::with_capacity(ins.len());
     for v in ins {
         match v {
-            Value::Known(b) if *b == !is_and => return None,
+            Value::Known(b) if *b != is_and => return None,
             Value::Known(_) => {}
             Value::Net(n) => {
                 if !nets.contains(n) {
@@ -216,9 +209,33 @@ fn fold_and_or(nl: &mut Netlist, memo: &mut Memo, ins: &[Value], is_and: bool) -
     match nets.len() {
         0 => Value::Known(is_and),
         1 => Value::Net(nets[0]),
-        2 => memo.emit(nl, if is_and { CellKind::And2 } else { CellKind::Or2 }, &nets),
-        3 => memo.emit(nl, if is_and { CellKind::And3 } else { CellKind::Or3 }, &nets),
-        4 => memo.emit(nl, if is_and { CellKind::And4 } else { CellKind::Or4 }, &nets),
+        2 => memo.emit(
+            nl,
+            if is_and {
+                CellKind::And2
+            } else {
+                CellKind::Or2
+            },
+            &nets,
+        ),
+        3 => memo.emit(
+            nl,
+            if is_and {
+                CellKind::And3
+            } else {
+                CellKind::Or3
+            },
+            &nets,
+        ),
+        4 => memo.emit(
+            nl,
+            if is_and {
+                CellKind::And4
+            } else {
+                CellKind::Or4
+            },
+            &nets,
+        ),
         _ => unreachable!("arity is at most 4"),
     }
 }
@@ -249,9 +266,7 @@ impl Memo {
     fn materialize(&mut self, nl: &mut Netlist, v: Value) -> NetId {
         match v {
             Value::Net(n) => n,
-            Value::Known(b) => {
-                *self.consts[b as usize].get_or_insert_with(|| nl.constant(b))
-            }
+            Value::Known(b) => *self.consts[b as usize].get_or_insert_with(|| nl.constant(b)),
         }
     }
 }
@@ -260,8 +275,7 @@ fn is_commutative(kind: CellKind) -> bool {
     use CellKind::*;
     matches!(
         kind,
-        And2 | And3 | And4 | Or2 | Or3 | Or4 | Nand2 | Nand3 | Nor2 | Nor3 | Xor2 | Xnor2
-            | Maj3
+        And2 | And3 | And4 | Or2 | Or3 | Or4 | Nand2 | Nand3 | Nor2 | Nor3 | Xor2 | Xnor2 | Maj3
     )
 }
 
@@ -305,8 +319,7 @@ impl Netlist {
                 CellKind::Const0 => Value::Known(false),
                 CellKind::Const1 => Value::Known(true),
                 kind => {
-                    let ins: Vec<Value> =
-                        node.inputs().iter().map(|i| map[i.index()]).collect();
+                    let ins: Vec<Value> = node.inputs().iter().map(|i| map[i.index()]).collect();
                     fold_gate(&mut out, &mut memo, kind, &ins)
                 }
             };
@@ -401,7 +414,10 @@ mod tests {
         nl.output("y", y);
         let opt = nl.simplified();
         assert_eq!(opt.gate_count(), 0);
-        assert_eq!(opt.node(opt.primary_outputs()[0].1).kind(), CellKind::Const0);
+        assert_eq!(
+            opt.node(opt.primary_outputs()[0].1).kind(),
+            CellKind::Const0
+        );
     }
 
     #[test]
@@ -461,7 +477,10 @@ mod tests {
         nl.output("z", z);
         let opt = nl.simplified();
         assert_eq!(opt.gate_count(), 0);
-        assert_eq!(opt.node(opt.primary_outputs()[0].1).kind(), CellKind::Const0);
+        assert_eq!(
+            opt.node(opt.primary_outputs()[0].1).kind(),
+            CellKind::Const0
+        );
     }
 
     #[test]

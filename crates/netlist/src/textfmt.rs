@@ -115,8 +115,7 @@ impl Netlist {
                     let _ = writeln!(out, "const {id} 1");
                 }
                 kind => {
-                    let ins: Vec<String> =
-                        node.inputs().iter().map(|n| n.to_string()).collect();
+                    let ins: Vec<String> = node.inputs().iter().map(|n| n.to_string()).collect();
                     let _ = writeln!(out, "gate {id} {} {}", kind.name(), ins.join(" "));
                 }
             }
@@ -145,22 +144,23 @@ impl Netlist {
             .ok_or(ParseNetlistError::MissingHeader)?;
         let mut nl = Netlist::new(name.trim());
 
-        let parse_net = |tok: &str, nl: &Netlist, line: usize| -> Result<NetId, ParseNetlistError> {
-            let idx: usize = tok
-                .strip_prefix('n')
-                .and_then(|d| d.parse().ok())
-                .ok_or_else(|| ParseNetlistError::UnknownNet {
-                    line,
-                    name: tok.to_string(),
-                })?;
-            if idx >= nl.len() {
-                return Err(ParseNetlistError::UnknownNet {
-                    line,
-                    name: tok.to_string(),
-                });
-            }
-            Ok(NetId(idx as u32))
-        };
+        let parse_net =
+            |tok: &str, nl: &Netlist, line: usize| -> Result<NetId, ParseNetlistError> {
+                let idx: usize = tok
+                    .strip_prefix('n')
+                    .and_then(|d| d.parse().ok())
+                    .ok_or_else(|| ParseNetlistError::UnknownNet {
+                        line,
+                        name: tok.to_string(),
+                    })?;
+                if idx >= nl.len() {
+                    return Err(ParseNetlistError::UnknownNet {
+                        line,
+                        name: tok.to_string(),
+                    });
+                }
+                Ok(NetId(idx as u32))
+            };
 
         let expect_handle =
             |tok: &str, nl: &Netlist, line: usize| -> Result<(), ParseNetlistError> {
@@ -287,7 +287,10 @@ mod tests {
             Netlist::from_vnet("input n0 a\n"),
             Err(ParseNetlistError::MissingHeader)
         );
-        assert_eq!(Netlist::from_vnet(""), Err(ParseNetlistError::MissingHeader));
+        assert_eq!(
+            Netlist::from_vnet(""),
+            Err(ParseNetlistError::MissingHeader)
+        );
     }
 
     #[test]
@@ -345,7 +348,10 @@ mod tests {
 
     #[test]
     fn error_messages_carry_context() {
-        let e = ParseNetlistError::UnknownCell { line: 9, kind: "zap".into() };
+        let e = ParseNetlistError::UnknownCell {
+            line: 9,
+            kind: "zap".into(),
+        };
         assert!(e.to_string().contains("line 9"));
         assert!(e.to_string().contains("zap"));
     }

@@ -79,9 +79,7 @@ impl Netlist {
                     let inputs: Vec<NetId> = node
                         .inputs()
                         .iter()
-                        .map(|i| {
-                            taps[i.index()].pop().expect("fanout accounting is exact")
-                        })
+                        .map(|i| taps[i.index()].pop().expect("fanout accounting is exact"))
                         .collect();
                     out.cell(kind, &inputs)
                 }

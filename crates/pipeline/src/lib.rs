@@ -148,15 +148,43 @@ impl VlsaPipeline {
     /// Feeds a stream of operand pairs through the pipeline and returns
     /// the trace. Operands are truncated to the adder width.
     ///
+    /// When telemetry is enabled, records `vlsa.pipeline.ops` /
+    /// `vlsa.pipeline.stalls` counters, the per-op latency histogram
+    /// `vlsa.pipeline.op_latency_cycles`, and the lengths of runs of
+    /// consecutive stalled operations in `vlsa.pipeline.stall_run_ops`.
+    ///
     /// # Panics
     ///
     /// Panics if the adder is wider than 64 bits.
     pub fn run(&mut self, operands: &[(u64, u64)]) -> PipelineTrace {
+        let telemetry = vlsa_telemetry::is_enabled().then(|| {
+            let recorder = vlsa_telemetry::recorder();
+            (
+                recorder.histogram(
+                    "vlsa.pipeline.op_latency_cycles",
+                    vlsa_telemetry::DEFAULT_BUCKETS,
+                ),
+                recorder.histogram(
+                    "vlsa.pipeline.stall_run_ops",
+                    vlsa_telemetry::DEFAULT_BUCKETS,
+                ),
+            )
+        });
+        let mut stall_run = 0u64;
         let mut trace = PipelineTrace::default();
         let mut cycle = 0u64;
         for (idx, &(a, b)) in operands.iter().enumerate() {
             let r = self.adder.add_u64(a, b);
             cycle += 1;
+            if let Some((latency, stall_runs)) = &telemetry {
+                latency.record(if r.error_detected { 2 } else { 1 });
+                if r.error_detected {
+                    stall_run += 1;
+                } else if stall_run > 0 {
+                    stall_runs.record(stall_run);
+                    stall_run = 0;
+                }
+            }
             if r.error_detected {
                 // Cycle 1: speculative (possibly wrong) sum, VALID low,
                 // STALL high while recovery runs.
@@ -188,6 +216,14 @@ impl VlsaPipeline {
             }
             trace.operations += 1;
         }
+        if let Some((_, stall_runs)) = &telemetry {
+            if stall_run > 0 {
+                stall_runs.record(stall_run);
+            }
+            let recorder = vlsa_telemetry::recorder();
+            recorder.counter("vlsa.pipeline.ops").add(trace.operations);
+            recorder.counter("vlsa.pipeline.stalls").add(trace.errors);
+        }
         trace
     }
 }
@@ -206,20 +242,22 @@ pub struct EffectiveLatency {
 }
 
 impl EffectiveLatency {
-    /// Average wall-clock time per addition for a trace.
-    pub fn time_per_add_ps(&self, trace: &PipelineTrace) -> f64 {
-        self.t_clock_ps * trace.average_latency()
+    /// Average wall-clock time per addition for a trace, or `None` for
+    /// an empty trace (no operations ⇒ no meaningful latency).
+    pub fn time_per_add_ps(&self, trace: &PipelineTrace) -> Option<f64> {
+        if trace.operations == 0 {
+            None
+        } else {
+            Some(self.t_clock_ps * trace.average_latency())
+        }
     }
 
-    /// Speedup of the VLSA over the traditional adder for a trace.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the trace is empty.
-    pub fn speedup(&self, trace: &PipelineTrace) -> f64 {
-        let per_add = self.time_per_add_ps(trace);
-        assert!(per_add > 0.0, "empty trace has no latency");
-        self.t_traditional_ps / per_add
+    /// Speedup of the VLSA over the traditional adder for a trace, or
+    /// `None` when the trace is empty or the per-add time degenerates
+    /// to zero (a zero clock period).
+    pub fn speedup(&self, trace: &PipelineTrace) -> Option<f64> {
+        let per_add = self.time_per_add_ps(trace)?;
+        (per_add > 0.0).then(|| self.t_traditional_ps / per_add)
     }
 }
 
@@ -234,7 +272,11 @@ pub fn random_operands<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<(u64, u64)> {
     assert!((1..=64).contains(&nbits), "nbits must be in 1..=64");
-    let mask = if nbits == 64 { u64::MAX } else { (1u64 << nbits) - 1 };
+    let mask = if nbits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << nbits) - 1
+    };
     (0..count)
         .map(|_| (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask))
         .collect()
@@ -303,7 +345,10 @@ mod tests {
         assert_eq!(valids, vec![true, false, true, true]);
         let diagram = trace.render_timing_diagram(10);
         assert!(diagram.contains("S2*"), "{diagram}");
-        assert!(diagram.contains("stall |      0      1      0      0"), "{diagram}");
+        assert!(
+            diagram.contains("stall |      0      1      0      0"),
+            "{diagram}"
+        );
     }
 
     #[test]
@@ -328,7 +373,11 @@ mod tests {
         let a = SpeculativeAdder::for_accuracy(64, 0.9999).expect("valid");
         let mut pipe = VlsaPipeline::new(a);
         let trace = pipe.run(&random_operands(64, 100_000, &mut rng));
-        assert!(trace.average_latency() < 1.001, "{}", trace.average_latency());
+        assert!(
+            trace.average_latency() < 1.001,
+            "{}",
+            trace.average_latency()
+        );
     }
 
     #[test]
@@ -339,8 +388,28 @@ mod tests {
             t_clock_ps: 500.0,
             t_traditional_ps: 1000.0,
         };
-        assert_eq!(eff.time_per_add_ps(&trace), 500.0);
-        assert_eq!(eff.speedup(&trace), 2.0);
+        assert_eq!(eff.time_per_add_ps(&trace), Some(500.0));
+        assert_eq!(eff.speedup(&trace), Some(2.0));
+    }
+
+    #[test]
+    fn effective_latency_of_empty_trace_is_none() {
+        let eff = EffectiveLatency {
+            t_clock_ps: 500.0,
+            t_traditional_ps: 1000.0,
+        };
+        let empty = PipelineTrace::default();
+        assert_eq!(eff.time_per_add_ps(&empty), None);
+        assert_eq!(eff.speedup(&empty), None);
+        // A degenerate zero clock also refuses to report a speedup.
+        let mut pipe = VlsaPipeline::new(adder(8, 8));
+        let trace = pipe.run(&[(1, 2)]);
+        let zero_clock = EffectiveLatency {
+            t_clock_ps: 0.0,
+            t_traditional_ps: 1000.0,
+        };
+        assert_eq!(zero_clock.time_per_add_ps(&trace), Some(0.0));
+        assert_eq!(zero_clock.speedup(&trace), None);
     }
 
     #[test]

@@ -98,7 +98,7 @@ impl fmt::Display for QueueStats {
 
 impl VlsaPipeline {
     /// Runs the adder behind a bounded queue with Bernoulli arrivals
-    /// for `cycles` cycles.
+    /// for `cycles` cycles, drawing uniform random operands.
     ///
     /// # Panics
     ///
@@ -110,13 +110,55 @@ impl VlsaPipeline {
         cycles: u64,
         rng: &mut R,
     ) -> QueueStats {
+        let nbits = self.adder().nbits();
+        let mask = if nbits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << nbits) - 1
+        };
+        self.run_queued_ops(config, cycles, rng, |rng| {
+            (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask)
+        })
+    }
+
+    /// [`VlsaPipeline::run_queued`] with a caller-supplied operand
+    /// stream: `next_op` is invoked once per arrival. This is how
+    /// adversarial workloads (e.g. always-stalling carry chains) are
+    /// pushed through the queue model.
+    ///
+    /// When telemetry is enabled, records arrival/completion/drop
+    /// counters (`vlsa.pipeline.queue_*`), the per-op wait histogram
+    /// `vlsa.pipeline.queue_wait_cycles`, and occupancy gauges
+    /// `vlsa.pipeline.queue_mean_len` / `vlsa.pipeline.queue_max_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival_prob` is not in `[0, 1]` or `capacity` is
+    /// zero, or if the adder is wider than 64 bits.
+    pub fn run_queued_ops<R, F>(
+        &mut self,
+        config: QueueConfig,
+        cycles: u64,
+        rng: &mut R,
+        mut next_op: F,
+    ) -> QueueStats
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&mut R) -> (u64, u64),
+    {
         assert!(
             (0.0..=1.0).contains(&config.arrival_prob),
             "arrival probability must be in [0, 1]"
         );
         assert!(config.capacity > 0, "queue capacity must be positive");
-        let nbits = self.adder().nbits();
-        let mask = if nbits == 64 { u64::MAX } else { (1u64 << nbits) - 1 };
+        // Resolve instrument handles once; the per-cycle path then pays
+        // only atomic updates.
+        let wait_hist = vlsa_telemetry::is_enabled().then(|| {
+            vlsa_telemetry::recorder().histogram(
+                "vlsa.pipeline.queue_wait_cycles",
+                vlsa_telemetry::DEFAULT_BUCKETS,
+            )
+        });
         let mut stats = QueueStats {
             cycles,
             ..QueueStats::default()
@@ -131,7 +173,8 @@ impl VlsaPipeline {
             if rng.gen_bool(config.arrival_prob) {
                 stats.arrivals += 1;
                 if queue.len() < config.capacity {
-                    queue.push_back((rng.gen::<u64>() & mask, rng.gen::<u64>() & mask, cycle));
+                    let (a, b) = next_op(rng);
+                    queue.push_back((a, b, cycle));
                 } else {
                     stats.dropped += 1;
                 }
@@ -145,6 +188,9 @@ impl VlsaPipeline {
                     stats.completed += 1;
                     stats.total_wait_cycles += cycle - arrived + 1;
                     stats.recovery_cycles += 1;
+                    if let Some(hist) = &wait_hist {
+                        hist.record(cycle - arrived + 1);
+                    }
                 } else {
                     let r = adder.add_u64(a, b);
                     if r.error_detected {
@@ -153,11 +199,35 @@ impl VlsaPipeline {
                         queue.pop_front();
                         stats.completed += 1;
                         stats.total_wait_cycles += cycle - arrived + 1;
+                        if let Some(hist) = &wait_hist {
+                            hist.record(cycle - arrived + 1);
+                        }
                     }
                 }
             }
             stats.queue_len_integral += queue.len() as u64;
             stats.max_queue_len = stats.max_queue_len.max(queue.len());
+        }
+        if wait_hist.is_some() {
+            let recorder = vlsa_telemetry::recorder();
+            recorder
+                .counter("vlsa.pipeline.queue_arrivals")
+                .add(stats.arrivals);
+            recorder
+                .counter("vlsa.pipeline.queue_completed")
+                .add(stats.completed);
+            recorder
+                .counter("vlsa.pipeline.queue_dropped")
+                .add(stats.dropped);
+            recorder
+                .counter("vlsa.pipeline.queue_recovery_cycles")
+                .add(stats.recovery_cycles);
+            recorder
+                .gauge("vlsa.pipeline.queue_mean_len")
+                .set(stats.mean_queue_len());
+            recorder
+                .gauge("vlsa.pipeline.queue_max_len")
+                .set_max(stats.max_queue_len as f64);
         }
         stats
     }
@@ -177,7 +247,10 @@ mod tests {
     fn no_arrivals_means_nothing_happens() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(409);
         let stats = pipeline(32, 8).run_queued(
-            QueueConfig { arrival_prob: 0.0, capacity: 4 },
+            QueueConfig {
+                arrival_prob: 0.0,
+                capacity: 4,
+            },
             10_000,
             &mut rng,
         );
@@ -191,12 +264,19 @@ mod tests {
     fn light_load_has_single_cycle_waits() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(419);
         let stats = pipeline(64, 64).run_queued(
-            QueueConfig { arrival_prob: 0.3, capacity: 8 },
+            QueueConfig {
+                arrival_prob: 0.3,
+                capacity: 8,
+            },
             100_000,
             &mut rng,
         );
         assert_eq!(stats.dropped, 0);
-        assert!((stats.mean_wait() - 1.0).abs() < 1e-9, "{}", stats.mean_wait());
+        assert!(
+            (stats.mean_wait() - 1.0).abs() < 1e-9,
+            "{}",
+            stats.mean_wait()
+        );
         assert!((stats.throughput() - 0.3).abs() < 0.01);
     }
 
@@ -204,7 +284,10 @@ mod tests {
     fn full_load_exact_adder_keeps_up() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(421);
         let stats = pipeline(32, 32).run_queued(
-            QueueConfig { arrival_prob: 1.0, capacity: 4 },
+            QueueConfig {
+                arrival_prob: 1.0,
+                capacity: 4,
+            },
             50_000,
             &mut rng,
         );
@@ -220,7 +303,10 @@ mod tests {
         // Window 4 at 32 bits: ~20% of ops need two cycles, so the
         // queue saturates under back-to-back arrivals.
         let stats = pipeline(32, 4).run_queued(
-            QueueConfig { arrival_prob: 1.0, capacity: 4 },
+            QueueConfig {
+                arrival_prob: 1.0,
+                capacity: 4,
+            },
             50_000,
             &mut rng,
         );
@@ -235,7 +321,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(433);
         // 80% load, ~2% recovery rate: queue stays shallow.
         let stats = pipeline(64, 10).run_queued(
-            QueueConfig { arrival_prob: 0.8, capacity: 16 },
+            QueueConfig {
+                arrival_prob: 0.8,
+                capacity: 16,
+            },
             200_000,
             &mut rng,
         );
@@ -251,9 +340,119 @@ mod tests {
     fn zero_capacity_rejected() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         pipeline(8, 8).run_queued(
-            QueueConfig { arrival_prob: 0.5, capacity: 0 },
+            QueueConfig {
+                arrival_prob: 0.5,
+                capacity: 0,
+            },
             10,
             &mut rng,
         );
+    }
+
+    #[test]
+    fn empty_stats_have_zero_derived_metrics() {
+        let stats = QueueStats::default();
+        assert_eq!(stats.mean_wait(), 0.0);
+        assert_eq!(stats.mean_queue_len(), 0.0);
+        assert_eq!(stats.throughput(), 0.0);
+        assert_eq!(stats.drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn adversarial_stream_halves_throughput_and_drops_half() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(443);
+        let cycles = 50_000u64;
+        let capacity = 4usize;
+        // Every op is the full-width carry chain: service time is
+        // exactly 2 cycles, arrivals come every cycle, so the queue
+        // saturates and half the offered load is shed.
+        let stats = pipeline(32, 4).run_queued_ops(
+            QueueConfig {
+                arrival_prob: 1.0,
+                capacity,
+            },
+            cycles,
+            &mut rng,
+            |_| ((1u64 << 31) - 1, 1),
+        );
+        assert_eq!(stats.arrivals, cycles);
+        // Every completed op needed its recovery cycle.
+        assert_eq!(stats.recovery_cycles, stats.completed);
+        assert!(
+            (stats.throughput() - 0.5).abs() < 0.01,
+            "{}",
+            stats.throughput()
+        );
+        assert!(
+            (stats.drop_rate() - 0.5).abs() < 0.01,
+            "{}",
+            stats.drop_rate()
+        );
+        assert_eq!(stats.max_queue_len, capacity);
+        // The queue pins at capacity, so accepted ops wait ~2·capacity.
+        // The queue alternates between capacity and capacity−1 (a pop
+        // frees one slot every other cycle), so the mean sits at ~3.5.
+        assert!(
+            stats.mean_queue_len() > capacity as f64 - 0.6,
+            "{}",
+            stats.mean_queue_len()
+        );
+        assert!(
+            stats.mean_wait() > 2.0 * capacity as f64 - 1.0,
+            "{}",
+            stats.mean_wait()
+        );
+        // Conservation: every arrival is completed, dropped, or still
+        // queued when the clock stops.
+        let outstanding = stats.arrivals - stats.completed - stats.dropped;
+        assert!(outstanding <= capacity as u64, "{outstanding}");
+    }
+
+    #[test]
+    fn alternating_stream_recovers_on_exactly_half_the_ops() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(449);
+        let mut toggle = false;
+        let stats = pipeline(16, 4).run_queued_ops(
+            QueueConfig {
+                arrival_prob: 0.4,
+                capacity: 16,
+            },
+            100_000,
+            &mut rng,
+            |_| {
+                toggle = !toggle;
+                if toggle {
+                    (0x7FFF, 1) // full carry chain: always stalls
+                } else {
+                    (1, 2) // clean
+                }
+            },
+        );
+        assert_eq!(stats.dropped, 0);
+        let recovery_share = stats.recovery_cycles as f64 / stats.completed as f64;
+        assert!((recovery_share - 0.5).abs() < 0.02, "{recovery_share}");
+        // Light enough load that waits stay finite and small.
+        assert!(stats.mean_wait() < 3.0, "{}", stats.mean_wait());
+    }
+
+    #[test]
+    fn drop_accounting_under_tiny_queue() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(457);
+        // Capacity 1 with certain arrivals and always-stalling service:
+        // the head op holds the slot for 2 cycles, so at most every
+        // other arrival is accepted.
+        let stats = pipeline(8, 2).run_queued_ops(
+            QueueConfig {
+                arrival_prob: 1.0,
+                capacity: 1,
+            },
+            10_000,
+            &mut rng,
+            |_| (0x7F, 1),
+        );
+        assert!(stats.dropped >= stats.completed, "{stats}");
+        let outstanding = stats.arrivals - stats.completed - stats.dropped;
+        assert!(outstanding <= 1, "{stats}");
+        assert_eq!(stats.max_queue_len, 1);
     }
 }

@@ -88,8 +88,9 @@ pub fn estimate_bound_for_tail(n: usize, epsilon: f64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{expected_longest_run, min_bound_for_prob, prob_longest_run_gt,
-        variance_longest_run};
+    use crate::{
+        expected_longest_run, min_bound_for_prob, prob_longest_run_gt, variance_longest_run,
+    };
 
     #[test]
     fn schilling_tracks_exact_expectation() {

@@ -153,7 +153,10 @@ mod tests {
                 .count();
             let measured = hits as f64 / trials as f64;
             let exact = prob_longest_run_le_biased(n, x, p);
-            assert!((measured - exact).abs() < 0.01, "p={p}: {measured} vs {exact}");
+            assert!(
+                (measured - exact).abs() < 0.01,
+                "p={p}: {measured} vs {exact}"
+            );
         }
     }
 

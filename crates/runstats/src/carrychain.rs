@@ -104,7 +104,11 @@ pub fn longest_carry_chain_u64(a: u64, b: u64, nbits: usize) -> u32 {
 /// Panics unless `1 <= nbits <= 64`.
 pub fn sample_carry_chain<R: Rng + ?Sized>(nbits: usize, rng: &mut R) -> u32 {
     assert!((1..=64).contains(&nbits), "nbits must be in 1..=64");
-    let mask = if nbits == 64 { u64::MAX } else { (1u64 << nbits) - 1 };
+    let mask = if nbits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << nbits) - 1
+    };
     longest_carry_chain_u64(rng.gen::<u64>() & mask, rng.gen::<u64>() & mask, nbits)
 }
 
@@ -170,7 +174,10 @@ mod tests {
                 .count();
             let measured = hits as f64 / trials as f64;
             let exact = prob_carry_chain_gt(48, c);
-            assert!((measured - exact).abs() < 0.01, "c={c}: {measured} vs {exact}");
+            assert!(
+                (measured - exact).abs() < 0.01,
+                "c={c}: {measured} vs {exact}"
+            );
         }
     }
 

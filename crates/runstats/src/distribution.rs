@@ -78,10 +78,7 @@ impl RunLengthDistribution {
     /// Panics if `q` is not in `(0, 1]`.
     pub fn quantile(&self, q: f64) -> usize {
         assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
-        self.cdf
-            .iter()
-            .position(|&p| p >= q)
-            .unwrap_or(self.n)
+        self.cdf.iter().position(|&p| p >= q).unwrap_or(self.n)
     }
 
     /// Mean of the distribution.

@@ -86,10 +86,7 @@ impl RunHistogram {
 
     /// Largest observed run length, if any samples were recorded.
     pub fn max_observed(&self) -> Option<u32> {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .map(|x| x as u32)
+        self.counts.iter().rposition(|&c| c > 0).map(|x| x as u32)
     }
 }
 
@@ -129,11 +126,7 @@ pub fn random_words<R: Rng + ?Sized>(nbits: usize, rng: &mut R) -> Vec<u64> {
 /// let hist = sample_histogram(256, 2_000, &mut rng);
 /// assert!((hist.mean() - schilling_expected_run(256)).abs() < 0.5);
 /// ```
-pub fn sample_histogram<R: Rng + ?Sized>(
-    nbits: usize,
-    samples: u64,
-    rng: &mut R,
-) -> RunHistogram {
+pub fn sample_histogram<R: Rng + ?Sized>(nbits: usize, samples: u64, rng: &mut R) -> RunHistogram {
     let mut hist = RunHistogram::new();
     for _ in 0..samples {
         hist.record(sample_longest_run(nbits, rng));
@@ -182,7 +175,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let hist = sample_histogram(128, 20_000, &mut rng);
         let exact = expected_longest_run(128);
-        assert!((hist.mean() - exact).abs() < 0.05, "{} vs {exact}", hist.mean());
+        assert!(
+            (hist.mean() - exact).abs() < 0.05,
+            "{} vs {exact}",
+            hist.mean()
+        );
     }
 
     #[test]

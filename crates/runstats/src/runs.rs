@@ -93,7 +93,11 @@ impl<'a> OneRuns<'a> {
     /// Panics if `nbits > 64 * words.len()`.
     pub fn new(words: &'a [u64], nbits: usize) -> Self {
         assert!(nbits <= 64 * words.len());
-        OneRuns { words, nbits, pos: 0 }
+        OneRuns {
+            words,
+            nbits,
+            pos: 0,
+        }
     }
 
     fn bit(&self, i: usize) -> bool {
@@ -172,14 +176,14 @@ mod tests {
 
     #[test]
     fn predicate_threshold() {
-        let words = [0b0111_0u64];
+        let words = [0b0_1110_u64];
         assert!(has_one_run_longer_than(&words, 5, 2));
         assert!(!has_one_run_longer_than(&words, 5, 3));
     }
 
     #[test]
     fn runs_iterator_enumerates_maximal_runs() {
-        let words = [0b1_0011_0111_0u64];
+        let words = [0b10_0110_1110_u64];
         let runs: Vec<_> = OneRuns::new(&words, 10).collect();
         assert_eq!(runs, vec![(1, 3), (5, 2), (9, 1)]);
     }
@@ -199,7 +203,7 @@ mod tests {
 
     #[test]
     fn agreement_with_slow_reference() {
-        let mut state = 0x1234_5678_9ABC_DEFu64;
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
         for _ in 0..200 {
             // xorshift
             state ^= state << 13;

@@ -71,11 +71,7 @@ pub fn flips_until_run<R: Rng + ?Sized>(k: u32, rng: &mut R) -> u64 {
 /// # Panics
 ///
 /// Panics if `trials` is zero.
-pub fn monte_carlo_expected_flips<R: Rng + ?Sized>(
-    k: u32,
-    trials: u64,
-    rng: &mut R,
-) -> (f64, f64) {
+pub fn monte_carlo_expected_flips<R: Rng + ?Sized>(k: u32, trials: u64, rng: &mut R) -> (f64, f64) {
     assert!(trials > 0, "at least one trial required");
     let mut sum = 0.0;
     let mut sum_sq = 0.0;

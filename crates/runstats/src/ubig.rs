@@ -449,7 +449,10 @@ mod tests {
     #[test]
     fn hex_and_binary_formatting() {
         let v = big(0xABCD_0123_4567_89EF_0011_2233u128);
-        assert_eq!(format!("{v:x}"), format!("{:x}", 0xABCD_0123_4567_89EF_0011_2233u128));
+        assert_eq!(
+            format!("{v:x}"),
+            format!("{:x}", 0xABCD_0123_4567_89EF_0011_2233u128)
+        );
         let w = big(0b1011);
         assert_eq!(format!("{w:b}"), "1011");
     }

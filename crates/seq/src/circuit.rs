@@ -129,9 +129,8 @@ impl SeqBuilder {
             if !names.insert(name.clone()) {
                 return Err(SealCircuitError::DuplicateRegister { name });
             }
-            let d = d.ok_or_else(|| SealCircuitError::UnconnectedRegister {
-                name: name.clone(),
-            })?;
+            let d =
+                d.ok_or_else(|| SealCircuitError::UnconnectedRegister { name: name.clone() })?;
             regs.push(Register { name, q, d, init });
         }
         Ok(SeqCircuit {
@@ -183,7 +182,7 @@ mod tests {
         b.connect(q1, q0);
         let c = b.seal().expect("sealed");
         assert_eq!(c.registers().len(), 2);
-        assert_eq!(c.registers()[1].init, true);
+        assert!(c.registers()[1].init);
         assert_eq!(c.registers()[1].d, q0);
         assert_eq!(c.free_inputs().count(), 0);
     }
@@ -206,7 +205,9 @@ mod tests {
         let _ = b.register("lonely", false);
         assert_eq!(
             b.seal().unwrap_err(),
-            SealCircuitError::UnconnectedRegister { name: "lonely".into() }
+            SealCircuitError::UnconnectedRegister {
+                name: "lonely".into()
+            }
         );
     }
 

@@ -25,8 +25,7 @@ pub fn to_verilog_seq(circuit: &SeqCircuit) -> String {
     let wrapper_name = format!("{core_name}_seq");
 
     // External interface: the core's free inputs plus all outputs.
-    let free_inputs: Vec<(String, vlsa_netlist::NetId)> =
-        circuit.free_inputs().cloned().collect();
+    let free_inputs: Vec<(String, vlsa_netlist::NetId)> = circuit.free_inputs().cloned().collect();
     let inputs = group_ports(&free_inputs);
     let outputs = group_ports(circuit.comb().primary_outputs());
 
@@ -64,12 +63,18 @@ pub fn to_verilog_seq(circuit: &SeqCircuit) -> String {
         .iter()
         .chain(&outputs)
         .map(|p| format!(".{0}({0})", p.name()))
-        .chain(circuit.registers().iter().map(|reg| {
-            format!(".__reg_{0}(r_{0})", legalize(&reg.name))
-        }))
-        .chain(circuit.registers().iter().map(|reg| {
-            format!(".__d_{0}(d_{0})", legalize(&reg.name))
-        }))
+        .chain(
+            circuit
+                .registers()
+                .iter()
+                .map(|reg| format!(".__reg_{0}(r_{0})", legalize(&reg.name))),
+        )
+        .chain(
+            circuit
+                .registers()
+                .iter()
+                .map(|reg| format!(".__d_{0}(d_{0})", legalize(&reg.name))),
+        )
         .collect();
     let _ = writeln!(out, "  {core_name}_with_d core({});", conns.join(", "));
     let _ = writeln!(out, "  always @(posedge clk) begin");
@@ -97,8 +102,10 @@ pub fn to_verilog_seq(circuit: &SeqCircuit) -> String {
     }
     // Rename by emitting and patching the module name (Netlist names are
     // immutable once built).
-    let with_d_text = to_verilog(&with_d)
-        .replace(&format!("module {core_name}("), &format!("module {core_name}_with_d("));
+    let with_d_text = to_verilog(&with_d).replace(
+        &format!("module {core_name}("),
+        &format!("module {core_name}_with_d("),
+    );
 
     format!("{with_d_text}\n{out}")
 }

@@ -116,11 +116,7 @@ mod tests {
     /// Drives the gate-level Fig. 6 with an operand stream (holding
     /// inputs during stalls) and returns per-cycle (sum, valid, stall)
     /// for lane 0.
-    fn drive(
-        circuit: &SeqCircuit,
-        nbits: usize,
-        ops: &[(u64, u64)],
-    ) -> Vec<(u64, bool, bool)> {
+    fn drive(circuit: &SeqCircuit, nbits: usize, ops: &[(u64, u64)]) -> Vec<(u64, bool, bool)> {
         let mut sim = SeqSim::new(circuit);
         let mut out = Vec::new();
         let mut idx = 0;
@@ -131,8 +127,14 @@ mod tests {
             let (a, b) = ops[idx];
             let mut inputs = HashMap::new();
             for i in 0..nbits {
-                inputs.insert(format!("a[{i}]"), if (a >> i) & 1 == 1 { u64::MAX } else { 0 });
-                inputs.insert(format!("b[{i}]"), if (b >> i) & 1 == 1 { u64::MAX } else { 0 });
+                inputs.insert(
+                    format!("a[{i}]"),
+                    if (a >> i) & 1 == 1 { u64::MAX } else { 0 },
+                );
+                inputs.insert(
+                    format!("b[{i}]"),
+                    if (b >> i) & 1 == 1 { u64::MAX } else { 0 },
+                );
             }
             let outputs = sim.step(&inputs).expect("step");
             let mut sum = 0u64;

@@ -142,8 +142,7 @@ mod tests {
         let mut sim = SeqSim::new(&c);
         for expected in 0u64..16 {
             let out = sim.step(&HashMap::new()).expect("step");
-            let value =
-                (out["v0"] & 1) | ((out["v1"] & 1) << 1) | ((out["v2"] & 1) << 2);
+            let value = (out["v0"] & 1) | ((out["v1"] & 1) << 1) | ((out["v2"] & 1) << 2);
             assert_eq!(value, expected % 8, "cycle {expected}");
         }
         assert_eq!(sim.cycles(), 16);

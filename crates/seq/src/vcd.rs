@@ -50,7 +50,12 @@ impl<'a> VcdRecorder<'a> {
             .iter()
             .map(|(name, _)| name.clone())
             .collect();
-        signals.extend(circuit.registers().iter().map(|r| format!("reg:{}", r.name)));
+        signals.extend(
+            circuit
+                .registers()
+                .iter()
+                .map(|r| format!("reg:{}", r.name)),
+        );
         VcdRecorder {
             sim: SeqSim::new(circuit),
             signals,

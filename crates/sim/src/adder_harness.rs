@@ -50,8 +50,16 @@ pub fn adder_sums(
     nbits: usize,
     pairs: &[(WideWord, WideWord)],
 ) -> Result<Vec<WideWord>, SimulateError> {
+    let lane_hist = vlsa_telemetry::is_enabled().then(|| {
+        vlsa_telemetry::recorder()
+            .histogram("vlsa.sim.lanes_per_pass", vlsa_telemetry::DEFAULT_BUCKETS)
+    });
     let mut sums = Vec::with_capacity(pairs.len());
     for chunk in pairs.chunks(64) {
+        if let Some(hist) = &lane_hist {
+            // Lane utilization: a partial tail chunk wastes 64−len lanes.
+            hist.record(chunk.len() as u64);
+        }
         let a_ops: Vec<WideWord> = chunk.iter().map(|(a, _)| a.clone()).collect();
         let b_ops: Vec<WideWord> = chunk.iter().map(|(_, b)| b.clone()).collect();
         let mut stim = Stimulus::new();
@@ -82,8 +90,7 @@ pub fn check_adder(
         if *got != expected {
             report.mismatches += 1;
             if report.first_failure.is_none() {
-                report.first_failure =
-                    Some((a.clone(), b.clone(), got.clone(), expected));
+                report.first_failure = Some((a.clone(), b.clone(), got.clone(), expected));
             }
         }
     }

@@ -119,7 +119,9 @@ impl Waves<'_> {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, net)| self.net(*net))
-            .ok_or_else(|| SimulateError::UnknownPort { name: name.to_string() })
+            .ok_or_else(|| SimulateError::UnknownPort {
+                name: name.to_string(),
+            })
     }
 
     /// Collects output bus `name[0..width]` into per-bit lane words.
@@ -167,6 +169,8 @@ pub fn simulate<'a>(netlist: &'a Netlist, stimulus: &Stimulus) -> Result<Waves<'
             return Err(SimulateError::UnknownPort { name: name.clone() });
         }
     }
+    let telemetry_on = vlsa_telemetry::is_enabled();
+    let sweep_start = telemetry_on.then(std::time::Instant::now);
     let mut values = vec![0u64; netlist.len()];
     for (name, net) in netlist.primary_inputs() {
         let lanes = stimulus
@@ -175,6 +179,7 @@ pub fn simulate<'a>(netlist: &'a Netlist, stimulus: &Stimulus) -> Result<Waves<'
         values[net.index()] = lanes;
     }
     let mut input_buf = Vec::with_capacity(4);
+    let mut gate_evals = 0u64;
     for (id, node) in netlist.nodes() {
         match node.kind() {
             CellKind::Input => {}
@@ -182,8 +187,23 @@ pub fn simulate<'a>(netlist: &'a Netlist, stimulus: &Stimulus) -> Result<Waves<'
                 input_buf.clear();
                 input_buf.extend(node.inputs().iter().map(|i| values[i.index()]));
                 values[id.index()] = kind.eval_words(&input_buf);
+                gate_evals += 1;
             }
         }
+    }
+    if let Some(start) = sweep_start {
+        let recorder = vlsa_telemetry::recorder();
+        recorder.counter("vlsa.sim.passes").incr();
+        recorder.counter("vlsa.sim.gate_evals").add(gate_evals);
+        recorder
+            .histogram(
+                "vlsa.sim.gate_evals_per_pass",
+                vlsa_telemetry::DEFAULT_BUCKETS,
+            )
+            .record(gate_evals);
+        recorder
+            .histogram("vlsa.sim.sweep_ns", vlsa_telemetry::DEFAULT_BUCKETS)
+            .record(start.elapsed().as_nanos() as u64);
     }
     Ok(Waves { netlist, values })
 }
@@ -248,7 +268,9 @@ mod tests {
         stim.set("a", 1).set("b", 1).set("cin", 0).set("bogus", 1);
         assert_eq!(
             simulate(&nl, &stim),
-            Err(SimulateError::UnknownPort { name: "bogus".to_string() })
+            Err(SimulateError::UnknownPort {
+                name: "bogus".to_string()
+            })
         );
     }
 

@@ -62,10 +62,26 @@ impl From<SimulateError> for EquivError {
 }
 
 fn check_interfaces(left: &Netlist, right: &Netlist) -> Result<(), EquivError> {
-    let li: BTreeSet<_> = left.primary_inputs().iter().map(|(n, _)| n.clone()).collect();
-    let ri: BTreeSet<_> = right.primary_inputs().iter().map(|(n, _)| n.clone()).collect();
-    let lo: BTreeSet<_> = left.primary_outputs().iter().map(|(n, _)| n.clone()).collect();
-    let ro: BTreeSet<_> = right.primary_outputs().iter().map(|(n, _)| n.clone()).collect();
+    let li: BTreeSet<_> = left
+        .primary_inputs()
+        .iter()
+        .map(|(n, _)| n.clone())
+        .collect();
+    let ri: BTreeSet<_> = right
+        .primary_inputs()
+        .iter()
+        .map(|(n, _)| n.clone())
+        .collect();
+    let lo: BTreeSet<_> = left
+        .primary_outputs()
+        .iter()
+        .map(|(n, _)| n.clone())
+        .collect();
+    let ro: BTreeSet<_> = right
+        .primary_outputs()
+        .iter()
+        .map(|(n, _)| n.clone())
+        .collect();
     let mut differing: Vec<String> = li.symmetric_difference(&ri).cloned().collect();
     differing.extend(lo.symmetric_difference(&ro).cloned());
     if differing.is_empty() {
@@ -125,7 +141,10 @@ pub fn equiv_exhaustive(left: &Netlist, right: &Netlist) -> Result<(), EquivErro
         .iter()
         .map(|(n, _)| n.clone())
         .collect();
-    assert!(inputs.len() <= 16, "exhaustive equivalence limited to 16 inputs");
+    assert!(
+        inputs.len() <= 16,
+        "exhaustive equivalence limited to 16 inputs"
+    );
     let total: u64 = 1 << inputs.len();
     let mut assignment = 0u64;
     while assignment < total {
@@ -139,7 +158,11 @@ pub fn equiv_exhaustive(left: &Netlist, right: &Netlist) -> Result<(), EquivErro
             }
             stim.set(name.clone(), word);
         }
-        let used = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+        let used = if lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
         compare_under(left, right, &stim, used)?;
         assignment += lanes;
     }
@@ -259,7 +282,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = EquivError::InterfaceMismatch { differing: vec!["p".into()] };
+        let e = EquivError::InterfaceMismatch {
+            differing: vec!["p".into()],
+        };
         assert!(e.to_string().contains("p"));
     }
 }

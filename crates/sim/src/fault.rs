@@ -100,7 +100,9 @@ impl FaultWaves<'_> {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, net)| self.net(*net))
-            .ok_or_else(|| SimulateError::UnknownPort { name: name.to_string() })
+            .ok_or_else(|| SimulateError::UnknownPort {
+                name: name.to_string(),
+            })
     }
 }
 

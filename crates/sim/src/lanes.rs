@@ -180,8 +180,8 @@ mod tests {
     fn wide_add_truncates_to_nbits() {
         let s = wide_add(&[0b1111], &[0b0001], 4);
         assert_eq!(s, vec![0]); // 16 mod 2^4
-        // All-ones + 1 wraps through both words; the final carry is lost
-        // and the high word is masked to nbits.
+                                // All-ones + 1 wraps through both words; the final carry is lost
+                                // and the high word is masked to nbits.
         let s = wide_add(&[u64::MAX, u64::MAX], &[1], 100);
         assert_eq!(s, vec![0, 0]);
     }

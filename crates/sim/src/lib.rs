@@ -30,17 +30,16 @@
 
 mod adder_harness;
 mod engine;
-mod fault;
 mod equiv;
+mod fault;
 mod lanes;
 
 pub use adder_harness::{
-    adder_sums, check_adder, check_adder_exhaustive, check_adder_random, random_pairs,
-    AdderReport,
+    adder_sums, check_adder, check_adder_exhaustive, check_adder_random, random_pairs, AdderReport,
 };
 pub use engine::{simulate, SimulateError, Stimulus, Waves};
-pub use fault::{fault_coverage, simulate_with_fault, FaultCoverage, FaultWaves, StuckAt};
 pub use equiv::{equiv_exhaustive, equiv_random, EquivError};
+pub use fault::{fault_coverage, simulate_with_fault, FaultCoverage, FaultWaves, StuckAt};
 pub use lanes::{pack_lanes, unpack_lanes, wide_add, wide_xor, WideWord};
 
 #[cfg(test)]

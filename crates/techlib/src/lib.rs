@@ -31,6 +31,6 @@ mod voltage;
 pub use liberty::ParseLibraryError;
 pub use library::{CellTiming, TechLibrary};
 pub use voltage::{
-    delay_factor_at_voltage, power_factor_at_voltage, voltage_for_delay_factor, ALPHA,
-    NOMINAL_VDD, THRESHOLD_V,
+    delay_factor_at_voltage, power_factor_at_voltage, voltage_for_delay_factor, ALPHA, NOMINAL_VDD,
+    THRESHOLD_V,
 };

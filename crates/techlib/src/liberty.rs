@@ -142,10 +142,12 @@ fn lex(text: &str) -> Vec<&str> {
 
 fn parse_number(attribute: &str, tokens: &mut Tokens) -> Result<f64, ParseLibraryError> {
     let lit = tokens.next()?;
-    let value = lit.parse::<f64>().map_err(|_| ParseLibraryError::BadNumber {
-        attribute: attribute.to_string(),
-        literal: lit.to_string(),
-    })?;
+    let value = lit
+        .parse::<f64>()
+        .map_err(|_| ParseLibraryError::BadNumber {
+            attribute: attribute.to_string(),
+            literal: lit.to_string(),
+        })?;
     tokens.expect(";")?;
     Ok(value)
 }
@@ -167,8 +169,10 @@ pub(crate) fn parse(text: &str) -> Result<TechLibrary, ParseLibraryError> {
             "output_load" => lib.output_load = parse_number("output_load", &mut tokens)?,
             "cell" => {
                 let cell_name = tokens.next()?.to_string();
-                let kind = CellKind::from_name(&cell_name)
-                    .ok_or(ParseLibraryError::UnknownCell { name: cell_name.clone() })?;
+                let kind =
+                    CellKind::from_name(&cell_name).ok_or(ParseLibraryError::UnknownCell {
+                        name: cell_name.clone(),
+                    })?;
                 tokens.expect("{")?;
                 let (mut area, mut effort, mut parasitic) = (None, None, None);
                 loop {
@@ -177,9 +181,7 @@ pub(crate) fn parse(text: &str) -> Result<TechLibrary, ParseLibraryError> {
                         "}" => break,
                         "area" => area = Some(parse_number("area", &mut tokens)?),
                         "effort" => effort = Some(parse_number("effort", &mut tokens)?),
-                        "parasitic" => {
-                            parasitic = Some(parse_number("parasitic", &mut tokens)?)
-                        }
+                        "parasitic" => parasitic = Some(parse_number("parasitic", &mut tokens)?),
                         other => {
                             return Err(ParseLibraryError::UnexpectedToken {
                                 found: other.to_string(),
@@ -273,7 +275,9 @@ mod tests {
         let text = "library t { cell flux { area 1; effort 1; parasitic 1; } }";
         assert_eq!(
             TechLibrary::from_liberty(text),
-            Err(ParseLibraryError::UnknownCell { name: "flux".to_string() })
+            Err(ParseLibraryError::UnknownCell {
+                name: "flux".to_string()
+            })
         );
     }
 
@@ -282,7 +286,10 @@ mod tests {
         let text = "library t { cell inv { area 1; parasitic 1; } }";
         assert!(matches!(
             TechLibrary::from_liberty(text),
-            Err(ParseLibraryError::MissingAttribute { attribute: "effort", .. })
+            Err(ParseLibraryError::MissingAttribute {
+                attribute: "effort",
+                ..
+            })
         ));
     }
 

@@ -101,9 +101,9 @@ impl TechLibrary {
 
     /// Whether every kind used by `netlist` is characterized.
     pub fn covers(&self, netlist: &Netlist) -> bool {
-        netlist.nodes().all(|(_, node)| {
-            !node.kind().is_gate() || self.cells.contains_key(&node.kind())
-        })
+        netlist
+            .nodes()
+            .all(|(_, node)| !node.kind().is_gate() || self.cells.contains_key(&node.kind()))
     }
 
     /// Stage delay in picoseconds of a gate of `kind` driving
@@ -255,13 +255,9 @@ mod tests {
         let lib = TechLibrary::umc180();
         // Same load: the AO21 carry operator is slower than plain AND2.
         let load = 4.0;
-        assert!(
-            lib.gate_delay_ps(CellKind::Ao21, load) > lib.gate_delay_ps(CellKind::And2, load)
-        );
+        assert!(lib.gate_delay_ps(CellKind::Ao21, load) > lib.gate_delay_ps(CellKind::And2, load));
         // Inverting forms are faster than their non-inverting composites.
-        assert!(
-            lib.gate_delay_ps(CellKind::Nand2, load) < lib.gate_delay_ps(CellKind::And2, load)
-        );
+        assert!(lib.gate_delay_ps(CellKind::Nand2, load) < lib.gate_delay_ps(CellKind::And2, load));
     }
 
     #[test]
@@ -302,7 +298,10 @@ mod tests {
             slow.gate_delay_ps(CellKind::Nand2, 2.0),
             1.5 * lib.gate_delay_ps(CellKind::Nand2, 2.0)
         );
-        assert_eq!(slow.cell(CellKind::Nand2).area, lib.cell(CellKind::Nand2).area);
+        assert_eq!(
+            slow.cell(CellKind::Nand2).area,
+            lib.cell(CellKind::Nand2).area
+        );
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Atomic scalar instruments: monotonic counters and settable gauges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// All operations are relaxed atomics: the counter is a statistic, not a
+/// synchronization primitive, and the disabled path must stay as close
+/// to free as possible.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-writer-wins numeric gauge (stored as `f64` bits).
+///
+/// Used for derived values sampled at the end of a run — mean queue
+/// occupancy, utilization ratios — rather than hot-path event counts.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Gauge {
+        Gauge::new()
+    }
+}
+
+impl Gauge {
+    /// A gauge starting at `0.0`.
+    pub const fn new() -> Gauge {
+        Gauge {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `value` if it is larger than the current
+    /// reading (for tracking maxima across threads).
+    pub fn set_max(&self, value: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        while value > f64::from_bits(current) {
+            match self.bits.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The current reading.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::new();
+        g.set(1.5);
+        g.set(-3.0);
+        assert_eq!(g.get(), -3.0);
+    }
+
+    #[test]
+    fn gauge_set_max_only_raises() {
+        let g = Gauge::new();
+        g.set_max(2.0);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 2.0);
+        g.set_max(5.0);
+        assert_eq!(g.get(), 5.0);
+    }
+
+    #[test]
+    fn counter_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+}

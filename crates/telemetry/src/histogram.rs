@@ -1,0 +1,219 @@
+//! Fixed-bucket histograms over unsigned integer observations.
+//!
+//! Bucket bounds are chosen at registration time and never reallocated,
+//! so recording is a binary search plus three relaxed atomic updates —
+//! safe to call from hot simulation loops.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+/// Default bucket upper bounds, a coarse power-of-two ladder that suits
+/// cycle counts, run lengths, and nanosecond timings alike.
+pub const DEFAULT_BUCKETS: &[u64] = &[
+    1,
+    2,
+    4,
+    8,
+    16,
+    32,
+    64,
+    128,
+    256,
+    512,
+    1024,
+    4096,
+    16384,
+    65536,
+    1 << 20,
+];
+
+/// A histogram with immutable upper-inclusive bucket bounds plus an
+/// overflow bucket, tracking count, sum, min, and max.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Ascending inclusive upper bounds; observations above the last
+    /// bound land in `overflow`.
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending inclusive upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// A histogram over [`DEFAULT_BUCKETS`].
+    pub fn with_default_buckets() -> Histogram {
+        Histogram::new(DEFAULT_BUCKETS)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        match self.bounds.binary_search(&value) {
+            Ok(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            Err(i) if i < self.buckets.len() => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation, if any were recorded.
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest observation, if any were recorded.
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Mean observation, if any were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            None
+        } else {
+            Some(self.sum() as f64 / n as f64)
+        }
+    }
+
+    /// Per-bucket `(inclusive_upper_bound, count)` pairs, excluding the
+    /// overflow bucket.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.bounds
+            .iter()
+            .zip(&self.buckets)
+            .map(|(bound, n)| (*bound, n.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Observations above the last bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot as a JSON object (the shape documented in
+    /// `EXPERIMENTS.md` for `BENCH_*.json` files).
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets()
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(le, n)| Json::obj().set("le", le).set("count", n))
+            .collect();
+        let mut doc = Json::obj()
+            .set("count", self.count())
+            .set("sum", self.sum())
+            .set("buckets", Json::Arr(buckets))
+            .set("overflow", self.overflow());
+        if let (Some(min), Some(max), Some(mean)) = (self.min(), self.max(), self.mean()) {
+            doc = doc.set("min", min).set("max", max).set("mean", mean);
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_buckets() {
+        let h = Histogram::new(&[1, 2, 4]);
+        h.record(0); // le=1
+        h.record(1); // le=1 (inclusive)
+        h.record(2); // le=2
+        h.record(3); // le=4
+        h.record(9); // overflow
+        let buckets = h.buckets();
+        assert_eq!(buckets, vec![(1, 2), (2, 1), (4, 1)]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 15);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(9));
+        assert_eq!(h.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extrema() {
+        let h = Histogram::with_default_buckets();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[4, 2]);
+    }
+
+    #[test]
+    fn json_snapshot_round_trips() {
+        let h = Histogram::new(&[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(500);
+        let doc = h.to_json();
+        let parsed = Json::parse(&doc.to_string()).expect("valid JSON");
+        assert_eq!(parsed.get("count").and_then(Json::as_u64), Some(3));
+        assert_eq!(parsed.get("overflow").and_then(Json::as_u64), Some(1));
+        let buckets = parsed
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .expect("buckets");
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].get("le").and_then(Json::as_u64), Some(10));
+    }
+}

@@ -1,0 +1,256 @@
+//! # vlsa-telemetry
+//!
+//! Zero-dependency observability substrate for the VLSA workspace:
+//! atomic [`Counter`]s, last-write [`Gauge`]s, fixed-bucket
+//! [`Histogram`]s, a process-global [`Registry`], and pluggable event
+//! [`Sink`]s.
+//!
+//! ## Design rules
+//!
+//! - **Off by default, ~free when off.** Instrumented code guards every
+//!   hook with [`is_enabled`], a single relaxed atomic load. No
+//!   allocation, locking, or formatting happens unless someone called
+//!   [`enable`].
+//! - **Names are `vlsa.<crate>.<metric>`** — e.g. `vlsa.core.adds`,
+//!   `vlsa.pipeline.queue_dropped`, `vlsa.sim.gate_evals`.
+//! - **No dependencies.** The build environment is offline; everything
+//!   here (including JSON, see [`json::Json`]) is hand-rolled std-only.
+//!
+//! ## Usage
+//!
+//! ```
+//! vlsa_telemetry::enable();
+//! let recorder = vlsa_telemetry::recorder();
+//! recorder.counter("vlsa.example.events").incr();
+//! let snapshot = recorder.snapshot();
+//! assert!(snapshot.to_string().contains("vlsa.example.events"));
+//! vlsa_telemetry::disable();
+//! ```
+//!
+//! Tests that need isolation from the process-global registry swap in
+//! their own with a [`ScopedRecorder`] guard.
+
+pub mod counter;
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod sink;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{Histogram, DEFAULT_BUCKETS};
+pub use json::{Json, JsonError};
+pub use registry::Registry;
+pub use sink::{Event, JsonlSink, NullSink, Sink, StderrSink};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn global_registry() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+}
+
+fn active_registry() -> &'static RwLock<Option<Arc<Registry>>> {
+    static ACTIVE: OnceLock<RwLock<Option<Arc<Registry>>>> = OnceLock::new();
+    ACTIVE.get_or_init(|| RwLock::new(None))
+}
+
+fn active_sink() -> &'static RwLock<Option<Arc<dyn Sink>>> {
+    static SINK: OnceLock<RwLock<Option<Arc<dyn Sink>>>> = OnceLock::new();
+    SINK.get_or_init(|| RwLock::new(None))
+}
+
+/// Turns telemetry collection on process-wide.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns telemetry collection off process-wide.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether telemetry is currently enabled.
+///
+/// This is the guard instrumented code checks before touching any
+/// instrument: one relaxed atomic load.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The registry instrumented code should record into: the scoped
+/// registry if a [`ScopedRecorder`] is live, the process-global one
+/// otherwise.
+pub fn recorder() -> Arc<Registry> {
+    if let Some(scoped) = active_registry().read().expect("telemetry lock").as_ref() {
+        return Arc::clone(scoped);
+    }
+    Arc::clone(global_registry())
+}
+
+/// Installs `sink` as the receiver for [`emit`]ted events, returning
+/// the previous sink (if any).
+pub fn set_sink(sink: Arc<dyn Sink>) -> Option<Arc<dyn Sink>> {
+    active_sink().write().expect("telemetry lock").replace(sink)
+}
+
+/// Removes the installed sink, returning it.
+pub fn clear_sink() -> Option<Arc<dyn Sink>> {
+    active_sink().write().expect("telemetry lock").take()
+}
+
+/// Delivers an event to the installed sink. No-op while telemetry is
+/// disabled or no sink is installed.
+pub fn emit(event: Event) {
+    if !is_enabled() {
+        return;
+    }
+    let sink = {
+        let guard = active_sink().read().expect("telemetry lock");
+        guard.as_ref().map(Arc::clone)
+    };
+    if let Some(sink) = sink {
+        sink.event(&event);
+    }
+}
+
+/// Guard that redirects [`recorder`] to a private [`Registry`] for its
+/// lifetime, then restores the previous target.
+///
+/// The redirection is process-global (telemetry has no notion of which
+/// thread produced a sample), so concurrent scopes on different threads
+/// interleave; tests that rely on exact counts should serialize.
+#[derive(Debug)]
+pub struct ScopedRecorder {
+    registry: Arc<Registry>,
+    previous: Option<Arc<Registry>>,
+}
+
+impl ScopedRecorder {
+    /// Redirects [`recorder`] to a fresh registry and enables
+    /// telemetry.
+    pub fn install() -> ScopedRecorder {
+        let registry = Arc::new(Registry::new());
+        let previous = active_registry()
+            .write()
+            .expect("telemetry lock")
+            .replace(Arc::clone(&registry));
+        enable();
+        ScopedRecorder { registry, previous }
+    }
+
+    /// The registry this scope records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Snapshot of everything recorded in this scope so far.
+    pub fn snapshot(&self) -> Json {
+        self.registry.snapshot()
+    }
+}
+
+impl Drop for ScopedRecorder {
+    fn drop(&mut self) {
+        let mut active = active_registry().write().expect("telemetry lock");
+        *active = self.previous.take();
+        if active.is_none() {
+            disable();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Global-state tests must not interleave.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn disabled_by_default_until_enabled() {
+        let _guard = serial();
+        disable();
+        assert!(!is_enabled());
+        enable();
+        assert!(is_enabled());
+        disable();
+    }
+
+    #[test]
+    fn scoped_recorder_isolates_and_restores() {
+        let _guard = serial();
+        disable();
+        let global_before = recorder().counter_value("vlsa.test.scoped");
+        {
+            let scope = ScopedRecorder::install();
+            assert!(is_enabled());
+            recorder().counter("vlsa.test.scoped").add(5);
+            assert_eq!(scope.registry().counter_value("vlsa.test.scoped"), 5);
+        }
+        assert!(!is_enabled());
+        // The global registry never saw the scoped samples.
+        assert_eq!(recorder().counter_value("vlsa.test.scoped"), global_before);
+    }
+
+    #[test]
+    fn nested_scopes_restore_in_order() {
+        let _guard = serial();
+        let outer = ScopedRecorder::install();
+        recorder().counter("vlsa.test.nest").add(1);
+        {
+            let inner = ScopedRecorder::install();
+            recorder().counter("vlsa.test.nest").add(10);
+            assert_eq!(inner.registry().counter_value("vlsa.test.nest"), 10);
+        }
+        recorder().counter("vlsa.test.nest").add(1);
+        assert_eq!(outer.registry().counter_value("vlsa.test.nest"), 2);
+        drop(outer);
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn emit_reaches_installed_sink_only_when_enabled() {
+        let _guard = serial();
+        #[derive(Default)]
+        struct CountingSink(Counter);
+        impl Sink for CountingSink {
+            fn event(&self, _event: &Event) {
+                self.0.incr();
+            }
+        }
+        let sink = Arc::new(CountingSink::default());
+        let previous = set_sink(Arc::clone(&sink) as Arc<dyn Sink>);
+        disable();
+        emit(Event::Note {
+            source: "vlsa.test".into(),
+            text: "dropped".into(),
+        });
+        assert_eq!(sink.0.get(), 0);
+        enable();
+        emit(Event::Note {
+            source: "vlsa.test".into(),
+            text: "seen".into(),
+        });
+        assert_eq!(sink.0.get(), 1);
+        disable();
+        match previous {
+            Some(p) => {
+                set_sink(p);
+            }
+            None => {
+                clear_sink();
+            }
+        }
+    }
+}

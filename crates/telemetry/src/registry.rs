@@ -1,0 +1,169 @@
+//! The metrics registry: named instruments, created on first use.
+//!
+//! Names follow the workspace scheme `vlsa.<crate>.<metric>` (e.g.
+//! `vlsa.core.adds`, `vlsa.pipeline.queue_dropped`). Lookups take a
+//! read lock on the happy path; instrument handles are `Arc`s, so hot
+//! loops should resolve them once and update lock-free afterwards.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::Histogram;
+use crate::json::Json;
+
+/// A collection of named counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T, F: FnOnce() -> T>(
+    map: &RwLock<BTreeMap<String, Arc<T>>>,
+    name: &str,
+    make: F,
+) -> Arc<T> {
+    if let Some(found) = map.read().expect("registry lock").get(name) {
+        return Arc::clone(found);
+    }
+    let mut writer = map.write().expect("registry lock");
+    // Double-check: another thread may have inserted between the locks.
+    Arc::clone(
+        writer
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(make())),
+    )
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name, Counter::new)
+    }
+
+    /// The gauge named `name`, created at `0.0` on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name, Gauge::new)
+    }
+
+    /// The histogram named `name`, created over `bounds` on first use.
+    ///
+    /// The bounds of an already-registered histogram are kept; callers
+    /// racing with different bounds get the first registration.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name, || Histogram::new(bounds))
+    }
+
+    /// Reads an already-registered counter's value (0 if absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .map_or(0, |c| c.get())
+    }
+
+    /// Reads an already-registered gauge's value (0.0 if absent).
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        self.gauges
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .map_or(0.0, |g| g.get())
+    }
+
+    /// Sorted names of all registered instruments.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        names.extend(self.counters.read().expect("registry lock").keys().cloned());
+        names.extend(self.gauges.read().expect("registry lock").keys().cloned());
+        names.extend(
+            self.histograms
+                .read()
+                .expect("registry lock")
+                .keys()
+                .cloned(),
+        );
+        names.sort();
+        names
+    }
+
+    /// Snapshot of every instrument as a JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    pub fn snapshot(&self) -> Json {
+        let mut counters = Json::obj();
+        for (name, c) in self.counters.read().expect("registry lock").iter() {
+            counters = counters.set(name.clone(), c.get());
+        }
+        let mut gauges = Json::obj();
+        for (name, g) in self.gauges.read().expect("registry lock").iter() {
+            gauges = gauges.set(name.clone(), g.get());
+        }
+        let mut histograms = Json::obj();
+        for (name, h) in self.histograms.read().expect("registry lock").iter() {
+            histograms = histograms.set(name.clone(), h.to_json());
+        }
+        Json::obj()
+            .set("counters", counters)
+            .set("gauges", gauges)
+            .set("histograms", histograms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::DEFAULT_BUCKETS;
+
+    #[test]
+    fn instruments_are_created_once_and_shared() {
+        let r = Registry::new();
+        r.counter("vlsa.test.events").add(3);
+        r.counter("vlsa.test.events").add(4);
+        assert_eq!(r.counter_value("vlsa.test.events"), 7);
+        assert_eq!(r.counter_value("vlsa.test.absent"), 0);
+    }
+
+    #[test]
+    fn histogram_bounds_stick_to_first_registration() {
+        let r = Registry::new();
+        let h1 = r.histogram("vlsa.test.lat", &[1, 2]);
+        let h2 = r.histogram("vlsa.test.lat", DEFAULT_BUCKETS);
+        assert!(Arc::ptr_eq(&h1, &h2));
+        assert_eq!(h2.buckets().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_contains_all_sections() {
+        let r = Registry::new();
+        r.counter("vlsa.test.n").incr();
+        r.gauge("vlsa.test.g").set(0.25);
+        r.histogram("vlsa.test.h", &[8]).record(3);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.get("counters")
+                .and_then(|c| c.get("vlsa.test.n"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("gauges")
+                .and_then(|g| g.get("vlsa.test.g"))
+                .and_then(Json::as_f64),
+            Some(0.25)
+        );
+        let hist = snap
+            .get("histograms")
+            .and_then(|h| h.get("vlsa.test.h"))
+            .expect("hist");
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(r.names().len(), 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Event sinks: where out-of-band telemetry events go.
+//!
+//! Counters and histograms aggregate; events stream. Long-running
+//! experiments (the crypto key-recovery attack, large simulation
+//! sweeps) emit [`Event`]s so an attached [`Sink`] can show progress or
+//! log a machine-readable trail without the experiment knowing how.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// An out-of-band telemetry event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Incremental progress of a long-running experiment.
+    Progress {
+        /// Emitting component, e.g. `vlsa.crypto.attack`.
+        source: String,
+        /// Units of work finished so far.
+        done: u64,
+        /// Total units of work, if known (0 = unknown).
+        total: u64,
+    },
+    /// A free-form annotation tied to a component.
+    Note {
+        /// Emitting component.
+        source: String,
+        /// Human-readable text.
+        text: String,
+    },
+}
+
+impl Event {
+    /// The emitting component name.
+    pub fn source(&self) -> &str {
+        match self {
+            Event::Progress { source, .. } | Event::Note { source, .. } => source,
+        }
+    }
+
+    /// The event as one JSON object.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Event::Progress {
+                source,
+                done,
+                total,
+            } => Json::obj()
+                .set("event", "progress")
+                .set("source", source.clone())
+                .set("done", *done)
+                .set("total", *total),
+            Event::Note { source, text } => Json::obj()
+                .set("event", "note")
+                .set("source", source.clone())
+                .set("text", text.clone()),
+        }
+    }
+}
+
+/// Receives telemetry events. Implementations must tolerate concurrent
+/// calls.
+pub trait Sink: Send + Sync {
+    /// Handles one event.
+    fn event(&self, event: &Event);
+}
+
+/// Discards every event.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn event(&self, _event: &Event) {}
+}
+
+/// Renders events human-readably on stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn event(&self, event: &Event) {
+        match event {
+            Event::Progress {
+                source,
+                done,
+                total,
+            } if *total > 0 => {
+                eprintln!("[{source}] {done}/{total}");
+            }
+            Event::Progress { source, done, .. } => {
+                eprintln!("[{source}] {done} done");
+            }
+            Event::Note { source, text } => {
+                eprintln!("[{source}] {text}");
+            }
+        }
+    }
+}
+
+/// Writes each event as one JSON line to a writer.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// A sink writing JSON lines to `writer`.
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner().expect("jsonl sink lock")
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn event(&self, event: &Event) {
+        let mut writer = self.writer.lock().expect("jsonl sink lock");
+        // Telemetry must never take the process down: IO errors are
+        // dropped on purpose.
+        let _ = writeln!(writer, "{}", event.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.event(&Event::Progress {
+            source: "vlsa.test".to_string(),
+            done: 1,
+            total: 4,
+        });
+        sink.event(&Event::Note {
+            source: "vlsa.test".to_string(),
+            text: "hi".to_string(),
+        });
+        let out = String::from_utf8(sink.into_inner()).expect("utf8");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).expect("line 0 is JSON");
+        assert_eq!(first.get("event").and_then(Json::as_str), Some("progress"));
+        assert_eq!(first.get("done").and_then(Json::as_u64), Some(1));
+        let second = Json::parse(lines[1]).expect("line 1 is JSON");
+        assert_eq!(second.get("text").and_then(Json::as_str), Some("hi"));
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = Event::Note {
+            source: "vlsa.x".to_string(),
+            text: "t".to_string(),
+        };
+        assert_eq!(e.source(), "vlsa.x");
+        NullSink.event(&e);
+    }
+}

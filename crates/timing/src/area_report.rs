@@ -32,7 +32,11 @@ impl AreaReport {
 
 impl fmt::Display for AreaReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "area: {:.1} NAND2e across {} gates", self.total, self.gates)?;
+        writeln!(
+            f,
+            "area: {:.1} NAND2e across {} gates",
+            self.total, self.gates
+        )?;
         for (kind, a) in &self.by_kind {
             writeln!(f, "  {kind:>6}: {a:.1}")?;
         }
@@ -149,7 +153,9 @@ mod tests {
         let empty = TechLibrary::new("none", 10.0, 0.1, 4.0);
         assert!(matches!(
             area(&nl, &empty),
-            Err(TimingError::UncoveredCell { kind: CellKind::Maj3 })
+            Err(TimingError::UncoveredCell {
+                kind: CellKind::Maj3
+            })
         ));
     }
 }

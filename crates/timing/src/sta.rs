@@ -261,7 +261,12 @@ mod tests {
         nl.output("y", y);
         let empty = TechLibrary::new("none", 10.0, 0.1, 4.0);
         let err = analyze(&nl, &empty).unwrap_err();
-        assert_eq!(err, TimingError::UncoveredCell { kind: vlsa_netlist::CellKind::Not });
+        assert_eq!(
+            err,
+            TimingError::UncoveredCell {
+                kind: vlsa_netlist::CellKind::Not
+            }
+        );
         assert!(err.to_string().contains("inv"));
     }
 

@@ -16,14 +16,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let r = adder.add_u64(0x0123_4567_89AB_CDEF, 0x1111_2222_3333_4444);
-    println!("typical add : spec = {:#x}, exact = {:#x}, flagged = {}",
-        r.speculative, r.exact, r.error_detected);
+    println!(
+        "typical add : spec = {:#x}, exact = {:#x}, flagged = {}",
+        r.speculative, r.exact, r.error_detected
+    );
     assert!(r.is_correct());
 
     // An adversarial pair that carries across the whole word.
     let r = adder.add_u64(u64::MAX / 2, 1);
-    println!("worst case  : spec = {:#x}, exact = {:#x}, flagged = {}",
-        r.speculative, r.exact, r.error_detected);
+    println!(
+        "worst case  : spec = {:#x}, exact = {:#x}, flagged = {}",
+        r.speculative, r.exact, r.error_detected
+    );
     assert!(r.error_detected, "wrong results are always flagged");
 
     // --- 2. Gate level: generate the circuits and time them.
@@ -31,14 +35,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let window = adder.window();
     let aca = almost_correct_adder(64, window).with_fanout_limit(8);
     let det = error_detector(64, window).with_fanout_limit(8);
-    let exact = vlsa::adders::prefix_adder(64, vlsa::adders::PrefixArch::KoggeStone)
-        .with_fanout_limit(8);
+    let exact =
+        vlsa::adders::prefix_adder(64, vlsa::adders::PrefixArch::KoggeStone).with_fanout_limit(8);
 
     println!("\ncircuit            delay(ps)  area(NAND2e)  gates");
-    for (name, nl) in [("kogge-stone (exact)", &exact), ("aca", &aca), ("detector", &det)] {
+    for (name, nl) in [
+        ("kogge-stone (exact)", &exact),
+        ("aca", &aca),
+        ("detector", &det),
+    ] {
         let t = analyze(nl, &lib)?;
         let a = area(nl, &lib)?;
-        println!("{name:<18} {:>10.0} {:>13.0} {:>6}", t.max_delay_ps, a.total, a.gates);
+        println!(
+            "{name:<18} {:>10.0} {:>13.0} {:>6}",
+            t.max_delay_ps, a.total, a.gates
+        );
     }
     println!(
         "\nSpeculation pays: the ACA and the detector are both faster than the \

@@ -1,0 +1,214 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace uses.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This shim keeps `cargo bench` working with the
+//! same bench sources: each benchmark is warmed up, then timed over an
+//! adaptively-sized batch, and the mean time per iteration is printed as
+//! `group/name: <time>`. Statistical analysis, plots, and baselines are
+//! intentionally not implemented.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(120);
+
+/// Warm-up time per benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(20);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.label), f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, repeating it until the measurement target is reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: establish a rough per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or_default();
+        let batch = if per_iter.is_zero() {
+            1024
+        } else {
+            (MEASURE_TARGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = batch;
+    }
+
+    /// Mean time per iteration of the last [`Bencher::iter`] run.
+    pub fn mean_ns(&self) -> f64 {
+        if self.iters_done == 0 {
+            0.0
+        } else {
+            self.elapsed.as_nanos() as f64 / self.iters_done as f64
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let ns = bencher.mean_ns();
+    let rendered = if ns >= 1_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!(
+        "{label:<48} {rendered:>12}/iter ({} iters)",
+        bencher.iters_done
+    );
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(21u64) * 2);
+        assert!(b.iters_done > 0);
+        assert!(b.mean_ns() >= 0.0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("trivial", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &v| {
+            b.iter(|| black_box(v) * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,560 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This shim keeps property tests source-compatible:
+//! the [`proptest!`] macro runs each property over a deterministic
+//! stream of pseudo-random inputs (seeded per test name), strategies
+//! are plain uniform samplers, and failures panic with the rendered
+//! message. Shrinking and persisted regression files are intentionally
+//! not implemented — a failing case prints its inputs via the assert
+//! message instead.
+
+use rand::{Rng, SeedableRng};
+
+pub use rand::rngs::StdRng as TestRng;
+
+/// Number of cases run when a `proptest!` block sets no explicit
+/// [`ProptestConfig`].
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Per-block configuration (only `cases` is honoured).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Rejects the current case with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical uniform strategy, via [`any`].
+pub trait Arbitrary {
+    /// Draws one uniform value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_std {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_std!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f64);
+
+macro_rules! impl_arbitrary_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+impl_arbitrary_tuple!(A);
+impl_arbitrary_tuple!(A, B);
+impl_arbitrary_tuple!(A, B, C);
+impl_arbitrary_tuple!(A, B, C, D);
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical uniform strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as $wide;
+                let draw = <$wide as SampleWide>::draw(rng) % span;
+                self.start + draw as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as $wide;
+                if span == <$wide>::MAX {
+                    return <$wide as SampleWide>::draw(rng) as $t;
+                }
+                let draw = <$wide as SampleWide>::draw(rng) % (span + 1);
+                lo + draw as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeFrom<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                (self.start..=<$t>::MAX).generate(rng)
+            }
+        }
+    )*};
+}
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.gen::<u64>() >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        (f64::from(self.start)..f64::from(self.end)).generate(rng) as f32
+    }
+}
+
+/// Helper: a uniform draw wide enough for the range arithmetic.
+trait SampleWide {
+    fn draw(rng: &mut TestRng) -> Self;
+}
+
+impl SampleWide for u64 {
+    fn draw(rng: &mut TestRng) -> u64 {
+        rng.gen()
+    }
+}
+
+impl SampleWide for u128 {
+    fn draw(rng: &mut TestRng) -> u128 {
+        rng.gen()
+    }
+}
+
+impl_range_strategy!(u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64, u128 => u128);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Rng, Strategy, TestRng};
+
+    /// An inclusive length range for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> SizeRange {
+            SizeRange { min: len, max: len }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy for `Vec`s with lengths drawn from a [`SizeRange`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// Generates `Vec`s of `element` with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.len.min == self.len.max {
+                self.len.min
+            } else {
+                let span = (self.len.max - self.len.min) as u64 + 1;
+                self.len.min + (rng.gen_range(0..span)) as usize
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample`).
+pub mod sample {
+    use super::{Rng, Strategy, TestRng};
+
+    /// A strategy choosing uniformly from a fixed set.
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Chooses uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: &[T]) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select {
+            options: options.to_vec(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
+/// An object-safe strategy, for [`prop_oneof!`].
+pub trait DynStrategy<T> {
+    /// Draws one value.
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A union of same-valued strategies, chosen uniformly per case.
+pub struct Union<T> {
+    options: Vec<Box<dyn DynStrategy<T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over boxed strategies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn DynStrategy<T>>>) -> Self {
+        assert!(!options.is_empty(), "union requires at least one strategy");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len() as u64) as usize;
+        self.options[i].generate_dyn(rng)
+    }
+}
+
+/// Deterministic per-test RNG: every run of the same property sees the
+/// same case stream.
+pub fn test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name keeps streams distinct across tests.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// Chooses one of several strategies (all yielding the same type)
+/// uniformly per generated case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($strategy) as Box<dyn $crate::DynStrategy<_>>),+])
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body
+/// runs [`ProptestConfig::cases`] times over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(
+                    stringify!($name),
+                    $config,
+                    |__rng| {
+                        $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)*
+                        let mut __case = move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::core::result::Result::Ok(())
+                        };
+                        __case()
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),*) $body
+            )*
+        }
+    };
+}
+
+/// Drives one property over its case stream (used by [`proptest!`]).
+pub fn run_property(
+    name: &str,
+    config: ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = test_rng(name);
+    for i in 0..config.cases {
+        if let Err(e) = case(&mut rng) {
+            panic!("property `{name}` failed at case {i}/{}: {e}", config.cases);
+        }
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_any_stay_in_bounds() {
+        let mut rng = super::test_rng("ranges");
+        for _ in 0..200 {
+            let a = Strategy::generate(&(3usize..7), &mut rng);
+            assert!((3..7).contains(&a));
+            let b = Strategy::generate(&(1u64..=3), &mut rng);
+            assert!((1..=3).contains(&b));
+            let c = Strategy::generate(&(0..u128::MAX / 2), &mut rng);
+            assert!(c < u128::MAX / 2);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_every_option() {
+        let strategy = prop_oneof![Just(1u32), Just(2u32), (10u32..12).prop_map(|v| v)];
+        let mut rng = super::test_rng("oneof");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(Strategy::generate(&strategy, &mut rng));
+        }
+        assert!(seen.contains(&1u32) && seen.contains(&2u32) && seen.contains(&10u32));
+    }
+
+    #[test]
+    fn collection_and_select() {
+        let mut rng = super::test_rng("vec");
+        let v = Strategy::generate(&crate::collection::vec(any::<u64>(), 5), &mut rng);
+        assert_eq!(v.len(), 5);
+        let s = Strategy::generate(&crate::sample::select(&["a", "b"]), &mut rng);
+        assert!(s == "a" || s == "b");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_asserts(a in any::<u64>(), b in 1u64..100) {
+            prop_assert!((1..100).contains(&b));
+            prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a, "round trip a={}", a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config_runs(x in any::<bool>()) {
+            prop_assert_eq!(u8::from(x) & 1, u8::from(x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        super::run_property("doomed", ProptestConfig::with_cases(3), |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}

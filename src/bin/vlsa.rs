@@ -77,12 +77,14 @@ impl Args {
 /// Loads a netlist from `--load` or builds it from `--arch`/`--bits`.
 fn resolve_circuit(args: &Args) -> Result<Netlist, String> {
     if let Some(path) = args.options.get("load") {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         return Netlist::from_vnet(&text).map_err(|e| format!("{path}: {e}"));
     }
     let bits = args.require_usize("bits")?;
-    let arch = args.options.get("arch").ok_or("missing --arch (or --load)")?;
+    let arch = args
+        .options
+        .get("arch")
+        .ok_or("missing --arch (or --load)")?;
     build_circuit(arch, bits, args.usize_opt("window")?)
 }
 
@@ -117,8 +119,8 @@ fn load_library(args: &Args) -> Result<TechLibrary, String> {
     match args.options.get("lib") {
         None => Ok(TechLibrary::umc180()),
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             TechLibrary::from_liberty(&text).map_err(|e| format!("{path}: {e}"))
         }
     }
@@ -198,8 +200,8 @@ fn cmd_check(args: &Args) -> Result<(), String> {
         return Err("`check` compares sums; the detector has no `s` bus".into());
     }
     let mut rng = rand::rngs::StdRng::seed_from_u64(2008);
-    let report = vlsa::sim::check_adder_random(&nl, bits, vectors, &mut rng)
-        .map_err(|e| e.to_string())?;
+    let report =
+        vlsa::sim::check_adder_random(&nl, bits, vectors, &mut rng).map_err(|e| e.to_string())?;
     println!(
         "{} / {} wrong (error rate {:.3e})",
         report.mismatches,
@@ -306,7 +308,10 @@ mod tests {
         }
         for arch in ["aca", "detector", "vlsa"] {
             assert!(build_circuit(arch, 16, Some(5)).is_ok(), "{arch}");
-            assert!(build_circuit(arch, 16, None).is_err(), "{arch} needs window");
+            assert!(
+                build_circuit(arch, 16, None).is_err(),
+                "{arch} needs window"
+            );
         }
         assert!(build_circuit("bogus", 16, None).is_err());
     }

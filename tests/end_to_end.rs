@@ -51,7 +51,8 @@ fn paper_design_flow_64_bits() {
         t_clock_ps: t_aca.max(t_det),
         t_traditional_ps: t_trad,
     };
-    assert!(eff.speedup(&trace) > 1.2, "speedup {}", eff.speedup(&trace));
+    let speedup = eff.speedup(&trace).expect("non-empty trace");
+    assert!(speedup > 1.2, "speedup {speedup}");
 }
 
 /// The gate-level error rate agrees with the software model and the
@@ -74,7 +75,10 @@ fn predictions_models_and_gates_agree() {
             .filter(|&&(a, b)| adder.add_u64(a, b).error_detected)
             .count() as f64
             / ops.len() as f64;
-        assert!(gate <= detected + 3e-3, "gate {gate} vs detected {detected}");
+        assert!(
+            gate <= detected + 3e-3,
+            "gate {gate} vs detected {detected}"
+        );
         assert!(
             (detected - predicted).abs() < 0.3 * predicted + 1e-3,
             "detected {detected} vs predicted {predicted} (n={nbits} w={window})"

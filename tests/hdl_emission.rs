@@ -66,7 +66,5 @@ fn buffered_netlists_emit_cleanly() {
     let v = to_verilog(&nl);
     assert_eq!(assign_count(&v), expected_assigns(&nl));
     // Buffers appear as plain copies.
-    assert!(nl
-        .nodes()
-        .any(|(_, node)| node.kind() == CellKind::Buf));
+    assert!(nl.nodes().any(|(_, node)| node.kind() == CellKind::Buf));
 }
