@@ -12,12 +12,22 @@
 //! * `enabled`: the same adds under a `ScopedRecorder`, paying for the
 //!   real counter updates.
 //!
+//! The same contract holds for the tracing layer, so two more variants
+//! mirror the span hook exactly as `vlsa-pipeline` deploys it (one
+//! `vlsa_trace::recorder()` resolution before the loop — a single
+//! relaxed atomic load when disabled — and a `None` check per op):
+//!
+//! * `trace_disabled`: spans compiled in, tracing off — the default.
+//! * `trace_enabled`: the same adds recording one span per op into a
+//!   scoped flight recorder, drained per iteration.
+//!
 //! Run with `cargo bench -p vlsa-bench --bench telemetry_overhead`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
 use vlsa_core::{windowed_sum_u64, SpeculativeAdder};
 use vlsa_telemetry::ScopedRecorder;
+use vlsa_trace::{ScopedTrace, TraceEvent};
 
 const NBITS: usize = 64;
 const WINDOW: usize = 18;
@@ -79,6 +89,47 @@ fn bench_overhead(c: &mut Criterion) {
                 black_box(spec.speculative);
             }
             errs
+        });
+        drop(scope);
+    });
+
+    // The pipeline's span hook, verbatim: resolve the recorder once,
+    // branch on it per op.
+    let traced_adds = |spans: &Option<std::sync::Arc<vlsa_trace::FlightRecorder>>| {
+        let mut errs = 0u64;
+        for (i, &(x, y)) in ops.iter().enumerate() {
+            let spec = adder.add_u64(black_box(x), black_box(y));
+            errs += u64::from(spec.error_detected);
+            if let Some(rec) = spans {
+                rec.record(
+                    TraceEvent::complete("op", "bench", i as u64, 1)
+                        .arg("a", x)
+                        .arg("b", y)
+                        .arg("err", u64::from(spec.error_detected)),
+                );
+            }
+            black_box(spec.speculative);
+        }
+        errs
+    };
+
+    group.bench_function("trace_disabled", |b| {
+        assert!(!vlsa_trace::is_enabled());
+        b.iter(|| {
+            let spans = vlsa_trace::recorder();
+            black_box(traced_adds(&spans))
+        })
+    });
+
+    group.bench_function("trace_enabled", |b| {
+        let scope = ScopedTrace::install(OPS * 2);
+        b.iter(|| {
+            let spans = vlsa_trace::recorder();
+            let errs = traced_adds(&spans);
+            // Drain so later iterations pay the record path, not the
+            // cheaper ring-full drop path.
+            black_box(scope.drain().len());
+            black_box(errs)
         });
         drop(scope);
     });

@@ -1,0 +1,165 @@
+//! Cycle-accurate trace capture and replay for the VLSA pipeline.
+//!
+//! Usage:
+//!   cargo run --release -p vlsa-bench --bin trace -- \
+//!       --n 64 --ops 10000 --vcd out.vcd --chrome trace.json
+//!   cargo run --release -p vlsa-bench --bin trace -- --replay trace.json
+//!
+//! Capture mode streams random operands through the software pipeline
+//! under a flight recorder, writing the spans as Chrome trace JSON
+//! (open in `chrome://tracing` or Perfetto) and a gate-level waveform
+//! dump of the same stream's prefix as VCD (open in GTKWave). Replay
+//! mode re-executes the operand stream recorded in a `trace.json` and
+//! exits nonzero unless every sum and error flag reproduces.
+//!
+//! Flags: `--n <bits>` (default 64), `--ops <count>` (default 10000),
+//! `--window <w>` (default: the paper's 99.99% design point),
+//! `--seed <s>`, `--vcd <path>`, `--vcd-ops <count>` (waveform cap,
+//! default 128), `--all-nets` (dump internal nets, not just ports),
+//! `--fault <net>:<0|1>` (stuck-at injection on every waveform cycle),
+//! `--chrome <path>`, `--replay <path>`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vlsa_bench::paper_window;
+use vlsa_bench::tracebin::{capture_run, capture_vcd, replay, TraceConfig, VcdConfig};
+use vlsa_sim::VcdNets;
+use vlsa_telemetry::Json;
+
+struct Cli {
+    nbits: usize,
+    ops: usize,
+    window: Option<usize>,
+    seed: u64,
+    vcd: Option<PathBuf>,
+    vcd_ops: usize,
+    all_nets: bool,
+    fault: Option<(usize, bool)>,
+    chrome: Option<PathBuf>,
+    replay: Option<PathBuf>,
+}
+
+fn parse_fault(spec: &str) -> (usize, bool) {
+    let (net, value) = spec
+        .split_once(':')
+        .expect("--fault takes <net-index>:<0|1>");
+    let net = net.parse().expect("--fault net index must be a number");
+    let value = match value {
+        "0" => false,
+        "1" => true,
+        other => panic!("--fault value must be 0 or 1, got `{other}`"),
+    };
+    (net, value)
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        nbits: 64,
+        ops: 10_000,
+        window: None,
+        seed: 4099,
+        vcd: None,
+        vcd_ops: 128,
+        all_nets: false,
+        fault: None,
+        chrome: None,
+        replay: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--n" => cli.nbits = value("--n").parse().expect("--n takes a bitwidth"),
+            "--ops" => cli.ops = value("--ops").parse().expect("--ops takes a count"),
+            "--window" => {
+                cli.window = Some(value("--window").parse().expect("--window takes a width"));
+            }
+            "--seed" => cli.seed = value("--seed").parse().expect("--seed takes a number"),
+            "--vcd" => cli.vcd = Some(PathBuf::from(value("--vcd"))),
+            "--vcd-ops" => {
+                cli.vcd_ops = value("--vcd-ops").parse().expect("--vcd-ops takes a count");
+            }
+            "--all-nets" => cli.all_nets = true,
+            "--fault" => cli.fault = Some(parse_fault(&value("--fault"))),
+            "--chrome" => cli.chrome = Some(PathBuf::from(value("--chrome"))),
+            "--replay" => cli.replay = Some(PathBuf::from(value("--replay"))),
+            other => panic!("unknown flag `{other}` (see the doc comment for usage)"),
+        }
+    }
+    cli
+}
+
+fn run_replay(path: &PathBuf) -> ExitCode {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+    let report = replay(&doc).unwrap_or_else(|e| panic!("replay {}: {e}", path.display()));
+    println!("{report}");
+    if report.is_exact() {
+        println!("replay OK: capture reproduced bit-for-bit");
+        ExitCode::SUCCESS
+    } else {
+        if let Some(index) = report.first_mismatch {
+            println!("replay FAILED: first mismatch at op {index}");
+        } else {
+            println!("replay FAILED: error counts differ");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = parse_args();
+    if let Some(path) = &cli.replay {
+        return run_replay(path);
+    }
+
+    let cfg = TraceConfig {
+        nbits: cli.nbits,
+        window: cli.window.unwrap_or_else(|| paper_window(cli.nbits)),
+        ops: cli.ops,
+        seed: cli.seed,
+    };
+    println!(
+        "tracing {} ops through the {}-bit / window-{} pipeline (seed {})",
+        cfg.ops, cfg.nbits, cfg.window, cfg.seed
+    );
+    let run = capture_run(&cfg);
+    println!(
+        "  {} ops, {} errors, {} cycles, {} span events ({} dropped)",
+        run.operations, run.errors, run.total_cycles, run.events, run.dropped
+    );
+
+    if let Some(path) = &cli.chrome {
+        std::fs::write(path, format!("{}\n", run.doc))
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("wrote {} (chrome://tracing, Perfetto)", path.display());
+    }
+
+    if let Some(path) = &cli.vcd {
+        let vcd_cfg = VcdConfig {
+            nets: if cli.all_nets {
+                VcdNets::All
+            } else {
+                VcdNets::Ports
+            },
+            max_ops: cli.vcd_ops,
+            fault: cli.fault,
+        };
+        let (text, count) = capture_vcd(&cfg, &vcd_cfg).expect("gate-level simulation");
+        std::fs::write(path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        if count < cfg.ops {
+            println!(
+                "wrote {} (GTKWave; first {count} of {} ops — raise --vcd-ops for more)",
+                path.display(),
+                cfg.ops
+            );
+        } else {
+            println!("wrote {} (GTKWave; all {count} ops)", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -17,6 +17,7 @@
 
 pub mod metrics;
 pub mod report;
+pub mod tracebin;
 
 use vlsa_adders::AdderArch;
 use vlsa_core::{almost_correct_adder, error_detector, vlsa_adder};

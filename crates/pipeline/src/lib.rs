@@ -20,6 +20,7 @@ pub use queue::{QueueConfig, QueueStats};
 use rand::Rng;
 use std::fmt;
 use vlsa_core::SpeculativeAdder;
+use vlsa_trace::TraceEvent;
 
 /// What the pipeline did in one clock cycle.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -153,6 +154,14 @@ impl VlsaPipeline {
     /// `vlsa.pipeline.op_latency_cycles`, and the lengths of runs of
     /// consecutive stalled operations in `vlsa.pipeline.stall_run_ops`.
     ///
+    /// When tracing is enabled (`vlsa_trace::is_enabled`), every
+    /// operation emits flight-recorder spans with cycle timestamps: an
+    /// `op` span carrying the full operands (track 0, the replay
+    /// source), a `speculate` span, and — on detection — a `detect`
+    /// marker plus `recover` and `stall` spans for the bubble (tracks
+    /// 1–2). Disabled, the whole hook is one relaxed atomic load before
+    /// the loop.
+    ///
     /// # Panics
     ///
     /// Panics if the adder is wider than 64 bits.
@@ -170,6 +179,7 @@ impl VlsaPipeline {
                 ),
             )
         });
+        let spans = vlsa_trace::recorder();
         let mut stall_run = 0u64;
         let mut trace = PipelineTrace::default();
         let mut cycle = 0u64;
@@ -183,6 +193,29 @@ impl VlsaPipeline {
                 } else if stall_run > 0 {
                     stall_runs.record(stall_run);
                     stall_run = 0;
+                }
+            }
+            if let Some(rec) = &spans {
+                let ts = cycle - 1;
+                let dur = 1 + u64::from(r.error_detected);
+                let sum = if r.error_detected {
+                    r.exact
+                } else {
+                    r.speculative
+                };
+                rec.record(
+                    TraceEvent::complete("op", "pipeline", ts, dur)
+                        .arg("i", idx as u64)
+                        .arg("a", a)
+                        .arg("b", b)
+                        .arg("sum", sum)
+                        .arg("err", u64::from(r.error_detected)),
+                );
+                rec.record(TraceEvent::complete("speculate", "pipeline", ts, 1).on_track(1));
+                if r.error_detected {
+                    rec.record(TraceEvent::instant("detect", "pipeline", ts + 1).on_track(1));
+                    rec.record(TraceEvent::complete("recover", "pipeline", ts + 1, 1).on_track(1));
+                    rec.record(TraceEvent::complete("stall", "pipeline", ts + 1, 1).on_track(2));
                 }
             }
             if r.error_detected {

@@ -131,6 +131,12 @@ impl VlsaPipeline {
     /// `vlsa.pipeline.queue_wait_cycles`, and occupancy gauges
     /// `vlsa.pipeline.queue_mean_len` / `vlsa.pipeline.queue_max_len`.
     ///
+    /// When tracing is enabled, each completed op emits an `op` span
+    /// covering arrival → completion with the queue depth attached
+    /// (`qd`), recovery bubbles emit `recover`/`stall` spans, drops emit
+    /// `drop` markers, and the occupancy is sampled as a `queue_depth`
+    /// counter track whenever it changes.
+    ///
     /// # Panics
     ///
     /// Panics if `arrival_prob` is not in `[0, 1]` or `capacity` is
@@ -159,6 +165,9 @@ impl VlsaPipeline {
                 vlsa_telemetry::DEFAULT_BUCKETS,
             )
         });
+        let spans = vlsa_trace::recorder();
+        let mut last_depth = u64::MAX; // force an initial queue_depth sample
+        let mut pending_exact = 0u64; // exact sum of the op in recovery
         let mut stats = QueueStats {
             cycles,
             ..QueueStats::default()
@@ -177,6 +186,11 @@ impl VlsaPipeline {
                     queue.push_back((a, b, cycle));
                 } else {
                     stats.dropped += 1;
+                    if let Some(rec) = &spans {
+                        rec.record(
+                            vlsa_trace::TraceEvent::instant("drop", "queue", cycle).on_track(2),
+                        );
+                    }
                 }
             }
             // Service.
@@ -191,10 +205,41 @@ impl VlsaPipeline {
                     if let Some(hist) = &wait_hist {
                         hist.record(cycle - arrived + 1);
                     }
+                    if let Some(rec) = &spans {
+                        rec.record(
+                            vlsa_trace::TraceEvent::complete(
+                                "op",
+                                "queue",
+                                arrived,
+                                cycle - arrived + 1,
+                            )
+                            .arg("i", stats.completed - 1)
+                            .arg("a", a)
+                            .arg("b", b)
+                            .arg("sum", pending_exact)
+                            .arg("err", 1)
+                            .arg("qd", queue.len() as u64),
+                        );
+                        rec.record(
+                            vlsa_trace::TraceEvent::complete("recover", "queue", cycle, 1)
+                                .on_track(1),
+                        );
+                        rec.record(
+                            vlsa_trace::TraceEvent::complete("stall", "queue", cycle, 1)
+                                .on_track(2),
+                        );
+                    }
                 } else {
                     let r = adder.add_u64(a, b);
                     if r.error_detected {
                         recovering = true; // stays at head one more cycle
+                        pending_exact = r.exact;
+                        if let Some(rec) = &spans {
+                            rec.record(
+                                vlsa_trace::TraceEvent::instant("detect", "queue", cycle)
+                                    .on_track(1),
+                            );
+                        }
                     } else {
                         queue.pop_front();
                         stats.completed += 1;
@@ -202,11 +247,37 @@ impl VlsaPipeline {
                         if let Some(hist) = &wait_hist {
                             hist.record(cycle - arrived + 1);
                         }
+                        if let Some(rec) = &spans {
+                            rec.record(
+                                vlsa_trace::TraceEvent::complete(
+                                    "op",
+                                    "queue",
+                                    arrived,
+                                    cycle - arrived + 1,
+                                )
+                                .arg("i", stats.completed - 1)
+                                .arg("a", a)
+                                .arg("b", b)
+                                .arg("sum", r.speculative)
+                                .arg("err", 0)
+                                .arg("qd", queue.len() as u64),
+                            );
+                        }
                     }
                 }
             }
             stats.queue_len_integral += queue.len() as u64;
             stats.max_queue_len = stats.max_queue_len.max(queue.len());
+            if let Some(rec) = &spans {
+                let depth = queue.len() as u64;
+                if depth != last_depth {
+                    last_depth = depth;
+                    rec.record(
+                        vlsa_trace::TraceEvent::counter("queue_depth", "queue", cycle, depth)
+                            .on_track(3),
+                    );
+                }
+            }
         }
         if wait_hist.is_some() {
             let recorder = vlsa_telemetry::recorder();

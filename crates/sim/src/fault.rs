@@ -155,6 +155,18 @@ pub fn fault_coverage(
             }
         }
     }
+    if vlsa_telemetry::is_enabled() {
+        let recorder = vlsa_telemetry::recorder();
+        recorder
+            .counter("vlsa.sim.faults_injected")
+            .add(cov.total as u64);
+        recorder
+            .counter("vlsa.sim.faults_propagated")
+            .add(cov.detected as u64);
+        recorder
+            .counter("vlsa.sim.faults_masked")
+            .add((cov.total - cov.detected) as u64);
+    }
     Ok(cov)
 }
 

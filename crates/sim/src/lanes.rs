@@ -14,6 +14,19 @@ fn wide_bit(value: &[u64], bit: usize) -> u64 {
     value.get(bit / 64).map_or(0, |w| (w >> (bit % 64)) & 1)
 }
 
+/// Extracts one lane's bit from a 64-lane simulation word: the value
+/// test vector `lane` drives on that net. This is the projection the
+/// VCD capture ([`crate::NetlistVcd`]) applies to every net per cycle.
+///
+/// # Panics
+///
+/// Panics if `lane >= 64`.
+#[inline]
+pub fn lane_bit(word: u64, lane: usize) -> bool {
+    assert!(lane < 64, "lane must be in 0..64");
+    (word >> lane) & 1 == 1
+}
+
 /// Sets bit `bit` of a wide word, growing it as needed.
 fn set_wide_bit(value: &mut WideWord, bit: usize) {
     let word = bit / 64;

@@ -5,7 +5,8 @@
 //! ([`pack_lanes`] / [`unpack_lanes`]), checks adder netlists against
 //! reference arithmetic ([`check_adder`], [`check_adder_random`],
 //! [`check_adder_exhaustive`]) and proves or refutes combinational
-//! equivalence between netlists ([`equiv_exhaustive`], [`equiv_random`]).
+//! equivalence between netlists ([`equiv_exhaustive`], [`equiv_random`]),
+//! and dumps simulation passes as VCD waveforms ([`NetlistVcd`]).
 //!
 //! The measured error rates of Almost Correct Adders (experiment E3 in
 //! `DESIGN.md`) come from this crate's [`AdderReport`].
@@ -33,6 +34,7 @@ mod engine;
 mod equiv;
 mod fault;
 mod lanes;
+mod vcd;
 
 pub use adder_harness::{
     adder_sums, check_adder, check_adder_exhaustive, check_adder_random, random_pairs, AdderReport,
@@ -40,7 +42,8 @@ pub use adder_harness::{
 pub use engine::{simulate, SimulateError, Stimulus, Waves};
 pub use equiv::{equiv_exhaustive, equiv_random, EquivError};
 pub use fault::{fault_coverage, simulate_with_fault, FaultCoverage, FaultWaves, StuckAt};
-pub use lanes::{pack_lanes, unpack_lanes, wide_add, wide_xor, WideWord};
+pub use lanes::{lane_bit, pack_lanes, unpack_lanes, wide_add, wide_xor, WideWord};
+pub use vcd::{NetlistVcd, VcdNets};
 
 #[cfg(test)]
 mod proptests;

@@ -1,0 +1,315 @@
+//! Waveform capture: dumping netlist simulations as VCD.
+//!
+//! [`NetlistVcd`] registers nets of a [`Netlist`] as VCD wires and
+//! records one timestep per simulated cycle from the [`crate::Waves`]
+//! (or [`crate::FaultWaves`]) of each pass, projecting out a single
+//! lane. Open the result in GTKWave to see exactly what the paper's
+//! Figs. 6–7 argue about: the speculative sum settling, the detector
+//! firing, the recovery bubble.
+//!
+//! Injected faults are first-class: [`NetlistVcd::record_fault`] drives
+//! dedicated `fault_active` / `fault_value` / `fault_net` annotation
+//! wires and drops a `$comment` naming the stuck net into the stream.
+
+use crate::{lane_bit, FaultWaves, StuckAt, Waves};
+use vlsa_netlist::{NetId, Netlist};
+use vlsa_trace::{VcdId, VcdWriter};
+
+/// Which nets of the netlist a [`NetlistVcd`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VcdNets {
+    /// Primary inputs and outputs only — compact, the default for long
+    /// workloads.
+    Ports,
+    /// Every net in the graph, internal nodes included — the full
+    /// debugging view.
+    All,
+}
+
+/// A VCD recorder over successive simulation passes of one netlist.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_netlist::Netlist;
+/// use vlsa_sim::{simulate, NetlistVcd, Stimulus, VcdNets};
+///
+/// let mut nl = Netlist::new("xor");
+/// let a = nl.input("a");
+/// let b = nl.input("b");
+/// let y = nl.xor2(a, b);
+/// nl.output("y", y);
+///
+/// let mut rec = NetlistVcd::new(&nl, VcdNets::Ports, 0);
+/// for (va, vb) in [(0u64, 0u64), (1, 0), (1, 1)] {
+///     let mut stim = Stimulus::new();
+///     stim.set("a", va).set("b", vb);
+///     let waves = simulate(&nl, &stim)?;
+///     rec.record(&waves);
+/// }
+/// let vcd = rec.finish();
+/// assert!(vcd.contains("$var wire 1"));
+/// assert!(vcd.contains("#2"));
+/// # Ok::<(), vlsa_sim::SimulateError>(())
+/// ```
+#[derive(Debug)]
+pub struct NetlistVcd<'a> {
+    netlist: &'a Netlist,
+    vcd: VcdWriter,
+    recorded: Vec<(NetId, VcdId)>,
+    lane: usize,
+    cycle: u64,
+    fault_active: VcdId,
+    fault_value: VcdId,
+    fault_net: VcdId,
+}
+
+impl<'a> NetlistVcd<'a> {
+    /// A recorder over `netlist` capturing lane `lane` of the selected
+    /// nets each cycle.
+    ///
+    /// Port nets are named after their ports; in [`VcdNets::All`] mode
+    /// internal nets are named `n<index>_<kind>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn new(netlist: &'a Netlist, nets: VcdNets, lane: usize) -> NetlistVcd<'a> {
+        assert!(lane < 64, "lane must be in 0..64");
+        let mut vcd = VcdWriter::new(netlist.name());
+        let mut recorded = Vec::new();
+        match nets {
+            VcdNets::Ports => {
+                for (name, net) in netlist.primary_inputs() {
+                    recorded.push((*net, vcd.wire(name, 1)));
+                }
+                for (name, net) in netlist.primary_outputs() {
+                    recorded.push((*net, vcd.wire(name, 1)));
+                }
+            }
+            VcdNets::All => {
+                // Port names where available, positional names otherwise.
+                let mut names: Vec<Option<String>> = vec![None; netlist.len()];
+                for (name, net) in netlist.primary_inputs() {
+                    names[net.index()] = Some(name.clone());
+                }
+                for (name, net) in netlist.primary_outputs() {
+                    names[net.index()].get_or_insert_with(|| name.clone());
+                }
+                for (id, node) in netlist.nodes() {
+                    let name = names[id.index()]
+                        .take()
+                        .unwrap_or_else(|| format!("n{}_{}", id.index(), node.kind()));
+                    recorded.push((id, vcd.wire(&name, 1)));
+                }
+            }
+        }
+        let fault_active = vcd.wire("fault_active", 1);
+        let fault_value = vcd.wire("fault_value", 1);
+        let fault_net = vcd.wire("fault_net", 32);
+        NetlistVcd {
+            netlist,
+            vcd,
+            recorded,
+            lane,
+            cycle: 0,
+            fault_active,
+            fault_value,
+            fault_net,
+        }
+    }
+
+    /// Declares an extra caller-driven wire (e.g. the pipeline's
+    /// `stall`/`valid` handshake next to the gate-level nets). Must be
+    /// called before the first recorded cycle.
+    pub fn extra_wire(&mut self, name: &str, width: u32) -> VcdId {
+        self.vcd.wire(name, width)
+    }
+
+    /// Number of simulated cycles recorded so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Records one fault-free cycle from `waves`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waves` comes from a different (smaller) netlist.
+    pub fn record(&mut self, waves: &Waves<'_>) {
+        self.vcd.timestamp(self.cycle);
+        for &(net, sig) in &self.recorded {
+            self.vcd
+                .change(sig, u64::from(lane_bit(waves.net(net), self.lane)));
+        }
+        self.vcd.change(self.fault_active, 0);
+        self.cycle += 1;
+    }
+
+    /// Records one cycle simulated under an injected fault, driving the
+    /// annotation wires and a `$comment` naming the stuck net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waves` comes from a different (smaller) netlist.
+    pub fn record_fault(&mut self, waves: &FaultWaves<'_>, fault: StuckAt) {
+        self.vcd.timestamp(self.cycle);
+        self.vcd.comment(&format!(
+            "cycle {}: stuck-at-{} on {} ({})",
+            self.cycle,
+            u64::from(fault.value),
+            fault.net,
+            self.netlist.node(fault.net).kind()
+        ));
+        for &(net, sig) in &self.recorded {
+            self.vcd
+                .change(sig, u64::from(lane_bit(waves.net(net), self.lane)));
+        }
+        self.vcd.change(self.fault_active, 1);
+        self.vcd.change(self.fault_value, u64::from(fault.value));
+        self.vcd.change(self.fault_net, fault.net.index() as u64);
+        self.cycle += 1;
+    }
+
+    /// Drives an [`NetlistVcd::extra_wire`] for the most recently
+    /// recorded cycle.
+    pub fn annotate(&mut self, wire: VcdId, value: u64) {
+        self.vcd.change(wire, value);
+    }
+
+    /// Advances one cycle with every signal held (a stall bubble: the
+    /// netlist outputs are frozen while recovery runs).
+    pub fn hold(&mut self) {
+        self.vcd.timestamp(self.cycle);
+        self.cycle += 1;
+    }
+
+    /// Finishes the dump and returns the VCD text.
+    pub fn finish(self) -> String {
+        let cycle = self.cycle;
+        self.vcd.finish(cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, simulate_with_fault, Stimulus};
+
+    fn full_adder() -> Netlist {
+        let mut nl = Netlist::new("fa");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("cin");
+        let x = nl.xor2(a, b);
+        let s = nl.xor2(x, c);
+        let m = nl.maj3(a, b, c);
+        nl.output("sum", s);
+        nl.output("cout", m);
+        nl
+    }
+
+    fn stim(a: u64, b: u64, cin: u64) -> Stimulus {
+        let mut s = Stimulus::new();
+        s.set("a", a).set("b", b).set("cin", cin);
+        s
+    }
+
+    #[test]
+    fn ports_mode_records_port_waveforms() {
+        let nl = full_adder();
+        let mut rec = NetlistVcd::new(&nl, VcdNets::Ports, 0);
+        for (a, b) in [(0u64, 0u64), (1, 1), (1, 0)] {
+            let waves = simulate(&nl, &stim(a, b, 0)).expect("sim");
+            rec.record(&waves);
+        }
+        assert_eq!(rec.cycles(), 3);
+        let vcd = rec.finish();
+        assert!(vcd.contains("$var wire 1 ! a $end"), "{vcd}");
+        assert!(vcd.contains(" cout $end"));
+        // 1+1 = 10: cout rises at cycle 1, falls at cycle 2.
+        assert!(vcd.contains("#1"));
+        assert!(vcd.contains("#3\n"), "{vcd}");
+        // Internal nets are absent in Ports mode.
+        assert!(!vcd.contains("n3_"), "{vcd}");
+    }
+
+    #[test]
+    fn all_mode_names_internals_by_index_and_kind() {
+        let nl = full_adder();
+        let mut rec = NetlistVcd::new(&nl, VcdNets::All, 0);
+        let waves = simulate(&nl, &stim(1, 1, 1)).expect("sim");
+        rec.record(&waves);
+        let vcd = rec.finish();
+        // The first XOR is node 3 (after inputs a, b, cin).
+        assert!(vcd.contains("n3_xor2"), "{vcd}");
+        // Output nets keep their port name.
+        assert!(vcd.contains(" sum $end"), "{vcd}");
+    }
+
+    #[test]
+    fn lanes_select_different_vectors() {
+        let nl = full_adder();
+        // Lane 0 adds 0+0, lane 1 adds 1+1.
+        let waves = simulate(&nl, &stim(0b10, 0b10, 0)).expect("sim");
+        let mut lane0 = NetlistVcd::new(&nl, VcdNets::Ports, 0);
+        lane0.record(&waves);
+        let mut lane1 = NetlistVcd::new(&nl, VcdNets::Ports, 1);
+        lane1.record(&waves);
+        let v0 = lane0.finish();
+        let v1 = lane1.finish();
+        // `a` is identifier `!`: low in lane 0, high in lane 1.
+        assert!(v0.contains("0!"), "{v0}");
+        assert!(v1.contains("1!"), "{v1}");
+    }
+
+    #[test]
+    fn fault_cycles_are_annotated() {
+        let mut nl = Netlist::new("fa");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("cin");
+        let x = nl.xor2(a, b);
+        let s = nl.xor2(x, c);
+        let m = nl.maj3(a, b, c);
+        nl.output("sum", s);
+        nl.output("cout", m);
+        let clean = simulate(&nl, &stim(1, 0, 0)).expect("sim");
+        let faulty = simulate_with_fault(&nl, &stim(1, 0, 0), StuckAt::zero(x)).expect("sim");
+        let mut rec = NetlistVcd::new(&nl, VcdNets::Ports, 0);
+        rec.record(&clean);
+        rec.record_fault(&faulty, StuckAt::zero(x));
+        rec.record(&clean);
+        let vcd = rec.finish();
+        assert!(
+            vcd.contains("$comment cycle 1: stuck-at-0 on n3 (xor2) $end"),
+            "{vcd}"
+        );
+        // fault_active pulses 0 → 1 → 0.
+        let id = vcd
+            .lines()
+            .find(|l| l.contains(" fault_active $end"))
+            .and_then(|l| l.split_whitespace().nth(3))
+            .expect("fault_active declared")
+            .to_string();
+        assert!(vcd.contains(&format!("0{id}")));
+        assert!(vcd.contains(&format!("1{id}")));
+    }
+
+    #[test]
+    fn extra_wires_and_hold_cycles() {
+        let nl = full_adder();
+        let mut rec = NetlistVcd::new(&nl, VcdNets::Ports, 0);
+        let stall = rec.extra_wire("stall", 1);
+        let waves = simulate(&nl, &stim(1, 1, 0)).expect("sim");
+        rec.record(&waves);
+        rec.annotate(stall, 1);
+        rec.hold();
+        rec.record(&waves);
+        rec.annotate(stall, 0);
+        assert_eq!(rec.cycles(), 3);
+        let vcd = rec.finish();
+        assert!(vcd.contains(" stall $end"), "{vcd}");
+        assert!(vcd.ends_with("#3\n"), "{vcd}");
+    }
+}

@@ -3,7 +3,7 @@
 
 use std::sync::Mutex;
 use vlsa_netlist::Netlist;
-use vlsa_sim::{adder_sums, simulate, Stimulus};
+use vlsa_sim::{adder_sums, fault_coverage, simulate, Stimulus};
 use vlsa_telemetry::{Json, ScopedRecorder};
 
 static SERIAL: Mutex<()> = Mutex::new(());
@@ -88,6 +88,27 @@ fn adder_sums_records_lane_utilization() {
     assert_eq!(lanes.max(), Some(64));
     // Each batched pass is one engine pass.
     assert_eq!(registry.counter_value("vlsa.sim.passes"), 3);
+}
+
+#[test]
+fn fault_coverage_counts_injected_propagated_masked() {
+    let _guard = serial();
+    let scope = ScopedRecorder::install();
+
+    let mut nl = Netlist::new("andor");
+    let a = nl.input("a");
+    let b = nl.input("b");
+    let x = nl.and2(a, b);
+    nl.output("x", x);
+    let mut stim = Stimulus::new();
+    stim.set("a", 0).set("b", 0); // single all-zero vector
+    let cov = fault_coverage(&nl, &stim).expect("coverage");
+    assert_eq!((cov.detected, cov.total), (1, 2));
+
+    let registry = scope.registry();
+    assert_eq!(registry.counter_value("vlsa.sim.faults_injected"), 2);
+    assert_eq!(registry.counter_value("vlsa.sim.faults_propagated"), 1);
+    assert_eq!(registry.counter_value("vlsa.sim.faults_masked"), 1);
 }
 
 #[test]

@@ -1,0 +1,141 @@
+//! Chrome trace-event JSON export.
+//!
+//! Serializes drained [`TraceEvent`]s into the JSON Object Format that
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load: a
+//! top-level object with a `traceEvents` array. One trace timestamp unit
+//! maps to one microsecond, so VLSA cycle counts render directly as a
+//! timeline.
+//!
+//! Argument values are `u64`s that may exceed 2^53 (full-width
+//! operands), which a JSON double cannot hold exactly. Values at or
+//! below 2^53 serialize as numbers; larger values serialize as decimal
+//! strings. [`arg_u64`] reads either form back losslessly, which is what
+//! makes replay from a captured trace bit-for-bit exact.
+
+use crate::{Phase, TraceEvent};
+use vlsa_telemetry::Json;
+
+/// Largest u64 a JSON double represents exactly.
+const MAX_EXACT_F64: u64 = 1 << 53;
+
+fn arg_json(value: u64) -> Json {
+    if value <= MAX_EXACT_F64 {
+        Json::from(value)
+    } else {
+        Json::from(value.to_string())
+    }
+}
+
+/// Reads a `u64` argument written by [`chrome_trace`], accepting both
+/// the numeric and the decimal-string encoding.
+pub fn arg_u64(args: &Json, key: &str) -> Option<u64> {
+    let v = args.get(key)?;
+    v.as_u64().or_else(|| v.as_str()?.parse().ok())
+}
+
+fn event_json(event: &TraceEvent) -> Json {
+    let mut args = Json::obj();
+    for (k, v) in event.args() {
+        args = args.set(*k, arg_json(*v));
+    }
+    let mut doc = Json::obj()
+        .set("name", event.name)
+        .set("cat", event.cat)
+        .set("ph", event.ph.code())
+        .set("ts", event.ts)
+        .set("pid", 1u64)
+        .set("tid", event.track as u64);
+    if event.ph == Phase::Complete {
+        doc = doc.set("dur", event.dur);
+    }
+    if event.ph == Phase::Instant {
+        doc = doc.set("s", "t"); // thread-scoped marker
+    }
+    doc.set("args", args)
+}
+
+/// Builds the Chrome trace document for a batch of events.
+///
+/// The returned object carries `traceEvents` plus a `displayTimeUnit`;
+/// callers may `.set` extra top-level metadata (the `trace` binary
+/// stores the workload parameters there so `--replay` can reconstruct
+/// the run).
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_trace::{chrome_trace, TraceEvent};
+///
+/// let events = vec![TraceEvent::complete("op", "pipeline", 0, 1).arg("i", 0)];
+/// let doc = chrome_trace(&events);
+/// let text = doc.to_string();
+/// assert!(text.contains("\"traceEvents\""));
+/// assert!(text.contains("\"ph\":\"X\""));
+/// ```
+pub fn chrome_trace(events: &[TraceEvent]) -> Json {
+    Json::obj().set("displayTimeUnit", "ms").set(
+        "traceEvents",
+        Json::Arr(events.iter().map(event_json).collect()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_event_round_trips() {
+        let events = vec![
+            TraceEvent::complete("op", "pipeline", 5, 2)
+                .arg("a", u64::MAX)
+                .arg("b", 7),
+            TraceEvent::instant("detect", "pipeline", 6),
+            TraceEvent::counter("queue_depth", "pipeline", 6, 3),
+        ];
+        let text = chrome_trace(&events).to_string();
+        let doc = Json::parse(&text).expect("valid JSON");
+        let list = doc.get("traceEvents").and_then(Json::as_arr).expect("arr");
+        assert_eq!(list.len(), 3);
+
+        let op = &list[0];
+        assert_eq!(op.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(op.get("ts").and_then(Json::as_u64), Some(5));
+        assert_eq!(op.get("dur").and_then(Json::as_u64), Some(2));
+        let args = op.get("args").expect("args");
+        // u64::MAX exceeds 2^53: stored as a string, read back exactly.
+        assert_eq!(
+            args.get("a").and_then(Json::as_str),
+            Some("18446744073709551615")
+        );
+        assert_eq!(arg_u64(args, "a"), Some(u64::MAX));
+        assert_eq!(arg_u64(args, "b"), Some(7));
+        assert_eq!(arg_u64(args, "missing"), None);
+
+        assert_eq!(list[1].get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(list[1].get("s").and_then(Json::as_str), Some("t"));
+        assert_eq!(list[2].get("ph").and_then(Json::as_str), Some("C"));
+        assert_eq!(
+            arg_u64(list[2].get("args").expect("args"), "value"),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn small_args_stay_numeric() {
+        let events = vec![TraceEvent::instant("e", "c", 0).arg("v", 123)];
+        let doc = chrome_trace(&events);
+        let args = doc.get("traceEvents").and_then(Json::as_arr).expect("arr")[0]
+            .get("args")
+            .expect("args");
+        assert_eq!(args.get("v").and_then(Json::as_u64), Some(123));
+    }
+
+    #[test]
+    fn track_becomes_tid() {
+        let events = vec![TraceEvent::instant("e", "c", 0).on_track(4)];
+        let doc = chrome_trace(&events);
+        let ev = &doc.get("traceEvents").and_then(Json::as_arr).expect("arr")[0];
+        assert_eq!(ev.get("tid").and_then(Json::as_u64), Some(4));
+        assert_eq!(ev.get("pid").and_then(Json::as_u64), Some(1));
+    }
+}

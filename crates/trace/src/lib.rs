@@ -1,0 +1,219 @@
+//! # vlsa-trace
+//!
+//! Cycle-accurate tracing for the VLSA workspace: where `vlsa-telemetry`
+//! answers *how often* (counters, histograms), this crate answers *when
+//! and why* — which operand pair mispredicted, where a stall bubble
+//! started, what every net did on the cycle a fault was injected.
+//!
+//! Three cooperating pieces:
+//!
+//! - **Flight recorder** ([`FlightRecorder`]): a lock-free bounded ring
+//!   of [`TraceEvent`]s. Bounded memory, safe to leave always-on, and
+//!   drained on demand (end of run, or the moment an error is flagged).
+//! - **Chrome trace export** ([`chrome_trace`]): drained events become a
+//!   `trace.json` loadable in `chrome://tracing` / Perfetto, with
+//!   operand arguments encoded losslessly so [`extract_ops`] can replay
+//!   the exact workload.
+//! - **VCD export** ([`VcdWriter`]): a general waveform writer for
+//!   GTKWave-compatible dumps; `vlsa-sim` uses it to record every net of
+//!   a netlist per simulated cycle, faults included.
+//!
+//! ## Design rules (inherited from `vlsa-telemetry`)
+//!
+//! - **Off by default, ~free when off.** Instrumented code guards every
+//!   hook with [`is_enabled`]: one relaxed atomic load and nothing else.
+//! - **No allocation on the hot path.** [`TraceEvent`] is `Copy` with
+//!   `&'static str` names; the ring never grows.
+//! - **No dependencies.** JSON is `vlsa_telemetry::Json`; everything
+//!   else is hand-rolled std.
+//!
+//! ## Usage
+//!
+//! ```
+//! let scope = vlsa_trace::ScopedTrace::install(64);
+//! vlsa_trace::record(vlsa_trace::TraceEvent::complete("op", "demo", 0, 1));
+//! let events = scope.drain();
+//! assert_eq!(events.len(), 1);
+//! let doc = vlsa_trace::chrome_trace(&events);
+//! assert!(doc.to_string().contains("traceEvents"));
+//! ```
+
+mod chrome;
+mod replay;
+mod ring;
+mod span;
+mod vcd;
+
+pub use chrome::{arg_u64, chrome_trace};
+pub use replay::{extract_ops, RecordedOp, ReplayError};
+pub use ring::FlightRecorder;
+pub use span::{Phase, TraceEvent, MAX_ARGS};
+pub use vcd::{VcdId, VcdWriter};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn active_recorder() -> &'static RwLock<Option<Arc<FlightRecorder>>> {
+    static ACTIVE: OnceLock<RwLock<Option<Arc<FlightRecorder>>>> = OnceLock::new();
+    ACTIVE.get_or_init(|| RwLock::new(None))
+}
+
+/// Whether tracing is enabled: the one relaxed atomic load instrumented
+/// hot paths pay when tracing is off.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `recorder` as the process-wide event destination and turns
+/// tracing on. Returns the previously installed recorder, if any.
+pub fn install(recorder: Arc<FlightRecorder>) -> Option<Arc<FlightRecorder>> {
+    let previous = active_recorder()
+        .write()
+        .expect("trace lock")
+        .replace(recorder);
+    ENABLED.store(true, Ordering::Relaxed);
+    previous
+}
+
+/// Turns tracing off and removes the installed recorder, returning it.
+pub fn uninstall() -> Option<Arc<FlightRecorder>> {
+    ENABLED.store(false, Ordering::Relaxed);
+    active_recorder().write().expect("trace lock").take()
+}
+
+/// The installed flight recorder, if tracing is active.
+///
+/// Instrumented loops should resolve this once up front and reuse the
+/// handle, exactly like `vlsa_telemetry::recorder()` call sites do.
+pub fn recorder() -> Option<Arc<FlightRecorder>> {
+    if !is_enabled() {
+        return None;
+    }
+    active_recorder()
+        .read()
+        .expect("trace lock")
+        .as_ref()
+        .map(Arc::clone)
+}
+
+/// Records one event into the installed recorder. No-op while tracing
+/// is disabled.
+pub fn record(event: TraceEvent) {
+    if let Some(rec) = recorder() {
+        rec.record(event);
+    }
+}
+
+/// Guard that installs a fresh flight recorder for its lifetime and
+/// restores the previous state on drop — the tracing counterpart of
+/// [`vlsa_telemetry::ScopedRecorder`].
+///
+/// The redirection is process-global; concurrent scopes on different
+/// threads interleave, so tests that rely on exact event sets should
+/// serialize.
+#[derive(Debug)]
+pub struct ScopedTrace {
+    recorder: Arc<FlightRecorder>,
+    previous: Option<Arc<FlightRecorder>>,
+}
+
+impl ScopedTrace {
+    /// Installs a fresh recorder with the given capacity and enables
+    /// tracing.
+    pub fn install(capacity: usize) -> ScopedTrace {
+        let recorder = Arc::new(FlightRecorder::new(capacity));
+        let previous = install(Arc::clone(&recorder));
+        ScopedTrace { recorder, previous }
+    }
+
+    /// The recorder this scope traces into.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Drains everything recorded in this scope so far.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.recorder.drain()
+    }
+}
+
+impl Drop for ScopedTrace {
+    fn drop(&mut self) {
+        let mut active = active_recorder().write().expect("trace lock");
+        *active = self.previous.take();
+        if active.is_none() {
+            ENABLED.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Global-state tests must not interleave.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn disabled_by_default_and_record_is_noop() {
+        let _guard = serial();
+        assert!(!is_enabled());
+        record(TraceEvent::instant("lost", "t", 0));
+        assert!(recorder().is_none());
+    }
+
+    #[test]
+    fn scoped_trace_captures_and_restores() {
+        let _guard = serial();
+        {
+            let scope = ScopedTrace::install(16);
+            assert!(is_enabled());
+            record(TraceEvent::instant("seen", "t", 1));
+            let events = scope.drain();
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].name, "seen");
+        }
+        assert!(!is_enabled());
+        record(TraceEvent::instant("after", "t", 2));
+        assert!(recorder().is_none());
+    }
+
+    #[test]
+    fn nested_scopes_restore_in_order() {
+        let _guard = serial();
+        let outer = ScopedTrace::install(16);
+        record(TraceEvent::instant("outer", "t", 0));
+        {
+            let inner = ScopedTrace::install(16);
+            record(TraceEvent::instant("inner", "t", 1));
+            assert_eq!(inner.drain().len(), 1);
+        }
+        assert!(is_enabled());
+        record(TraceEvent::instant("outer2", "t", 2));
+        assert_eq!(outer.drain().len(), 2);
+        drop(outer);
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn install_uninstall_round_trip() {
+        let _guard = serial();
+        let rec = Arc::new(FlightRecorder::new(8));
+        assert!(install(Arc::clone(&rec)).is_none());
+        assert!(is_enabled());
+        record(TraceEvent::instant("x", "t", 0));
+        let back = uninstall().expect("was installed");
+        assert!(!is_enabled());
+        assert_eq!(back.drain().len(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Replay: reconstructing an operand stream from a captured trace.
+//!
+//! The `trace` binary records one `"op"` span per addition with the full
+//! operands attached as arguments. This module reads such a Chrome trace
+//! document back into an ordered list of [`RecordedOp`]s so the exact
+//! workload can be re-executed — the deterministic-reproduction path for
+//! a flagged misprediction: capture once, replay forever.
+
+use crate::chrome::arg_u64;
+use std::error::Error;
+use std::fmt;
+use vlsa_telemetry::Json;
+
+/// One recorded addition, reconstructed from an `"op"` span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordedOp {
+    /// Position in the original operand stream.
+    pub index: u64,
+    /// Left operand.
+    pub a: u64,
+    /// Right operand.
+    pub b: u64,
+    /// The sum the pipeline delivered (exact on recovered ops).
+    pub sum: u64,
+    /// Whether the error detector fired on this op.
+    pub error: bool,
+}
+
+/// Failure reading a trace document back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The document has no `traceEvents` array.
+    MissingEvents,
+    /// An `"op"` span lacks a required argument.
+    MissingArg {
+        /// The absent argument key.
+        key: &'static str,
+        /// Index of the offending event within `traceEvents`.
+        event: usize,
+    },
+    /// The trace contains no `"op"` spans at all.
+    NoOps,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::MissingEvents => write!(f, "trace has no `traceEvents` array"),
+            ReplayError::MissingArg { key, event } => {
+                write!(f, "op span #{event} is missing argument `{key}`")
+            }
+            ReplayError::NoOps => write!(f, "trace contains no `op` spans to replay"),
+        }
+    }
+}
+
+impl Error for ReplayError {}
+
+/// Extracts every `"op"` span from a Chrome trace document, ordered by
+/// stream index.
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] if the document is not a trace, an op span is
+/// missing operands, or no ops are present.
+pub fn extract_ops(doc: &Json) -> Result<Vec<RecordedOp>, ReplayError> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or(ReplayError::MissingEvents)?;
+    let mut ops = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        if event.get("name").and_then(Json::as_str) != Some("op") {
+            continue;
+        }
+        let args = event.get("args").ok_or(ReplayError::MissingArg {
+            key: "args",
+            event: i,
+        })?;
+        let req =
+            |key: &'static str| arg_u64(args, key).ok_or(ReplayError::MissingArg { key, event: i });
+        ops.push(RecordedOp {
+            index: req("i")?,
+            a: req("a")?,
+            b: req("b")?,
+            sum: req("sum")?,
+            error: req("err")? != 0,
+        });
+    }
+    if ops.is_empty() {
+        return Err(ReplayError::NoOps);
+    }
+    ops.sort_by_key(|op| op.index);
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{chrome_trace, TraceEvent};
+
+    fn op_event(i: u64, a: u64, b: u64, err: bool) -> TraceEvent {
+        TraceEvent::complete("op", "pipeline", i, 1)
+            .arg("i", i)
+            .arg("a", a)
+            .arg("b", b)
+            .arg("sum", a.wrapping_add(b))
+            .arg("err", u64::from(err))
+    }
+
+    #[test]
+    fn extracts_ops_in_index_order() {
+        // Deliberately out of order; extraction sorts by index.
+        let events = vec![
+            op_event(1, 10, 20, false),
+            TraceEvent::instant("detect", "pipeline", 0),
+            op_event(0, u64::MAX, 1, true),
+        ];
+        let doc = chrome_trace(&events);
+        let text = doc.to_string();
+        let parsed = Json::parse(&text).expect("valid");
+        let ops = extract_ops(&parsed).expect("ops");
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].index, 0);
+        assert_eq!(ops[0].a, u64::MAX);
+        assert!(ops[0].error);
+        assert_eq!(ops[0].sum, 0);
+        assert_eq!(
+            ops[1],
+            RecordedOp {
+                index: 1,
+                a: 10,
+                b: 20,
+                sum: 30,
+                error: false,
+            }
+        );
+    }
+
+    #[test]
+    fn missing_events_and_args_are_reported() {
+        assert_eq!(
+            extract_ops(&Json::obj().set("x", 1u64)),
+            Err(ReplayError::MissingEvents)
+        );
+        let doc = chrome_trace(&[TraceEvent::complete("op", "pipeline", 0, 1).arg("i", 0)]);
+        match extract_ops(&doc) {
+            Err(ReplayError::MissingArg { key: "a", event: 0 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        let empty = chrome_trace(&[TraceEvent::instant("detect", "pipeline", 0)]);
+        assert_eq!(extract_ops(&empty), Err(ReplayError::NoOps));
+        // Display impls render usefully.
+        assert!(ReplayError::NoOps.to_string().contains("no `op` spans"));
+        assert!(ReplayError::MissingArg { key: "b", event: 3 }
+            .to_string()
+            .contains("`b`"));
+    }
+}

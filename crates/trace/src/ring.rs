@@ -1,0 +1,298 @@
+//! The flight recorder: a lock-free bounded ring buffer of
+//! [`TraceEvent`]s.
+//!
+//! Classic Vyukov bounded MPMC queue: every slot carries a sequence
+//! number that encodes whether it is free to write or ready to read, so
+//! producers and consumers synchronize with one CAS plus one
+//! acquire/release pair each — no locks, no allocation after
+//! construction. Memory is bounded at `capacity * size_of::<TraceEvent>`
+//! forever, which is what makes the recorder safe to leave *always on*
+//! in long-running processes: when the buffer is full, new events are
+//! dropped and counted rather than blocking or growing.
+//!
+//! Drain with [`FlightRecorder::drain`] on demand (end of a run, or when
+//! an error is flagged) to get the recent history in order.
+
+use crate::TraceEvent;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+struct Slot {
+    /// Sequence protocol: `seq == pos` ⇒ free for the producer claiming
+    /// `pos`; `seq == pos + 1` ⇒ holds the value enqueued at `pos`.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<TraceEvent>>,
+}
+
+/// Lock-free bounded event buffer with an overflow drop counter.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_trace::{FlightRecorder, TraceEvent};
+///
+/// let rec = FlightRecorder::new(8);
+/// rec.record(TraceEvent::instant("boot", "demo", 0));
+/// rec.record(TraceEvent::complete("op", "demo", 1, 1));
+/// let events = rec.drain();
+/// assert_eq!(events.len(), 2);
+/// assert_eq!(events[0].name, "boot");
+/// assert_eq!(rec.dropped(), 0);
+/// ```
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    mask: usize,
+    /// Next enqueue position.
+    head: AtomicUsize,
+    /// Next dequeue position.
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: slot values are only accessed by the thread that won the
+// corresponding sequence-number CAS (producer) or observed the published
+// sequence value (consumer); the acquire/release pairs on `seq` order
+// those accesses.
+unsafe impl Send for FlightRecorder {}
+unsafe impl Sync for FlightRecorder {}
+
+impl FlightRecorder {
+    /// A recorder holding up to `capacity` events (rounded up to a power
+    /// of two, minimum 2).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let cap = capacity.next_power_of_two().max(2);
+        let slots: Vec<Slot> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        FlightRecorder {
+            slots: slots.into_boxed_slice(),
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Approximate number of buffered events (exact when quiescent).
+    pub fn len(&self) -> usize {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        head.saturating_sub(tail)
+    }
+
+    /// Whether the buffer is (approximately) empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues an event; on a full buffer the event is dropped and the
+    /// drop counter incremented. Returns whether the event was stored.
+    pub fn record(&self, event: TraceEvent) -> bool {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                // Slot free: claim it.
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS above made this thread the
+                        // unique owner of the slot until the release
+                        // store below publishes it.
+                        unsafe { (*slot.value.get()).write(event) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                // Seq lags the claim position: the consumer has not yet
+                // freed this slot — the ring is full.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                // Another producer claimed `pos` first; reload.
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest event, if any.
+    pub fn pop(&self) -> Option<TraceEvent> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos.wrapping_add(1) as isize;
+            if diff == 0 {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS made this thread the unique
+                        // reader of a slot the producer published with a
+                        // release store.
+                        let event = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(event);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return None; // empty
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drains every buffered event in FIFO order.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(event) = self.pop() {
+            out.push(event);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent::instant("e", "t", i)
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let rec = FlightRecorder::new(16);
+        for i in 0..10 {
+            assert!(rec.record(ev(i)));
+        }
+        let got: Vec<u64> = rec.drain().iter().map(|e| e.ts).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(FlightRecorder::new(5).capacity(), 8);
+        assert_eq!(FlightRecorder::new(0).capacity(), 2);
+        assert_eq!(FlightRecorder::new(64).capacity(), 64);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..4 {
+            assert!(rec.record(ev(i)));
+        }
+        // Full: the next three are dropped, buffer keeps the oldest 4.
+        for i in 4..7 {
+            assert!(!rec.record(ev(i)));
+        }
+        assert_eq!(rec.dropped(), 3);
+        assert_eq!(rec.len(), 4);
+        let got: Vec<u64> = rec.drain().iter().map(|e| e.ts).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let rec = FlightRecorder::new(4);
+        // Cycle the ring several times its capacity.
+        for round in 0..10u64 {
+            for i in 0..4 {
+                assert!(rec.record(ev(round * 4 + i)));
+            }
+            let got: Vec<u64> = rec.drain().iter().map(|e| e.ts).collect();
+            assert_eq!(got, (round * 4..round * 4 + 4).collect::<Vec<_>>());
+        }
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn interleaved_push_pop_never_loses_order() {
+        let rec = FlightRecorder::new(8);
+        let mut next_in = 0u64;
+        let mut next_out = 0u64;
+        for _ in 0..100 {
+            for _ in 0..3 {
+                if rec.record(ev(next_in)) {
+                    next_in += 1;
+                }
+            }
+            if let Some(e) = rec.pop() {
+                assert_eq!(e.ts, next_out);
+                next_out += 1;
+            }
+        }
+        for e in rec.drain() {
+            assert_eq!(e.ts, next_out);
+            next_out += 1;
+        }
+        assert_eq!(next_in, next_out);
+    }
+
+    #[test]
+    fn concurrent_producers_deliver_every_event_once() {
+        let rec = Arc::new(FlightRecorder::new(1 << 12));
+        let threads = 4;
+        let per_thread = 500u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let rec = Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        assert!(rec.record(ev(t as u64 * per_thread + i)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("producer");
+        }
+        let mut seen: Vec<u64> = rec.drain().iter().map(|e| e.ts).collect();
+        assert_eq!(seen.len(), threads * per_thread as usize);
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), threads * per_thread as usize);
+        assert_eq!(rec.dropped(), 0);
+    }
+}

@@ -1,0 +1,319 @@
+//! A general Value Change Dump (VCD) writer.
+//!
+//! Produces the standard IEEE 1364 VCD text any waveform viewer
+//! (GTKWave, Surfer, …) opens. Unlike `vlsa-seq`'s recorder — which is
+//! married to sequential circuits — this writer is a plain sink: declare
+//! wires (scalar or vector), then feed timestamped value changes from
+//! whatever produced them (the gate-level simulator, the pipeline model,
+//! a fault campaign). Only actual changes are emitted, so dumping every
+//! net of a netlist per cycle stays compact.
+//!
+//! ```text
+//! $timescale 1ns $end        one timestep == one simulated cycle
+//! $scope module <name> $end
+//! $var wire 1 ! stall $end   scalar
+//! $var wire 64 " sum [63:0] $end
+//! ...
+//! #0
+//! 0!
+//! b1010 "
+//! ```
+
+use std::fmt::Write as _;
+
+/// Handle to a declared VCD signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VcdId(usize);
+
+struct VcdSignal {
+    width: u32,
+    ident: String,
+    last: Option<u64>,
+}
+
+/// Streaming VCD document builder.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_trace::VcdWriter;
+///
+/// let mut vcd = VcdWriter::new("dut");
+/// let stall = vcd.wire("stall", 1);
+/// let sum = vcd.wire("sum", 8);
+/// vcd.timestamp(0);
+/// vcd.change(stall, 0);
+/// vcd.change(sum, 0x2A);
+/// vcd.timestamp(1);
+/// vcd.change(stall, 1);
+/// let text = vcd.finish(2);
+/// assert!(text.contains("$var wire 8"));
+/// assert!(text.contains("b101010"));
+/// ```
+#[derive(Debug)]
+pub struct VcdWriter {
+    module: String,
+    signals: Vec<VcdSignal>,
+    names: Vec<String>,
+    body: String,
+    sealed: bool,
+    last_ts: Option<u64>,
+    ts_pending: Option<u64>,
+}
+
+impl std::fmt::Debug for VcdSignal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VcdSignal")
+            .field("width", &self.width)
+            .field("ident", &self.ident)
+            .finish()
+    }
+}
+
+/// Short printable VCD identifier for signal index `i` (base 94, the
+/// printable ASCII range `!`..`~`).
+fn ident(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push(char::from_u32(33 + (i % 94) as u32).expect("printable"));
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+    s
+}
+
+/// Replaces characters VCD identifiers dislike with underscores, keeping
+/// bus indices readable (`a[3]` → `a_3_`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+impl VcdWriter {
+    /// A writer for one module scope, timescale 1 ns (one timestep per
+    /// simulated cycle).
+    pub fn new(module: &str) -> VcdWriter {
+        VcdWriter {
+            module: sanitize(module),
+            signals: Vec::new(),
+            names: Vec::new(),
+            body: String::new(),
+            sealed: false,
+            last_ts: None,
+            ts_pending: None,
+        }
+    }
+
+    /// Declares a wire of `width` bits (1 ..= 64) and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a timestamp has already been written (declarations must
+    /// precede the value-change section) or if `width` is 0 or > 64.
+    pub fn wire(&mut self, name: &str, width: u32) -> VcdId {
+        assert!(!self.sealed, "declare wires before the first timestamp");
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        let id = VcdId(self.signals.len());
+        self.signals.push(VcdSignal {
+            width,
+            ident: ident(id.0),
+            last: None,
+        });
+        self.names.push(sanitize(name));
+        id
+    }
+
+    /// Number of declared signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Starts (or advances to) timestep `t`. Changes recorded after this
+    /// call belong to `#t`. Idempotent for repeated equal `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` moves backwards.
+    pub fn timestamp(&mut self, t: u64) {
+        if let Some(last) = self.last_ts {
+            assert!(t >= last, "timestamps must be monotonic ({t} < {last})");
+            if t == last {
+                return;
+            }
+        }
+        self.sealed = true;
+        self.ts_pending = Some(t);
+        self.last_ts = Some(t);
+    }
+
+    /// Records `value` on `signal` at the current timestep; emits output
+    /// only if the value differs from the signal's previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`VcdWriter::timestamp`] was set yet.
+    pub fn change(&mut self, signal: VcdId, value: u64) {
+        assert!(self.sealed, "call timestamp() before change()");
+        let sig = &mut self.signals[signal.0];
+        let masked = if sig.width == 64 {
+            value
+        } else {
+            value & ((1u64 << sig.width) - 1)
+        };
+        if sig.last == Some(masked) {
+            return;
+        }
+        sig.last = Some(masked);
+        if let Some(t) = self.ts_pending.take() {
+            let _ = writeln!(self.body, "#{t}");
+        }
+        if sig.width == 1 {
+            let _ = writeln!(self.body, "{}{}", masked & 1, sig.ident);
+        } else {
+            let _ = writeln!(self.body, "b{masked:b} {}", sig.ident);
+        }
+    }
+
+    /// Emits a `$comment` block into the value-change stream — used to
+    /// annotate injected faults at the cycle they are active.
+    pub fn comment(&mut self, text: &str) {
+        if let Some(t) = self.ts_pending.take() {
+            let _ = writeln!(self.body, "#{t}");
+        }
+        // '$end' inside the text would terminate the block early.
+        let clean = text.replace("$end", "end");
+        let _ = writeln!(self.body, "$comment {clean} $end");
+    }
+
+    /// Finishes the document, closing it with a final `#end_ts` marker,
+    /// and returns the full VCD text.
+    pub fn finish(self, end_ts: u64) -> String {
+        let mut out = String::with_capacity(self.body.len() + 64 * self.signals.len());
+        let _ = writeln!(out, "$date vlsa-trace $end");
+        let _ = writeln!(out, "$version vlsa-trace 0.1 $end");
+        let _ = writeln!(out, "$timescale 1ns $end");
+        let _ = writeln!(out, "$scope module {} $end", self.module);
+        for (sig, name) in self.signals.iter().zip(&self.names) {
+            if sig.width == 1 {
+                let _ = writeln!(out, "$var wire 1 {} {} $end", sig.ident, name);
+            } else {
+                let _ = writeln!(
+                    out,
+                    "$var wire {} {} {} [{}:0] $end",
+                    sig.width,
+                    sig.ident,
+                    name,
+                    sig.width - 1
+                );
+            }
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        out.push_str(&self.body);
+        let _ = writeln!(out, "#{end_ts}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_changes_follow_spec() {
+        let mut vcd = VcdWriter::new("adder!");
+        let s = vcd.wire("stall", 1);
+        let bus = vcd.wire("s[3]", 4);
+        vcd.timestamp(0);
+        vcd.change(s, 0);
+        vcd.change(bus, 0b1010);
+        vcd.timestamp(1);
+        vcd.change(s, 1);
+        vcd.change(bus, 0b1010); // unchanged: no output
+        let text = vcd.finish(2);
+        assert!(text.contains("$scope module adder_ $end"));
+        assert!(text.contains("$var wire 1 ! stall $end"));
+        assert!(text.contains("$var wire 4 \" s_3_ [3:0] $end"));
+        assert!(text.contains("#0\n0!\nb1010 \"\n#1\n1!\n#2\n"), "{text}");
+    }
+
+    #[test]
+    fn values_are_masked_to_width() {
+        let mut vcd = VcdWriter::new("m");
+        let w = vcd.wire("x", 2);
+        vcd.timestamp(0);
+        vcd.change(w, 0b111); // masked to 0b11
+        let text = vcd.finish(1);
+        assert!(text.contains("b11 !"), "{text}");
+    }
+
+    #[test]
+    fn repeated_timestamp_is_idempotent_and_lazy() {
+        let mut vcd = VcdWriter::new("m");
+        let w = vcd.wire("x", 1);
+        vcd.timestamp(0);
+        vcd.change(w, 1);
+        vcd.timestamp(5); // no changes at #5: the marker never appears
+        vcd.timestamp(5);
+        let text = vcd.finish(6);
+        assert!(text.contains("#0\n1!"));
+        assert!(!text.contains("#5\n"), "{text}");
+        assert!(text.ends_with("#6\n"));
+    }
+
+    #[test]
+    fn comments_are_injected_in_stream() {
+        let mut vcd = VcdWriter::new("m");
+        let w = vcd.wire("x", 1);
+        vcd.timestamp(3);
+        vcd.comment("stuck-at-1 on n42 $end sneaky");
+        vcd.change(w, 1);
+        let text = vcd.finish(4);
+        assert!(
+            text.contains("#3\n$comment stuck-at-1 on n42 end sneaky $end\n1!"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn identifiers_stay_unique_past_94_signals() {
+        let mut vcd = VcdWriter::new("many");
+        let ids: Vec<VcdId> = (0..200).map(|i| vcd.wire(&format!("w{i}"), 1)).collect();
+        vcd.timestamp(0);
+        for &id in &ids {
+            vcd.change(id, 1);
+        }
+        let text = vcd.finish(1);
+        let mut idents: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("$var"))
+            .map(|l| l.split_whitespace().nth(3).expect("ident"))
+            .collect();
+        assert_eq!(idents.len(), 200);
+        idents.sort_unstable();
+        idents.dedup();
+        assert_eq!(idents.len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn backwards_time_rejected() {
+        let mut vcd = VcdWriter::new("m");
+        let _ = vcd.wire("x", 1);
+        vcd.timestamp(5);
+        vcd.timestamp(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first timestamp")]
+    fn late_declaration_rejected() {
+        let mut vcd = VcdWriter::new("m");
+        let _ = vcd.wire("x", 1);
+        vcd.timestamp(0);
+        let _ = vcd.wire("y", 1);
+    }
+}
