@@ -21,11 +21,20 @@
 //! * `trace_enabled`: the same adds recording one span per op into a
 //!   scoped flight recorder, drained per iteration.
 //!
+//! And the same contract again for the resilience layer: with the
+//! residue check turned off, `ResilientPipeline` must sit within noise
+//! of the plain pipeline (its per-op extra is one `Option` branch):
+//!
+//! * `pipeline_baseline`: the plain `VlsaPipeline` stream.
+//! * `resilience_disabled`: `ResilientPipeline` with `residue: None`.
+//! * `resilience_enabled`: the same with the default mod-3 checker.
+//!
 //! Run with `cargo bench -p vlsa-bench --bench telemetry_overhead`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
 use vlsa_core::{windowed_sum_u64, SpeculativeAdder};
+use vlsa_pipeline::{ResilienceConfig, ResilientPipeline, VlsaPipeline};
 use vlsa_telemetry::ScopedRecorder;
 use vlsa_trace::{ScopedTrace, TraceEvent};
 
@@ -132,6 +141,36 @@ fn bench_overhead(c: &mut Criterion) {
             black_box(errs)
         });
         drop(scope);
+    });
+
+    group.bench_function("pipeline_baseline", |b| {
+        let mut pipe = VlsaPipeline::new(SpeculativeAdder::new(NBITS, WINDOW).expect("valid"));
+        b.iter(|| black_box(pipe.run(&ops).operations))
+    });
+
+    group.bench_function("resilience_disabled", |b| {
+        let mut pipe = ResilientPipeline::new(
+            SpeculativeAdder::new(NBITS, WINDOW).expect("valid"),
+            ResilienceConfig {
+                residue: None,
+                ..ResilienceConfig::default()
+            },
+        );
+        b.iter(|| {
+            pipe.reset();
+            black_box(pipe.run(&ops).stats.ops)
+        })
+    });
+
+    group.bench_function("resilience_enabled", |b| {
+        let mut pipe = ResilientPipeline::new(
+            SpeculativeAdder::new(NBITS, WINDOW).expect("valid"),
+            ResilienceConfig::default(),
+        );
+        b.iter(|| {
+            pipe.reset();
+            black_box(pipe.run(&ops).stats.ops)
+        })
     });
 
     group.finish();

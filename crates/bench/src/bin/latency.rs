@@ -32,14 +32,16 @@ fn queue_study(json_path: &Option<PathBuf>) {
         for load in [0.5f64, 0.8, 0.95, 1.0] {
             let adder = SpeculativeAdder::new(64, window).expect("valid");
             let mut pipe = VlsaPipeline::new(adder);
-            let stats = pipe.run_queued(
-                QueueConfig {
-                    arrival_prob: load,
-                    capacity: 8,
-                },
-                500_000,
-                &mut rng,
-            );
+            let stats = pipe
+                .run_queued(
+                    QueueConfig {
+                        arrival_prob: load,
+                        capacity: 8,
+                    },
+                    500_000,
+                    &mut rng,
+                )
+                .expect("valid queue config");
             println!(
                 "{load:>8.2} {window:>7} | {:>10.3} {:>11.3} {:>11.3} {:>10.2e}",
                 stats.mean_wait(),

@@ -17,12 +17,16 @@
 //! `--seed <s>`, `--vcd <path>`, `--vcd-ops <count>` (waveform cap,
 //! default 128), `--all-nets` (dump internal nets, not just ports),
 //! `--fault <net>:<0|1>` (stuck-at injection on every waveform cycle),
-//! `--chrome <path>`, `--replay <path>`.
+//! `--chrome <path>`, `--replay <path>`, `--resilient` (trace the
+//! resilient pipeline with its detector suppressed instead: the Chrome
+//! trace shows the residue-catch → retry → escalate → degrade story).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use vlsa_bench::paper_window;
-use vlsa_bench::tracebin::{capture_run, capture_vcd, replay, TraceConfig, VcdConfig};
+use vlsa_bench::tracebin::{
+    capture_resilient_run, capture_run, capture_vcd, replay, TraceConfig, VcdConfig,
+};
 use vlsa_sim::VcdNets;
 use vlsa_telemetry::Json;
 
@@ -37,6 +41,7 @@ struct Cli {
     fault: Option<(usize, bool)>,
     chrome: Option<PathBuf>,
     replay: Option<PathBuf>,
+    resilient: bool,
 }
 
 fn parse_fault(spec: &str) -> (usize, bool) {
@@ -64,6 +69,7 @@ fn parse_args() -> Cli {
         fault: None,
         chrome: None,
         replay: None,
+        resilient: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,6 +92,7 @@ fn parse_args() -> Cli {
             "--fault" => cli.fault = Some(parse_fault(&value("--fault"))),
             "--chrome" => cli.chrome = Some(PathBuf::from(value("--chrome"))),
             "--replay" => cli.replay = Some(PathBuf::from(value("--replay"))),
+            "--resilient" => cli.resilient = true,
             other => panic!("unknown flag `{other}` (see the doc comment for usage)"),
         }
     }
@@ -123,6 +130,28 @@ fn main() -> ExitCode {
         ops: cli.ops,
         seed: cli.seed,
     };
+    if cli.resilient {
+        println!(
+            "tracing {} ops through the resilient {}-bit / window-{} pipeline \
+             with its detector suppressed (seed {})",
+            cfg.ops, cfg.nbits, cfg.window, cfg.seed
+        );
+        let run = capture_resilient_run(&cfg);
+        println!("  {}", run.stats);
+        println!(
+            "  {} span events ({} dropped); pipeline {} degraded",
+            run.events,
+            run.dropped,
+            if run.degraded { "ended" } else { "did not end" }
+        );
+        if let Some(path) = &cli.chrome {
+            std::fs::write(path, format!("{}\n", run.doc))
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            println!("wrote {} (chrome://tracing, Perfetto)", path.display());
+        }
+        return ExitCode::SUCCESS;
+    }
+
     println!(
         "tracing {} ops through the {}-bit / window-{} pipeline (seed {})",
         cfg.ops, cfg.nbits, cfg.window, cfg.seed

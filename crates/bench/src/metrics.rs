@@ -9,12 +9,18 @@ use crate::report::Report;
 use crate::{paper_window, synthesize, PAPER_ACCURACY};
 use rand::SeedableRng;
 use vlsa_core::{almost_correct_adder, SpeculativeAdder};
-use vlsa_pipeline::{random_operands, QueueConfig, VlsaPipeline};
+use vlsa_pipeline::{
+    random_operands, FaultKind, PipelineFault, QueueConfig, ResilienceConfig, ResilientPipeline,
+    VlsaPipeline,
+};
 use vlsa_sim::{check_adder, random_pairs};
 use vlsa_telemetry::{ScopedRecorder, DEFAULT_BUCKETS};
 
 /// Runs the paper's 64-bit design point through the pipeline (a random
-/// stream plus a queued run) and reports the speculation metrics.
+/// stream plus a queued run) and reports the speculation metrics. A
+/// third segment runs the [`ResilientPipeline`] with a persistent
+/// suppressed-detector fault so the retry / escalation / degradation
+/// counters in the report are exercised, not zero.
 pub fn pipeline_report(ops: usize, queue_cycles: u64, seed: u64) -> Report {
     let scope = ScopedRecorder::install();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -22,14 +28,27 @@ pub fn pipeline_report(ops: usize, queue_cycles: u64, seed: u64) -> Report {
     let window = adder.window();
     let mut pipe = VlsaPipeline::new(adder);
     let trace = pipe.run(&random_operands(64, ops, &mut rng));
-    let stats = pipe.run_queued(
-        QueueConfig {
-            arrival_prob: 0.9,
-            capacity: 8,
-        },
-        queue_cycles,
-        &mut rng,
-    );
+    let stats = pipe
+        .run_queued(
+            QueueConfig {
+                arrival_prob: 0.9,
+                capacity: 8,
+            },
+            queue_cycles,
+            &mut rng,
+        )
+        .expect("valid queue config");
+
+    // Resilience segment: an aggressive 8-bit window-4 design (6.25% of
+    // random pairs mispredict, and `window ≥ (nbits − 1) / 2` keeps
+    // every natural error a single run, so mod 3 misses none) with its
+    // detector held low — the residue check is the only thing standing
+    // between the stream and silent corruption, and the degradation
+    // latch must trip.
+    let aggressive = SpeculativeAdder::new(8, 4).expect("valid design point");
+    let mut resilient = ResilientPipeline::new(aggressive, ResilienceConfig::default())
+        .with_fault(PipelineFault::persistent(FaultKind::SuppressDetector));
+    let rtrace = resilient.run(&random_operands(8, ops.min(10_000), &mut rng));
 
     let registry = scope.registry();
     let mut report = Report::new("pipeline");
@@ -59,7 +78,14 @@ pub fn pipeline_report(ops: usize, queue_cycles: u64, seed: u64) -> Report {
         )
         .set("mean_queue_wait", stats.mean_wait())
         .set("queue_drop_rate", stats.drop_rate())
-        .set("queue_throughput", stats.throughput());
+        .set("queue_throughput", stats.throughput())
+        .set("residue_checks", rtrace.stats.residue_checks)
+        .set("residue_retries", rtrace.stats.retries)
+        .set("escalations", rtrace.stats.escalations)
+        .set("watchdog_trips", rtrace.stats.watchdog_trips)
+        .set("degrade_transitions", rtrace.stats.degrade_transitions)
+        .set("degraded_ops", rtrace.stats.degraded_ops)
+        .set("silent_corruptions", rtrace.stats.silent_corruptions);
     report.attach_registry(registry);
     report
 }
@@ -109,6 +135,11 @@ pub const PIPELINE_REPORT_FIELDS: &[&str] = &[
     "false_positives",
     "latency_histogram",
     "mean_queue_wait",
+    "residue_retries",
+    "escalations",
+    "watchdog_trips",
+    "degrade_transitions",
+    "degraded_ops",
 ];
 
 #[cfg(test)]
@@ -168,6 +199,37 @@ mod tests {
             .get("metrics")
             .and_then(|m| m.get("counters"))
             .and_then(|c| c.get("vlsa.core.adds"))
+            .is_some());
+        // The resilience segment actually exercised its machinery: the
+        // suppressed detector forces escalations, the degradation latch
+        // trips, and the residue check leaves nothing silent.
+        let escalations = parsed
+            .get("escalations")
+            .and_then(Json::as_u64)
+            .expect("escalations");
+        assert!(escalations > 0, "escalations={escalations}");
+        assert!(
+            parsed
+                .get("degrade_transitions")
+                .and_then(Json::as_u64)
+                .expect("degrade_transitions")
+                >= 1
+        );
+        assert!(
+            parsed
+                .get("degraded_ops")
+                .and_then(Json::as_u64)
+                .expect("degraded_ops")
+                > 0
+        );
+        assert_eq!(
+            parsed.get("silent_corruptions").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert!(parsed
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("vlsa.resilience.escalations"))
             .is_some());
     }
 

@@ -12,7 +12,10 @@ use rand::SeedableRng;
 use std::fmt;
 use vlsa_core::{almost_correct_adder, SpecError, SpeculativeAdder};
 use vlsa_netlist::NetId;
-use vlsa_pipeline::{random_operands, VlsaPipeline};
+use vlsa_pipeline::{
+    random_operands, FaultKind, PipelineFault, ResilienceConfig, ResilientPipeline, ResilientStats,
+    VlsaPipeline,
+};
 use vlsa_sim::{
     pack_lanes, simulate, simulate_with_fault, NetlistVcd, SimulateError, Stimulus, StuckAt,
     VcdNets,
@@ -73,6 +76,7 @@ pub fn capture_run(cfg: &TraceConfig) -> CapturedRun {
     let doc = chrome_trace(&events).set(
         "vlsa",
         Json::obj()
+            .set("mode", "pipeline")
             .set("nbits", cfg.nbits as u64)
             .set("window", cfg.window as u64)
             .set("seed", cfg.seed)
@@ -85,6 +89,70 @@ pub fn capture_run(cfg: &TraceConfig) -> CapturedRun {
         operations: trace.operations,
         errors: trace.errors,
         total_cycles: trace.total_cycles(),
+        events: events.len(),
+        dropped,
+    }
+}
+
+/// Outcome of a traced resilient run: the Chrome trace document plus
+/// the pipeline's resilience statistics.
+#[derive(Clone, Debug)]
+pub struct ResilientCapture {
+    /// The `trace.json` document (`vlsa.mode = "resilient"`; not a
+    /// replay source — the injected fault is outside the replay model).
+    pub doc: Json,
+    /// Resilience statistics of the run.
+    pub stats: ResilientStats,
+    /// Whether the pipeline ended the run degraded to the exact adder.
+    pub degraded: bool,
+    /// Span events captured.
+    pub events: usize,
+    /// Events lost to ring overflow (0 with the sizing below).
+    pub dropped: u64,
+}
+
+/// Runs the operand stream through the [`ResilientPipeline`] with a
+/// persistent suppressed-detector fault under a scoped flight recorder:
+/// the exported Chrome trace shows the full detector-failure →
+/// residue-catch → retry → escalate → degrade story on its span tracks.
+///
+/// # Panics
+///
+/// Panics if the adder geometry is invalid.
+pub fn capture_resilient_run(cfg: &TraceConfig) -> ResilientCapture {
+    let adder = SpeculativeAdder::new(cfg.nbits, cfg.window).expect("valid adder geometry");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let operands = random_operands(cfg.nbits, cfg.ops, &mut rng);
+    // Worst case per op: op + speculate + retries + stall + escalate +
+    // watchdog + degrade + exact + degraded-counter — ten is generous.
+    let scope = ScopedTrace::install(cfg.ops * 10 + 16);
+    let mut pipe = ResilientPipeline::new(adder, ResilienceConfig::default())
+        .with_fault(PipelineFault::persistent(FaultKind::SuppressDetector));
+    let trace = pipe.run(&operands);
+    let degraded = pipe.is_degraded();
+    let events = scope.drain();
+    let dropped = scope.recorder().dropped();
+    drop(scope);
+    let doc = chrome_trace(&events).set(
+        "vlsa",
+        Json::obj()
+            .set("mode", "resilient")
+            .set("nbits", cfg.nbits as u64)
+            .set("window", cfg.window as u64)
+            .set("seed", cfg.seed)
+            .set("ops", trace.stats.ops)
+            .set("residue_mismatches", trace.stats.residue_mismatches)
+            .set("retries", trace.stats.retries)
+            .set("escalations", trace.stats.escalations)
+            .set("watchdog_trips", trace.stats.watchdog_trips)
+            .set("degrade_transitions", trace.stats.degrade_transitions)
+            .set("degraded_ops", trace.stats.degraded_ops)
+            .set("silent_corruptions", trace.stats.silent_corruptions),
+    );
+    ResilientCapture {
+        doc,
+        stats: trace.stats,
+        degraded,
         events: events.len(),
         dropped,
     }
@@ -219,6 +287,9 @@ pub enum TraceReplayError {
     BadGeometry(SpecError),
     /// The `op` spans could not be extracted.
     Extract(ReplayError),
+    /// The capture mode cannot be re-executed by the replay model
+    /// (e.g. a resilient run with an injected fault).
+    Unreplayable(String),
 }
 
 impl fmt::Display for TraceReplayError {
@@ -229,6 +300,9 @@ impl fmt::Display for TraceReplayError {
             }
             TraceReplayError::BadGeometry(e) => write!(f, "recorded adder geometry: {e}"),
             TraceReplayError::Extract(e) => write!(f, "{e}"),
+            TraceReplayError::Unreplayable(mode) => {
+                write!(f, "`{mode}` captures are not replayable (injected faults)")
+            }
         }
     }
 }
@@ -253,6 +327,11 @@ pub fn replay(doc: &Json) -> Result<ReplayReport, TraceReplayError> {
     let meta = doc
         .get("vlsa")
         .ok_or(TraceReplayError::MissingMeta("vlsa"))?;
+    if let Some(mode) = meta.get("mode").and_then(Json::as_str) {
+        if mode != "pipeline" {
+            return Err(TraceReplayError::Unreplayable(mode.to_string()));
+        }
+    }
     let field = |name: &'static str| {
         meta.get(name)
             .and_then(Json::as_u64)
@@ -352,6 +431,33 @@ mod tests {
             "geometry fields are required"
         );
         assert!(replay(&Json::obj()).is_err());
+    }
+
+    #[test]
+    fn resilient_capture_tells_the_degrade_story() {
+        let _guard = serial();
+        // 8-bit window-4: 6.25% of random pairs err, so the suppressed
+        // detector forces escalations fast and the degrade latch trips.
+        let run = capture_resilient_run(&TraceConfig {
+            nbits: 8,
+            window: 4,
+            ops: 400,
+            seed: 11,
+        });
+        assert_eq!(run.dropped, 0);
+        assert!(run.degraded, "{:?}", run.stats);
+        assert_eq!(run.stats.silent_corruptions, 0);
+        assert!(run.stats.escalations > 0 && run.stats.degraded_ops > 0);
+        // The story is visible in the exported trace, in order.
+        let text = run.doc.to_string();
+        for name in ["residue_retry", "escalate", "degrade", "exact_op"] {
+            assert!(text.contains(&format!("\"{name}\"")), "missing `{name}`");
+        }
+        // And the capture refuses to masquerade as a replay source.
+        assert_eq!(
+            replay(&run.doc),
+            Err(TraceReplayError::Unreplayable("resilient".to_string()))
+        );
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub enum SpecError {
         /// The rejected accuracy.
         accuracy: f64,
     },
+    /// The residue-check modulus is not an odd integer ≥ 3.
+    InvalidModulus {
+        /// The rejected modulus.
+        modulus: u64,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -36,6 +41,9 @@ impl fmt::Display for SpecError {
             }
             SpecError::InvalidAccuracy { accuracy } => {
                 write!(f, "accuracy {accuracy} is not in (0, 1]")
+            }
+            SpecError::InvalidModulus { modulus } => {
+                write!(f, "residue modulus {modulus} is not an odd integer >= 3")
             }
         }
     }

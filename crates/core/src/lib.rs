@@ -47,6 +47,7 @@ mod exact_error;
 mod metrics;
 mod multiop;
 mod overclock;
+mod residue;
 mod software;
 mod vlsa;
 
@@ -58,7 +59,11 @@ pub use error::SpecError;
 pub use exact_error::{prob_aca_detection, prob_aca_error, prob_aca_false_alarm};
 pub use multiop::MultiOperandAdder;
 pub use overclock::TimingSpeculativeAdder;
-pub use software::{windowed_sum_u64, windowed_sum_wide, Speculation, SpeculativeAdder};
+pub use residue::ResidueChecker;
+pub use software::{
+    windowed_add_u64, windowed_add_wide, windowed_sum_u64, windowed_sum_wide, Speculation,
+    SpeculativeAdder,
+};
 pub use vlsa::{vlsa_adder, vlsa_into, VlsaNets};
 
 #[cfg(test)]

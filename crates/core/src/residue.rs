@@ -1,0 +1,282 @@
+//! End-to-end residue checking of speculative sums.
+//!
+//! The `ER` detector is the VLSA's *only* line of defense in the paper:
+//! if a defect suppresses it, a wrong speculative sum leaves the adder
+//! with `VALID = 1` — silent data corruption. A residue (mod-`m`)
+//! checker is the classic second line: small mod-`m` reduction trees
+//! compute `a mod m`, `b mod m`, and `(sum + cout·2ⁿ) mod m`
+//! *independently of the carry chain*, and the delivered result is
+//! accepted only when
+//!
+//! ```text
+//! (a + b) mod m  ==  (sum + cout·2ⁿ) mod m
+//! ```
+//!
+//! Properties (for odd `m`, the default `m = 3`):
+//!
+//! - **Zero false positives.** A correct `(sum, cout)` always satisfies
+//!   the congruence, so the checker never stalls a good result.
+//! - **Bounded false negatives.** A wrong result escapes only when the
+//!   numeric error is a multiple of `m`. The ACA's *natural* error from
+//!   one truncated carry run is exactly `2^j` for some bit `j`, and
+//!   `2^j mod 3 ∈ {1, 2}` — never 0 — so mod-3 catches every
+//!   single-run error. Two simultaneous runs can combine to
+//!   `2^i + 2^j ≡ 0 (mod 3)` (opposite bit parities), but two disjoint
+//!   runs of `window`+ propagates each preceded by a generate need at
+//!   least `2·(window+1)` bits: whenever `window ≥ (nbits − 1)/2` the
+//!   escape set of natural ACA errors is *empty*.
+//!
+//! The checker is the trusted base of the resilience layer
+//! (`vlsa-resilience` campaigns assume the checker itself is
+//! fault-free, the standard assumption in fault-injection studies); on
+//! a mismatch the pipeline retries and then degrades to the exact
+//! adder (`vlsa-pipeline`'s `ResilientPipeline`).
+
+use crate::SpecError;
+use std::fmt;
+
+/// A mod-`m` residue checker over an `nbits`-wide addition.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_core::ResidueChecker;
+///
+/// let check = ResidueChecker::mod3();
+/// // A correct 8-bit sum passes, a corrupted one fails.
+/// assert!(check.accepts(200, 100, 44, true, 8));
+/// assert!(!check.accepts(200, 100, 45, true, 8));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ResidueChecker {
+    modulus: u64,
+}
+
+impl ResidueChecker {
+    /// The default checker: mod-3, the cheapest odd residue code.
+    pub fn mod3() -> Self {
+        ResidueChecker { modulus: 3 }
+    }
+
+    /// A checker with an explicit modulus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::InvalidModulus`] unless `modulus` is an odd
+    /// integer ≥ 3 (an even modulus is blind to errors divisible by its
+    /// 2-part, which includes the ACA's natural `2^j` errors).
+    pub fn new(modulus: u64) -> Result<Self, SpecError> {
+        if modulus < 3 || modulus.is_multiple_of(2) {
+            return Err(SpecError::InvalidModulus { modulus });
+        }
+        Ok(ResidueChecker { modulus })
+    }
+
+    /// The checker's modulus.
+    pub fn modulus(&self) -> u64 {
+        self.modulus
+    }
+
+    /// `x mod m` — what a hardware mod-`m` reduction tree over the bits
+    /// of `x` produces.
+    pub fn residue(&self, x: u64) -> u64 {
+        x % self.modulus
+    }
+
+    /// `2^nbits mod m`, the weight of the carry-out bit.
+    pub fn pow2(&self, nbits: usize) -> u64 {
+        let mut r = 1u64;
+        for _ in 0..nbits {
+            r = (r * 2) % self.modulus;
+        }
+        r
+    }
+
+    /// The residue the operands predict: `(a + b) mod m`.
+    pub fn expected(&self, a: u64, b: u64) -> u64 {
+        (self.residue(a) + self.residue(b)) % self.modulus
+    }
+
+    /// The residue of a delivered result: `(sum + cout·2ⁿ) mod m`.
+    pub fn observed(&self, sum: u64, cout: bool, nbits: usize) -> u64 {
+        (self.residue(sum) + u64::from(cout) * self.pow2(nbits)) % self.modulus
+    }
+
+    /// Whether the delivered `(sum, cout)` is residue-consistent with
+    /// `a + b`. `true` never rejects a correct result; `false` proves
+    /// the result wrong.
+    pub fn accepts(&self, a: u64, b: u64, sum: u64, cout: bool, nbits: usize) -> bool {
+        self.expected(a, b) == self.observed(sum, cout, nbits)
+    }
+
+    /// Wide-operand [`ResidueChecker::residue`] over little-endian
+    /// `u64` words, truncated to `nbits`.
+    pub fn residue_wide(&self, words: &[u64], nbits: usize) -> u64 {
+        let mut r = 0u64;
+        let mut weight = 1u64;
+        let nwords = nbits.div_ceil(64);
+        for (i, &w) in words.iter().enumerate().take(nwords) {
+            let w = if (i + 1) * 64 > nbits && !nbits.is_multiple_of(64) {
+                w & ((1u64 << (nbits % 64)) - 1)
+            } else {
+                w
+            };
+            // Fold each word at its positional weight 2^(64·i) mod m.
+            r = (r + (w % self.modulus) * weight) % self.modulus;
+            weight = (weight * self.pow2(64)) % self.modulus;
+        }
+        r
+    }
+}
+
+impl fmt::Display for ResidueChecker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mod{}", self.modulus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpeculativeAdder;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn constructor_rejects_even_and_tiny_moduli() {
+        assert!(matches!(
+            ResidueChecker::new(0),
+            Err(SpecError::InvalidModulus { .. })
+        ));
+        assert!(matches!(
+            ResidueChecker::new(1),
+            Err(SpecError::InvalidModulus { .. })
+        ));
+        assert!(matches!(
+            ResidueChecker::new(4),
+            Err(SpecError::InvalidModulus { .. })
+        ));
+        let c = ResidueChecker::new(7).expect("valid");
+        assert_eq!(c.modulus(), 7);
+        assert_eq!(c.to_string(), "mod7");
+    }
+
+    #[test]
+    fn correct_sums_always_pass() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(271);
+        let check = ResidueChecker::mod3();
+        for nbits in [8usize, 16, 32, 64] {
+            let mask = if nbits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << nbits) - 1
+            };
+            for _ in 0..2_000 {
+                let a = rng.gen::<u64>() & mask;
+                let b = rng.gen::<u64>() & mask;
+                let sum = a.wrapping_add(b) & mask;
+                let cout = (a as u128 + b as u128) >> nbits != 0;
+                assert!(check.accepts(a, b, sum, cout, nbits), "{a:#x}+{b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_errors_are_always_caught_by_mod3() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(277);
+        let check = ResidueChecker::mod3();
+        for _ in 0..2_000 {
+            let a = rng.gen::<u64>() & 0xFFFF;
+            let b = rng.gen::<u64>() & 0xFFFF;
+            let sum = a.wrapping_add(b) & 0xFFFF;
+            let cout = a + b > 0xFFFF;
+            let bit = rng.gen_range(0..16);
+            assert!(
+                !check.accepts(a, b, sum ^ (1 << bit), cout, 16),
+                "flip of bit {bit} escaped"
+            );
+            // Flipping the carry-out alone is a 2^16 error: caught too.
+            assert!(!check.accepts(a, b, sum, !cout, 16));
+        }
+    }
+
+    #[test]
+    fn natural_aca_errors_are_caught_when_window_dominates() {
+        // window ≥ (nbits − 1)/2 ⇒ at most one truncated carry run ⇒
+        // error magnitude 2^j ⇒ mod-3 catches it.
+        let check = ResidueChecker::mod3();
+        let adder = SpeculativeAdder::new(8, 4).expect("valid");
+        let mut wrong = 0u64;
+        for a in 0u64..256 {
+            for b in 0u64..256 {
+                let r = adder.add_u64(a, b);
+                let (spec, spec_cout) = crate::windowed_add_u64(a, b, 8, 4);
+                assert_eq!(spec, r.speculative);
+                if !r.is_correct() {
+                    wrong += 1;
+                    assert!(
+                        !check.accepts(a, b, spec, spec_cout, 8),
+                        "{a}+{b}: wrong spec sum {spec} escaped mod-3"
+                    );
+                }
+            }
+        }
+        assert!(wrong > 0, "sweep produced no natural errors");
+    }
+
+    #[test]
+    fn known_escape_shape_exists_below_the_window_bound() {
+        // Two truncated runs with opposite-parity first-wrong-bits sum
+        // to a multiple of 3 — the documented mod-3 escape set. With
+        // window 4 on 16 bits (< the (nbits−1)/2 bound) such a pair is
+        // constructible: generates at bits 1 and 8, propagate runs at
+        // 2–5 and 9–12 → error 2^6 + 2^13 = 8256 = 3·2752.
+        let check = ResidueChecker::mod3();
+        let adder = SpeculativeAdder::new(16, 4).expect("valid");
+        let a: u64 = (1 << 1) | (0b1111 << 2) | (1 << 8) | (0b1111 << 9);
+        let b: u64 = (1 << 1) | (1 << 8);
+        let r = adder.add_u64(a, b);
+        let (spec, spec_cout) = crate::windowed_add_u64(a, b, 16, 4);
+        assert!(!r.is_correct(), "pair must defeat speculation");
+        let full_exact = a + b;
+        let full_spec = spec + (u64::from(spec_cout) << 16);
+        assert_eq!(full_exact - full_spec, (1 << 6) + (1 << 13));
+        assert!(
+            check.accepts(a, b, spec, spec_cout, 16),
+            "this error is ≡ 0 (mod 3) by construction"
+        );
+        // A mod-5 checker sees it fine — escapes are modulus-specific.
+        assert!(!ResidueChecker::new(5)
+            .expect("valid")
+            .accepts(a, b, spec, spec_cout, 16));
+    }
+
+    #[test]
+    fn wide_residue_matches_narrow() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(281);
+        for m in [3u64, 5, 7, 15] {
+            let check = ResidueChecker::new(m).expect("valid");
+            for _ in 0..500 {
+                let x: u64 = rng.gen();
+                assert_eq!(check.residue_wide(&[x], 64), check.residue(x));
+                assert_eq!(
+                    check.residue_wide(&[x], 40),
+                    check.residue(x & ((1 << 40) - 1))
+                );
+            }
+            // Cross-word: value = low + 2^64·high.
+            let r = check.residue_wide(&[5, 1], 128);
+            let expect = (5 + check.pow2(64)) % m;
+            assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn pow2_cycles_mod3() {
+        let check = ResidueChecker::mod3();
+        assert_eq!(check.pow2(0), 1);
+        assert_eq!(check.pow2(1), 2);
+        assert_eq!(check.pow2(2), 1);
+        assert_eq!(check.pow2(16), 1);
+        assert_eq!(check.pow2(17), 2);
+    }
+}

@@ -160,6 +160,44 @@ impl SpeculativeAdder {
         }
     }
 
+    /// The exact fallback path: `(a + b) mod 2ⁿ` and the true
+    /// carry-out, computed without speculation. This is what the
+    /// resilience layer swaps in when the speculative datapath is
+    /// distrusted (graceful degradation to a traditional adder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adder is wider than 64 bits.
+    pub fn exact_u64(&self, a: u64, b: u64) -> (u64, bool) {
+        assert!(
+            self.nbits <= 64,
+            "adder is {} bits wide; use add_wide",
+            self.nbits
+        );
+        let mask = if self.nbits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.nbits) - 1
+        };
+        let (a, b) = (a & mask, b & mask);
+        let full = a as u128 + b as u128;
+        ((full as u64) & mask, full >> self.nbits != 0)
+    }
+
+    /// [`SpeculativeAdder::add_u64`] plus the speculative carry-out —
+    /// the carry the ACA's top window produces, which the residue
+    /// checker needs to close the congruence over the full `(n+1)`-bit
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adder is wider than 64 bits.
+    pub fn add_u64_with_cout(&self, a: u64, b: u64) -> (Speculation<u64>, bool) {
+        let spec = self.add_u64(a, b);
+        let (_, cout) = windowed_add_u64(a, b, self.nbits, self.window);
+        (spec, cout)
+    }
+
     /// Adds two wide values stored as little-endian `u64` words.
     ///
     /// Operands shorter than `nbits` are zero-extended; bits above
@@ -204,12 +242,34 @@ pub fn windowed_sum_u64(a: u64, b: u64, nbits: usize, window: usize) -> u64 {
     wide[0]
 }
 
+/// [`windowed_sum_u64`] plus the speculative carry-out: the carry the
+/// top window produces into bit `nbits` (the ACA hardware's `cout`).
+///
+/// # Panics
+///
+/// Panics if `nbits > 64`, or `window` is zero.
+pub fn windowed_add_u64(a: u64, b: u64, nbits: usize, window: usize) -> (u64, bool) {
+    assert!(nbits <= 64, "use windowed_add_wide for nbits > 64");
+    let (sum, cout) = windowed_add_wide(&[a], &[b], nbits, window);
+    (sum[0], cout)
+}
+
 /// Wide-operand version of [`windowed_sum_u64`].
 ///
 /// # Panics
 ///
 /// Panics if `window` is zero.
 pub fn windowed_sum_wide(a: &[u64], b: &[u64], nbits: usize, window: usize) -> Vec<u64> {
+    windowed_add_wide(a, b, nbits, window).0
+}
+
+/// Wide-operand version of [`windowed_add_u64`]: the speculative sum
+/// and the window-truncated carry-out.
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn windowed_add_wide(a: &[u64], b: &[u64], nbits: usize, window: usize) -> (Vec<u64>, bool) {
     assert!(window > 0, "window must be positive");
     let nwords = nbits.div_ceil(64).max(1);
     let mut sum = vec![0u64; nwords];
@@ -237,7 +297,11 @@ pub fn windowed_sum_wide(a: &[u64], b: &[u64], nbits: usize, window: usize) -> V
             run = 0;
         }
     }
-    sum
+    // Carry out of the top window: the same formula as the carry into a
+    // hypothetical bit `nbits` — zero when the whole window propagates,
+    // the latched break carry otherwise.
+    let cout = if run >= window { false } else { break_carry };
+    (sum, cout)
 }
 
 /// Exact wide add (local copy to keep this crate independent of the
@@ -467,5 +531,64 @@ mod tests {
     fn add_u64_rejects_wide_adders() {
         let adder = SpeculativeAdder::new(128, 8).expect("valid");
         adder.add_u64(1, 2);
+    }
+
+    /// Reference speculative carry-out: evaluate the top window span
+    /// explicitly with zero carry into it.
+    fn slow_windowed_cout(a: u64, b: u64, nbits: usize, window: usize) -> bool {
+        let mut c = false;
+        for j in nbits.saturating_sub(window)..nbits {
+            let aj = (a >> j) & 1 == 1;
+            let bj = (b >> j) & 1 == 1;
+            c = (aj && bj) || ((aj ^ bj) && c);
+        }
+        c
+    }
+
+    #[test]
+    fn windowed_cout_matches_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(107);
+        for _ in 0..500 {
+            let a: u64 = rng.gen();
+            let b: u64 = rng.gen();
+            for (nbits, window) in [(64usize, 8usize), (64, 64), (16, 4), (8, 3)] {
+                let mask = if nbits == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << nbits) - 1
+                };
+                let (_, cout) = windowed_add_u64(a & mask, b & mask, nbits, window);
+                assert_eq!(
+                    cout,
+                    slow_windowed_cout(a & mask, b & mask, nbits, window),
+                    "a={a:#x} b={b:#x} n={nbits} w={window}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_window_cout_is_exact() {
+        for a in 0u64..64 {
+            for b in 0u64..64 {
+                let (sum, cout) = windowed_add_u64(a, b, 6, 6);
+                assert_eq!(sum, (a + b) & 0x3F);
+                assert_eq!(cout, a + b > 0x3F);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_fallback_is_exact() {
+        let adder = SpeculativeAdder::new(16, 4).expect("valid");
+        for (a, b) in [(0xFFFFu64, 1u64), (0x7FFF, 0x7FFF), (0, 0), (9, 33)] {
+            let (sum, cout) = adder.exact_u64(a, b);
+            assert_eq!(sum, (a + b) & 0xFFFF);
+            assert_eq!(cout, a + b > 0xFFFF);
+        }
+        let (spec, cout) = adder.add_u64_with_cout(0x7FFF, 1);
+        assert!(spec.error_detected);
+        // The truncated top window sees only propagates: spec cout 0.
+        assert!(!cout);
     }
 }

@@ -26,6 +26,9 @@ use vlsa_netlist::{NetId, Netlist};
 /// Interface: inputs `a[0..n]`, `b[0..n]`; outputs
 ///
 /// - `spec[0..n]` — the speculative (ACA) sum,
+/// - `spec_cout` — the speculative (window-truncated) carry-out, so
+///   checkers can close a congruence over the full `(n+1)`-bit
+///   speculative result,
 /// - `err` — the detection flag (a propagate run ≥ `window` exists),
 /// - `s[0..n]` — the exact sum from error recovery,
 /// - `cout` — the exact carry-out.
@@ -59,6 +62,7 @@ pub fn vlsa_adder(nbits: usize, window: usize) -> Netlist {
     // netlist exposes both buses plus the flag rather than muxing them
     // (which would hang the whole output load on the `err` net).
     nl.output_bus("spec", &nets.speculative);
+    nl.output("spec_cout", nets.spec_cout);
     nl.output("err", nets.err);
     nl.output_bus("s", &nets.recovered);
     nl.output("cout", nets.cout);
@@ -70,6 +74,8 @@ pub fn vlsa_adder(nbits: usize, window: usize) -> Netlist {
 pub struct VlsaNets {
     /// The speculative (ACA) sum bits.
     pub speculative: vlsa_netlist::Bus,
+    /// The speculative carry-out (the ACA's window-truncated `cout`).
+    pub spec_cout: NetId,
     /// The detection flag: a propagate run of `window`+ exists.
     pub err: NetId,
     /// The exact sum from error recovery.
@@ -163,6 +169,7 @@ pub fn vlsa_into(
 
     VlsaNets {
         speculative: parts.sum,
+        spec_cout: parts.cout,
         err,
         recovered,
         cout,
@@ -216,6 +223,7 @@ mod tests {
         stim.set_bus("b", &pack_lanes(&b_ops, nbits));
         let waves = simulate(&nl, &stim).expect("simulate");
         let err = waves.output("err").expect("err");
+        let spec_cout = waves.output("spec_cout").expect("spec_cout");
         let spec = unpack_lanes(&waves.output_bus("spec", nbits).expect("spec"), nbits, 64);
         let s = unpack_lanes(&waves.output_bus("s", nbits).expect("s"), nbits, 64);
         for (lane, &(a, b)) in pairs.iter().enumerate() {
@@ -230,12 +238,11 @@ mod tests {
             if !e {
                 assert_eq!(spec[lane], exact, "lane {lane}");
             }
-            // Speculative output matches the software model.
-            assert_eq!(
-                spec[lane],
-                crate::windowed_sum_wide(&[a], &[b], nbits, window),
-                "lane {lane}"
-            );
+            // Speculative output matches the software model, carry-out
+            // included.
+            let (model_sum, model_cout) = crate::windowed_add_wide(&[a], &[b], nbits, window);
+            assert_eq!(spec[lane], model_sum, "lane {lane}");
+            assert_eq!((spec_cout >> lane) & 1 == 1, model_cout, "lane {lane}");
         }
     }
 

@@ -14,8 +14,12 @@
 //! speedup versus a single-cycle traditional adder.
 
 mod queue;
+mod resilient;
 
-pub use queue::{QueueConfig, QueueStats};
+pub use queue::{QueueConfig, QueueError, QueueStats};
+pub use resilient::{
+    FaultKind, PipelineFault, ResilienceConfig, ResilientPipeline, ResilientStats, ResilientTrace,
+};
 
 use rand::Rng;
 use std::fmt;

@@ -12,6 +12,36 @@ use rand::Rng;
 use std::collections::VecDeque;
 use std::fmt;
 
+/// Invalid [`QueueConfig`] geometry.
+///
+/// Queued runs validate their configuration and return this instead of
+/// panicking, so a malformed config arriving from campaign files or
+/// other external input is a recoverable error rather than a
+/// worker-thread abort.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueueError {
+    /// The arrival probability is not in `[0, 1]` (NaN included).
+    InvalidArrivalProb {
+        /// The rejected probability.
+        arrival_prob: f64,
+    },
+    /// The queue capacity is zero — nothing could ever be accepted.
+    ZeroCapacity,
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::InvalidArrivalProb { arrival_prob } => {
+                write!(f, "arrival probability {arrival_prob} is not in [0, 1]")
+            }
+            QueueError::ZeroCapacity => write!(f, "queue capacity must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
 /// Arrival process and queue geometry.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct QueueConfig {
@@ -100,16 +130,20 @@ impl VlsaPipeline {
     /// Runs the adder behind a bounded queue with Bernoulli arrivals
     /// for `cycles` cycles, drawing uniform random operands.
     ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError`] if `arrival_prob` is not in `[0, 1]` or
+    /// `capacity` is zero.
+    ///
     /// # Panics
     ///
-    /// Panics if `arrival_prob` is not in `[0, 1]` or `capacity` is
-    /// zero, or if the adder is wider than 64 bits.
+    /// Panics if the adder is wider than 64 bits.
     pub fn run_queued<R: Rng + ?Sized>(
         &mut self,
         config: QueueConfig,
         cycles: u64,
         rng: &mut R,
-    ) -> QueueStats {
+    ) -> Result<QueueStats, QueueError> {
         let nbits = self.adder().nbits();
         let mask = if nbits == 64 {
             u64::MAX
@@ -137,26 +171,33 @@ impl VlsaPipeline {
     /// `drop` markers, and the occupancy is sampled as a `queue_depth`
     /// counter track whenever it changes.
     ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError`] if `arrival_prob` is not in `[0, 1]` or
+    /// `capacity` is zero.
+    ///
     /// # Panics
     ///
-    /// Panics if `arrival_prob` is not in `[0, 1]` or `capacity` is
-    /// zero, or if the adder is wider than 64 bits.
+    /// Panics if the adder is wider than 64 bits.
     pub fn run_queued_ops<R, F>(
         &mut self,
         config: QueueConfig,
         cycles: u64,
         rng: &mut R,
         mut next_op: F,
-    ) -> QueueStats
+    ) -> Result<QueueStats, QueueError>
     where
         R: Rng + ?Sized,
         F: FnMut(&mut R) -> (u64, u64),
     {
-        assert!(
-            (0.0..=1.0).contains(&config.arrival_prob),
-            "arrival probability must be in [0, 1]"
-        );
-        assert!(config.capacity > 0, "queue capacity must be positive");
+        if !(0.0..=1.0).contains(&config.arrival_prob) {
+            return Err(QueueError::InvalidArrivalProb {
+                arrival_prob: config.arrival_prob,
+            });
+        }
+        if config.capacity == 0 {
+            return Err(QueueError::ZeroCapacity);
+        }
         // Resolve instrument handles once; the per-cycle path then pays
         // only atomic updates.
         let wait_hist = vlsa_telemetry::is_enabled().then(|| {
@@ -300,7 +341,7 @@ impl VlsaPipeline {
                 .gauge("vlsa.pipeline.queue_max_len")
                 .set_max(stats.max_queue_len as f64);
         }
-        stats
+        Ok(stats)
     }
 }
 
@@ -317,14 +358,16 @@ mod tests {
     #[test]
     fn no_arrivals_means_nothing_happens() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(409);
-        let stats = pipeline(32, 8).run_queued(
-            QueueConfig {
-                arrival_prob: 0.0,
-                capacity: 4,
-            },
-            10_000,
-            &mut rng,
-        );
+        let stats = pipeline(32, 8)
+            .run_queued(
+                QueueConfig {
+                    arrival_prob: 0.0,
+                    capacity: 4,
+                },
+                10_000,
+                &mut rng,
+            )
+            .expect("valid config");
         assert_eq!(stats.arrivals, 0);
         assert_eq!(stats.completed, 0);
         assert_eq!(stats.mean_wait(), 0.0);
@@ -334,14 +377,16 @@ mod tests {
     #[test]
     fn light_load_has_single_cycle_waits() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(419);
-        let stats = pipeline(64, 64).run_queued(
-            QueueConfig {
-                arrival_prob: 0.3,
-                capacity: 8,
-            },
-            100_000,
-            &mut rng,
-        );
+        let stats = pipeline(64, 64)
+            .run_queued(
+                QueueConfig {
+                    arrival_prob: 0.3,
+                    capacity: 8,
+                },
+                100_000,
+                &mut rng,
+            )
+            .expect("valid config");
         assert_eq!(stats.dropped, 0);
         assert!(
             (stats.mean_wait() - 1.0).abs() < 1e-9,
@@ -354,14 +399,16 @@ mod tests {
     #[test]
     fn full_load_exact_adder_keeps_up() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(421);
-        let stats = pipeline(32, 32).run_queued(
-            QueueConfig {
-                arrival_prob: 1.0,
-                capacity: 4,
-            },
-            50_000,
-            &mut rng,
-        );
+        let stats = pipeline(32, 32)
+            .run_queued(
+                QueueConfig {
+                    arrival_prob: 1.0,
+                    capacity: 4,
+                },
+                50_000,
+                &mut rng,
+            )
+            .expect("valid config");
         // Service rate 1/cycle matches arrivals: no drops, wait 1.
         assert_eq!(stats.dropped, 0);
         assert!((stats.mean_wait() - 1.0).abs() < 1e-9);
@@ -373,14 +420,16 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(431);
         // Window 4 at 32 bits: ~20% of ops need two cycles, so the
         // queue saturates under back-to-back arrivals.
-        let stats = pipeline(32, 4).run_queued(
-            QueueConfig {
-                arrival_prob: 1.0,
-                capacity: 4,
-            },
-            50_000,
-            &mut rng,
-        );
+        let stats = pipeline(32, 4)
+            .run_queued(
+                QueueConfig {
+                    arrival_prob: 1.0,
+                    capacity: 4,
+                },
+                50_000,
+                &mut rng,
+            )
+            .expect("valid config");
         assert!(stats.dropped > 0);
         assert_eq!(stats.max_queue_len, 4);
         assert!(stats.mean_wait() > 2.0, "{}", stats.mean_wait());
@@ -391,14 +440,16 @@ mod tests {
     fn moderate_load_absorbs_recoveries() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(433);
         // 80% load, ~2% recovery rate: queue stays shallow.
-        let stats = pipeline(64, 10).run_queued(
-            QueueConfig {
-                arrival_prob: 0.8,
-                capacity: 16,
-            },
-            200_000,
-            &mut rng,
-        );
+        let stats = pipeline(64, 10)
+            .run_queued(
+                QueueConfig {
+                    arrival_prob: 0.8,
+                    capacity: 16,
+                },
+                200_000,
+                &mut rng,
+            )
+            .expect("valid config");
         assert_eq!(stats.dropped, 0);
         assert!(stats.mean_wait() < 1.6, "{}", stats.mean_wait());
         assert!(stats.mean_queue_len() < 1.5, "{}", stats.mean_queue_len());
@@ -407,17 +458,44 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        pipeline(8, 8).run_queued(
-            QueueConfig {
-                arrival_prob: 0.5,
-                capacity: 0,
-            },
-            10,
-            &mut rng,
-        );
+        let err = pipeline(8, 8)
+            .run_queued(
+                QueueConfig {
+                    arrival_prob: 0.5,
+                    capacity: 0,
+                },
+                10,
+                &mut rng,
+            )
+            .expect_err("zero capacity must be rejected");
+        assert_eq!(err, QueueError::ZeroCapacity);
+        assert!(err.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn bad_arrival_probabilities_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let err = pipeline(8, 8)
+                .run_queued(
+                    QueueConfig {
+                        arrival_prob: bad,
+                        capacity: 4,
+                    },
+                    10,
+                    &mut rng,
+                )
+                .expect_err("bad probability must be rejected");
+            match err {
+                QueueError::InvalidArrivalProb { arrival_prob } => {
+                    assert!(arrival_prob.is_nan() || arrival_prob == bad);
+                    assert!(err.to_string().contains("not in [0, 1]"));
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -437,15 +515,17 @@ mod tests {
         // Every op is the full-width carry chain: service time is
         // exactly 2 cycles, arrivals come every cycle, so the queue
         // saturates and half the offered load is shed.
-        let stats = pipeline(32, 4).run_queued_ops(
-            QueueConfig {
-                arrival_prob: 1.0,
-                capacity,
-            },
-            cycles,
-            &mut rng,
-            |_| ((1u64 << 31) - 1, 1),
-        );
+        let stats = pipeline(32, 4)
+            .run_queued_ops(
+                QueueConfig {
+                    arrival_prob: 1.0,
+                    capacity,
+                },
+                cycles,
+                &mut rng,
+                |_| ((1u64 << 31) - 1, 1),
+            )
+            .expect("valid config");
         assert_eq!(stats.arrivals, cycles);
         // Every completed op needed its recovery cycle.
         assert_eq!(stats.recovery_cycles, stats.completed);
@@ -483,22 +563,24 @@ mod tests {
     fn alternating_stream_recovers_on_exactly_half_the_ops() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(449);
         let mut toggle = false;
-        let stats = pipeline(16, 4).run_queued_ops(
-            QueueConfig {
-                arrival_prob: 0.4,
-                capacity: 16,
-            },
-            100_000,
-            &mut rng,
-            |_| {
-                toggle = !toggle;
-                if toggle {
-                    (0x7FFF, 1) // full carry chain: always stalls
-                } else {
-                    (1, 2) // clean
-                }
-            },
-        );
+        let stats = pipeline(16, 4)
+            .run_queued_ops(
+                QueueConfig {
+                    arrival_prob: 0.4,
+                    capacity: 16,
+                },
+                100_000,
+                &mut rng,
+                |_| {
+                    toggle = !toggle;
+                    if toggle {
+                        (0x7FFF, 1) // full carry chain: always stalls
+                    } else {
+                        (1, 2) // clean
+                    }
+                },
+            )
+            .expect("valid config");
         assert_eq!(stats.dropped, 0);
         let recovery_share = stats.recovery_cycles as f64 / stats.completed as f64;
         assert!((recovery_share - 0.5).abs() < 0.02, "{recovery_share}");
@@ -512,15 +594,17 @@ mod tests {
         // Capacity 1 with certain arrivals and always-stalling service:
         // the head op holds the slot for 2 cycles, so at most every
         // other arrival is accepted.
-        let stats = pipeline(8, 2).run_queued_ops(
-            QueueConfig {
-                arrival_prob: 1.0,
-                capacity: 1,
-            },
-            10_000,
-            &mut rng,
-            |_| (0x7F, 1),
-        );
+        let stats = pipeline(8, 2)
+            .run_queued_ops(
+                QueueConfig {
+                    arrival_prob: 1.0,
+                    capacity: 1,
+                },
+                10_000,
+                &mut rng,
+                |_| (0x7F, 1),
+            )
+            .expect("valid config");
         assert!(stats.dropped >= stats.completed, "{stats}");
         let outstanding = stats.arrivals - stats.completed - stats.dropped;
         assert!(outstanding <= 1, "{stats}");

@@ -71,15 +71,17 @@ fn queued_run_records_waits_drops_and_occupancy() {
 
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-    let stats = pipeline(32, 4).run_queued_ops(
-        QueueConfig {
-            arrival_prob: 1.0,
-            capacity: 4,
-        },
-        5_000,
-        &mut rng,
-        |_| ((1u64 << 31) - 1, 1),
-    );
+    let stats = pipeline(32, 4)
+        .run_queued_ops(
+            QueueConfig {
+                arrival_prob: 1.0,
+                capacity: 4,
+            },
+            5_000,
+            &mut rng,
+            |_| ((1u64 << 31) - 1, 1),
+        )
+        .expect("valid queue config");
 
     let registry = scope.registry();
     assert_eq!(

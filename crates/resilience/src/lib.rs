@@ -1,0 +1,36 @@
+//! # vlsa-resilience
+//!
+//! Fault campaigns for the VLSA: how often does a transient or stuck-at
+//! fault in the speculative adder corrupt a delivered result, who
+//! catches it, and what does the end-to-end residue check buy?
+//!
+//! The paper's architecture has a single line of defense — the `ER`
+//! detector — and it only guards against the adder's *own* speculation
+//! errors. A fault that suppresses `ER`, or corrupts logic the detector
+//! does not observe, turns into silent data corruption (`VALID = 1`,
+//! sum wrong). This crate quantifies that exposure:
+//!
+//! - [`run_campaign`] enumerates faults over the gate-level
+//!   [`vlsa_core::vlsa_adder`] netlist — exhaustive single stuck-at, or
+//!   Monte Carlo multi-fault transients riding the simulator's
+//!   lane-as-time axis — and classifies every injection against ground
+//!   truth with the [`Outcome`] taxonomy (masked / detected-by-ER /
+//!   detected-by-residue / silent corruption).
+//! - The golden waves are simulated once per 64-vector chunk and each
+//!   fault replays through [`vlsa_sim::inject_into_waves`]; faults fan
+//!   out across `std::thread` workers with bit-identical results for
+//!   any worker count.
+//! - [`CampaignResult::to_json`] emits the `BENCH_resilience.json`
+//!   payload consumed by the bench binary and the CI smoke gate.
+//!
+//! The behavioral counterpart — retry, escalation, and graceful
+//! degradation policies driven by the same residue check — lives in
+//! `vlsa_pipeline::ResilientPipeline`.
+
+mod campaign;
+mod outcome;
+
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignError, CampaignResult, FaultModel, FaultOutcome,
+};
+pub use outcome::{Outcome, OutcomeCounts};

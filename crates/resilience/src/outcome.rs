@@ -1,0 +1,156 @@
+//! Fault-campaign outcome taxonomy.
+//!
+//! Each (fault, vector) injection lands in exactly one bucket,
+//! classified against ground truth (the model knows the correct sum):
+//!
+//! | outcome | delivered result | who noticed |
+//! |---|---|---|
+//! | [`Outcome::Masked`] | correct | nobody needed to |
+//! | [`Outcome::DetectedByEr`] | correct | the `ER` detector + recovery path |
+//! | [`Outcome::DetectedByResidue`] | wrong | the end-to-end residue check |
+//! | [`Outcome::SilentCorruption`] | wrong | nobody — SDC |
+//!
+//! The split between the two "wrong" buckets is what the residue
+//! checker buys: with it enabled, `DetectedByResidue` injections are
+//! retried/escalated instead of consumed, so only
+//! [`Outcome::SilentCorruption`] remains silent. With it disabled,
+//! both buckets are silent.
+
+use vlsa_telemetry::Json;
+
+/// Classification of one fault injection against ground truth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The delivered `(sum, cout)` is correct and the speculative
+    /// result needed no rescue — the fault never reached the consumer.
+    Masked,
+    /// The speculative result was wrong, but `ER` fired and the
+    /// recovery path delivered the correct sum. (Includes the
+    /// architecture's *natural* detections, which occur even with no
+    /// fault injected.)
+    DetectedByEr,
+    /// The delivered result is wrong with `VALID = 1`, but the residue
+    /// check rejects it — the second line of defense catches what the
+    /// detector missed.
+    DetectedByResidue,
+    /// The delivered result is wrong and passes the residue check:
+    /// silent data corruption.
+    SilentCorruption,
+}
+
+/// Outcome histogram of a campaign (or of one fault across vectors).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutcomeCounts {
+    /// [`Outcome::Masked`] injections.
+    pub masked: u64,
+    /// [`Outcome::DetectedByEr`] injections.
+    pub detected_by_er: u64,
+    /// [`Outcome::DetectedByResidue`] injections.
+    pub detected_by_residue: u64,
+    /// [`Outcome::SilentCorruption`] injections.
+    pub silent_corruption: u64,
+}
+
+impl OutcomeCounts {
+    /// Tallies one outcome.
+    pub fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Masked => self.masked += 1,
+            Outcome::DetectedByEr => self.detected_by_er += 1,
+            Outcome::DetectedByResidue => self.detected_by_residue += 1,
+            Outcome::SilentCorruption => self.silent_corruption += 1,
+        }
+    }
+
+    /// Adds another histogram into this one.
+    pub fn merge(&mut self, other: &OutcomeCounts) {
+        self.masked += other.masked;
+        self.detected_by_er += other.detected_by_er;
+        self.detected_by_residue += other.detected_by_residue;
+        self.silent_corruption += other.silent_corruption;
+    }
+
+    /// Total injections classified.
+    pub fn total(&self) -> u64 {
+        self.masked + self.detected_by_er + self.detected_by_residue + self.silent_corruption
+    }
+
+    /// Silent corruptions with the residue checker *enabled*: only the
+    /// injections nothing caught.
+    pub fn silent_with_residue(&self) -> u64 {
+        self.silent_corruption
+    }
+
+    /// Silent corruptions with the residue checker *disabled*: every
+    /// wrong delivered result, caught-by-residue or not.
+    pub fn silent_without_residue(&self) -> u64 {
+        self.detected_by_residue + self.silent_corruption
+    }
+
+    /// Fraction of injections that corrupted the delivered result.
+    pub fn corruption_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.silent_without_residue() as f64 / self.total() as f64
+        }
+    }
+
+    /// JSON object with the four buckets, the total, and the two
+    /// silent-corruption views.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("masked", self.masked)
+            .set("detected_by_er", self.detected_by_er)
+            .set("detected_by_residue", self.detected_by_residue)
+            .set("silent_corruption", self.silent_corruption)
+            .set("total", self.total())
+            .set("silent_with_residue", self.silent_with_residue())
+            .set("silent_without_residue", self.silent_without_residue())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_merge_and_totals() {
+        let mut a = OutcomeCounts::default();
+        a.record(Outcome::Masked);
+        a.record(Outcome::Masked);
+        a.record(Outcome::DetectedByEr);
+        a.record(Outcome::DetectedByResidue);
+        a.record(Outcome::SilentCorruption);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.silent_with_residue(), 1);
+        assert_eq!(a.silent_without_residue(), 2);
+
+        let mut b = OutcomeCounts::default();
+        b.record(Outcome::SilentCorruption);
+        b.merge(&a);
+        assert_eq!(b.total(), 6);
+        assert_eq!(b.silent_corruption, 2);
+        assert!((a.corruption_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(OutcomeCounts::default().corruption_rate(), 0.0);
+    }
+
+    #[test]
+    fn json_round_trips_the_buckets() {
+        let mut c = OutcomeCounts::default();
+        c.record(Outcome::DetectedByResidue);
+        c.record(Outcome::Masked);
+        let text = c.to_json().to_string();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("masked").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            parsed.get("detected_by_residue").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(parsed.get("total").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            parsed.get("silent_without_residue").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+}

@@ -41,7 +41,10 @@ pub use adder_harness::{
 };
 pub use engine::{simulate, SimulateError, Stimulus, Waves};
 pub use equiv::{equiv_exhaustive, equiv_random, EquivError};
-pub use fault::{fault_coverage, simulate_with_fault, FaultCoverage, FaultWaves, StuckAt};
+pub use fault::{
+    fault_coverage, inject_into_waves, simulate_with_fault, simulate_with_faults, FaultCoverage,
+    FaultSpec, FaultWaves, StuckAt,
+};
 pub use lanes::{lane_bit, pack_lanes, unpack_lanes, wide_add, wide_xor, WideWord};
 pub use vcd::{NetlistVcd, VcdNets};
 

@@ -33,6 +33,7 @@
 pub mod counter;
 pub mod histogram;
 pub mod json;
+pub mod names;
 pub mod registry;
 pub mod sink;
 

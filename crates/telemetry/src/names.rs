@@ -1,0 +1,75 @@
+//! Well-known metric names.
+//!
+//! Instrument names are plain strings (`vlsa.<crate>.<metric>`), which
+//! keeps the recording API dependency-free — but report builders, CI
+//! checks, and dashboards need the exact spellings. This module is the
+//! single source of truth for the names the workspace emits; new
+//! instrumented subsystems add their names here.
+
+/// `vlsa.core.*` — speculative-add accounting (every `add_u64` /
+/// `add_wide` call).
+pub mod core {
+    /// Total speculative additions performed.
+    pub const ADDS: &str = "vlsa.core.adds";
+    /// Additions where the `ER` detector fired.
+    pub const DETECTOR_FIRES: &str = "vlsa.core.detector_fires";
+    /// Additions where the speculative sum was actually wrong.
+    pub const TRUE_ERRORS: &str = "vlsa.core.true_errors";
+    /// Detector fires on sums that were nevertheless correct.
+    pub const FALSE_POSITIVES: &str = "vlsa.core.false_positives";
+}
+
+/// `vlsa.resilience.*` — the resilience layer: residue checking,
+/// bounded retry, escalation to the exact path, degradation, and the
+/// recovery watchdog (`vlsa-pipeline`'s `ResilientPipeline`).
+pub mod resilience {
+    /// Operations processed by a resilient pipeline.
+    pub const OPS: &str = "vlsa.resilience.ops";
+    /// Residue checks performed on delivered sums.
+    pub const RESIDUE_CHECKS: &str = "vlsa.resilience.residue_checks";
+    /// Residue mismatches (delivered sum proven wrong).
+    pub const RESIDUE_MISMATCHES: &str = "vlsa.resilience.residue_mismatches";
+    /// Operation re-executions triggered by residue mismatches.
+    pub const RETRIES: &str = "vlsa.resilience.retries";
+    /// Operations that exhausted retries and fell back to the exact
+    /// adder.
+    pub const ESCALATIONS: &str = "vlsa.resilience.escalations";
+    /// Stalls bounded by the recovery watchdog.
+    pub const WATCHDOG_TRIPS: &str = "vlsa.resilience.watchdog_trips";
+    /// Transitions into degraded (exact-only) mode.
+    pub const DEGRADE_TRANSITIONS: &str = "vlsa.resilience.degrade_transitions";
+    /// Operations served by the exact path while degraded.
+    pub const DEGRADED_OPS: &str = "vlsa.resilience.degraded_ops";
+    /// Wrong sums delivered with `VALID = 1` that no checker caught
+    /// (observable in simulation because the model knows ground truth).
+    pub const SILENT_CORRUPTIONS: &str = "vlsa.resilience.silent_corruptions";
+}
+
+/// `vlsa.sim.*` — gate-level simulation profiling and fault-campaign
+/// counters.
+pub mod sim {
+    /// Faults injected by coverage sweeps and campaigns.
+    pub const FAULTS_INJECTED: &str = "vlsa.sim.faults_injected";
+    /// Faults whose effect reached a primary output.
+    pub const FAULTS_PROPAGATED: &str = "vlsa.sim.faults_propagated";
+    /// Faults masked by the logic under the applied vectors.
+    pub const FAULTS_MASKED: &str = "vlsa.sim.faults_masked";
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_follow_the_convention() {
+        for name in [
+            super::core::ADDS,
+            super::core::DETECTOR_FIRES,
+            super::resilience::OPS,
+            super::resilience::RESIDUE_MISMATCHES,
+            super::resilience::DEGRADE_TRANSITIONS,
+            super::sim::FAULTS_INJECTED,
+        ] {
+            assert!(name.starts_with("vlsa."), "{name}");
+            assert_eq!(name.split('.').count(), 3, "{name}");
+        }
+    }
+}

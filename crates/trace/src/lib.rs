@@ -47,7 +47,7 @@ mod vcd;
 pub use chrome::{arg_u64, chrome_trace};
 pub use replay::{extract_ops, RecordedOp, ReplayError};
 pub use ring::FlightRecorder;
-pub use span::{Phase, TraceEvent, MAX_ARGS};
+pub use span::{names, Phase, TraceEvent, MAX_ARGS};
 pub use vcd::{VcdId, VcdWriter};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -15,6 +15,41 @@ use std::fmt;
 /// Maximum key/value arguments a single event can carry.
 pub const MAX_ARGS: usize = 6;
 
+/// Well-known span names the workspace's instrumented code emits, so
+/// exporters, tests, and trace consumers agree on spellings.
+///
+/// The pipeline emits [`names::OP`] / [`names::SPECULATE`] /
+/// [`names::DETECT`] / [`names::RECOVER`] / [`names::STALL`]
+/// (category `"pipeline"` or `"queue"`); the resilience layer adds
+/// [`names::RESIDUE_RETRY`] / [`names::ESCALATE`] /
+/// [`names::WATCHDOG`] / [`names::DEGRADE`] / [`names::EXACT_OP`]
+/// (category `"resilience"`).
+pub mod names {
+    /// One completed operation (the replay source).
+    pub const OP: &str = "op";
+    /// The single-cycle speculative attempt.
+    pub const SPECULATE: &str = "speculate";
+    /// The `ER` detector fired.
+    pub const DETECT: &str = "detect";
+    /// The recovery cycle rebuilding the exact sum.
+    pub const RECOVER: &str = "recover";
+    /// A stall bubble (`STALL` high).
+    pub const STALL: &str = "stall";
+    /// A queued arrival was dropped (issue-stage stall).
+    pub const DROP: &str = "drop";
+    /// The residue checker rejected a delivered sum; the op re-runs.
+    pub const RESIDUE_RETRY: &str = "residue_retry";
+    /// Retries exhausted: the op escalated to the exact fallback path.
+    pub const ESCALATE: &str = "escalate";
+    /// The recovery watchdog bounded a stall and forced the fallback.
+    pub const WATCHDOG: &str = "watchdog";
+    /// The pipeline crossed the degradation threshold and switched to
+    /// the exact adder for the rest of the stream.
+    pub const DEGRADE: &str = "degrade";
+    /// An operation served by the exact path while degraded.
+    pub const EXACT_OP: &str = "exact_op";
+}
+
 /// Chrome trace-event phase of a [`TraceEvent`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Phase {
