@@ -29,11 +29,20 @@
 //! * `resilience_disabled`: `ResilientPipeline` with `residue: None`.
 //! * `resilience_enabled`: the same with the default mod-3 checker.
 //!
+//! And once more for the conformance monitor, which hangs off the
+//! pipeline's operand-sampling hook:
+//!
+//! * `monitor_disabled`: `run_observed` with a no-op observer — must
+//!   sit within noise of `pipeline_baseline` (the closure is erased).
+//! * `monitor_enabled`: the same stream feeding a
+//!   `ConformanceMonitor` sized to close one window per iteration.
+//!
 //! Run with `cargo bench -p vlsa-bench --bench telemetry_overhead`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
 use vlsa_core::{windowed_sum_u64, SpeculativeAdder};
+use vlsa_monitor::{ConformanceMonitor, MonitorConfig};
 use vlsa_pipeline::{ResilienceConfig, ResilientPipeline, VlsaPipeline};
 use vlsa_telemetry::ScopedRecorder;
 use vlsa_trace::{ScopedTrace, TraceEvent};
@@ -159,6 +168,23 @@ fn bench_overhead(c: &mut Criterion) {
         b.iter(|| {
             pipe.reset();
             black_box(pipe.run(&ops).stats.ops)
+        })
+    });
+
+    group.bench_function("monitor_disabled", |b| {
+        let mut pipe = VlsaPipeline::new(SpeculativeAdder::new(NBITS, WINDOW).expect("valid"));
+        b.iter(|| black_box(pipe.run_observed(&ops, |_| {}).operations))
+    });
+
+    group.bench_function("monitor_enabled", |b| {
+        let mut pipe = VlsaPipeline::new(SpeculativeAdder::new(NBITS, WINDOW).expect("valid"));
+        let mut monitor =
+            ConformanceMonitor::new(MonitorConfig::new(NBITS, WINDOW).with_window_ops(OPS as u64));
+        b.iter(|| {
+            let trace = pipe.run_observed(&ops, |s| {
+                monitor.observe(s.a, s.b, s.stalled, s.latency_cycles);
+            });
+            black_box(trace.operations)
         })
     });
 

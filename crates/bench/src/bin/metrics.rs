@@ -4,24 +4,39 @@
 //! Usage:
 //!   cargo run --release -p vlsa-bench --bin metrics
 //!   cargo run --release -p vlsa-bench --bin metrics -- --json BENCH_pipeline.json
+//!   cargo run --release -p vlsa-bench --bin metrics -- --prom pipeline.prom
+//!   cargo run --release -p vlsa-bench --bin metrics -- --serve 127.0.0.1:0 --serve-secs 30
 //!
-//! Writes `BENCH_pipeline.json` (speculation/stall/queue metrics; the
+//! Writes `BENCH_pipeline.json` (speculation/stall/queue metrics plus
+//! latency quantiles and live conformance-monitoring fields; the
 //! `--json` path overrides the destination) and `BENCH_sim.json`
 //! (simulation profiling) next to it. The schema is documented in
-//! `EXPERIMENTS.md`.
+//! `EXPERIMENTS.md`. `--prom` additionally writes the run's telemetry
+//! as Prometheus text exposition — no server involved — and `--serve`
+//! keeps the run's registry up on a scrape endpoint (`/metrics` +
+//! `/snapshot`) for `--serve-secs` seconds.
 
 use std::path::PathBuf;
-use vlsa_bench::metrics::{pipeline_report, sim_report};
-use vlsa_bench::report::args_without_json;
+use std::sync::Arc;
+use vlsa_bench::metrics::{pipeline_metrics_run, sim_report};
+use vlsa_bench::report::{args_without_json, split_value_flag};
+use vlsa_monitor::{exposition, ScrapeServer};
 use vlsa_telemetry::Json;
 
 fn main() {
     let (args, json_path) = args_without_json();
+    let (args, prom_path) = split_value_flag(args, "prom");
+    let (args, serve_addr) = split_value_flag(args, "serve");
+    let (args, serve_secs) = split_value_flag(args, "serve-secs");
     assert!(
         args.len() <= 1,
         "metrics takes no positional arguments (got {:?})",
         &args[1..]
     );
+    let serve_secs: u64 = serve_secs
+        .as_deref()
+        .map(|s| s.parse().expect("--serve-secs takes whole seconds"))
+        .unwrap_or(5);
     let pipeline_path = json_path.unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
     let sim_path = pipeline_path
         .parent()
@@ -29,8 +44,8 @@ fn main() {
         .unwrap_or_else(|| PathBuf::from("BENCH_sim.json"));
 
     println!("Collecting pipeline speculation metrics (64-bit, 99.99% design point)...");
-    let pipeline = pipeline_report(500_000, 200_000, 4099);
-    let doc = pipeline.to_json();
+    let run = pipeline_metrics_run(500_000, 200_000, 4099);
+    let doc = run.report.to_json();
     for field in vlsa_bench::metrics::PIPELINE_REPORT_FIELDS {
         let rendered = doc.get(field).map(Json::to_string).unwrap_or_default();
         let shown = if rendered.len() > 60 {
@@ -40,10 +55,15 @@ fn main() {
         };
         println!("  {field:<20} {shown}");
     }
-    pipeline
+    run.report
         .write(&pipeline_path)
         .expect("write pipeline report");
     println!("wrote {}", pipeline_path.display());
+
+    if let Some(path) = prom_path.map(PathBuf::from) {
+        std::fs::write(&path, exposition(&run.registry)).expect("write Prometheus exposition");
+        println!("wrote {}", path.display());
+    }
 
     println!("\nCollecting gate-level simulation profile (64-bit ACA)...");
     let sim = sim_report(64, 2_000, 4099);
@@ -54,4 +74,22 @@ fn main() {
     }
     sim.write(&sim_path).expect("write sim report");
     println!("wrote {}", sim_path.display());
+
+    if let Some(addr) = serve_addr {
+        let registry = Arc::clone(&run.registry);
+        let snapshot_text = run.monitor.to_json().to_string();
+        let mut server = ScrapeServer::start(
+            &addr,
+            Arc::new(move || exposition(&registry)),
+            Arc::new(move || snapshot_text.clone()),
+        )
+        .expect("bind scrape endpoint");
+        println!(
+            "\nserving http://{}/metrics for {serve_secs}s",
+            server.addr()
+        );
+        std::thread::sleep(std::time::Duration::from_secs(serve_secs));
+        server.shutdown();
+        println!("scrape endpoint closed");
+    }
 }

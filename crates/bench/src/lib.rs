@@ -16,6 +16,7 @@
 //! | `crypto_attack`| §1 ciphertext-only attack demo |
 
 pub mod metrics;
+pub mod monitorbin;
 pub mod report;
 pub mod tracebin;
 

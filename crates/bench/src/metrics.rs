@@ -8,26 +8,94 @@
 use crate::report::Report;
 use crate::{paper_window, synthesize, PAPER_ACCURACY};
 use rand::SeedableRng;
+use std::sync::Arc;
 use vlsa_core::{almost_correct_adder, SpeculativeAdder};
+use vlsa_monitor::{ConformanceMonitor, MonitorConfig};
 use vlsa_pipeline::{
     random_operands, FaultKind, PipelineFault, QueueConfig, ResilienceConfig, ResilientPipeline,
     VlsaPipeline,
 };
 use vlsa_sim::{check_adder, random_pairs};
-use vlsa_telemetry::{ScopedRecorder, DEFAULT_BUCKETS};
+use vlsa_telemetry::{Json, Registry, ScopedRecorder, DEFAULT_BUCKETS};
+
+/// Everything a `pipeline_report` run produces beyond the report
+/// itself: the live registry (for Prometheus exposition or a scrape
+/// endpoint) and the conformance monitor that watched the stream (for
+/// the `/snapshot` document).
+#[derive(Debug)]
+pub struct PipelineMetricsRun {
+    /// The `BENCH_pipeline.json` document.
+    pub report: Report,
+    /// The registry the experiment recorded into.
+    pub registry: Arc<Registry>,
+    /// The monitor that watched the random-stream segment.
+    pub monitor: ConformanceMonitor,
+}
+
+/// Latency quantiles reported in `BENCH_pipeline.json`, as
+/// `(field name, q)` pairs.
+pub const LATENCY_QUANTILES: &[(&str, f64)] =
+    &[("p50", 0.5), ("p90", 0.9), ("p99", 0.99), ("p999", 0.999)];
+
+/// Summarizes a finished conformance monitor for the report: window and
+/// alert totals, the worst (smallest) spectrum p-value seen, and the
+/// model-vs-measured stall rate.
+fn monitor_summary(monitor: &ConformanceMonitor) -> Json {
+    let windows = monitor.windows();
+    let min_p = windows
+        .iter()
+        .filter_map(|w| w.p_value)
+        .fold(f64::INFINITY, f64::min);
+    let (total_ops, total_stalls) = windows.iter().fold((0u64, 0u64), |(ops, stalls), w| {
+        (ops + w.ops, stalls + w.stalls)
+    });
+    let mut doc = Json::obj()
+        .set("windows", windows.len() as u64)
+        .set("window_ops", monitor.config().window_ops)
+        .set("alerts", monitor.alerts().len() as u64)
+        .set("expected_stall_rate", monitor.config().stall_probability())
+        .set(
+            "observed_stall_rate",
+            if total_ops == 0 {
+                0.0
+            } else {
+                total_stalls as f64 / total_ops as f64
+            },
+        );
+    if min_p.is_finite() {
+        doc = doc.set("min_p_value", min_p);
+    }
+    doc.set(
+        "alert_records",
+        Json::Arr(monitor.alerts().iter().map(|a| a.to_json()).collect()),
+    )
+}
 
 /// Runs the paper's 64-bit design point through the pipeline (a random
-/// stream plus a queued run) and reports the speculation metrics. A
+/// stream plus a queued run) and reports the speculation metrics. The
+/// random stream runs under a [`ConformanceMonitor`] fed from the
+/// pipeline's operand-sampling hook, so the report carries live
+/// model-vs-measured conformance fields next to the raw counters. A
 /// third segment runs the [`ResilientPipeline`] with a persistent
 /// suppressed-detector fault so the retry / escalation / degradation
 /// counters in the report are exercised, not zero.
 pub fn pipeline_report(ops: usize, queue_cycles: u64, seed: u64) -> Report {
+    pipeline_metrics_run(ops, queue_cycles, seed).report
+}
+
+/// [`pipeline_report`] keeping the registry and monitor alive for the
+/// `--prom` / `--serve` paths of the `metrics` binary.
+pub fn pipeline_metrics_run(ops: usize, queue_cycles: u64, seed: u64) -> PipelineMetricsRun {
     let scope = ScopedRecorder::install();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let adder = SpeculativeAdder::for_accuracy(64, PAPER_ACCURACY).expect("valid design point");
     let window = adder.window();
+    let mut monitor = ConformanceMonitor::new(MonitorConfig::new(64, window));
     let mut pipe = VlsaPipeline::new(adder);
-    let trace = pipe.run(&random_operands(64, ops, &mut rng));
+    let trace = pipe.run_observed(&random_operands(64, ops, &mut rng), |sample| {
+        monitor.observe(sample.a, sample.b, sample.stalled, sample.latency_cycles);
+    });
+    monitor.finish();
     let stats = pipe
         .run_queued(
             QueueConfig {
@@ -51,6 +119,14 @@ pub fn pipeline_report(ops: usize, queue_cycles: u64, seed: u64) -> Report {
     let rtrace = resilient.run(&random_operands(8, ops.min(10_000), &mut rng));
 
     let registry = scope.registry();
+    let latency_hist = registry.histogram(
+        vlsa_telemetry::names::pipeline::OP_LATENCY_CYCLES,
+        DEFAULT_BUCKETS,
+    );
+    let mut quantiles = Json::obj();
+    for &(field, q) in LATENCY_QUANTILES {
+        quantiles = quantiles.set(field, latency_hist.quantile(q).expect("nonempty histogram"));
+    }
     let mut report = Report::new("pipeline");
     report
         .set("nbits", 64u64)
@@ -76,6 +152,8 @@ pub fn pipeline_report(ops: usize, queue_cycles: u64, seed: u64) -> Report {
                 .histogram("vlsa.pipeline.op_latency_cycles", DEFAULT_BUCKETS)
                 .to_json(),
         )
+        .set("latency_quantiles", quantiles)
+        .set("monitor", monitor_summary(&monitor))
         .set("mean_queue_wait", stats.mean_wait())
         .set("queue_drop_rate", stats.drop_rate())
         .set("queue_throughput", stats.throughput())
@@ -87,7 +165,13 @@ pub fn pipeline_report(ops: usize, queue_cycles: u64, seed: u64) -> Report {
         .set("degraded_ops", rtrace.stats.degraded_ops)
         .set("silent_corruptions", rtrace.stats.silent_corruptions);
     report.attach_registry(registry);
-    report
+    let registry = Arc::clone(registry);
+    drop(scope);
+    PipelineMetricsRun {
+        report,
+        registry,
+        monitor,
+    }
 }
 
 /// Simulates random vectors through a gate-level ACA and reports the
@@ -134,6 +218,8 @@ pub const PIPELINE_REPORT_FIELDS: &[&str] = &[
     "detector_fires",
     "false_positives",
     "latency_histogram",
+    "latency_quantiles",
+    "monitor",
     "mean_queue_wait",
     "residue_retries",
     "escalations",
@@ -194,6 +280,55 @@ mod tests {
             .and_then(Json::as_f64)
             .expect("wait");
         assert!(wait >= 1.0, "wait={wait}");
+        // Latency quantiles: almost every op completes in one cycle at
+        // the 99.99% design point.
+        let quantiles = parsed.get("latency_quantiles").expect("quantiles");
+        for (field, _) in LATENCY_QUANTILES {
+            let v = quantiles.get(field).and_then(Json::as_f64);
+            assert!(v.is_some_and(|v| (1.0..=2.0).contains(&v)), "{field}={v:?}");
+        }
+        assert_eq!(quantiles.get("p50").and_then(Json::as_f64), Some(1.0));
+        // Conformance monitoring: a uniform stream matches the model,
+        // so windows close without alerts.
+        let monitor = parsed.get("monitor").expect("monitor summary");
+        assert!(
+            monitor
+                .get("windows")
+                .and_then(Json::as_u64)
+                .expect("windows")
+                >= 4,
+            "{monitor}"
+        );
+        assert_eq!(monitor.get("alerts").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            monitor
+                .get("alert_records")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+        let expected = monitor
+            .get("expected_stall_rate")
+            .and_then(Json::as_f64)
+            .expect("expected rate");
+        let observed = monitor
+            .get("observed_stall_rate")
+            .and_then(Json::as_f64)
+            .expect("observed rate");
+        assert!(expected > 0.0 && observed < 10.0 * expected.max(1e-6));
+        assert!(
+            monitor
+                .get("min_p_value")
+                .and_then(Json::as_f64)
+                .expect("min p")
+                > 1e-3
+        );
+        // The monitor's own metric family landed in the snapshot.
+        assert!(parsed
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("vlsa.monitor.windows"))
+            .is_some());
         // The registry snapshot rides along.
         assert!(parsed
             .get("metrics")

@@ -53,6 +53,34 @@ pub fn args_without_json() -> (Vec<String>, Option<PathBuf>) {
     split_json_flag(std::env::args().collect())
 }
 
+/// Splits a generic `--<flag> <value>` / `--<flag>=<value>` pair out of
+/// an argument list (the same convention as `--json`), returning the
+/// remaining arguments and the value.
+///
+/// # Panics
+///
+/// Panics if the flag appears last with no value.
+pub fn split_value_flag(args: Vec<String>, flag: &str) -> (Vec<String>, Option<String>) {
+    let bare = format!("--{flag}");
+    let prefixed = format!("--{flag}=");
+    let mut rest = Vec::with_capacity(args.len());
+    let mut value = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == bare {
+            value = Some(
+                iter.next()
+                    .unwrap_or_else(|| panic!("{bare} requires a value argument")),
+            );
+        } else if let Some(v) = arg.strip_prefix(&prefixed) {
+            value = Some(v.to_string());
+        } else {
+            rest.push(arg);
+        }
+    }
+    (rest, value)
+}
+
 /// Accumulates one binary's results into the `BENCH_*.json` schema.
 #[derive(Clone, Debug)]
 pub struct Report {
@@ -145,6 +173,27 @@ mod tests {
     #[should_panic(expected = "--json requires a path")]
     fn dangling_json_flag_panics() {
         split_json_flag(strings(&["bin", "--json"]));
+    }
+
+    #[test]
+    fn value_flags_are_stripped_in_both_spellings() {
+        let (rest, value) = split_value_flag(strings(&["bin", "--prom", "m.prom", "x"]), "prom");
+        assert_eq!(rest, strings(&["bin", "x"]));
+        assert_eq!(value.as_deref(), Some("m.prom"));
+
+        let (rest, value) = split_value_flag(strings(&["bin", "--serve=127.0.0.1:0"]), "serve");
+        assert_eq!(rest, strings(&["bin"]));
+        assert_eq!(value.as_deref(), Some("127.0.0.1:0"));
+
+        let (rest, value) = split_value_flag(strings(&["bin", "--serve", "addr"]), "prom");
+        assert_eq!(rest, strings(&["bin", "--serve", "addr"]));
+        assert_eq!(value, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--prom requires a value")]
+    fn dangling_value_flag_panics() {
+        split_value_flag(strings(&["bin", "--prom"]), "prom");
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Typed drift alerts raised by the conformance engine.
+
+use std::fmt;
+
+use vlsa_telemetry::Json;
+
+/// What kind of model-vs-measured drift a window exhibited.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AlertKind {
+    /// The observed propagate-run-length spectrum no longer fits the
+    /// exact uniform-operand distribution (chi-square goodness-of-fit
+    /// rejected at the configured significance level).
+    SpectrumDrift {
+        /// Pearson chi-square statistic over the window.
+        chi2: f64,
+        /// Its p-value under the model.
+        p_value: f64,
+        /// Degrees of freedom of the test.
+        dof: usize,
+    },
+    /// The stall (speculation-error) rate is persistently above the
+    /// design value (one-sided Poisson CUSUM crossed its decision
+    /// interval).
+    ErrorRateDrift {
+        /// The CUSUM value at the moment it crossed the interval.
+        cusum: f64,
+        /// The decision interval it crossed.
+        h: f64,
+        /// Stalls observed in the triggering window.
+        observed: u64,
+        /// Stalls the model expects per window.
+        expected: f64,
+    },
+}
+
+impl AlertKind {
+    /// Short machine-readable label (used as a trace arg key, a
+    /// Prometheus label value, and the JSON `kind` field).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlertKind::SpectrumDrift { .. } => "spectrum_drift",
+            AlertKind::ErrorRateDrift { .. } => "error_rate_drift",
+        }
+    }
+}
+
+/// One drift alert: a window whose measurements contradict the
+/// `A_n(k)`-derived model the speculative adder was sized against.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Alert {
+    /// Index of the window that raised the alert (0-based).
+    pub window: u64,
+    /// Operations in that window.
+    pub ops: u64,
+    /// Stalls in that window.
+    pub stalls: u64,
+    /// What drifted, with the evidence.
+    pub kind: AlertKind,
+}
+
+impl Alert {
+    /// The alert as one JSON object (the record shape documented in
+    /// `EXPERIMENTS.md`).
+    pub fn to_json(&self) -> Json {
+        let doc = Json::obj()
+            .set("kind", self.kind.label())
+            .set("window", self.window)
+            .set("ops", self.ops)
+            .set("stalls", self.stalls);
+        match self.kind {
+            AlertKind::SpectrumDrift { chi2, p_value, dof } => doc
+                .set("chi2", chi2)
+                .set("p_value", p_value)
+                .set("dof", dof as u64),
+            AlertKind::ErrorRateDrift {
+                cusum,
+                h,
+                observed,
+                expected,
+            } => doc
+                .set("cusum", cusum)
+                .set("h", h)
+                .set("observed", observed)
+                .set("expected", expected),
+        }
+    }
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            AlertKind::SpectrumDrift { chi2, p_value, dof } => write!(
+                f,
+                "window {}: run-length spectrum drift (chi2={chi2:.2}, dof={dof}, p={p_value:.3e})",
+                self.window
+            ),
+            AlertKind::ErrorRateDrift {
+                cusum,
+                h,
+                observed,
+                expected,
+            } => write!(
+                f,
+                "window {}: stall-rate drift ({observed} stalls vs {expected:.2} expected, cusum={cusum:.2} >= h={h})",
+                self.window
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alerts_serialize_with_their_evidence() {
+        let alert = Alert {
+            window: 3,
+            ops: 4096,
+            stalls: 17,
+            kind: AlertKind::SpectrumDrift {
+                chi2: 42.5,
+                p_value: 1.2e-7,
+                dof: 4,
+            },
+        };
+        let doc = Json::parse(&alert.to_json().to_string()).expect("valid JSON");
+        assert_eq!(
+            doc.get("kind").and_then(Json::as_str),
+            Some("spectrum_drift")
+        );
+        assert_eq!(doc.get("window").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("dof").and_then(Json::as_u64), Some(4));
+        assert!(alert.to_string().contains("spectrum drift"));
+
+        let alert = Alert {
+            window: 9,
+            ops: 4096,
+            stalls: 60,
+            kind: AlertKind::ErrorRateDrift {
+                cusum: 6.1,
+                h: 5.0,
+                observed: 60,
+                expected: 1.7,
+            },
+        };
+        let doc = Json::parse(&alert.to_json().to_string()).expect("valid JSON");
+        assert_eq!(
+            doc.get("kind").and_then(Json::as_str),
+            Some("error_rate_drift")
+        );
+        assert_eq!(doc.get("observed").and_then(Json::as_u64), Some(60));
+        assert!(alert.to_string().contains("stall-rate drift"));
+    }
+}

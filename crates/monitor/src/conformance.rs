@@ -1,0 +1,278 @@
+//! The model side of conformance checking: the exact run-length
+//! spectrum predicted by the paper's `A_n(x)` recurrence, binned for a
+//! chi-square goodness-of-fit test, plus a Poisson CUSUM tracker for
+//! the stall rate.
+
+use crate::stats::chi2_sf;
+use vlsa_runstats::RunLengthDistribution;
+
+/// One chi-square bin: the run-length range `lo..=hi` and its exact
+/// probability under the uniform-operand model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpectrumBin {
+    /// Smallest run length in the bin (inclusive).
+    pub lo: usize,
+    /// Largest run length in the bin (inclusive).
+    pub hi: usize,
+    /// `P(lo <= L <= hi)` for uniform operands.
+    pub prob: f64,
+}
+
+/// The exact longest-propagate-run distribution for `n`-bit uniform
+/// operands, binned so every bin's expected count at the configured
+/// window size clears the classic chi-square validity floor.
+#[derive(Clone, Debug)]
+pub struct SpectrumModel {
+    nbits: usize,
+    bins: Vec<SpectrumBin>,
+}
+
+impl SpectrumModel {
+    /// Builds the binned model for `nbits`-bit operands, merging
+    /// adjacent run lengths until each bin's expected count over
+    /// `window_ops` observations is at least `min_expected` (the last
+    /// bin absorbs the entire upper tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbits` is zero, `window_ops` is zero, or the window
+    /// is too small to form at least two bins (no test is possible).
+    pub fn new(nbits: usize, window_ops: u64, min_expected: f64) -> SpectrumModel {
+        assert!(nbits > 0, "nbits must be positive");
+        assert!(window_ops > 0, "window_ops must be positive");
+        let dist = RunLengthDistribution::new(nbits);
+        let mut bins = Vec::new();
+        let mut lo = 0usize;
+        let mut prob = 0.0f64;
+        for x in 0..=nbits {
+            prob += dist.pmf(x);
+            if prob * window_ops as f64 >= min_expected {
+                bins.push(SpectrumBin { lo, hi: x, prob });
+                lo = x + 1;
+                prob = 0.0;
+            }
+        }
+        // Fold any leftover tail probability into the last bin.
+        if let Some(last) = bins.last_mut() {
+            if prob > 0.0 || last.hi < nbits {
+                last.prob += prob;
+                last.hi = nbits;
+            }
+        }
+        assert!(
+            bins.len() >= 2,
+            "window of {window_ops} ops is too small for a {nbits}-bit spectrum test"
+        );
+        SpectrumModel { nbits, bins }
+    }
+
+    /// Operand bitwidth the model describes.
+    pub fn nbits(&self) -> usize {
+        self.nbits
+    }
+
+    /// The bins, ascending in run length, probabilities summing to 1.
+    pub fn bins(&self) -> &[SpectrumBin] {
+        &self.bins
+    }
+
+    /// Degrees of freedom of the goodness-of-fit test.
+    pub fn dof(&self) -> usize {
+        self.bins.len() - 1
+    }
+
+    /// Aggregates a per-run-length count spectrum (index = run length)
+    /// into per-bin observed counts.
+    pub fn bin_counts(&self, spectrum: &[u64]) -> Vec<u64> {
+        self.bins
+            .iter()
+            .map(|bin| {
+                spectrum
+                    .iter()
+                    .take(bin.hi + 1)
+                    .skip(bin.lo)
+                    .copied()
+                    .sum::<u64>()
+            })
+            .collect()
+    }
+
+    /// Pearson chi-square statistic and its p-value for an observed
+    /// per-run-length spectrum over `ops` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is zero.
+    pub fn chi_square(&self, spectrum: &[u64], ops: u64) -> (f64, f64) {
+        assert!(ops > 0, "chi-square needs observations");
+        let observed = self.bin_counts(spectrum);
+        let chi2: f64 = self
+            .bins
+            .iter()
+            .zip(&observed)
+            .map(|(bin, &obs)| {
+                let expected = bin.prob * ops as f64;
+                let diff = obs as f64 - expected;
+                diff * diff / expected
+            })
+            .sum();
+        (chi2, chi2_sf(chi2, self.dof()))
+    }
+}
+
+/// One-sided Poisson CUSUM over per-window stall counts: detects a
+/// sustained inflation of the stall rate from the design value `λ0` to
+/// `ratio · λ0`, with the textbook reference value
+/// `k = (λ1 − λ0) / ln(λ1 / λ0)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CusumTracker {
+    k_ref: f64,
+    h: f64,
+    s: f64,
+}
+
+impl CusumTracker {
+    /// A tracker sized for `lambda0` expected stalls per window and a
+    /// target detectable inflation of `ratio`, alerting when the CUSUM
+    /// exceeds the decision interval `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda0 > 0`, `ratio > 1`, and `h > 0`.
+    pub fn new(lambda0: f64, ratio: f64, h: f64) -> CusumTracker {
+        assert!(lambda0 > 0.0, "lambda0 must be positive");
+        assert!(ratio > 1.0, "ratio must exceed 1");
+        assert!(h > 0.0, "decision interval must be positive");
+        let lambda1 = ratio * lambda0;
+        CusumTracker {
+            k_ref: (lambda1 - lambda0) / (lambda1 / lambda0).ln(),
+            h,
+            s: 0.0,
+        }
+    }
+
+    /// The reference value `k` subtracted per window.
+    pub fn k_ref(&self) -> f64 {
+        self.k_ref
+    }
+
+    /// The decision interval.
+    pub fn h(&self) -> f64 {
+        self.h
+    }
+
+    /// The current CUSUM.
+    pub fn value(&self) -> f64 {
+        self.s
+    }
+
+    /// Feeds one window's observed stall count; returns `true` when the
+    /// CUSUM crosses the decision interval (the tracker then resets so
+    /// a persisting shift re-alerts rather than saturating).
+    pub fn observe(&mut self, count: u64) -> bool {
+        self.s = (self.s + count as f64 - self.k_ref).max(0.0);
+        if self.s >= self.h {
+            self.s = 0.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsa_runstats::prob_longest_run_le;
+
+    #[test]
+    fn bins_cover_the_spectrum_exactly_once() {
+        let model = SpectrumModel::new(64, 4096, 5.0);
+        let bins = model.bins();
+        assert!(bins.len() >= 3, "{bins:?}");
+        assert_eq!(bins[0].lo, 0);
+        assert_eq!(bins.last().unwrap().hi, 64);
+        for pair in bins.windows(2) {
+            assert_eq!(pair[0].hi + 1, pair[1].lo);
+        }
+        let total: f64 = bins.iter().map(|b| b.prob).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+        // Every bin clears the expected-count floor.
+        for bin in bins {
+            assert!(bin.prob * 4096.0 >= 5.0 - 1e-9, "{bin:?}");
+        }
+        assert_eq!(model.dof(), bins.len() - 1);
+        assert_eq!(model.nbits(), 64);
+    }
+
+    #[test]
+    fn bin_probabilities_match_the_recurrence() {
+        let model = SpectrumModel::new(32, 8192, 5.0);
+        for bin in model.bins() {
+            let exact = prob_longest_run_le(32, bin.hi)
+                - if bin.lo == 0 {
+                    0.0
+                } else {
+                    prob_longest_run_le(32, bin.lo - 1)
+                };
+            assert!((bin.prob - exact).abs() < 1e-9, "{bin:?}");
+        }
+    }
+
+    #[test]
+    fn perfect_spectrum_scores_near_zero() {
+        let model = SpectrumModel::new(64, 100_000, 5.0);
+        // Feed the expected counts themselves: chi2 ~ 0, p ~ 1.
+        let mut spectrum = vec![0u64; 65];
+        for bin in model.bins() {
+            spectrum[bin.lo] = (bin.prob * 100_000.0).round() as u64;
+        }
+        let ops: u64 = spectrum.iter().sum();
+        let (chi2, p) = model.chi_square(&spectrum, ops);
+        assert!(chi2 < model.dof() as f64, "{chi2}");
+        assert!(p > 0.5, "{p}");
+    }
+
+    #[test]
+    fn shifted_spectrum_is_rejected() {
+        let model = SpectrumModel::new(64, 4096, 5.0);
+        // Everything lands in the top bin: maximal drift.
+        let mut spectrum = vec![0u64; 65];
+        spectrum[64] = 4096;
+        let (chi2, p) = model.chi_square(&spectrum, 4096);
+        assert!(chi2 > 1000.0, "{chi2}");
+        assert!(p < 1e-12, "{p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_windows_cannot_form_a_test() {
+        SpectrumModel::new(64, 2, 5.0);
+    }
+
+    #[test]
+    fn cusum_ignores_noise_and_catches_shifts() {
+        let mut cusum = CusumTracker::new(0.4, 4.0, 5.0);
+        assert!(
+            cusum.k_ref() > 0.4 && cusum.k_ref() < 1.6,
+            "{}",
+            cusum.k_ref()
+        );
+        // In-control windows (0 or 1 stalls) never alert.
+        for count in [0u64, 1, 0, 0, 1, 1, 0] {
+            assert!(!cusum.observe(count));
+        }
+        assert!(cusum.value() < 5.0);
+        // A sustained 10x shift alerts within a couple of windows.
+        let mut fired = false;
+        for _ in 0..3 {
+            if cusum.observe(8) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired);
+        // The tracker reset after alerting.
+        assert_eq!(cusum.value(), 0.0);
+    }
+}

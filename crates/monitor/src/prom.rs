@@ -1,0 +1,121 @@
+//! Prometheus text exposition (version 0.0.4) over a telemetry
+//! [`Registry`] — counters, gauges, and cumulative histogram buckets,
+//! rendered with the naming conventions Prometheus expects.
+
+use std::fmt::Write;
+
+use vlsa_telemetry::Registry;
+
+/// Maps a dotted telemetry name (`vlsa.monitor.ops`) onto a legal
+/// Prometheus metric name (`vlsa_monitor_ops`): every character outside
+/// `[a-zA-Z0-9_:]` becomes `_`, and a leading digit is prefixed.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a float the way Prometheus expects (`+Inf`/`-Inf`/`NaN`
+/// spellings, plain decimal otherwise).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the registry's full contents in Prometheus text exposition
+/// format: one `# HELP` / `# TYPE` pair per metric, counters suffixed
+/// `_total`, histograms expanded to cumulative `_bucket{le="..."}`
+/// series with the implicit `+Inf` bucket plus `_sum` and `_count`.
+pub fn exposition(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (name, counter) in registry.counters() {
+        let prom = format!("{}_total", sanitize_name(&name));
+        let _ = writeln!(out, "# HELP {prom} Telemetry counter {name}");
+        let _ = writeln!(out, "# TYPE {prom} counter");
+        let _ = writeln!(out, "{prom} {}", counter.get());
+    }
+    for (name, gauge) in registry.gauges() {
+        let prom = sanitize_name(&name);
+        let _ = writeln!(out, "# HELP {prom} Telemetry gauge {name}");
+        let _ = writeln!(out, "# TYPE {prom} gauge");
+        let _ = writeln!(out, "{prom} {}", fmt_value(gauge.get()));
+    }
+    for (name, hist) in registry.histograms() {
+        let prom = sanitize_name(&name);
+        let _ = writeln!(out, "# HELP {prom} Telemetry histogram {name}");
+        let _ = writeln!(out, "# TYPE {prom} histogram");
+        let mut cum = 0u64;
+        for (le, count) in hist.buckets() {
+            cum += count;
+            let _ = writeln!(out, "{prom}_bucket{{le=\"{le}\"}} {cum}");
+        }
+        cum += hist.overflow();
+        let _ = writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {cum}");
+        let _ = writeln!(out, "{prom}_sum {}", hist.sum());
+        let _ = writeln!(out, "{prom}_count {}", hist.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize_name("vlsa.monitor.ops"), "vlsa_monitor_ops");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("ok_name:x"), "ok_name:x");
+    }
+
+    #[test]
+    fn exposition_renders_all_metric_kinds() {
+        let registry = Registry::new();
+        registry.counter("vlsa.test.ops").add(7);
+        registry.gauge("vlsa.test.rate").set(0.25);
+        let h = registry.histogram("vlsa.test.lat", &[1, 2]);
+        h.record(1);
+        h.record(2);
+        h.record(9);
+        let text = exposition(&registry);
+        assert!(
+            text.contains("# TYPE vlsa_test_ops_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("vlsa_test_ops_total 7"), "{text}");
+        assert!(text.contains("# TYPE vlsa_test_rate gauge"), "{text}");
+        assert!(text.contains("vlsa_test_rate 0.25"), "{text}");
+        // Buckets are cumulative and the +Inf bucket equals the count.
+        assert!(text.contains("vlsa_test_lat_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("vlsa_test_lat_bucket{le=\"2\"} 2"), "{text}");
+        assert!(
+            text.contains("vlsa_test_lat_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("vlsa_test_lat_sum 12"), "{text}");
+        assert!(text.contains("vlsa_test_lat_count 3"), "{text}");
+    }
+
+    #[test]
+    fn non_finite_gauges_use_prometheus_spellings() {
+        let registry = Registry::new();
+        registry.gauge("vlsa.test.inf").set(f64::INFINITY);
+        let text = exposition(&registry);
+        assert!(text.contains("vlsa_test_inf +Inf"), "{text}");
+    }
+}

@@ -1,0 +1,194 @@
+//! A minimal, dependency-free HTTP scrape endpoint.
+//!
+//! Serves `GET /metrics` (Prometheus text exposition) and
+//! `GET /snapshot` (the monitor's JSON state) from a background thread,
+//! one short-lived connection at a time — exactly the traffic pattern
+//! of a Prometheus scraper, and all that a monitoring sidecar needs.
+//! Shutdown is graceful: a flag is raised and the accept loop is woken
+//! with a loopback connection, so no thread is ever killed mid-write.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Producer of an endpoint body, called once per request.
+pub type BodyFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A running scrape endpoint.
+#[derive(Debug)]
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `metrics` at `/metrics` and `snapshot` at
+    /// `/snapshot` on a background thread.
+    pub fn start(addr: &str, metrics: BodyFn, snapshot: BodyFn) -> io::Result<ScrapeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("vlsa-monitor-scrape".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // One scraper, small bodies: serving inline on
+                        // the accept thread is simpler and plenty fast.
+                        let _ = serve_one(stream, &metrics, &snapshot);
+                    }
+                }
+            })?;
+        Ok(ScrapeServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Raises the stop flag, wakes the accept loop, and joins the
+    /// serving thread. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop; it rechecks the flag before serving.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reads one request off `stream`, routes it, and writes one response.
+fn serve_one(mut stream: TcpStream, metrics: &BodyFn, snapshot: &BodyFn) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let path = read_request_path(&mut stream)?;
+    let (status, content_type, body) = match path.as_deref() {
+        Some("/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            metrics(),
+        ),
+        Some("/snapshot") => ("200 OK", "application/json", snapshot()),
+        Some(_) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "try /metrics or /snapshot\n".to_string(),
+        ),
+        None => (
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "malformed request\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads up to the end of the request head and returns the GET path,
+/// or `None` if the request line is not a well-formed GET.
+fn read_request_path(stream: &mut TcpStream) -> io::Result<Option<String>> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("GET"), Some(path), Some(version)) if version.starts_with("HTTP/") => {
+            // Ignore any query string: scrape configs often add one.
+            Ok(Some(path.split('?').next().unwrap_or(path).to_string()))
+        }
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    }
+
+    fn test_server() -> ScrapeServer {
+        ScrapeServer::start(
+            "127.0.0.1:0",
+            Arc::new(|| "vlsa_test_ops_total 7\n".to_string()),
+            Arc::new(|| "{\"ok\":true}".to_string()),
+        )
+        .expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn serves_metrics_and_snapshot() {
+        let server = test_server();
+        let metrics = get(server.addr(), "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"), "{metrics}");
+        assert!(metrics.ends_with("vlsa_test_ops_total 7\n"), "{metrics}");
+
+        let snapshot = get(server.addr(), "/snapshot?verbose=1");
+        assert!(snapshot.contains("application/json"), "{snapshot}");
+        assert!(snapshot.ends_with("{\"ok\":true}"), "{snapshot}");
+    }
+
+    #[test]
+    fn unknown_paths_get_404_and_garbage_gets_400() {
+        let server = test_server();
+        assert!(get(server.addr(), "/nope").starts_with("HTTP/1.1 404"));
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.write_all(b"BLAH\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    }
+
+    #[test]
+    fn shutdown_joins_and_releases_the_port() {
+        let mut server = test_server();
+        let addr = server.addr();
+        assert!(get(addr, "/metrics").contains("200 OK"));
+        server.shutdown();
+        server.shutdown(); // idempotent
+                           // The listener is gone: a fresh bind of the same port succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "{rebound:?}");
+    }
+}

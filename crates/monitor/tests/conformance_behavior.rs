@@ -1,0 +1,197 @@
+//! Statistical behavior of the conformance monitor: the false-alarm
+//! rate under the uniform null stays within the configured budget, a
+//! biased operand stream is flagged within a bounded number of windows,
+//! and the Prometheus exposition conforms to the text format.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vlsa_monitor::{exposition, AlertKind, ConformanceMonitor, MonitorConfig};
+use vlsa_runstats::longest_one_run_u64;
+use vlsa_telemetry::Registry;
+
+const NBITS: usize = 64;
+const WINDOW: usize = 12;
+
+/// Feeds `windows` full conformance windows of uniform operand pairs.
+fn feed_uniform(monitor: &mut ConformanceMonitor, windows: u64, rng: &mut StdRng) {
+    let ops = windows * monitor.config().window_ops;
+    for _ in 0..ops {
+        let (a, b): (u64, u64) = (rng.gen(), rng.gen());
+        let stalled = longest_one_run_u64(a ^ b) as usize >= WINDOW;
+        monitor.observe(a, b, stalled, 1 + u64::from(stalled));
+    }
+}
+
+#[test]
+fn false_positive_rate_under_uniform_null_stays_below_alpha() {
+    // 20 seeds x 10 windows at alpha = 5%: ~10 expected false alarms
+    // over 200 windows. A binomial tail bound puts 25 alarms at
+    // < 1e-4 probability, so the threshold below is not flaky.
+    let alpha = 0.05;
+    let mut windows_seen = 0u64;
+    let mut spectrum_alarms = 0u64;
+    let mut cusum_alarms = 0u64;
+    for seed in 0..20u64 {
+        let config = MonitorConfig::new(NBITS, WINDOW).with_alpha(alpha);
+        let mut monitor = ConformanceMonitor::new(config);
+        let mut rng = StdRng::seed_from_u64(0xDA7E_0000 + seed);
+        feed_uniform(&mut monitor, 10, &mut rng);
+        windows_seen += monitor.windows().len() as u64;
+        for alert in monitor.alerts() {
+            match alert.kind {
+                AlertKind::SpectrumDrift { .. } => spectrum_alarms += 1,
+                AlertKind::ErrorRateDrift { .. } => cusum_alarms += 1,
+            }
+        }
+    }
+    assert_eq!(windows_seen, 200);
+    let rate = spectrum_alarms as f64 / windows_seen as f64;
+    assert!(rate <= 2.5 * alpha, "spectrum false-alarm rate {rate}");
+    // The CUSUM is tuned for a 4x rate inflation; uniform traffic
+    // should essentially never trip it.
+    assert!(cusum_alarms <= 1, "{cusum_alarms} cusum alarms under null");
+}
+
+#[test]
+fn tight_alpha_is_quiet_across_seeds() {
+    // At the default alpha = 1e-3, 80 null windows should be silent.
+    for seed in 0..8u64 {
+        let mut monitor = ConformanceMonitor::new(MonitorConfig::new(NBITS, WINDOW));
+        let mut rng = StdRng::seed_from_u64(0xBEEF_0000 + seed);
+        feed_uniform(&mut monitor, 10, &mut rng);
+        assert!(
+            monitor.alerts().is_empty(),
+            "seed {seed}: {:?}",
+            monitor.alerts()
+        );
+    }
+}
+
+#[test]
+fn biased_stream_is_flagged_within_bounded_windows() {
+    // Operands whose XOR has 80%-dense one bits: long propagate runs
+    // dominate, exactly the traffic the adder was NOT sized for.
+    for seed in 0..5u64 {
+        let mut monitor = ConformanceMonitor::new(MonitorConfig::new(NBITS, WINDOW));
+        let mut rng = StdRng::seed_from_u64(0xB1A5_0000 + seed);
+        let window_ops = monitor.config().window_ops;
+        let mut flagged_after = None;
+        for window in 0..4u64 {
+            for _ in 0..window_ops {
+                let a: u64 = rng.gen();
+                let mut mask = 0u64;
+                for bit in 0..NBITS {
+                    mask |= u64::from(rng.gen_bool(0.8)) << bit;
+                }
+                let b = a ^ mask;
+                let stalled = longest_one_run_u64(a ^ b) as usize >= WINDOW;
+                monitor.observe(a, b, stalled, 1 + u64::from(stalled));
+            }
+            if !monitor.alerts().is_empty() {
+                flagged_after = Some(window + 1);
+                break;
+            }
+        }
+        // One window of evidence must be enough for a shift this large.
+        assert_eq!(flagged_after, Some(1), "seed {seed}");
+        assert!(monitor
+            .alerts()
+            .iter()
+            .any(|a| matches!(a.kind, AlertKind::SpectrumDrift { .. })));
+    }
+}
+
+/// Splits one exposition line into (name, labels, value), panicking
+/// with context if it is not well-formed.
+fn parse_sample_line(line: &str) -> (String, Option<String>, f64) {
+    let (series, value) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| panic!("no value separator in {line:?}"));
+    let value: f64 = value
+        .parse()
+        .or_else(|_| match value {
+            "+Inf" => Ok(f64::INFINITY),
+            "-Inf" => Ok(f64::NEG_INFINITY),
+            "NaN" => Ok(f64::NAN),
+            other => other.parse(),
+        })
+        .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+    let (name, labels) = match series.split_once('{') {
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unclosed label set in {line:?}"));
+            (name.to_string(), Some(labels.to_string()))
+        }
+        None => (series.to_string(), None),
+    };
+    assert!(!name.is_empty(), "empty metric name in {line:?}");
+    assert!(
+        name.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "illegal metric name in {line:?}"
+    );
+    assert!(
+        !name.starts_with(|c: char| c.is_ascii_digit()),
+        "metric name starts with a digit in {line:?}"
+    );
+    (name, labels, value)
+}
+
+#[test]
+fn exposition_format_conforms() {
+    // A registry shaped like a real run: pipeline + monitor metrics.
+    let registry = Registry::new();
+    registry.counter("vlsa.pipeline.ops").add(8192);
+    registry.counter("vlsa.monitor.alerts").add(2);
+    registry.gauge("vlsa.monitor.chi2_p").set(0.42);
+    registry.gauge("vlsa.monitor.stall_rate").set(1.2e-4);
+    let h = registry.histogram("vlsa.monitor.run_length", &[1, 2, 4, 8, 16, 32, 64]);
+    for v in [0u64, 1, 3, 9, 70] {
+        h.record(v);
+    }
+
+    let text = exposition(&registry);
+    let mut help_seen = std::collections::BTreeSet::new();
+    let mut type_seen = std::collections::BTreeSet::new();
+    let mut samples = 0usize;
+    for line in text.lines() {
+        assert_eq!(line.trim(), line, "stray whitespace in {line:?}");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().expect("HELP names a metric");
+            assert!(help_seen.insert(name.to_string()), "duplicate HELP {name}");
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().expect("TYPE names a metric");
+            let kind = parts.next().expect("TYPE states a kind");
+            assert!(["counter", "gauge", "histogram"].contains(&kind), "{line}");
+            assert!(type_seen.insert(name.to_string()), "duplicate TYPE {name}");
+        } else {
+            let (name, labels, value) = parse_sample_line(line);
+            assert!(value.is_finite() && value >= 0.0, "{line}");
+            // Every sample belongs to a declared metric family.
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| name.strip_suffix(suffix))
+                .filter(|family| type_seen.contains(*family))
+                .unwrap_or(&name);
+            assert!(type_seen.contains(family), "undeclared family for {line}");
+            assert!(help_seen.contains(family), "no HELP for {line}");
+            if labels.is_none() {
+                samples += 1;
+            }
+        }
+    }
+    // Counters end in _total; nothing else does.
+    for name in &type_seen {
+        let is_counter = text.contains(&format!("# TYPE {name} counter"));
+        assert_eq!(name.ends_with("_total"), is_counter, "{name}");
+    }
+    assert!(
+        samples >= 4,
+        "expected counter/gauge samples, got {samples}"
+    );
+    // The histogram's +Inf bucket equals its count.
+    assert!(text.contains("vlsa_monitor_run_length_bucket{le=\"+Inf\"} 5"));
+    assert!(text.contains("vlsa_monitor_run_length_count 5"));
+}

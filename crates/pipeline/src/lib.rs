@@ -118,6 +118,25 @@ impl fmt::Display for PipelineTrace {
     }
 }
 
+/// One operation's outcome as seen by a live observer — the operand
+/// sampling hook a conformance monitor (e.g.
+/// `vlsa_monitor::ConformanceMonitor`) feeds on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpSample {
+    /// Index of the operand pair in the input stream.
+    pub index: usize,
+    /// Left operand (already truncated to the adder width).
+    pub a: u64,
+    /// Right operand (already truncated to the adder width).
+    pub b: u64,
+    /// The sum handed to the consumer.
+    pub sum: u64,
+    /// Whether the `ER` detector fired (the op paid the bubble).
+    pub stalled: bool,
+    /// Cycles this op held the pipe (1 clean, 2 stalled).
+    pub latency_cycles: u64,
+}
+
 /// The variable-latency adder pipeline.
 ///
 /// # Examples
@@ -170,19 +189,43 @@ impl VlsaPipeline {
     ///
     /// Panics if the adder is wider than 64 bits.
     pub fn run(&mut self, operands: &[(u64, u64)]) -> PipelineTrace {
+        self.run_observed(operands, |_| {})
+    }
+
+    /// [`VlsaPipeline::run`] with a live observer: `observe` is called
+    /// once per operation with the sampled operands, delivered sum,
+    /// stall flag, and latency — the hook a conformance monitor uses to
+    /// watch real traffic without buffering the stream. The observer
+    /// adds nothing to the disabled-path cost of `run`, which passes a
+    /// no-op closure the compiler erases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adder is wider than 64 bits.
+    pub fn run_observed<F: FnMut(&OpSample)>(
+        &mut self,
+        operands: &[(u64, u64)],
+        mut observe: F,
+    ) -> PipelineTrace {
         let telemetry = vlsa_telemetry::is_enabled().then(|| {
             let recorder = vlsa_telemetry::recorder();
             (
                 recorder.histogram(
-                    "vlsa.pipeline.op_latency_cycles",
+                    vlsa_telemetry::names::pipeline::OP_LATENCY_CYCLES,
                     vlsa_telemetry::DEFAULT_BUCKETS,
                 ),
                 recorder.histogram(
-                    "vlsa.pipeline.stall_run_ops",
+                    vlsa_telemetry::names::pipeline::STALL_RUN_OPS,
                     vlsa_telemetry::DEFAULT_BUCKETS,
                 ),
             )
         });
+        let nbits = self.adder.nbits();
+        let mask = if nbits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << nbits) - 1
+        };
         let spans = vlsa_trace::recorder();
         let mut stall_run = 0u64;
         let mut trace = PipelineTrace::default();
@@ -222,6 +265,18 @@ impl VlsaPipeline {
                     rec.record(TraceEvent::complete("stall", "pipeline", ts + 1, 1).on_track(2));
                 }
             }
+            observe(&OpSample {
+                index: idx,
+                a: a & mask,
+                b: b & mask,
+                sum: if r.error_detected {
+                    r.exact
+                } else {
+                    r.speculative
+                },
+                stalled: r.error_detected,
+                latency_cycles: 1 + u64::from(r.error_detected),
+            });
             if r.error_detected {
                 // Cycle 1: speculative (possibly wrong) sum, VALID low,
                 // STALL high while recovery runs.
@@ -258,8 +313,12 @@ impl VlsaPipeline {
                 stall_runs.record(stall_run);
             }
             let recorder = vlsa_telemetry::recorder();
-            recorder.counter("vlsa.pipeline.ops").add(trace.operations);
-            recorder.counter("vlsa.pipeline.stalls").add(trace.errors);
+            recorder
+                .counter(vlsa_telemetry::names::pipeline::OPS)
+                .add(trace.operations);
+            recorder
+                .counter(vlsa_telemetry::names::pipeline::STALLS)
+                .add(trace.errors);
         }
         trace
     }
@@ -316,6 +375,44 @@ pub fn random_operands<R: Rng + ?Sized>(
     };
     (0..count)
         .map(|_| (rng.gen::<u64>() & mask, rng.gen::<u64>() & mask))
+        .collect()
+}
+
+/// Generates `count` operand pairs whose propagate bits (`a XOR b`) are
+/// i.i.d. with probability `p` of being 1 — the workload model of
+/// `vlsa_runstats::prob_longest_run_le_biased`. At `p = 0.5` this is
+/// statistically identical to [`random_operands`]; `p > 0.5` lengthens
+/// propagate runs exponentially, modeling biased or adversarial traffic
+/// that blows past the uniform-operand design point (the drift the
+/// conformance monitor exists to catch).
+///
+/// # Panics
+///
+/// Panics unless `1 <= nbits <= 64` and `p` is a probability.
+pub fn biased_operands<R: Rng + ?Sized>(
+    nbits: usize,
+    count: usize,
+    p: f64,
+    rng: &mut R,
+) -> Vec<(u64, u64)> {
+    assert!((1..=64).contains(&nbits), "nbits must be in 1..=64");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mask = if nbits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << nbits) - 1
+    };
+    (0..count)
+        .map(|_| {
+            let a = rng.gen::<u64>() & mask;
+            let mut xor = 0u64;
+            for bit in 0..nbits {
+                if rng.gen_bool(p) {
+                    xor |= 1u64 << bit;
+                }
+            }
+            (a, a ^ xor)
+        })
         .collect()
 }
 
@@ -458,6 +555,49 @@ mod tests {
         let trace = pipe.run(&[(1, 2)]);
         assert!(trace.to_string().contains("1 ops"));
         assert_eq!(pipe.adder().nbits(), 8);
+    }
+
+    #[test]
+    fn run_observed_samples_every_op() {
+        let mut pipe = VlsaPipeline::new(adder(8, 3));
+        let mut samples = Vec::new();
+        let trace = pipe.run_observed(&[(1, 2), (0x7F, 1), (0x1FF, 4)], |s| samples.push(*s));
+        assert_eq!(samples.len(), 3);
+        // Clean op: 1 cycle, speculative sum delivered.
+        assert_eq!(samples[0].sum, 3);
+        assert!(!samples[0].stalled);
+        assert_eq!(samples[0].latency_cycles, 1);
+        // The all-propagate pair stalls and delivers the exact sum.
+        assert!(samples[1].stalled);
+        assert_eq!(samples[1].latency_cycles, 2);
+        assert_eq!(samples[1].sum, 0x80);
+        // Operands are reported truncated to the adder width.
+        assert_eq!(samples[2].a, 0xFF);
+        assert_eq!(samples[2].index, 2);
+        // The observer changes nothing about the trace itself (ops 2
+        // and 3 both carry long propagate runs and stall).
+        assert_eq!(trace.errors, 2);
+        assert_eq!(trace.total_cycles(), 5);
+    }
+
+    #[test]
+    fn biased_operands_hit_the_requested_xor_density() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(211);
+        let ops = biased_operands(64, 2_000, 0.75, &mut rng);
+        let ones: u64 = ops.iter().map(|&(a, b)| (a ^ b).count_ones() as u64).sum();
+        let density = ones as f64 / (2_000.0 * 64.0);
+        assert!((density - 0.75).abs() < 0.01, "{density}");
+        // Biased streams stall a window sized for uniform traffic far
+        // more often than the design point predicts.
+        let a = adder(64, 18);
+        let predicted = a.detection_probability();
+        let mut pipe = VlsaPipeline::new(a);
+        let trace = pipe.run(&ops);
+        assert!(
+            trace.error_rate() > 100.0 * predicted.max(1e-6),
+            "error rate {} vs predicted {predicted}",
+            trace.error_rate()
+        );
     }
 
     #[test]

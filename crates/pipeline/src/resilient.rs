@@ -36,6 +36,8 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use vlsa_core::{windowed_add_u64, ResidueChecker, SpeculativeAdder};
 use vlsa_telemetry::names::resilience as metric;
 use vlsa_trace::{names as span, TraceEvent};
@@ -226,6 +228,7 @@ pub struct ResilientPipeline {
     config: ResilienceConfig,
     faults: Vec<PipelineFault>,
     degraded: bool,
+    degrade_signal: Option<Arc<AtomicBool>>,
     recent_escalations: VecDeque<u64>,
     op_index: u64,
     cycle: u64,
@@ -239,6 +242,7 @@ impl ResilientPipeline {
             config,
             faults: Vec::new(),
             degraded: false,
+            degrade_signal: None,
             recent_escalations: VecDeque::new(),
             op_index: 0,
             cycle: 0,
@@ -269,6 +273,38 @@ impl ResilientPipeline {
     /// Whether the pipeline has latched into degraded (exact-only) mode.
     pub fn is_degraded(&self) -> bool {
         self.degraded
+    }
+
+    /// Attaches an external degrade signal — the hook a live
+    /// conformance monitor (e.g. `vlsa_monitor::ConformanceMonitor`)
+    /// trips when traffic drifts off the uniform-operand model. While
+    /// the flag reads `true`, [`ResilientPipeline::run`] latches into
+    /// degraded (exact-only) mode *before* the next op issues, rather
+    /// than waiting for escalations to accumulate: the monitor predicts
+    /// the design point is blown, the pipeline pre-emptively stops
+    /// speculating.
+    ///
+    /// The check is one relaxed atomic load per op; with no signal
+    /// attached the cost is an `Option` branch.
+    pub fn set_degrade_signal(&mut self, signal: Arc<AtomicBool>) {
+        self.degrade_signal = Some(signal);
+    }
+
+    /// Builder-style [`ResilientPipeline::set_degrade_signal`].
+    pub fn with_degrade_signal(mut self, signal: Arc<AtomicBool>) -> ResilientPipeline {
+        self.set_degrade_signal(signal);
+        self
+    }
+
+    /// Latches degraded (exact-only) mode immediately, as if the
+    /// degrade signal had fired. Returns whether this call caused the
+    /// transition.
+    pub fn force_degrade(&mut self) -> bool {
+        if self.degraded {
+            return false;
+        }
+        self.degraded = true;
+        true
     }
 
     /// Clears injected faults, degradation state, and the clock.
@@ -317,6 +353,28 @@ impl ResilientPipeline {
             self.op_index += 1;
             stats.ops += 1;
             let op_start = self.cycle;
+            // The monitor's pre-emptive hook: drift was detected, stop
+            // speculating before this op issues.
+            if !self.degraded
+                && self
+                    .degrade_signal
+                    .as_ref()
+                    .is_some_and(|s| s.load(Ordering::Relaxed))
+            {
+                self.degraded = true;
+                stats.degrade_transitions += 1;
+                if let Some(rec) = &spans {
+                    rec.record(
+                        TraceEvent::instant(span::DEGRADE, "resilience", op_start)
+                            .on_track(2)
+                            .arg("i", i)
+                            .arg("preemptive", 1),
+                    );
+                    rec.record(
+                        TraceEvent::counter("degraded", "resilience", op_start, 1).on_track(3),
+                    );
+                }
+            }
             // Ground truth (and the trusted fallback result): the exact
             // adder sits outside the injected fault's blast radius.
             let (truth, truth_cout) = self.adder.exact_u64(a, b);
@@ -775,6 +833,52 @@ mod tests {
         let trace = pipe.run(&[(1, 2)]);
         assert_eq!(trace.delivered, vec![3]);
         assert_eq!(trace.stats.degraded_ops, 0);
+    }
+
+    #[test]
+    fn degrade_signal_preempts_speculation() {
+        let signal = Arc::new(AtomicBool::new(false));
+        let mut pipe = ResilientPipeline::new(adder(16, 4), ResilienceConfig::default())
+            .with_degrade_signal(Arc::clone(&signal));
+        // Signal low: the pipeline speculates as usual.
+        let before = pipe.run(&[(1, 2), (3, 4)]);
+        assert_eq!(before.stats.degraded_ops, 0);
+        assert!(!pipe.is_degraded());
+        // A monitor trips the signal: the very next op (and everything
+        // after) rides the exact path, no escalations needed.
+        signal.store(true, Ordering::Relaxed);
+        let after = pipe.run(&adversarial_operands(16, 10));
+        assert!(pipe.is_degraded());
+        assert_eq!(after.stats.degrade_transitions, 1);
+        assert_eq!(after.stats.degraded_ops, 10);
+        assert_eq!(after.stats.escalations, 0);
+        assert_eq!(after.stats.silent_corruptions, 0);
+        assert!(after.delivered.iter().all(|&s| s == 0x8000));
+    }
+
+    #[test]
+    fn preemptive_degrade_is_visible_in_the_trace() {
+        let scope = vlsa_trace::ScopedTrace::install(256);
+        let signal = Arc::new(AtomicBool::new(true));
+        let mut pipe = ResilientPipeline::new(adder(16, 4), ResilienceConfig::default())
+            .with_degrade_signal(signal);
+        pipe.run(&[(1, 2)]);
+        let events = scope.drain();
+        let degrade = events
+            .iter()
+            .find(|e| e.name == span::DEGRADE)
+            .expect("degrade span");
+        assert_eq!(degrade.get_arg("preemptive"), Some(1));
+    }
+
+    #[test]
+    fn force_degrade_latches_once() {
+        let mut pipe = ResilientPipeline::new(adder(16, 8), ResilienceConfig::default());
+        assert!(pipe.force_degrade());
+        assert!(!pipe.force_degrade());
+        let trace = pipe.run(&[(2, 3)]);
+        assert_eq!(trace.delivered, vec![5]);
+        assert_eq!(trace.stats.degraded_ops, 1);
     }
 
     #[test]

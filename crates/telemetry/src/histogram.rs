@@ -88,6 +88,26 @@ impl Histogram {
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Records `n` identical observations in one shot — what a
+    /// windowed estimator uses to flush a whole spectrum of counts
+    /// without paying `n` hot-path calls.
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match self.bounds.binary_search(&value) {
+            Ok(i) => self.buckets[i].fetch_add(n, Ordering::Relaxed),
+            Err(i) if i < self.buckets.len() => self.buckets[i].fetch_add(n, Ordering::Relaxed),
+            Err(_) => self.overflow.fetch_add(n, Ordering::Relaxed),
+        };
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum
+            .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
@@ -124,6 +144,49 @@ impl Histogram {
         } else {
             Some(self.sum() as f64 / n as f64)
         }
+    }
+
+    /// The `q`-quantile of the recorded distribution, or `None` if the
+    /// histogram is empty.
+    ///
+    /// The rank `q · count` is located in the cumulative bucket counts
+    /// and the value is linearly interpolated within the containing
+    /// bucket (between its exclusive lower and inclusive upper bound);
+    /// the first bucket interpolates up from the recorded minimum and
+    /// the overflow bucket up to the recorded maximum. The result is
+    /// clamped to `[min, max]` — the same estimate Prometheus'
+    /// `histogram_quantile` computes, sharpened by the tracked extrema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let (min, max) = (self.min()? as f64, self.max()? as f64);
+        let target = q * n as f64;
+        let mut cum = 0u64;
+        let mut lo = min;
+        for (bound, count) in self
+            .buckets()
+            .into_iter()
+            .chain(std::iter::once((self.max()?, self.overflow())))
+        {
+            if count == 0 {
+                continue;
+            }
+            let hi = (bound as f64).min(max).max(lo);
+            if (cum + count) as f64 >= target {
+                let within = (target - cum as f64).max(0.0) / count as f64;
+                return Some((lo + within * (hi - lo)).clamp(min, max));
+            }
+            cum += count;
+            lo = hi;
+        }
+        Some(max)
     }
 
     /// Per-bucket `(inclusive_upper_bound, count)` pairs, excluding the
@@ -185,6 +248,21 @@ mod tests {
     }
 
     #[test]
+    fn record_n_matches_repeated_record() {
+        let a = Histogram::new(&[2, 8]);
+        let b = Histogram::new(&[2, 8]);
+        for _ in 0..5 {
+            a.record(3);
+        }
+        b.record_n(3, 5);
+        b.record_n(100, 0); // no-op
+        assert_eq!(a.buckets(), b.buckets());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+    }
+
+    #[test]
     fn empty_histogram_has_no_extrema() {
         let h = Histogram::with_default_buckets();
         assert_eq!(h.count(), 0);
@@ -197,6 +275,65 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn rejects_unsorted_bounds() {
         let _ = Histogram::new(&[4, 2]);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new(&[10, 20, 40]);
+        for v in 1..=20 {
+            h.record(v); // 10 in (…,10], 10 in (10,20]
+        }
+        // Median sits at the first bucket's upper edge.
+        let p50 = h.quantile(0.5).expect("nonempty");
+        assert!((p50 - 10.0).abs() < 1e-9, "{p50}");
+        // Three quarters of the mass needs half of the second bucket.
+        let p75 = h.quantile(0.75).expect("nonempty");
+        assert!((p75 - 15.0).abs() < 1e-9, "{p75}");
+        assert_eq!(h.quantile(0.0), Some(1.0)); // the recorded min
+        assert_eq!(h.quantile(1.0), Some(20.0)); // the recorded max
+    }
+
+    #[test]
+    fn quantiles_of_two_point_latency_distribution() {
+        // The pipeline's shape: latency is 1 cycle for most ops, 2 for
+        // the rare stalled ones.
+        let h = Histogram::new(&[1, 2, 4]);
+        for _ in 0..999 {
+            h.record(1);
+        }
+        h.record(2);
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(0.99), Some(1.0));
+        let p9995 = h.quantile(0.9995).expect("nonempty");
+        assert!(p9995 > 1.0 && p9995 <= 2.0, "{p9995}");
+        assert_eq!(h.quantile(1.0), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_handles_overflow_bucket() {
+        let h = Histogram::new(&[10]);
+        h.record(5);
+        h.record(100);
+        h.record(200);
+        // Two thirds of the mass is in overflow; p99 interpolates
+        // between the last bound and the recorded max.
+        let p99 = h.quantile(0.99).expect("nonempty");
+        assert!(p99 > 10.0 && p99 <= 200.0, "{p99}");
+        assert_eq!(h.quantile(1.0), Some(200.0));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::with_default_buckets();
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn quantile_rejects_out_of_range() {
+        let h = Histogram::new(&[1]);
+        h.record(1);
+        let _ = h.quantile(1.5);
     }
 
     #[test]

@@ -19,6 +19,47 @@ pub mod core {
     pub const FALSE_POSITIVES: &str = "vlsa.core.false_positives";
 }
 
+/// `vlsa.pipeline.*` — the variable-latency pipeline's speculation and
+/// stall accounting (`vlsa_pipeline::VlsaPipeline::run`).
+pub mod pipeline {
+    /// Operand pairs fed through the pipeline.
+    pub const OPS: &str = "vlsa.pipeline.ops";
+    /// Operations that paid the recovery bubble.
+    pub const STALLS: &str = "vlsa.pipeline.stalls";
+    /// Per-operation latency in cycles (1 clean, 2 stalled).
+    pub const OP_LATENCY_CYCLES: &str = "vlsa.pipeline.op_latency_cycles";
+    /// Lengths of runs of consecutive stalled operations.
+    pub const STALL_RUN_OPS: &str = "vlsa.pipeline.stall_run_ops";
+}
+
+/// `vlsa.monitor.*` — the live conformance monitor
+/// (`vlsa_monitor::ConformanceMonitor`): sliding-window estimators
+/// compared against the exact uniform-operand model, plus drift alerts.
+pub mod monitor {
+    /// Operations observed by the monitor.
+    pub const OPS: &str = "vlsa.monitor.ops";
+    /// Conformance windows closed and evaluated.
+    pub const WINDOWS: &str = "vlsa.monitor.windows";
+    /// Drift alerts raised (all kinds).
+    pub const ALERTS: &str = "vlsa.monitor.alerts";
+    /// Alerts from the chi-square run-length spectrum test.
+    pub const SPECTRUM_ALERTS: &str = "vlsa.monitor.spectrum_alerts";
+    /// Alerts from the CUSUM error-rate tracker.
+    pub const ERROR_RATE_ALERTS: &str = "vlsa.monitor.error_rate_alerts";
+    /// Chi-square statistic of the last closed window (gauge).
+    pub const CHI2: &str = "vlsa.monitor.chi2";
+    /// Chi-square survival p-value of the last closed window (gauge).
+    pub const CHI2_P: &str = "vlsa.monitor.chi2_p";
+    /// Current CUSUM of the stall-rate tracker (gauge).
+    pub const CUSUM: &str = "vlsa.monitor.cusum";
+    /// Stall rate measured over the last closed window (gauge).
+    pub const STALL_RATE: &str = "vlsa.monitor.stall_rate";
+    /// Mean cycles per op over the last closed window (gauge).
+    pub const EFFECTIVE_LATENCY: &str = "vlsa.monitor.effective_latency";
+    /// Live propagate-run-length spectrum of observed operand pairs.
+    pub const RUN_LENGTH: &str = "vlsa.monitor.run_length";
+}
+
 /// `vlsa.resilience.*` — the resilience layer: residue checking,
 /// bounded retry, escalation to the exact path, degradation, and the
 /// recovery watchdog (`vlsa-pipeline`'s `ResilientPipeline`).
@@ -63,6 +104,12 @@ mod tests {
         for name in [
             super::core::ADDS,
             super::core::DETECTOR_FIRES,
+            super::pipeline::OPS,
+            super::pipeline::OP_LATENCY_CYCLES,
+            super::monitor::WINDOWS,
+            super::monitor::ALERTS,
+            super::monitor::CHI2_P,
+            super::monitor::RUN_LENGTH,
             super::resilience::OPS,
             super::resilience::RESIDUE_MISMATCHES,
             super::resilience::DEGRADE_TRANSITIONS,

@@ -79,6 +79,38 @@ impl Registry {
             .map_or(0.0, |g| g.get())
     }
 
+    /// All registered counters as sorted `(name, handle)` pairs — the
+    /// iteration surface exporters (Prometheus exposition, scrape
+    /// endpoints) build on.
+    pub fn counters(&self) -> Vec<(String, Arc<Counter>)> {
+        self.counters
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, c)| (name.clone(), Arc::clone(c)))
+            .collect()
+    }
+
+    /// All registered gauges as sorted `(name, handle)` pairs.
+    pub fn gauges(&self) -> Vec<(String, Arc<Gauge>)> {
+        self.gauges
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, g)| (name.clone(), Arc::clone(g)))
+            .collect()
+    }
+
+    /// All registered histograms as sorted `(name, handle)` pairs.
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, h)| (name.clone(), Arc::clone(h)))
+            .collect()
+    }
+
     /// Sorted names of all registered instruments.
     pub fn names(&self) -> Vec<String> {
         let mut names: Vec<String> = Vec::new();
@@ -138,6 +170,24 @@ mod tests {
         let h2 = r.histogram("vlsa.test.lat", DEFAULT_BUCKETS);
         assert!(Arc::ptr_eq(&h1, &h2));
         assert_eq!(h2.buckets().len(), 2);
+    }
+
+    #[test]
+    fn iteration_surfaces_are_sorted_and_live() {
+        let r = Registry::new();
+        r.counter("vlsa.test.b").add(2);
+        r.counter("vlsa.test.a").add(1);
+        r.gauge("vlsa.test.g").set(3.5);
+        r.histogram("vlsa.test.h", &[4]).record(1);
+        let counters = r.counters();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(counters[0].0, "vlsa.test.a");
+        assert_eq!(counters[1].1.get(), 2);
+        // Handles stay live: recording through them is visible later.
+        counters[0].1.add(10);
+        assert_eq!(r.counter_value("vlsa.test.a"), 11);
+        assert_eq!(r.gauges()[0].1.get(), 3.5);
+        assert_eq!(r.histograms()[0].1.count(), 1);
     }
 
     #[test]

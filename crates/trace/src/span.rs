@@ -23,7 +23,8 @@ pub const MAX_ARGS: usize = 6;
 /// (category `"pipeline"` or `"queue"`); the resilience layer adds
 /// [`names::RESIDUE_RETRY`] / [`names::ESCALATE`] /
 /// [`names::WATCHDOG`] / [`names::DEGRADE`] / [`names::EXACT_OP`]
-/// (category `"resilience"`).
+/// (category `"resilience"`); the conformance monitor adds
+/// [`names::WINDOW`] / [`names::ALERT`] (category `"monitor"`).
 pub mod names {
     /// One completed operation (the replay source).
     pub const OP: &str = "op";
@@ -48,6 +49,13 @@ pub mod names {
     pub const DEGRADE: &str = "degrade";
     /// An operation served by the exact path while degraded.
     pub const EXACT_OP: &str = "exact_op";
+    /// The conformance monitor raised a drift alert (category
+    /// `"monitor"`): live traffic no longer matches the uniform-operand
+    /// model the speculation window was sized against.
+    pub const ALERT: &str = "alert";
+    /// The conformance monitor closed and evaluated one sliding window
+    /// (category `"monitor"`).
+    pub const WINDOW: &str = "window";
 }
 
 /// Chrome trace-event phase of a [`TraceEvent`].

@@ -3,8 +3,8 @@
 //!
 //! Most users only need this crate; the per-subsystem crates
 //! ([`runstats`], [`netlist`], [`techlib`], [`sim`], [`timing`],
-//! [`adders`], [`core`], [`pipeline`], [`hdl`], [`crypto`]) are
-//! re-exported as modules here.
+//! [`adders`], [`core`], [`pipeline`], [`hdl`], [`crypto`],
+//! [`monitor`]) are re-exported as modules here.
 //!
 //! # Examples
 //!
@@ -22,6 +22,7 @@ pub use vlsa_adders as adders;
 pub use vlsa_core as core;
 pub use vlsa_crypto as crypto;
 pub use vlsa_hdl as hdl;
+pub use vlsa_monitor as monitor;
 pub use vlsa_multiplier as multiplier;
 pub use vlsa_netlist as netlist;
 pub use vlsa_pipeline as pipeline;
