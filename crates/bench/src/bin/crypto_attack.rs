@@ -6,15 +6,15 @@
 //! Usage: `cargo run --release -p vlsa-bench --bin crypto_attack [-- bits B] [--json PATH]`
 
 use std::time::Instant;
-use vlsa_bench::report::{args_without_json, Report};
+use vlsa_bench::report::{args_without_json, parse_arg, Report};
 use vlsa_crypto::{candidate_keys, run_attack, AcaAdder32, ArxCipher, ExactAdder32, SAMPLE_CORPUS};
 use vlsa_telemetry::Json;
 
 fn main() {
-    let (args, json_path) = args_without_json();
+    let (args, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
     let bits: u32 = args
         .get(2)
-        .map(|a| a.parse().expect("candidate bits"))
+        .map(|a| parse_arg("bits", a).unwrap_or_else(|e| e.exit()))
         .unwrap_or(8);
     let key = [0x5EED_1234, 0x9E37_79B9, 0x0F0F_A5A5, 0xC0DE_2008];
     let rounds = 12;

@@ -12,7 +12,7 @@
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
 use vlsa_bench::paper_window;
-use vlsa_bench::report::{args_without_json, Report};
+use vlsa_bench::report::{args_without_json, parse_arg, Report};
 use vlsa_core::{
     almost_correct_adder, measure_error_magnitude, measure_uniform_error_magnitude,
     SpeculativeAdder,
@@ -235,7 +235,7 @@ fn workloads(samples: u64, json_path: &Option<PathBuf>) {
 }
 
 fn main() {
-    let (args, json_path) = args_without_json();
+    let (args, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
     let args = &args[1..];
     if args.first().is_some_and(|a| a == "sweep") {
         window_sweep(100_000, &json_path);
@@ -253,7 +253,7 @@ fn main() {
         .iter()
         .position(|a| a == "vectors")
         .and_then(|i| args.get(i + 1))
-        .map(|a| a.parse().expect("vector count"))
+        .map(|a| parse_arg("vectors", a).unwrap_or_else(|e| e.exit()))
         .unwrap_or(200_000);
     design_points(vectors, &json_path);
 }

@@ -106,7 +106,7 @@ fn baseline_sweep(lib: &TechLibrary) {
 }
 
 fn main() {
-    let (args, json_path) = args_without_json();
+    let (args, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
     let mode = args.get(1).cloned().unwrap_or_else(|| "both".to_string());
     let lib = TechLibrary::umc180();
     match mode.as_str() {

@@ -10,7 +10,7 @@
 
 use rand::SeedableRng;
 use std::path::PathBuf;
-use vlsa_bench::report::{args_without_json, Report};
+use vlsa_bench::report::{args_without_json, parse_arg, Report};
 use vlsa_bench::{fastest_traditional, paper_window, synthesize};
 use vlsa_core::{almost_correct_adder, error_detector, SpeculativeAdder};
 use vlsa_pipeline::{
@@ -72,14 +72,14 @@ fn queue_study(json_path: &Option<PathBuf>) {
 }
 
 fn main() {
-    let (args, json_path) = args_without_json();
+    let (args, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
     if args.get(1).map(String::as_str) == Some("queue") {
         queue_study(&json_path);
         return;
     }
     let ops: usize = args
         .get(2)
-        .map(|a| a.parse().expect("op count"))
+        .map(|a| parse_arg("ops", a).unwrap_or_else(|e| e.exit()))
         .unwrap_or(1_000_000);
     let mut report = Report::new("latency");
     report.set("ops", ops as u64);

@@ -1,0 +1,133 @@
+//! Load generator for `vlsa-server`.
+//!
+//! Two modes:
+//!
+//! - **Sweep** (default, no `--addr`): starts in-process servers at
+//!   shard counts 1/2/4/8 plus a deliberate overload point, drives each
+//!   over real TCP, prints the table, and writes `BENCH_server.json`
+//!   with `--json`. This is the source of the committed benchmark.
+//! - **Targeted** (`--addr <host:port>`): drives an external server
+//!   (see the `serve` binary) with one open-loop load run and reports
+//!   delivered throughput, latency quantiles, shed and stall rates.
+//!   Exits nonzero on any transport/protocol error or silent drop —
+//!   the CI smoke gate.
+//!
+//! Usage:
+//!   cargo run --release -p vlsa-bench --bin loadgen -- --json BENCH_server.json
+//!   cargo run --release -p vlsa-bench --bin loadgen -- \
+//!       --addr "$(cat server.addr)" --connections 8 --requests 50 \
+//!       --ops 64 --mix mixed --rate 500000
+//!
+//! Flags (targeted mode): `--connections <n>` (default 16),
+//! `--requests <n>` per connection (default 150), `--ops <n>` per
+//! request (default 64), `--n <bits>` (default 32), `--mix
+//! uniform|biased|adversarial|mixed` (default mixed), `--rate <ops/s>`
+//! open-loop aggregate arrival target (default 0 = saturate), `--seed
+//! <s>`, `--json <path>`.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use vlsa_bench::report::{args_without_json, parse_arg, split_value_flag, ArgError, Report};
+use vlsa_bench::serverbench::{run_load, run_sweep, standard_sweep, LoadConfig, Mix};
+use vlsa_telemetry::Json;
+
+fn main() -> ExitCode {
+    let (args, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
+    let split = |args, flag| split_value_flag(args, flag).unwrap_or_else(|e: ArgError| e.exit());
+    let (args, addr) = split(args, "addr");
+    let (args, connections) = split(args, "connections");
+    let (args, requests) = split(args, "requests");
+    let (args, ops) = split(args, "ops");
+    let (args, nbits) = split(args, "n");
+    let (args, mix) = split(args, "mix");
+    let (args, rate) = split(args, "rate");
+    let (args, seed) = split(args, "seed");
+    if let Some(unexpected) = args.get(1) {
+        ArgError::Unexpected {
+            arg: unexpected.clone(),
+        }
+        .exit();
+    }
+
+    let Some(addr) = addr else {
+        // Sweep mode: the committed BENCH_server.json.
+        let report = run_sweep(&standard_sweep()).unwrap_or_else(|e| {
+            eprintln!("error: sweep failed: {e}");
+            std::process::exit(1);
+        });
+        report.write_if(&json_path);
+        return ExitCode::SUCCESS;
+    };
+
+    let addr: SocketAddr = parse_arg("--addr", &addr).unwrap_or_else(|e| e.exit());
+    let parsed = |flag: &str, value: Option<String>, default: u64| {
+        value.map_or(default, |v| {
+            parse_arg(flag, &v).unwrap_or_else(|e| e.exit())
+        })
+    };
+    let config = LoadConfig {
+        connections: parsed("--connections", connections, 16) as usize,
+        requests_per_conn: parsed("--requests", requests, 150) as usize,
+        ops_per_request: parsed("--ops", ops, 64) as usize,
+        nbits: parsed("--n", nbits, 32) as usize,
+        mix: mix.map_or(Mix::Mixed, |v| {
+            parse_arg::<Mix>("--mix", &v).unwrap_or_else(|e| e.exit())
+        }),
+        target_ops_per_sec: parsed("--rate", rate, 0),
+        seed: parsed("--seed", seed, 0xB00B5),
+    };
+
+    let result = run_load(addr, &config).unwrap_or_else(|e| {
+        eprintln!("error: load run failed: {e}");
+        std::process::exit(1);
+    });
+    let offered = (config.connections * config.requests_per_conn) as u64;
+    let accounted = result.answered + result.shed + result.errors;
+    let q = |p: f64| result.latency_us.quantile(p).unwrap_or(0.0);
+    println!(
+        "delivered {} ops at {:.0} ops/s | p50 {:.0} us p99 {:.0} us p999 {:.0} us | \
+         {} answered, {} shed ({:.2}%), {} errors | stall rate {:.2}%",
+        result.ops,
+        result.ops_per_sec(),
+        q(0.50),
+        q(0.99),
+        q(0.999),
+        result.answered,
+        result.shed,
+        result.shed_rate() * 100.0,
+        result.errors,
+        result.stall_rate() * 100.0,
+    );
+
+    let mut report = Report::new("loadgen");
+    report.set("addr", addr.to_string());
+    report.push_row(
+        Json::obj()
+            .set("connections", config.connections as u64)
+            .set("mix", config.mix.to_string())
+            .set("target_ops_s", config.target_ops_per_sec)
+            .set("ops", result.ops)
+            .set("throughput_ops_s", result.ops_per_sec())
+            .set("p50_us", q(0.50))
+            .set("p99_us", q(0.99))
+            .set("p999_us", q(0.999))
+            .set("answered", result.answered)
+            .set("shed", result.shed)
+            .set("shed_rate", result.shed_rate())
+            .set("stalls", result.stalls)
+            .set("stall_rate", result.stall_rate())
+            .set("errors", result.errors),
+    );
+    report.write_if(&json_path);
+
+    if result.errors > 0 {
+        eprintln!("FAILED: {} request(s) hit hard errors", result.errors);
+        return ExitCode::FAILURE;
+    }
+    if accounted != offered {
+        eprintln!("FAILED: silent drop — offered {offered}, accounted {accounted}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

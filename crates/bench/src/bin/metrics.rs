@@ -19,15 +19,15 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 use vlsa_bench::metrics::{pipeline_metrics_run, sim_report};
-use vlsa_bench::report::{args_without_json, split_value_flag};
+use vlsa_bench::report::{args_without_json, parse_arg, split_value_flag};
 use vlsa_monitor::{exposition, ScrapeServer};
 use vlsa_telemetry::Json;
 
 fn main() {
-    let (args, json_path) = args_without_json();
-    let (args, prom_path) = split_value_flag(args, "prom");
-    let (args, serve_addr) = split_value_flag(args, "serve");
-    let (args, serve_secs) = split_value_flag(args, "serve-secs");
+    let (args, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
+    let (args, prom_path) = split_value_flag(args, "prom").unwrap_or_else(|e| e.exit());
+    let (args, serve_addr) = split_value_flag(args, "serve").unwrap_or_else(|e| e.exit());
+    let (args, serve_secs) = split_value_flag(args, "serve-secs").unwrap_or_else(|e| e.exit());
     assert!(
         args.len() <= 1,
         "metrics takes no positional arguments (got {:?})",
@@ -35,7 +35,7 @@ fn main() {
     );
     let serve_secs: u64 = serve_secs
         .as_deref()
-        .map(|s| s.parse().expect("--serve-secs takes whole seconds"))
+        .map(|s| parse_arg("--serve-secs", s).unwrap_or_else(|e| e.exit()))
         .unwrap_or(5);
     let pipeline_path = json_path.unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
     let sim_path = pipeline_path

@@ -21,16 +21,16 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 use vlsa_bench::monitorbin::{run_monitor_demo, MonitorDemoConfig};
-use vlsa_bench::report::{args_without_json, split_value_flag};
+use vlsa_bench::report::{args_without_json, parse_arg, split_value_flag};
 use vlsa_monitor::{exposition, ScrapeServer};
 
 fn main() {
-    let (args, json_path) = args_without_json();
-    let (args, prom_path) = split_value_flag(args, "prom");
-    let (args, trace_path) = split_value_flag(args, "trace");
-    let (args, serve_addr) = split_value_flag(args, "serve");
-    let (args, serve_secs) = split_value_flag(args, "serve-secs");
-    let (args, addr_file) = split_value_flag(args, "addr-file");
+    let (args, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
+    let (args, prom_path) = split_value_flag(args, "prom").unwrap_or_else(|e| e.exit());
+    let (args, trace_path) = split_value_flag(args, "trace").unwrap_or_else(|e| e.exit());
+    let (args, serve_addr) = split_value_flag(args, "serve").unwrap_or_else(|e| e.exit());
+    let (args, serve_secs) = split_value_flag(args, "serve-secs").unwrap_or_else(|e| e.exit());
+    let (args, addr_file) = split_value_flag(args, "addr-file").unwrap_or_else(|e| e.exit());
     assert!(
         args.len() <= 1,
         "monitor takes no positional arguments (got {:?})",
@@ -38,7 +38,7 @@ fn main() {
     );
     let serve_secs: u64 = serve_secs
         .as_deref()
-        .map(|s| s.parse().expect("--serve-secs takes whole seconds"))
+        .map(|s| parse_arg("--serve-secs", s).unwrap_or_else(|e| e.exit()))
         .unwrap_or(5);
 
     let cfg = MonitorDemoConfig::default();
@@ -95,7 +95,7 @@ fn main() {
         .expect("bind scrape endpoint");
         println!("serving http://{}/metrics for {serve_secs}s", server.addr());
         if let Some(path) = addr_file.map(PathBuf::from) {
-            std::fs::write(&path, server.addr().to_string()).expect("write address file");
+            vlsa_monitor::write_addr_file(server.addr(), &path).expect("write address file");
         }
         std::thread::sleep(std::time::Duration::from_secs(serve_secs));
         server.shutdown();

@@ -8,7 +8,7 @@
 
 use rand::{Rng, SeedableRng};
 use vlsa_adders::PrefixArch;
-use vlsa_bench::report::{args_without_json, Report};
+use vlsa_bench::report::{args_without_json, parse_arg, Report};
 use vlsa_bench::synthesize;
 use vlsa_multiplier::{wallace_multiplier, FinalAdder, SpeculativeMultiplier};
 use vlsa_runstats::{min_bound_for_prob, prob_longest_run_gt};
@@ -17,10 +17,10 @@ use vlsa_telemetry::Json;
 use vlsa_timing::{analyze, area};
 
 fn main() {
-    let (args, json_path) = args_without_json();
+    let (args, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
     let trials: usize = args
         .get(2)
-        .map(|a| a.parse().expect("trial count"))
+        .map(|a| parse_arg("trials", a).unwrap_or_else(|e| e.exit()))
         .unwrap_or(200_000);
     let lib = TechLibrary::umc180();
     let mut report = Report::new("multiplier");

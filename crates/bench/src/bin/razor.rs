@@ -13,7 +13,7 @@ use vlsa_runstats::{min_bound_for_prob, prob_carry_chain_gt};
 use vlsa_telemetry::Json;
 
 fn main() {
-    let (_, json_path) = args_without_json();
+    let (_, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
     let mut report = Report::new("razor");
     let nbits = 64;
     report.set("nbits", nbits as u64);

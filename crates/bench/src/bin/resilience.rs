@@ -26,15 +26,19 @@
 //!                    silent corruption with the residue check enabled
 //!                    (the CI acceptance gate)
 
-use vlsa_bench::report::{args_without_json, Report};
+use vlsa_bench::report::{args_without_json, parse_arg, ArgError, Report};
 use vlsa_resilience::{run_campaign, CampaignConfig, CampaignResult, FaultModel};
 use vlsa_telemetry::{Json, ScopedRecorder};
 
-fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+fn parse_flag<T>(args: &[String], flag: &str) -> Option<T>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().ok().unwrap_or_else(|| panic!("bad {flag} value")))
+        .map(|v| parse_arg(flag, v).unwrap_or_else(|e| e.exit()))
 }
 
 fn print_result(label: &str, result: &CampaignResult) {
@@ -51,7 +55,7 @@ fn print_result(label: &str, result: &CampaignResult) {
 }
 
 fn main() {
-    let (args, json_path) = args_without_json();
+    let (args, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
     let nbits: usize = parse_flag(&args, "--n").unwrap_or(8);
     let window: usize = parse_flag(&args, "--window").unwrap_or(4);
     let modulus: u64 = parse_flag(&args, "--modulus").unwrap_or(7);
@@ -65,7 +69,12 @@ fn main() {
             trials: parse_flag(&args, "--trials").unwrap_or(256),
             faults_per_trial: parse_flag(&args, "--per-trial").unwrap_or(2),
         },
-        Some(other) => panic!("unknown fault model `{other}` (use exhaustive|mc)"),
+        Some(other) => ArgError::BadValue {
+            flag: "--faults".to_string(),
+            value: other.to_string(),
+            reason: "use exhaustive|mc".to_string(),
+        }
+        .exit(),
     };
 
     let config = CampaignConfig {

@@ -6,7 +6,7 @@
 //! Usage: `cargo run --release -p vlsa-bench --bin schilling [-- samples N] [--json PATH]`
 
 use rand::SeedableRng;
-use vlsa_bench::report::{args_without_json, Report};
+use vlsa_bench::report::{args_without_json, parse_arg, Report};
 use vlsa_runstats::{
     expected_longest_run, gordon_tail_prob, prob_longest_run_gt, sample_histogram,
     schilling_expected_run, variance_longest_run, ASYMPTOTIC_RUN_VARIANCE, PAPER_QUOTED_VARIANCE,
@@ -14,10 +14,10 @@ use vlsa_runstats::{
 use vlsa_telemetry::Json;
 
 fn main() {
-    let (args, json_path) = args_without_json();
+    let (args, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
     let samples: u64 = args
         .get(2)
-        .map(|a| a.parse().expect("sample count"))
+        .map(|a| parse_arg("samples", a).unwrap_or_else(|e| e.exit()))
         .unwrap_or(50_000);
     let mut rng = rand::rngs::StdRng::seed_from_u64(1990);
 

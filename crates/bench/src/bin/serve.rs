@@ -1,0 +1,91 @@
+//! Runs a standalone `vlsa-server` for scripted load tests (the CI
+//! `server-smoke` job pairs this with the `loadgen` binary).
+//!
+//! Usage:
+//!   cargo run --release -p vlsa-bench --bin serve -- \
+//!       --addr 127.0.0.1:0 --shards 4 --serve-secs 30 \
+//!       --addr-file server.addr --metrics --metrics-addr-file m.addr
+//!
+//! Flags: `--addr <host:port>` (default ephemeral), `--shards <n>`
+//! (default 4), `--n <bits>` (default 64), `--cycle-ns <ns>` (modeled
+//! device time per pipeline cycle, default 3000), `--serve-secs <s>`
+//! (default 30), `--addr-file <path>` / `--metrics-addr-file <path>`
+//! (write the bound addresses for scripts), `--metrics` (mount the
+//! Prometheus endpoint).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use vlsa_bench::report::{parse_arg, split_value_flag, ArgError};
+use vlsa_bench::serverbench::SWEEP_CYCLE_NS;
+use vlsa_monitor::write_addr_file;
+use vlsa_server::{ServerConfig, ShardConfig, VlsaServer};
+use vlsa_telemetry::ScopedRecorder;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let split = |args, flag| split_value_flag(args, flag).unwrap_or_else(|e: ArgError| e.exit());
+    let (args, addr) = split(args, "addr");
+    let (args, shards) = split(args, "shards");
+    let (args, nbits) = split(args, "n");
+    let (args, cycle_ns) = split(args, "cycle-ns");
+    let (args, serve_secs) = split(args, "serve-secs");
+    let (args, addr_file) = split(args, "addr-file");
+    let (args, metrics_addr_file) = split(args, "metrics-addr-file");
+    let metrics_flag = args.iter().any(|a| a == "--metrics");
+    if let Some(unexpected) = args[1..].iter().find(|a| *a != "--metrics") {
+        ArgError::Unexpected {
+            arg: unexpected.clone(),
+        }
+        .exit();
+    }
+    let parsed = |flag: &str, value: Option<String>, default| {
+        value.map_or(default, |v| {
+            parse_arg(flag, &v).unwrap_or_else(|e| e.exit())
+        })
+    };
+    let shards = parsed("--shards", shards, 4u64) as usize;
+    let nbits = parsed("--n", nbits, 64u64) as usize;
+    let cycle_ns = parsed("--cycle-ns", cycle_ns, SWEEP_CYCLE_NS);
+    let serve_secs = parsed("--serve-secs", serve_secs, 30u64);
+
+    // The scrape endpoint reads the global recorder, so install it for
+    // the server's lifetime: every counter in `vlsa.server.*` is live.
+    let _telemetry = ScopedRecorder::install();
+    let mut server = VlsaServer::start(ServerConfig {
+        addr: addr.unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        shards,
+        shard: ShardConfig {
+            nbits,
+            cycle_ns,
+            ..ShardConfig::default()
+        },
+        metrics: metrics_flag,
+        ..ServerConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "serving vlsa://{} with {shards} shard(s), {nbits}-bit, {cycle_ns} ns/cycle",
+        server.addr()
+    );
+    if let Some(path) = addr_file.map(PathBuf::from) {
+        write_addr_file(server.addr(), &path).expect("write address file");
+    }
+    if let Some(metrics) = server.metrics_addr() {
+        println!("metrics at http://{metrics}/metrics");
+        if let Some(path) = metrics_addr_file.map(PathBuf::from) {
+            write_addr_file(metrics, &path).expect("write metrics address file");
+        }
+    }
+    std::thread::sleep(Duration::from_secs(serve_secs));
+    server.shutdown();
+    let totals = server.pool().totals();
+    println!(
+        "served {} ops in {} requests ({} shed, {} stalls); shutting down",
+        totals.ops, totals.requests, totals.shed, totals.stalls
+    );
+}

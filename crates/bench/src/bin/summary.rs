@@ -12,7 +12,7 @@ use vlsa_techlib::TechLibrary;
 use vlsa_telemetry::Json;
 
 fn main() {
-    let (_, json_path) = args_without_json();
+    let (_, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
     let lib = TechLibrary::umc180();
     let rows = fig8_rows(&FIG8_BITWIDTHS, &lib).expect("timing analysis");
 

@@ -4,17 +4,17 @@
 //!
 //! Usage: `cargo run -p vlsa-bench --bin table1 [-- probs 0.99 0.9999] [--json PATH]`
 
-use vlsa_bench::report::{args_without_json, Report};
+use vlsa_bench::report::{args_without_json, parse_arg, Report};
 use vlsa_runstats::{prob_longest_run_gt, table1};
 use vlsa_telemetry::Json;
 
 fn main() {
-    let (args, json_path) = args_without_json();
+    let (args, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
     let args = &args[1..];
     let probs: Vec<f64> = if args.first().is_some_and(|a| a == "probs") {
         args[1..]
             .iter()
-            .map(|a| a.parse().expect("probability argument"))
+            .map(|a| parse_arg("probs", a).unwrap_or_else(|e| e.exit()))
             .collect()
     } else {
         vec![0.99, 0.9999]

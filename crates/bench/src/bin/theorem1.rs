@@ -5,17 +5,17 @@
 //! Usage: `cargo run --release -p vlsa-bench --bin theorem1 [-- trials N] [--json PATH]`
 
 use rand::SeedableRng;
-use vlsa_bench::report::{args_without_json, Report};
+use vlsa_bench::report::{args_without_json, parse_arg, Report};
 use vlsa_runstats::{
     expected_flips_for_run, monte_carlo_expected_flips, recurrence_expected_flips,
 };
 use vlsa_telemetry::Json;
 
 fn main() {
-    let (args, json_path) = args_without_json();
+    let (args, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
     let trials: u64 = args
         .get(2)
-        .map(|a| a.parse().expect("trial count"))
+        .map(|a| parse_arg("trials", a).unwrap_or_else(|e| e.exit()))
         .unwrap_or(100_000);
     let mut rng = rand::rngs::StdRng::seed_from_u64(2008);
     let max_k = 12u32;

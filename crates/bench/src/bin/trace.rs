@@ -24,6 +24,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use vlsa_bench::paper_window;
+use vlsa_bench::report::{parse_arg, ArgError};
 use vlsa_bench::tracebin::{
     capture_resilient_run, capture_run, capture_vcd, replay, TraceConfig, VcdConfig,
 };
@@ -44,17 +45,22 @@ struct Cli {
     resilient: bool,
 }
 
-fn parse_fault(spec: &str) -> (usize, bool) {
+fn parse_fault(spec: &str) -> Result<(usize, bool), ArgError> {
+    let bad = |reason: &str| ArgError::BadValue {
+        flag: "--fault".to_string(),
+        value: spec.to_string(),
+        reason: reason.to_string(),
+    };
     let (net, value) = spec
         .split_once(':')
-        .expect("--fault takes <net-index>:<0|1>");
-    let net = net.parse().expect("--fault net index must be a number");
+        .ok_or_else(|| bad("expected <net-index>:<0|1>"))?;
+    let net = net.parse().map_err(|_| bad("net index must be a number"))?;
     let value = match value {
         "0" => false,
         "1" => true,
-        other => panic!("--fault value must be 0 or 1, got `{other}`"),
+        _ => return Err(bad("stuck-at value must be 0 or 1")),
     };
-    (net, value)
+    Ok((net, value))
 }
 
 fn parse_args() -> Cli {
@@ -74,26 +80,38 @@ fn parse_args() -> Cli {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("{flag} needs a value"))
+            args.next().unwrap_or_else(|| {
+                ArgError::MissingValue {
+                    flag: flag.to_string(),
+                }
+                .exit()
+            })
         };
+        fn parsed<T>(flag: &str, value: &str) -> T
+        where
+            T: std::str::FromStr,
+            T::Err: std::fmt::Display,
+        {
+            parse_arg(flag, value).unwrap_or_else(|e| e.exit())
+        }
         match arg.as_str() {
-            "--n" => cli.nbits = value("--n").parse().expect("--n takes a bitwidth"),
-            "--ops" => cli.ops = value("--ops").parse().expect("--ops takes a count"),
-            "--window" => {
-                cli.window = Some(value("--window").parse().expect("--window takes a width"));
-            }
-            "--seed" => cli.seed = value("--seed").parse().expect("--seed takes a number"),
+            "--n" => cli.nbits = parsed("--n", &value("--n")),
+            "--ops" => cli.ops = parsed("--ops", &value("--ops")),
+            "--window" => cli.window = Some(parsed("--window", &value("--window"))),
+            "--seed" => cli.seed = parsed("--seed", &value("--seed")),
             "--vcd" => cli.vcd = Some(PathBuf::from(value("--vcd"))),
-            "--vcd-ops" => {
-                cli.vcd_ops = value("--vcd-ops").parse().expect("--vcd-ops takes a count");
-            }
+            "--vcd-ops" => cli.vcd_ops = parsed("--vcd-ops", &value("--vcd-ops")),
             "--all-nets" => cli.all_nets = true,
-            "--fault" => cli.fault = Some(parse_fault(&value("--fault"))),
+            "--fault" => {
+                cli.fault = Some(parse_fault(&value("--fault")).unwrap_or_else(|e| e.exit()));
+            }
             "--chrome" => cli.chrome = Some(PathBuf::from(value("--chrome"))),
             "--replay" => cli.replay = Some(PathBuf::from(value("--replay"))),
             "--resilient" => cli.resilient = true,
-            other => panic!("unknown flag `{other}` (see the doc comment for usage)"),
+            other => ArgError::Unexpected {
+                arg: other.to_string(),
+            }
+            .exit(),
         }
     }
     cli

@@ -18,7 +18,7 @@ use vlsa_telemetry::Json;
 use vlsa_timing::analyze;
 
 fn main() {
-    let (_, json_path) = args_without_json();
+    let (_, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
     let mut report = Report::new("voltage");
     let lib = TechLibrary::umc180();
     let mut rng = rand::rngs::StdRng::seed_from_u64(18);

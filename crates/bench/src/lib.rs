@@ -18,6 +18,7 @@
 pub mod metrics;
 pub mod monitorbin;
 pub mod report;
+pub mod serverbench;
 pub mod tracebin;
 
 use vlsa_adders::AdderArch;

@@ -28,28 +28,98 @@ use vlsa_telemetry::{Json, Registry};
 /// Current report schema version.
 pub const SCHEMA_VERSION: u64 = 1;
 
-/// Splits `--json <path>` / `--json=<path>` out of an argument list,
-/// returning the remaining arguments (argv0 included) and the path.
-pub fn split_json_flag(args: Vec<String>) -> (Vec<String>, Option<PathBuf>) {
-    let mut rest = Vec::with_capacity(args.len());
-    let mut path = None;
-    let mut iter = args.into_iter();
-    while let Some(arg) = iter.next() {
-        if arg == "--json" {
-            path = Some(PathBuf::from(
-                iter.next().expect("--json requires a path argument"),
-            ));
-        } else if let Some(p) = arg.strip_prefix("--json=") {
-            path = Some(PathBuf::from(p));
-        } else {
-            rest.push(arg);
+/// A malformed command line — the bench-binary analogue of the typed
+/// wire-protocol errors: external input never panics, it produces a
+/// diagnostic and a conventional exit code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` that requires a value appeared last with none.
+    MissingValue {
+        /// The flag, including the `--` prefix.
+        flag: String,
+    },
+    /// A value failed to parse.
+    BadValue {
+        /// The flag or positional-argument name.
+        flag: String,
+        /// The offending value as given.
+        value: String,
+        /// What was expected instead.
+        reason: String,
+    },
+    /// An argument the binary does not understand.
+    Unexpected {
+        /// The offending argument.
+        arg: String,
+    },
+}
+
+/// Exit code for a malformed command line (the usage-error convention).
+pub const USAGE_EXIT_CODE: i32 = 2;
+
+impl ArgError {
+    /// Prints the diagnostic to stderr and exits with
+    /// [`USAGE_EXIT_CODE`]. The intended idiom in `main`:
+    /// `args_without_json().unwrap_or_else(|e| e.exit())`.
+    pub fn exit(&self) -> ! {
+        eprintln!("error: {self}");
+        std::process::exit(USAGE_EXIT_CODE)
+    }
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue { flag } => write!(f, "{flag} requires a value"),
+            ArgError::BadValue {
+                flag,
+                value,
+                reason,
+            } => write!(f, "invalid value `{value}` for {flag}: {reason}"),
+            ArgError::Unexpected { arg } => write!(f, "unexpected argument `{arg}`"),
         }
     }
-    (rest, path)
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses an argument value, mapping failure to [`ArgError::BadValue`]
+/// with the parser's own message as the reason.
+///
+/// # Errors
+///
+/// [`ArgError::BadValue`] when the value does not parse.
+pub fn parse_arg<T>(flag: &str, value: &str) -> Result<T, ArgError>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    value.parse().map_err(|e: T::Err| ArgError::BadValue {
+        flag: flag.to_string(),
+        value: value.to_string(),
+        reason: e.to_string(),
+    })
+}
+
+/// Splits `--json <path>` / `--json=<path>` out of an argument list,
+/// returning the remaining arguments (argv0 included) and the path.
+///
+/// # Errors
+///
+/// [`ArgError::MissingValue`] if `--json` appears last with no path.
+#[allow(clippy::type_complexity)]
+pub fn split_json_flag(args: Vec<String>) -> Result<(Vec<String>, Option<PathBuf>), ArgError> {
+    let (rest, value) = split_value_flag(args, "json")?;
+    Ok((rest, value.map(PathBuf::from)))
 }
 
 /// [`split_json_flag`] applied to the process arguments.
-pub fn args_without_json() -> (Vec<String>, Option<PathBuf>) {
+///
+/// # Errors
+///
+/// [`ArgError::MissingValue`] if `--json` appears last with no path.
+#[allow(clippy::type_complexity)]
+pub fn args_without_json() -> Result<(Vec<String>, Option<PathBuf>), ArgError> {
     split_json_flag(std::env::args().collect())
 }
 
@@ -57,10 +127,14 @@ pub fn args_without_json() -> (Vec<String>, Option<PathBuf>) {
 /// an argument list (the same convention as `--json`), returning the
 /// remaining arguments and the value.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the flag appears last with no value.
-pub fn split_value_flag(args: Vec<String>, flag: &str) -> (Vec<String>, Option<String>) {
+/// [`ArgError::MissingValue`] if the flag appears last with no value.
+#[allow(clippy::type_complexity)]
+pub fn split_value_flag(
+    args: Vec<String>,
+    flag: &str,
+) -> Result<(Vec<String>, Option<String>), ArgError> {
     let bare = format!("--{flag}");
     let prefixed = format!("--{flag}=");
     let mut rest = Vec::with_capacity(args.len());
@@ -70,7 +144,7 @@ pub fn split_value_flag(args: Vec<String>, flag: &str) -> (Vec<String>, Option<S
         if arg == bare {
             value = Some(
                 iter.next()
-                    .unwrap_or_else(|| panic!("{bare} requires a value argument")),
+                    .ok_or_else(|| ArgError::MissingValue { flag: bare.clone() })?,
             );
         } else if let Some(v) = arg.strip_prefix(&prefixed) {
             value = Some(v.to_string());
@@ -78,7 +152,7 @@ pub fn split_value_flag(args: Vec<String>, flag: &str) -> (Vec<String>, Option<S
             rest.push(arg);
         }
     }
-    (rest, value)
+    Ok((rest, value))
 }
 
 /// Accumulates one binary's results into the `BENCH_*.json` schema.
@@ -156,44 +230,74 @@ mod tests {
 
     #[test]
     fn json_flag_is_stripped_wherever_it_appears() {
-        let (rest, path) = split_json_flag(strings(&["bin", "--json", "out.json", "queue"]));
+        let (rest, path) =
+            split_json_flag(strings(&["bin", "--json", "out.json", "queue"])).expect("valid");
         assert_eq!(rest, strings(&["bin", "queue"]));
         assert_eq!(path, Some(PathBuf::from("out.json")));
 
-        let (rest, path) = split_json_flag(strings(&["bin", "ops", "500", "--json=x.json"]));
+        let (rest, path) =
+            split_json_flag(strings(&["bin", "ops", "500", "--json=x.json"])).expect("valid");
         assert_eq!(rest, strings(&["bin", "ops", "500"]));
         assert_eq!(path, Some(PathBuf::from("x.json")));
 
-        let (rest, path) = split_json_flag(strings(&["bin", "sweep"]));
+        let (rest, path) = split_json_flag(strings(&["bin", "sweep"])).expect("valid");
         assert_eq!(rest, strings(&["bin", "sweep"]));
         assert_eq!(path, None);
     }
 
     #[test]
-    #[should_panic(expected = "--json requires a path")]
-    fn dangling_json_flag_panics() {
-        split_json_flag(strings(&["bin", "--json"]));
+    fn dangling_json_flag_is_a_typed_error_not_a_panic() {
+        let err = split_json_flag(strings(&["bin", "--json"])).expect_err("dangling flag");
+        assert_eq!(
+            err,
+            ArgError::MissingValue {
+                flag: "--json".to_string()
+            }
+        );
+        assert_eq!(err.to_string(), "--json requires a value");
     }
 
     #[test]
     fn value_flags_are_stripped_in_both_spellings() {
-        let (rest, value) = split_value_flag(strings(&["bin", "--prom", "m.prom", "x"]), "prom");
+        let (rest, value) =
+            split_value_flag(strings(&["bin", "--prom", "m.prom", "x"]), "prom").expect("valid");
         assert_eq!(rest, strings(&["bin", "x"]));
         assert_eq!(value.as_deref(), Some("m.prom"));
 
-        let (rest, value) = split_value_flag(strings(&["bin", "--serve=127.0.0.1:0"]), "serve");
+        let (rest, value) =
+            split_value_flag(strings(&["bin", "--serve=127.0.0.1:0"]), "serve").expect("valid");
         assert_eq!(rest, strings(&["bin"]));
         assert_eq!(value.as_deref(), Some("127.0.0.1:0"));
 
-        let (rest, value) = split_value_flag(strings(&["bin", "--serve", "addr"]), "prom");
+        let (rest, value) =
+            split_value_flag(strings(&["bin", "--serve", "addr"]), "prom").expect("valid");
         assert_eq!(rest, strings(&["bin", "--serve", "addr"]));
         assert_eq!(value, None);
     }
 
     #[test]
-    #[should_panic(expected = "--prom requires a value")]
-    fn dangling_value_flag_panics() {
-        split_value_flag(strings(&["bin", "--prom"]), "prom");
+    fn dangling_value_flag_is_a_typed_error_not_a_panic() {
+        let err = split_value_flag(strings(&["bin", "--prom"]), "prom").expect_err("dangling flag");
+        assert_eq!(
+            err,
+            ArgError::MissingValue {
+                flag: "--prom".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_arg_maps_bad_values_to_typed_errors() {
+        assert_eq!(parse_arg::<usize>("--ops", "500"), Ok(500));
+        let err = parse_arg::<usize>("--ops", "many").expect_err("not a number");
+        match &err {
+            ArgError::BadValue { flag, value, .. } => {
+                assert_eq!(flag, "--ops");
+                assert_eq!(value, "many");
+            }
+            other => panic!("expected BadValue, got {other:?}"),
+        }
+        assert!(err.to_string().contains("invalid value `many` for --ops"));
     }
 
     #[test]

@@ -1,0 +1,457 @@
+//! The serving benchmark behind `BENCH_server.json`: an open-loop load
+//! generator driving `vlsa-server` over real TCP, swept across shard
+//! counts, plus one deliberate overload point that exercises the
+//! load-shedding path.
+//!
+//! On a single-core host the shards cannot speed each other up in wall
+//! time, so the server paces each worker by the *modeled* device time
+//! (`cycle_ns` per pipeline cycle, the same clock the paper's latency
+//! contract is written against). Throughput scaling across shard counts
+//! then measures what it would on hardware: the aggregate cycle budget
+//! of N independent adder pipelines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vlsa_pipeline::{adversarial_operands, biased_operands, random_operands};
+use vlsa_server::{Response, ServerConfig, ShardConfig, VlsaClient, VlsaServer};
+use vlsa_telemetry::{Histogram, Json};
+
+use crate::report::{ArgError, Report};
+
+/// Operand mixes the generator can offer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mix {
+    /// Uniform random operands — the paper's nominal traffic.
+    Uniform,
+    /// Carry-friendly biased operands (high per-bit one probability).
+    Biased,
+    /// Worst-case carry chains; every op stalls.
+    Adversarial,
+    /// One third each, interleaved per request.
+    Mixed,
+}
+
+impl std::str::FromStr for Mix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Mix, String> {
+        match s {
+            "uniform" => Ok(Mix::Uniform),
+            "biased" => Ok(Mix::Biased),
+            "adversarial" => Ok(Mix::Adversarial),
+            "mixed" => Ok(Mix::Mixed),
+            _ => Err("use uniform|biased|adversarial|mixed".to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for Mix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Mix::Uniform => "uniform",
+            Mix::Biased => "biased",
+            Mix::Adversarial => "adversarial",
+            Mix::Mixed => "mixed",
+        })
+    }
+}
+
+/// One load-generation run against one server.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests each connection sends.
+    pub requests_per_conn: usize,
+    /// Operands per request.
+    pub ops_per_request: usize,
+    /// Operand width in bits.
+    pub nbits: usize,
+    /// Operand mix.
+    pub mix: Mix,
+    /// Open-loop target arrival rate in ops/s across all connections
+    /// (`0` = no pacing: every connection sends back-to-back, which
+    /// saturates the server and measures capacity).
+    pub target_ops_per_sec: u64,
+    /// RNG seed for operand generation.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            connections: 48,
+            requests_per_conn: 100,
+            ops_per_request: 64,
+            nbits: 32,
+            mix: Mix::Mixed,
+            target_ops_per_sec: 0,
+            seed: 0xB00B5,
+        }
+    }
+}
+
+/// What one load run measured (client side of the wire).
+#[derive(Debug)]
+pub struct LoadResult {
+    /// Ops summed by the server (shed requests excluded).
+    pub ops: u64,
+    /// Requests answered with sums.
+    pub answered: u64,
+    /// Requests shed with a `Busy` frame.
+    pub shed: u64,
+    /// Ops whose speculative result was corrected (stall flag set).
+    pub stalls: u64,
+    /// Hard failures (transport or typed server errors).
+    pub errors: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Client-observed round-trip latency in microseconds.
+    pub latency_us: Histogram,
+}
+
+impl LoadResult {
+    /// Delivered throughput in summed ops per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of requests shed.
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.answered + self.shed;
+        if total == 0 {
+            0.0
+        } else {
+            self.shed as f64 / total as f64
+        }
+    }
+
+    /// Fraction of delivered ops that stalled.
+    pub fn stall_rate(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.stalls as f64 / self.ops as f64
+        }
+    }
+}
+
+/// Builds one connection's operand stream for `mix`.
+fn operands_for(mix: Mix, nbits: usize, count: usize, rng: &mut StdRng) -> Vec<(u64, u64)> {
+    match mix {
+        Mix::Uniform => random_operands(nbits, count, rng),
+        Mix::Biased => biased_operands(nbits, count, 0.8, rng),
+        Mix::Adversarial => adversarial_operands(nbits, count),
+        Mix::Mixed => {
+            let third = count / 3;
+            let mut ops = random_operands(nbits, third, rng);
+            ops.extend(biased_operands(nbits, third, 0.8, rng));
+            ops.extend(adversarial_operands(nbits, count - 2 * third));
+            ops
+        }
+    }
+}
+
+/// Drives `addr` with `config.connections` open-loop client threads and
+/// aggregates what came back.
+///
+/// # Errors
+///
+/// Fails when a connection cannot be established; per-request transport
+/// failures are counted in [`LoadResult::errors`] instead.
+pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> std::io::Result<LoadResult> {
+    let ops = Arc::new(AtomicU64::new(0));
+    let answered = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let stalls = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let latency_us = Arc::new(Histogram::with_default_buckets());
+
+    // Per-connection inter-arrival gap realizing the aggregate target.
+    let gap = if config.target_ops_per_sec == 0 {
+        Duration::ZERO
+    } else {
+        Duration::from_secs_f64(
+            config.ops_per_request as f64 * config.connections as f64
+                / config.target_ops_per_sec as f64,
+        )
+    };
+
+    let start = Instant::now();
+    let mut workers = Vec::with_capacity(config.connections);
+    for conn in 0..config.connections {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ (conn as u64).wrapping_mul(0x9E37));
+        let stream = operands_for(
+            config.mix,
+            config.nbits,
+            config.requests_per_conn * config.ops_per_request,
+            &mut rng,
+        );
+        let (ops, answered, shed, stalls, errors, latency_us) = (
+            Arc::clone(&ops),
+            Arc::clone(&answered),
+            Arc::clone(&shed),
+            Arc::clone(&stalls),
+            Arc::clone(&errors),
+            Arc::clone(&latency_us),
+        );
+        let (ops_per_request, requests) = (config.ops_per_request, config.requests_per_conn);
+        let nbits = config.nbits as u8;
+        let mut client = VlsaClient::connect(addr)?.with_request_id_base(conn as u64);
+        workers.push(std::thread::spawn(move || {
+            let mut next_arrival = Instant::now();
+            for r in 0..requests {
+                if !gap.is_zero() {
+                    let now = Instant::now();
+                    if now < next_arrival {
+                        std::thread::sleep(next_arrival - now);
+                    }
+                    // Open loop: the schedule advances by the gap even
+                    // when we are running late, never by response time.
+                    next_arrival += gap;
+                }
+                let batch = &stream[r * ops_per_request..(r + 1) * ops_per_request];
+                let sent = Instant::now();
+                match client.add_batch(nbits, batch) {
+                    Ok(Response::Sums(sums)) => {
+                        latency_us.record(sent.elapsed().as_micros() as u64);
+                        answered.fetch_add(1, Ordering::Relaxed);
+                        ops.fetch_add(sums.results.len() as u64, Ordering::Relaxed);
+                        let stalled = sums.results.iter().filter(|o| o.stalled()).count();
+                        stalls.fetch_add(stalled as u64, Ordering::Relaxed);
+                    }
+                    Ok(Response::Busy(_)) => {
+                        // Shed under open-loop load is lost work, not
+                        // retried — the next arrival is already due.
+                        shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    let elapsed = start.elapsed();
+
+    let unwrap_stat = |a: &Arc<AtomicU64>| a.load(Ordering::Relaxed);
+    Ok(LoadResult {
+        ops: unwrap_stat(&ops),
+        answered: unwrap_stat(&answered),
+        shed: unwrap_stat(&shed),
+        stalls: unwrap_stat(&stalls),
+        errors: unwrap_stat(&errors),
+        elapsed,
+        latency_us: Arc::try_unwrap(latency_us).unwrap_or_else(|shared| {
+            let h = Histogram::with_default_buckets();
+            for (bound, count) in shared.buckets() {
+                h.record_n(bound, count);
+            }
+            h
+        }),
+    })
+}
+
+/// One row of the sweep: a fresh server at `shards`, one load run.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Shard count for this row.
+    pub shards: usize,
+    /// Per-shard queue capacity (small = overload demo).
+    pub queue_capacity: usize,
+    /// Row label in the report (`"nominal"` / `"overload"`).
+    pub label: &'static str,
+    /// Load to offer.
+    pub load: LoadConfig,
+}
+
+/// Modeled device time per pipeline cycle for the sweep, in
+/// nanoseconds. Chosen so the modeled service time dominates the real
+/// single-core compute by a wide margin, keeping the sweep meaningful
+/// on one CPU.
+pub const SWEEP_CYCLE_NS: u64 = 3_000;
+
+/// The standard sweep: saturation rows at shard counts 1/2/4/8 plus an
+/// overload row with a deliberately tiny queue.
+pub fn standard_sweep() -> Vec<SweepPoint> {
+    let mut points: Vec<SweepPoint> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|shards| SweepPoint {
+            shards,
+            queue_capacity: 64,
+            label: "nominal",
+            load: LoadConfig::default(),
+        })
+        .collect();
+    points.push(SweepPoint {
+        shards: 2,
+        queue_capacity: 2,
+        label: "overload",
+        load: LoadConfig {
+            connections: 32,
+            requests_per_conn: 60,
+            ..LoadConfig::default()
+        },
+    });
+    points
+}
+
+/// Runs one sweep point against an in-process server and returns the
+/// report row.
+///
+/// # Errors
+///
+/// Propagates server-start and connect failures as `io::Error`.
+pub fn run_point(point: &SweepPoint) -> std::io::Result<Json> {
+    let mut server = VlsaServer::start(ServerConfig {
+        shards: point.shards,
+        shard: ShardConfig {
+            nbits: 64,
+            cycle_ns: SWEEP_CYCLE_NS,
+            queue_capacity: point.queue_capacity,
+            ..ShardConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let result = run_load(server.addr(), &point.load)?;
+    let totals = server.pool().totals();
+    server.shutdown();
+
+    // Accounting must close: everything the clients sent was either
+    // summed or shed with a typed Busy frame — nothing vanished.
+    let offered = (point.load.connections * point.load.requests_per_conn) as u64;
+    assert_eq!(
+        result.answered + result.shed + result.errors,
+        offered,
+        "silent drop: offered requests unaccounted for"
+    );
+    assert_eq!(totals.shed, result.shed, "server/client shed disagree");
+
+    let q = |p: f64| result.latency_us.quantile(p).unwrap_or(0.0);
+    Ok(Json::obj()
+        .set("label", point.label)
+        .set("shards", point.shards as u64)
+        .set("queue_capacity", point.queue_capacity as u64)
+        .set("connections", point.load.connections as u64)
+        .set("mix", point.load.mix.to_string())
+        .set("cycle_ns", SWEEP_CYCLE_NS)
+        .set("ops", result.ops)
+        .set("elapsed_s", result.elapsed.as_secs_f64())
+        .set("throughput_ops_s", result.ops_per_sec())
+        .set("p50_us", q(0.50))
+        .set("p99_us", q(0.99))
+        .set("p999_us", q(0.999))
+        .set("answered", result.answered)
+        .set("shed", result.shed)
+        .set("shed_rate", result.shed_rate())
+        .set("stalls", result.stalls)
+        .set("stall_rate", result.stall_rate())
+        .set("errors", result.errors))
+}
+
+/// Runs the whole sweep and assembles the `BENCH_server.json` report.
+///
+/// # Errors
+///
+/// Propagates the first failing point.
+pub fn run_sweep(points: &[SweepPoint]) -> std::io::Result<Report> {
+    let mut report = Report::new("server");
+    report.set("cycle_ns", SWEEP_CYCLE_NS);
+    println!(
+        "{:>9} | {:>6} {:>5} | {:>12} {:>9} {:>9} {:>9} | {:>9} {:>9}",
+        "label", "shards", "conns", "ops/s", "p50 us", "p99 us", "p999 us", "shed", "stall"
+    );
+    for point in points {
+        let row = run_point(point)?;
+        let f = |k: &str| row.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        println!(
+            "{:>9} | {:>6} {:>5} | {:>12.0} {:>9.0} {:>9.0} {:>9.0} | {:>8.1}% {:>8.2}%",
+            point.label,
+            point.shards,
+            point.load.connections,
+            f("throughput_ops_s"),
+            f("p50_us"),
+            f("p99_us"),
+            f("p999_us"),
+            f("shed_rate") * 100.0,
+            f("stall_rate") * 100.0,
+        );
+        report.push_row(row);
+    }
+    Ok(report)
+}
+
+/// Parses a `Mix` flag value.
+///
+/// # Errors
+///
+/// [`ArgError::BadValue`] on an unknown mix name.
+pub fn parse_mix(value: &str) -> Result<Mix, ArgError> {
+    crate::report::parse_arg("--mix", value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_names_round_trip() {
+        for mix in [Mix::Uniform, Mix::Biased, Mix::Adversarial, Mix::Mixed] {
+            assert_eq!(mix.to_string().parse::<Mix>(), Ok(mix));
+        }
+        assert!("bogus".parse::<Mix>().is_err());
+    }
+
+    #[test]
+    fn a_small_nominal_point_delivers_everything() {
+        let point = SweepPoint {
+            shards: 2,
+            queue_capacity: 64,
+            label: "test",
+            load: LoadConfig {
+                connections: 4,
+                requests_per_conn: 8,
+                ops_per_request: 16,
+                ..LoadConfig::default()
+            },
+        };
+        let row = run_point(&point).expect("run");
+        assert_eq!(row.get("ops").and_then(Json::as_u64), Some(4 * 8 * 16));
+        assert_eq!(row.get("shed").and_then(Json::as_u64), Some(0));
+        assert_eq!(row.get("errors").and_then(Json::as_u64), Some(0));
+        // The mixed stream contains adversarial segments, so stalls
+        // must be visible in the stall rate.
+        assert!(row.get("stalls").and_then(Json::as_u64).unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn an_overload_point_sheds_but_never_drops() {
+        let point = SweepPoint {
+            shards: 1,
+            queue_capacity: 1,
+            label: "test-overload",
+            load: LoadConfig {
+                connections: 16,
+                requests_per_conn: 10,
+                ops_per_request: 32,
+                ..LoadConfig::default()
+            },
+        };
+        // run_point itself asserts answered + shed + errors == offered.
+        let row = run_point(&point).expect("run");
+        assert!(
+            row.get("shed").and_then(Json::as_u64).unwrap_or(0) > 0,
+            "a 1-deep queue under 16 connections must shed"
+        );
+        assert_eq!(row.get("errors").and_then(Json::as_u64), Some(0));
+    }
+}

@@ -60,4 +60,4 @@ pub use alert::{Alert, AlertKind};
 pub use conformance::{CusumTracker, SpectrumBin, SpectrumModel};
 pub use monitor::{ConformanceMonitor, MonitorConfig, WindowReport};
 pub use prom::{exposition, sanitize_name};
-pub use server::{BodyFn, ScrapeServer};
+pub use server::{write_addr_file, AcceptLoop, BodyFn, ConnFn, ScrapeServer};

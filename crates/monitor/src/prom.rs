@@ -1,9 +1,16 @@
 //! Prometheus text exposition (version 0.0.4) over a telemetry
 //! [`Registry`] — counters, gauges, and cumulative histogram buckets,
 //! rendered with the naming conventions Prometheus expects.
+//!
+//! Labeled instruments (registered via `vlsa_telemetry::names::labeled`,
+//! e.g. `vlsa.server.queue_depth#shard=3`) are rendered as one metric
+//! family with a label set per series
+//! (`vlsa_server_queue_depth{shard="3"}`), with the `# HELP` / `# TYPE`
+//! header emitted once per family.
 
 use std::fmt::Write;
 
+use vlsa_telemetry::names::split_label;
 use vlsa_telemetry::Registry;
 
 /// Maps a dotted telemetry name (`vlsa.monitor.ops`) onto a legal
@@ -36,37 +43,91 @@ fn fmt_value(v: f64) -> String {
     }
 }
 
+/// A telemetry name split into its Prometheus family and rendered label
+/// set: `vlsa.server.queue_depth#shard=3` → family
+/// `vlsa_server_queue_depth`, labels `{shard="3"}`.
+fn family_and_labels(name: &str, suffix: &str) -> (String, String) {
+    let (base, label) = split_label(name);
+    let family = format!("{}{suffix}", sanitize_name(base));
+    let labels = match label {
+        Some((key, value)) => {
+            let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+            format!("{{{}=\"{escaped}\"}}", sanitize_name(key))
+        }
+        None => String::new(),
+    };
+    (family, labels)
+}
+
+/// Writes the `# HELP` / `# TYPE` header for `family`, once per family:
+/// adjacent label variants of the same instrument (sorted registry
+/// iteration keeps them together) share one header.
+fn write_header(out: &mut String, last: &mut String, family: &str, base: &str, kind: &str) {
+    if last == family {
+        return;
+    }
+    let _ = writeln!(out, "# HELP {family} Telemetry {kind} {base}");
+    let _ = writeln!(out, "# TYPE {family} {kind}");
+    last.clear();
+    last.push_str(family);
+}
+
 /// Renders the registry's full contents in Prometheus text exposition
-/// format: one `# HELP` / `# TYPE` pair per metric, counters suffixed
-/// `_total`, histograms expanded to cumulative `_bucket{le="..."}`
-/// series with the implicit `+Inf` bucket plus `_sum` and `_count`.
+/// format: one `# HELP` / `# TYPE` pair per metric family, counters
+/// suffixed `_total`, histograms expanded to cumulative
+/// `_bucket{le="..."}` series with the implicit `+Inf` bucket plus
+/// `_sum` and `_count`.
 pub fn exposition(registry: &Registry) -> String {
     let mut out = String::new();
+    let mut last = String::new();
     for (name, counter) in registry.counters() {
-        let prom = format!("{}_total", sanitize_name(&name));
-        let _ = writeln!(out, "# HELP {prom} Telemetry counter {name}");
-        let _ = writeln!(out, "# TYPE {prom} counter");
-        let _ = writeln!(out, "{prom} {}", counter.get());
+        let (family, labels) = family_and_labels(&name, "_total");
+        write_header(
+            &mut out,
+            &mut last,
+            &family,
+            split_label(&name).0,
+            "counter",
+        );
+        let _ = writeln!(out, "{family}{labels} {}", counter.get());
     }
+    last.clear();
     for (name, gauge) in registry.gauges() {
-        let prom = sanitize_name(&name);
-        let _ = writeln!(out, "# HELP {prom} Telemetry gauge {name}");
-        let _ = writeln!(out, "# TYPE {prom} gauge");
-        let _ = writeln!(out, "{prom} {}", fmt_value(gauge.get()));
+        let (family, labels) = family_and_labels(&name, "");
+        write_header(&mut out, &mut last, &family, split_label(&name).0, "gauge");
+        let _ = writeln!(out, "{family}{labels} {}", fmt_value(gauge.get()));
     }
+    last.clear();
     for (name, hist) in registry.histograms() {
-        let prom = sanitize_name(&name);
-        let _ = writeln!(out, "# HELP {prom} Telemetry histogram {name}");
-        let _ = writeln!(out, "# TYPE {prom} histogram");
+        let (family, labels) = family_and_labels(&name, "");
+        write_header(
+            &mut out,
+            &mut last,
+            &family,
+            split_label(&name).0,
+            "histogram",
+        );
+        // Merge the series labels with the `le` bucket label.
+        let bucket_labels = |le: &str| -> String {
+            if labels.is_empty() {
+                format!("{{le=\"{le}\"}}")
+            } else {
+                format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+            }
+        };
         let mut cum = 0u64;
         for (le, count) in hist.buckets() {
             cum += count;
-            let _ = writeln!(out, "{prom}_bucket{{le=\"{le}\"}} {cum}");
+            let _ = writeln!(
+                out,
+                "{family}_bucket{} {cum}",
+                bucket_labels(&le.to_string())
+            );
         }
         cum += hist.overflow();
-        let _ = writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {cum}");
-        let _ = writeln!(out, "{prom}_sum {}", hist.sum());
-        let _ = writeln!(out, "{prom}_count {}", hist.count());
+        let _ = writeln!(out, "{family}_bucket{} {cum}", bucket_labels("+Inf"));
+        let _ = writeln!(out, "{family}_sum{labels} {}", hist.sum());
+        let _ = writeln!(out, "{family}_count{labels} {}", hist.count());
     }
     out
 }
@@ -74,6 +135,7 @@ pub fn exposition(registry: &Registry) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vlsa_telemetry::names::labeled;
 
     #[test]
     fn names_are_sanitized() {
@@ -109,6 +171,61 @@ mod tests {
         );
         assert!(text.contains("vlsa_test_lat_sum 12"), "{text}");
         assert!(text.contains("vlsa_test_lat_count 3"), "{text}");
+    }
+
+    #[test]
+    fn labeled_series_share_one_family_header() {
+        let registry = Registry::new();
+        registry
+            .counter(&labeled("vlsa.test.ops", "shard", 0))
+            .add(3);
+        registry
+            .counter(&labeled("vlsa.test.ops", "shard", 1))
+            .add(4);
+        registry
+            .gauge(&labeled("vlsa.test.depth", "shard", 2))
+            .set(5.0);
+        let text = exposition(&registry);
+        assert_eq!(
+            text.matches("# TYPE vlsa_test_ops_total counter").count(),
+            1,
+            "{text}"
+        );
+        assert!(
+            text.contains("vlsa_test_ops_total{shard=\"0\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vlsa_test_ops_total{shard=\"1\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("vlsa_test_depth{shard=\"2\"} 5"), "{text}");
+    }
+
+    #[test]
+    fn labeled_histograms_merge_le_with_series_labels() {
+        let registry = Registry::new();
+        let h = registry.histogram(&labeled("vlsa.test.lat", "shard", 7), &[1, 2]);
+        h.record(1);
+        h.record(9);
+        let text = exposition(&registry);
+        assert!(
+            text.contains("vlsa_test_lat_bucket{shard=\"7\",le=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vlsa_test_lat_bucket{shard=\"7\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vlsa_test_lat_count{shard=\"7\"} 2"),
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE vlsa_test_lat histogram").count(),
+            1,
+            "{text}"
+        );
     }
 
     #[test]

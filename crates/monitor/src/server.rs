@@ -1,14 +1,21 @@
-//! A minimal, dependency-free HTTP scrape endpoint.
+//! Shared TCP accept-loop plumbing and a minimal, dependency-free HTTP
+//! scrape endpoint.
 //!
-//! Serves `GET /metrics` (Prometheus text exposition) and
-//! `GET /snapshot` (the monitor's JSON state) from a background thread,
-//! one short-lived connection at a time — exactly the traffic pattern
-//! of a Prometheus scraper, and all that a monitoring sidecar needs.
-//! Shutdown is graceful: a flag is raised and the accept loop is woken
-//! with a loopback connection, so no thread is ever killed mid-write.
+//! [`AcceptLoop`] owns the pattern every listener in the workspace
+//! needs: bind (ephemeral ports supported), accept on a named background
+//! thread, and shut down gracefully — a stop flag is raised and the
+//! accept loop is woken with a loopback connection, so no thread is ever
+//! killed mid-write. [`ScrapeServer`] builds on it to serve `GET
+//! /metrics` (Prometheus text exposition) and `GET /snapshot` (JSON
+//! state), one short-lived connection at a time — exactly the traffic
+//! pattern of a Prometheus scraper. `vlsa-server` reuses both: the
+//! accept loop for its wire protocol and the scrape server for its
+//! `/metrics` mount, so there is exactly one socket/shutdown
+//! implementation in the tree.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -17,38 +24,42 @@ use std::time::Duration;
 /// Producer of an endpoint body, called once per request.
 pub type BodyFn = Arc<dyn Fn() -> String + Send + Sync>;
 
-/// A running scrape endpoint.
+/// Handler invoked (on the accept thread) for each accepted connection.
+pub type ConnFn = Arc<dyn Fn(TcpStream) + Send + Sync>;
+
+/// A bound TCP listener draining connections into a handler on a named
+/// background thread, with graceful flag-and-wake shutdown.
 #[derive(Debug)]
-pub struct ScrapeServer {
+pub struct AcceptLoop {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
-impl ScrapeServer {
+impl AcceptLoop {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts serving `metrics` at `/metrics` and `snapshot` at
-    /// `/snapshot` on a background thread.
-    pub fn start(addr: &str, metrics: BodyFn, snapshot: BodyFn) -> io::Result<ScrapeServer> {
+    /// starts feeding accepted connections to `handler` on a background
+    /// thread named `thread_name`. The handler runs on the accept
+    /// thread; servers that need per-connection concurrency spawn their
+    /// own threads inside it.
+    pub fn spawn(thread_name: &str, addr: &str, handler: ConnFn) -> io::Result<AcceptLoop> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
-            .name("vlsa-monitor-scrape".to_string())
+            .name(thread_name.to_string())
             .spawn(move || {
                 for conn in listener.incoming() {
                     if thread_stop.load(Ordering::Relaxed) {
                         break;
                     }
                     if let Ok(stream) = conn {
-                        // One scraper, small bodies: serving inline on
-                        // the accept thread is simpler and plenty fast.
-                        let _ = serve_one(stream, &metrics, &snapshot);
+                        handler(stream);
                     }
                 }
             })?;
-        Ok(ScrapeServer {
+        Ok(AcceptLoop {
             addr,
             stop,
             handle: Some(handle),
@@ -60,11 +71,18 @@ impl ScrapeServer {
         self.addr
     }
 
-    /// Raises the stop flag, wakes the accept loop, and joins the
-    /// serving thread. Idempotent; also runs on drop.
+    /// The shutdown flag, shared so connection threads spawned by the
+    /// handler can poll it and wind down with the listener.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Raises the stop flag, wakes the accept loop with a loopback
+    /// connection, and joins the accept thread. Idempotent; also runs
+    /// on drop.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        // Unblock the accept loop; it rechecks the flag before serving.
+        // Unblock the accept loop; it rechecks the flag before handling.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
@@ -72,9 +90,63 @@ impl ScrapeServer {
     }
 }
 
-impl Drop for ScrapeServer {
+impl Drop for AcceptLoop {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Writes a bound address to `path` — the handshake scripted scrapers
+/// and CI smoke jobs use to find an ephemeral port.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_addr_file(addr: SocketAddr, path: &Path) -> io::Result<()> {
+    std::fs::write(path, addr.to_string())
+}
+
+/// A running scrape endpoint.
+#[derive(Debug)]
+pub struct ScrapeServer {
+    accept: AcceptLoop,
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `metrics` at `/metrics` and `snapshot` at
+    /// `/snapshot` on a background thread.
+    pub fn start(addr: &str, metrics: BodyFn, snapshot: BodyFn) -> io::Result<ScrapeServer> {
+        let accept = AcceptLoop::spawn(
+            "vlsa-monitor-scrape",
+            addr,
+            Arc::new(move |stream| {
+                // One scraper, small bodies: serving inline on the
+                // accept thread is simpler and plenty fast.
+                let _ = serve_one(stream, &metrics, &snapshot);
+            }),
+        )?;
+        Ok(ScrapeServer { accept })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.accept.addr()
+    }
+
+    /// Writes the bound address to `path` (see [`write_addr_file`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_addr_file(&self, path: &Path) -> io::Result<()> {
+        write_addr_file(self.addr(), path)
+    }
+
+    /// Raises the stop flag, wakes the accept loop, and joins the
+    /// serving thread. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.accept.shutdown();
     }
 }
 
@@ -190,5 +262,45 @@ mod tests {
                            // The listener is gone: a fresh bind of the same port succeeds.
         let rebound = TcpListener::bind(addr);
         assert!(rebound.is_ok(), "{rebound:?}");
+    }
+
+    #[test]
+    fn accept_loop_hands_connections_to_the_handler() {
+        use std::sync::atomic::AtomicU64;
+        let hits = Arc::new(AtomicU64::new(0));
+        let handler_hits = Arc::clone(&hits);
+        let mut accept = AcceptLoop::spawn(
+            "vlsa-test-accept",
+            "127.0.0.1:0",
+            Arc::new(move |mut stream: TcpStream| {
+                handler_hits.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.write_all(b"ok");
+            }),
+        )
+        .expect("bind");
+        let stop = accept.stop_flag();
+        assert!(!stop.load(Ordering::Relaxed));
+        for _ in 0..3 {
+            let mut stream = TcpStream::connect(accept.addr()).expect("connect");
+            let mut buf = String::new();
+            stream.read_to_string(&mut buf).expect("read");
+            assert_eq!(buf, "ok");
+        }
+        accept.shutdown();
+        assert!(stop.load(Ordering::Relaxed));
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn addr_file_round_trips() {
+        let server = test_server();
+        let path = std::env::temp_dir().join(format!("vlsa_addr_{}.txt", server.addr().port()));
+        server.write_addr_file(&path).expect("write addr file");
+        let read: SocketAddr = std::fs::read_to_string(&path)
+            .expect("read addr file")
+            .parse()
+            .expect("valid address");
+        assert_eq!(read, server.addr());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -18,7 +18,8 @@ mod resilient;
 
 pub use queue::{QueueConfig, QueueError, QueueStats};
 pub use resilient::{
-    FaultKind, PipelineFault, ResilienceConfig, ResilientPipeline, ResilientStats, ResilientTrace,
+    BatchTrace, FaultKind, OpOutcome, PipelineFault, ResilienceConfig, ResilientPipeline,
+    ResilientStats, ResilientTrace,
 };
 
 use rand::Rng;

@@ -197,6 +197,32 @@ pub struct ResilientTrace {
     pub stats: ResilientStats,
 }
 
+/// What the pipeline did for one operand pair — the per-op detail a
+/// serving layer forwards to its client alongside the sum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpOutcome {
+    /// The delivered sum (truncated to the adder width).
+    pub sum: u64,
+    /// Whether the `ER` detector fired on the delivering attempt (the
+    /// op paid the recovery bubble).
+    pub stalled: bool,
+    /// Whether the exact path delivered this sum — an escalation or a
+    /// degraded-mode op rather than the speculative datapath.
+    pub exact_path: bool,
+    /// Cycles this op held the pipe.
+    pub cycles: u64,
+}
+
+/// The outcome of one [`ResilientPipeline::run_batch`] call: per-op
+/// outcomes in input order, plus the aggregate accounting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchTrace {
+    /// Per-op outcomes, in input order.
+    pub outcomes: Vec<OpOutcome>,
+    /// Aggregate statistics for this batch.
+    pub stats: ResilientStats,
+}
+
 /// A [`crate::VlsaPipeline`]-shaped driver with fault injection, residue
 /// checking, retry/escalate policy, and graceful degradation.
 ///
@@ -316,8 +342,33 @@ impl ResilientPipeline {
         self.cycle = 0;
     }
 
-    /// Feeds a stream of operand pairs through the resilient pipeline.
-    /// Operands are truncated to the adder width.
+    /// Feeds a stream of operand pairs through the resilient pipeline,
+    /// returning only the delivered sums. Operands are truncated to the
+    /// adder width.
+    ///
+    /// This is [`ResilientPipeline::run_batch`] with the per-op detail
+    /// dropped; see there for the telemetry and tracing emitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adder is wider than 64 bits.
+    pub fn run(&mut self, operands: &[(u64, u64)]) -> ResilientTrace {
+        let batch = self.run_batch(operands);
+        ResilientTrace {
+            delivered: batch.outcomes.iter().map(|o| o.sum).collect(),
+            stats: batch.stats,
+        }
+    }
+
+    /// Feeds a batch of operand pairs through the resilient pipeline,
+    /// keeping per-op detail: sum, stall flag, exact-path flag, and
+    /// cycle cost. Operands are truncated to the adder width.
+    ///
+    /// Degradation state, the cycle counter, and the escalation history
+    /// persist across calls, so a serving layer can hold one pipeline
+    /// per worker and feed it batch after batch — the result is
+    /// bit-identical to one long sequential run over the concatenated
+    /// batches.
     ///
     /// When telemetry is enabled, records the `vlsa.resilience.*`
     /// counters ([`vlsa_telemetry::names::resilience`]). When tracing is
@@ -332,7 +383,7 @@ impl ResilientPipeline {
     /// # Panics
     ///
     /// Panics if the adder is wider than 64 bits.
-    pub fn run(&mut self, operands: &[(u64, u64)]) -> ResilientTrace {
+    pub fn run_batch(&mut self, operands: &[(u64, u64)]) -> BatchTrace {
         let nbits = self.adder.nbits();
         assert!(nbits <= 64, "ResilientPipeline::run is limited to 64 bits");
         let mask = if nbits == 64 {
@@ -397,7 +448,12 @@ impl ResilientPipeline {
                             .on_track(2),
                     );
                 }
-                out.push(truth);
+                out.push(OpOutcome {
+                    sum: truth,
+                    stalled: false,
+                    exact_path: true,
+                    cycles: self.config.exact_latency_cycles,
+                });
                 continue;
             }
 
@@ -565,7 +621,12 @@ impl ResilientPipeline {
                         .arg("err", u64::from(last_er)),
                 );
             }
-            out.push(delivered);
+            out.push(OpOutcome {
+                sum: delivered,
+                stalled: last_er,
+                exact_path: escalate,
+                cycles: self.cycle - op_start,
+            });
         }
 
         stats.cycles = self.cycle - run_start;
@@ -586,8 +647,8 @@ impl ResilientPipeline {
             rec.counter(metric::SILENT_CORRUPTIONS)
                 .add(stats.silent_corruptions);
         }
-        ResilientTrace {
-            delivered: out,
+        BatchTrace {
+            outcomes: out,
             stats,
         }
     }
@@ -891,6 +952,51 @@ mod tests {
         let p = PipelineFault::persistent(FaultKind::AssertDetector);
         assert!(p.active(0));
         assert!(p.active(u64::MAX));
+    }
+
+    #[test]
+    fn chunked_run_batch_matches_one_sequential_run() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+        let ops = crate::random_operands(32, 3_000, &mut rng);
+        let mut whole = ResilientPipeline::new(adder(32, 16), ResilienceConfig::default());
+        let reference = whole.run_batch(&ops);
+        let mut chunked = ResilientPipeline::new(adder(32, 16), ResilienceConfig::default());
+        let mut outcomes = Vec::new();
+        let mut stats_ops = 0;
+        let mut stalls = 0;
+        // Uneven chunk sizes: state (clock, escalation history) must
+        // carry across calls for the outcomes to line up.
+        for chunk in ops.chunks(617) {
+            let batch = chunked.run_batch(chunk);
+            stats_ops += batch.stats.ops;
+            stalls += batch.stats.er_recoveries;
+            outcomes.extend(batch.outcomes);
+        }
+        assert_eq!(outcomes, reference.outcomes);
+        assert_eq!(stats_ops, reference.stats.ops);
+        assert_eq!(stalls, reference.stats.er_recoveries);
+    }
+
+    #[test]
+    fn op_outcomes_carry_stall_and_exact_path_detail() {
+        // Healthy pipeline, adversarial operands: every op stalls but
+        // none escalates.
+        let mut pipe = ResilientPipeline::new(adder(16, 4), ResilienceConfig::default());
+        let batch = pipe.run_batch(&adversarial_operands(16, 3));
+        assert!(batch.outcomes.iter().all(|o| o.stalled && !o.exact_path));
+        assert!(batch.outcomes.iter().all(|o| o.cycles == 2));
+        // Degraded pipeline: exact path, no stalls.
+        pipe.force_degrade();
+        let degraded = pipe.run_batch(&[(1, 2)]);
+        assert_eq!(
+            degraded.outcomes,
+            vec![OpOutcome {
+                sum: 3,
+                stalled: false,
+                exact_path: true,
+                cycles: 2,
+            }]
+        );
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! The adaptive batcher: policy + queue = coalesced per-shard batches.
+//!
+//! A shard's worker doesn't process requests one by one — it asks its
+//! [`Batcher`] for the next coalesced batch: everything queued right
+//! now, topped up by whatever arrives within the linger window, capped
+//! by total op count. Under light load a batch is one request flushed
+//! after at most `linger`; under heavy load batches fill to `max_ops`
+//! instantly and the linger never matters — the classic adaptive
+//! batching trade of a little latency for a lot of throughput.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::queue::Bounded;
+
+/// When to flush a coalescing batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush once the batch holds this many ops (weight cap).
+    pub max_ops: usize,
+    /// Flush this long after the first item even if below `max_ops`.
+    pub linger: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> BatchPolicy {
+        BatchPolicy {
+            max_ops: 4096,
+            linger: Duration::from_micros(500),
+        }
+    }
+}
+
+/// A [`Bounded`] queue paired with a [`BatchPolicy`] and a weight
+/// function — the consumer-side view a shard worker drains.
+pub struct Batcher<T> {
+    queue: Arc<Bounded<T>>,
+    policy: BatchPolicy,
+    weigh: Box<dyn Fn(&T) -> usize + Send + Sync>,
+}
+
+impl<T> Batcher<T> {
+    /// Wraps `queue` with `policy`, weighing items with `weigh` (for
+    /// the server: a request's op count).
+    pub fn new(
+        queue: Arc<Bounded<T>>,
+        policy: BatchPolicy,
+        weigh: impl Fn(&T) -> usize + Send + Sync + 'static,
+    ) -> Batcher<T> {
+        Batcher {
+            queue,
+            policy,
+            weigh: Box::new(weigh),
+        }
+    }
+
+    /// The shared queue (the producer side hands this to `try_push`
+    /// callers).
+    pub fn queue(&self) -> &Arc<Bounded<T>> {
+        &self.queue
+    }
+
+    /// The flush policy.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Blocks for the next coalesced batch; empty means closed and
+    /// drained.
+    pub fn next_batch(&self) -> Vec<T> {
+        self.queue
+            .pop_batch(self.policy.max_ops, &self.weigh, self.policy.linger)
+    }
+}
+
+impl<T> std::fmt::Debug for Batcher<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batcher")
+            .field("queue", &self.queue)
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesces_up_to_the_op_cap() {
+        let queue = Arc::new(Bounded::new(8));
+        let batcher = Batcher::new(
+            Arc::clone(&queue),
+            BatchPolicy {
+                max_ops: 5,
+                linger: Duration::ZERO,
+            },
+            |ops: &Vec<u64>| ops.len(),
+        );
+        queue.try_push(vec![1, 2]).expect("push");
+        queue.try_push(vec![3, 4]).expect("push");
+        queue.try_push(vec![5, 6]).expect("push");
+        // 2 + 2 fit under the 5-op cap; the third request would overflow.
+        let batch = batcher.next_batch();
+        assert_eq!(batch.len(), 2);
+        let rest = batcher.next_batch();
+        assert_eq!(rest, vec![vec![5, 6]]);
+    }
+
+    #[test]
+    fn empty_batch_signals_closed() {
+        let queue: Arc<Bounded<Vec<u64>>> = Arc::new(Bounded::new(2));
+        let batcher = Batcher::new(Arc::clone(&queue), BatchPolicy::default(), Vec::len);
+        queue.close();
+        assert!(batcher.next_batch().is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! A blocking client for the wire protocol — what `loadgen`, the bench
+//! suite, and the integration tests speak.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::error::ProtocolError;
+use crate::framing::{read_frame, write_frame, ReadError};
+use crate::protocol::{AddBatch, Busy, ErrorFrame, Frame, SumBatch};
+
+/// The server's answer to a request, from the client's point of view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The batch was executed.
+    Sums(SumBatch),
+    /// The batch was shed under load; retry is allowed.
+    Busy(Busy),
+}
+
+/// Why a request failed outright (distinct from [`Response::Busy`],
+/// which is a valid, retryable answer).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent bytes that do not form a valid frame, or a frame
+    /// that makes no sense here (e.g. a response to a different
+    /// request id).
+    Protocol(ProtocolError),
+    /// The server answered with a typed error frame.
+    Server(ErrorFrame),
+    /// The server closed the connection.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(e) => write!(f, "server error {}: {}", e.code, e.detail),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection speaking one request at a time.
+#[derive(Debug)]
+pub struct VlsaClient {
+    stream: TcpStream,
+    next_request_id: u64,
+}
+
+impl VlsaClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<VlsaClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(VlsaClient {
+            stream,
+            next_request_id: 0,
+        })
+    }
+
+    /// Seeds the auto-incrementing request id — the shard routing key.
+    /// A client seeded with `k` and stepping by the shard count pins
+    /// all its requests to one shard; the default increment of 1
+    /// round-robins.
+    pub fn with_request_id_base(mut self, base: u64) -> VlsaClient {
+        self.next_request_id = base;
+        self
+    }
+
+    /// Sends one batch under an auto-assigned request id and waits for
+    /// the answer.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; a `Busy` shed is an `Ok` response, not an
+    /// error.
+    pub fn add_batch(&mut self, nbits: u8, ops: &[(u64, u64)]) -> Result<Response, ClientError> {
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        self.request(id, nbits, ops)
+    }
+
+    /// Sends one batch under an explicit request id and waits for the
+    /// answer.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; a `Busy` shed is an `Ok` response, not an
+    /// error.
+    pub fn request(
+        &mut self,
+        request_id: u64,
+        nbits: u8,
+        ops: &[(u64, u64)],
+    ) -> Result<Response, ClientError> {
+        write_frame(
+            &mut self.stream,
+            &Frame::AddBatch(AddBatch {
+                request_id,
+                nbits,
+                ops: ops.to_vec(),
+            }),
+        )?;
+        match read_frame(&mut self.stream) {
+            Ok(Frame::SumBatch(sums)) if sums.request_id == request_id => Ok(Response::Sums(sums)),
+            Ok(Frame::Busy(busy)) if busy.request_id == request_id => Ok(Response::Busy(busy)),
+            Ok(Frame::Error(e)) => Err(ClientError::Server(e)),
+            Ok(other) => Err(ClientError::Protocol(ProtocolError::UnexpectedFrame {
+                frame_type: other.frame_type(),
+            })),
+            Err(ReadError::Eof) => Err(ClientError::Disconnected),
+            Err(ReadError::IdleTimeout) => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "response timed out",
+            ))),
+            Err(ReadError::Io(e)) => Err(ClientError::Io(e)),
+            Err(ReadError::Protocol(e)) => Err(ClientError::Protocol(e)),
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Typed wire-protocol errors.
+//!
+//! Malformed external input never panics the server: every way a frame
+//! can be wrong maps to a [`ProtocolError`] variant, each with a stable
+//! numeric code that travels in an `Error` frame so clients can react
+//! programmatically (the `QueueError` precedent, applied to the wire).
+
+use std::fmt;
+
+use crate::protocol::ErrorFrame;
+
+/// Everything that can be wrong with a frame, or with the server's
+/// ability to answer one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The frame type byte is not one this protocol defines.
+    UnknownFrameType(u8),
+    /// The length prefix exceeds [`crate::protocol::MAX_FRAME_LEN`];
+    /// the frame is rejected *before* any allocation or body read.
+    OversizedFrame {
+        /// The advertised frame length.
+        len: u32,
+    },
+    /// The batch op count exceeds [`crate::protocol::MAX_BATCH_OPS`].
+    OversizedBatch {
+        /// The advertised op count.
+        count: u32,
+    },
+    /// The adder width is outside `1..=64`.
+    BadWidth {
+        /// The advertised width.
+        nbits: u8,
+    },
+    /// The body does not parse: truncated fields, trailing bytes, or a
+    /// length field inconsistent with the payload.
+    Malformed(String),
+    /// A well-formed frame arrived where the protocol does not allow it
+    /// (e.g. a client sending a `SumBatch`).
+    UnexpectedFrame {
+        /// The offending frame's type byte.
+        frame_type: u8,
+    },
+    /// The server is shutting down and can no longer answer.
+    Shutdown,
+}
+
+impl ProtocolError {
+    /// The stable numeric code carried in `Error` frames.
+    pub fn code(&self) -> u16 {
+        match self {
+            ProtocolError::UnknownFrameType(_) => 1,
+            ProtocolError::OversizedFrame { .. } => 2,
+            ProtocolError::OversizedBatch { .. } => 3,
+            ProtocolError::BadWidth { .. } => 4,
+            ProtocolError::Malformed(_) => 5,
+            ProtocolError::UnexpectedFrame { .. } => 6,
+            ProtocolError::Shutdown => 7,
+        }
+    }
+
+    /// This error rendered as the `Error` frame the server sends back.
+    pub fn to_frame(&self) -> ErrorFrame {
+        ErrorFrame {
+            code: self.code(),
+            detail: self.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownFrameType(t) => {
+                write!(f, "unknown frame type 0x{t:02X}")
+            }
+            ProtocolError::OversizedFrame { len } => {
+                write!(
+                    f,
+                    "frame length {len} exceeds the {} byte limit",
+                    crate::protocol::MAX_FRAME_LEN
+                )
+            }
+            ProtocolError::OversizedBatch { count } => {
+                write!(
+                    f,
+                    "batch of {count} ops exceeds the {} op limit",
+                    crate::protocol::MAX_BATCH_OPS
+                )
+            }
+            ProtocolError::BadWidth { nbits } => {
+                write!(f, "adder width {nbits} is outside 1..=64")
+            }
+            ProtocolError::Malformed(detail) => write!(f, "malformed frame: {detail}"),
+            ProtocolError::UnexpectedFrame { frame_type } => {
+                write!(f, "frame type 0x{frame_type:02X} is not valid here")
+            }
+            ProtocolError::Shutdown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errors = [
+            ProtocolError::UnknownFrameType(9),
+            ProtocolError::OversizedFrame { len: 1 << 30 },
+            ProtocolError::OversizedBatch { count: 1 << 20 },
+            ProtocolError::BadWidth { nbits: 65 },
+            ProtocolError::Malformed("x".into()),
+            ProtocolError::UnexpectedFrame { frame_type: 0x81 },
+            ProtocolError::Shutdown,
+        ];
+        let codes: Vec<u16> = errors.iter().map(ProtocolError::code).collect();
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7]);
+        for e in &errors {
+            let frame = e.to_frame();
+            assert_eq!(frame.code, e.code());
+            assert_eq!(frame.detail, e.to_string());
+        }
+    }
+}

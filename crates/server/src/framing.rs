@@ -1,0 +1,160 @@
+//! Length-prefixed frame I/O over any `Read`/`Write` stream.
+//!
+//! The reader enforces [`crate::protocol::MAX_FRAME_LEN`] *before*
+//! allocating — a hostile length prefix is answered with a typed error,
+//! not an out-of-memory. Clean disconnects (EOF at a frame boundary)
+//! and idle read timeouts at a frame boundary are distinguished from
+//! hard I/O failures so the connection loop can tear down, keep
+//! waiting, or report, respectively.
+
+use std::io::{self, ErrorKind, Read, Write};
+
+use crate::error::ProtocolError;
+use crate::protocol::{Frame, MAX_FRAME_LEN};
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Eof,
+    /// A read timeout expired while waiting for the *first* byte of a
+    /// frame — the connection is idle, not broken.
+    IdleTimeout,
+    /// A hard I/O failure, or a timeout/EOF in the middle of a frame
+    /// (the stream can no longer be re-synchronized).
+    Io(io::Error),
+    /// The bytes arrived but do not form a valid frame.
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Eof => write!(f, "connection closed"),
+            ReadError::IdleTimeout => write!(f, "idle read timeout"),
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Writes one frame and flushes.
+///
+/// # Errors
+///
+/// Propagates stream write failures.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.encode())?;
+    w.flush()
+}
+
+/// Reads one frame.
+///
+/// # Errors
+///
+/// [`ReadError::Eof`] on a clean close, [`ReadError::IdleTimeout`] when
+/// a read timeout fires before any byte of a new frame,
+/// [`ReadError::Protocol`] for malformed bytes, [`ReadError::Io`] for
+/// everything else (including mid-frame truncation).
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, ReadError> {
+    let mut len_buf = [0u8; 4];
+    // The first byte tells idle/closed apart from mid-frame failures.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(ReadError::Eof),
+            Ok(_) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Err(ReadError::IdleTimeout)
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    len_buf[0] = first[0];
+    r.read_exact(&mut len_buf[1..]).map_err(ReadError::Io)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 {
+        return Err(ReadError::Protocol(ProtocolError::Malformed(
+            "frame length 0 leaves no room for the type byte".into(),
+        )));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(ReadError::Protocol(ProtocolError::OversizedFrame { len }));
+    }
+    let mut frame = vec![0u8; len as usize];
+    r.read_exact(&mut frame).map_err(ReadError::Io)?;
+    Frame::decode(frame[0], &frame[1..]).map_err(ReadError::Protocol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{AddBatch, Busy};
+
+    #[test]
+    fn frames_round_trip_through_a_stream() {
+        let frames = vec![
+            Frame::AddBatch(AddBatch {
+                request_id: 1,
+                nbits: 32,
+                ops: vec![(3, 4)],
+            }),
+            Frame::Busy(Busy {
+                request_id: 1,
+                shard: 0,
+                queue_depth: 9,
+            }),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).expect("write");
+        }
+        let mut r = io::Cursor::new(wire);
+        for f in &frames {
+            let got = read_frame(&mut r).expect("read");
+            assert_eq!(&got, f);
+        }
+        assert!(matches!(read_frame(&mut r), Err(ReadError::Eof)));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_reading_a_body() {
+        // 4 GiB-ish prefix and no body at all: the typed error comes
+        // back before any allocation-sized read is attempted.
+        let wire = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        let mut r = io::Cursor::new(wire);
+        let err = read_frame(&mut r);
+        assert!(
+            matches!(
+                err,
+                Err(ReadError::Protocol(ProtocolError::OversizedFrame { .. }))
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_length_prefix_is_typed() {
+        let mut r = io::Cursor::new(0u32.to_le_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(ReadError::Protocol(ProtocolError::Malformed(_)))
+        ));
+    }
+
+    #[test]
+    fn truncation_mid_frame_is_an_io_error() {
+        let full = Frame::AddBatch(AddBatch {
+            request_id: 1,
+            nbits: 32,
+            ops: vec![(3, 4)],
+        })
+        .encode();
+        // Cut the frame in half: the header promises more than arrives.
+        let mut r = io::Cursor::new(full[..full.len() / 2].to_vec());
+        assert!(matches!(read_frame(&mut r), Err(ReadError::Io(_))));
+    }
+}

@@ -1,0 +1,77 @@
+//! # vlsa-server
+//!
+//! A sharded, batching addition service over the VLSA resilient
+//! pipeline — the serving layer that turns the paper's single-stream
+//! latency contract (≈ `1 + P(error)` cycles per op) into an observable
+//! *service-level* property: throughput and tail latency under
+//! concurrency.
+//!
+//! ```text
+//!                      ┌───────────────────────────────────────────┐
+//!  client ── AddBatch ─► accept loop ─ route by request_id % N ─┐  │
+//!  client ── AddBatch ─►  (vlsa-monitor AcceptLoop)             │  │
+//!                      │                              ┌─────────▼┐ │
+//!                      │   bounded queue + batcher →  │ shard 0  │ │
+//!                      │   (Busy frame when full)     │ Resilient│ │
+//!                      │                              │ Pipeline │ │
+//!                      │                              └─────────┬┘ │
+//!  client ◄─ SumBatch ─┤            …shards 1..N-1…             │  │
+//!  client ◄─ Busy ─────┤  /metrics (vlsa-monitor ScrapeServer) ◄┘  │
+//!                      └───────────────────────────────────────────┘
+//! ```
+//!
+//! - **Shard pool** ([`ShardPool`]): one OS thread per shard, each
+//!   owning a `ResilientPipeline` (and optionally a live
+//!   `ConformanceMonitor` wired to that shard's degrade flag). Requests
+//!   route by `request_id % shards`.
+//! - **Adaptive batcher** ([`Batcher`]): per-shard coalescing — flush
+//!   on op-count cap or linger deadline — so many small requests become
+//!   few pipeline calls.
+//! - **Backpressure, never silent drops** ([`Bounded`]): producers
+//!   never block and never lose work silently; a full queue sheds with
+//!   a typed [`Busy`] frame, and shutdown answers with a typed error.
+//! - **Binary wire protocol** ([`protocol`](crate::protocol)):
+//!   length-prefixed frames, hard size limits enforced before
+//!   allocation, and every malformed input mapped to a typed
+//!   [`ProtocolError`] — malformed external input cannot panic the
+//!   server.
+//! - **Full ops-stack integration**: `vlsa.server.*` telemetry
+//!   (per-shard latency histograms and quantile gauges via labeled
+//!   instrument names), per-batch trace spans, and `/metrics` served by
+//!   `vlsa-monitor`'s `ScrapeServer`.
+//!
+//! ## Usage
+//!
+//! ```
+//! use vlsa_server::{Response, ServerConfig, VlsaClient, VlsaServer};
+//!
+//! let mut server = VlsaServer::start(ServerConfig::default()).expect("start");
+//! let mut client = VlsaClient::connect(server.addr()).expect("connect");
+//! match client.add_batch(32, &[(2, 3), (10, 20)]).expect("request") {
+//!     Response::Sums(sums) => {
+//!         assert_eq!(sums.results[0].sum, 5);
+//!         assert_eq!(sums.results[1].sum, 30);
+//!     }
+//!     Response::Busy(_) => unreachable!("no load"),
+//! }
+//! server.shutdown();
+//! ```
+
+pub mod protocol;
+
+mod batcher;
+mod client;
+mod error;
+mod framing;
+mod queue;
+mod server;
+mod shard;
+
+pub use batcher::{BatchPolicy, Batcher};
+pub use client::{ClientError, Response, VlsaClient};
+pub use error::ProtocolError;
+pub use framing::{read_frame, write_frame, ReadError};
+pub use protocol::{AddBatch, Busy, ErrorFrame, Frame, OpResult, SumBatch};
+pub use queue::{Bounded, PushError};
+pub use server::{ServerConfig, ServerError, ServerStats, VlsaServer};
+pub use shard::{Job, ShardConfig, ShardPool, ShardSnapshot, ShardStats};

@@ -1,0 +1,470 @@
+//! The binary wire protocol: frame types and body encode/decode.
+//!
+//! Every frame is `[u32 LE length][u8 type][body]`, where `length`
+//! counts the type byte plus the body. All multi-byte integers are
+//! little-endian. Four frame types exist:
+//!
+//! | type   | name       | direction       | body |
+//! |--------|------------|-----------------|------|
+//! | `0x01` | `AddBatch` | client → server | `request_id u64, nbits u8, count u32, count × (a u64, b u64)` |
+//! | `0x81` | `SumBatch` | server → client | `request_id u64, shard u16, count u32, count × (sum u64, flags u8)` |
+//! | `0xB1` | `Busy`     | server → client | `request_id u64, shard u16, queue_depth u32` |
+//! | `0xEE` | `Error`    | server → client | `code u16, detail_len u32, detail utf-8` |
+//!
+//! Per-op `flags`: bit 0 ([`FLAG_STALLED`]) — the `ER` detector fired
+//! and the op paid the recovery bubble; bit 1 ([`FLAG_EXACT`]) — the
+//! exact path delivered the sum (escalation or degraded mode).
+//!
+//! Decoding is total: every malformed input maps to a typed
+//! [`ProtocolError`], never a panic.
+
+use crate::error::ProtocolError;
+
+/// Hard ceiling on `length`; larger prefixes are rejected before any
+/// allocation, so a hostile 4 GiB prefix costs the server nothing.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Hard ceiling on ops per `AddBatch` (64 KiB of operands).
+pub const MAX_BATCH_OPS: u32 = 4096;
+
+/// Hard ceiling on the `Error` frame detail string, in bytes.
+pub const MAX_ERROR_DETAIL: u32 = 1024;
+
+/// Frame type byte of [`AddBatch`].
+pub const TYPE_ADD_BATCH: u8 = 0x01;
+/// Frame type byte of [`SumBatch`].
+pub const TYPE_SUM_BATCH: u8 = 0x81;
+/// Frame type byte of [`Busy`].
+pub const TYPE_BUSY: u8 = 0xB1;
+/// Frame type byte of [`ErrorFrame`].
+pub const TYPE_ERROR: u8 = 0xEE;
+
+/// Per-op flag: the `ER` detector fired (the op stalled one cycle).
+pub const FLAG_STALLED: u8 = 0b01;
+/// Per-op flag: the exact path delivered the sum.
+pub const FLAG_EXACT: u8 = 0b10;
+
+/// A client's batch of operand pairs to add at width `nbits`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AddBatch {
+    /// Client-chosen id, echoed in the response; also the shard routing
+    /// key (`request_id % shards`).
+    pub request_id: u64,
+    /// Adder width in bits (`1..=64`); operands are truncated to it.
+    pub nbits: u8,
+    /// The operand pairs.
+    pub ops: Vec<(u64, u64)>,
+}
+
+/// One op's result inside a [`SumBatch`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpResult {
+    /// The delivered sum, truncated to the request width.
+    pub sum: u64,
+    /// [`FLAG_STALLED`] | [`FLAG_EXACT`] bits.
+    pub flags: u8,
+}
+
+impl OpResult {
+    /// Whether the `ER` detector fired on this op.
+    pub fn stalled(&self) -> bool {
+        self.flags & FLAG_STALLED != 0
+    }
+
+    /// Whether the exact path delivered this sum.
+    pub fn exact_path(&self) -> bool {
+        self.flags & FLAG_EXACT != 0
+    }
+}
+
+/// The server's answer to an [`AddBatch`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SumBatch {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// The shard that executed the batch.
+    pub shard: u16,
+    /// Per-op results, in request order.
+    pub results: Vec<OpResult>,
+}
+
+/// Explicit load-shed: the target shard's queue was full. The request
+/// was *not* executed; the client may retry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Busy {
+    /// Echo of the request id.
+    pub request_id: u64,
+    /// The shard whose queue was full.
+    pub shard: u16,
+    /// The queue depth observed at rejection time.
+    pub queue_depth: u32,
+}
+
+/// A typed error answer; `code` is [`ProtocolError::code`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// Stable numeric error code.
+    pub code: u16,
+    /// Human-readable detail (truncated to [`MAX_ERROR_DETAIL`] bytes
+    /// on encode).
+    pub detail: String,
+}
+
+/// Any frame of the protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Client request.
+    AddBatch(AddBatch),
+    /// Server response with results.
+    SumBatch(SumBatch),
+    /// Server load-shed response.
+    Busy(Busy),
+    /// Server typed-error response.
+    Error(ErrorFrame),
+}
+
+impl Frame {
+    /// The frame's type byte.
+    pub fn frame_type(&self) -> u8 {
+        match self {
+            Frame::AddBatch(_) => TYPE_ADD_BATCH,
+            Frame::SumBatch(_) => TYPE_SUM_BATCH,
+            Frame::Busy(_) => TYPE_BUSY,
+            Frame::Error(_) => TYPE_ERROR,
+        }
+    }
+
+    /// Encodes the full frame, length prefix included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match self {
+            Frame::AddBatch(r) => {
+                put_u64(&mut body, r.request_id);
+                body.push(r.nbits);
+                put_u32(&mut body, r.ops.len() as u32);
+                for &(a, b) in &r.ops {
+                    put_u64(&mut body, a);
+                    put_u64(&mut body, b);
+                }
+            }
+            Frame::SumBatch(r) => {
+                put_u64(&mut body, r.request_id);
+                put_u16(&mut body, r.shard);
+                put_u32(&mut body, r.results.len() as u32);
+                for op in &r.results {
+                    put_u64(&mut body, op.sum);
+                    body.push(op.flags);
+                }
+            }
+            Frame::Busy(r) => {
+                put_u64(&mut body, r.request_id);
+                put_u16(&mut body, r.shard);
+                put_u32(&mut body, r.queue_depth);
+            }
+            Frame::Error(r) => {
+                put_u16(&mut body, r.code);
+                let detail = truncate_utf8(&r.detail, MAX_ERROR_DETAIL as usize);
+                put_u32(&mut body, detail.len() as u32);
+                body.extend_from_slice(detail.as_bytes());
+            }
+        }
+        let mut out = Vec::with_capacity(5 + body.len());
+        put_u32(&mut out, 1 + body.len() as u32);
+        out.push(self.frame_type());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes a frame body (everything after the type byte).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ProtocolError`] describing exactly what is wrong;
+    /// malformed input never panics.
+    pub fn decode(frame_type: u8, body: &[u8]) -> Result<Frame, ProtocolError> {
+        let mut cur = Cursor { buf: body };
+        let frame = match frame_type {
+            TYPE_ADD_BATCH => {
+                let request_id = cur.u64()?;
+                let nbits = cur.u8()?;
+                if nbits == 0 || nbits > 64 {
+                    return Err(ProtocolError::BadWidth { nbits });
+                }
+                let count = cur.u32()?;
+                if count > MAX_BATCH_OPS {
+                    return Err(ProtocolError::OversizedBatch { count });
+                }
+                let mut ops = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    ops.push((cur.u64()?, cur.u64()?));
+                }
+                Frame::AddBatch(AddBatch {
+                    request_id,
+                    nbits,
+                    ops,
+                })
+            }
+            TYPE_SUM_BATCH => {
+                let request_id = cur.u64()?;
+                let shard = cur.u16()?;
+                let count = cur.u32()?;
+                if count > MAX_BATCH_OPS {
+                    return Err(ProtocolError::OversizedBatch { count });
+                }
+                let mut results = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    results.push(OpResult {
+                        sum: cur.u64()?,
+                        flags: cur.u8()?,
+                    });
+                }
+                Frame::SumBatch(SumBatch {
+                    request_id,
+                    shard,
+                    results,
+                })
+            }
+            TYPE_BUSY => Frame::Busy(Busy {
+                request_id: cur.u64()?,
+                shard: cur.u16()?,
+                queue_depth: cur.u32()?,
+            }),
+            TYPE_ERROR => {
+                let code = cur.u16()?;
+                let len = cur.u32()?;
+                if len > MAX_ERROR_DETAIL {
+                    return Err(ProtocolError::Malformed(format!(
+                        "error detail of {len} bytes exceeds the {MAX_ERROR_DETAIL} byte limit"
+                    )));
+                }
+                let bytes = cur.take(len as usize)?;
+                let detail = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| ProtocolError::Malformed("error detail is not UTF-8".into()))?;
+                Frame::Error(ErrorFrame { code, detail })
+            }
+            other => return Err(ProtocolError::UnknownFrameType(other)),
+        };
+        cur.finish()?;
+        Ok(frame)
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Truncates to at most `max` bytes without splitting a UTF-8 scalar.
+fn truncate_utf8(s: &str, max: usize) -> &str {
+    if s.len() <= max {
+        return s;
+    }
+    let mut end = max;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
+}
+
+/// A bounds-checked reader over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.buf.len() < n {
+            return Err(ProtocolError::Malformed(format!(
+                "body truncated: needed {n} more bytes, had {}",
+                self.buf.len()
+            )));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn finish(&self) -> Result<(), ProtocolError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed(format!(
+                "{} trailing bytes after the body",
+                self.buf.len()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let bytes = frame.encode();
+        let len = u32::from_le_bytes(bytes[..4].try_into().expect("prefix"));
+        assert_eq!(len as usize, bytes.len() - 4);
+        let decoded = Frame::decode(bytes[4], &bytes[5..]).expect("decodes");
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn all_frames_round_trip() {
+        round_trip(Frame::AddBatch(AddBatch {
+            request_id: 42,
+            nbits: 64,
+            ops: vec![(1, 2), (u64::MAX, 7)],
+        }));
+        round_trip(Frame::AddBatch(AddBatch {
+            request_id: 0,
+            nbits: 1,
+            ops: vec![],
+        }));
+        round_trip(Frame::SumBatch(SumBatch {
+            request_id: 42,
+            shard: 3,
+            results: vec![
+                OpResult { sum: 3, flags: 0 },
+                OpResult {
+                    sum: 9,
+                    flags: FLAG_STALLED | FLAG_EXACT,
+                },
+            ],
+        }));
+        round_trip(Frame::Busy(Busy {
+            request_id: 9,
+            shard: 1,
+            queue_depth: 64,
+        }));
+        round_trip(Frame::Error(ErrorFrame {
+            code: 5,
+            detail: "nope".into(),
+        }));
+    }
+
+    #[test]
+    fn flags_decode_into_accessors() {
+        let op = OpResult {
+            sum: 1,
+            flags: FLAG_STALLED,
+        };
+        assert!(op.stalled());
+        assert!(!op.exact_path());
+        let op = OpResult {
+            sum: 1,
+            flags: FLAG_EXACT,
+        };
+        assert!(!op.stalled());
+        assert!(op.exact_path());
+    }
+
+    #[test]
+    fn bad_width_is_typed() {
+        for nbits in [0u8, 65, 255] {
+            let mut body = Vec::new();
+            put_u64(&mut body, 1);
+            body.push(nbits);
+            put_u32(&mut body, 0);
+            assert_eq!(
+                Frame::decode(TYPE_ADD_BATCH, &body),
+                Err(ProtocolError::BadWidth { nbits })
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_batch_is_typed() {
+        let mut body = Vec::new();
+        put_u64(&mut body, 1);
+        body.push(32);
+        put_u32(&mut body, MAX_BATCH_OPS + 1);
+        assert_eq!(
+            Frame::decode(TYPE_ADD_BATCH, &body),
+            Err(ProtocolError::OversizedBatch {
+                count: MAX_BATCH_OPS + 1
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_and_padded_bodies_are_typed() {
+        let frame = Frame::AddBatch(AddBatch {
+            request_id: 7,
+            nbits: 16,
+            ops: vec![(1, 2)],
+        });
+        let bytes = frame.encode();
+        // Drop the last operand byte: count promises more than present.
+        let short = Frame::decode(bytes[4], &bytes[5..bytes.len() - 1]);
+        assert!(
+            matches!(short, Err(ProtocolError::Malformed(_))),
+            "{short:?}"
+        );
+        // Add a trailing byte: body longer than the fields account for.
+        let mut padded = bytes[5..].to_vec();
+        padded.push(0);
+        let long = Frame::decode(bytes[4], &padded);
+        assert!(matches!(long, Err(ProtocolError::Malformed(_))), "{long:?}");
+    }
+
+    #[test]
+    fn unknown_frame_type_is_typed() {
+        assert_eq!(
+            Frame::decode(0x55, &[]),
+            Err(ProtocolError::UnknownFrameType(0x55))
+        );
+    }
+
+    #[test]
+    fn error_detail_is_bounded_and_utf8_checked() {
+        let long = "x".repeat(MAX_ERROR_DETAIL as usize + 500);
+        let frame = Frame::Error(ErrorFrame {
+            code: 5,
+            detail: long,
+        });
+        let bytes = frame.encode();
+        let decoded = Frame::decode(bytes[4], &bytes[5..]).expect("decodes");
+        let Frame::Error(e) = decoded else {
+            panic!("wrong frame");
+        };
+        assert_eq!(e.detail.len(), MAX_ERROR_DETAIL as usize);
+
+        let mut body = Vec::new();
+        put_u16(&mut body, 1);
+        put_u32(&mut body, 2);
+        body.extend_from_slice(&[0xFF, 0xFE]); // invalid UTF-8
+        assert!(matches!(
+            Frame::decode(TYPE_ERROR, &body),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,243 @@
+//! A bounded MPSC queue with non-blocking producers and a batching
+//! consumer.
+//!
+//! Producers never block: [`Bounded::try_push`] either enqueues or
+//! reports [`PushError::Full`] — the backpressure signal the server
+//! turns into an explicit `Busy` frame (shed, never silently dropped).
+//! The single consumer blocks in [`Bounded::pop_batch`], which is the
+//! batching primitive: wait for the first item, then keep draining up
+//! to a weight cap or until a linger deadline passes.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused. The item comes back to the caller — nothing
+/// is ever dropped inside the queue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; shed or retry.
+    Full(T),
+    /// The queue was closed; the consumer is gone or going.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue. One lives per shard, in an `Arc` shared between
+/// the connection threads (producers) and the shard worker (consumer).
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 (an internal misconfiguration, not
+    /// external input).
+    pub fn new(capacity: usize) -> Bounded<T> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Bounded {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking. Returns the depth *after* the push.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`Bounded::close`] — the item is returned either way.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Closes the queue: further pushes fail, and once the consumer has
+    /// drained the remaining items, [`Bounded::pop_batch`] returns
+    /// empty. Items already queued are still delivered — close is a
+    /// drain, not a drop.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`Bounded::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue lock").closed
+    }
+
+    /// Blocks for the first item, then drains greedily: items are taken
+    /// while their cumulative weight (per `weigh`) stays within
+    /// `max_weight`, lingering up to `linger` past the first item for
+    /// more to arrive. An item heavier than `max_weight` alone is still
+    /// taken (as a batch of one) so nothing can wedge the queue.
+    ///
+    /// Returns an empty vector only when the queue is closed and fully
+    /// drained — the consumer's signal to exit.
+    pub fn pop_batch(
+        &self,
+        max_weight: usize,
+        weigh: impl Fn(&T) -> usize,
+        linger: Duration,
+    ) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if !inner.items.is_empty() {
+                break;
+            }
+            if inner.closed {
+                return Vec::new();
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+        let deadline = Instant::now() + linger;
+        let mut batch = Vec::new();
+        let mut weight = 0usize;
+        loop {
+            while let Some(item_weight) = inner.items.front().map(&weigh) {
+                if !batch.is_empty() && weight + item_weight > max_weight {
+                    return batch;
+                }
+                let item = inner.items.pop_front().expect("front checked");
+                weight += item_weight;
+                batch.push(item);
+                if weight >= max_weight {
+                    return batch;
+                }
+            }
+            // Drained below the cap: linger for stragglers.
+            if inner.closed {
+                return batch;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return batch;
+            }
+            let (guard, _) = self
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("queue lock");
+            inner = guard;
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Bounded<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bounded")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_sheds_with_the_item_returned() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn closed_queue_refuses_pushes_but_drains() {
+        let q = Bounded::new(4);
+        q.try_push(1).expect("push");
+        q.try_push(2).expect("push");
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        let batch = q.pop_batch(10, |_| 1, Duration::ZERO);
+        assert_eq!(batch, vec![1, 2]);
+        let done: Vec<i32> = q.pop_batch(10, |_| 1, Duration::ZERO);
+        assert!(done.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_respects_the_weight_cap() {
+        let q = Bounded::new(8);
+        for w in [3usize, 3, 3, 3] {
+            q.try_push(w).expect("push");
+        }
+        // Cap 7: two 3-weight items fit, the third would overflow.
+        let batch = q.pop_batch(7, |w| *w, Duration::ZERO);
+        assert_eq!(batch, vec![3, 3]);
+        // An item heavier than the cap still goes through alone.
+        let q2 = Bounded::new(2);
+        q2.try_push(100usize).expect("push");
+        let heavy = q2.pop_batch(7, |w| *w, Duration::ZERO);
+        assert_eq!(heavy, vec![100]);
+    }
+
+    #[test]
+    fn pop_batch_lingers_for_stragglers() {
+        let q = Arc::new(Bounded::new(8));
+        let producer = Arc::clone(&q);
+        q.try_push(1).expect("push");
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            producer.try_push(2).expect("push");
+        });
+        // The linger window is generous enough to catch the straggler.
+        let batch = q.pop_batch(10, |_| 1, Duration::from_millis(500));
+        t.join().expect("producer");
+        assert_eq!(batch, vec![1, 2]);
+    }
+
+    #[test]
+    fn pop_batch_blocks_until_an_item_or_close() {
+        let q = Arc::new(Bounded::<i32>::new(2));
+        let closer = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            closer.close();
+        });
+        let batch = q.pop_batch(10, |_| 1, Duration::ZERO);
+        t.join().expect("closer");
+        assert!(batch.is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! The TCP front end: accept loop, per-connection protocol loop, and
+//! the `/metrics` scrape mount.
+//!
+//! Connections are cheap threads (the protocol is synchronous per
+//! connection — one request in flight each; concurrency comes from many
+//! connections feeding the shared shard queues, which is where batching
+//! happens). The accept loop and its graceful flag-and-wake shutdown
+//! come from `vlsa_monitor::AcceptLoop`; the HTTP `/metrics` endpoint
+//! is `vlsa_monitor::ScrapeServer` mounted over the process telemetry
+//! registry — one socket implementation in the whole tree.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use vlsa_core::SpecError;
+use vlsa_monitor::{exposition, AcceptLoop, ScrapeServer};
+use vlsa_telemetry::names::server as metric;
+
+use crate::error::ProtocolError;
+use crate::framing::{read_frame, write_frame, ReadError};
+use crate::protocol::Frame;
+use crate::shard::{ShardConfig, ShardPool};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Wire-protocol listen address (`"127.0.0.1:0"` for ephemeral).
+    pub addr: String,
+    /// Number of pipeline shards.
+    pub shards: usize,
+    /// Per-shard configuration.
+    pub shard: ShardConfig,
+    /// Mount a `/metrics` + `/snapshot` HTTP endpoint (ephemeral port,
+    /// see [`VlsaServer::metrics_addr`]).
+    pub metrics: bool,
+    /// Idle read timeout per connection; bounds how long shutdown
+    /// waits for connection threads to notice the stop flag.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 1,
+            shard: ShardConfig::default(),
+            metrics: false,
+            read_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Why the server could not start.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Invalid adder width/window in the shard config.
+    Spec(SpecError),
+    /// Socket setup failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Spec(e) => write!(f, "invalid shard config: {e}"),
+            ServerError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<SpecError> for ServerError {
+    fn from(e: SpecError) -> ServerError {
+        ServerError::Spec(e)
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> ServerError {
+        ServerError::Io(e)
+    }
+}
+
+/// Connection-level counters (shard-agnostic), shared with observers
+/// without requiring telemetry.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Malformed/unexpected frames answered with a typed error frame.
+    pub protocol_errors: AtomicU64,
+}
+
+/// The running service: accept loop + shard pool + optional `/metrics`.
+pub struct VlsaServer {
+    accept: AcceptLoop,
+    scrape: Option<ScrapeServer>,
+    pool: Arc<ShardPool>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl VlsaServer {
+    /// Binds the wire-protocol listener (and the `/metrics` endpoint if
+    /// configured) and starts the shard workers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Spec`] for an invalid shard config,
+    /// [`ServerError::Io`] for socket failures.
+    pub fn start(config: ServerConfig) -> Result<VlsaServer, ServerError> {
+        let pool = Arc::new(ShardPool::start(&config.shard, config.shards)?);
+        let stats = Arc::new(ServerStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let scrape = if config.metrics {
+            let registry = vlsa_telemetry::recorder();
+            let snap = Arc::clone(&registry);
+            Some(ScrapeServer::start(
+                "127.0.0.1:0",
+                Arc::new(move || exposition(&registry)),
+                Arc::new(move || snap.snapshot().to_string()),
+            )?)
+        } else {
+            None
+        };
+        let accept = AcceptLoop::spawn("vlsa-server-accept", &config.addr, {
+            let pool = Arc::clone(&pool);
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let read_timeout = config.read_timeout;
+            Arc::new(move |stream: TcpStream| {
+                let pool = Arc::clone(&pool);
+                let stats = Arc::clone(&stats);
+                let stop = Arc::clone(&stop);
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                if vlsa_telemetry::is_enabled() {
+                    vlsa_telemetry::recorder()
+                        .counter(metric::CONNECTIONS)
+                        .incr();
+                }
+                let handle = std::thread::Builder::new()
+                    .name("vlsa-conn".to_string())
+                    .spawn(move || serve_connection(stream, &pool, &stats, &stop, read_timeout));
+                if let Ok(handle) = handle {
+                    // Handles of finished connections accumulate until
+                    // shutdown; fine at bench scale, and join-at-exit
+                    // guarantees no thread outlives the server.
+                    conns.lock().expect("conns lock").push(handle);
+                }
+            })
+        })?;
+        Ok(VlsaServer {
+            accept,
+            scrape,
+            pool,
+            stats,
+            stop,
+            conns,
+        })
+    }
+
+    /// The wire-protocol address.
+    pub fn addr(&self) -> SocketAddr {
+        self.accept.addr()
+    }
+
+    /// The `/metrics` endpoint address, when mounted.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.scrape.as_ref().map(ScrapeServer::addr)
+    }
+
+    /// The shard pool (stats, degrade flags).
+    pub fn pool(&self) -> &ShardPool {
+        &self.pool
+    }
+
+    /// Connection-level counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Graceful stop: no new connections, accepted requests drain and
+    /// get their replies, then workers and connection threads join.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.accept.shutdown();
+        // Closing the queues lets workers drain everything already
+        // accepted, so blocked connections get their replies before
+        // their threads notice the stop flag.
+        self.pool.shutdown();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.conns.lock().expect("conns lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Some(scrape) = &mut self.scrape {
+            scrape.shutdown();
+        }
+    }
+}
+
+impl Drop for VlsaServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for VlsaServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VlsaServer")
+            .field("addr", &self.addr())
+            .field("metrics_addr", &self.metrics_addr())
+            .field("pool", &self.pool)
+            .finish()
+    }
+}
+
+/// One connection's protocol loop: read a frame, answer it, repeat.
+/// Every exit path is clean — a typed error frame where the protocol
+/// allows one, then teardown of *this* connection only.
+fn serve_connection(
+    mut stream: TcpStream,
+    pool: &ShardPool,
+    stats: &ServerStats,
+    stop: &AtomicBool,
+    read_timeout: Duration,
+) {
+    if stream.set_read_timeout(Some(read_timeout)).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let note_protocol_error = |stats: &ServerStats| {
+        stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        if vlsa_telemetry::is_enabled() {
+            vlsa_telemetry::recorder()
+                .counter(metric::PROTOCOL_ERRORS)
+                .incr();
+        }
+    };
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match read_frame(&mut stream) {
+            Ok(Frame::AddBatch(request)) => {
+                let (tx, rx) = channel();
+                let response = match pool.submit(request, tx) {
+                    Ok(()) => match rx.recv() {
+                        Ok(frame) => frame,
+                        // The worker dropped the reply sender without
+                        // answering: shutdown raced the request.
+                        Err(_) => Frame::Error(ProtocolError::Shutdown.to_frame()),
+                    },
+                    Err(frame) => *frame,
+                };
+                if write_frame(&mut stream, &response).is_err() {
+                    break;
+                }
+            }
+            Ok(frame) => {
+                // Well-formed, but clients may only send requests.
+                note_protocol_error(stats);
+                let err = ProtocolError::UnexpectedFrame {
+                    frame_type: frame.frame_type(),
+                };
+                let _ = write_frame(&mut stream, &Frame::Error(err.to_frame()));
+                break;
+            }
+            Err(ReadError::Eof) => break,
+            Err(ReadError::IdleTimeout) => continue,
+            // Mid-frame truncation or a dead socket: nothing to answer.
+            Err(ReadError::Io(_)) => break,
+            Err(ReadError::Protocol(e)) => {
+                // The stream cannot be re-synchronized after a framing
+                // error; answer with the typed error and tear down.
+                note_protocol_error(stats);
+                let _ = write_frame(&mut stream, &Frame::Error(e.to_frame()));
+                break;
+            }
+        }
+    }
+}

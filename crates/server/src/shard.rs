@@ -1,0 +1,719 @@
+//! The shard pool: one `ResilientPipeline` worker thread per shard,
+//! operands routed by request id.
+//!
+//! Each shard owns a bounded job queue ([`crate::queue::Bounded`]), an
+//! adaptive [`crate::batcher::Batcher`], a `ResilientPipeline`, and —
+//! optionally — a live `ConformanceMonitor` wired to the shard's
+//! degrade flag, so traffic drift on one shard flips *that shard* to
+//! the exact path while the others keep speculating.
+//!
+//! ## Modeled device time
+//!
+//! Each shard models one adder device. With
+//! [`ShardConfig::cycle_ns`] set, a worker paces itself to the modeled
+//! clock: after computing a batch it sleeps until the device would have
+//! finished it (`batch_cycles × cycle_ns` after the previous batch).
+//! Aggregate wall-clock throughput then reflects modeled device
+//! parallelism — more shards, more devices — independent of how many
+//! host cores the simulation happens to get.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use vlsa_core::{SpecError, SpeculativeAdder};
+use vlsa_monitor::{ConformanceMonitor, MonitorConfig};
+use vlsa_pipeline::{ResilienceConfig, ResilientPipeline};
+use vlsa_telemetry::names::{labeled, server as metric};
+use vlsa_telemetry::DEFAULT_BUCKETS;
+use vlsa_trace::TraceEvent;
+
+use crate::batcher::{BatchPolicy, Batcher};
+use crate::error::ProtocolError;
+use crate::protocol::{AddBatch, Busy, Frame, OpResult, SumBatch, FLAG_EXACT, FLAG_STALLED};
+use crate::queue::{Bounded, PushError};
+
+/// Per-shard configuration, shared by every shard in a pool.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Adder width in bits (`1..=64`).
+    pub nbits: usize,
+    /// Speculation window in bits.
+    pub window: usize,
+    /// Resilience policy for each shard's pipeline.
+    pub resilience: ResilienceConfig,
+    /// Bounded queue capacity, in requests; pushes beyond it shed.
+    pub queue_capacity: usize,
+    /// Adaptive batch flush policy.
+    pub batch: BatchPolicy,
+    /// Modeled device cycle time in nanoseconds; `0` disables pacing
+    /// (the worker runs as fast as the host allows).
+    pub cycle_ns: u64,
+    /// Ops per conformance-monitor window; `None` runs without a
+    /// monitor.
+    pub monitor_window_ops: Option<u64>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            nbits: 64,
+            window: 24,
+            resilience: ResilienceConfig::default(),
+            queue_capacity: 64,
+            batch: BatchPolicy::default(),
+            cycle_ns: 0,
+            monitor_window_ops: None,
+        }
+    }
+}
+
+/// A queued unit of work: one client request plus its reply channel.
+#[derive(Debug)]
+pub struct Job {
+    /// The decoded request.
+    pub request: AddBatch,
+    /// Where the worker sends the response frame.
+    pub reply: Sender<Frame>,
+    /// When the request entered the queue (latency measurement base).
+    pub enqueued: Instant,
+}
+
+/// Lock-free per-shard counters, shared between the worker and
+/// observers (tests, `loadgen`, the bench suite) without requiring
+/// telemetry to be enabled.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Requests executed (shed requests are not counted).
+    pub requests: AtomicU64,
+    /// Ops served.
+    pub ops: AtomicU64,
+    /// Served ops whose `ER` detector fired.
+    pub stalls: AtomicU64,
+    /// Served ops delivered by the exact path.
+    pub exact_ops: AtomicU64,
+    /// Batches flushed.
+    pub batches: AtomicU64,
+    /// Requests shed with a `Busy` frame.
+    pub shed: AtomicU64,
+    /// Whether this shard has latched into degraded mode.
+    pub degraded: AtomicBool,
+}
+
+/// A plain-value copy of [`ShardStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Requests executed.
+    pub requests: u64,
+    /// Ops served.
+    pub ops: u64,
+    /// Ops that stalled.
+    pub stalls: u64,
+    /// Ops served by the exact path.
+    pub exact_ops: u64,
+    /// Batches flushed.
+    pub batches: u64,
+    /// Requests shed.
+    pub shed: u64,
+    /// Degraded-mode latch.
+    pub degraded: bool,
+}
+
+impl ShardStats {
+    fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            ops: self.ops.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            exact_ops: self.exact_ops.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Shard {
+    queue: Arc<Bounded<Job>>,
+    stats: Arc<ShardStats>,
+    degrade: Arc<AtomicBool>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// The pool of shard workers. Submitting routes by
+/// `request_id % shards`; shutdown closes every queue, drains what was
+/// already accepted, and joins the workers.
+pub struct ShardPool {
+    shards: Vec<Shard>,
+    degraded_total: Arc<AtomicU64>,
+}
+
+impl ShardPool {
+    /// Starts `shards` workers, each with its own pipeline (and
+    /// monitor, if configured).
+    ///
+    /// # Errors
+    ///
+    /// Returns the adder construction error for an invalid
+    /// width/window combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0.
+    pub fn start(config: &ShardConfig, shards: usize) -> Result<ShardPool, SpecError> {
+        assert!(shards > 0, "a pool needs at least one shard");
+        // Validate once up front so workers can't die on a bad config.
+        SpeculativeAdder::new(config.nbits, config.window)?;
+        let degraded_total = Arc::new(AtomicU64::new(0));
+        let mut built = Vec::with_capacity(shards);
+        for shard_id in 0..shards {
+            let queue = Arc::new(Bounded::new(config.queue_capacity));
+            let stats = Arc::new(ShardStats::default());
+            let degrade = Arc::new(AtomicBool::new(false));
+            let batcher = Batcher::new(Arc::clone(&queue), config.batch, |job: &Job| {
+                job.request.ops.len().max(1)
+            });
+            let worker = std::thread::Builder::new()
+                .name(format!("vlsa-shard-{shard_id}"))
+                .spawn({
+                    let config = config.clone();
+                    let stats = Arc::clone(&stats);
+                    let degrade = Arc::clone(&degrade);
+                    let degraded_total = Arc::clone(&degraded_total);
+                    move || {
+                        worker_loop(
+                            shard_id as u16,
+                            config,
+                            batcher,
+                            stats,
+                            degrade,
+                            degraded_total,
+                        )
+                    }
+                })
+                .expect("spawn shard worker");
+            built.push(Shard {
+                queue,
+                stats,
+                degrade,
+                worker: Mutex::new(Some(worker)),
+            });
+        }
+        Ok(ShardPool {
+            shards: built,
+            degraded_total,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a request id routes to.
+    pub fn route(&self, request_id: u64) -> usize {
+        (request_id % self.shards.len() as u64) as usize
+    }
+
+    /// Routes and enqueues a request. On backpressure the request is
+    /// shed — the error carries the exact frame (`Busy`, or a typed
+    /// shutdown `Error`) the connection should send instead; nothing is
+    /// silently dropped.
+    ///
+    /// # Errors
+    ///
+    /// The response frame to send when the request was not accepted.
+    pub fn submit(&self, request: AddBatch, reply: Sender<Frame>) -> Result<(), Box<Frame>> {
+        let shard_id = self.route(request.request_id);
+        let shard = &self.shards[shard_id];
+        let request_id = request.request_id;
+        let job = Job {
+            request,
+            reply,
+            enqueued: Instant::now(),
+        };
+        match shard.queue.try_push(job) {
+            Ok(_) => Ok(()),
+            Err(PushError::Full(_)) => {
+                shard.stats.shed.fetch_add(1, Ordering::Relaxed);
+                if vlsa_telemetry::is_enabled() {
+                    vlsa_telemetry::recorder().counter(metric::SHED).incr();
+                }
+                Err(Box::new(Frame::Busy(Busy {
+                    request_id,
+                    shard: shard_id as u16,
+                    queue_depth: shard.queue.len() as u32,
+                })))
+            }
+            Err(PushError::Closed(_)) => {
+                Err(Box::new(Frame::Error(ProtocolError::Shutdown.to_frame())))
+            }
+        }
+    }
+
+    /// A shard's counters.
+    pub fn stats(&self, shard: usize) -> ShardSnapshot {
+        self.shards[shard].stats.snapshot()
+    }
+
+    /// Counters summed across all shards.
+    pub fn totals(&self) -> ShardSnapshot {
+        let mut total = ShardSnapshot::default();
+        for shard in &self.shards {
+            let s = shard.stats.snapshot();
+            total.requests += s.requests;
+            total.ops += s.ops;
+            total.stalls += s.stalls;
+            total.exact_ops += s.exact_ops;
+            total.batches += s.batches;
+            total.shed += s.shed;
+            total.degraded |= s.degraded;
+        }
+        total
+    }
+
+    /// Current depth of a shard's queue.
+    pub fn queue_depth(&self, shard: usize) -> usize {
+        self.shards[shard].queue.len()
+    }
+
+    /// A shard's degrade flag — the coupling point for an external
+    /// monitor or an operator switch; raising it flips that shard to
+    /// the exact path before its next op.
+    pub fn degrade_flag(&self, shard: usize) -> Arc<AtomicBool> {
+        Arc::clone(&self.shards[shard].degrade)
+    }
+
+    /// Shards currently latched into degraded mode.
+    pub fn degraded_shards(&self) -> u64 {
+        self.degraded_total.load(Ordering::Relaxed)
+    }
+
+    /// Closes every queue, lets the workers drain what was accepted,
+    /// and joins them. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        for shard in &self.shards {
+            if let Some(handle) = shard.worker.lock().expect("worker lock").take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("shards", &self.shards.len())
+            .field("degraded", &self.degraded_shards())
+            .finish()
+    }
+}
+
+/// Telemetry handles a worker resolves once and updates lock-free.
+struct ShardMetrics {
+    requests: Arc<vlsa_telemetry::Counter>,
+    ops: Arc<vlsa_telemetry::Counter>,
+    stalls: Arc<vlsa_telemetry::Counter>,
+    exact_ops: Arc<vlsa_telemetry::Counter>,
+    batches: Arc<vlsa_telemetry::Counter>,
+    batch_ops: Arc<vlsa_telemetry::Histogram>,
+    latency: Arc<vlsa_telemetry::Histogram>,
+    queue_depth: Arc<vlsa_telemetry::Gauge>,
+    p50: Arc<vlsa_telemetry::Gauge>,
+    p99: Arc<vlsa_telemetry::Gauge>,
+    p999: Arc<vlsa_telemetry::Gauge>,
+    degraded_shards: Arc<vlsa_telemetry::Gauge>,
+}
+
+impl ShardMetrics {
+    fn resolve(shard: u16) -> ShardMetrics {
+        let rec = vlsa_telemetry::recorder();
+        ShardMetrics {
+            requests: rec.counter(metric::REQUESTS),
+            ops: rec.counter(metric::OPS),
+            stalls: rec.counter(metric::STALLS),
+            exact_ops: rec.counter(metric::EXACT_OPS),
+            batches: rec.counter(metric::BATCHES),
+            batch_ops: rec.histogram(metric::BATCH_OPS, DEFAULT_BUCKETS),
+            latency: rec.histogram(
+                &labeled(metric::REQUEST_LATENCY_US, "shard", shard),
+                DEFAULT_BUCKETS,
+            ),
+            queue_depth: rec.gauge(&labeled(metric::QUEUE_DEPTH, "shard", shard)),
+            p50: rec.gauge(&labeled(metric::LATENCY_P50_US, "shard", shard)),
+            p99: rec.gauge(&labeled(metric::LATENCY_P99_US, "shard", shard)),
+            p999: rec.gauge(&labeled(metric::LATENCY_P999_US, "shard", shard)),
+            degraded_shards: rec.gauge(metric::DEGRADED_SHARDS),
+        }
+    }
+}
+
+fn worker_loop(
+    shard_id: u16,
+    config: ShardConfig,
+    batcher: Batcher<Job>,
+    stats: Arc<ShardStats>,
+    degrade: Arc<AtomicBool>,
+    degraded_total: Arc<AtomicU64>,
+) {
+    let adder = SpeculativeAdder::new(config.nbits, config.window).expect("validated in start");
+    let mut pipeline = ResilientPipeline::new(adder, config.resilience);
+    pipeline.set_degrade_signal(Arc::clone(&degrade));
+    let mut monitor = config.monitor_window_ops.map(|window_ops| {
+        let mc = MonitorConfig::new(config.nbits, config.window).with_window_ops(window_ops);
+        let mut m = ConformanceMonitor::new(mc);
+        m.set_degrade_signal(Arc::clone(&degrade));
+        m
+    });
+    let metrics = vlsa_telemetry::is_enabled().then(|| ShardMetrics::resolve(shard_id));
+    let spans = vlsa_trace::recorder();
+    let mask = if config.nbits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << config.nbits) - 1
+    };
+    // The modeled device clock: the instant the device finished its
+    // last batch.
+    let mut device_free = Instant::now();
+    let mut total_cycles = 0u64;
+    let mut was_degraded = false;
+
+    loop {
+        let jobs = batcher.next_batch();
+        if jobs.is_empty() {
+            break; // closed and drained
+        }
+        let batch_start_cycle = total_cycles;
+        let mut batch_cycles = 0u64;
+        let mut batch_ops = 0u64;
+        let mut replies = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            // The pool routes every width through the same shard
+            // pipeline; requests narrower than the shard adder still
+            // add correctly because operands are masked to the
+            // *request* width first and sums are masked on the way out.
+            let ops: Vec<(u64, u64)> = job
+                .request
+                .ops
+                .iter()
+                .map(|&(a, b)| {
+                    (
+                        a & request_mask(job.request.nbits),
+                        b & request_mask(job.request.nbits),
+                    )
+                })
+                .collect();
+            let batch = pipeline.run_batch(&ops);
+            if let Some(m) = monitor.as_mut() {
+                for (&(a, b), outcome) in ops.iter().zip(&batch.outcomes) {
+                    m.observe(a & mask, b & mask, outcome.stalled, outcome.cycles);
+                }
+            }
+            batch_cycles += batch.stats.cycles;
+            batch_ops += batch.stats.ops;
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            stats.ops.fetch_add(batch.stats.ops, Ordering::Relaxed);
+            stats
+                .stalls
+                .fetch_add(batch.stats.er_recoveries, Ordering::Relaxed);
+            let exact = batch.outcomes.iter().filter(|o| o.exact_path).count() as u64;
+            stats.exact_ops.fetch_add(exact, Ordering::Relaxed);
+            if let Some(m) = &metrics {
+                m.requests.incr();
+                m.ops.add(batch.stats.ops);
+                m.stalls.add(batch.stats.er_recoveries);
+                m.exact_ops.add(exact);
+            }
+            let results: Vec<OpResult> = batch
+                .outcomes
+                .iter()
+                .map(|o| OpResult {
+                    sum: o.sum & request_mask(job.request.nbits),
+                    flags: u8::from(o.stalled) * FLAG_STALLED + u8::from(o.exact_path) * FLAG_EXACT,
+                })
+                .collect();
+            let frame = Frame::SumBatch(SumBatch {
+                request_id: job.request.request_id,
+                shard: shard_id,
+                results,
+            });
+            replies.push((frame, job.reply, job.enqueued));
+        }
+        total_cycles += batch_cycles;
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+
+        // Pace to the modeled device: this batch completes
+        // batch_cycles × cycle_ns after the device last went free (or
+        // after compute began, if the device sat idle).
+        if config.cycle_ns > 0 {
+            let now = Instant::now();
+            if device_free < now {
+                device_free = now;
+            }
+            device_free += Duration::from_nanos(batch_cycles.saturating_mul(config.cycle_ns));
+            let now = Instant::now();
+            if device_free > now {
+                std::thread::sleep(device_free - now);
+            }
+        }
+
+        // Replies go out only once the modeled device is done, so the
+        // measured latency includes the modeled service time.
+        for (frame, reply, enqueued) in replies {
+            let latency_us = enqueued.elapsed().as_micros() as u64;
+            if let Some(m) = &metrics {
+                m.latency.record(latency_us);
+            }
+            // A send error means the client vanished; its result dies
+            // with the channel, which is fine — the op was still
+            // executed and accounted.
+            let _ = reply.send(frame);
+        }
+
+        let degraded_now = degrade.load(Ordering::Relaxed) || pipeline.is_degraded();
+        if degraded_now && !was_degraded {
+            was_degraded = true;
+            stats.degraded.store(true, Ordering::Relaxed);
+            degraded_total.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(m) = &metrics {
+            m.batches.incr();
+            m.batch_ops.record(batch_ops);
+            m.queue_depth.set(batcher.queue().len() as f64);
+            for (gauge, q) in [(&m.p50, 0.5), (&m.p99, 0.99), (&m.p999, 0.999)] {
+                if let Some(v) = m.latency.quantile(q) {
+                    gauge.set(v);
+                }
+            }
+            m.degraded_shards
+                .set(degraded_total.load(Ordering::Relaxed) as f64);
+        }
+        if let Some(rec) = &spans {
+            rec.record(
+                TraceEvent::complete("batch", "server", batch_start_cycle, batch_cycles.max(1))
+                    .on_track(u32::from(shard_id))
+                    .arg("shard", u64::from(shard_id))
+                    .arg("ops", batch_ops),
+            );
+        }
+    }
+    if let Some(m) = monitor.as_mut() {
+        m.finish();
+    }
+}
+
+fn request_mask(nbits: u8) -> u64 {
+    if nbits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << nbits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn submit_and_wait(pool: &ShardPool, request_id: u64, ops: Vec<(u64, u64)>) -> SumBatch {
+        let (tx, rx) = channel();
+        pool.submit(
+            AddBatch {
+                request_id,
+                nbits: 32,
+                ops,
+            },
+            tx,
+        )
+        .expect("accepted");
+        match rx.recv().expect("reply") {
+            Frame::SumBatch(s) => s,
+            other => panic!("expected sums, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pool_delivers_correct_sums_with_shard_ids() {
+        let pool = ShardPool::start(
+            &ShardConfig {
+                nbits: 32,
+                window: 16,
+                ..ShardConfig::default()
+            },
+            3,
+        )
+        .expect("valid config");
+        for id in 0..6u64 {
+            let sums = submit_and_wait(&pool, id, vec![(id, 100), (7, 8)]);
+            assert_eq!(sums.request_id, id);
+            assert_eq!(sums.shard, (id % 3) as u16);
+            assert_eq!(sums.results.len(), 2);
+            assert_eq!(sums.results[0].sum, id + 100);
+            assert_eq!(sums.results[1].sum, 15);
+        }
+        let totals = pool.totals();
+        assert_eq!(totals.requests, 6);
+        assert_eq!(totals.ops, 12);
+        assert_eq!(totals.shed, 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn full_queue_sheds_with_a_busy_frame() {
+        // One shard with a tiny queue and slow modeled pacing: a fat
+        // first batch parks the worker in its pacing sleep (max_ops 1
+        // keeps the batcher from lingering and draining the queue for
+        // us), and the fill loop below then overfills the 2-deep queue
+        // while the worker is provably not consuming.
+        let pool = ShardPool::start(
+            &ShardConfig {
+                nbits: 32,
+                window: 16,
+                queue_capacity: 2,
+                cycle_ns: 1_000_000,
+                batch: BatchPolicy {
+                    max_ops: 1,
+                    linger: Duration::ZERO,
+                },
+                ..ShardConfig::default()
+            },
+            1,
+        )
+        .expect("valid config");
+        let mut receivers = Vec::new();
+        let (tx, rx) = channel();
+        pool.submit(
+            AddBatch {
+                request_id: 0,
+                nbits: 32,
+                ops: vec![(1, 2); 200], // ≥ 200 modeled ms of pacing
+            },
+            tx,
+        )
+        .expect("empty queue accepts");
+        receivers.push(rx);
+        std::thread::sleep(Duration::from_millis(50));
+        let mut busy = 0;
+        for id in 1..=20u64 {
+            let (tx, rx) = channel();
+            match pool.submit(
+                AddBatch {
+                    request_id: id,
+                    nbits: 32,
+                    ops: vec![(1, 2)],
+                },
+                tx,
+            ) {
+                Ok(()) => receivers.push(rx),
+                Err(frame) => match *frame {
+                    Frame::Busy(b) => {
+                        busy += 1;
+                        assert_eq!(b.shard, 0);
+                        assert!(b.queue_depth >= 1);
+                    }
+                    other => panic!("expected busy, got {other:?}"),
+                },
+            }
+        }
+        // The queue holds at most 2 of the 20, however the scheduler
+        // interleaved the fill with the worker's wake-up.
+        assert!(busy >= 18, "overfilled queue must shed, got {busy}");
+        assert_eq!(pool.totals().shed, busy);
+        // Every accepted request still gets its answer — shed ≠ drop.
+        for rx in receivers {
+            assert!(matches!(rx.recv().expect("reply"), Frame::SumBatch(_)));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_a_typed_shutdown_error() {
+        let pool = ShardPool::start(
+            &ShardConfig {
+                nbits: 32,
+                window: 16,
+                ..ShardConfig::default()
+            },
+            1,
+        )
+        .expect("valid config");
+        pool.shutdown();
+        let (tx, _rx) = channel();
+        let err = pool
+            .submit(
+                AddBatch {
+                    request_id: 1,
+                    nbits: 32,
+                    ops: vec![(1, 2)],
+                },
+                tx,
+            )
+            .expect_err("closed");
+        match *err {
+            Frame::Error(e) => assert_eq!(e.code, ProtocolError::Shutdown.code()),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degrade_flag_flips_one_shard_to_the_exact_path() {
+        let pool = ShardPool::start(
+            &ShardConfig {
+                nbits: 32,
+                window: 16,
+                ..ShardConfig::default()
+            },
+            2,
+        )
+        .expect("valid config");
+        pool.degrade_flag(0).store(true, Ordering::Relaxed);
+        // request_id 0 routes to shard 0 (degraded), 1 to shard 1.
+        let degraded = submit_and_wait(&pool, 0, vec![(1, 2), (3, 4)]);
+        assert!(degraded.results.iter().all(OpResult::exact_path));
+        let healthy = submit_and_wait(&pool, 1, vec![(1, 2), (3, 4)]);
+        assert!(healthy.results.iter().all(|r| !r.exact_path()));
+        assert_eq!(degraded.results[0].sum, 3);
+        assert_eq!(healthy.results[1].sum, 7);
+        assert_eq!(pool.degraded_shards(), 1);
+        assert!(pool.stats(0).degraded);
+        assert!(!pool.stats(1).degraded);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn modeled_pacing_slows_the_worker_down() {
+        // 1 µs per cycle, ~1000 single-cycle ops → ≥ 1 ms of modeled
+        // device time for the whole request.
+        let pool = ShardPool::start(
+            &ShardConfig {
+                nbits: 64,
+                window: 32,
+                cycle_ns: 1_000,
+                ..ShardConfig::default()
+            },
+            1,
+        )
+        .expect("valid config");
+        let ops: Vec<(u64, u64)> = (0..1000).map(|i| (i, i + 1)).collect();
+        let start = Instant::now();
+        let sums = submit_and_wait(&pool, 0, ops);
+        let elapsed = start.elapsed();
+        assert_eq!(sums.results.len(), 1000);
+        assert!(
+            elapsed >= Duration::from_millis(1),
+            "pacing should cost ≥ 1ms, took {elapsed:?}"
+        );
+        pool.shutdown();
+    }
+}

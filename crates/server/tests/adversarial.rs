@@ -1,0 +1,259 @@
+//! Adversarial wire-protocol input: truncated frames, oversized length
+//! prefixes, unknown frame types, and mid-batch disconnects must be
+//! answered with typed error frames (where the protocol allows an
+//! answer) and a clean single-connection teardown — never a panic, a
+//! hang, or a silent drop — while other connections keep being served.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use vlsa_server::protocol::{self, MAX_FRAME_LEN};
+use vlsa_server::{
+    read_frame, Frame, ProtocolError, ReadError, Response, ServerConfig, VlsaClient, VlsaServer,
+};
+
+fn start_server(shards: usize) -> VlsaServer {
+    VlsaServer::start(ServerConfig {
+        shards,
+        read_timeout: Duration::from_millis(50),
+        ..ServerConfig::default()
+    })
+    .expect("start")
+}
+
+/// Sends raw bytes and reads the server's answer, if any.
+fn send_raw(server: &VlsaServer, bytes: &[u8]) -> Result<Frame, ReadError> {
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.write_all(bytes).expect("write");
+    stream.flush().expect("flush");
+    read_frame(&mut stream)
+}
+
+/// The server must still answer real requests on a *different*
+/// connection — one poisoned connection cannot take down a shard.
+fn assert_still_serving(server: &VlsaServer) {
+    let mut client = VlsaClient::connect(server.addr()).expect("connect");
+    match client.add_batch(16, &[(40, 2)]).expect("request") {
+        Response::Sums(sums) => assert_eq!(sums.results[0].sum, 42),
+        Response::Busy(_) => panic!("no load, must not shed"),
+    }
+}
+
+#[test]
+fn oversized_length_prefix_gets_a_typed_error_before_any_allocation() {
+    let mut server = start_server(2);
+    // Length prefix claims 256 MiB; the server must reject it from the
+    // prefix alone (code 2) without ever trying to read or allocate it.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(256u32 << 20).to_le_bytes());
+    bytes.push(protocol::TYPE_ADD_BATCH);
+    match send_raw(&server, &bytes).expect("typed error frame") {
+        Frame::Error(e) => assert_eq!(e.code, ProtocolError::OversizedFrame { len: 0 }.code()),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    assert_still_serving(&server);
+    assert_eq!(server.stats().protocol_errors.load(Ordering::Relaxed), 1);
+    server.shutdown();
+}
+
+#[test]
+fn length_prefix_just_over_the_limit_is_rejected_and_at_the_limit_is_not() {
+    let mut server = start_server(1);
+    let over = (MAX_FRAME_LEN + 1).to_le_bytes();
+    match send_raw(&server, &over).expect("typed error frame") {
+        Frame::Error(e) => assert_eq!(e.code, 2),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_frame_type_gets_a_typed_error() {
+    let mut server = start_server(1);
+    let bytes = [1u8, 0, 0, 0, 0x7F]; // len=1, type=0x7F
+    match send_raw(&server, &bytes).expect("typed error frame") {
+        Frame::Error(e) => {
+            assert_eq!(e.code, ProtocolError::UnknownFrameType(0x7F).code());
+            assert!(e.detail.contains("0x7F"), "detail: {}", e.detail);
+        }
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn truncated_body_gets_a_malformed_error() {
+    let mut server = start_server(1);
+    // Claims an AddBatch with a body, but the body is three bytes of
+    // nothing much — far short of the header an AddBatch needs.
+    let bytes = [4u8, 0, 0, 0, protocol::TYPE_ADD_BATCH, 1, 2, 3];
+    match send_raw(&server, &bytes).expect("typed error frame") {
+        Frame::Error(e) => assert_eq!(e.code, ProtocolError::Malformed(String::new()).code()),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn op_count_exceeding_the_batch_cap_is_rejected() {
+    let mut server = start_server(1);
+    // A syntactically valid AddBatch header whose op count exceeds
+    // MAX_BATCH_OPS; the body is absent, but the count check fires
+    // first and is the error the client should see.
+    let mut body = vec![protocol::TYPE_ADD_BATCH];
+    body.extend_from_slice(&7u64.to_le_bytes()); // request id
+    body.push(32); // nbits
+    body.extend_from_slice(&(protocol::MAX_BATCH_OPS + 1).to_le_bytes());
+    let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+    bytes.extend_from_slice(&body);
+    match send_raw(&server, &bytes).expect("typed error frame") {
+        Frame::Error(e) => assert_eq!(e.code, ProtocolError::OversizedBatch { count: 0 }.code()),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn zero_and_oversized_widths_are_rejected() {
+    let mut server = start_server(1);
+    for nbits in [0u8, 65] {
+        let mut body = vec![protocol::TYPE_ADD_BATCH];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.push(nbits);
+        body.extend_from_slice(&0u32.to_le_bytes());
+        let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        match send_raw(&server, &bytes).expect("typed error frame") {
+            Frame::Error(e) => assert_eq!(e.code, ProtocolError::BadWidth { nbits }.code()),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn mid_frame_disconnect_tears_down_cleanly_and_others_keep_serving() {
+    let mut server = start_server(2);
+    // Open a long-lived healthy connection first, then poison several
+    // others by hanging up mid-frame.
+    let mut healthy = VlsaClient::connect(server.addr()).expect("connect");
+    for _ in 0..3 {
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        // A correct length prefix promising 100 more bytes…
+        stream.write_all(&[100, 0, 0, 0]).expect("write");
+        stream
+            .write_all(&[protocol::TYPE_ADD_BATCH, 1, 2, 3])
+            .expect("write");
+        drop(stream); // …never delivered.
+    }
+    // Give the poisoned connections time to hit their read error.
+    std::thread::sleep(Duration::from_millis(100));
+    match healthy.add_batch(32, &[(5, 6)]).expect("request") {
+        Response::Sums(sums) => assert_eq!(sums.results[0].sum, 11),
+        Response::Busy(_) => panic!("no load, must not shed"),
+    }
+    // Mid-frame disconnects are transport failures, not protocol
+    // errors: nothing to answer, nobody to answer it to.
+    assert_eq!(server.stats().protocol_errors.load(Ordering::Relaxed), 0);
+    server.shutdown();
+}
+
+#[test]
+fn a_client_sending_a_response_frame_is_told_off_and_disconnected() {
+    let mut server = start_server(1);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    // A well-formed SumBatch — which only servers may send.
+    let frame = Frame::SumBatch(vlsa_server::SumBatch {
+        request_id: 1,
+        shard: 0,
+        results: Vec::new(),
+    });
+    let bytes = frame.encode();
+    stream.write_all(&bytes).expect("write");
+    match read_frame(&mut stream).expect("typed error frame") {
+        Frame::Error(e) => {
+            assert_eq!(
+                e.code,
+                ProtocolError::UnexpectedFrame { frame_type: 0 }.code()
+            );
+        }
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    // The server hangs up after the error frame.
+    let mut rest = Vec::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .expect("timeout");
+    assert_eq!(stream.read_to_end(&mut rest).unwrap_or(0), 0);
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn disconnect_between_requests_is_a_clean_eof_not_an_error() {
+    let mut server = start_server(1);
+    {
+        let mut client = VlsaClient::connect(server.addr()).expect("connect");
+        match client.add_batch(8, &[(1, 2)]).expect("request") {
+            Response::Sums(sums) => assert_eq!(sums.results[0].sum, 3),
+            Response::Busy(_) => panic!("no load, must not shed"),
+        }
+    } // hang up politely between frames
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(server.stats().protocol_errors.load(Ordering::Relaxed), 0);
+    assert_still_serving(&server);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_answers_inflight_requests_instead_of_dropping_them() {
+    let mut server = start_server(2);
+    let addr = server.addr();
+    // Park a slow stream of requests from another thread while the
+    // server shuts down; every submitted request must get *an* answer
+    // (sums or a typed shutdown error), never a dropped socket with no
+    // frame — until the connection is torn down by the join.
+    let worker = std::thread::spawn(move || {
+        let mut client = VlsaClient::connect(addr).expect("connect");
+        let mut answered = 0u32;
+        for i in 0..200u64 {
+            match client.request(i, 32, &[(i, 1)]) {
+                Ok(Response::Sums(sums)) => {
+                    assert_eq!(sums.results[0].sum, i + 1);
+                    answered += 1;
+                }
+                Ok(Response::Busy(_)) => {}
+                // Typed shutdown error or disconnect: the server is
+                // going away; both are clean ends.
+                Err(_) => break,
+            }
+        }
+        answered
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    server.shutdown();
+    let answered = worker.join().expect("client thread");
+    assert!(answered > 0, "some requests must have been answered");
+}
+
+#[test]
+fn an_unanswerable_byte_salad_cannot_bring_down_the_server() {
+    let mut server = start_server(2);
+    for chunk in [
+        &[0u8, 0, 0, 0][..],              // zero-length frame
+        &[255, 255, 255, 255][..],        // u32::MAX length prefix
+        &[5, 0, 0, 0, 0xEE, 1, 2, 3][..], // error frame from a client, truncated
+        &[1, 0][..],                      // not even a full prefix
+    ] {
+        let _ = send_raw(&server, chunk);
+    }
+    assert_still_serving(&server);
+    server.shutdown();
+}

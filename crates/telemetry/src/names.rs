@@ -86,6 +86,69 @@ pub mod resilience {
     pub const SILENT_CORRUPTIONS: &str = "vlsa.resilience.silent_corruptions";
 }
 
+/// `vlsa.server.*` — the sharded batching addition service
+/// (`vlsa-server`): request/op accounting, load shedding, protocol
+/// errors, and per-shard latency distributions.
+pub mod server {
+    /// Batch requests accepted (shed requests are *not* counted here).
+    pub const REQUESTS: &str = "vlsa.server.requests";
+    /// Operand pairs served.
+    pub const OPS: &str = "vlsa.server.ops";
+    /// Served ops whose `ER` detector fired (paid the recovery bubble).
+    pub const STALLS: &str = "vlsa.server.stalls";
+    /// Served ops delivered by the exact path (escalated or degraded).
+    pub const EXACT_OPS: &str = "vlsa.server.exact_ops";
+    /// Requests shed with a typed `Busy` frame because the target
+    /// shard's queue was full.
+    pub const SHED: &str = "vlsa.server.shed";
+    /// Malformed or unexpected frames answered with an `Error` frame.
+    pub const PROTOCOL_ERRORS: &str = "vlsa.server.protocol_errors";
+    /// Client connections accepted.
+    pub const CONNECTIONS: &str = "vlsa.server.connections";
+    /// Batches flushed by the per-shard adaptive batcher.
+    pub const BATCHES: &str = "vlsa.server.batches";
+    /// Operand pairs per flushed batch (histogram).
+    pub const BATCH_OPS: &str = "vlsa.server.batch_ops";
+    /// Per-request latency from enqueue to response ready, in
+    /// microseconds (histogram, labeled per shard).
+    pub const REQUEST_LATENCY_US: &str = "vlsa.server.request_latency_us";
+    /// Pending requests in a shard's queue (gauge, labeled per shard).
+    pub const QUEUE_DEPTH: &str = "vlsa.server.queue_depth";
+    /// p50 of [`REQUEST_LATENCY_US`] (gauge, labeled per shard).
+    pub const LATENCY_P50_US: &str = "vlsa.server.latency_p50_us";
+    /// p99 of [`REQUEST_LATENCY_US`] (gauge, labeled per shard).
+    pub const LATENCY_P99_US: &str = "vlsa.server.latency_p99_us";
+    /// p999 of [`REQUEST_LATENCY_US`] (gauge, labeled per shard).
+    pub const LATENCY_P999_US: &str = "vlsa.server.latency_p999_us";
+    /// Shards flipped into degraded (exact-only) mode by monitor drift.
+    pub const DEGRADED_SHARDS: &str = "vlsa.server.degraded_shards";
+}
+
+/// Attaches a `key=value` label to a metric name: `labeled("vlsa.server
+/// .queue_depth", "shard", "3")` → `vlsa.server.queue_depth#shard=3`.
+///
+/// The registry treats the labeled name as an ordinary instrument (every
+/// label combination is its own counter/gauge/histogram); exporters that
+/// understand labels — the Prometheus exposition in `vlsa-monitor` —
+/// split it back apart with [`split_label`] and render
+/// `vlsa_server_queue_depth{shard="3"}`.
+pub fn labeled(name: &str, key: &str, value: impl std::fmt::Display) -> String {
+    format!("{name}#{key}={value}")
+}
+
+/// Splits a possibly-labeled name into `(base, Some((key, value)))`, or
+/// `(name, None)` when it carries no `#key=value` suffix (a malformed
+/// suffix without `=` is treated as part of the base name).
+pub fn split_label(name: &str) -> (&str, Option<(&str, &str)>) {
+    match name.split_once('#') {
+        Some((base, label)) => match label.split_once('=') {
+            Some((key, value)) => (base, Some((key, value))),
+            None => (name, None),
+        },
+        None => (name, None),
+    }
+}
+
 /// `vlsa.sim.*` — gate-level simulation profiling and fault-campaign
 /// counters.
 pub mod sim {
@@ -114,9 +177,29 @@ mod tests {
             super::resilience::RESIDUE_MISMATCHES,
             super::resilience::DEGRADE_TRANSITIONS,
             super::sim::FAULTS_INJECTED,
+            super::server::REQUESTS,
+            super::server::SHED,
+            super::server::PROTOCOL_ERRORS,
+            super::server::REQUEST_LATENCY_US,
         ] {
             assert!(name.starts_with("vlsa."), "{name}");
             assert_eq!(name.split('.').count(), 3, "{name}");
         }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let name = super::labeled(super::server::QUEUE_DEPTH, "shard", 3);
+        assert_eq!(name, "vlsa.server.queue_depth#shard=3");
+        assert_eq!(
+            super::split_label(&name),
+            ("vlsa.server.queue_depth", Some(("shard", "3")))
+        );
+        assert_eq!(
+            super::split_label("vlsa.server.ops"),
+            ("vlsa.server.ops", None)
+        );
+        // A stray `#` without `=` stays part of the base name.
+        assert_eq!(super::split_label("a#b"), ("a#b", None));
     }
 }
