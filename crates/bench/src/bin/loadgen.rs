@@ -11,25 +11,35 @@
 //!   delivered throughput, latency quantiles, shed and stall rates.
 //!   Exits nonzero on any transport/protocol error or silent drop —
 //!   the CI smoke gate.
+//! - **Observability** (`--obs`): the tracing-overhead and
+//!   critical-path benchmark behind `BENCH_obs.json` — one run with
+//!   tracing fully off versus one at the default rates, then a
+//!   queue/linger/service/pace/network decomposition of the p50, p99,
+//!   and p999 round trips from the traced run.
 //!
 //! Usage:
 //!   cargo run --release -p vlsa-bench --bin loadgen -- --json BENCH_server.json
+//!   cargo run --release -p vlsa-bench --bin loadgen -- --obs --json BENCH_obs.json
 //!   cargo run --release -p vlsa-bench --bin loadgen -- \
 //!       --addr "$(cat server.addr)" --connections 8 --requests 50 \
-//!       --ops 64 --mix mixed --rate 500000
+//!       --ops 64 --mix mixed --rate 500000 --trace-every 8
 //!
 //! Flags (targeted mode): `--connections <n>` (default 16),
 //! `--requests <n>` per connection (default 150), `--ops <n>` per
 //! request (default 64), `--n <bits>` (default 32), `--mix
 //! uniform|biased|adversarial|mixed` (default mixed), `--rate <ops/s>`
-//! open-loop aggregate arrival target (default 0 = saturate), `--seed
-//! <s>`, `--json <path>`.
+//! open-loop aggregate arrival target (default 0 = saturate),
+//! `--trace-every <n>` send a sampled trace context on every nth
+//! request per connection (default 0 = never; traced requests report
+//! the server-side phase decomposition), `--seed <s>`, `--json <path>`.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
 
 use vlsa_bench::report::{args_without_json, parse_arg, split_value_flag, ArgError, Report};
-use vlsa_bench::serverbench::{run_load, run_sweep, standard_sweep, LoadConfig, Mix};
+use vlsa_bench::serverbench::{
+    run_load, run_obs_bench, run_sweep, sample_at_quantile, standard_sweep, LoadConfig, Mix,
+};
 use vlsa_telemetry::Json;
 
 fn main() -> ExitCode {
@@ -43,11 +53,23 @@ fn main() -> ExitCode {
     let (args, mix) = split(args, "mix");
     let (args, rate) = split(args, "rate");
     let (args, seed) = split(args, "seed");
-    if let Some(unexpected) = args.get(1) {
+    let (args, trace_every) = split(args, "trace-every");
+    let obs_flag = args.iter().any(|a| a == "--obs");
+    if let Some(unexpected) = args[1..].iter().find(|a| *a != "--obs") {
         ArgError::Unexpected {
             arg: unexpected.clone(),
         }
         .exit();
+    }
+
+    if obs_flag {
+        // Observability mode: the committed BENCH_obs.json.
+        let report = run_obs_bench().unwrap_or_else(|e| {
+            eprintln!("error: obs bench failed: {e}");
+            std::process::exit(1);
+        });
+        report.write_if(&json_path);
+        return ExitCode::SUCCESS;
     }
 
     let Some(addr) = addr else {
@@ -76,6 +98,7 @@ fn main() -> ExitCode {
         }),
         target_ops_per_sec: parsed("--rate", rate, 0),
         seed: parsed("--seed", seed, 0xB00B5),
+        trace_every: parsed("--trace-every", trace_every, 0),
     };
 
     let result = run_load(addr, &config).unwrap_or_else(|e| {
@@ -99,6 +122,19 @@ fn main() -> ExitCode {
         result.errors,
         result.stall_rate() * 100.0,
     );
+    let server_q =
+        |p: f64| sample_at_quantile(&result.traced, p).map_or(0, |s| s.timing.total_us());
+    if !result.traced.is_empty() {
+        println!(
+            "traced {} requests | server-side p50 {} us p99 {} us p999 {} us | \
+             network at p99 {} us",
+            result.traced.len(),
+            server_q(0.50),
+            server_q(0.99),
+            server_q(0.999),
+            sample_at_quantile(&result.traced, 0.99).map_or(0, |s| s.network_us()),
+        );
+    }
 
     let mut report = Report::new("loadgen");
     report.set("addr", addr.to_string());
@@ -112,6 +148,10 @@ fn main() -> ExitCode {
             .set("p50_us", q(0.50))
             .set("p99_us", q(0.99))
             .set("p999_us", q(0.999))
+            .set("traced", result.traced.len() as u64)
+            .set("server_p50_us", server_q(0.50))
+            .set("server_p99_us", server_q(0.99))
+            .set("server_p999_us", server_q(0.999))
             .set("answered", result.answered)
             .set("shed", result.shed)
             .set("shed_rate", result.shed_rate())
@@ -127,6 +167,10 @@ fn main() -> ExitCode {
     }
     if accounted != offered {
         eprintln!("FAILED: silent drop — offered {offered}, accounted {accounted}");
+        return ExitCode::FAILURE;
+    }
+    if config.trace_every > 0 && result.answered > 0 && result.traced.is_empty() {
+        eprintln!("FAILED: trace contexts were sent but no server timing came back");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

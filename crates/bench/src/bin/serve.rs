@@ -9,9 +9,13 @@
 //! Flags: `--addr <host:port>` (default ephemeral), `--shards <n>`
 //! (default 4), `--n <bits>` (default 64), `--cycle-ns <ns>` (modeled
 //! device time per pipeline cycle, default 3000), `--serve-secs <s>`
-//! (default 30), `--addr-file <path>` / `--metrics-addr-file <path>`
-//! (write the bound addresses for scripts), `--metrics` (mount the
-//! Prometheus endpoint).
+//! (default 30), `--trace-every <n>` (self-sample every nth untraced
+//! request into the trace rings; default 64, `0` disables
+//! self-sampling — client-requested traces are always honored),
+//! `--addr-file <path>` / `--metrics-addr-file <path>` (write the
+//! bound addresses for scripts), `--metrics` (mount the Prometheus
+//! endpoint, plus `/snapshot`, `/exemplars`, `/trace/{id}`, and
+//! `/profile`).
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -19,7 +23,7 @@ use std::time::Duration;
 use vlsa_bench::report::{parse_arg, split_value_flag, ArgError};
 use vlsa_bench::serverbench::SWEEP_CYCLE_NS;
 use vlsa_monitor::write_addr_file;
-use vlsa_server::{ServerConfig, ShardConfig, VlsaServer};
+use vlsa_server::{ObsConfig, ServerConfig, ShardConfig, VlsaServer};
 use vlsa_telemetry::ScopedRecorder;
 
 fn main() {
@@ -30,6 +34,7 @@ fn main() {
     let (args, nbits) = split(args, "n");
     let (args, cycle_ns) = split(args, "cycle-ns");
     let (args, serve_secs) = split(args, "serve-secs");
+    let (args, trace_every) = split(args, "trace-every");
     let (args, addr_file) = split(args, "addr-file");
     let (args, metrics_addr_file) = split(args, "metrics-addr-file");
     let metrics_flag = args.iter().any(|a| a == "--metrics");
@@ -48,6 +53,11 @@ fn main() {
     let nbits = parsed("--n", nbits, 64u64) as usize;
     let cycle_ns = parsed("--cycle-ns", cycle_ns, SWEEP_CYCLE_NS);
     let serve_secs = parsed("--serve-secs", serve_secs, 30u64);
+    let sample_every = parsed(
+        "--trace-every",
+        trace_every,
+        ObsConfig::default().sample_every,
+    );
 
     // The scrape endpoint reads the global recorder, so install it for
     // the server's lifetime: every counter in `vlsa.server.*` is live.
@@ -61,6 +71,10 @@ fn main() {
             ..ShardConfig::default()
         },
         metrics: metrics_flag,
+        trace: ObsConfig {
+            sample_every,
+            ..ObsConfig::default()
+        },
         ..ServerConfig::default()
     })
     .unwrap_or_else(|e| {

@@ -14,10 +14,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use std::sync::Mutex;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vlsa_pipeline::{adversarial_operands, biased_operands, random_operands};
-use vlsa_server::{Response, ServerConfig, ShardConfig, VlsaClient, VlsaServer};
+use vlsa_server::{
+    ObsConfig, Response, ServerConfig, ServerTiming, ShardConfig, TraceContext, VlsaClient,
+    VlsaServer,
+};
 use vlsa_telemetry::{Histogram, Json};
 
 use crate::report::{ArgError, Report};
@@ -79,6 +84,11 @@ pub struct LoadConfig {
     pub target_ops_per_sec: u64,
     /// RNG seed for operand generation.
     pub seed: u64,
+    /// Send a sampled trace context on every Nth request per
+    /// connection (`0` = never). Traced requests come back with a
+    /// [`ServerTiming`] extension, collected into
+    /// [`LoadResult::traced`].
+    pub trace_every: u64,
 }
 
 impl Default for LoadConfig {
@@ -91,8 +101,38 @@ impl Default for LoadConfig {
             mix: Mix::Mixed,
             target_ops_per_sec: 0,
             seed: 0xB00B5,
+            trace_every: 0,
         }
     }
+}
+
+/// One traced request: the client-observed round trip paired with the
+/// server's phase decomposition echoed on the response.
+#[derive(Clone, Copy, Debug)]
+pub struct TracedSample {
+    /// Client-observed round-trip time in microseconds.
+    pub rtt_us: u64,
+    /// The server's queue/linger/service/pace decomposition.
+    pub timing: ServerTiming,
+}
+
+impl TracedSample {
+    /// Microseconds the request spent outside the server's accounted
+    /// phases: network both ways, framing, and the worker→connection
+    /// hand-off. Saturates at zero (the clocks are different).
+    pub fn network_us(&self) -> u64 {
+        self.rtt_us.saturating_sub(self.timing.total_us())
+    }
+}
+
+/// The traced sample whose round trip sits at quantile `q` of
+/// `samples`, which must be sorted by `rtt_us`. `None` when empty.
+pub fn sample_at_quantile(samples: &[TracedSample], q: f64) -> Option<&TracedSample> {
+    if samples.is_empty() {
+        return None;
+    }
+    let idx = ((samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    samples.get(idx)
 }
 
 /// What one load run measured (client side of the wire).
@@ -112,6 +152,9 @@ pub struct LoadResult {
     pub elapsed: Duration,
     /// Client-observed round-trip latency in microseconds.
     pub latency_us: Histogram,
+    /// Traced requests (when [`LoadConfig::trace_every`] is nonzero),
+    /// sorted by round-trip time.
+    pub traced: Vec<TracedSample>,
 }
 
 impl LoadResult {
@@ -170,6 +213,7 @@ pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> std::io::Res
     let stalls = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
     let latency_us = Arc::new(Histogram::with_default_buckets());
+    let traced = Arc::new(Mutex::new(Vec::<TracedSample>::new()));
 
     // Per-connection inter-arrival gap realizing the aggregate target.
     let gap = if config.target_ops_per_sec == 0 {
@@ -191,17 +235,19 @@ pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> std::io::Res
             config.requests_per_conn * config.ops_per_request,
             &mut rng,
         );
-        let (ops, answered, shed, stalls, errors, latency_us) = (
+        let (ops, answered, shed, stalls, errors, latency_us, traced) = (
             Arc::clone(&ops),
             Arc::clone(&answered),
             Arc::clone(&shed),
             Arc::clone(&stalls),
             Arc::clone(&errors),
             Arc::clone(&latency_us),
+            Arc::clone(&traced),
         );
         let (ops_per_request, requests) = (config.ops_per_request, config.requests_per_conn);
         let nbits = config.nbits as u8;
-        let mut client = VlsaClient::connect(addr)?.with_request_id_base(conn as u64);
+        let trace_every = config.trace_every;
+        let mut client = VlsaClient::connect(addr)?;
         workers.push(std::thread::spawn(move || {
             let mut next_arrival = Instant::now();
             for r in 0..requests {
@@ -215,10 +261,25 @@ pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> std::io::Res
                     next_arrival += gap;
                 }
                 let batch = &stream[r * ops_per_request..(r + 1) * ops_per_request];
+                // Same routing key the auto-incrementing client would
+                // use; the explicit id lets a trace context ride along.
+                let request_id = conn as u64 + r as u64;
+                // Client-chosen trace ids: connection in the high
+                // half, 1-based request in the low half — distinct
+                // across the fleet and never the 0 sentinel.
+                let trace = (trace_every != 0 && (r as u64).is_multiple_of(trace_every))
+                    .then(|| TraceContext::sampled(((conn as u64) << 32) | (r as u64 + 1)));
                 let sent = Instant::now();
-                match client.add_batch(nbits, batch) {
+                match client.request_traced(request_id, nbits, batch, trace) {
                     Ok(Response::Sums(sums)) => {
-                        latency_us.record(sent.elapsed().as_micros() as u64);
+                        let rtt_us = sent.elapsed().as_micros() as u64;
+                        latency_us.record(rtt_us);
+                        if let Some(timing) = sums.timing {
+                            traced
+                                .lock()
+                                .expect("traced samples lock")
+                                .push(TracedSample { rtt_us, timing });
+                        }
                         answered.fetch_add(1, Ordering::Relaxed);
                         ops.fetch_add(sums.results.len() as u64, Ordering::Relaxed);
                         let stalled = sums.results.iter().filter(|o| o.stalled()).count();
@@ -242,6 +303,9 @@ pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> std::io::Res
     }
     let elapsed = start.elapsed();
 
+    let mut traced = std::mem::take(&mut *traced.lock().expect("traced samples lock"));
+    traced.sort_by_key(|s| s.rtt_us);
+
     let unwrap_stat = |a: &Arc<AtomicU64>| a.load(Ordering::Relaxed);
     Ok(LoadResult {
         ops: unwrap_stat(&ops),
@@ -250,6 +314,7 @@ pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> std::io::Res
         stalls: unwrap_stat(&stalls),
         errors: unwrap_stat(&errors),
         elapsed,
+        traced,
         latency_us: Arc::try_unwrap(latency_us).unwrap_or_else(|shared| {
             let h = Histogram::with_default_buckets();
             for (bound, count) in shared.buckets() {
@@ -282,13 +347,19 @@ pub const SWEEP_CYCLE_NS: u64 = 3_000;
 /// The standard sweep: saturation rows at shard counts 1/2/4/8 plus an
 /// overload row with a deliberately tiny queue.
 pub fn standard_sweep() -> Vec<SweepPoint> {
+    // Every 16th request carries a trace context, so the committed
+    // report decomposes the tail server-side without distorting it.
+    let traced = LoadConfig {
+        trace_every: 16,
+        ..LoadConfig::default()
+    };
     let mut points: Vec<SweepPoint> = [1usize, 2, 4, 8]
         .into_iter()
         .map(|shards| SweepPoint {
             shards,
             queue_capacity: 64,
             label: "nominal",
-            load: LoadConfig::default(),
+            load: traced.clone(),
         })
         .collect();
     points.push(SweepPoint {
@@ -298,7 +369,7 @@ pub fn standard_sweep() -> Vec<SweepPoint> {
         load: LoadConfig {
             connections: 32,
             requests_per_conn: 60,
-            ..LoadConfig::default()
+            ..traced
         },
     });
     points
@@ -337,6 +408,8 @@ pub fn run_point(point: &SweepPoint) -> std::io::Result<Json> {
     assert_eq!(totals.shed, result.shed, "server/client shed disagree");
 
     let q = |p: f64| result.latency_us.quantile(p).unwrap_or(0.0);
+    let server_q =
+        |p: f64| sample_at_quantile(&result.traced, p).map_or(0u64, |s| s.timing.total_us());
     Ok(Json::obj()
         .set("label", point.label)
         .set("shards", point.shards as u64)
@@ -350,6 +423,10 @@ pub fn run_point(point: &SweepPoint) -> std::io::Result<Json> {
         .set("p50_us", q(0.50))
         .set("p99_us", q(0.99))
         .set("p999_us", q(0.999))
+        .set("traced", result.traced.len() as u64)
+        .set("server_p50_us", server_q(0.50))
+        .set("server_p99_us", server_q(0.99))
+        .set("server_p999_us", server_q(0.999))
         .set("answered", result.answered)
         .set("shed", result.shed)
         .set("shed_rate", result.shed_rate())
@@ -386,6 +463,110 @@ pub fn run_sweep(points: &[SweepPoint]) -> std::io::Result<Report> {
             f("stall_rate") * 100.0,
         );
         report.push_row(row);
+    }
+    Ok(report)
+}
+
+/// Starts a fresh 2-shard server with the given trace self-sampling
+/// cadence and drives it with one load run.
+fn run_obs_point(sample_every: u64, trace_every: u64) -> std::io::Result<LoadResult> {
+    let mut server = VlsaServer::start(ServerConfig {
+        shards: 2,
+        shard: ShardConfig {
+            nbits: 64,
+            cycle_ns: SWEEP_CYCLE_NS,
+            queue_capacity: 64,
+            ..ShardConfig::default()
+        },
+        trace: ObsConfig {
+            sample_every,
+            ..ObsConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let result = run_load(
+        server.addr(),
+        &LoadConfig {
+            connections: 24,
+            requests_per_conn: 80,
+            trace_every,
+            ..LoadConfig::default()
+        },
+    )?;
+    server.shutdown();
+    Ok(result)
+}
+
+/// The observability benchmark behind `BENCH_obs.json`: the cost of
+/// tracing, and what tracing buys.
+///
+/// Two identical load runs — tracing fully off (no self-sampling, no
+/// client trace contexts) versus the default rates — quantify the
+/// overhead of the trace plumbing. The traced run's samples then feed
+/// a critical-path breakdown: at the p50/p99/p999 round trips, how
+/// many microseconds went to queue wait, batch linger, service,
+/// device pacing, and the network/framing remainder.
+///
+/// # Errors
+///
+/// Propagates server-start and connect failures.
+pub fn run_obs_bench() -> std::io::Result<Report> {
+    let off = run_obs_point(0, 0)?;
+    let on = run_obs_point(ObsConfig::default().sample_every, 8)?;
+
+    let mut report = Report::new("obs");
+    report.set("cycle_ns", SWEEP_CYCLE_NS);
+    report.set("trace_off_ops_s", off.ops_per_sec());
+    report.set("trace_on_ops_s", on.ops_per_sec());
+    // Positive = tracing cost throughput; single-digit noise expected.
+    let overhead = (off.ops_per_sec() - on.ops_per_sec()) / off.ops_per_sec().max(1e-9);
+    report.set("trace_overhead_frac", overhead);
+    report.set("traced_samples", on.traced.len() as u64);
+
+    println!(
+        "tracing off {:.0} ops/s | on {:.0} ops/s | overhead {:+.1}% | {} traced",
+        off.ops_per_sec(),
+        on.ops_per_sec(),
+        overhead * 100.0,
+        on.traced.len(),
+    );
+    println!(
+        "{:>9} | {:>8} | {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "quantile", "rtt us", "queue", "linger", "service", "pace", "network"
+    );
+    for (label, quantile) in [("p50", 0.50), ("p99", 0.99), ("p999", 0.999)] {
+        let Some(sample) = sample_at_quantile(&on.traced, quantile) else {
+            continue;
+        };
+        let t = sample.timing;
+        println!(
+            "{:>9} | {:>8} | {:>8} {:>8} {:>8} {:>8} {:>8}",
+            label,
+            sample.rtt_us,
+            t.queue_us,
+            t.linger_us,
+            t.service_us,
+            t.pace_us,
+            sample.network_us(),
+        );
+        let share = |us: u64| us as f64 / sample.rtt_us.max(1) as f64;
+        report.push_row(
+            Json::obj()
+                .set("quantile", label)
+                .set("rtt_us", sample.rtt_us)
+                .set("trace_id", t.trace_id)
+                .set("queue_us", u64::from(t.queue_us))
+                .set("linger_us", u64::from(t.linger_us))
+                .set("service_us", u64::from(t.service_us))
+                .set("pace_us", u64::from(t.pace_us))
+                .set("network_us", sample.network_us())
+                .set("queue_share", share(u64::from(t.queue_us)))
+                .set("linger_share", share(u64::from(t.linger_us)))
+                .set("service_share", share(u64::from(t.service_us)))
+                .set("pace_share", share(u64::from(t.pace_us)))
+                .set("network_share", share(sample.network_us())),
+        );
     }
     Ok(report)
 }
@@ -431,6 +612,80 @@ mod tests {
         // The mixed stream contains adversarial segments, so stalls
         // must be visible in the stall rate.
         assert!(row.get("stalls").and_then(Json::as_u64).unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn traced_requests_come_back_decomposed_and_bounded_by_their_rtt() {
+        let point = SweepPoint {
+            shards: 2,
+            queue_capacity: 64,
+            label: "test-traced",
+            load: LoadConfig {
+                connections: 4,
+                requests_per_conn: 8,
+                ops_per_request: 16,
+                trace_every: 2,
+                ..LoadConfig::default()
+            },
+        };
+        let row = run_point(&point).expect("run");
+        // Every 2nd request of every connection carried a context.
+        assert_eq!(row.get("traced").and_then(Json::as_u64), Some(4 * 8 / 2));
+        // Each quantile column is a real traced sample's server-side
+        // total. Totals are not monotone in rtt rank (the network share
+        // varies per request), so only positivity is asserted here; the
+        // strict per-sample `total <= rtt` bound lives in
+        // `traced_samples_phase_sums_never_exceed_the_round_trip`.
+        for column in ["server_p50_us", "server_p99_us", "server_p999_us"] {
+            let total = row.get(column).and_then(Json::as_u64).expect("column");
+            assert!(total > 0, "{column}: decomposition was echoed");
+        }
+    }
+
+    #[test]
+    fn traced_samples_phase_sums_never_exceed_the_round_trip() {
+        let mut server = VlsaServer::start(ServerConfig {
+            shards: 2,
+            ..ServerConfig::default()
+        })
+        .expect("start");
+        let result = run_load(
+            server.addr(),
+            &LoadConfig {
+                connections: 2,
+                requests_per_conn: 10,
+                ops_per_request: 8,
+                trace_every: 1,
+                ..LoadConfig::default()
+            },
+        )
+        .expect("load");
+        server.shutdown();
+        assert_eq!(result.traced.len(), 20, "every request was traced");
+        assert!(result.traced.windows(2).all(|w| w[0].rtt_us <= w[1].rtt_us));
+        for s in &result.traced {
+            assert!(s.timing.trace_id != 0);
+            assert!(
+                s.timing.total_us() <= s.rtt_us + 1,
+                "server phases {} us exceed rtt {} us",
+                s.timing.total_us(),
+                s.rtt_us
+            );
+            assert_eq!(s.network_us(), s.rtt_us - s.timing.total_us().min(s.rtt_us));
+        }
+    }
+
+    #[test]
+    fn quantile_sampling_picks_the_ends_and_the_middle() {
+        let sample = |rtt_us| TracedSample {
+            rtt_us,
+            timing: ServerTiming::default(),
+        };
+        assert!(sample_at_quantile(&[], 0.5).is_none());
+        let sorted: Vec<TracedSample> = (0..101).map(|i| sample(i * 10)).collect();
+        assert_eq!(sample_at_quantile(&sorted, 0.0).unwrap().rtt_us, 0);
+        assert_eq!(sample_at_quantile(&sorted, 0.5).unwrap().rtt_us, 500);
+        assert_eq!(sample_at_quantile(&sorted, 1.0).unwrap().rtt_us, 1000);
     }
 
     #[test]

@@ -44,6 +44,59 @@ impl AlertKind {
     }
 }
 
+/// A fixed-size set of recent sampled trace ids attached to an alert as
+/// execution evidence — the requests a `/trace/{id}` lookup can expand
+/// into full span trees to see *what the drifting traffic looked like*.
+///
+/// Fixed-size (not a `Vec`) so [`Alert`] stays `Copy` and can flow
+/// through the monitor without allocation; at most [`Self::CAPACITY`]
+/// ids are retained per window, newest winning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceExemplars {
+    ids: [u64; Self::CAPACITY],
+    len: u8,
+}
+
+impl TraceExemplars {
+    /// Maximum ids one alert carries.
+    pub const CAPACITY: usize = 4;
+
+    /// Adds a trace id (0 is ignored — not a valid id). Once full, the
+    /// oldest id is evicted so the set tracks the most recent evidence.
+    pub fn push(&mut self, trace_id: u64) {
+        if trace_id == 0 {
+            return;
+        }
+        if (self.len as usize) < Self::CAPACITY {
+            self.ids[self.len as usize] = trace_id;
+            self.len += 1;
+        } else {
+            self.ids.rotate_left(1);
+            self.ids[Self::CAPACITY - 1] = trace_id;
+        }
+    }
+
+    /// The retained ids, oldest first.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids[..self.len as usize]
+    }
+
+    /// Whether no ids were retained.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The ids as a JSON array of decimal strings.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.ids()
+                .iter()
+                .map(|id| Json::from(id.to_string()))
+                .collect(),
+        )
+    }
+}
+
 /// One drift alert: a window whose measurements contradict the
 /// `A_n(k)`-derived model the speculative adder was sized against.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -56,17 +109,24 @@ pub struct Alert {
     pub stalls: u64,
     /// What drifted, with the evidence.
     pub kind: AlertKind,
+    /// Trace ids of recent sampled requests from the triggering window,
+    /// resolvable via `/trace/{id}`. Empty when no request in the
+    /// window was sampled.
+    pub trace_exemplars: TraceExemplars,
 }
 
 impl Alert {
     /// The alert as one JSON object (the record shape documented in
     /// `EXPERIMENTS.md`).
     pub fn to_json(&self) -> Json {
-        let doc = Json::obj()
+        let mut doc = Json::obj()
             .set("kind", self.kind.label())
             .set("window", self.window)
             .set("ops", self.ops)
             .set("stalls", self.stalls);
+        if !self.trace_exemplars.is_empty() {
+            doc = doc.set("trace_exemplars", self.trace_exemplars.to_json());
+        }
         match self.kind {
             AlertKind::SpectrumDrift { chi2, p_value, dof } => doc
                 .set("chi2", chi2)
@@ -123,6 +183,7 @@ mod tests {
                 p_value: 1.2e-7,
                 dof: 4,
             },
+            trace_exemplars: TraceExemplars::default(),
         };
         let doc = Json::parse(&alert.to_json().to_string()).expect("valid JSON");
         assert_eq!(
@@ -131,8 +192,13 @@ mod tests {
         );
         assert_eq!(doc.get("window").and_then(Json::as_u64), Some(3));
         assert_eq!(doc.get("dof").and_then(Json::as_u64), Some(4));
+        // No sampled requests: the field is omitted entirely.
+        assert!(doc.get("trace_exemplars").is_none());
         assert!(alert.to_string().contains("spectrum drift"));
 
+        let mut exemplars = TraceExemplars::default();
+        exemplars.push(101);
+        exemplars.push(202);
         let alert = Alert {
             window: 9,
             ops: 4096,
@@ -143,6 +209,7 @@ mod tests {
                 observed: 60,
                 expected: 1.7,
             },
+            trace_exemplars: exemplars,
         };
         let doc = Json::parse(&alert.to_json().to_string()).expect("valid JSON");
         assert_eq!(
@@ -150,6 +217,26 @@ mod tests {
             Some("error_rate_drift")
         );
         assert_eq!(doc.get("observed").and_then(Json::as_u64), Some(60));
+        let ids = doc
+            .get("trace_exemplars")
+            .and_then(Json::as_arr)
+            .expect("ids");
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0].as_str(), Some("101"));
+        assert_eq!(ids[1].as_str(), Some("202"));
         assert!(alert.to_string().contains("stall-rate drift"));
+    }
+
+    #[test]
+    fn trace_exemplars_bound_and_evict_oldest() {
+        let mut ex = TraceExemplars::default();
+        assert!(ex.is_empty());
+        ex.push(0); // invalid id ignored
+        assert!(ex.is_empty());
+        for id in 1..=6u64 {
+            ex.push(id);
+        }
+        // Capacity 4: ids 1 and 2 were evicted, newest retained.
+        assert_eq!(ex.ids(), &[3, 4, 5, 6]);
     }
 }

@@ -56,8 +56,11 @@ mod prom;
 mod server;
 pub mod stats;
 
-pub use alert::{Alert, AlertKind};
+pub use alert::{Alert, AlertKind, TraceExemplars};
 pub use conformance::{CusumTracker, SpectrumBin, SpectrumModel};
 pub use monitor::{ConformanceMonitor, MonitorConfig, WindowReport};
 pub use prom::{exposition, sanitize_name};
-pub use server::{write_addr_file, AcceptLoop, BodyFn, ConnFn, ScrapeServer};
+pub use server::{
+    query_param, write_addr_file, AcceptLoop, BodyFn, ConnFn, HttpResponse, Route, RouteFn,
+    ScrapeServer,
+};

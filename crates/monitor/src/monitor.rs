@@ -11,7 +11,7 @@ use vlsa_telemetry::names::monitor as metric;
 use vlsa_telemetry::{Event, Json};
 use vlsa_trace::{names as span, TraceEvent};
 
-use crate::alert::{Alert, AlertKind};
+use crate::alert::{Alert, AlertKind, TraceExemplars};
 use crate::conformance::{CusumTracker, SpectrumModel};
 
 /// Configuration of a [`ConformanceMonitor`].
@@ -166,6 +166,7 @@ pub struct ConformanceMonitor {
     latency_in_window: u64,
     spectrum: Vec<u64>,
     window_start_cycle: u64,
+    window_exemplars: TraceExemplars,
 
     // Stream totals.
     cycles: u64,
@@ -199,6 +200,7 @@ impl ConformanceMonitor {
             stalls_in_window: 0,
             latency_in_window: 0,
             window_start_cycle: 0,
+            window_exemplars: TraceExemplars::default(),
             cycles: 0,
             total_ops: 0,
             total_stalls: 0,
@@ -217,6 +219,15 @@ impl ConformanceMonitor {
     /// pre-emptively degrades speculation to the exact adder.
     pub fn set_degrade_signal(&mut self, signal: Arc<AtomicBool>) {
         self.degrade_signal = Some(signal);
+    }
+
+    /// Notes that a *sampled* (traced) request contributed operations
+    /// to the current window. The most recent few ids are retained and
+    /// attached as `trace_exemplars` to any alert the window raises, so
+    /// a drift alert links directly to span trees of the traffic that
+    /// triggered it. Ids of 0 are ignored.
+    pub fn note_exemplar(&mut self, trace_id: u64) {
+        self.window_exemplars.push(trace_id);
     }
 
     /// Feeds one observed operation: the (already width-masked)
@@ -300,6 +311,7 @@ impl ConformanceMonitor {
                         p_value: p,
                         dof: self.model.dof(),
                     },
+                    trace_exemplars: self.window_exemplars,
                 });
                 alerts_raised += 1;
             }
@@ -315,6 +327,7 @@ impl ConformanceMonitor {
                         observed: stalls,
                         expected: self.config.expected_stalls_per_window(),
                     },
+                    trace_exemplars: self.window_exemplars,
                 });
                 alerts_raised += 1;
             }
@@ -353,6 +366,7 @@ impl ConformanceMonitor {
         self.latency_in_window = 0;
         self.spectrum.iter_mut().for_each(|n| *n = 0);
         self.window_start_cycle = self.cycles;
+        self.window_exemplars = TraceExemplars::default();
     }
 
     fn raise(&mut self, alert: Alert) {
@@ -524,6 +538,34 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(64)
         );
+    }
+
+    #[test]
+    fn alerts_carry_the_windows_trace_exemplars() {
+        let _guard = serial();
+        let mut monitor = ConformanceMonitor::new(MonitorConfig::new(64, 12));
+        // Sampled requests noted during the window ride along on any
+        // alert the window raises; the next window starts clean.
+        monitor.note_exemplar(0xAB);
+        monitor.note_exemplar(0); // invalid: ignored
+        monitor.note_exemplar(0xCD);
+        for _ in 0..4096 {
+            monitor.observe(u64::MAX, 0, true, 2);
+        }
+        assert!(!monitor.alerts().is_empty());
+        for alert in monitor.alerts() {
+            assert_eq!(alert.trace_exemplars.ids(), &[0xAB, 0xCD]);
+        }
+        let first_round = monitor.alerts().len();
+        // A second adversarial window without noted exemplars raises
+        // alerts with an empty evidence set.
+        for _ in 0..4096 {
+            monitor.observe(u64::MAX, 0, true, 2);
+        }
+        assert!(monitor.alerts().len() > first_round);
+        for alert in &monitor.alerts()[first_round..] {
+            assert!(alert.trace_exemplars.is_empty());
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use std::fmt::Write;
 
-use vlsa_telemetry::names::split_label;
+use vlsa_telemetry::names::{split_label, split_labels};
 use vlsa_telemetry::Registry;
 
 /// Maps a dotted telemetry name (`vlsa.monitor.ops`) onto a legal
@@ -45,16 +45,22 @@ fn fmt_value(v: f64) -> String {
 
 /// A telemetry name split into its Prometheus family and rendered label
 /// set: `vlsa.server.queue_depth#shard=3` → family
-/// `vlsa_server_queue_depth`, labels `{shard="3"}`.
+/// `vlsa_server_queue_depth`, labels `{shard="3"}`. Multi-label names
+/// (`vlsa.server.build_info#version=0.1.0#shards=4`) render every pair.
 fn family_and_labels(name: &str, suffix: &str) -> (String, String) {
-    let (base, label) = split_label(name);
+    let (base, pairs) = split_labels(name);
     let family = format!("{}{suffix}", sanitize_name(base));
-    let labels = match label {
-        Some((key, value)) => {
-            let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
-            format!("{{{}=\"{escaped}\"}}", sanitize_name(key))
-        }
-        None => String::new(),
+    let labels = if pairs.is_empty() {
+        String::new()
+    } else {
+        let rendered: Vec<String> = pairs
+            .iter()
+            .map(|(key, value)| {
+                let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+                format!("{}=\"{escaped}\"", sanitize_name(key))
+            })
+            .collect();
+        format!("{{{}}}", rendered.join(","))
     };
     (family, labels)
 }
@@ -224,6 +230,27 @@ mod tests {
         assert_eq!(
             text.matches("# TYPE vlsa_test_lat histogram").count(),
             1,
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn multi_label_gauges_render_every_pair() {
+        use vlsa_telemetry::names::labeled_multi;
+        let registry = Registry::new();
+        registry
+            .gauge(&labeled_multi(
+                "vlsa.server.build_info",
+                &[("version", "0.1.0"), ("nbits", "64"), ("shards", "4")],
+            ))
+            .set(1.0);
+        let text = exposition(&registry);
+        assert!(
+            text.contains("vlsa_server_build_info{version=\"0.1.0\",nbits=\"64\",shards=\"4\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE vlsa_server_build_info gauge"),
             "{text}"
         );
     }

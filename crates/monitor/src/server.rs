@@ -106,6 +106,118 @@ pub fn write_addr_file(addr: SocketAddr, path: &Path) -> io::Result<()> {
     std::fs::write(path, addr.to_string())
 }
 
+/// One HTTP response from a [`RouteFn`].
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (200, 400, 404, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A `200 OK` plain-text response.
+    pub fn ok_text(body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` JSON response.
+    pub fn ok_json(body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            content_type: "application/json".to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// A `404 Not Found` response.
+    pub fn not_found(body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status: 404,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// A `400 Bad Request` response.
+    pub fn bad_request(body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status: 400,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: body.into(),
+        }
+    }
+
+    fn status_line(&self) -> &'static str {
+        match self.status {
+            200 => "200 OK",
+            400 => "400 Bad Request",
+            404 => "404 Not Found",
+            503 => "503 Service Unavailable",
+            _ => "500 Internal Server Error",
+        }
+    }
+}
+
+/// Handler for one matched route, given the request path and the raw
+/// query string (without the `?`; empty when absent). Runs inline on
+/// the accept thread, so slow handlers (`/profile?seconds=N`) delay
+/// other scrapes for their duration — acceptable for a diagnostics
+/// port, and documented at the mount sites.
+pub type RouteFn = Arc<dyn Fn(&str, &str) -> HttpResponse + Send + Sync>;
+
+/// One entry in a [`ScrapeServer`] routing table.
+#[derive(Clone)]
+pub struct Route {
+    path: String,
+    is_prefix: bool,
+    handler: RouteFn,
+}
+
+impl Route {
+    /// A route matching exactly `path` (query string excluded).
+    pub fn exact(path: impl Into<String>, handler: RouteFn) -> Route {
+        Route {
+            path: path.into(),
+            is_prefix: false,
+            handler,
+        }
+    }
+
+    /// A route matching any path starting with `prefix` — how
+    /// `/trace/{id}` captures the id as the remainder of the path.
+    pub fn prefix(prefix: impl Into<String>, handler: RouteFn) -> Route {
+        Route {
+            path: prefix.into(),
+            is_prefix: true,
+            handler,
+        }
+    }
+
+    fn matches(&self, path: &str) -> bool {
+        if self.is_prefix {
+            path.starts_with(&self.path)
+        } else {
+            path == self.path
+        }
+    }
+}
+
+impl std::fmt::Debug for Route {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Route")
+            .field("path", &self.path)
+            .field("is_prefix", &self.is_prefix)
+            .finish()
+    }
+}
+
 /// A running scrape endpoint.
 #[derive(Debug)]
 pub struct ScrapeServer {
@@ -117,13 +229,37 @@ impl ScrapeServer {
     /// starts serving `metrics` at `/metrics` and `snapshot` at
     /// `/snapshot` on a background thread.
     pub fn start(addr: &str, metrics: BodyFn, snapshot: BodyFn) -> io::Result<ScrapeServer> {
+        ScrapeServer::with_routes(
+            addr,
+            vec![
+                Route::exact(
+                    "/metrics",
+                    Arc::new(move |_, _| HttpResponse {
+                        status: 200,
+                        content_type: "text/plain; version=0.0.4; charset=utf-8".to_string(),
+                        body: metrics(),
+                    }),
+                ),
+                Route::exact(
+                    "/snapshot",
+                    Arc::new(move |_, _| HttpResponse::ok_json(snapshot())),
+                ),
+            ],
+        )
+    }
+
+    /// Binds `addr` and serves an arbitrary routing table. Routes are
+    /// tried in order; the first match wins, unmatched paths get a 404
+    /// listing the mounted routes.
+    pub fn with_routes(addr: &str, routes: Vec<Route>) -> io::Result<ScrapeServer> {
+        let routes = Arc::new(routes);
         let accept = AcceptLoop::spawn(
             "vlsa-monitor-scrape",
             addr,
             Arc::new(move |stream| {
                 // One scraper, small bodies: serving inline on the
                 // accept thread is simpler and plenty fast.
-                let _ = serve_one(stream, &metrics, &snapshot);
+                let _ = serve_one(stream, &routes);
             }),
         )?;
         Ok(ScrapeServer { accept })
@@ -151,39 +287,34 @@ impl ScrapeServer {
 }
 
 /// Reads one request off `stream`, routes it, and writes one response.
-fn serve_one(mut stream: TcpStream, metrics: &BodyFn, snapshot: &BodyFn) -> io::Result<()> {
+fn serve_one(mut stream: TcpStream, routes: &[Route]) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let path = read_request_path(&mut stream)?;
-    let (status, content_type, body) = match path.as_deref() {
-        Some("/metrics") => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            metrics(),
-        ),
-        Some("/snapshot") => ("200 OK", "application/json", snapshot()),
-        Some(_) => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "try /metrics or /snapshot\n".to_string(),
-        ),
-        None => (
-            "400 Bad Request",
-            "text/plain; charset=utf-8",
-            "malformed request\n".to_string(),
-        ),
+    let response = match read_request_path(&mut stream)? {
+        Some((path, query)) => match routes.iter().find(|r| r.matches(&path)) {
+            Some(route) => (route.handler)(&path, &query),
+            None => {
+                let mounted: Vec<&str> = routes.iter().map(|r| r.path.as_str()).collect();
+                HttpResponse::not_found(format!("try one of: {}\n", mounted.join(" ")))
+            }
+        },
+        None => HttpResponse::bad_request("malformed request\n"),
     };
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+    let head = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status_line(),
+        response.content_type,
+        response.body.len()
     );
-    stream.write_all(response.as_bytes())?;
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
     stream.flush()
 }
 
-/// Reads up to the end of the request head and returns the GET path,
-/// or `None` if the request line is not a well-formed GET.
-fn read_request_path(stream: &mut TcpStream) -> io::Result<Option<String>> {
+/// Reads up to the end of the request head and returns the GET path and
+/// query string (empty if absent), or `None` if the request line is not
+/// a well-formed GET.
+fn read_request_path(stream: &mut TcpStream) -> io::Result<Option<(String, String)>> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
@@ -199,12 +330,26 @@ fn read_request_path(stream: &mut TcpStream) -> io::Result<Option<String>> {
     let head = String::from_utf8_lossy(&buf);
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     match (parts.next(), parts.next(), parts.next()) {
-        (Some("GET"), Some(path), Some(version)) if version.starts_with("HTTP/") => {
-            // Ignore any query string: scrape configs often add one.
-            Ok(Some(path.split('?').next().unwrap_or(path).to_string()))
+        (Some("GET"), Some(target), Some(version)) if version.starts_with("HTTP/") => {
+            let (path, query) = match target.split_once('?') {
+                Some((p, q)) => (p, q),
+                None => (target, ""),
+            };
+            Ok(Some((path.to_string(), query.to_string())))
         }
         _ => Ok(None),
     }
+}
+
+/// Parses a `key=value&key=value` query string, returning the value of
+/// `key` if present — enough for the diagnostics endpoints
+/// (`/profile?seconds=2&hz=97`); no percent-decoding.
+pub fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|pair| pair.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
 }
 
 #[cfg(test)]
@@ -289,6 +434,48 @@ mod tests {
         accept.shutdown();
         assert!(stop.load(Ordering::Relaxed));
         assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn custom_routes_match_prefixes_and_see_queries() {
+        let server = ScrapeServer::with_routes(
+            "127.0.0.1:0",
+            vec![
+                Route::exact(
+                    "/exemplars",
+                    Arc::new(|_, _| HttpResponse::ok_json("{\"buckets\":[]}")),
+                ),
+                Route::prefix(
+                    "/trace/",
+                    Arc::new(|path: &str, query: &str| {
+                        let id = path.strip_prefix("/trace/").unwrap_or("");
+                        HttpResponse::ok_json(format!(
+                            "{{\"id\":\"{id}\",\"format\":\"{}\"}}",
+                            query_param(query, "format").unwrap_or("json")
+                        ))
+                    }),
+                ),
+            ],
+        )
+        .expect("bind ephemeral port");
+        let body = get(server.addr(), "/exemplars");
+        assert!(body.contains("{\"buckets\":[]}"), "{body}");
+        let body = get(server.addr(), "/trace/1234?format=chrome");
+        assert!(body.contains("\"id\":\"1234\""), "{body}");
+        assert!(body.contains("\"format\":\"chrome\""), "{body}");
+        // The 404 lists the mounted routes.
+        let body = get(server.addr(), "/nope");
+        assert!(body.starts_with("HTTP/1.1 404"), "{body}");
+        assert!(body.contains("/exemplars"), "{body}");
+    }
+
+    #[test]
+    fn query_param_parses_pairs() {
+        assert_eq!(query_param("seconds=2&hz=97", "seconds"), Some("2"));
+        assert_eq!(query_param("seconds=2&hz=97", "hz"), Some("97"));
+        assert_eq!(query_param("seconds=2", "hz"), None);
+        assert_eq!(query_param("", "hz"), None);
+        assert_eq!(query_param("noequals", "noequals"), None);
     }
 
     #[test]

@@ -68,8 +68,14 @@ impl<T> Batcher<T> {
     /// Blocks for the next coalesced batch; empty means closed and
     /// drained.
     pub fn next_batch(&self) -> Vec<T> {
+        self.next_batch_timed().0
+    }
+
+    /// [`Batcher::next_batch`] plus the instant batch formation began,
+    /// for tracing the queue-wait vs batch-linger split.
+    pub fn next_batch_timed(&self) -> (Vec<T>, std::time::Instant) {
         self.queue
-            .pop_batch(self.policy.max_ops, &self.weigh, self.policy.linger)
+            .pop_batch_timed(self.policy.max_ops, &self.weigh, self.policy.linger)
     }
 }
 

@@ -6,7 +6,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::error::ProtocolError;
 use crate::framing::{read_frame, write_frame, ReadError};
-use crate::protocol::{AddBatch, Busy, ErrorFrame, Frame, SumBatch};
+use crate::protocol::{AddBatch, Busy, ErrorFrame, Frame, SumBatch, TraceContext};
 
 /// The server's answer to a request, from the client's point of view.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -109,12 +109,33 @@ impl VlsaClient {
         nbits: u8,
         ops: &[(u64, u64)],
     ) -> Result<Response, ClientError> {
+        self.request_traced(request_id, nbits, ops, None)
+    }
+
+    /// [`VlsaClient::request`] with an optional trace context. A
+    /// sampled context makes the server record the request into its
+    /// trace rings and echo a `ServerTiming` extension on the
+    /// response (`sums.timing`), so the caller can decompose its
+    /// observed round-trip into server phases + network share.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`]; a `Busy` shed is an `Ok` response, not an
+    /// error.
+    pub fn request_traced(
+        &mut self,
+        request_id: u64,
+        nbits: u8,
+        ops: &[(u64, u64)],
+        trace: Option<TraceContext>,
+    ) -> Result<Response, ClientError> {
         write_frame(
             &mut self.stream,
             &Frame::AddBatch(AddBatch {
                 request_id,
                 nbits,
                 ops: ops.to_vec(),
+                trace,
             }),
         )?;
         match read_frame(&mut self.stream) {

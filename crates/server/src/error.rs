@@ -42,6 +42,9 @@ pub enum ProtocolError {
     },
     /// The server is shutting down and can no longer answer.
     Shutdown,
+    /// The optional tagged extension after the base body fields does
+    /// not parse: unknown tag, zero trace id, or reserved flag bits.
+    BadExtension(String),
 }
 
 impl ProtocolError {
@@ -55,6 +58,7 @@ impl ProtocolError {
             ProtocolError::Malformed(_) => 5,
             ProtocolError::UnexpectedFrame { .. } => 6,
             ProtocolError::Shutdown => 7,
+            ProtocolError::BadExtension(_) => 8,
         }
     }
 
@@ -95,6 +99,9 @@ impl fmt::Display for ProtocolError {
                 write!(f, "frame type 0x{frame_type:02X} is not valid here")
             }
             ProtocolError::Shutdown => write!(f, "server is shutting down"),
+            ProtocolError::BadExtension(detail) => {
+                write!(f, "bad frame extension: {detail}")
+            }
         }
     }
 }
@@ -115,9 +122,10 @@ mod tests {
             ProtocolError::Malformed("x".into()),
             ProtocolError::UnexpectedFrame { frame_type: 0x81 },
             ProtocolError::Shutdown,
+            ProtocolError::BadExtension("bad tag".into()),
         ];
         let codes: Vec<u16> = errors.iter().map(ProtocolError::code).collect();
-        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8]);
         for e in &errors {
             let frame = e.to_frame();
             assert_eq!(frame.code, e.code());

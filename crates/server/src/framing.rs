@@ -101,6 +101,7 @@ mod tests {
                 request_id: 1,
                 nbits: 32,
                 ops: vec![(3, 4)],
+                trace: None,
             }),
             Frame::Busy(Busy {
                 request_id: 1,
@@ -151,6 +152,7 @@ mod tests {
             request_id: 1,
             nbits: 32,
             ops: vec![(3, 4)],
+            trace: None,
         })
         .encode();
         // Cut the frame in half: the header promises more than arrives.

@@ -63,6 +63,7 @@ mod batcher;
 mod client;
 mod error;
 mod framing;
+mod obs;
 mod queue;
 mod server;
 mod shard;
@@ -71,7 +72,10 @@ pub use batcher::{BatchPolicy, Batcher};
 pub use client::{ClientError, Response, VlsaClient};
 pub use error::ProtocolError;
 pub use framing::{read_frame, write_frame, ReadError};
-pub use protocol::{AddBatch, Busy, ErrorFrame, Frame, OpResult, SumBatch};
+pub use obs::{ObsConfig, ServerObs};
+pub use protocol::{
+    AddBatch, Busy, ErrorFrame, Frame, OpResult, ServerTiming, SumBatch, TraceContext,
+};
 pub use queue::{Bounded, PushError};
 pub use server::{ServerConfig, ServerError, ServerStats, VlsaServer};
-pub use shard::{Job, ShardConfig, ShardPool, ShardSnapshot, ShardStats};
+pub use shard::{Job, JobTrace, Reply, ShardConfig, ShardPool, ShardSnapshot, ShardStats};

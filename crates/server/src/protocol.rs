@@ -15,6 +15,24 @@
 //! and the op paid the recovery bubble; bit 1 ([`FLAG_EXACT`]) — the
 //! exact path delivered the sum (escalation or degraded mode).
 //!
+//! ## Trace-context extension
+//!
+//! `AddBatch` and `SumBatch` bodies may carry one optional *tagged
+//! extension* after the base fields: a tag byte [`EXT_TRACE`] (`0x54`,
+//! `'T'`) followed by a fixed payload. On `AddBatch` the payload is a
+//! [`TraceContext`] (`trace_id u64, flags u8`) asking the server to
+//! sample this request; on `SumBatch` it is a [`ServerTiming`]
+//! (`trace_id u64, queue_us/linger_us/service_us/pace_us u32`) echoing
+//! the server-side latency decomposition so the client can subtract it
+//! from its observed round-trip and see the network/framing share.
+//!
+//! Negotiation is implicit and backward compatible in both directions:
+//! frames without the extension are **byte-identical** to the
+//! pre-extension protocol (covered by golden-bytes tests), and the
+//! server only attaches timing to responses whose request carried a
+//! trace context — an untraced client never receives bytes it cannot
+//! parse.
+//!
 //! Decoding is total: every malformed input maps to a typed
 //! [`ProtocolError`], never a panic.
 
@@ -44,6 +62,64 @@ pub const FLAG_STALLED: u8 = 0b01;
 /// Per-op flag: the exact path delivered the sum.
 pub const FLAG_EXACT: u8 = 0b10;
 
+/// Tag byte of the optional trace-context extension (`'T'`).
+pub const EXT_TRACE: u8 = 0x54;
+/// [`TraceContext`] flag: the client asks the server to sample this
+/// request into its trace rings.
+pub const FLAG_TRACE_SAMPLED: u8 = 0b1;
+
+/// The optional trace context a client attaches to an [`AddBatch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Client-chosen trace id; must be nonzero (0 is the "no trace"
+    /// sentinel everywhere downstream).
+    pub trace_id: u64,
+    /// [`FLAG_TRACE_SAMPLED`]; all other bits are reserved and must be
+    /// zero.
+    pub flags: u8,
+}
+
+impl TraceContext {
+    /// A sampled trace context for `trace_id`.
+    pub fn sampled(trace_id: u64) -> TraceContext {
+        TraceContext {
+            trace_id,
+            flags: FLAG_TRACE_SAMPLED,
+        }
+    }
+
+    /// Whether the client asked for this request to be sampled.
+    pub fn is_sampled(&self) -> bool {
+        self.flags & FLAG_TRACE_SAMPLED != 0
+    }
+}
+
+/// The server-side latency decomposition echoed on a [`SumBatch`] whose
+/// request carried a sampled [`TraceContext`]. All durations in
+/// microseconds; `write_us` cannot be echoed (the response is still
+/// being written), so the client computes the network share as
+/// `rtt - (queue + linger + service + pace)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerTiming {
+    /// Echo of the request's trace id.
+    pub trace_id: u64,
+    /// Time in the shard queue before batch formation began.
+    pub queue_us: u32,
+    /// Time inside the adaptive batcher's forming/linger window.
+    pub linger_us: u32,
+    /// `ResilientPipeline` compute time for this request.
+    pub service_us: u32,
+    /// Modeled device pacing the batch waited out.
+    pub pace_us: u32,
+}
+
+impl ServerTiming {
+    /// Total server-side time the extension accounts for, µs.
+    pub fn total_us(&self) -> u64 {
+        self.queue_us as u64 + self.linger_us as u64 + self.service_us as u64 + self.pace_us as u64
+    }
+}
+
 /// A client's batch of operand pairs to add at width `nbits`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AddBatch {
@@ -54,6 +130,9 @@ pub struct AddBatch {
     pub nbits: u8,
     /// The operand pairs.
     pub ops: Vec<(u64, u64)>,
+    /// Optional trace-context extension; `None` encodes byte-identically
+    /// to the pre-extension protocol.
+    pub trace: Option<TraceContext>,
 }
 
 /// One op's result inside a [`SumBatch`].
@@ -86,6 +165,10 @@ pub struct SumBatch {
     pub shard: u16,
     /// Per-op results, in request order.
     pub results: Vec<OpResult>,
+    /// Optional server-timing extension, attached only when the request
+    /// carried a sampled [`TraceContext`]; `None` encodes
+    /// byte-identically to the pre-extension protocol.
+    pub timing: Option<ServerTiming>,
 }
 
 /// Explicit load-shed: the target shard's queue was full. The request
@@ -146,6 +229,11 @@ impl Frame {
                     put_u64(&mut body, a);
                     put_u64(&mut body, b);
                 }
+                if let Some(trace) = r.trace {
+                    body.push(EXT_TRACE);
+                    put_u64(&mut body, trace.trace_id);
+                    body.push(trace.flags);
+                }
             }
             Frame::SumBatch(r) => {
                 put_u64(&mut body, r.request_id);
@@ -154,6 +242,14 @@ impl Frame {
                 for op in &r.results {
                     put_u64(&mut body, op.sum);
                     body.push(op.flags);
+                }
+                if let Some(timing) = r.timing {
+                    body.push(EXT_TRACE);
+                    put_u64(&mut body, timing.trace_id);
+                    put_u32(&mut body, timing.queue_us);
+                    put_u32(&mut body, timing.linger_us);
+                    put_u32(&mut body, timing.service_us);
+                    put_u32(&mut body, timing.pace_us);
                 }
             }
             Frame::Busy(r) => {
@@ -198,10 +294,29 @@ impl Frame {
                 for _ in 0..count {
                     ops.push((cur.u64()?, cur.u64()?));
                 }
+                let trace = if cur.is_empty() {
+                    None
+                } else {
+                    cur.extension_tag()?;
+                    let trace_id = cur.u64()?;
+                    let flags = cur.u8()?;
+                    if trace_id == 0 {
+                        return Err(ProtocolError::BadExtension(
+                            "trace_id 0 is the no-trace sentinel".into(),
+                        ));
+                    }
+                    if flags & !FLAG_TRACE_SAMPLED != 0 {
+                        return Err(ProtocolError::BadExtension(format!(
+                            "reserved trace flag bits set: 0b{flags:08b}"
+                        )));
+                    }
+                    Some(TraceContext { trace_id, flags })
+                };
                 Frame::AddBatch(AddBatch {
                     request_id,
                     nbits,
                     ops,
+                    trace,
                 })
             }
             TYPE_SUM_BATCH => {
@@ -218,10 +333,29 @@ impl Frame {
                         flags: cur.u8()?,
                     });
                 }
+                let timing = if cur.is_empty() {
+                    None
+                } else {
+                    cur.extension_tag()?;
+                    let timing = ServerTiming {
+                        trace_id: cur.u64()?,
+                        queue_us: cur.u32()?,
+                        linger_us: cur.u32()?,
+                        service_us: cur.u32()?,
+                        pace_us: cur.u32()?,
+                    };
+                    if timing.trace_id == 0 {
+                        return Err(ProtocolError::BadExtension(
+                            "trace_id 0 is the no-trace sentinel".into(),
+                        ));
+                    }
+                    Some(timing)
+                };
                 Frame::SumBatch(SumBatch {
                     request_id,
                     shard,
                     results,
+                    timing,
                 })
             }
             TYPE_BUSY => Frame::Busy(Busy {
@@ -313,6 +447,22 @@ impl<'a> Cursor<'a> {
         ))
     }
 
+    fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the [`EXT_TRACE`] tag byte that opens an extension; any
+    /// other tag is a typed [`ProtocolError::BadExtension`].
+    fn extension_tag(&mut self) -> Result<(), ProtocolError> {
+        let tag = self.u8()?;
+        if tag != EXT_TRACE {
+            return Err(ProtocolError::BadExtension(format!(
+                "unknown extension tag 0x{tag:02X}"
+            )));
+        }
+        Ok(())
+    }
+
     fn finish(&self) -> Result<(), ProtocolError> {
         if self.buf.is_empty() {
             Ok(())
@@ -343,11 +493,13 @@ mod tests {
             request_id: 42,
             nbits: 64,
             ops: vec![(1, 2), (u64::MAX, 7)],
+            trace: None,
         }));
         round_trip(Frame::AddBatch(AddBatch {
             request_id: 0,
             nbits: 1,
             ops: vec![],
+            trace: None,
         }));
         round_trip(Frame::SumBatch(SumBatch {
             request_id: 42,
@@ -359,6 +511,7 @@ mod tests {
                     flags: FLAG_STALLED | FLAG_EXACT,
                 },
             ],
+            timing: None,
         }));
         round_trip(Frame::Busy(Busy {
             request_id: 9,
@@ -421,6 +574,7 @@ mod tests {
             request_id: 7,
             nbits: 16,
             ops: vec![(1, 2)],
+            trace: None,
         });
         let bytes = frame.encode();
         // Drop the last operand byte: count promises more than present.
@@ -429,11 +583,103 @@ mod tests {
             matches!(short, Err(ProtocolError::Malformed(_))),
             "{short:?}"
         );
-        // Add a trailing byte: body longer than the fields account for.
+        // A trailing byte after the base fields is read as an extension
+        // tag; 0x00 is no known extension.
         let mut padded = bytes[5..].to_vec();
         padded.push(0);
         let long = Frame::decode(bytes[4], &padded);
+        assert!(
+            matches!(long, Err(ProtocolError::BadExtension(_))),
+            "{long:?}"
+        );
+        // A Busy body has no extensions: any trailing byte is malformed.
+        let busy = Frame::Busy(Busy {
+            request_id: 1,
+            shard: 0,
+            queue_depth: 2,
+        })
+        .encode();
+        let mut padded = busy[5..].to_vec();
+        padded.push(0);
+        let long = Frame::decode(busy[4], &padded);
         assert!(matches!(long, Err(ProtocolError::Malformed(_))), "{long:?}");
+    }
+
+    #[test]
+    fn trace_extensions_round_trip() {
+        round_trip(Frame::AddBatch(AddBatch {
+            request_id: 42,
+            nbits: 64,
+            ops: vec![(1, 2)],
+            trace: Some(TraceContext::sampled(0xDEAD_BEEF_CAFE_F00D)),
+        }));
+        round_trip(Frame::SumBatch(SumBatch {
+            request_id: 42,
+            shard: 1,
+            results: vec![OpResult { sum: 3, flags: 0 }],
+            timing: Some(ServerTiming {
+                trace_id: 0xDEAD_BEEF_CAFE_F00D,
+                queue_us: 120,
+                linger_us: 480,
+                service_us: 77,
+                pace_us: 3000,
+            }),
+        }));
+    }
+
+    #[test]
+    fn bad_trace_extensions_are_typed() {
+        // Zero trace id.
+        let mut bytes = Frame::AddBatch(AddBatch {
+            request_id: 1,
+            nbits: 32,
+            ops: vec![],
+            trace: Some(TraceContext::sampled(7)),
+        })
+        .encode();
+        bytes[5 + 8 + 1 + 4 + 1..5 + 8 + 1 + 4 + 1 + 8].fill(0);
+        assert!(matches!(
+            Frame::decode(bytes[4], &bytes[5..]),
+            Err(ProtocolError::BadExtension(_))
+        ));
+        // Reserved flag bits.
+        let mut bytes = Frame::AddBatch(AddBatch {
+            request_id: 1,
+            nbits: 32,
+            ops: vec![],
+            trace: Some(TraceContext::sampled(7)),
+        })
+        .encode();
+        *bytes.last_mut().expect("flags byte") = 0b1000_0010;
+        assert!(matches!(
+            Frame::decode(bytes[4], &bytes[5..]),
+            Err(ProtocolError::BadExtension(_))
+        ));
+        // Truncated extension payload.
+        let bytes = Frame::AddBatch(AddBatch {
+            request_id: 1,
+            nbits: 32,
+            ops: vec![],
+            trace: Some(TraceContext::sampled(7)),
+        })
+        .encode();
+        assert!(matches!(
+            Frame::decode(bytes[4], &bytes[5..bytes.len() - 3]),
+            Err(ProtocolError::Malformed(_))
+        ));
+        // Trailing garbage after a complete extension.
+        let mut bytes = Frame::AddBatch(AddBatch {
+            request_id: 1,
+            nbits: 32,
+            ops: vec![],
+            trace: Some(TraceContext::sampled(7)),
+        })
+        .encode();
+        bytes.push(0xAA);
+        assert!(matches!(
+            Frame::decode(bytes[4], &bytes[5..]),
+            Err(ProtocolError::Malformed(_))
+        ));
     }
 
     #[test]

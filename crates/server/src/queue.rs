@@ -118,38 +118,52 @@ impl<T> Bounded<T> {
         weigh: impl Fn(&T) -> usize,
         linger: Duration,
     ) -> Vec<T> {
+        self.pop_batch_timed(max_weight, weigh, linger).0
+    }
+
+    /// [`Bounded::pop_batch`] plus the instant batch formation began
+    /// (when the first item was taken off the queue). Tracing uses the
+    /// instant to split a request's wait into queue time (enqueue →
+    /// formation start) and batch linger (formation start → dispatch).
+    pub fn pop_batch_timed(
+        &self,
+        max_weight: usize,
+        weigh: impl Fn(&T) -> usize,
+        linger: Duration,
+    ) -> (Vec<T>, Instant) {
         let mut inner = self.inner.lock().expect("queue lock");
         loop {
             if !inner.items.is_empty() {
                 break;
             }
             if inner.closed {
-                return Vec::new();
+                return (Vec::new(), Instant::now());
             }
             inner = self.not_empty.wait(inner).expect("queue lock");
         }
-        let deadline = Instant::now() + linger;
+        let formation_start = Instant::now();
+        let deadline = formation_start + linger;
         let mut batch = Vec::new();
         let mut weight = 0usize;
         loop {
             while let Some(item_weight) = inner.items.front().map(&weigh) {
                 if !batch.is_empty() && weight + item_weight > max_weight {
-                    return batch;
+                    return (batch, formation_start);
                 }
                 let item = inner.items.pop_front().expect("front checked");
                 weight += item_weight;
                 batch.push(item);
                 if weight >= max_weight {
-                    return batch;
+                    return (batch, formation_start);
                 }
             }
             // Drained below the cap: linger for stragglers.
             if inner.closed {
-                return batch;
+                return (batch, formation_start);
             }
             let now = Instant::now();
             if now >= deadline {
-                return batch;
+                return (batch, formation_start);
             }
             let (guard, _) = self
                 .not_empty
@@ -239,5 +253,19 @@ mod tests {
         let batch = q.pop_batch(10, |_| 1, Duration::ZERO);
         t.join().expect("closer");
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_timed_reports_when_formation_began() {
+        let q = Bounded::new(4);
+        let before = Instant::now();
+        std::thread::sleep(Duration::from_millis(5));
+        q.try_push(1).expect("push");
+        let (batch, formation_start) = q.pop_batch_timed(10, |_| 1, Duration::ZERO);
+        assert_eq!(batch, vec![1]);
+        // Formation began strictly after the pre-enqueue instant: the
+        // enqueue→formation gap is the queue-wait a trace reports.
+        assert!(formation_start > before);
+        assert!(formation_start <= Instant::now());
     }
 }

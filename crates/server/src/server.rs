@@ -1,13 +1,21 @@
 //! The TCP front end: accept loop, per-connection protocol loop, and
-//! the `/metrics` scrape mount.
+//! the HTTP observability mount.
 //!
 //! Connections are cheap threads (the protocol is synchronous per
 //! connection — one request in flight each; concurrency comes from many
 //! connections feeding the shared shard queues, which is where batching
 //! happens). The accept loop and its graceful flag-and-wake shutdown
-//! come from `vlsa_monitor::AcceptLoop`; the HTTP `/metrics` endpoint
-//! is `vlsa_monitor::ScrapeServer` mounted over the process telemetry
-//! registry — one socket implementation in the whole tree.
+//! come from `vlsa_monitor::AcceptLoop`; the HTTP endpoints are
+//! `vlsa_monitor::ScrapeServer` routes — one socket implementation in
+//! the whole tree:
+//!
+//! | route | serves |
+//! |---|---|
+//! | `/metrics` | Prometheus exposition of the telemetry registry |
+//! | `/snapshot` | build info + the registry as JSON |
+//! | `/exemplars` | per-shard worst-request trace ids per latency bucket |
+//! | `/trace/{id}` | a sampled request's span tree (`?format=chrome` for a Chrome-trace document) |
+//! | `/profile?seconds=N&hz=H` | folded stacks from the sampling profiler (`?format=json` for JSON) |
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};
@@ -15,16 +23,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use vlsa_core::SpecError;
-use vlsa_monitor::{exposition, AcceptLoop, ScrapeServer};
-use vlsa_telemetry::names::server as metric;
+use vlsa_monitor::{exposition, query_param, AcceptLoop, HttpResponse, Route, ScrapeServer};
+use vlsa_telemetry::names::{labeled_multi, server as metric};
+use vlsa_telemetry::Json;
 
 use crate::error::ProtocolError;
 use crate::framing::{read_frame, write_frame, ReadError};
+use crate::obs::{ObsConfig, ServerObs};
 use crate::protocol::Frame;
-use crate::shard::{ShardConfig, ShardPool};
+use crate::shard::{JobTrace, Reply, ShardConfig, ShardPool};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -35,9 +45,14 @@ pub struct ServerConfig {
     pub shards: usize,
     /// Per-shard configuration.
     pub shard: ShardConfig,
-    /// Mount a `/metrics` + `/snapshot` HTTP endpoint (ephemeral port,
-    /// see [`VlsaServer::metrics_addr`]).
+    /// Mount the HTTP observability endpoints (`/metrics`, `/snapshot`,
+    /// `/exemplars`, `/trace/{id}`, `/profile`) on an ephemeral port,
+    /// see [`VlsaServer::metrics_addr`].
     pub metrics: bool,
+    /// Request-tracing sampling and retention policy. Tracing state
+    /// always exists (client-requested traces are always honored);
+    /// `sample_every: 0` turns off server-initiated sampling.
+    pub trace: ObsConfig,
     /// Idle read timeout per connection; bounds how long shutdown
     /// waits for connection threads to notice the stop flag.
     pub read_timeout: Duration,
@@ -50,6 +65,7 @@ impl Default for ServerConfig {
             shards: 1,
             shard: ShardConfig::default(),
             metrics: false,
+            trace: ObsConfig::default(),
             read_timeout: Duration::from_millis(200),
         }
     }
@@ -97,19 +113,21 @@ pub struct ServerStats {
     pub protocol_errors: AtomicU64,
 }
 
-/// The running service: accept loop + shard pool + optional `/metrics`.
+/// The running service: accept loop + shard pool + trace state +
+/// optional HTTP observability mount.
 pub struct VlsaServer {
     accept: AcceptLoop,
     scrape: Option<ScrapeServer>,
     pool: Arc<ShardPool>,
     stats: Arc<ServerStats>,
+    obs: Arc<ServerObs>,
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl VlsaServer {
-    /// Binds the wire-protocol listener (and the `/metrics` endpoint if
-    /// configured) and starts the shard workers.
+    /// Binds the wire-protocol listener (and the HTTP observability
+    /// endpoints if configured) and starts the shard workers.
     ///
     /// # Errors
     ///
@@ -118,15 +136,29 @@ impl VlsaServer {
     pub fn start(config: ServerConfig) -> Result<VlsaServer, ServerError> {
         let pool = Arc::new(ShardPool::start(&config.shard, config.shards)?);
         let stats = Arc::new(ServerStats::default());
+        let obs = Arc::new(ServerObs::new(config.trace, config.shards));
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        if vlsa_telemetry::is_enabled() {
+            // One constant-1 gauge whose labels carry the build/config
+            // identity, the Prometheus `build_info` convention.
+            vlsa_telemetry::recorder()
+                .gauge(&labeled_multi(
+                    metric::BUILD_INFO,
+                    &[
+                        ("version", env!("CARGO_PKG_VERSION")),
+                        ("nbits", &config.shard.nbits.to_string()),
+                        ("window", &config.shard.window.to_string()),
+                        ("shards", &config.shards.to_string()),
+                        ("cycle_ns", &config.shard.cycle_ns.to_string()),
+                    ],
+                ))
+                .set(1.0);
+        }
         let scrape = if config.metrics {
-            let registry = vlsa_telemetry::recorder();
-            let snap = Arc::clone(&registry);
-            Some(ScrapeServer::start(
+            Some(ScrapeServer::with_routes(
                 "127.0.0.1:0",
-                Arc::new(move || exposition(&registry)),
-                Arc::new(move || snap.snapshot().to_string()),
+                observability_routes(&config, Arc::clone(&obs)),
             )?)
         } else {
             None
@@ -134,12 +166,14 @@ impl VlsaServer {
         let accept = AcceptLoop::spawn("vlsa-server-accept", &config.addr, {
             let pool = Arc::clone(&pool);
             let stats = Arc::clone(&stats);
+            let obs = Arc::clone(&obs);
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
             let read_timeout = config.read_timeout;
             Arc::new(move |stream: TcpStream| {
                 let pool = Arc::clone(&pool);
                 let stats = Arc::clone(&stats);
+                let obs = Arc::clone(&obs);
                 let stop = Arc::clone(&stop);
                 stats.connections.fetch_add(1, Ordering::Relaxed);
                 if vlsa_telemetry::is_enabled() {
@@ -149,7 +183,9 @@ impl VlsaServer {
                 }
                 let handle = std::thread::Builder::new()
                     .name("vlsa-conn".to_string())
-                    .spawn(move || serve_connection(stream, &pool, &stats, &stop, read_timeout));
+                    .spawn(move || {
+                        serve_connection(stream, &pool, &stats, &obs, &stop, read_timeout)
+                    });
                 if let Ok(handle) = handle {
                     // Handles of finished connections accumulate until
                     // shutdown; fine at bench scale, and join-at-exit
@@ -163,6 +199,7 @@ impl VlsaServer {
             scrape,
             pool,
             stats,
+            obs,
             stop,
             conns,
         })
@@ -181,6 +218,11 @@ impl VlsaServer {
     /// The shard pool (stats, degrade flags).
     pub fn pool(&self) -> &ShardPool {
         &self.pool
+    }
+
+    /// The trace state (rings, exemplars, sampling counters).
+    pub fn obs(&self) -> &Arc<ServerObs> {
+        &self.obs
     }
 
     /// Connection-level counters.
@@ -225,6 +267,101 @@ impl std::fmt::Debug for VlsaServer {
     }
 }
 
+/// The HTTP observability route table (see the module docs for the
+/// full list). `/profile` runs the sampler inline on the accept thread:
+/// the endpoint blocks for the requested duration by design, and the
+/// scrape server handles one request at a time anyway.
+fn observability_routes(config: &ServerConfig, obs: Arc<ServerObs>) -> Vec<Route> {
+    let registry = vlsa_telemetry::recorder();
+    let build_info = Json::obj()
+        .set("version", env!("CARGO_PKG_VERSION"))
+        .set("nbits", config.shard.nbits as u64)
+        .set("window", config.shard.window as u64)
+        .set("shards", config.shards as u64)
+        .set("cycle_ns", config.shard.cycle_ns)
+        .set("trace_sample_every", config.trace.sample_every);
+    let mut routes = Vec::new();
+    {
+        let registry = Arc::clone(&registry);
+        routes.push(Route::exact(
+            "/metrics",
+            Arc::new(move |_path: &str, _query: &str| HttpResponse {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8".to_string(),
+                body: exposition(&registry),
+            }),
+        ));
+    }
+    {
+        let registry = Arc::clone(&registry);
+        let build_info = build_info.clone();
+        routes.push(Route::exact(
+            "/snapshot",
+            Arc::new(move |_path: &str, _query: &str| {
+                let doc = Json::obj()
+                    .set("build", build_info.clone())
+                    .set("metrics", registry.snapshot());
+                HttpResponse::ok_json(doc.to_string())
+            }),
+        ));
+    }
+    {
+        let obs = Arc::clone(&obs);
+        routes.push(Route::exact(
+            "/exemplars",
+            Arc::new(move |_path: &str, _query: &str| {
+                HttpResponse::ok_json(obs.exemplars_json().to_string())
+            }),
+        ));
+    }
+    {
+        let obs = Arc::clone(&obs);
+        routes.push(Route::prefix(
+            "/trace/",
+            Arc::new(move |path: &str, query: &str| {
+                let id_str = path.strip_prefix("/trace/").unwrap_or("");
+                let Ok(trace_id) = id_str.parse::<u64>() else {
+                    return HttpResponse::bad_request(format!(
+                        "trace id must be a decimal u64, got {id_str:?}"
+                    ));
+                };
+                match obs.lookup(trace_id) {
+                    Some(trace) => {
+                        let doc = if query_param(query, "format") == Some("chrome") {
+                            trace.chrome_json()
+                        } else {
+                            trace.to_json()
+                        };
+                        HttpResponse::ok_json(doc.to_string())
+                    }
+                    None => HttpResponse::not_found(format!(
+                        "no trace {trace_id} in the rings (evicted or never sampled)"
+                    )),
+                }
+            }),
+        ));
+    }
+    routes.push(Route::exact(
+        "/profile",
+        Arc::new(move |_path: &str, query: &str| {
+            let seconds = query_param(query, "seconds")
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(1)
+                .clamp(1, 30);
+            let hz = query_param(query, "hz")
+                .and_then(|s| s.parse::<u32>().ok())
+                .unwrap_or(99);
+            let profile = vlsa_profile::sample(Duration::from_secs(seconds), hz);
+            if query_param(query, "format") == Some("json") {
+                HttpResponse::ok_json(profile.to_json().to_string())
+            } else {
+                HttpResponse::ok_text(profile.to_folded())
+            }
+        }),
+    ));
+    routes
+}
+
 /// One connection's protocol loop: read a frame, answer it, repeat.
 /// Every exit path is clean — a typed error frame where the protocol
 /// allows one, then teardown of *this* connection only.
@@ -232,6 +369,7 @@ fn serve_connection(
     mut stream: TcpStream,
     pool: &ShardPool,
     stats: &ServerStats,
+    obs: &ServerObs,
     stop: &AtomicBool,
     read_timeout: Duration,
 ) {
@@ -252,17 +390,47 @@ fn serve_connection(
         }
         match read_frame(&mut stream) {
             Ok(Frame::AddBatch(request)) => {
+                // The sampling decision: client-requested traces are
+                // always honored (and echoed on the wire); otherwise
+                // the server self-samples every Nth request with a
+                // generated id, ring-only — the response stays
+                // extension-free for untraced clients.
+                let trace = match request.trace {
+                    Some(tc) if tc.is_sampled() => Some(JobTrace {
+                        trace_id: tc.trace_id,
+                        echo: true,
+                        start_us: obs.now_us(),
+                    }),
+                    Some(_) => None,
+                    None => obs.should_self_sample().then(|| JobTrace {
+                        trace_id: obs.next_trace_id(),
+                        echo: false,
+                        start_us: obs.now_us(),
+                    }),
+                };
                 let (tx, rx) = channel();
-                let response = match pool.submit(request, tx) {
+                let reply = match pool.submit_traced(request, tx, trace) {
                     Ok(()) => match rx.recv() {
-                        Ok(frame) => frame,
+                        Ok(reply) => reply,
                         // The worker dropped the reply sender without
                         // answering: shutdown raced the request.
-                        Err(_) => Frame::Error(ProtocolError::Shutdown.to_frame()),
+                        Err(_) => Reply {
+                            frame: Frame::Error(ProtocolError::Shutdown.to_frame()),
+                            trace: None,
+                        },
                     },
-                    Err(frame) => *frame,
+                    Err(frame) => Reply {
+                        frame: *frame,
+                        trace: None,
+                    },
                 };
-                if write_frame(&mut stream, &response).is_err() {
+                let write_start = Instant::now();
+                let wrote = write_frame(&mut stream, &reply.frame).is_ok();
+                if let Some(mut rt) = reply.trace {
+                    rt.write_us = write_start.elapsed().as_micros().min(u32::MAX as u128) as u32;
+                    obs.record(rt);
+                }
+                if !wrote {
                     break;
                 }
             }

@@ -28,11 +28,13 @@ use vlsa_monitor::{ConformanceMonitor, MonitorConfig};
 use vlsa_pipeline::{ResilienceConfig, ResilientPipeline};
 use vlsa_telemetry::names::{labeled, server as metric};
 use vlsa_telemetry::DEFAULT_BUCKETS;
-use vlsa_trace::TraceEvent;
+use vlsa_trace::{RequestTrace, TraceEvent};
 
 use crate::batcher::{BatchPolicy, Batcher};
 use crate::error::ProtocolError;
-use crate::protocol::{AddBatch, Busy, Frame, OpResult, SumBatch, FLAG_EXACT, FLAG_STALLED};
+use crate::protocol::{
+    AddBatch, Busy, Frame, OpResult, ServerTiming, SumBatch, FLAG_EXACT, FLAG_STALLED,
+};
 use crate::queue::{Bounded, PushError};
 
 /// Per-shard configuration, shared by every shard in a pool.
@@ -70,15 +72,43 @@ impl Default for ShardConfig {
     }
 }
 
+/// The sampling decision attached to a job at submit time.
+#[derive(Clone, Copy, Debug)]
+pub struct JobTrace {
+    /// The request's trace id (client-chosen or server-generated).
+    pub trace_id: u64,
+    /// Whether to echo a [`ServerTiming`] extension on the `SumBatch`
+    /// (true only for client-requested traces — untraced clients never
+    /// receive extension bytes).
+    pub echo: bool,
+    /// Microseconds since the server's trace epoch at submit time; the
+    /// recorded span tree's root timestamp.
+    pub start_us: u64,
+}
+
+/// What a worker sends back per job: the response frame plus — for
+/// sampled requests — the trace with every server-side phase filled in
+/// except `write_us`, which the connection thread measures around the
+/// actual socket write before recording the trace.
+#[derive(Debug)]
+pub struct Reply {
+    /// The response frame to write to the client.
+    pub frame: Frame,
+    /// The request's trace, when it was sampled.
+    pub trace: Option<RequestTrace>,
+}
+
 /// A queued unit of work: one client request plus its reply channel.
 #[derive(Debug)]
 pub struct Job {
     /// The decoded request.
     pub request: AddBatch,
-    /// Where the worker sends the response frame.
-    pub reply: Sender<Frame>,
+    /// Where the worker sends the response.
+    pub reply: Sender<Reply>,
     /// When the request entered the queue (latency measurement base).
     pub enqueued: Instant,
+    /// The sampling decision, made at submit time.
+    pub trace: Option<JobTrace>,
 }
 
 /// Lock-free per-shard counters, shared between the worker and
@@ -225,7 +255,22 @@ impl ShardPool {
     /// # Errors
     ///
     /// The response frame to send when the request was not accepted.
-    pub fn submit(&self, request: AddBatch, reply: Sender<Frame>) -> Result<(), Box<Frame>> {
+    pub fn submit(&self, request: AddBatch, reply: Sender<Reply>) -> Result<(), Box<Frame>> {
+        self.submit_traced(request, reply, None)
+    }
+
+    /// [`ShardPool::submit`] with an explicit sampling decision; `Some`
+    /// makes the worker fill in a [`RequestTrace`] on the reply.
+    ///
+    /// # Errors
+    ///
+    /// The response frame to send when the request was not accepted.
+    pub fn submit_traced(
+        &self,
+        request: AddBatch,
+        reply: Sender<Reply>,
+        trace: Option<JobTrace>,
+    ) -> Result<(), Box<Frame>> {
         let shard_id = self.route(request.request_id);
         let shard = &self.shards[shard_id];
         let request_id = request.request_id;
@@ -233,6 +278,7 @@ impl ShardPool {
             request,
             reply,
             enqueued: Instant::now(),
+            trace,
         };
         match shard.queue.try_push(job) {
             Ok(_) => Ok(()),
@@ -378,6 +424,14 @@ fn worker_loop(
     });
     let metrics = vlsa_telemetry::is_enabled().then(|| ShardMetrics::resolve(shard_id));
     let spans = vlsa_trace::recorder();
+    // The worker's marker stack for the on-demand sampling profiler:
+    // `/profile` snapshots tell you which phase each shard is in.
+    let stack = vlsa_profile::register_thread(&format!("vlsa-shard-{shard_id}"));
+    let f_wait = vlsa_profile::frame("batch_wait");
+    let f_service = vlsa_profile::frame("pipeline_service");
+    let f_monitor = vlsa_profile::frame("conformance_monitor");
+    let f_pace = vlsa_profile::frame("device_pace");
+    let f_reply = vlsa_profile::frame("reply_dispatch");
     let mask = if config.nbits == 64 {
         u64::MAX
     } else {
@@ -390,15 +444,20 @@ fn worker_loop(
     let mut was_degraded = false;
 
     loop {
-        let jobs = batcher.next_batch();
+        let (jobs, formation_start) = {
+            let _in_wait = stack.push(f_wait);
+            batcher.next_batch_timed()
+        };
         if jobs.is_empty() {
             break; // closed and drained
         }
+        let batch_ready = Instant::now();
         let batch_start_cycle = total_cycles;
         let mut batch_cycles = 0u64;
         let mut batch_ops = 0u64;
         let mut replies = Vec::with_capacity(jobs.len());
         for job in jobs {
+            let _in_service = stack.push(f_service);
             // The pool routes every width through the same shard
             // pipeline; requests narrower than the shard adder still
             // add correctly because operands are masked to the
@@ -416,10 +475,17 @@ fn worker_loop(
                 .collect();
             let batch = pipeline.run_batch(&ops);
             if let Some(m) = monitor.as_mut() {
+                let _in_monitor = stack.push(f_monitor);
                 for (&(a, b), outcome) in ops.iter().zip(&batch.outcomes) {
                     m.observe(a & mask, b & mask, outcome.stalled, outcome.cycles);
                 }
+                if let Some(jt) = &job.trace {
+                    // Drift alerts closing over this window cite the
+                    // sampled requests that fed it.
+                    m.note_exemplar(jt.trace_id);
+                }
             }
+            let compute_end = Instant::now();
             batch_cycles += batch.stats.cycles;
             batch_ops += batch.stats.ops;
             stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -443,12 +509,39 @@ fn worker_loop(
                     flags: u8::from(o.stalled) * FLAG_STALLED + u8::from(o.exact_path) * FLAG_EXACT,
                 })
                 .collect();
-            let frame = Frame::SumBatch(SumBatch {
-                request_id: job.request.request_id,
-                shard: shard_id,
-                results,
+            // Phase decomposition: queue (enqueue → formation start),
+            // linger (formation start → batch dispatch), service (batch
+            // dispatch → this job computed — head-of-batch wait counts
+            // as service of the batch). Phases are contiguous so they
+            // sum to the request's server-side residency.
+            let trace = job.trace.map(|jt| {
+                let linger_from = formation_start.max(job.enqueued);
+                RequestTrace {
+                    trace_id: jt.trace_id,
+                    request_id: job.request.request_id,
+                    shard: shard_id,
+                    nbits: job.request.nbits,
+                    ops: batch.stats.ops as u32,
+                    stalls: batch.stats.er_recoveries as u32,
+                    exact_ops: exact as u32,
+                    cycles: batch.stats.cycles,
+                    start_us: jt.start_us,
+                    queue_us: us32(formation_start.saturating_duration_since(job.enqueued)),
+                    linger_us: us32(batch_ready.saturating_duration_since(linger_from)),
+                    service_us: us32(compute_end.saturating_duration_since(batch_ready)),
+                    pace_us: 0,  // filled after the pacing sleep
+                    write_us: 0, // filled by the connection thread
+                }
             });
-            replies.push((frame, job.reply, job.enqueued));
+            replies.push(PendingReply {
+                request_id: job.request.request_id,
+                results,
+                reply: job.reply,
+                enqueued: job.enqueued,
+                echo: job.trace.is_some_and(|jt| jt.echo),
+                trace,
+                compute_end,
+            });
         }
         total_cycles += batch_cycles;
         stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -457,6 +550,7 @@ fn worker_loop(
         // batch_cycles × cycle_ns after the device last went free (or
         // after compute began, if the device sat idle).
         if config.cycle_ns > 0 {
+            let _in_pace = stack.push(f_pace);
             let now = Instant::now();
             if device_free < now {
                 device_free = now;
@@ -470,15 +564,37 @@ fn worker_loop(
 
         // Replies go out only once the modeled device is done, so the
         // measured latency includes the modeled service time.
-        for (frame, reply, enqueued) in replies {
-            let latency_us = enqueued.elapsed().as_micros() as u64;
+        let dispatch = Instant::now();
+        let _in_reply = stack.push(f_reply);
+        for pending in replies {
+            let latency_us = pending.enqueued.elapsed().as_micros() as u64;
             if let Some(m) = &metrics {
                 m.latency.record(latency_us);
             }
+            let trace = pending.trace.map(|mut rt| {
+                // Device pacing plus any tail of the batch computed
+                // after this job — everything between this job's
+                // compute end and reply dispatch.
+                rt.pace_us = us32(dispatch.saturating_duration_since(pending.compute_end));
+                rt
+            });
+            let timing = trace.filter(|_| pending.echo).map(|rt| ServerTiming {
+                trace_id: rt.trace_id,
+                queue_us: rt.queue_us,
+                linger_us: rt.linger_us,
+                service_us: rt.service_us,
+                pace_us: rt.pace_us,
+            });
+            let frame = Frame::SumBatch(SumBatch {
+                request_id: pending.request_id,
+                shard: shard_id,
+                results: pending.results,
+                timing,
+            });
             // A send error means the client vanished; its result dies
             // with the channel, which is fine — the op was still
             // executed and accounted.
-            let _ = reply.send(frame);
+            let _ = pending.reply.send(Reply { frame, trace });
         }
 
         let degraded_now = degrade.load(Ordering::Relaxed) || pipeline.is_degraded();
@@ -513,6 +629,23 @@ fn worker_loop(
     }
 }
 
+/// A computed job parked between the compute loop and reply dispatch.
+struct PendingReply {
+    request_id: u64,
+    results: Vec<OpResult>,
+    reply: Sender<Reply>,
+    enqueued: Instant,
+    echo: bool,
+    trace: Option<RequestTrace>,
+    compute_end: Instant,
+}
+
+/// A duration as whole microseconds, saturating at `u32::MAX` (~71
+/// minutes — far beyond any real phase).
+fn us32(d: Duration) -> u32 {
+    d.as_micros().min(u32::MAX as u128) as u32
+}
+
 fn request_mask(nbits: u8) -> u64 {
     if nbits >= 64 {
         u64::MAX
@@ -533,11 +666,12 @@ mod tests {
                 request_id,
                 nbits: 32,
                 ops,
+                trace: None,
             },
             tx,
         )
         .expect("accepted");
-        match rx.recv().expect("reply") {
+        match rx.recv().expect("reply").frame {
             Frame::SumBatch(s) => s,
             other => panic!("expected sums, got {other:?}"),
         }
@@ -598,6 +732,7 @@ mod tests {
                 request_id: 0,
                 nbits: 32,
                 ops: vec![(1, 2); 200], // ≥ 200 modeled ms of pacing
+                trace: None,
             },
             tx,
         )
@@ -612,6 +747,7 @@ mod tests {
                     request_id: id,
                     nbits: 32,
                     ops: vec![(1, 2)],
+                    trace: None,
                 },
                 tx,
             ) {
@@ -632,7 +768,10 @@ mod tests {
         assert_eq!(pool.totals().shed, busy);
         // Every accepted request still gets its answer — shed ≠ drop.
         for rx in receivers {
-            assert!(matches!(rx.recv().expect("reply"), Frame::SumBatch(_)));
+            assert!(matches!(
+                rx.recv().expect("reply").frame,
+                Frame::SumBatch(_)
+            ));
         }
         pool.shutdown();
     }
@@ -656,6 +795,7 @@ mod tests {
                     request_id: 1,
                     nbits: 32,
                     ops: vec![(1, 2)],
+                    trace: None,
                 },
                 tx,
             )
@@ -688,6 +828,89 @@ mod tests {
         assert_eq!(pool.degraded_shards(), 1);
         assert!(pool.stats(0).degraded);
         assert!(!pool.stats(1).degraded);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn traced_jobs_come_back_with_a_contiguous_phase_decomposition() {
+        let pool = ShardPool::start(
+            &ShardConfig {
+                nbits: 32,
+                window: 16,
+                cycle_ns: 1_000, // make device_pace nonzero and visible
+                ..ShardConfig::default()
+            },
+            1,
+        )
+        .expect("valid config");
+        let (tx, rx) = channel();
+        let submitted = Instant::now();
+        pool.submit_traced(
+            AddBatch {
+                request_id: 5,
+                nbits: 32,
+                ops: vec![(1, 2); 256],
+                trace: None,
+            },
+            tx,
+            Some(JobTrace {
+                trace_id: 0xFACE,
+                echo: true,
+                start_us: 12,
+            }),
+        )
+        .expect("accepted");
+        let reply = rx.recv().expect("reply");
+        let observed_us = submitted.elapsed().as_micros() as u64;
+        let rt = reply.trace.expect("sampled job carries a trace");
+        assert_eq!(rt.trace_id, 0xFACE);
+        assert_eq!(rt.request_id, 5);
+        assert_eq!(rt.shard, 0);
+        assert_eq!(rt.start_us, 12);
+        assert_eq!(rt.ops, 256);
+        // Phases sum to the server-side residency, which cannot exceed
+        // what the submitter observed (write_us is still 0 here).
+        assert_eq!(rt.write_us, 0);
+        assert!(rt.total_us() <= observed_us + 1);
+        // 256 single-cycle-ish ops at 1 µs/cycle: pacing must show up.
+        assert!(rt.pace_us > 0, "{rt:?}");
+        // The echoed wire timing mirrors the trace phases exactly.
+        let Frame::SumBatch(sums) = reply.frame else {
+            panic!("expected sums");
+        };
+        let timing = sums.timing.expect("echo requested");
+        assert_eq!(timing.trace_id, 0xFACE);
+        assert_eq!(
+            timing.total_us(),
+            u64::from(rt.queue_us)
+                + u64::from(rt.linger_us)
+                + u64::from(rt.service_us)
+                + u64::from(rt.pace_us)
+        );
+
+        // echo: false keeps the wire clean but still returns the trace.
+        let (tx, rx) = channel();
+        pool.submit_traced(
+            AddBatch {
+                request_id: 6,
+                nbits: 32,
+                ops: vec![(3, 4)],
+                trace: None,
+            },
+            tx,
+            Some(JobTrace {
+                trace_id: 0xBEEF,
+                echo: false,
+                start_us: 0,
+            }),
+        )
+        .expect("accepted");
+        let reply = rx.recv().expect("reply");
+        assert_eq!(reply.trace.expect("traced").trace_id, 0xBEEF);
+        let Frame::SumBatch(sums) = reply.frame else {
+            panic!("expected sums");
+        };
+        assert!(sums.timing.is_none(), "server-sampled replies stay bare");
         pool.shutdown();
     }
 

@@ -174,6 +174,7 @@ fn a_client_sending_a_response_frame_is_told_off_and_disconnected() {
         request_id: 1,
         shard: 0,
         results: Vec::new(),
+        timing: None,
     });
     let bytes = frame.encode();
     stream.write_all(&bytes).expect("write");

@@ -79,6 +79,7 @@ fn run_through_pool(ops: &[(u64, u64)], shards: usize) -> Vec<OpResult> {
                 request_id: id as u64,
                 nbits: NBITS as u8,
                 ops: chunk.to_vec(),
+                trace: None,
             },
             tx,
         )
@@ -87,7 +88,7 @@ fn run_through_pool(ops: &[(u64, u64)], shards: usize) -> Vec<OpResult> {
     }
     let mut results = Vec::with_capacity(ops.len());
     for (id, rx) in receivers.into_iter().enumerate() {
-        match rx.recv().expect("reply") {
+        match rx.recv().expect("reply").frame {
             Frame::SumBatch(sums) => {
                 assert_eq!(sums.request_id, id as u64);
                 assert_eq!(usize::from(sums.shard), id % shards);

@@ -1,0 +1,310 @@
+//! Trace-context wire compatibility: the optional extension must be
+//! invisible to clients and servers that do not speak it.
+//!
+//! Three guarantees, each checked over the real wire where it matters:
+//! extension-free frames are byte-for-byte identical to the
+//! pre-extension protocol (golden bytes); malformed extension payloads
+//! are answered with a typed `BadExtension` error frame, never a panic
+//! or a hang; and a mixed fleet — traced and untraced clients against
+//! the same server — round-trips with each client seeing exactly the
+//! protocol it speaks.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use vlsa_server::protocol::{self, EXT_TRACE};
+use vlsa_server::{
+    read_frame, AddBatch, Busy, Frame, OpResult, ProtocolError, Response, ServerConfig, SumBatch,
+    TraceContext, VlsaClient, VlsaServer,
+};
+
+/// The pre-extension encoding of `AddBatch { request_id: 7, nbits: 16,
+/// ops: [(1, 2)] }`, written out by hand from the protocol table. Any
+/// drift here is a wire break for old clients.
+const GOLDEN_ADD_BATCH: [u8; 34] = [
+    30,
+    0,
+    0,
+    0, // length: type byte + 29-byte body
+    protocol::TYPE_ADD_BATCH,
+    7,
+    0,
+    0,
+    0,
+    0,
+    0,
+    0,
+    0,  // request_id u64
+    16, // nbits
+    1,
+    0,
+    0,
+    0, // op count u32
+    1,
+    0,
+    0,
+    0,
+    0,
+    0,
+    0,
+    0, // a
+    2,
+    0,
+    0,
+    0,
+    0,
+    0,
+    0,
+    0, // b
+];
+
+/// The pre-extension encoding of `SumBatch { request_id: 7, shard: 1,
+/// results: [{sum: 3, stalled}] }`.
+const GOLDEN_SUM_BATCH: [u8; 28] = [
+    24,
+    0,
+    0,
+    0, // length
+    protocol::TYPE_SUM_BATCH,
+    7,
+    0,
+    0,
+    0,
+    0,
+    0,
+    0,
+    0, // request_id u64
+    1,
+    0, // shard u16
+    1,
+    0,
+    0,
+    0, // result count u32
+    3,
+    0,
+    0,
+    0,
+    0,
+    0,
+    0,
+    0, // sum
+    protocol::FLAG_STALLED,
+];
+
+#[test]
+fn extension_free_frames_are_byte_identical_to_the_pre_extension_protocol() {
+    let add = Frame::AddBatch(AddBatch {
+        request_id: 7,
+        nbits: 16,
+        ops: vec![(1, 2)],
+        trace: None,
+    });
+    assert_eq!(add.encode(), GOLDEN_ADD_BATCH, "AddBatch wire drift");
+    assert_eq!(
+        Frame::decode(GOLDEN_ADD_BATCH[4], &GOLDEN_ADD_BATCH[5..]).expect("golden decodes"),
+        add
+    );
+
+    let sum = Frame::SumBatch(SumBatch {
+        request_id: 7,
+        shard: 1,
+        results: vec![OpResult {
+            sum: 3,
+            flags: protocol::FLAG_STALLED,
+        }],
+        timing: None,
+    });
+    assert_eq!(sum.encode(), GOLDEN_SUM_BATCH, "SumBatch wire drift");
+    assert_eq!(
+        Frame::decode(GOLDEN_SUM_BATCH[4], &GOLDEN_SUM_BATCH[5..]).expect("golden decodes"),
+        sum
+    );
+
+    // Busy never grew an extension; pin it too.
+    let busy = Frame::Busy(Busy {
+        request_id: 9,
+        shard: 1,
+        queue_depth: 64,
+    });
+    let golden_busy: [u8; 19] = [
+        15,
+        0,
+        0,
+        0,
+        protocol::TYPE_BUSY,
+        9,
+        0,
+        0,
+        0,
+        0,
+        0,
+        0,
+        0, // request_id
+        1,
+        0, // shard
+        64,
+        0,
+        0,
+        0, // queue_depth
+    ];
+    assert_eq!(busy.encode(), golden_busy, "Busy wire drift");
+}
+
+#[test]
+fn a_traced_add_batch_is_the_golden_frame_plus_the_tagged_extension() {
+    // The extension is strictly additive: the traced encoding starts
+    // with the untraced body bytes (only the length prefix differs).
+    let traced = Frame::AddBatch(AddBatch {
+        request_id: 7,
+        nbits: 16,
+        ops: vec![(1, 2)],
+        trace: Some(TraceContext::sampled(0x0102_0304_0506_0708)),
+    })
+    .encode();
+    assert_eq!(traced[4..], {
+        let mut expected = GOLDEN_ADD_BATCH[4..].to_vec();
+        expected.push(EXT_TRACE);
+        expected.extend_from_slice(&0x0102_0304_0506_0708u64.to_le_bytes());
+        expected.push(protocol::FLAG_TRACE_SAMPLED);
+        expected
+    });
+    assert_eq!(
+        u32::from_le_bytes(traced[..4].try_into().expect("prefix")),
+        30 + 10 // base body + tag + trace_id + flags
+    );
+}
+
+fn start_server() -> VlsaServer {
+    VlsaServer::start(ServerConfig {
+        shards: 2,
+        read_timeout: Duration::from_millis(50),
+        ..ServerConfig::default()
+    })
+    .expect("start")
+}
+
+/// Sends raw bytes on a fresh connection and reads the answer.
+fn send_raw(server: &VlsaServer, bytes: &[u8]) -> Frame {
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.write_all(bytes).expect("write");
+    stream.flush().expect("flush");
+    read_frame(&mut stream).expect("a frame back")
+}
+
+#[test]
+fn garbage_and_oversized_trace_extensions_get_typed_errors_over_the_wire() {
+    let mut server = start_server();
+    let base = Frame::AddBatch(AddBatch {
+        request_id: 4,
+        nbits: 32,
+        ops: vec![(1, 2)],
+        trace: Some(TraceContext::sampled(7)),
+    })
+    .encode();
+    // Offsets inside the encoded frame: prefix 4, type 1, request_id 8,
+    // nbits 1, count 4, one op 16 → the extension tag sits at 34.
+    let ext_tag = 4 + 1 + 8 + 1 + 4 + 16;
+    assert_eq!(base[ext_tag], protocol::EXT_TRACE);
+    let bad_extension = ProtocolError::BadExtension(String::new()).code();
+
+    // Unknown extension tag.
+    let mut unknown_tag = base.clone();
+    unknown_tag[ext_tag] = 0x99;
+    // Zero trace id (the no-trace sentinel must never travel).
+    let mut zero_id = base.clone();
+    zero_id[ext_tag + 1..ext_tag + 9].fill(0);
+    // Reserved flag bits.
+    let mut reserved_flags = base.clone();
+    *reserved_flags.last_mut().expect("flags byte") = 0xFF;
+    for (label, bytes) in [
+        ("unknown tag", &unknown_tag),
+        ("zero trace id", &zero_id),
+        ("reserved flags", &reserved_flags),
+    ] {
+        match send_raw(&server, bytes) {
+            Frame::Error(e) => assert_eq!(e.code, bad_extension, "{label}"),
+            other => panic!("{label}: expected error frame, got {other:?}"),
+        }
+    }
+
+    // An oversized extension — trailing bytes past the complete
+    // payload — cannot be an extension at all: malformed.
+    let mut oversized = base.clone();
+    oversized.extend_from_slice(&[0xAB; 16]);
+    let new_len = (oversized.len() - 4) as u32;
+    oversized[..4].copy_from_slice(&new_len.to_le_bytes());
+    match send_raw(&server, &oversized) {
+        Frame::Error(e) => {
+            assert_eq!(e.code, ProtocolError::Malformed(String::new()).code());
+        }
+        other => panic!("oversized extension: expected error frame, got {other:?}"),
+    }
+
+    // A truncated extension payload is malformed too.
+    let mut truncated = base.clone();
+    truncated.truncate(base.len() - 4);
+    let new_len = (truncated.len() - 4) as u32;
+    truncated[..4].copy_from_slice(&new_len.to_le_bytes());
+    match send_raw(&server, &truncated) {
+        Frame::Error(e) => {
+            assert_eq!(e.code, ProtocolError::Malformed(String::new()).code());
+        }
+        other => panic!("truncated extension: expected error frame, got {other:?}"),
+    }
+
+    // None of it poisoned the server for well-behaved clients.
+    let mut client = VlsaClient::connect(server.addr()).expect("connect");
+    match client.add_batch(16, &[(40, 2)]).expect("request") {
+        Response::Sums(sums) => assert_eq!(sums.results[0].sum, 42),
+        Response::Busy(_) => panic!("no load, must not shed"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn a_mixed_traced_and_untraced_fleet_round_trips_against_one_server() {
+    let mut server = start_server();
+    let addr = server.addr();
+    let mut workers = Vec::new();
+    for c in 0..4u64 {
+        workers.push(std::thread::spawn(move || {
+            let mut client = VlsaClient::connect(addr).expect("connect");
+            for r in 0..25u64 {
+                let request_id = c * 100 + r;
+                // Even-numbered clients are old (never send the
+                // extension); odd ones trace every request.
+                let trace = (c % 2 == 1).then(|| TraceContext::sampled((c << 32) | (r + 1)));
+                let response = client
+                    .request_traced(request_id, 32, &[(request_id, 1)], trace)
+                    .expect("request");
+                let Response::Sums(sums) = response else {
+                    panic!("no load, must not shed");
+                };
+                assert_eq!(sums.request_id, request_id);
+                assert_eq!(sums.results[0].sum, request_id + 1);
+                match trace {
+                    // Traced requests get the decomposition, tagged
+                    // with the id the client chose.
+                    Some(tc) => {
+                        let timing = sums.timing.expect("traced request echoes timing");
+                        assert_eq!(timing.trace_id, tc.trace_id);
+                    }
+                    // Old clients never see bytes they cannot parse.
+                    None => assert_eq!(sums.timing, None),
+                }
+            }
+        }));
+    }
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+    assert_eq!(
+        server
+            .stats()
+            .protocol_errors
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
+    server.shutdown();
+}

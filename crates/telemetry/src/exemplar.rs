@@ -1,0 +1,285 @@
+//! Tail-latency exemplars: per-bucket retention of the worst observed
+//! value *and the trace id that produced it*.
+//!
+//! A histogram answers "how many requests landed between 16 ms and
+//! 65 ms?"; an [`ExemplarSet`] answers the follow-up question every
+//! p999 investigation starts with: "*which* request was the worst one
+//! in that bucket?" — by keeping, per bucket, the maximum observed
+//! value together with its trace id. The bucket bounds mirror the
+//! histogram the exemplars annotate, so an exemplar is always one hop
+//! from the bucket a scraped quantile points at.
+//!
+//! Recording is a binary search plus one short mutex-protected compare
+//! — exemplars are only recorded for *sampled* (traced) requests, so
+//! the lock is uncontended in practice and correctness under concurrent
+//! recording is exact: after any interleaving, each slot holds the
+//! maximum value ever observed for that bucket.
+
+use std::sync::Mutex;
+
+use crate::histogram::DEFAULT_BUCKETS;
+use crate::json::Json;
+
+/// One retained exemplar: the worst value seen in a bucket and the
+/// trace id of the request that produced it. A `trace_id` of 0 marks an
+/// empty slot (0 is not a valid trace id on the wire).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value (same unit as the annotated histogram).
+    pub value: u64,
+    /// Trace id of the request that observed it; 0 = empty slot.
+    pub trace_id: u64,
+}
+
+impl Exemplar {
+    /// Whether this slot has recorded anything.
+    pub fn is_set(&self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+/// Per-bucket worst-request exemplars over histogram-style bounds.
+///
+/// # Examples
+///
+/// ```
+/// use vlsa_telemetry::ExemplarSet;
+///
+/// let ex = ExemplarSet::new(&[10, 100]);
+/// ex.observe(7, 0xA);
+/// ex.observe(9, 0xB); // same bucket, worse value: replaces 0xA
+/// ex.observe(500, 0xC); // overflow bucket
+/// let buckets = ex.snapshot();
+/// assert_eq!(buckets[0].1.trace_id, 0xB);
+/// assert!(!buckets[1].1.is_set());
+/// assert_eq!(buckets[2].1.trace_id, 0xC); // le: None = overflow
+/// ```
+#[derive(Debug)]
+pub struct ExemplarSet {
+    /// Ascending inclusive upper bounds (the annotated histogram's).
+    bounds: Vec<u64>,
+    /// One slot per bound plus the trailing overflow slot.
+    slots: Vec<Mutex<Exemplar>>,
+}
+
+impl ExemplarSet {
+    /// An exemplar set over the given ascending inclusive upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending (the same
+    /// contract as `Histogram::new`).
+    pub fn new(bounds: &[u64]) -> ExemplarSet {
+        assert!(!bounds.is_empty(), "exemplars need at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "exemplar bounds must be strictly ascending"
+        );
+        ExemplarSet {
+            bounds: bounds.to_vec(),
+            slots: (0..=bounds.len()).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    /// An exemplar set over [`DEFAULT_BUCKETS`] — the bounds the
+    /// server's per-shard latency histograms use.
+    pub fn with_default_buckets() -> ExemplarSet {
+        ExemplarSet::new(DEFAULT_BUCKETS)
+    }
+
+    /// Records one observation for `trace_id`. Replaces the bucket's
+    /// exemplar when `value` is at least as large as the retained one,
+    /// so the slot always holds the *most recent worst* request.
+    ///
+    /// Calls with `trace_id == 0` (no trace context) are ignored: an
+    /// exemplar without an id to look up is useless.
+    pub fn observe(&self, value: u64, trace_id: u64) {
+        if trace_id == 0 {
+            return;
+        }
+        let idx = match self.bounds.binary_search(&value) {
+            Ok(i) => i,
+            Err(i) => i, // i == bounds.len() is the overflow slot
+        };
+        let mut slot = self.slots[idx].lock().expect("exemplar lock");
+        if !slot.is_set() || value >= slot.value {
+            *slot = Exemplar { value, trace_id };
+        }
+    }
+
+    /// Per-slot `(inclusive_upper_bound, exemplar)` pairs; the final
+    /// entry is the overflow slot with `None` as its bound.
+    pub fn snapshot(&self) -> Vec<(Option<u64>, Exemplar)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let ex = *slot.lock().expect("exemplar lock");
+                (self.bounds.get(i).copied(), ex)
+            })
+            .collect()
+    }
+
+    /// The exemplar with the largest value across all buckets — the
+    /// single worst traced request this set has seen.
+    pub fn worst(&self) -> Option<Exemplar> {
+        self.snapshot()
+            .into_iter()
+            .map(|(_, ex)| ex)
+            .filter(Exemplar::is_set)
+            .max_by_key(|ex| ex.value)
+    }
+
+    /// Non-empty slots as a JSON array. Trace ids are rendered as
+    /// decimal strings: they are opaque 64-bit tokens and a JSON double
+    /// cannot hold all of them exactly.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .snapshot()
+            .into_iter()
+            .filter(|(_, ex)| ex.is_set())
+            .map(|(le, ex)| {
+                let doc = Json::obj()
+                    .set("max", ex.value)
+                    .set("trace_id", ex.trace_id.to_string());
+                match le {
+                    Some(le) => doc.set("le", le),
+                    None => doc.set("le", "+Inf"),
+                }
+            })
+            .collect();
+        Json::obj().set("buckets", Json::Arr(buckets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn retains_the_worst_value_per_bucket() {
+        let ex = ExemplarSet::new(&[10, 100]);
+        ex.observe(5, 1);
+        ex.observe(3, 2); // smaller: bucket keeps id 1
+        ex.observe(50, 3);
+        ex.observe(50, 4); // ties replace: most recent worst wins
+        ex.observe(1000, 5);
+        let snap = ex.snapshot();
+        assert_eq!(
+            snap[0],
+            (
+                Some(10),
+                Exemplar {
+                    value: 5,
+                    trace_id: 1
+                }
+            )
+        );
+        assert_eq!(
+            snap[1],
+            (
+                Some(100),
+                Exemplar {
+                    value: 50,
+                    trace_id: 4
+                }
+            )
+        );
+        assert_eq!(
+            snap[2],
+            (
+                None,
+                Exemplar {
+                    value: 1000,
+                    trace_id: 5
+                }
+            )
+        );
+        assert_eq!(
+            ex.worst(),
+            Some(Exemplar {
+                value: 1000,
+                trace_id: 5
+            })
+        );
+    }
+
+    #[test]
+    fn zero_trace_id_is_ignored() {
+        let ex = ExemplarSet::new(&[10]);
+        ex.observe(5, 0);
+        assert!(ex.snapshot().iter().all(|(_, e)| !e.is_set()));
+        assert_eq!(ex.worst(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_bounds() {
+        let _ = ExemplarSet::new(&[4, 2]);
+    }
+
+    #[test]
+    fn json_skips_empty_slots_and_stringifies_ids() {
+        let ex = ExemplarSet::new(&[10, 100]);
+        ex.observe(7, u64::MAX);
+        ex.observe(500, 9);
+        let doc = Json::parse(&ex.to_json().to_string()).expect("valid JSON");
+        let buckets = doc.get("buckets").and_then(Json::as_arr).expect("arr");
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].get("le").and_then(Json::as_u64), Some(10));
+        assert_eq!(
+            buckets[0].get("trace_id").and_then(Json::as_str),
+            Some("18446744073709551615")
+        );
+        assert_eq!(buckets[1].get("le").and_then(Json::as_str), Some("+Inf"));
+        assert_eq!(buckets[1].get("trace_id").and_then(Json::as_str), Some("9"));
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_the_maximum_per_bucket() {
+        // The satellite contract: under arbitrary interleavings of
+        // concurrent observes, every bucket ends up holding the maximum
+        // value any thread recorded into it.
+        let ex = Arc::new(ExemplarSet::new(&[64, 4096, 1 << 20]));
+        let threads = 8;
+        let per_thread = 2000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let ex = Arc::clone(&ex);
+                std::thread::spawn(move || {
+                    // Deterministic pseudo-random values per thread.
+                    let mut state = 0x9E37_79B9u64.wrapping_mul(t + 1);
+                    for i in 0..per_thread {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let value = state >> 42; // 0 .. ~4.2M
+                        ex.observe(value, (t << 32) | (i + 1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("recorder thread");
+        }
+        // Replay the same streams single-threaded to get ground truth.
+        let expected = ExemplarSet::new(&[64, 4096, 1 << 20]);
+        for t in 0..threads {
+            let mut state = 0x9E37_79B9u64.wrapping_mul(t + 1);
+            for i in 0..per_thread {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                expected.observe(state >> 42, (t << 32) | (i + 1));
+            }
+        }
+        for ((le_a, got), (le_b, want)) in ex.snapshot().into_iter().zip(expected.snapshot()) {
+            assert_eq!(le_a, le_b);
+            // Values must agree exactly; trace ids may differ on ties
+            // (several threads can observe the same maximum).
+            assert_eq!(got.value, want.value, "bucket {le_a:?}");
+            assert_eq!(got.is_set(), want.is_set(), "bucket {le_a:?}");
+        }
+    }
+}

@@ -326,6 +326,64 @@ mod tests {
     fn quantile_of_empty_histogram_is_none() {
         let h = Histogram::with_default_buckets();
         assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_that_sample() {
+        let h = Histogram::with_default_buckets();
+        h.record(37);
+        for q in [0.0, 0.25, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), Some(37.0), "q={q}");
+        }
+        assert_eq!(h.min(), Some(37));
+        assert_eq!(h.max(), Some(37));
+    }
+
+    #[test]
+    fn quantile_with_all_mass_in_one_bucket_stays_in_range() {
+        // Every sample lands in the (16, 32] bucket; interpolation must
+        // stay inside the *observed* range, not the bucket's bounds.
+        let h = Histogram::with_default_buckets();
+        for v in [20u64, 24, 28] {
+            h.record(v);
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 0.999, 1.0] {
+            let v = h.quantile(q).expect("nonempty");
+            assert!((20.0..=28.0).contains(&v), "q={q} gave {v}");
+        }
+        assert_eq!(h.quantile(0.0), Some(20.0));
+        assert_eq!(h.quantile(1.0), Some(28.0));
+    }
+
+    #[test]
+    fn quantile_with_all_mass_in_overflow_bucket() {
+        let h = Histogram::new(&[10]);
+        h.record(50);
+        h.record(90);
+        // All mass above the last bound: quantiles interpolate inside
+        // [min, max] and never fall back below the last bound.
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            let v = h.quantile(q).expect("nonempty");
+            assert!((50.0..=90.0).contains(&v), "q={q} gave {v}");
+        }
+        assert_eq!(h.quantile(1.0), Some(90.0));
+    }
+
+    #[test]
+    fn saturating_overflow_bucket_does_not_panic() {
+        // record_n saturates the running sum instead of wrapping; the
+        // count and quantiles stay exact even at u64::MAX observations.
+        let h = Histogram::with_default_buckets();
+        h.record_n(u64::MAX, 3);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX); // saturated product, not wrapped
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX as f64));
+        let p50 = h.quantile(0.5).expect("nonempty");
+        assert!(p50 >= 1.0, "{p50}");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! their own with a [`ScopedRecorder`] guard.
 
 pub mod counter;
+pub mod exemplar;
 pub mod histogram;
 pub mod json;
 pub mod names;
@@ -38,6 +39,7 @@ pub mod registry;
 pub mod sink;
 
 pub use counter::{Counter, Gauge};
+pub use exemplar::{Exemplar, ExemplarSet};
 pub use histogram::{Histogram, DEFAULT_BUCKETS};
 pub use json::{Json, JsonError};
 pub use registry::Registry;

@@ -122,6 +122,11 @@ pub mod server {
     pub const LATENCY_P999_US: &str = "vlsa.server.latency_p999_us";
     /// Shards flipped into degraded (exact-only) mode by monitor drift.
     pub const DEGRADED_SHARDS: &str = "vlsa.server.degraded_shards";
+    /// Constant-`1` gauge whose labels carry the build and serving
+    /// configuration (crate version, operand width, speculation window,
+    /// shard count, modeled cycle time) so scraped data is
+    /// self-describing. Rendered as `vlsa_server_build_info{...} 1`.
+    pub const BUILD_INFO: &str = "vlsa.server.build_info";
 }
 
 /// Attaches a `key=value` label to a metric name: `labeled("vlsa.server
@@ -139,14 +144,47 @@ pub fn labeled(name: &str, key: &str, value: impl std::fmt::Display) -> String {
 /// Splits a possibly-labeled name into `(base, Some((key, value)))`, or
 /// `(name, None)` when it carries no `#key=value` suffix (a malformed
 /// suffix without `=` is treated as part of the base name).
+///
+/// Multi-label names ([`labeled_multi`]) return only the *first* label
+/// here; exporters that render every label use [`split_labels`].
 pub fn split_label(name: &str) -> (&str, Option<(&str, &str)>) {
-    match name.split_once('#') {
-        Some((base, label)) => match label.split_once('=') {
-            Some((key, value)) => (base, Some((key, value))),
-            None => (name, None),
-        },
-        None => (name, None),
+    let (base, labels) = split_labels(name);
+    (base, labels.first().copied())
+}
+
+/// Attaches several `key=value` labels to a metric name:
+/// `labeled_multi("vlsa.server.build_info", &[("version", "0.1.0"),
+/// ("shards", "4")])` → `vlsa.server.build_info#version=0.1.0#shards=4`.
+///
+/// Like [`labeled`], the registry treats the result as one opaque
+/// instrument name; [`split_labels`] recovers the parts.
+pub fn labeled_multi(name: &str, labels: &[(&str, &str)]) -> String {
+    let mut out = String::from(name);
+    for (key, value) in labels {
+        out.push('#');
+        out.push_str(key);
+        out.push('=');
+        out.push_str(value);
     }
+    out
+}
+
+/// Splits a possibly-labeled name into `(base, labels)` where every
+/// `#key=value` segment becomes one pair, in order. If *any* `#` segment
+/// lacks an `=`, the whole name is treated as an unlabeled base name
+/// (mirroring [`split_label`]'s malformed-suffix rule).
+pub fn split_labels(name: &str) -> (&str, Vec<(&str, &str)>) {
+    let Some((base, rest)) = name.split_once('#') else {
+        return (name, Vec::new());
+    };
+    let mut labels = Vec::new();
+    for segment in rest.split('#') {
+        match segment.split_once('=') {
+            Some(pair) => labels.push(pair),
+            None => return (name, Vec::new()),
+        }
+    }
+    (base, labels)
 }
 
 /// `vlsa.sim.*` — gate-level simulation profiling and fault-campaign
@@ -201,5 +239,31 @@ mod tests {
         );
         // A stray `#` without `=` stays part of the base name.
         assert_eq!(super::split_label("a#b"), ("a#b", None));
+    }
+
+    #[test]
+    fn multi_labels_round_trip() {
+        let name = super::labeled_multi(
+            super::server::BUILD_INFO,
+            &[("version", "0.1.0"), ("nbits", "64"), ("shards", "4")],
+        );
+        assert_eq!(
+            name,
+            "vlsa.server.build_info#version=0.1.0#nbits=64#shards=4"
+        );
+        let (base, labels) = super::split_labels(&name);
+        assert_eq!(base, "vlsa.server.build_info");
+        assert_eq!(
+            labels,
+            vec![("version", "0.1.0"), ("nbits", "64"), ("shards", "4")]
+        );
+        // split_label sees the first label of a multi-label name.
+        assert_eq!(
+            super::split_label(&name),
+            ("vlsa.server.build_info", Some(("version", "0.1.0")))
+        );
+        // One malformed segment poisons the whole suffix.
+        assert_eq!(super::split_labels("a#k=v#junk"), ("a#k=v#junk", vec![]));
+        assert_eq!(super::split_labels("plain"), ("plain", vec![]));
     }
 }

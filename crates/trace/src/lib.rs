@@ -40,12 +40,14 @@
 
 mod chrome;
 mod replay;
+pub mod request;
 mod ring;
 mod span;
 mod vcd;
 
 pub use chrome::{arg_u64, chrome_trace};
 pub use replay::{extract_ops, RecordedOp, ReplayError};
+pub use request::{RequestTrace, TraceRing};
 pub use ring::FlightRecorder;
 pub use span::{names, Phase, TraceEvent, MAX_ARGS};
 pub use vcd::{VcdId, VcdWriter};
