@@ -1,0 +1,94 @@
+//! Fleet aggregator daemon: scrapes N `vlsa-server` processes and
+//! serves the merged fleet view (the CI `slo-smoke` job pairs this
+//! with two `serve` processes and `loadgen`).
+//!
+//! Usage:
+//!   cargo run --release -p vlsa-bench --bin aggregate -- \
+//!       --targets 127.0.0.1:9101,127.0.0.1:9102 \
+//!       --addr 127.0.0.1:0 --interval-ms 500 --serve-secs 60 \
+//!       --addr-file aggregate.addr
+//!
+//! Flags: `--targets <host:port,host:port,...>` (required; the
+//! *metrics* addresses of the member processes), `--addr <host:port>`
+//! (default ephemeral), `--interval-ms <ms>` (sweep period, default
+//! 500), `--serve-secs <s>` (default 60), `--slo demo|standard`
+//! (fleet objectives, default demo), `--addr-file <path>` (write the
+//! bound address for scripts).
+//!
+//! Routes served: `/metrics` (Prometheus exposition of the merged
+//! fleet registry), `/snapshot` (sweep metadata + merged series),
+//! `/slo` (fleet error-budget status), `/healthz`, `/readyz` (503
+//! while targets are down or a fleet SLO page fires).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use vlsa_bench::fleet::{Aggregator, FleetConfig};
+use vlsa_bench::report::{parse_arg, split_value_flag, ArgError};
+use vlsa_monitor::write_addr_file;
+use vlsa_slo::Objectives;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let split = |args, flag| split_value_flag(args, flag).unwrap_or_else(|e: ArgError| e.exit());
+    let (args, targets) = split(args, "targets");
+    let (args, addr) = split(args, "addr");
+    let (args, interval_ms) = split(args, "interval-ms");
+    let (args, serve_secs) = split(args, "serve-secs");
+    let (args, slo) = split(args, "slo");
+    let (args, addr_file) = split(args, "addr-file");
+    if let Some(unexpected) = args.get(1) {
+        ArgError::Unexpected {
+            arg: unexpected.clone(),
+        }
+        .exit();
+    }
+
+    let Some(targets) = targets else {
+        eprintln!("error: --targets <host:port,host:port,...> is required");
+        std::process::exit(2);
+    };
+    let targets: Vec<std::net::SocketAddr> = targets
+        .split(',')
+        .map(|t| parse_arg("--targets", t.trim()).unwrap_or_else(|e| e.exit()))
+        .collect();
+    let parsed = |flag: &str, value: Option<String>, default: u64| {
+        value.map_or(default, |v| {
+            parse_arg(flag, &v).unwrap_or_else(|e| e.exit())
+        })
+    };
+    let interval_ms = parsed("--interval-ms", interval_ms, 500);
+    let serve_secs = parsed("--serve-secs", serve_secs, 60);
+    let objectives = match slo.as_deref() {
+        None | Some("demo") => Objectives::demo(),
+        Some("standard") => Objectives::standard(),
+        Some(other) => {
+            eprintln!("error: --slo must be `demo` or `standard`, got `{other}`");
+            std::process::exit(2);
+        }
+    };
+
+    let target_count = targets.len();
+    let mut aggregator = Aggregator::start(FleetConfig {
+        targets,
+        interval: Duration::from_millis(interval_ms),
+        objectives,
+        listen: addr.unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        ..FleetConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "aggregating {target_count} target(s) every {interval_ms} ms at http://{}/metrics",
+        aggregator.addr()
+    );
+    if let Some(path) = addr_file.map(PathBuf::from) {
+        write_addr_file(aggregator.addr(), &path).expect("write address file");
+    }
+    std::thread::sleep(Duration::from_secs(serve_secs));
+    println!("completed {} sweep(s); shutting down", aggregator.sweeps());
+    aggregator.shutdown();
+}

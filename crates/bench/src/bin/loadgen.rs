@@ -16,10 +16,19 @@
 //!   tracing fully off versus one at the default rates, then a
 //!   queue/linger/service/pace/network decomposition of the p50, p99,
 //!   and p999 round trips from the traced run.
+//! - **SLO fleet** (`--slo`): the benchmark behind `BENCH_slo.json` —
+//!   spawns a 2-process fleet of `serve` subprocesses (build that bin
+//!   first), aggregates them, drives nominal/drift/overload/recovery
+//!   phases, and records the fleet burn trajectory plus the
+//!   fleet-vs-pooled-ground-truth latency quantile check. Exits
+//!   nonzero if the fleet view diverges from ground truth, overload
+//!   fails to page, or the page fails to clear.
 //!
 //! Usage:
 //!   cargo run --release -p vlsa-bench --bin loadgen -- --json BENCH_server.json
 //!   cargo run --release -p vlsa-bench --bin loadgen -- --obs --json BENCH_obs.json
+//!   cargo build --release -p vlsa-bench --bin serve && \
+//!       cargo run --release -p vlsa-bench --bin loadgen -- --slo --json BENCH_slo.json
 //!   cargo run --release -p vlsa-bench --bin loadgen -- \
 //!       --addr "$(cat server.addr)" --connections 8 --requests 50 \
 //!       --ops 64 --mix mixed --rate 500000 --trace-every 8
@@ -40,6 +49,7 @@ use vlsa_bench::report::{args_without_json, parse_arg, split_value_flag, ArgErro
 use vlsa_bench::serverbench::{
     run_load, run_obs_bench, run_sweep, sample_at_quantile, standard_sweep, LoadConfig, Mix,
 };
+use vlsa_bench::slobench::{checks_pass, run_slo_bench};
 use vlsa_telemetry::Json;
 
 fn main() -> ExitCode {
@@ -55,11 +65,26 @@ fn main() -> ExitCode {
     let (args, seed) = split(args, "seed");
     let (args, trace_every) = split(args, "trace-every");
     let obs_flag = args.iter().any(|a| a == "--obs");
-    if let Some(unexpected) = args[1..].iter().find(|a| *a != "--obs") {
+    let slo_flag = args.iter().any(|a| a == "--slo");
+    if let Some(unexpected) = args[1..].iter().find(|a| *a != "--obs" && *a != "--slo") {
         ArgError::Unexpected {
             arg: unexpected.clone(),
         }
         .exit();
+    }
+
+    if slo_flag {
+        // SLO fleet mode: the committed BENCH_slo.json.
+        let report = run_slo_bench().unwrap_or_else(|e| {
+            eprintln!("error: slo fleet bench failed: {e}");
+            std::process::exit(1);
+        });
+        report.write_if(&json_path);
+        if !checks_pass(&report) {
+            eprintln!("FAILED: an SLO fleet check did not pass (see `checks` in the report)");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
     }
 
     if obs_flag {

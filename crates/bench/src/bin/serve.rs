@@ -14,8 +14,13 @@
 //! self-sampling — client-requested traces are always honored),
 //! `--addr-file <path>` / `--metrics-addr-file <path>` (write the
 //! bound addresses for scripts), `--metrics` (mount the Prometheus
-//! endpoint, plus `/snapshot`, `/exemplars`, `/trace/{id}`, and
-//! `/profile`).
+//! endpoint, plus `/snapshot`, `/exemplars`, `/trace/{id}`,
+//! `/profile`, `/healthz`, and `/readyz`), `--queue-capacity <n>`
+//! (per-shard admission queue depth), `--slo demo|standard` (enable
+//! the SLO engine and the `/slo` route; `demo` compresses the burn
+//! windows for scripted tests), `--events` / `--events-file <path>`
+//! (canonical wide events at `/events`, optionally mirrored to a
+//! JSON-lines file).
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -23,7 +28,8 @@ use std::time::Duration;
 use vlsa_bench::report::{parse_arg, split_value_flag, ArgError};
 use vlsa_bench::serverbench::SWEEP_CYCLE_NS;
 use vlsa_monitor::write_addr_file;
-use vlsa_server::{ObsConfig, ServerConfig, ShardConfig, VlsaServer};
+use vlsa_server::{EventLogConfig, ObsConfig, ServerConfig, ShardConfig, VlsaServer};
+use vlsa_slo::Objectives;
 use vlsa_telemetry::ScopedRecorder;
 
 fn main() {
@@ -37,8 +43,15 @@ fn main() {
     let (args, trace_every) = split(args, "trace-every");
     let (args, addr_file) = split(args, "addr-file");
     let (args, metrics_addr_file) = split(args, "metrics-addr-file");
+    let (args, queue_capacity) = split(args, "queue-capacity");
+    let (args, slo) = split(args, "slo");
+    let (args, events_file) = split(args, "events-file");
     let metrics_flag = args.iter().any(|a| a == "--metrics");
-    if let Some(unexpected) = args[1..].iter().find(|a| *a != "--metrics") {
+    let events_flag = args.iter().any(|a| a == "--events");
+    if let Some(unexpected) = args[1..]
+        .iter()
+        .find(|a| *a != "--metrics" && *a != "--events")
+    {
         ArgError::Unexpected {
             arg: unexpected.clone(),
         }
@@ -58,6 +71,21 @@ fn main() {
         trace_every,
         ObsConfig::default().sample_every,
     );
+    let queue_capacity = parsed(
+        "--queue-capacity",
+        queue_capacity,
+        ShardConfig::default().queue_capacity as u64,
+    ) as usize;
+    let objectives = slo.map(|v| match v.as_str() {
+        "demo" => Objectives::demo(),
+        "standard" => Objectives::standard(),
+        other => {
+            eprintln!("error: --slo must be `demo` or `standard`, got `{other}`");
+            std::process::exit(2);
+        }
+    });
+    let events_file = events_file.map(PathBuf::from);
+    let events = (events_flag || events_file.is_some()).then(EventLogConfig::default);
 
     // The scrape endpoint reads the global recorder, so install it for
     // the server's lifetime: every counter in `vlsa.server.*` is live.
@@ -68,6 +96,7 @@ fn main() {
         shard: ShardConfig {
             nbits,
             cycle_ns,
+            queue_capacity,
             ..ShardConfig::default()
         },
         metrics: metrics_flag,
@@ -75,6 +104,9 @@ fn main() {
             sample_every,
             ..ObsConfig::default()
         },
+        slo: objectives,
+        events,
+        events_file,
         ..ServerConfig::default()
     })
     .unwrap_or_else(|e| {

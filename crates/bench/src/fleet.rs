@@ -1,0 +1,561 @@
+//! Fleet-level metric aggregation: scrape N `vlsa-server` processes,
+//! merge their series, and watch the *fleet's* SLOs.
+//!
+//! Per-process scrape endpoints answer "how is this process doing";
+//! capacity and user experience are fleet questions. The aggregator
+//! polls each target's `/snapshot`, merges every series into a fresh
+//! fleet registry per sweep (counters sum, gauges keep the max,
+//! histograms merge bucket-wise between identical ladders — see
+//! `vlsa_telemetry::Registry::merge_snapshot`), feeds a fleet-level
+//! [`SloEngine`] from counter *deltas* between sweeps, and serves the
+//! merged view on its own scrape server:
+//!
+//! | route | serves |
+//! |---|---|
+//! | `/metrics` | Prometheus exposition of the merged fleet registry |
+//! | `/snapshot` | sweep metadata + the merged registry as JSON |
+//! | `/slo` | fleet error-budget and burn-rate status |
+//! | `/healthz` | liveness of the aggregator itself |
+//! | `/readyz` | 503 while targets are down or a fleet SLO page fires |
+//!
+//! Because each sweep rebuilds the fleet registry from absolute
+//! per-process counters, fleet counters are monotone while every
+//! target stays up; a failed scrape makes sums dip, which the delta
+//! feed clamps to zero (no data beats wrong data) and `/readyz`
+//! reports via `targets_up`.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use vlsa_monitor::{exposition, http_get, HttpResponse, Route, ScrapeServer};
+use vlsa_slo::{Objectives, SloEngine};
+use vlsa_telemetry::names::{fleet as fleet_metric, monitor, resilience, server, split_labels};
+use vlsa_telemetry::{Histogram, Json, Registry};
+
+/// Aggregator configuration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Scrape endpoints of the member processes.
+    pub targets: Vec<SocketAddr>,
+    /// Sweep period.
+    pub interval: Duration,
+    /// Per-scrape HTTP timeout.
+    pub timeout: Duration,
+    /// Fleet SLO objectives (the latency threshold doubles as the
+    /// histogram-bucket split for good/bad latency events).
+    pub objectives: Objectives,
+    /// Listen address for the aggregator's own scrape server.
+    pub listen: String,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            targets: Vec::new(),
+            interval: Duration::from_millis(500),
+            timeout: Duration::from_secs(2),
+            objectives: Objectives::demo(),
+            listen: "127.0.0.1:0".to_string(),
+        }
+    }
+}
+
+/// The outcome of one scrape sweep.
+#[derive(Debug)]
+pub struct FleetSweep {
+    /// The merged fleet registry.
+    pub registry: Arc<Registry>,
+    /// Targets that answered with a mergeable snapshot.
+    pub up: usize,
+    /// Targets that failed (transport, HTTP, parse, or merge).
+    pub errors: usize,
+}
+
+/// Scrapes every target's `/snapshot` and merges the `metrics`
+/// sections into a fresh registry.
+pub fn scrape_fleet(targets: &[SocketAddr], timeout: Duration) -> FleetSweep {
+    let registry = Arc::new(Registry::new());
+    let mut up = 0;
+    let mut errors = 0;
+    for &target in targets {
+        let merged = http_get(target, "/snapshot", timeout)
+            .ok()
+            .filter(|(status, _)| *status == 200)
+            .and_then(|(_, body)| Json::parse(&body).ok())
+            .and_then(|doc| doc.get("metrics").cloned())
+            .is_some_and(|metrics| registry.merge_snapshot(&metrics).is_ok());
+        if merged {
+            up += 1;
+        } else {
+            errors += 1;
+        }
+    }
+    FleetSweep {
+        registry,
+        up,
+        errors,
+    }
+}
+
+/// The merge of every per-shard request-latency histogram in a fleet
+/// registry — the fleet's end-to-end latency distribution.
+pub fn merged_latency(registry: &Registry) -> Option<Histogram> {
+    let mut merged: Option<Histogram> = None;
+    for (name, h) in registry.histograms() {
+        if split_labels(&name).0 != server::REQUEST_LATENCY_US {
+            continue;
+        }
+        match &merged {
+            None => merged = Some(h.as_ref().clone()),
+            Some(m) => m.merge_from(&h).ok()?,
+        }
+    }
+    merged
+}
+
+/// Events at or under `threshold_us` in a latency histogram — the
+/// latency SLO's good-event count. Exact because SLO thresholds are
+/// chosen on bucket boundaries.
+fn count_le(h: &Histogram, threshold_us: u64) -> u64 {
+    h.buckets()
+        .iter()
+        .filter(|(bound, _)| *bound <= threshold_us)
+        .map(|(_, count)| count)
+        .sum()
+}
+
+/// Fleet SLO accountant: turns consecutive merged registries into
+/// good/bad event deltas for a [`SloEngine`].
+#[derive(Debug)]
+pub struct FleetSlo {
+    engine: SloEngine,
+    threshold_us: u64,
+    prev_requests: u64,
+    prev_shed: u64,
+    prev_ops: u64,
+    prev_corr_bad: u64,
+    prev_lat_total: u64,
+    prev_lat_le: u64,
+}
+
+impl FleetSlo {
+    /// A fresh accountant for the given objectives.
+    pub fn new(objectives: Objectives) -> FleetSlo {
+        let threshold_us = objectives.latency_threshold_us;
+        FleetSlo {
+            engine: SloEngine::new(objectives),
+            threshold_us,
+            prev_requests: 0,
+            prev_shed: 0,
+            prev_ops: 0,
+            prev_corr_bad: 0,
+            prev_lat_total: 0,
+            prev_lat_le: 0,
+        }
+    }
+
+    /// Feeds one sweep's merged registry at `now_ns` and re-evaluates
+    /// every burn-rate rule. Deltas are clamped at zero so a partial
+    /// sweep (a target down) registers as missing data, not as
+    /// negative traffic.
+    pub fn observe_at(&mut self, now_ns: u64, registry: &Registry) {
+        // Availability: answered requests vs sheds.
+        let requests = registry.counter_value(server::REQUESTS);
+        let shed = registry.counter_value(server::SHED);
+        let avail_good = requests.saturating_sub(self.prev_requests);
+        let avail_bad = shed.saturating_sub(self.prev_shed);
+        self.prev_requests = self.prev_requests.max(requests);
+        self.prev_shed = self.prev_shed.max(shed);
+        self.engine
+            .record_availability(now_ns, avail_good, avail_bad);
+
+        // Latency: replies at or under the threshold, from the merged
+        // per-shard histograms.
+        let (lat_total, lat_le) = merged_latency(registry)
+            .map_or((0, 0), |h| (h.count(), count_le(&h, self.threshold_us)));
+        let total_d = lat_total.saturating_sub(self.prev_lat_total);
+        let le_d = lat_le.saturating_sub(self.prev_lat_le).min(total_d);
+        self.prev_lat_total = self.prev_lat_total.max(lat_total);
+        self.prev_lat_le = self.prev_lat_le.max(lat_le);
+        self.engine.record_latency(now_ns, le_d, total_d - le_d);
+
+        // Correctness: residue catches and conformance alerts against
+        // ops served.
+        let ops = registry.counter_value(server::OPS);
+        let corr_bad_total = registry
+            .counter_value(resilience::RESIDUE_MISMATCHES)
+            .saturating_add(registry.counter_value(monitor::ALERTS));
+        let ops_d = ops.saturating_sub(self.prev_ops);
+        let bad_d = corr_bad_total.saturating_sub(self.prev_corr_bad).min(ops_d);
+        self.prev_ops = self.prev_ops.max(ops);
+        self.prev_corr_bad = self.prev_corr_bad.max(corr_bad_total);
+        self.engine
+            .record_correctness(now_ns, ops_d.saturating_sub(bad_d), bad_d);
+
+        self.engine.evaluate(now_ns);
+    }
+
+    /// Page-severity rules currently firing.
+    pub fn pages_firing(&self) -> usize {
+        self.engine.pages_firing()
+    }
+
+    /// Warn-severity rules currently firing.
+    pub fn warns_firing(&self) -> usize {
+        self.engine.warns_firing()
+    }
+
+    /// The engine's full status document.
+    pub fn status(&self, now_ns: u64) -> Json {
+        self.engine.status(now_ns)
+    }
+}
+
+/// State shared between the sweep thread and the HTTP routes.
+#[derive(Debug)]
+struct Shared {
+    registry: Mutex<Arc<Registry>>,
+    slo: Mutex<FleetSlo>,
+    epoch: Instant,
+    targets: Vec<SocketAddr>,
+    timeout: Duration,
+    sweeps: AtomicU64,
+    scrape_errors: AtomicU64,
+    targets_up: AtomicU64,
+    clock_ns: AtomicU64,
+}
+
+impl Shared {
+    /// One sweep: scrape, merge, stamp fleet self-metrics, feed the
+    /// SLO accountant, publish.
+    fn sweep(&self) {
+        let sweep = scrape_fleet(&self.targets, self.timeout);
+        let now_ns = self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        self.scrape_errors
+            .fetch_add(sweep.errors as u64, Ordering::Relaxed);
+        self.targets_up.store(sweep.up as u64, Ordering::Relaxed);
+        self.clock_ns.store(now_ns, Ordering::Relaxed);
+        // The aggregator's own accounting rides in the same registry,
+        // so one scrape of the aggregator tells the whole story.
+        sweep
+            .registry
+            .counter(fleet_metric::SCRAPES)
+            .add(self.sweeps.load(Ordering::Relaxed));
+        sweep
+            .registry
+            .counter(fleet_metric::SCRAPE_ERRORS)
+            .add(self.scrape_errors.load(Ordering::Relaxed));
+        sweep
+            .registry
+            .gauge(fleet_metric::TARGETS_UP)
+            .set(sweep.up as f64);
+        self.slo
+            .lock()
+            .expect("fleet slo lock")
+            .observe_at(now_ns, &sweep.registry);
+        *self.registry.lock().expect("fleet registry lock") = sweep.registry;
+    }
+
+    fn status_json(&self) -> Json {
+        let now_ns = self.clock_ns.load(Ordering::Relaxed);
+        self.slo.lock().expect("fleet slo lock").status(now_ns)
+    }
+}
+
+/// The running aggregator: a sweep thread plus a scrape server over
+/// the merged view.
+#[derive(Debug)]
+pub struct Aggregator {
+    shared: Arc<Shared>,
+    server: ScrapeServer,
+    stop: Arc<AtomicBool>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Aggregator {
+    /// Starts sweeping `config.targets` every `config.interval` and
+    /// serving the merged view on `config.listen`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-setup failures from the scrape server.
+    pub fn start(config: FleetConfig) -> std::io::Result<Aggregator> {
+        let shared = Arc::new(Shared {
+            registry: Mutex::new(Arc::new(Registry::new())),
+            slo: Mutex::new(FleetSlo::new(config.objectives.clone())),
+            epoch: Instant::now(),
+            targets: config.targets.clone(),
+            timeout: config.timeout,
+            sweeps: AtomicU64::new(0),
+            scrape_errors: AtomicU64::new(0),
+            targets_up: AtomicU64::new(0),
+            clock_ns: AtomicU64::new(0),
+        });
+        let server = ScrapeServer::with_routes(&config.listen, routes(&shared))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker = std::thread::Builder::new()
+            .name("vlsa-aggregate".to_string())
+            .spawn({
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&stop);
+                let interval = config.interval;
+                move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        shared.sweep();
+                        // Sleep in short slices so shutdown is prompt.
+                        let deadline = Instant::now() + interval;
+                        while !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                    }
+                }
+            })
+            .expect("spawn aggregator sweep thread");
+        Ok(Aggregator {
+            shared,
+            server,
+            stop,
+            worker: Some(worker),
+        })
+    }
+
+    /// The aggregator's scrape address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// Runs one sweep immediately (tests and scripted benches).
+    pub fn sweep_once(&self) {
+        self.shared.sweep();
+    }
+
+    /// The latest merged fleet registry.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry.lock().expect("fleet registry lock"))
+    }
+
+    /// Fleet SLO pages currently firing.
+    pub fn pages_firing(&self) -> usize {
+        self.shared
+            .slo
+            .lock()
+            .expect("fleet slo lock")
+            .pages_firing()
+    }
+
+    /// Sweeps completed.
+    pub fn sweeps(&self) -> u64 {
+        self.shared.sweeps.load(Ordering::Relaxed)
+    }
+
+    /// Stops the sweep thread and the scrape server. Idempotent; also
+    /// runs on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        self.server.shutdown();
+    }
+}
+
+impl Drop for Aggregator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn routes(shared: &Arc<Shared>) -> Vec<Route> {
+    let mut routes = Vec::new();
+    {
+        let shared = Arc::clone(shared);
+        routes.push(Route::exact(
+            "/metrics",
+            Arc::new(move |_path: &str, _query: &str| {
+                let registry = Arc::clone(&shared.registry.lock().expect("fleet registry lock"));
+                HttpResponse {
+                    status: 200,
+                    content_type: "text/plain; version=0.0.4; charset=utf-8".to_string(),
+                    body: exposition(&registry),
+                }
+            }),
+        ));
+    }
+    {
+        let shared = Arc::clone(shared);
+        routes.push(Route::exact(
+            "/snapshot",
+            Arc::new(move |_path: &str, _query: &str| {
+                let registry = Arc::clone(&shared.registry.lock().expect("fleet registry lock"));
+                let doc = Json::obj()
+                    .set(
+                        "fleet",
+                        Json::obj()
+                            .set("targets", shared.targets.len() as u64)
+                            .set("targets_up", shared.targets_up.load(Ordering::Relaxed))
+                            .set("sweeps", shared.sweeps.load(Ordering::Relaxed))
+                            .set(
+                                "scrape_errors",
+                                shared.scrape_errors.load(Ordering::Relaxed),
+                            ),
+                    )
+                    .set("metrics", registry.snapshot());
+                HttpResponse::ok_json(doc.to_string())
+            }),
+        ));
+    }
+    {
+        let shared = Arc::clone(shared);
+        routes.push(Route::exact(
+            "/slo",
+            Arc::new(move |_path: &str, _query: &str| {
+                HttpResponse::ok_json(shared.status_json().to_string())
+            }),
+        ));
+    }
+    routes.push(Route::exact(
+        "/healthz",
+        Arc::new(|_path: &str, _query: &str| {
+            HttpResponse::ok_json(Json::obj().set("ok", true).to_string())
+        }),
+    ));
+    {
+        let shared = Arc::clone(shared);
+        routes.push(Route::exact(
+            "/readyz",
+            Arc::new(move |_path: &str, _query: &str| {
+                let up = shared.targets_up.load(Ordering::Relaxed);
+                let total = shared.targets.len() as u64;
+                let pages = shared.slo.lock().expect("fleet slo lock").pages_firing() as u64;
+                let swept = shared.sweeps.load(Ordering::Relaxed) > 0;
+                let ready = swept && up == total && pages == 0;
+                let body = Json::obj()
+                    .set("ready", ready)
+                    .set("targets", total)
+                    .set("targets_up", up)
+                    .set("slo_pages_firing", pages)
+                    .to_string();
+                if ready {
+                    HttpResponse::ok_json(body)
+                } else {
+                    HttpResponse::service_unavailable(body)
+                }
+            }),
+        ));
+    }
+    routes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsa_telemetry::DEFAULT_BUCKETS;
+
+    /// A synthetic per-process registry snapshot with the counters and
+    /// histograms the fleet SLO feed reads.
+    fn process_snapshot(requests: u64, shed: u64, latencies: &[u64]) -> Json {
+        let r = Registry::new();
+        r.counter(server::REQUESTS).add(requests);
+        r.counter(server::SHED).add(shed);
+        r.counter(server::OPS).add(requests * 4);
+        let h = r.histogram(
+            &vlsa_telemetry::names::labeled(server::REQUEST_LATENCY_US, "shard", 0),
+            DEFAULT_BUCKETS,
+        );
+        for &v in latencies {
+            h.record(v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn merged_latency_pools_every_shard_histogram() {
+        let fleet = Registry::new();
+        fleet
+            .merge_snapshot(&process_snapshot(10, 0, &[100, 200, 300]))
+            .expect("merge");
+        fleet
+            .merge_snapshot(&process_snapshot(20, 0, &[400, 500]))
+            .expect("merge");
+        let merged = merged_latency(&fleet).expect("histograms present");
+        assert_eq!(merged.count(), 5);
+        assert_eq!(fleet.counter_value(server::REQUESTS), 30);
+    }
+
+    #[test]
+    fn fleet_slo_pages_on_a_fleet_wide_shed_storm_and_clears() {
+        let mut slo = FleetSlo::new(Objectives::demo());
+        let sec = 1_000_000_000u64;
+        // Healthy fleet for 60 modeled seconds.
+        let mut requests = 0u64;
+        for tick in 0..60u64 {
+            requests += 100;
+            let fleet = Registry::new();
+            fleet
+                .merge_snapshot(&process_snapshot(requests, 0, &[100]))
+                .expect("merge");
+            slo.observe_at(tick * sec, &fleet);
+        }
+        assert_eq!(slo.pages_firing(), 0, "{}", slo.status(60 * sec));
+        // Total outage: every request shed for 15 seconds.
+        let mut shed = 0u64;
+        for tick in 60..75u64 {
+            shed += 100;
+            let fleet = Registry::new();
+            fleet
+                .merge_snapshot(&process_snapshot(requests, shed, &[100]))
+                .expect("merge");
+            slo.observe_at(tick * sec, &fleet);
+        }
+        assert!(
+            slo.pages_firing() >= 1,
+            "shed storm must page: {}",
+            slo.status(75 * sec)
+        );
+        // Recovery: the storm clears once healthy traffic refills the
+        // windows.
+        for tick in 75..140u64 {
+            requests += 100;
+            let fleet = Registry::new();
+            fleet
+                .merge_snapshot(&process_snapshot(requests, shed, &[100]))
+                .expect("merge");
+            slo.observe_at(tick * sec, &fleet);
+        }
+        assert_eq!(
+            slo.pages_firing(),
+            0,
+            "recovered fleet must clear: {}",
+            slo.status(140 * sec)
+        );
+    }
+
+    #[test]
+    fn a_down_target_clamps_deltas_instead_of_going_negative() {
+        let mut slo = FleetSlo::new(Objectives::demo());
+        let sec = 1_000_000_000u64;
+        // Two processes up.
+        let fleet = Registry::new();
+        fleet
+            .merge_snapshot(&process_snapshot(1000, 0, &[100]))
+            .expect("merge");
+        fleet
+            .merge_snapshot(&process_snapshot(1000, 0, &[100]))
+            .expect("merge");
+        slo.observe_at(0, &fleet);
+        // One vanishes: sums halve. No negative deltas, no page.
+        for tick in 1..30u64 {
+            let fleet = Registry::new();
+            fleet
+                .merge_snapshot(&process_snapshot(1000 + tick, 0, &[100]))
+                .expect("merge");
+            slo.observe_at(tick * sec, &fleet);
+        }
+        assert_eq!(slo.pages_firing(), 0);
+        assert_eq!(slo.warns_firing(), 0);
+    }
+}

@@ -15,10 +15,12 @@
 //! | `summary`      | §5 headline ratios |
 //! | `crypto_attack`| §1 ciphertext-only attack demo |
 
+pub mod fleet;
 pub mod metrics;
 pub mod monitorbin;
 pub mod report;
 pub mod serverbench;
+pub mod slobench;
 pub mod tracebin;
 
 use vlsa_adders::AdderArch;

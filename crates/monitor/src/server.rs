@@ -154,11 +154,33 @@ impl HttpResponse {
         }
     }
 
+    /// A `429 Too Many Requests` JSON response — what a bounded
+    /// diagnostics endpoint (one profiling session per process) answers
+    /// when the bound is hit.
+    pub fn too_many_requests(body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status: 429,
+            content_type: "application/json".to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// A `503 Service Unavailable` JSON response — what `/readyz`
+    /// answers while the process should not take traffic.
+    pub fn service_unavailable(body: impl Into<String>) -> HttpResponse {
+        HttpResponse {
+            status: 503,
+            content_type: "application/json".to_string(),
+            body: body.into(),
+        }
+    }
+
     fn status_line(&self) -> &'static str {
         match self.status {
             200 => "200 OK",
             400 => "400 Bad Request",
             404 => "404 Not Found",
+            429 => "429 Too Many Requests",
             503 => "503 Service Unavailable",
             _ => "500 Internal Server Error",
         }
@@ -166,10 +188,11 @@ impl HttpResponse {
 }
 
 /// Handler for one matched route, given the request path and the raw
-/// query string (without the `?`; empty when absent). Runs inline on
-/// the accept thread, so slow handlers (`/profile?seconds=N`) delay
-/// other scrapes for their duration — acceptable for a diagnostics
-/// port, and documented at the mount sites.
+/// query string (without the `?`; empty when absent). Each accepted
+/// connection is served on its own short-lived thread, so a slow
+/// handler (`/profile?seconds=N`) does not block concurrent scrapes —
+/// handlers guarding a scarce resource enforce their own bound and
+/// answer [`HttpResponse::too_many_requests`] past it.
 pub type RouteFn = Arc<dyn Fn(&str, &str) -> HttpResponse + Send + Sync>;
 
 /// One entry in a [`ScrapeServer`] routing table.
@@ -222,6 +245,7 @@ impl std::fmt::Debug for Route {
 #[derive(Debug)]
 pub struct ScrapeServer {
     accept: AcceptLoop,
+    workers: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl ScrapeServer {
@@ -251,18 +275,36 @@ impl ScrapeServer {
     /// Binds `addr` and serves an arbitrary routing table. Routes are
     /// tried in order; the first match wins, unmatched paths get a 404
     /// listing the mounted routes.
+    ///
+    /// Every accepted connection is served on its own thread, so a
+    /// long-running handler (a profiling session, a slow scrape)
+    /// cannot starve `/metrics`, `/healthz`, or a concurrency-bound
+    /// check that needs to observe the in-flight request.
     pub fn with_routes(addr: &str, routes: Vec<Route>) -> io::Result<ScrapeServer> {
         let routes = Arc::new(routes);
+        let workers: Arc<std::sync::Mutex<Vec<JoinHandle<()>>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let accept_workers = Arc::clone(&workers);
         let accept = AcceptLoop::spawn(
             "vlsa-monitor-scrape",
             addr,
             Arc::new(move |stream| {
-                // One scraper, small bodies: serving inline on the
-                // accept thread is simpler and plenty fast.
-                let _ = serve_one(stream, &routes);
+                let conn_routes = Arc::clone(&routes);
+                let spawned = std::thread::Builder::new()
+                    .name("vlsa-scrape-conn".to_string())
+                    .spawn(move || {
+                        let _ = serve_one(stream, &conn_routes);
+                    });
+                if let Ok(handle) = spawned {
+                    let mut live = accept_workers.lock().expect("scrape worker lock");
+                    // Reap finished threads so the list stays bounded
+                    // by the number of genuinely concurrent requests.
+                    live.retain(|h: &JoinHandle<()>| !h.is_finished());
+                    live.push(handle);
+                }
             }),
         )?;
-        Ok(ScrapeServer { accept })
+        Ok(ScrapeServer { accept, workers })
     }
 
     /// The bound address (useful with an ephemeral port).
@@ -279,11 +321,57 @@ impl ScrapeServer {
         write_addr_file(self.addr(), path)
     }
 
-    /// Raises the stop flag, wakes the accept loop, and joins the
-    /// serving thread. Idempotent; also runs on drop.
+    /// Raises the stop flag, wakes the accept loop, joins the accept
+    /// thread, then joins every in-flight connection thread — no
+    /// response is ever cut off mid-write. Idempotent; also runs on
+    /// drop.
     pub fn shutdown(&mut self) {
         self.accept.shutdown();
+        let drained: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("scrape worker lock"));
+        for handle in drained {
+            let _ = handle.join();
+        }
     }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A minimal blocking HTTP/1.1 GET — the client half of the scrape
+/// protocol, used by the fleet aggregator and smoke tests. Returns the
+/// status code and body.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures; a response without a valid
+/// status line is reported as [`io::ErrorKind::InvalidData`].
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .or_else(|| text.strip_prefix("HTTP/1.0 "))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let body = match text.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
 }
 
 /// Reads one request off `stream`, routes it, and writes one response.
@@ -476,6 +564,67 @@ mod tests {
         assert_eq!(query_param("seconds=2", "hz"), None);
         assert_eq!(query_param("", "hz"), None);
         assert_eq!(query_param("noequals", "noequals"), None);
+    }
+
+    #[test]
+    fn connections_are_served_concurrently() {
+        // A slow handler must not block a concurrent fast request —
+        // the property the per-process profiling bound (429) relies on.
+        use std::sync::mpsc::channel;
+        let (release_tx, release_rx) = channel::<()>();
+        let release_rx = Arc::new(std::sync::Mutex::new(release_rx));
+        let server = ScrapeServer::with_routes(
+            "127.0.0.1:0",
+            vec![
+                Route::exact(
+                    "/slow",
+                    Arc::new(move |_, _| {
+                        let guard = release_rx.lock().expect("rx lock");
+                        let _ = guard.recv_timeout(Duration::from_secs(5));
+                        HttpResponse::ok_text("slow done\n")
+                    }),
+                ),
+                Route::exact("/fast", Arc::new(|_, _| HttpResponse::ok_text("fast\n"))),
+            ],
+        )
+        .expect("bind ephemeral port");
+        let addr = server.addr();
+        let slow = std::thread::spawn(move || get(addr, "/slow"));
+        // The fast route answers while /slow is still parked.
+        let (status, body) = http_get(addr, "/fast", Duration::from_secs(5)).expect("fast");
+        assert_eq!(status, 200);
+        assert_eq!(body, "fast\n");
+        release_tx.send(()).expect("release slow handler");
+        let slow_body = slow.join().expect("slow thread");
+        assert!(slow_body.contains("slow done"), "{slow_body}");
+    }
+
+    #[test]
+    fn http_get_reports_status_codes_and_bodies() {
+        let server = ScrapeServer::with_routes(
+            "127.0.0.1:0",
+            vec![
+                Route::exact(
+                    "/busy",
+                    Arc::new(|_, _| HttpResponse::too_many_requests("{\"error\":\"busy\"}")),
+                ),
+                Route::exact(
+                    "/notready",
+                    Arc::new(|_, _| HttpResponse::service_unavailable("{\"ready\":false}")),
+                ),
+            ],
+        )
+        .expect("bind ephemeral port");
+        let (status, body) =
+            http_get(server.addr(), "/busy", Duration::from_secs(2)).expect("busy");
+        assert_eq!(status, 429);
+        assert_eq!(body, "{\"error\":\"busy\"}");
+        let (status, body) =
+            http_get(server.addr(), "/notready", Duration::from_secs(2)).expect("notready");
+        assert_eq!(status, 503);
+        assert_eq!(body, "{\"ready\":false}");
+        let (status, _) = http_get(server.addr(), "/nope", Duration::from_secs(2)).expect("404");
+        assert_eq!(status, 404);
     }
 
     #[test]

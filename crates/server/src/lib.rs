@@ -62,15 +62,18 @@ pub mod protocol;
 mod batcher;
 mod client;
 mod error;
+mod events;
 mod framing;
 mod obs;
 mod queue;
 mod server;
 mod shard;
+mod slo;
 
 pub use batcher::{BatchPolicy, Batcher};
 pub use client::{ClientError, Response, VlsaClient};
 pub use error::ProtocolError;
+pub use events::{EventLog, EventLogConfig, WideEvent};
 pub use framing::{read_frame, write_frame, ReadError};
 pub use obs::{ObsConfig, ServerObs};
 pub use protocol::{
@@ -78,4 +81,7 @@ pub use protocol::{
 };
 pub use queue::{Bounded, PushError};
 pub use server::{ServerConfig, ServerError, ServerStats, VlsaServer};
-pub use shard::{Job, JobTrace, Reply, ShardConfig, ShardPool, ShardSnapshot, ShardStats};
+pub use shard::{
+    Job, JobTrace, PoolHooks, Reply, ShardConfig, ShardPool, ShardSnapshot, ShardStats,
+};
+pub use slo::{ServerSlo, SloVerdict};

@@ -15,10 +15,15 @@
 //! | `/snapshot` | build info + the registry as JSON |
 //! | `/exemplars` | per-shard worst-request trace ids per latency bucket |
 //! | `/trace/{id}` | a sampled request's span tree (`?format=chrome` for a Chrome-trace document) |
-//! | `/profile?seconds=N&hz=H` | folded stacks from the sampling profiler (`?format=json` for JSON) |
+//! | `/profile?seconds=N&hz=H` | folded stacks from the sampling profiler (`?format=json` for JSON; one session at a time, 429 otherwise) |
+//! | `/slo` | error-budget and burn-rate status per objective |
+//! | `/events?n=N` | the newest N canonical wide events, JSONL |
+//! | `/healthz` | liveness — 200 whenever the process can answer |
+//! | `/readyz` | readiness — 503 while shards are degraded or an SLO page is firing |
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex};
@@ -30,11 +35,15 @@ use vlsa_monitor::{exposition, query_param, AcceptLoop, HttpResponse, Route, Scr
 use vlsa_telemetry::names::{labeled_multi, server as metric};
 use vlsa_telemetry::Json;
 
+use vlsa_slo::Objectives;
+
 use crate::error::ProtocolError;
+use crate::events::{EventLog, EventLogConfig};
 use crate::framing::{read_frame, write_frame, ReadError};
 use crate::obs::{ObsConfig, ServerObs};
 use crate::protocol::Frame;
-use crate::shard::{JobTrace, Reply, ShardConfig, ShardPool};
+use crate::shard::{JobTrace, PoolHooks, Reply, ShardConfig, ShardPool};
+use crate::slo::ServerSlo;
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -56,6 +65,18 @@ pub struct ServerConfig {
     /// Idle read timeout per connection; bounds how long shutdown
     /// waits for connection threads to notice the stop flag.
     pub read_timeout: Duration,
+    /// SLO objectives to enforce; `Some` wires an error-budget
+    /// accountant into the shard workers and the submit path, serves
+    /// `/slo`, and couples a firing correctness page to the shard
+    /// degrade flags.
+    pub slo: Option<Objectives>,
+    /// Wide-event retention and rate-limit policy; `Some` makes every
+    /// shard worker emit one canonical event per batch, served at
+    /// `/events`.
+    pub events: Option<EventLogConfig>,
+    /// Mirror accepted wide events to a JSONL file (requires
+    /// [`ServerConfig::events`]).
+    pub events_file: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +88,9 @@ impl Default for ServerConfig {
             metrics: false,
             trace: ObsConfig::default(),
             read_timeout: Duration::from_millis(200),
+            slo: None,
+            events: None,
+            events_file: None,
         }
     }
 }
@@ -121,6 +145,8 @@ pub struct VlsaServer {
     pool: Arc<ShardPool>,
     stats: Arc<ServerStats>,
     obs: Arc<ServerObs>,
+    slo: Option<Arc<ServerSlo>>,
+    events: Option<Arc<EventLog>>,
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
@@ -134,7 +160,30 @@ impl VlsaServer {
     /// [`ServerError::Spec`] for an invalid shard config,
     /// [`ServerError::Io`] for socket failures.
     pub fn start(config: ServerConfig) -> Result<VlsaServer, ServerError> {
-        let pool = Arc::new(ShardPool::start(&config.shard, config.shards)?);
+        let slo = config.slo.clone().map(|obj| Arc::new(ServerSlo::new(obj)));
+        let events = match (config.events, &config.events_file) {
+            (Some(ev), Some(path)) => Some(Arc::new(EventLog::with_file(ev, path)?)),
+            (Some(ev), None) => Some(Arc::new(EventLog::new(ev))),
+            (None, _) => None,
+        };
+        let hooks = PoolHooks {
+            slo: slo.clone(),
+            events: events.clone(),
+        };
+        let pool = Arc::new(ShardPool::start_with_hooks(
+            &config.shard,
+            config.shards,
+            hooks,
+        )?);
+        if let Some(slo) = &slo {
+            // A firing correctness page flips every shard to the exact
+            // adder — the same flags the conformance monitor drives.
+            slo.set_degrade_signals(
+                (0..pool.shard_count())
+                    .map(|i| pool.degrade_flag(i))
+                    .collect(),
+            );
+        }
         let stats = Arc::new(ServerStats::default());
         let obs = Arc::new(ServerObs::new(config.trace, config.shards));
         let stop = Arc::new(AtomicBool::new(false));
@@ -158,7 +207,13 @@ impl VlsaServer {
         let scrape = if config.metrics {
             Some(ScrapeServer::with_routes(
                 "127.0.0.1:0",
-                observability_routes(&config, Arc::clone(&obs)),
+                observability_routes(
+                    &config,
+                    Arc::clone(&obs),
+                    Arc::clone(&pool),
+                    slo.clone(),
+                    events.clone(),
+                ),
             )?)
         } else {
             None
@@ -200,6 +255,8 @@ impl VlsaServer {
             pool,
             stats,
             obs,
+            slo,
+            events,
             stop,
             conns,
         })
@@ -228,6 +285,16 @@ impl VlsaServer {
     /// Connection-level counters.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// The SLO accountant, when [`ServerConfig::slo`] is set.
+    pub fn slo(&self) -> Option<&Arc<ServerSlo>> {
+        self.slo.as_ref()
+    }
+
+    /// The wide-event log, when [`ServerConfig::events`] is set.
+    pub fn events(&self) -> Option<&Arc<EventLog>> {
+        self.events.as_ref()
     }
 
     /// Graceful stop: no new connections, accepted requests drain and
@@ -268,10 +335,17 @@ impl std::fmt::Debug for VlsaServer {
 }
 
 /// The HTTP observability route table (see the module docs for the
-/// full list). `/profile` runs the sampler inline on the accept thread:
-/// the endpoint blocks for the requested duration by design, and the
-/// scrape server handles one request at a time anyway.
-fn observability_routes(config: &ServerConfig, obs: Arc<ServerObs>) -> Vec<Route> {
+/// full list). The scrape server serves each connection on its own
+/// thread, so `/profile` — which blocks for the requested duration by
+/// design — is bounded to one concurrent session per process; a second
+/// request while one runs gets a typed 429.
+fn observability_routes(
+    config: &ServerConfig,
+    obs: Arc<ServerObs>,
+    pool: Arc<ShardPool>,
+    slo: Option<Arc<ServerSlo>>,
+    events: Option<Arc<EventLog>>,
+) -> Vec<Route> {
     let registry = vlsa_telemetry::recorder();
     let build_info = Json::obj()
         .set("version", env!("CARGO_PKG_VERSION"))
@@ -341,24 +415,102 @@ fn observability_routes(config: &ServerConfig, obs: Arc<ServerObs>) -> Vec<Route
             }),
         ));
     }
+    {
+        // One profiling session per process: sampling perturbs what it
+        // measures, and overlapping sessions would double both the
+        // signal overhead and the confusion.
+        let profiling = Arc::new(AtomicBool::new(false));
+        routes.push(Route::exact(
+            "/profile",
+            Arc::new(move |_path: &str, query: &str| {
+                if profiling
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    let body = Json::obj()
+                        .set("error", "profile_in_progress")
+                        .set(
+                            "detail",
+                            "one concurrent profiling session per process; retry when it ends",
+                        )
+                        .to_string();
+                    return HttpResponse::too_many_requests(body);
+                }
+                let seconds = query_param(query, "seconds")
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or(1)
+                    .clamp(1, 30);
+                let hz = query_param(query, "hz")
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .unwrap_or(99);
+                let profile = vlsa_profile::sample(Duration::from_secs(seconds), hz);
+                let response = if query_param(query, "format") == Some("json") {
+                    HttpResponse::ok_json(profile.to_json().to_string())
+                } else {
+                    HttpResponse::ok_text(profile.to_folded())
+                };
+                profiling.store(false, Ordering::Release);
+                response
+            }),
+        ));
+    }
+    {
+        let slo = slo.clone();
+        routes.push(Route::exact(
+            "/slo",
+            Arc::new(move |_path: &str, _query: &str| match &slo {
+                Some(slo) => HttpResponse::ok_json(slo.status_json().to_string()),
+                None => HttpResponse::ok_json(Json::obj().set("enabled", false).to_string()),
+            }),
+        ));
+    }
+    {
+        routes.push(Route::exact(
+            "/events",
+            Arc::new(move |_path: &str, query: &str| match &events {
+                Some(events) => {
+                    let n = query_param(query, "n")
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .unwrap_or(100);
+                    HttpResponse {
+                        status: 200,
+                        content_type: "application/x-ndjson".to_string(),
+                        body: events.last_jsonl(n),
+                    }
+                }
+                None => HttpResponse::not_found(
+                    "wide events are not enabled on this server".to_string(),
+                ),
+            }),
+        ));
+    }
     routes.push(Route::exact(
-        "/profile",
-        Arc::new(move |_path: &str, query: &str| {
-            let seconds = query_param(query, "seconds")
-                .and_then(|s| s.parse::<u64>().ok())
-                .unwrap_or(1)
-                .clamp(1, 30);
-            let hz = query_param(query, "hz")
-                .and_then(|s| s.parse::<u32>().ok())
-                .unwrap_or(99);
-            let profile = vlsa_profile::sample(Duration::from_secs(seconds), hz);
-            if query_param(query, "format") == Some("json") {
-                HttpResponse::ok_json(profile.to_json().to_string())
-            } else {
-                HttpResponse::ok_text(profile.to_folded())
-            }
+        "/healthz",
+        Arc::new(|_path: &str, _query: &str| {
+            HttpResponse::ok_json(Json::obj().set("ok", true).to_string())
         }),
     ));
+    {
+        routes.push(Route::exact(
+            "/readyz",
+            Arc::new(move |_path: &str, _query: &str| {
+                let degraded = pool.degraded_shards();
+                let verdict = slo.as_ref().map(|s| s.verdict()).unwrap_or_default();
+                let ready = degraded == 0 && verdict.pages_firing == 0;
+                let body = Json::obj()
+                    .set("ready", ready)
+                    .set("degraded_shards", degraded)
+                    .set("slo_pages_firing", verdict.pages_firing)
+                    .set("slo_warns_firing", verdict.warns_firing)
+                    .to_string();
+                if ready {
+                    HttpResponse::ok_json(body)
+                } else {
+                    HttpResponse::service_unavailable(body)
+                }
+            }),
+        ));
+    }
     routes
 }
 

@@ -32,10 +32,12 @@ use vlsa_trace::{RequestTrace, TraceEvent};
 
 use crate::batcher::{BatchPolicy, Batcher};
 use crate::error::ProtocolError;
+use crate::events::{EventLog, WideEvent};
 use crate::protocol::{
     AddBatch, Busy, Frame, OpResult, ServerTiming, SumBatch, FLAG_EXACT, FLAG_STALLED,
 };
 use crate::queue::{Bounded, PushError};
+use crate::slo::ServerSlo;
 
 /// Per-shard configuration, shared by every shard in a pool.
 #[derive(Clone, Debug)]
@@ -172,12 +174,25 @@ struct Shard {
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
+/// Optional observability couplings threaded through the pool: the SLO
+/// accountant (fed sheds on the submit path and per-batch evidence by
+/// workers) and the canonical wide-event log (one record per flushed
+/// batch).
+#[derive(Clone, Debug, Default)]
+pub struct PoolHooks {
+    /// SLO accountant shared with the scrape endpoint.
+    pub slo: Option<Arc<ServerSlo>>,
+    /// Wide-event log shared with the `/events` endpoint.
+    pub events: Option<Arc<EventLog>>,
+}
+
 /// The pool of shard workers. Submitting routes by
 /// `request_id % shards`; shutdown closes every queue, drains what was
 /// already accepted, and joins the workers.
 pub struct ShardPool {
     shards: Vec<Shard>,
     degraded_total: Arc<AtomicU64>,
+    hooks: PoolHooks,
 }
 
 impl ShardPool {
@@ -193,6 +208,25 @@ impl ShardPool {
     ///
     /// Panics if `shards` is 0.
     pub fn start(config: &ShardConfig, shards: usize) -> Result<ShardPool, SpecError> {
+        ShardPool::start_with_hooks(config, shards, PoolHooks::default())
+    }
+
+    /// [`ShardPool::start`] with observability hooks: an SLO accountant
+    /// and/or a wide-event log shared with the serving layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the adder construction error for an invalid
+    /// width/window combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0.
+    pub fn start_with_hooks(
+        config: &ShardConfig,
+        shards: usize,
+        hooks: PoolHooks,
+    ) -> Result<ShardPool, SpecError> {
         assert!(shards > 0, "a pool needs at least one shard");
         // Validate once up front so workers can't die on a bad config.
         SpeculativeAdder::new(config.nbits, config.window)?;
@@ -212,6 +246,7 @@ impl ShardPool {
                     let stats = Arc::clone(&stats);
                     let degrade = Arc::clone(&degrade);
                     let degraded_total = Arc::clone(&degraded_total);
+                    let hooks = hooks.clone();
                     move || {
                         worker_loop(
                             shard_id as u16,
@@ -220,6 +255,7 @@ impl ShardPool {
                             stats,
                             degrade,
                             degraded_total,
+                            hooks,
                         )
                     }
                 })
@@ -234,6 +270,7 @@ impl ShardPool {
         Ok(ShardPool {
             shards: built,
             degraded_total,
+            hooks,
         })
     }
 
@@ -286,6 +323,11 @@ impl ShardPool {
                 shard.stats.shed.fetch_add(1, Ordering::Relaxed);
                 if vlsa_telemetry::is_enabled() {
                     vlsa_telemetry::recorder().counter(metric::SHED).incr();
+                }
+                // A shed is a request the service declined to answer:
+                // it burns availability budget.
+                if let Some(slo) = &self.hooks.slo {
+                    slo.record_shed(1);
                 }
                 Err(Box::new(Frame::Busy(Busy {
                     request_id,
@@ -412,6 +454,7 @@ fn worker_loop(
     stats: Arc<ShardStats>,
     degrade: Arc<AtomicBool>,
     degraded_total: Arc<AtomicU64>,
+    hooks: PoolHooks,
 ) {
     let adder = SpeculativeAdder::new(config.nbits, config.window).expect("validated in start");
     let mut pipeline = ResilientPipeline::new(adder, config.resilience);
@@ -442,6 +485,9 @@ fn worker_loop(
     let mut device_free = Instant::now();
     let mut total_cycles = 0u64;
     let mut was_degraded = false;
+    // Conformance alerts are cumulative on the monitor; the SLO
+    // correctness feed wants per-batch deltas.
+    let mut seen_alerts = 0usize;
 
     loop {
         let (jobs, formation_start) = {
@@ -453,8 +499,14 @@ fn worker_loop(
         }
         let batch_ready = Instant::now();
         let batch_start_cycle = total_cycles;
+        let batch_requests = jobs.len() as u64;
         let mut batch_cycles = 0u64;
         let mut batch_ops = 0u64;
+        let mut batch_stalls = 0u64;
+        let mut batch_exact = 0u64;
+        let mut batch_residue = 0u64;
+        let mut first_trace_id = None;
+        let mut last_compute_end = batch_ready;
         let mut replies = Vec::with_capacity(jobs.len());
         for job in jobs {
             let _in_service = stack.push(f_service);
@@ -486,14 +538,21 @@ fn worker_loop(
                 }
             }
             let compute_end = Instant::now();
+            last_compute_end = compute_end;
             batch_cycles += batch.stats.cycles;
             batch_ops += batch.stats.ops;
+            batch_stalls += batch.stats.er_recoveries;
+            batch_residue += batch.stats.residue_mismatches;
+            if first_trace_id.is_none() {
+                first_trace_id = job.trace.as_ref().map(|jt| jt.trace_id);
+            }
             stats.requests.fetch_add(1, Ordering::Relaxed);
             stats.ops.fetch_add(batch.stats.ops, Ordering::Relaxed);
             stats
                 .stalls
                 .fetch_add(batch.stats.er_recoveries, Ordering::Relaxed);
             let exact = batch.outcomes.iter().filter(|o| o.exact_path).count() as u64;
+            batch_exact += exact;
             stats.exact_ops.fetch_add(exact, Ordering::Relaxed);
             if let Some(m) = &metrics {
                 m.requests.incr();
@@ -566,10 +625,19 @@ fn worker_loop(
         // measured latency includes the modeled service time.
         let dispatch = Instant::now();
         let _in_reply = stack.push(f_reply);
+        let latency_threshold_us = hooks.slo.as_ref().map(|slo| slo.latency_threshold_us());
+        let (mut lat_good, mut lat_bad) = (0u64, 0u64);
         for pending in replies {
             let latency_us = pending.enqueued.elapsed().as_micros() as u64;
             if let Some(m) = &metrics {
                 m.latency.record(latency_us);
+            }
+            if let Some(threshold) = latency_threshold_us {
+                if latency_us <= threshold {
+                    lat_good += 1;
+                } else {
+                    lat_bad += 1;
+                }
             }
             let trace = pending.trace.map(|mut rt| {
                 // Device pacing plus any tail of the batch computed
@@ -603,6 +671,57 @@ fn worker_loop(
             stats.degraded.store(true, Ordering::Relaxed);
             degraded_total.fetch_add(1, Ordering::Relaxed);
         }
+
+        // Feed the SLO accountant: availability good = every request
+        // answered (sheds arrive via the submit path); latency verdicts
+        // from the dispatch loop; correctness bad = residue mismatches
+        // plus any conformance alerts this batch closed over.
+        let alert_delta = monitor.as_ref().map_or(0, |m| {
+            let total = m.alerts().len();
+            let delta = total.saturating_sub(seen_alerts);
+            seen_alerts = total;
+            delta as u64
+        });
+        // Modeled time on this shard: cycles so far at the configured
+        // cycle period (1 ns/cycle when unpaced, keeping the clock
+        // monotone and deterministic in tests).
+        let now_ns = total_cycles.saturating_mul(config.cycle_ns.max(1));
+        let verdict = hooks
+            .slo
+            .as_ref()
+            .map(|slo| {
+                let corr_bad = batch_residue + alert_delta;
+                let corr_good = batch_ops.saturating_sub(corr_bad);
+                slo.observe_batch(
+                    now_ns,
+                    batch_requests,
+                    lat_good,
+                    lat_bad,
+                    corr_good,
+                    corr_bad,
+                )
+            })
+            .unwrap_or_default();
+        if let Some(events) = &hooks.events {
+            events.emit(&WideEvent {
+                shard: shard_id,
+                requests: batch_requests.min(u64::from(u32::MAX)) as u32,
+                ops: batch_ops,
+                cycles: batch_cycles,
+                wait_us: us32(batch_ready.saturating_duration_since(formation_start)),
+                service_us: us32(last_compute_end.saturating_duration_since(batch_ready)),
+                pace_us: us32(dispatch.saturating_duration_since(last_compute_end)),
+                adder: if degraded_now { "exact" } else { "speculative" },
+                stalls: batch_stalls,
+                exact_ops: batch_exact,
+                residue_mismatches: batch_residue,
+                degraded: degraded_now,
+                trace_id: first_trace_id,
+                slo_pages_firing: verdict.pages_firing,
+                slo_warns_firing: verdict.warns_firing,
+            });
+        }
+
         if let Some(m) = &metrics {
             m.batches.incr();
             m.batch_ops.record(batch_ops);
@@ -912,6 +1031,56 @@ mod tests {
         };
         assert!(sums.timing.is_none(), "server-sampled replies stay bare");
         pool.shutdown();
+    }
+
+    #[test]
+    fn hooked_pool_emits_wide_events_and_feeds_the_slo_accountant() {
+        use crate::events::EventLogConfig;
+        use vlsa_telemetry::Json;
+
+        let slo = Arc::new(ServerSlo::new(vlsa_slo::Objectives::demo()));
+        let events = Arc::new(EventLog::new(EventLogConfig::default()));
+        let pool = ShardPool::start_with_hooks(
+            &ShardConfig {
+                nbits: 32,
+                window: 16,
+                ..ShardConfig::default()
+            },
+            1,
+            PoolHooks {
+                slo: Some(Arc::clone(&slo)),
+                events: Some(Arc::clone(&events)),
+            },
+        )
+        .expect("valid config");
+        for id in 0..4u64 {
+            let sums = submit_and_wait(&pool, id, vec![(id, 10)]);
+            assert_eq!(sums.results[0].sum, id + 10);
+        }
+        pool.shutdown();
+
+        // One wide event per batch, each a parseable JSON line carrying
+        // the canonical fields.
+        assert!(events.emitted() >= 1, "batches must emit events");
+        let jsonl = events.last_jsonl(16);
+        let last = jsonl.lines().last().expect("at least one event");
+        let doc = Json::parse(last).expect("valid JSON line");
+        assert_eq!(doc.get("shard").and_then(Json::as_u64), Some(0));
+        assert_eq!(doc.get("adder").and_then(Json::as_str), Some("speculative"));
+        assert!(doc.get("ops").and_then(Json::as_u64).unwrap_or(0) >= 1);
+        assert_eq!(doc.get("slo_pages_firing").and_then(Json::as_u64), Some(0));
+
+        // The SLO accountant saw the answered requests: its modeled
+        // clock advanced and nothing is burning on a healthy stream.
+        let status = slo.status_json();
+        assert!(
+            status
+                .get("modeled_now_ns")
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                > 0
+        );
+        assert_eq!(slo.verdict(), crate::slo::SloVerdict::default());
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Server-side SLO accounting: a thread-safe shell around
+//! [`vlsa_slo::SloEngine`].
+//!
+//! The engine itself is single-threaded and clockless; the server has
+//! many feeders — every shard worker (availability, latency,
+//! correctness per batch) and every connection thread (sheds on the
+//! submit path). This wrapper serializes them behind one mutex, keeps
+//! the modeled clock as a monotonic max across shards (each worker
+//! reports `total_cycles × cycle_ns`, and sheds borrow whatever the
+//! fleet clock currently reads), and caches the firing counts in
+//! atomics so hot paths and `/readyz` never take the lock.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use vlsa_slo::{Objectives, SloEngine};
+use vlsa_telemetry::Json;
+
+/// Snapshot of how many burn-rate rules are firing, by severity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SloVerdict {
+    /// Page-severity rules currently firing.
+    pub pages_firing: u64,
+    /// Warn-severity rules currently firing.
+    pub warns_firing: u64,
+}
+
+/// Shared SLO accountant for one server process.
+#[derive(Debug)]
+pub struct ServerSlo {
+    engine: Mutex<SloEngine>,
+    /// Modeled nanoseconds: the max over all shards' cycle clocks.
+    clock_ns: AtomicU64,
+    pages: AtomicU64,
+    warns: AtomicU64,
+    latency_threshold_us: u64,
+}
+
+impl ServerSlo {
+    /// An accountant enforcing the given objectives.
+    pub fn new(objectives: Objectives) -> ServerSlo {
+        let latency_threshold_us = objectives.latency_threshold_us;
+        ServerSlo {
+            engine: Mutex::new(SloEngine::new(objectives)),
+            clock_ns: AtomicU64::new(0),
+            pages: AtomicU64::new(0),
+            warns: AtomicU64::new(0),
+            latency_threshold_us,
+        }
+    }
+
+    /// Latency SLO threshold in µs — workers classify each reply
+    /// against this without taking the engine lock.
+    pub fn latency_threshold_us(&self) -> u64 {
+        self.latency_threshold_us
+    }
+
+    /// Couples a firing correctness page to the shard degrade flags
+    /// (the same flags `ResilientPipeline` polls).
+    pub fn set_degrade_signals(&self, flags: Vec<Arc<AtomicBool>>) {
+        self.engine
+            .lock()
+            .expect("slo engine lock")
+            .set_degrade_signals(flags);
+    }
+
+    /// Folds a shard's modeled clock into the fleet clock and returns
+    /// the current fleet reading.
+    fn advance_clock(&self, now_ns: u64) -> u64 {
+        self.clock_ns.fetch_max(now_ns, Ordering::Relaxed);
+        self.clock_ns.load(Ordering::Relaxed)
+    }
+
+    /// Records `n` shed requests against the availability budget.
+    /// Sheds happen on connection threads with no cycle clock of their
+    /// own, so they are stamped with the current fleet clock.
+    pub fn record_shed(&self, n: u64) {
+        let now = self.clock_ns.load(Ordering::Relaxed);
+        let mut engine = self.engine.lock().expect("slo engine lock");
+        engine.record_availability(now, 0, n);
+        engine.evaluate(now);
+        self.cache_firing(&engine);
+    }
+
+    /// Feeds one batch's worth of evidence from a shard worker and
+    /// re-evaluates every burn-rate rule.
+    ///
+    /// `now_ns` is the shard's modeled clock (`total_cycles ×
+    /// cycle_ns`); `answered` counts requests that got a reply
+    /// (availability good events); `lat_(good|bad)` classify replies
+    /// against the latency threshold; `corr_(good|bad)` classify ops
+    /// against residue/conformance evidence.
+    #[allow(clippy::similar_names)]
+    pub fn observe_batch(
+        &self,
+        now_ns: u64,
+        answered: u64,
+        lat_good: u64,
+        lat_bad: u64,
+        corr_good: u64,
+        corr_bad: u64,
+    ) -> SloVerdict {
+        let now = self.advance_clock(now_ns);
+        let mut engine = self.engine.lock().expect("slo engine lock");
+        engine.record_availability(now, answered, 0);
+        engine.record_latency(now, lat_good, lat_bad);
+        engine.record_correctness(now, corr_good, corr_bad);
+        engine.evaluate(now);
+        self.cache_firing(&engine)
+    }
+
+    fn cache_firing(&self, engine: &SloEngine) -> SloVerdict {
+        let verdict = SloVerdict {
+            pages_firing: engine.pages_firing() as u64,
+            warns_firing: engine.warns_firing() as u64,
+        };
+        self.pages.store(verdict.pages_firing, Ordering::Relaxed);
+        self.warns.store(verdict.warns_firing, Ordering::Relaxed);
+        verdict
+    }
+
+    /// Firing counts without taking the engine lock.
+    pub fn verdict(&self) -> SloVerdict {
+        SloVerdict {
+            pages_firing: self.pages.load(Ordering::Relaxed),
+            warns_firing: self.warns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Full status document (`/slo`): per-objective burn rates, budget
+    /// consumption, rule states, and recent alert transitions.
+    pub fn status_json(&self) -> Json {
+        let now = self.clock_ns.load(Ordering::Relaxed);
+        self.engine.lock().expect("slo engine lock").status(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn observe_batch_keeps_the_clock_monotonic_across_shards() {
+        let slo = ServerSlo::new(Objectives::demo());
+        slo.observe_batch(5_000, 10, 10, 0, 10, 0);
+        // A slower shard reporting an older clock must not rewind it.
+        slo.observe_batch(1_000, 10, 10, 0, 10, 0);
+        let status = slo.status_json();
+        assert_eq!(
+            status.get("modeled_now_ns").and_then(Json::as_u64),
+            Some(5_000)
+        );
+    }
+
+    #[test]
+    fn shed_storm_fires_an_availability_page() {
+        let slo = ServerSlo::new(Objectives::demo());
+        // A healthy prefill across the demo long window, then a storm
+        // of sheds with no answers: burn goes far beyond 14.4x.
+        for tick in 0..100u64 {
+            slo.observe_batch(tick * 100_000_000, 100, 100, 0, 100, 0);
+        }
+        assert_eq!(slo.verdict().pages_firing, 0);
+        for tick in 100..140u64 {
+            slo.observe_batch(tick * 100_000_000, 0, 0, 0, 0, 0);
+            slo.record_shed(500);
+        }
+        assert!(
+            slo.verdict().pages_firing >= 1,
+            "status: {}",
+            slo.status_json()
+        );
+    }
+
+    #[test]
+    fn correctness_page_flips_the_attached_degrade_flags() {
+        let slo = ServerSlo::new(Objectives::demo());
+        let flags: Vec<Arc<AtomicBool>> =
+            (0..2).map(|_| Arc::new(AtomicBool::new(false))).collect();
+        slo.set_degrade_signals(flags.clone());
+        for tick in 0..100u64 {
+            slo.observe_batch(tick * 100_000_000, 100, 100, 0, 0, 100);
+        }
+        assert!(slo.verdict().pages_firing >= 1);
+        for flag in &flags {
+            assert!(flag.load(Ordering::Relaxed), "degrade flag should latch");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The serving layer's SLO surface, end to end over HTTP: liveness and
+//! readiness probes, the `/slo` budget status, canonical wide events at
+//! `/events`, and the one-concurrent-session bound on `/profile` — all
+//! exercised the way an operator (or an orchestrator's probe loop)
+//! would hit them.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use vlsa_server::{
+    AddBatch, EventLogConfig, Response, ServerConfig, ShardConfig, VlsaClient, VlsaServer,
+};
+use vlsa_slo::Objectives;
+use vlsa_telemetry::Json;
+
+fn get(server: &VlsaServer, path: &str) -> (u16, String) {
+    let addr = server.metrics_addr().expect("metrics enabled");
+    vlsa_monitor::http_get(addr, path, Duration::from_secs(10)).expect("http")
+}
+
+fn heavy_request(request_id: u64, ops: usize) -> AddBatch {
+    AddBatch {
+        request_id,
+        nbits: 32,
+        ops: vec![(1, 2); ops],
+        trace: None,
+    }
+}
+
+#[test]
+fn healthz_is_live_and_readyz_tracks_degrade_state() {
+    let mut server = VlsaServer::start(ServerConfig {
+        shards: 2,
+        metrics: true,
+        slo: Some(Objectives::demo()),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+
+    let (status, body) = get(&server, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(
+        Json::parse(&body).expect("json").get("ok"),
+        Some(&Json::Bool(true))
+    );
+
+    let (status, body) = get(&server, "/readyz");
+    assert_eq!(status, 200, "healthy server is ready: {body}");
+    let doc = Json::parse(&body).expect("json");
+    assert_eq!(doc.get("ready"), Some(&Json::Bool(true)));
+    assert_eq!(doc.get("degraded_shards").and_then(Json::as_u64), Some(0));
+
+    // Degrade both shards (an operator switch or monitor would do the
+    // same); the latch engages on each shard's next batch.
+    for shard in 0..server.pool().shard_count() {
+        server
+            .pool()
+            .degrade_flag(shard)
+            .store(true, Ordering::Relaxed);
+    }
+    let mut client = VlsaClient::connect(server.addr()).expect("connect");
+    for id in 0..2u64 {
+        let response = client.request(id, 32, &[(1, 2)]).expect("request");
+        assert!(matches!(response, Response::Sums(_)));
+    }
+
+    let (status, body) = get(&server, "/readyz");
+    assert_eq!(status, 503, "degraded server is not ready: {body}");
+    let doc = Json::parse(&body).expect("json");
+    assert_eq!(doc.get("ready"), Some(&Json::Bool(false)));
+    assert!(
+        doc.get("degraded_shards")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 1
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn wide_events_are_served_at_the_events_endpoint() {
+    let mut server = VlsaServer::start(ServerConfig {
+        metrics: true,
+        events: Some(EventLogConfig::default()),
+        slo: Some(Objectives::demo()),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let mut client = VlsaClient::connect(server.addr()).expect("connect");
+    for id in 0..8u64 {
+        let response = client
+            .request(id, 32, &[(id, 100), (3, 4)])
+            .expect("request");
+        assert!(matches!(response, Response::Sums(_)));
+    }
+
+    let (status, body) = get(&server, "/events?n=50");
+    assert_eq!(status, 200);
+    assert!(!body.is_empty(), "batches must have emitted events");
+    for line in body.lines() {
+        let doc = Json::parse(line).expect("every line is a JSON object");
+        assert_eq!(doc.get("shard").and_then(Json::as_u64), Some(0));
+        assert!(doc.get("ops").and_then(Json::as_u64).unwrap_or(0) >= 1);
+        assert_eq!(
+            doc.get("adder").and_then(Json::as_str),
+            Some("speculative"),
+            "healthy shard serves speculatively"
+        );
+        assert_eq!(doc.get("slo_pages_firing").and_then(Json::as_u64), Some(0));
+    }
+    // ?n= truncates to the newest n.
+    let (_, one) = get(&server, "/events?n=1");
+    assert_eq!(one.lines().count(), 1);
+    server.shutdown();
+
+    // A server without an event log answers 404, not an empty stream.
+    let mut bare = VlsaServer::start(ServerConfig {
+        metrics: true,
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let (status, _) = get(&bare, "/events");
+    assert_eq!(status, 404);
+    bare.shutdown();
+}
+
+#[test]
+fn profile_is_bounded_to_one_concurrent_session() {
+    let mut server = VlsaServer::start(ServerConfig {
+        metrics: true,
+        ..ServerConfig::default()
+    })
+    .expect("start");
+    let addr = server.metrics_addr().expect("metrics enabled");
+
+    // First session: 3 s of sampling on its own connection thread.
+    let long = std::thread::spawn(move || {
+        vlsa_monitor::http_get(addr, "/profile?seconds=3", Duration::from_secs(15)).expect("http")
+    });
+    // Give the first request ample time to reach the handler and claim
+    // the session, then contend with it while it is provably running.
+    std::thread::sleep(Duration::from_millis(500));
+    let (status, busy_body) = get(&server, "/profile");
+    assert_eq!(
+        status, 429,
+        "a concurrent /profile must be refused: {busy_body}"
+    );
+    let doc = Json::parse(&busy_body).expect("429 body is typed JSON");
+    assert_eq!(
+        doc.get("error").and_then(Json::as_str),
+        Some("profile_in_progress")
+    );
+
+    // The original session still completes normally…
+    let (status, _) = long.join().expect("join");
+    assert_eq!(status, 200);
+    // …and the slot frees up for the next caller.
+    let (status, _) = get(&server, "/profile?seconds=1");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn overload_burns_the_availability_budget_and_flips_readiness() {
+    // One shard with a tiny queue and a slow modeled device: the first
+    // heavy batch parks the worker in its pacing sleep, and the flood
+    // below sheds almost entirely. Sheds are availability bad-events,
+    // so the demo fast-burn rule pages and `/readyz` goes 503.
+    let mut server = VlsaServer::start(ServerConfig {
+        shards: 1,
+        shard: ShardConfig {
+            queue_capacity: 2,
+            cycle_ns: 1_000_000,
+            ..ShardConfig::default()
+        },
+        metrics: true,
+        slo: Some(Objectives::demo()),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+
+    // ~500 modeled ms of pacing parks the worker in its sleep. The
+    // wire protocol is synchronous per connection (a client can never
+    // overfill the queue alone), so the flood submits straight into
+    // the pool — the same path every connection thread takes.
+    let mut receivers = Vec::new();
+    let (tx, rx) = std::sync::mpsc::channel();
+    server
+        .pool()
+        .submit(heavy_request(0, 500), tx)
+        .expect("empty queue accepts");
+    receivers.push(rx);
+    std::thread::sleep(Duration::from_millis(100));
+    let mut shed = 0u64;
+    for id in 1..=300u64 {
+        let (tx, rx) = std::sync::mpsc::channel();
+        match server.pool().submit(heavy_request(id, 1), tx) {
+            Ok(()) => receivers.push(rx),
+            Err(_) => shed += 1,
+        }
+    }
+    assert!(shed >= 100, "flood must shed heavily, shed {shed}");
+
+    let (status, body) = get(&server, "/slo");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).expect("json");
+    assert!(
+        doc.get("pages_firing").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "shed storm must page: {body}"
+    );
+
+    let (status, body) = get(&server, "/readyz");
+    assert_eq!(status, 503, "paging server is not ready: {body}");
+    let doc = Json::parse(&body).expect("json");
+    assert!(
+        doc.get("slo_pages_firing")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 1
+    );
+    server.shutdown();
+}

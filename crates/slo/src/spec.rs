@@ -1,0 +1,321 @@
+//! Declarative SLO definitions: what counts as a bad event, the
+//! compliance target, and the burn-rate alerting windows.
+//!
+//! Everything here is plain data. Durations are modeled nanoseconds —
+//! the engine never reads a wall clock, so the same event stream always
+//! produces the same alerts (the property the deterministic burn-rate
+//! tests in `tests/burn_determinism.rs` lean on).
+
+/// What kind of service-level indicator an SLO tracks. The kinds map
+/// onto the telemetry the serving stack already emits:
+///
+/// | kind | good event | bad event |
+/// |---|---|---|
+/// | availability | answered request | shed request (`Busy` frame) |
+/// | latency | request under the threshold | request over it |
+/// | correctness | op with no correctness evidence against it | conformance alert or residue catch |
+#[derive(Clone, Debug, PartialEq)]
+pub enum SloKind {
+    /// `answered / offered` — load shedding spends this budget.
+    Availability,
+    /// Fraction of requests at or under `threshold_us` (for a 0.99
+    /// target this is "p99 under the threshold", counted from histogram
+    /// buckets, never from raw samples).
+    Latency {
+        /// Inclusive per-request latency threshold in microseconds.
+        threshold_us: u64,
+    },
+    /// Fraction of served ops with no correctness evidence against
+    /// them; conformance drift alerts and residue catches are the bad
+    /// events.
+    Correctness,
+}
+
+impl SloKind {
+    /// Stable lowercase label (`availability` / `latency` /
+    /// `correctness`) used in metric labels and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SloKind::Availability => "availability",
+            SloKind::Latency { .. } => "latency",
+            SloKind::Correctness => "correctness",
+        }
+    }
+}
+
+/// How loud a burn-rate rule is when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Slow burn: the budget will run out in days — ticket territory.
+    Warn,
+    /// Fast burn: the budget is being torched right now — page.
+    Page,
+}
+
+impl Severity {
+    /// Stable lowercase label (`warn` / `page`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Page => "page",
+        }
+    }
+}
+
+/// One multi-window burn-rate rule: fire when the burn rate exceeds
+/// `factor` over *both* the long window (sustained, not a blip) and the
+/// short window (still happening right now). Clear when either window
+/// drops back under the factor — the short window makes clearing fast
+/// once the condition recovers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurnRule {
+    /// Stable rule name (`fast_burn` / `slow_burn`).
+    pub name: &'static str,
+    /// What firing means operationally.
+    pub severity: Severity,
+    /// Long confirmation window, modeled nanoseconds.
+    pub long_ns: u64,
+    /// Short recency window, modeled nanoseconds.
+    pub short_ns: u64,
+    /// Burn-rate threshold: 1.0 spends exactly the whole budget over
+    /// the budget period; 14.4 spends it in 1/14.4 of the period.
+    pub factor: f64,
+}
+
+/// The time structure of one SLO: the error-budget period plus the
+/// burn-rate rules evaluated against it. All durations are modeled
+/// nanoseconds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloWindows {
+    /// Error-budget accounting period (budget consumption resets at
+    /// period boundaries).
+    pub budget_ns: u64,
+    /// Burn-rate rules, evaluated independently.
+    pub rules: Vec<BurnRule>,
+}
+
+const SECOND_NS: u64 = 1_000_000_000;
+const MINUTE_NS: u64 = 60 * SECOND_NS;
+const HOUR_NS: u64 = 60 * MINUTE_NS;
+
+impl SloWindows {
+    /// The Google-SRE-workbook defaults: a 30-day budget with a fast
+    /// 5m/1h ×14.4 page rule and a slow 30m/6h ×6 warn rule.
+    pub fn standard() -> SloWindows {
+        SloWindows {
+            budget_ns: 30 * 24 * HOUR_NS,
+            rules: vec![
+                BurnRule {
+                    name: "fast_burn",
+                    severity: Severity::Page,
+                    long_ns: HOUR_NS,
+                    short_ns: 5 * MINUTE_NS,
+                    factor: 14.4,
+                },
+                BurnRule {
+                    name: "slow_burn",
+                    severity: Severity::Warn,
+                    long_ns: 6 * HOUR_NS,
+                    short_ns: 30 * MINUTE_NS,
+                    factor: 6.0,
+                },
+            ],
+        }
+    }
+
+    /// Compressed windows for demos, benches, and CI smoke jobs: a
+    /// 2-minute budget with a fast 2s/10s ×14.4 page rule and a slow
+    /// 10s/40s ×6 warn rule — the same shape as [`standard`], scaled so
+    /// an induced overload fires (and clears) within seconds of wall
+    /// time when modeled time tracks it.
+    ///
+    /// [`standard`]: SloWindows::standard
+    pub fn demo() -> SloWindows {
+        SloWindows {
+            budget_ns: 2 * MINUTE_NS,
+            rules: vec![
+                BurnRule {
+                    name: "fast_burn",
+                    severity: Severity::Page,
+                    long_ns: 10 * SECOND_NS,
+                    short_ns: 2 * SECOND_NS,
+                    factor: 14.4,
+                },
+                BurnRule {
+                    name: "slow_burn",
+                    severity: Severity::Warn,
+                    long_ns: 40 * SECOND_NS,
+                    short_ns: 10 * SECOND_NS,
+                    factor: 6.0,
+                },
+            ],
+        }
+    }
+
+    /// The ring-bucket width the engine quantizes time into: 1/8 of the
+    /// shortest rule window (detection-time quantization stays well
+    /// under one short window), at least 1 ns.
+    pub fn bucket_ns(&self) -> u64 {
+        let shortest = self
+            .rules
+            .iter()
+            .map(|r| r.short_ns.min(r.long_ns))
+            .min()
+            .unwrap_or(SECOND_NS);
+        (shortest / 8).max(1)
+    }
+
+    /// The longest window any rule needs — how much history the ring
+    /// must retain.
+    pub fn span_ns(&self) -> u64 {
+        self.rules
+            .iter()
+            .map(|r| r.long_ns.max(r.short_ns))
+            .max()
+            .unwrap_or(SECOND_NS)
+    }
+}
+
+/// One declared SLO.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloSpec {
+    /// Display name; [`SloKind::label`] by convention.
+    pub name: String,
+    /// What the good/bad events are.
+    pub kind: SloKind,
+    /// Compliance target in `(0, 1)`; the error budget is `1 - target`.
+    pub target: f64,
+    /// Budget period and burn-rate rules.
+    pub windows: SloWindows,
+}
+
+impl SloSpec {
+    /// The allowed bad-event fraction, `1 - target`.
+    pub fn budget_fraction(&self) -> f64 {
+        (1.0 - self.target).max(f64::EPSILON)
+    }
+}
+
+/// The serving stack's three SLOs as one bundle — what `vlsa-server`
+/// and the fleet aggregator both instantiate, so a process and its
+/// fleet always agree on what "inside budget" means.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Objectives {
+    /// Availability target (answered / offered).
+    pub availability_target: f64,
+    /// Latency target: fraction of requests under the threshold.
+    pub latency_target: f64,
+    /// Inclusive latency threshold in microseconds. Align this with a
+    /// histogram bucket bound — latency SLIs are counted from bucket
+    /// counts, and a mid-bucket threshold silently rounds up.
+    pub latency_threshold_us: u64,
+    /// Correctness target (ops with no evidence against them / ops).
+    pub correctness_target: f64,
+    /// Shared budget period and burn-rate rules.
+    pub windows: SloWindows,
+}
+
+impl Objectives {
+    /// Production-shaped defaults: 99.9% availability, 99% of requests
+    /// under 16384 µs (a `DEFAULT_BUCKETS` bound), 99.99% correctness,
+    /// standard 30-day windows.
+    pub fn standard() -> Objectives {
+        Objectives {
+            availability_target: 0.999,
+            latency_target: 0.99,
+            latency_threshold_us: 16_384,
+            correctness_target: 0.9999,
+            windows: SloWindows::standard(),
+        }
+    }
+
+    /// Demo/CI-shaped objectives: looser targets (99% availability, so
+    /// an induced overload burns visibly fast) over [`SloWindows::demo`]
+    /// windows.
+    pub fn demo() -> Objectives {
+        Objectives {
+            availability_target: 0.99,
+            latency_target: 0.99,
+            latency_threshold_us: 16_384,
+            correctness_target: 0.999,
+            windows: SloWindows::demo(),
+        }
+    }
+
+    /// The three [`SloSpec`]s, in the engine's canonical order:
+    /// availability, latency, correctness.
+    pub fn specs(&self) -> Vec<SloSpec> {
+        vec![
+            SloSpec {
+                name: "availability".to_string(),
+                kind: SloKind::Availability,
+                target: self.availability_target,
+                windows: self.windows.clone(),
+            },
+            SloSpec {
+                name: "latency".to_string(),
+                kind: SloKind::Latency {
+                    threshold_us: self.latency_threshold_us,
+                },
+                target: self.latency_target,
+                windows: self.windows.clone(),
+            },
+            SloSpec {
+                name: "correctness".to_string(),
+                kind: SloKind::Correctness,
+                target: self.correctness_target,
+                windows: self.windows.clone(),
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_windows_match_the_sre_workbook_shape() {
+        let w = SloWindows::standard();
+        assert_eq!(w.budget_ns, 30 * 24 * 3600 * SECOND_NS);
+        assert_eq!(w.rules.len(), 2);
+        let fast = &w.rules[0];
+        assert_eq!(fast.name, "fast_burn");
+        assert_eq!(fast.severity, Severity::Page);
+        assert_eq!(fast.long_ns, 3600 * SECOND_NS);
+        assert_eq!(fast.short_ns, 300 * SECOND_NS);
+        assert!((fast.factor - 14.4).abs() < 1e-12);
+        let slow = &w.rules[1];
+        assert_eq!(slow.severity, Severity::Warn);
+        assert_eq!(slow.long_ns, 6 * 3600 * SECOND_NS);
+        // The ring quantum is 1/8 of the shortest window.
+        assert_eq!(w.bucket_ns(), 300 * SECOND_NS / 8);
+        assert_eq!(w.span_ns(), 6 * 3600 * SECOND_NS);
+    }
+
+    #[test]
+    fn objectives_expand_to_three_specs_in_canonical_order() {
+        let specs = Objectives::standard().specs();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].kind, SloKind::Availability);
+        assert_eq!(
+            specs[1].kind,
+            SloKind::Latency {
+                threshold_us: 16_384
+            }
+        );
+        assert_eq!(specs[2].kind, SloKind::Correctness);
+        assert!((specs[0].budget_fraction() - 0.001).abs() < 1e-12);
+        for spec in &specs {
+            assert_eq!(spec.name, spec.kind.label());
+        }
+    }
+
+    #[test]
+    fn demo_windows_are_seconds_scale() {
+        let w = SloWindows::demo();
+        assert!(w.budget_ns <= 5 * 60 * SECOND_NS);
+        assert!(w.span_ns() <= 60 * SECOND_NS);
+        assert!(w.bucket_ns() >= 1_000_000); // ≥ 1 ms: sane ring sizes
+    }
+}

@@ -1,0 +1,170 @@
+//! Time-bucketed good/bad event accounting in modeled time.
+//!
+//! A [`TimeBuckets`] ring quantizes the modeled clock into fixed-width
+//! buckets and accumulates `(good, bad)` event counts per bucket.
+//! Burn-rate queries sum the buckets overlapping a trailing window —
+//! an O(ring) scan over a few hundred slots, no heap traffic after
+//! construction, and fully deterministic: the same `(timestamp, good,
+//! bad)` stream always yields the same sums.
+
+/// One ring slot: the absolute bucket index it currently holds counts
+/// for, plus those counts. The index disambiguates aliased slots, so
+/// stale data can never leak into a window sum.
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    abs: u64,
+    good: u64,
+    bad: u64,
+}
+
+/// A fixed-capacity ring of time buckets over modeled nanoseconds.
+#[derive(Clone, Debug)]
+pub struct TimeBuckets {
+    bucket_ns: u64,
+    slots: Vec<Slot>,
+    /// Absolute bucket index of the newest bucket written.
+    head: u64,
+}
+
+impl TimeBuckets {
+    /// A ring covering at least `span_ns` of history at `bucket_ns`
+    /// resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_ns` is zero.
+    pub fn new(bucket_ns: u64, span_ns: u64) -> TimeBuckets {
+        assert!(bucket_ns > 0, "bucket width must be positive");
+        let slots = (span_ns / bucket_ns).max(1) as usize + 2;
+        TimeBuckets {
+            bucket_ns,
+            slots: vec![Slot::default(); slots],
+            head: 0,
+        }
+    }
+
+    /// The ring's bucket width in modeled nanoseconds.
+    pub fn bucket_ns(&self) -> u64 {
+        self.bucket_ns
+    }
+
+    /// Adds `good`/`bad` events at modeled time `now_ns`. Events older
+    /// than the ring's span (relative to the newest data seen) are
+    /// dropped — they could only land in a slot already reused for a
+    /// newer bucket.
+    pub fn record(&mut self, now_ns: u64, good: u64, bad: u64) {
+        let abs = now_ns / self.bucket_ns;
+        let idx = (abs % self.slots.len() as u64) as usize;
+        let slot = &mut self.slots[idx];
+        match slot.abs.cmp(&abs) {
+            std::cmp::Ordering::Equal => {
+                slot.good += good;
+                slot.bad += bad;
+            }
+            std::cmp::Ordering::Less => {
+                *slot = Slot { abs, good, bad };
+            }
+            // The slot holds a *newer* aliased bucket: this event is
+            // older than the whole ring. Dropping it is the only
+            // deterministic option.
+            std::cmp::Ordering::Greater => {}
+        }
+        self.head = self.head.max(abs);
+    }
+
+    /// Sums `(good, bad)` over the trailing `window_ns` ending at
+    /// `now_ns`, bucket-quantized: the partially-covered oldest bucket
+    /// is included whole, so the effective window is up to one bucket
+    /// longer than asked — a deterministic, documented bias.
+    pub fn window_totals(&self, now_ns: u64, window_ns: u64) -> (u64, u64) {
+        let hi = now_ns / self.bucket_ns;
+        let lo = now_ns.saturating_sub(window_ns) / self.bucket_ns;
+        let mut good = 0u64;
+        let mut bad = 0u64;
+        for slot in &self.slots {
+            if slot.abs >= lo && slot.abs <= hi && (slot.good > 0 || slot.bad > 0) {
+                good += slot.good;
+                bad += slot.bad;
+            }
+        }
+        (good, bad)
+    }
+
+    /// The bad-event fraction over the trailing window, or `None` when
+    /// the window holds no events (no data is not the same as 0%).
+    pub fn bad_fraction(&self, now_ns: u64, window_ns: u64) -> Option<f64> {
+        let (good, bad) = self.window_totals(now_ns, window_ns);
+        let total = good + bad;
+        if total == 0 {
+            None
+        } else {
+            Some(bad as f64 / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_only_the_trailing_window() {
+        let mut tb = TimeBuckets::new(10, 100);
+        tb.record(5, 10, 1); // bucket 0
+        tb.record(55, 20, 2); // bucket 5
+        tb.record(105, 30, 3); // bucket 10
+        assert_eq!(tb.window_totals(105, 1_000), (60, 6));
+        // A 50ns window at t=105 covers buckets 5..=10.
+        assert_eq!(tb.window_totals(105, 50), (50, 5));
+        // A 10ns window covers buckets 9..=10 — only the newest record.
+        assert_eq!(tb.window_totals(105, 10), (30, 3));
+    }
+
+    #[test]
+    fn old_buckets_age_out_as_time_advances() {
+        let mut tb = TimeBuckets::new(10, 100);
+        tb.record(5, 100, 50);
+        assert_eq!(tb.window_totals(5, 100), (100, 50));
+        // Query far in the future: the old bucket is out of any window.
+        assert_eq!(tb.window_totals(10_000, 100), (0, 0));
+        assert_eq!(tb.bad_fraction(10_000, 100), None);
+    }
+
+    #[test]
+    fn slot_reuse_never_counts_stale_aliases() {
+        let mut tb = TimeBuckets::new(10, 100); // 12 slots
+        tb.record(5, 7, 0); // bucket 0
+        tb.record(1205, 9, 0); // bucket 120 ≡ 0 mod 12: evicts bucket 0
+        assert_eq!(tb.window_totals(1205, 10_000), (9, 0));
+        // An event older than the ring span is dropped, not misfiled.
+        tb.record(5, 1000, 1000);
+        assert_eq!(tb.window_totals(1205, 10_000), (9, 0));
+    }
+
+    #[test]
+    fn bad_fraction_distinguishes_empty_from_clean() {
+        let mut tb = TimeBuckets::new(1_000, 10_000);
+        assert_eq!(tb.bad_fraction(500, 1_000), None);
+        tb.record(500, 99, 1);
+        let f = tb.bad_fraction(500, 1_000).expect("has data");
+        assert!((f - 0.01).abs() < 1e-12, "{f}");
+        tb.record(600, 0, 0);
+        // Zero-count records change nothing.
+        let f2 = tb.bad_fraction(600, 1_000).expect("has data");
+        assert!((f2 - 0.01).abs() < 1e-12, "{f2}");
+    }
+
+    #[test]
+    fn same_stream_same_sums() {
+        let stream: Vec<(u64, u64, u64)> = (0..1_000).map(|i| (i * 37, i % 5, i % 3)).collect();
+        let mut a = TimeBuckets::new(100, 5_000);
+        let mut b = TimeBuckets::new(100, 5_000);
+        for &(t, g, bd) in &stream {
+            a.record(t, g, bd);
+            b.record(t, g, bd);
+        }
+        for w in [100, 1_000, 5_000] {
+            assert_eq!(a.window_totals(37_000, w), b.window_totals(37_000, w));
+        }
+    }
+}

@@ -3,10 +3,41 @@
 //! Bucket bounds are chosen at registration time and never reallocated,
 //! so recording is a binary search plus three relaxed atomic updates —
 //! safe to call from hot simulation loops.
+//!
+//! Histograms with identical bounds are *mergeable* ([`Histogram::
+//! merge_from`]): bucket-wise count addition, which is exact — the
+//! merged histogram is indistinguishable from one that recorded both
+//! streams directly. That, plus [`Histogram::from_json`] to rebuild a
+//! histogram from a scraped `/snapshot`, is what fleet-level
+//! aggregation is built on.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::json::Json;
+
+/// Why two telemetry series could not be merged.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MergeError {
+    /// The histograms disagree on bucket bounds; bucket-wise merge is
+    /// only exact between identical ladders.
+    BoundsMismatch,
+    /// A serialized series was structurally invalid (the contained
+    /// message says which field).
+    Malformed(String),
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::BoundsMismatch => {
+                write!(f, "histogram bucket bounds differ; cannot merge")
+            }
+            MergeError::Malformed(what) => write!(f, "malformed telemetry snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// Default bucket upper bounds, a coarse power-of-two ladder that suits
 /// cycle counts, run lengths, and nanosecond timings alike.
@@ -189,6 +220,99 @@ impl Histogram {
         Some(max)
     }
 
+    /// The ascending inclusive upper bucket bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Merges another histogram's counts into this one. Exact (the
+    /// result equals a histogram that recorded both streams), but only
+    /// defined between identical bucket ladders — merging across
+    /// different ladders would have to smear counts and is refused.
+    ///
+    /// Count/sum/min/max merge as sum, saturating sum, min, and max;
+    /// an empty `other` is a no-op.
+    pub fn merge_from(&self, other: &Histogram) -> Result<(), MergeError> {
+        if self.bounds != other.bounds {
+            return Err(MergeError::BoundsMismatch);
+        }
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.overflow.fetch_add(other.overflow(), Ordering::Relaxed);
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed).saturating_add(other.sum());
+        self.sum.store(sum, Ordering::Relaxed);
+        // An empty other holds min = u64::MAX / max = 0: both no-ops.
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Rebuilds a histogram from the object [`to_json`](Histogram::
+    /// to_json) produced — the deserialization half of fleet
+    /// aggregation, where scraped `/snapshot` documents are merged.
+    pub fn from_json(doc: &Json) -> Result<Histogram, MergeError> {
+        let malformed = |what: &str| MergeError::Malformed(what.to_string());
+        let bounds: Vec<u64> = doc
+            .get("bounds")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| malformed("histogram without bounds array"))?
+            .iter()
+            .map(|b| b.as_u64().ok_or_else(|| malformed("non-integer bound")))
+            .collect::<Result<_, _>>()?;
+        if bounds.is_empty() || bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(malformed("bounds not strictly ascending"));
+        }
+        let h = Histogram::new(&bounds);
+        for bucket in doc
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| malformed("histogram without buckets array"))?
+        {
+            let le = bucket
+                .get("le")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| malformed("bucket without le"))?;
+            let n = bucket
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| malformed("bucket without count"))?;
+            let i = bounds
+                .binary_search(&le)
+                .map_err(|_| malformed("bucket le not in bounds"))?;
+            h.buckets[i].store(n, Ordering::Relaxed);
+        }
+        let count = doc
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| malformed("histogram without count"))?;
+        h.count.store(count, Ordering::Relaxed);
+        h.sum.store(
+            doc.get("sum").and_then(Json::as_u64).unwrap_or(0),
+            Ordering::Relaxed,
+        );
+        h.overflow.store(
+            doc.get("overflow").and_then(Json::as_u64).unwrap_or(0),
+            Ordering::Relaxed,
+        );
+        if count > 0 {
+            let min = doc
+                .get("min")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| malformed("nonempty histogram without min"))?;
+            let max = doc
+                .get("max")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| malformed("nonempty histogram without max"))?;
+            h.min.store(min, Ordering::Relaxed);
+            h.max.store(max, Ordering::Relaxed);
+        }
+        Ok(h)
+    }
+
     /// Per-bucket `(inclusive_upper_bound, count)` pairs, excluding the
     /// overflow bucket.
     pub fn buckets(&self) -> Vec<(u64, u64)> {
@@ -205,8 +329,12 @@ impl Histogram {
     }
 
     /// Snapshot as a JSON object (the shape documented in
-    /// `EXPERIMENTS.md` for `BENCH_*.json` files).
+    /// `EXPERIMENTS.md` for `BENCH_*.json` files). The `bounds` array
+    /// carries the full bucket ladder so [`from_json`](Histogram::
+    /// from_json) reconstructs the histogram exactly even though
+    /// zero-count buckets are elided from `buckets`.
     pub fn to_json(&self) -> Json {
+        let bounds: Vec<Json> = self.bounds.iter().map(|b| Json::Num(*b as f64)).collect();
         let buckets: Vec<Json> = self
             .buckets()
             .into_iter()
@@ -216,12 +344,33 @@ impl Histogram {
         let mut doc = Json::obj()
             .set("count", self.count())
             .set("sum", self.sum())
+            .set("bounds", Json::Arr(bounds))
             .set("buckets", Json::Arr(buckets))
             .set("overflow", self.overflow());
         if let (Some(min), Some(max), Some(mean)) = (self.min(), self.max(), self.mean()) {
             doc = doc.set("min", min).set("max", max).set("mean", mean);
         }
         doc
+    }
+}
+
+impl Clone for Histogram {
+    /// A relaxed-atomic snapshot copy — counts observed per field, not
+    /// a consistent cross-field cut (same semantics as reading the
+    /// accessors one by one while writers run).
+    fn clone(&self) -> Histogram {
+        let h = Histogram::new(&self.bounds);
+        for (dst, src) in h.buckets.iter().zip(&self.buckets) {
+            dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        h.overflow.store(self.overflow(), Ordering::Relaxed);
+        h.count.store(self.count(), Ordering::Relaxed);
+        h.sum.store(self.sum(), Ordering::Relaxed);
+        h.min
+            .store(self.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        h.max
+            .store(self.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        h
     }
 }
 
@@ -410,5 +559,114 @@ mod tests {
             .expect("buckets");
         assert_eq!(buckets.len(), 2);
         assert_eq!(buckets[0].get("le").and_then(Json::as_u64), Some(10));
+        // The full ladder rides along even though zero buckets are
+        // elided, so deserialization is exact.
+        let bounds = parsed.get("bounds").and_then(Json::as_arr).expect("bounds");
+        assert_eq!(bounds.len(), 2);
+    }
+
+    #[test]
+    fn merge_equals_recording_both_streams() {
+        let merged = Histogram::new(&[10, 100]);
+        let other = Histogram::new(&[10, 100]);
+        let direct = Histogram::new(&[10, 100]);
+        for v in [1u64, 5, 50, 500] {
+            merged.record(v);
+            direct.record(v);
+        }
+        for v in [2u64, 60, 600, 7] {
+            other.record(v);
+            direct.record(v);
+        }
+        merged.merge_from(&other).expect("same bounds");
+        assert_eq!(merged.buckets(), direct.buckets());
+        assert_eq!(merged.overflow(), direct.overflow());
+        assert_eq!(merged.count(), direct.count());
+        assert_eq!(merged.sum(), direct.sum());
+        assert_eq!(merged.min(), direct.min());
+        assert_eq!(merged.max(), direct.max());
+        assert_eq!(merged.quantile(0.5), direct.quantile(0.5));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let h = Histogram::new(&[10]);
+        h.record(3);
+        let empty = Histogram::new(&[10]);
+        h.merge_from(&empty).expect("same bounds");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(3));
+        empty.merge_from(&h).expect("same bounds");
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.min(), Some(3));
+        assert_eq!(empty.max(), Some(3));
+    }
+
+    #[test]
+    fn merge_refuses_different_ladders() {
+        let a = Histogram::new(&[10]);
+        let b = Histogram::new(&[10, 100]);
+        assert_eq!(a.merge_from(&b), Err(MergeError::BoundsMismatch));
+    }
+
+    #[test]
+    fn from_json_reconstructs_exactly() {
+        let h = Histogram::with_default_buckets();
+        for v in [0u64, 1, 3, 17, 900, 1 << 21] {
+            h.record(v);
+        }
+        let rebuilt = Histogram::from_json(&h.to_json()).expect("well-formed");
+        assert_eq!(rebuilt.bounds(), h.bounds());
+        assert_eq!(rebuilt.buckets(), h.buckets());
+        assert_eq!(rebuilt.overflow(), h.overflow());
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.sum(), h.sum());
+        assert_eq!(rebuilt.min(), h.min());
+        assert_eq!(rebuilt.max(), h.max());
+        assert_eq!(rebuilt.quantile(0.99), h.quantile(0.99));
+        // An empty histogram round-trips to an empty histogram.
+        let empty = Histogram::new(&[5, 50]);
+        let rebuilt = Histogram::from_json(&empty.to_json()).expect("well-formed");
+        assert_eq!(rebuilt.count(), 0);
+        assert_eq!(rebuilt.min(), None);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        for doc in [
+            Json::obj(),                                  // no bounds
+            Json::obj().set("bounds", Json::Arr(vec![])), // empty bounds
+            Json::obj()
+                .set("bounds", Json::Arr(vec![Json::Num(10.0), Json::Num(10.0)]))
+                .set("buckets", Json::Arr(vec![]))
+                .set("count", 0u64), // non-ascending
+            Json::obj()
+                .set("bounds", Json::Arr(vec![Json::Num(10.0)]))
+                .set(
+                    "buckets",
+                    Json::Arr(vec![Json::obj().set("le", 99u64).set("count", 1u64)]),
+                )
+                .set("count", 1u64), // le not a bound
+        ] {
+            assert!(
+                matches!(Histogram::from_json(&doc), Err(MergeError::Malformed(_))),
+                "{doc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn clone_snapshots_all_fields() {
+        let h = Histogram::new(&[10, 100]);
+        h.record(5);
+        h.record(500);
+        let c = h.clone();
+        h.record(50); // the clone must not see this
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.buckets(), vec![(10, 1), (100, 0)]);
+        assert_eq!(c.overflow(), 1);
+        assert_eq!(c.min(), Some(5));
+        assert_eq!(c.max(), Some(500));
     }
 }

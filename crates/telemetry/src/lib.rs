@@ -40,7 +40,7 @@ pub mod sink;
 
 pub use counter::{Counter, Gauge};
 pub use exemplar::{Exemplar, ExemplarSet};
-pub use histogram::{Histogram, DEFAULT_BUCKETS};
+pub use histogram::{Histogram, MergeError, DEFAULT_BUCKETS};
 pub use json::{Json, JsonError};
 pub use registry::Registry;
 pub use sink::{Event, JsonlSink, NullSink, Sink, StderrSink};

@@ -127,6 +127,43 @@ pub mod server {
     /// shard count, modeled cycle time) so scraped data is
     /// self-describing. Rendered as `vlsa_server_build_info{...} 1`.
     pub const BUILD_INFO: &str = "vlsa.server.build_info";
+    /// Canonical wide events appended to the per-process ring.
+    pub const EVENTS_EMITTED: &str = "vlsa.server.events_emitted";
+    /// Wide events dropped by the emission rate limiter.
+    pub const EVENTS_DROPPED: &str = "vlsa.server.events_dropped";
+}
+
+/// `vlsa.slo.*` — the SLO error-budget engine (`vlsa-slo`): burn-rate
+/// alert transitions and live budget/burn gauges.
+pub mod slo {
+    /// Burn-rate alert transitions into `firing` (all severities).
+    pub const ALERTS: &str = "vlsa.slo.alerts";
+    /// Page-severity rules that started firing.
+    pub const PAGES: &str = "vlsa.slo.pages";
+    /// Warn-severity rules that started firing.
+    pub const WARNS: &str = "vlsa.slo.warns";
+    /// Firing rules that cleared after recovery.
+    pub const CLEARS: &str = "vlsa.slo.clears";
+    /// Fraction of the current period's error budget consumed (gauge,
+    /// labeled per SLO; exceeds 1 once the budget is blown).
+    pub const BUDGET_CONSUMED: &str = "vlsa.slo.budget_consumed";
+    /// Live burn rate (gauge, labeled per SLO, rule, and window).
+    pub const BURN_RATE: &str = "vlsa.slo.burn_rate";
+    /// Page-severity rules currently firing (gauge).
+    pub const PAGES_FIRING: &str = "vlsa.slo.pages_firing";
+    /// Warn-severity rules currently firing (gauge).
+    pub const WARNS_FIRING: &str = "vlsa.slo.warns_firing";
+}
+
+/// `vlsa.fleet.*` — the fleet aggregator (`vlsa-bench`'s `aggregate`
+/// bin): scrape-loop health over the target processes.
+pub mod fleet {
+    /// Aggregation sweeps completed (each sweep scrapes every target).
+    pub const SCRAPES: &str = "vlsa.fleet.scrapes";
+    /// Individual target scrapes that failed (unreachable or unparsable).
+    pub const SCRAPE_ERRORS: &str = "vlsa.fleet.scrape_errors";
+    /// Targets that answered the most recent sweep (gauge).
+    pub const TARGETS_UP: &str = "vlsa.fleet.targets_up";
 }
 
 /// Attaches a `key=value` label to a metric name: `labeled("vlsa.server
@@ -219,6 +256,12 @@ mod tests {
             super::server::SHED,
             super::server::PROTOCOL_ERRORS,
             super::server::REQUEST_LATENCY_US,
+            super::server::EVENTS_EMITTED,
+            super::slo::ALERTS,
+            super::slo::BUDGET_CONSUMED,
+            super::slo::BURN_RATE,
+            super::fleet::SCRAPES,
+            super::fleet::TARGETS_UP,
         ] {
             assert!(name.starts_with("vlsa."), "{name}");
             assert_eq!(name.split('.').count(), 3, "{name}");

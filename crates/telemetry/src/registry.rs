@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
 
 use crate::counter::{Counter, Gauge};
-use crate::histogram::Histogram;
+use crate::histogram::{Histogram, MergeError};
 use crate::json::Json;
 
 /// A collection of named counters, gauges, and histograms.
@@ -147,6 +147,51 @@ impl Registry {
             .set("gauges", gauges)
             .set("histograms", histograms)
     }
+
+    /// Merges a [`snapshot`](Registry::snapshot)-shaped document into
+    /// this registry — the fleet-aggregation primitive. Per series:
+    ///
+    /// - counters add (monotonic sums stay monotonic sums),
+    /// - histograms merge bucket-wise (exact; bounds must match any
+    ///   already-registered histogram of the same name),
+    /// - gauges keep the maximum seen — instantaneous values have no
+    ///   exact cross-process combination, and max is the conservative
+    ///   choice for the gauges the workspace exports (queue depths,
+    ///   degraded-shard counts, percentile estimates).
+    ///
+    /// The document's sections are optional; an empty object merges as
+    /// a no-op. The first error aborts the merge mid-way (already-
+    /// merged series keep their new values).
+    pub fn merge_snapshot(&self, snapshot: &Json) -> Result<(), MergeError> {
+        let entries = |section: &str| -> Result<Vec<(String, Json)>, MergeError> {
+            match snapshot.get(section) {
+                None => Ok(Vec::new()),
+                Some(Json::Obj(pairs)) => Ok(pairs.clone()),
+                Some(_) => Err(MergeError::Malformed(format!(
+                    "snapshot section {section} is not an object"
+                ))),
+            }
+        };
+        for (name, value) in entries("counters")? {
+            let n = value.as_u64().ok_or_else(|| {
+                MergeError::Malformed(format!("counter {name} is not a non-negative number"))
+            })?;
+            self.counter(&name).add(n);
+        }
+        for (name, value) in entries("gauges")? {
+            let v = value
+                .as_f64()
+                .ok_or_else(|| MergeError::Malformed(format!("gauge {name} is not a number")))?;
+            let gauge = self.gauge(&name);
+            gauge.set(gauge.get().max(v));
+        }
+        for (name, value) in entries("histograms")? {
+            let theirs = Histogram::from_json(&value)?;
+            let mine = self.histogram(&name, theirs.bounds());
+            mine.merge_from(&theirs)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -215,5 +260,42 @@ mod tests {
             .expect("hist");
         assert_eq!(hist.get("count").and_then(Json::as_u64), Some(1));
         assert_eq!(r.names().len(), 3);
+    }
+
+    #[test]
+    fn merge_snapshot_sums_counters_and_merges_histograms() {
+        let a = Registry::new();
+        a.counter("vlsa.test.n").add(3);
+        a.gauge("vlsa.test.depth").set(2.0);
+        a.histogram("vlsa.test.h", &[10, 100]).record(5);
+        let b = Registry::new();
+        b.counter("vlsa.test.n").add(4);
+        b.counter("vlsa.test.only_b").add(1);
+        b.gauge("vlsa.test.depth").set(7.0);
+        b.histogram("vlsa.test.h", &[10, 100]).record(50);
+        let fleet = Registry::new();
+        fleet.merge_snapshot(&a.snapshot()).expect("merge a");
+        fleet.merge_snapshot(&b.snapshot()).expect("merge b");
+        assert_eq!(fleet.counter_value("vlsa.test.n"), 7);
+        assert_eq!(fleet.counter_value("vlsa.test.only_b"), 1);
+        assert_eq!(fleet.gauge_value("vlsa.test.depth"), 7.0);
+        let h = fleet.histogram("vlsa.test.h", &[10, 100]);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.buckets(), vec![(10, 1), (100, 1)]);
+        // An empty document merges as a no-op.
+        fleet.merge_snapshot(&Json::obj()).expect("empty merge");
+        assert_eq!(fleet.counter_value("vlsa.test.n"), 7);
+    }
+
+    #[test]
+    fn merge_snapshot_rejects_mismatched_histogram_bounds() {
+        let fleet = Registry::new();
+        fleet.histogram("vlsa.test.h", &[1, 2]).record(1);
+        let other = Registry::new();
+        other.histogram("vlsa.test.h", &[10, 100]).record(5);
+        assert!(matches!(
+            fleet.merge_snapshot(&other.snapshot()),
+            Err(MergeError::BoundsMismatch)
+        ));
     }
 }

@@ -1,0 +1,169 @@
+//! Property tests for histogram merging — the algebra fleet
+//! aggregation relies on.
+//!
+//! Merging is bucket-wise addition between identical ladders, so it
+//! must behave like a commutative monoid on histograms (empty is the
+//! identity, order and grouping don't matter) and must preserve every
+//! count exactly. The quantile property is the one with real teeth:
+//! the fleet-merged histogram's quantile estimate may differ from the
+//! exact pooled-raw-samples quantile only within bucket resolution —
+//! one bucket boundary either side — because bucketing is the *only*
+//! information merging discards.
+
+use proptest::prelude::*;
+use vlsa_telemetry::{Histogram, MergeError, DEFAULT_BUCKETS};
+
+/// Structural equality over every observable field.
+fn assert_same(a: &Histogram, b: &Histogram, what: &str) {
+    assert_eq!(a.bounds(), b.bounds(), "{what}: bounds");
+    assert_eq!(a.buckets(), b.buckets(), "{what}: buckets");
+    assert_eq!(a.overflow(), b.overflow(), "{what}: overflow");
+    assert_eq!(a.count(), b.count(), "{what}: count");
+    assert_eq!(a.sum(), b.sum(), "{what}: sum");
+    assert_eq!(a.min(), b.min(), "{what}: min");
+    assert_eq!(a.max(), b.max(), "{what}: max");
+}
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let h = Histogram::with_default_buckets();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// The merged product of several per-process histograms.
+fn fleet_merge(parts: &[Histogram]) -> Histogram {
+    let fleet = Histogram::with_default_buckets();
+    for part in parts {
+        fleet.merge_from(part).expect("identical ladders");
+    }
+    fleet
+}
+
+/// The exact quantile of raw pooled samples (nearest-rank).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The inclusive value range a histogram estimate may land in for a
+/// true quantile value `v`: the bucket containing `v` widened by one
+/// bucket on each side (the documented resolution of bucketed
+/// quantiles).
+fn one_bucket_tolerance(bounds: &[u64], truth: u64, min: u64, max: u64) -> (f64, f64) {
+    // Bucket index holding `truth`; `bounds.len()` means overflow.
+    let idx = bounds.binary_search(&truth).unwrap_or_else(|i| i);
+    // Lower edge of the bucket below the containing one…
+    let lo = if idx >= 2 {
+        bounds[idx - 2] as f64
+    } else {
+        0.0
+    };
+    // …to the upper edge of the bucket above it. Estimates are clamped
+    // to the observed [min, max], so the overflow bucket tops out at
+    // the recorded maximum.
+    let hi = match bounds.get(idx + 1) {
+        Some(&b) => b as f64,
+        None => max as f64,
+    };
+    (lo.min(min as f64), hi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn merge_is_commutative(
+        xs in proptest::collection::vec(0u64..2_000_000, 1..200),
+        ys in proptest::collection::vec(0u64..2_000_000, 1..200),
+    ) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        let ab = a.clone();
+        ab.merge_from(&b).expect("same ladder");
+        let ba = b.clone();
+        ba.merge_from(&a).expect("same ladder");
+        assert_same(&ab, &ba, "commutativity");
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(0u64..2_000_000, 1..150),
+        ys in proptest::collection::vec(0u64..2_000_000, 1..150),
+        zs in proptest::collection::vec(0u64..2_000_000, 1..150),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        // (a ⊕ b) ⊕ c
+        let left = a.clone();
+        left.merge_from(&b).expect("same ladder");
+        left.merge_from(&c).expect("same ladder");
+        // a ⊕ (b ⊕ c)
+        let bc = b.clone();
+        bc.merge_from(&c).expect("same ladder");
+        let right = a.clone();
+        right.merge_from(&bc).expect("same ladder");
+        assert_same(&left, &right, "associativity");
+    }
+
+    #[test]
+    fn merge_preserves_every_count(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(0u64..2_000_000, 0..120),
+            1..6,
+        ),
+    ) {
+        let parts: Vec<Histogram> = streams.iter().map(|s| hist_of(s)).collect();
+        let fleet = fleet_merge(&parts);
+        // The merged histogram is indistinguishable from one process
+        // having recorded every sample directly.
+        let pooled: Vec<u64> = streams.iter().flatten().copied().collect();
+        let direct = hist_of(&pooled);
+        assert_same(&fleet, &direct, "count preservation");
+        let total: u64 = parts.iter().map(Histogram::count).sum();
+        assert_eq!(fleet.count(), total);
+    }
+
+    #[test]
+    fn fleet_quantiles_stay_within_one_bucket_of_pooled_truth(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(0u64..2_000_000, 1..200),
+            2..5,
+        ),
+    ) {
+        let parts: Vec<Histogram> = streams.iter().map(|s| hist_of(s)).collect();
+        let fleet = fleet_merge(&parts);
+        let mut pooled: Vec<u64> = streams.iter().flatten().copied().collect();
+        pooled.sort_unstable();
+        let (min, max) = (pooled[0], pooled[pooled.len() - 1]);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let truth = exact_quantile(&pooled, q);
+            let estimate = fleet.quantile(q).expect("nonempty");
+            let (lo, hi) = one_bucket_tolerance(DEFAULT_BUCKETS, truth, min, max);
+            prop_assert!(
+                (lo..=hi).contains(&estimate),
+                "q={} estimate {} outside [{}, {}] around exact {}",
+                q, estimate, lo, hi, truth,
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_is_the_merge_identity() {
+    let h = hist_of(&[3, 7, 9_999]);
+    let before = h.clone();
+    h.merge_from(&Histogram::with_default_buckets())
+        .expect("same ladder");
+    assert_same(&h, &before, "right identity");
+    let empty = Histogram::with_default_buckets();
+    empty.merge_from(&h).expect("same ladder");
+    assert_same(&empty, &h, "left identity");
+}
+
+#[test]
+fn mismatched_ladders_are_refused_not_smeared() {
+    let a = Histogram::with_default_buckets();
+    let b = Histogram::new(&[10, 100]);
+    assert_eq!(a.merge_from(&b), Err(MergeError::BoundsMismatch));
+    assert_eq!(b.merge_from(&a), Err(MergeError::BoundsMismatch));
+}

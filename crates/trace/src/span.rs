@@ -56,6 +56,9 @@ pub mod names {
     /// The conformance monitor closed and evaluated one sliding window
     /// (category `"monitor"`).
     pub const WINDOW: &str = "window";
+    /// An SLO burn-rate rule transitioned (fired or cleared) — category
+    /// `"slo"`, emitted by `vlsa-slo`'s engine.
+    pub const SLO_BURN: &str = "slo_burn";
 }
 
 /// Chrome trace-event phase of a [`TraceEvent`].
