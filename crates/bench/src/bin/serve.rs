@@ -20,13 +20,18 @@
 //! the SLO engine and the `/slo` route; `demo` compresses the burn
 //! windows for scripted tests), `--events` / `--events-file <path>`
 //! (canonical wide events at `/events`, optionally mirrored to a
-//! JSON-lines file).
+//! JSON-lines file), `--chaos <plan>` (arm a fault plan, e.g.
+//! `kill:shard=0@batch=3` — see `vlsa-chaos` for the DSL; the CI
+//! chaos-smoke job uses this to kill a live shard and watch the
+//! supervisor restart it through `/healthz`).
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use vlsa_bench::report::{parse_arg, split_value_flag, ArgError};
 use vlsa_bench::serverbench::SWEEP_CYCLE_NS;
+use vlsa_chaos::{ChaosInjector, FaultPlan};
 use vlsa_monitor::write_addr_file;
 use vlsa_server::{EventLogConfig, ObsConfig, ServerConfig, ShardConfig, VlsaServer};
 use vlsa_slo::Objectives;
@@ -46,6 +51,7 @@ fn main() {
     let (args, queue_capacity) = split(args, "queue-capacity");
     let (args, slo) = split(args, "slo");
     let (args, events_file) = split(args, "events-file");
+    let (args, chaos) = split(args, "chaos");
     let metrics_flag = args.iter().any(|a| a == "--metrics");
     let events_flag = args.iter().any(|a| a == "--events");
     if let Some(unexpected) = args[1..]
@@ -86,6 +92,12 @@ fn main() {
     });
     let events_file = events_file.map(PathBuf::from);
     let events = (events_flag || events_file.is_some()).then(EventLogConfig::default);
+    let chaos_plan = chaos.map(|spec| {
+        FaultPlan::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("error: --chaos plan `{spec}` is invalid: {e}");
+            std::process::exit(2);
+        })
+    });
 
     // The scrape endpoint reads the global recorder, so install it for
     // the server's lifetime: every counter in `vlsa.server.*` is live.
@@ -107,6 +119,9 @@ fn main() {
         slo: objectives,
         events,
         events_file,
+        chaos: chaos_plan
+            .as_ref()
+            .map(|plan| Arc::new(ChaosInjector::new(plan.clone()))),
         ..ServerConfig::default()
     })
     .unwrap_or_else(|e| {
@@ -118,6 +133,9 @@ fn main() {
         "serving vlsa://{} with {shards} shard(s), {nbits}-bit, {cycle_ns} ns/cycle",
         server.addr()
     );
+    if let Some(plan) = &chaos_plan {
+        println!("chaos armed: {plan}");
+    }
     if let Some(path) = addr_file.map(PathBuf::from) {
         write_addr_file(server.addr(), &path).expect("write address file");
     }

@@ -20,8 +20,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vlsa_pipeline::{adversarial_operands, biased_operands, random_operands};
 use vlsa_server::{
-    ObsConfig, Response, ServerConfig, ServerTiming, ShardConfig, TraceContext, VlsaClient,
-    VlsaServer,
+    AddBatch, ObsConfig, Outcome, Response, RetryClient, RetryPolicy, ServerConfig, ServerTiming,
+    ShardConfig, TraceContext, VlsaClient, VlsaServer,
 };
 use vlsa_telemetry::{Histogram, Json};
 
@@ -89,6 +89,13 @@ pub struct LoadConfig {
     /// [`ServerTiming`] extension, collected into
     /// [`LoadResult::traced`].
     pub trace_every: u64,
+    /// Stamp every request with this `EXT_DEADLINE` budget in
+    /// microseconds (`0` = no deadline).
+    pub deadline_us: u32,
+    /// Wrap each connection in a [`RetryClient`] with this policy
+    /// (`None` = the plain client: no retries, no hedging — the
+    /// zero-cost baseline the nominal sweep rows commit).
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for LoadConfig {
@@ -102,6 +109,8 @@ impl Default for LoadConfig {
             target_ops_per_sec: 0,
             seed: 0xB00B5,
             trace_every: 0,
+            deadline_us: 0,
+            retry: None,
         }
     }
 }
@@ -146,8 +155,20 @@ pub struct LoadResult {
     pub shed: u64,
     /// Ops whose speculative result was corrected (stall flag set).
     pub stalls: u64,
-    /// Hard failures (transport or typed server errors).
+    /// Hard failures (transport or typed server errors, plus logical
+    /// requests whose retries were exhausted or budget-denied).
     pub errors: u64,
+    /// Requests shed with a typed `DeadlineExceeded` frame — their
+    /// client-stamped budget expired before a batch slot opened.
+    pub deadline_exceeded: u64,
+    /// Retry attempts sent beyond first attempts (retry mode only).
+    pub retried: u64,
+    /// Requests that failed first but were answered by a retry.
+    pub retried_successfully: u64,
+    /// Hedged copies sent (retry mode with hedging only).
+    pub hedged: u64,
+    /// Connections deliberately torn by the client-side chaos hook.
+    pub torn: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Client-observed round-trip latency in microseconds.
@@ -199,6 +220,32 @@ fn operands_for(mix: Mix, nbits: usize, count: usize, rng: &mut StdRng) -> Vec<(
     }
 }
 
+/// Client-side counters shared across one run's connection threads.
+#[derive(Debug, Default)]
+struct Counters {
+    ops: AtomicU64,
+    answered: AtomicU64,
+    shed: AtomicU64,
+    stalls: AtomicU64,
+    errors: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    retried: AtomicU64,
+    retried_successfully: AtomicU64,
+    hedged: AtomicU64,
+    torn: AtomicU64,
+}
+
+/// One connection's client: plain, or wrapped in retry machinery.
+enum Driver {
+    Plain(VlsaClient),
+    Retry(Box<RetryClient>),
+}
+
+/// Request-id offset separating the connections' id spaces in retry
+/// mode (each attempt consumes an id, so connections cannot share the
+/// `conn + r` scheme the plain path uses).
+const RETRY_ID_SPAN: u64 = 1 << 20;
+
 /// Drives `addr` with `config.connections` open-loop client threads and
 /// aggregates what came back.
 ///
@@ -207,11 +254,7 @@ fn operands_for(mix: Mix, nbits: usize, count: usize, rng: &mut StdRng) -> Vec<(
 /// Fails when a connection cannot be established; per-request transport
 /// failures are counted in [`LoadResult::errors`] instead.
 pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> std::io::Result<LoadResult> {
-    let ops = Arc::new(AtomicU64::new(0));
-    let answered = Arc::new(AtomicU64::new(0));
-    let shed = Arc::new(AtomicU64::new(0));
-    let stalls = Arc::new(AtomicU64::new(0));
-    let errors = Arc::new(AtomicU64::new(0));
+    let counters = Arc::new(Counters::default());
     let latency_us = Arc::new(Histogram::with_default_buckets());
     let traced = Arc::new(Mutex::new(Vec::<TracedSample>::new()));
 
@@ -235,21 +278,50 @@ pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> std::io::Res
             config.requests_per_conn * config.ops_per_request,
             &mut rng,
         );
-        let (ops, answered, shed, stalls, errors, latency_us, traced) = (
-            Arc::clone(&ops),
-            Arc::clone(&answered),
-            Arc::clone(&shed),
-            Arc::clone(&stalls),
-            Arc::clone(&errors),
+        let (counters, latency_us, traced) = (
+            Arc::clone(&counters),
             Arc::clone(&latency_us),
             Arc::clone(&traced),
         );
         let (ops_per_request, requests) = (config.ops_per_request, config.requests_per_conn);
         let nbits = config.nbits as u8;
         let trace_every = config.trace_every;
-        let mut client = VlsaClient::connect(addr)?;
+        let deadline_us = config.deadline_us;
+        let mut driver = match config.retry {
+            None => Driver::Plain(VlsaClient::connect(addr)?),
+            Some(policy) => {
+                // The run-level deadline rides on every attempt unless
+                // the policy already carries its own.
+                let policy = RetryPolicy {
+                    deadline_us: policy
+                        .deadline_us
+                        .or((deadline_us > 0).then_some(deadline_us)),
+                    seed: policy.seed ^ (conn as u64).wrapping_mul(0x9E37),
+                    ..policy
+                };
+                Driver::Retry(Box::new(
+                    RetryClient::connect(&addr.to_string(), policy)?
+                        .with_request_ids(conn as u64 * RETRY_ID_SPAN, 1),
+                ))
+            }
+        };
         workers.push(std::thread::spawn(move || {
             let mut next_arrival = Instant::now();
+            let record_sums = |sums: &vlsa_server::SumBatch, rtt_us: u64| {
+                latency_us.record(rtt_us);
+                if let Some(timing) = sums.timing {
+                    traced
+                        .lock()
+                        .expect("traced samples lock")
+                        .push(TracedSample { rtt_us, timing });
+                }
+                counters.answered.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .ops
+                    .fetch_add(sums.results.len() as u64, Ordering::Relaxed);
+                let stalled = sums.results.iter().filter(|o| o.stalled()).count();
+                counters.stalls.fetch_add(stalled as u64, Ordering::Relaxed);
+            };
             for r in 0..requests {
                 if !gap.is_zero() {
                     let now = Instant::now();
@@ -261,40 +333,82 @@ pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> std::io::Res
                     next_arrival += gap;
                 }
                 let batch = &stream[r * ops_per_request..(r + 1) * ops_per_request];
-                // Same routing key the auto-incrementing client would
-                // use; the explicit id lets a trace context ride along.
-                let request_id = conn as u64 + r as u64;
                 // Client-chosen trace ids: connection in the high
                 // half, 1-based request in the low half — distinct
                 // across the fleet and never the 0 sentinel.
                 let trace = (trace_every != 0 && (r as u64).is_multiple_of(trace_every))
                     .then(|| TraceContext::sampled(((conn as u64) << 32) | (r as u64 + 1)));
                 let sent = Instant::now();
-                match client.request_traced(request_id, nbits, batch, trace) {
-                    Ok(Response::Sums(sums)) => {
-                        let rtt_us = sent.elapsed().as_micros() as u64;
-                        latency_us.record(rtt_us);
-                        if let Some(timing) = sums.timing {
-                            traced
-                                .lock()
-                                .expect("traced samples lock")
-                                .push(TracedSample { rtt_us, timing });
+                match &mut driver {
+                    Driver::Plain(client) => {
+                        // Same routing key the auto-incrementing client
+                        // would use; the explicit id lets the trace
+                        // context and deadline ride along.
+                        let request_id = conn as u64 + r as u64;
+                        let mut request = AddBatch::new(request_id, nbits, batch.to_vec());
+                        if let Some(tc) = trace {
+                            request = request.with_trace(tc);
                         }
-                        answered.fetch_add(1, Ordering::Relaxed);
-                        ops.fetch_add(sums.results.len() as u64, Ordering::Relaxed);
-                        let stalled = sums.results.iter().filter(|o| o.stalled()).count();
-                        stalls.fetch_add(stalled as u64, Ordering::Relaxed);
+                        if deadline_us > 0 {
+                            request = request.with_deadline_us(deadline_us);
+                        }
+                        let response = client
+                            .send_request(&request)
+                            .and_then(|()| client.read_response(request_id));
+                        match response {
+                            Ok(Response::Sums(sums)) => {
+                                record_sums(&sums, sent.elapsed().as_micros() as u64);
+                            }
+                            Ok(Response::Busy(_)) => {
+                                // Shed under open-loop load is lost
+                                // work, not retried — the next arrival
+                                // is already due.
+                                counters.shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(Response::DeadlineExceeded(_)) => {
+                                counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // Without retry machinery a typed Retryable
+                            // is a hard failure for this request; the
+                            // connection itself is still good.
+                            Ok(Response::Retryable(_)) => {
+                                counters.errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                counters.errors.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                        }
                     }
-                    Ok(Response::Busy(_)) => {
-                        // Shed under open-loop load is lost work, not
-                        // retried — the next arrival is already due.
-                        shed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(_) => {
-                        errors.fetch_add(1, Ordering::Relaxed);
-                        return;
+                    Driver::Retry(client) => {
+                        match client.request_traced(nbits, batch, trace) {
+                            Ok(Outcome::Answered { sums, .. }) => {
+                                record_sums(&sums, sent.elapsed().as_micros() as u64);
+                            }
+                            Ok(Outcome::Shed) => {
+                                counters.shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(Outcome::DeadlineExceeded) => {
+                                counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // Retries exhausted/denied, or a hard
+                            // protocol error: the retry client
+                            // reconnects internally, so keep offering.
+                            Ok(Outcome::Failed(_)) | Err(_) => {
+                                counters.errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
                     }
                 }
+            }
+            if let Driver::Retry(client) = &driver {
+                let s = client.stats();
+                counters.retried.fetch_add(s.retries, Ordering::Relaxed);
+                counters
+                    .retried_successfully
+                    .fetch_add(s.retried_successfully, Ordering::Relaxed);
+                counters.hedged.fetch_add(s.hedges, Ordering::Relaxed);
+                counters.torn.fetch_add(s.torn, Ordering::Relaxed);
             }
         }));
     }
@@ -306,13 +420,18 @@ pub fn run_load(addr: std::net::SocketAddr, config: &LoadConfig) -> std::io::Res
     let mut traced = std::mem::take(&mut *traced.lock().expect("traced samples lock"));
     traced.sort_by_key(|s| s.rtt_us);
 
-    let unwrap_stat = |a: &Arc<AtomicU64>| a.load(Ordering::Relaxed);
+    let unwrap_stat = |a: &AtomicU64| a.load(Ordering::Relaxed);
     Ok(LoadResult {
-        ops: unwrap_stat(&ops),
-        answered: unwrap_stat(&answered),
-        shed: unwrap_stat(&shed),
-        stalls: unwrap_stat(&stalls),
-        errors: unwrap_stat(&errors),
+        ops: unwrap_stat(&counters.ops),
+        answered: unwrap_stat(&counters.answered),
+        shed: unwrap_stat(&counters.shed),
+        stalls: unwrap_stat(&counters.stalls),
+        errors: unwrap_stat(&counters.errors),
+        deadline_exceeded: unwrap_stat(&counters.deadline_exceeded),
+        retried: unwrap_stat(&counters.retried),
+        retried_successfully: unwrap_stat(&counters.retried_successfully),
+        hedged: unwrap_stat(&counters.hedged),
+        torn: unwrap_stat(&counters.torn),
         elapsed,
         traced,
         latency_us: Arc::try_unwrap(latency_us).unwrap_or_else(|shared| {
@@ -397,15 +516,20 @@ pub fn run_point(point: &SweepPoint) -> std::io::Result<Json> {
     let totals = server.pool().totals();
     server.shutdown();
 
-    // Accounting must close: everything the clients sent was either
-    // summed or shed with a typed Busy frame — nothing vanished.
+    // Accounting must close: everything the clients sent was answered
+    // with sums or a typed verdict (Busy, DeadlineExceeded, a hard
+    // error) — nothing vanished.
     let offered = (point.load.connections * point.load.requests_per_conn) as u64;
     assert_eq!(
-        result.answered + result.shed + result.errors,
+        result.answered + result.shed + result.deadline_exceeded + result.errors,
         offered,
         "silent drop: offered requests unaccounted for"
     );
-    assert_eq!(totals.shed, result.shed, "server/client shed disagree");
+    if point.load.retry.is_none() {
+        // With retries on, the server counts every shed *attempt*; the
+        // client counts final verdicts — only plain mode compares 1:1.
+        assert_eq!(totals.shed, result.shed, "server/client shed disagree");
+    }
 
     let q = |p: f64| result.latency_us.quantile(p).unwrap_or(0.0);
     let server_q =
@@ -432,7 +556,13 @@ pub fn run_point(point: &SweepPoint) -> std::io::Result<Json> {
         .set("shed_rate", result.shed_rate())
         .set("stalls", result.stalls)
         .set("stall_rate", result.stall_rate())
-        .set("errors", result.errors))
+        .set("errors", result.errors)
+        .set("deadline_exceeded", result.deadline_exceeded)
+        .set("retried", result.retried)
+        .set("retried_successfully", result.retried_successfully)
+        .set("hedged", result.hedged)
+        .set("torn", result.torn)
+        .set("restarts", totals.restarts))
 }
 
 /// Runs the whole sweep and assembles the `BENCH_server.json` report.

@@ -1,0 +1,497 @@
+//! Fault injection for the VLSA serving stack.
+//!
+//! A [`FaultPlan`] is a small semicolon-separated DSL describing
+//! *where* and *when* faults land:
+//!
+//! ```text
+//! kill:shard=0@batch=5        panic shard 0's worker at its 5th batch
+//! kill:shard=1@cycle=20000    panic once modeled cycles reach 20000
+//! stall:shard=0@batch=3,ms=800  wedge the worker mid-batch for 800 ms
+//! tear:every=4                client tears the connection mid-frame
+//!                             every 4th request (client-side fault)
+//! delay:shard=0,every=7,ms=20 delay every 7th reply write by 20 ms
+//! dup:shard=0,every=9         write every 9th reply frame twice
+//! ```
+//!
+//! A [`ChaosInjector`] compiled from a plan is shared with the server's
+//! shard workers and connection threads. Injection points poll it with
+//! cheap atomics; when no injector is installed the serving stack pays
+//! nothing. `kill` and `stall` are **one-shot** (they fire on the first
+//! batch/cycle at or past the trigger, then disarm), `tear`/`delay`/
+//! `dup` are periodic. Every fired fault is counted so chaos harnesses
+//! can assert that the planned faults actually landed.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Highest shard id the injector tracks per-shard state for.
+const MAX_SHARDS: usize = 256;
+
+/// When a one-shot fault arms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fires at the shard's `n`th batch (1-based) or later.
+    Batch(u64),
+    /// Fires once the shard's modeled cycle counter reaches `n`.
+    Cycle(u64),
+}
+
+impl Trigger {
+    fn hit(self, batch: u64, cycles: u64) -> bool {
+        match self {
+            Trigger::Batch(n) => batch >= n,
+            Trigger::Cycle(n) => cycles >= n,
+        }
+    }
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trigger::Batch(n) => write!(f, "batch={n}"),
+            Trigger::Cycle(n) => write!(f, "cycle={n}"),
+        }
+    }
+}
+
+/// One clause of a fault plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic the shard worker thread (one-shot).
+    Kill { shard: u16, at: Trigger },
+    /// Wedge the shard worker mid-batch for `ms` (one-shot); long
+    /// enough stalls trip the supervisor's watchdog.
+    Stall { shard: u16, at: Trigger, ms: u64 },
+    /// Client-side: tear the connection after a partial frame on every
+    /// `every`th request.
+    Tear { every: u32 },
+    /// Delay every `every`th reply write on the shard by `ms`.
+    Delay { shard: u16, every: u32, ms: u64 },
+    /// Write every `every`th reply frame on the shard twice.
+    Dup { shard: u16, every: u32 },
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::Kill { shard, at } => write!(f, "kill:shard={shard}@{at}"),
+            FaultAction::Stall { shard, at, ms } => write!(f, "stall:shard={shard}@{at},ms={ms}"),
+            FaultAction::Tear { every } => write!(f, "tear:every={every}"),
+            FaultAction::Delay { shard, every, ms } => {
+                write!(f, "delay:shard={shard},every={every},ms={ms}")
+            }
+            FaultAction::Dup { shard, every } => write!(f, "dup:shard={shard},every={every}"),
+        }
+    }
+}
+
+/// A plan-string parse failure, with the offending clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanError {
+    clause: String,
+    reason: String,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault clause `{}`: {}", self.clause, self.reason)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+fn err(clause: &str, reason: impl Into<String>) -> PlanError {
+    PlanError {
+        clause: clause.to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// An ordered list of fault clauses, parsed from the DSL.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The parsed clauses, in plan order.
+    pub actions: Vec<FaultAction>,
+}
+
+impl FaultPlan {
+    /// Parses the semicolon-separated DSL; empty input is an empty
+    /// plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] naming the first malformed clause.
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanError> {
+        let mut actions = Vec::new();
+        for clause in text.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            actions.push(parse_clause(clause)?);
+        }
+        Ok(FaultPlan { actions })
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = PlanError;
+
+    fn from_str(s: &str) -> Result<FaultPlan, PlanError> {
+        FaultPlan::parse(s)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, action) in self.actions.iter().enumerate() {
+            if i > 0 {
+                f.write_str(";")?;
+            }
+            write!(f, "{action}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses `verb:k=v[,@]k=v...` into one action. The `@` separating a
+/// target from its trigger is sugar for `,`.
+fn parse_clause(clause: &str) -> Result<FaultAction, PlanError> {
+    let (verb, rest) = clause
+        .split_once(':')
+        .ok_or_else(|| err(clause, "expected `verb:params`"))?;
+    let mut shard: Option<u16> = None;
+    let mut at: Option<Trigger> = None;
+    let mut every: Option<u32> = None;
+    let mut ms: Option<u64> = None;
+    for pair in rest.split(['@', ',']) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| err(clause, format!("expected `key=value`, got `{pair}`")))?;
+        let parse_num = |v: &str| -> Result<u64, PlanError> {
+            v.parse()
+                .map_err(|_| err(clause, format!("`{key}` is not a number: `{v}`")))
+        };
+        match key {
+            "shard" => {
+                let id = parse_num(value)?;
+                if id >= MAX_SHARDS as u64 {
+                    return Err(err(clause, format!("shard must be < {MAX_SHARDS}")));
+                }
+                shard = Some(id as u16);
+            }
+            "batch" => at = Some(Trigger::Batch(parse_num(value)?)),
+            "cycle" => at = Some(Trigger::Cycle(parse_num(value)?)),
+            "every" => {
+                let n = parse_num(value)?;
+                if n == 0 {
+                    return Err(err(clause, "`every` must be >= 1"));
+                }
+                every = Some(n.min(u64::from(u32::MAX)) as u32);
+            }
+            "ms" => ms = Some(parse_num(value)?),
+            other => return Err(err(clause, format!("unknown key `{other}`"))),
+        }
+    }
+    let need_shard = || shard.ok_or_else(|| err(clause, "missing `shard=`"));
+    let need_at = || at.ok_or_else(|| err(clause, "missing `@batch=` or `@cycle=`"));
+    let need_every = || every.ok_or_else(|| err(clause, "missing `every=`"));
+    let need_ms = || ms.ok_or_else(|| err(clause, "missing `ms=`"));
+    match verb {
+        "kill" => Ok(FaultAction::Kill {
+            shard: need_shard()?,
+            at: need_at()?,
+        }),
+        "stall" => Ok(FaultAction::Stall {
+            shard: need_shard()?,
+            at: need_at()?,
+            ms: need_ms()?,
+        }),
+        "tear" => Ok(FaultAction::Tear {
+            every: need_every()?,
+        }),
+        "delay" => Ok(FaultAction::Delay {
+            shard: need_shard()?,
+            every: need_every()?,
+            ms: need_ms()?,
+        }),
+        "dup" => Ok(FaultAction::Dup {
+            shard: need_shard()?,
+            every: need_every()?,
+        }),
+        other => Err(err(clause, format!("unknown fault verb `{other}`"))),
+    }
+}
+
+/// What a shard worker should do to itself this batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// Panic the worker thread (the supervisor must recover).
+    Panic,
+    /// Sleep mid-batch for the given duration (wedges the watchdog).
+    Stall(Duration),
+}
+
+/// What a connection thread should do to the next reply write.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplyFault {
+    /// Sleep before writing the frame.
+    pub delay: Option<Duration>,
+    /// Write the frame twice.
+    pub duplicate: bool,
+}
+
+impl ReplyFault {
+    fn is_noop(self) -> bool {
+        self.delay.is_none() && !self.duplicate
+    }
+}
+
+/// Counts of faults actually fired, for end-of-run accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosCounts {
+    /// Worker panics injected.
+    pub kills: u64,
+    /// Worker stalls injected.
+    pub stalls: u64,
+    /// Reply writes delayed.
+    pub delays: u64,
+    /// Reply frames duplicated.
+    pub dups: u64,
+}
+
+/// A compiled fault plan with runtime trigger state.
+///
+/// Shared as an `Arc` between the chaos harness and the server; all
+/// state is interior atomics so injection points take no locks.
+#[derive(Debug)]
+pub struct ChaosInjector {
+    plan: FaultPlan,
+    /// One "already fired" latch per one-shot clause (index-aligned
+    /// with `plan.actions`; periodic clauses never set theirs).
+    fired: Vec<AtomicBool>,
+    /// Batches seen per shard (drives `@batch=` triggers).
+    batches: Vec<AtomicU64>,
+    /// Replies seen per shard (drives `every=` cadences).
+    replies: Vec<AtomicU64>,
+    kills: AtomicU64,
+    stalls: AtomicU64,
+    delays: AtomicU64,
+    dups: AtomicU64,
+}
+
+impl ChaosInjector {
+    /// Compiles a plan into a shareable injector.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> ChaosInjector {
+        ChaosInjector {
+            fired: plan
+                .actions
+                .iter()
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+            batches: (0..MAX_SHARDS).map(|_| AtomicU64::new(0)).collect(),
+            replies: (0..MAX_SHARDS).map(|_| AtomicU64::new(0)).collect(),
+            plan,
+            kills: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            delays: AtomicU64::new(0),
+            dups: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan this injector was compiled from.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Polled by a shard worker once per popped batch, *before*
+    /// compute. `total_cycles` is the shard's modeled cycle counter.
+    /// One-shot faults fire at most once across the shard's lifetime,
+    /// surviving worker restarts (the latch lives here, not in the
+    /// worker).
+    pub fn worker_fault(&self, shard: u16, total_cycles: u64) -> Option<WorkerFault> {
+        let slot = usize::from(shard) % MAX_SHARDS;
+        let batch = self.batches[slot].fetch_add(1, Ordering::Relaxed) + 1;
+        for (i, action) in self.plan.actions.iter().enumerate() {
+            let fault = match *action {
+                FaultAction::Kill { shard: s, at } if s == shard && at.hit(batch, total_cycles) => {
+                    WorkerFault::Panic
+                }
+                FaultAction::Stall { shard: s, at, ms }
+                    if s == shard && at.hit(batch, total_cycles) =>
+                {
+                    WorkerFault::Stall(Duration::from_millis(ms))
+                }
+                _ => continue,
+            };
+            if self.fired[i].swap(true, Ordering::Relaxed) {
+                continue; // one-shot already spent
+            }
+            match fault {
+                WorkerFault::Panic => self.kills.fetch_add(1, Ordering::Relaxed),
+                WorkerFault::Stall(_) => self.stalls.fetch_add(1, Ordering::Relaxed),
+            };
+            return Some(fault);
+        }
+        None
+    }
+
+    /// Polled by a connection thread before each reply write for the
+    /// given shard. Periodic `delay`/`dup` clauses fire on their
+    /// cadence; multiple matching clauses merge into one fault.
+    pub fn reply_fault(&self, shard: u16) -> Option<ReplyFault> {
+        let slot = usize::from(shard) % MAX_SHARDS;
+        let reply = self.replies[slot].fetch_add(1, Ordering::Relaxed) + 1;
+        let mut fault = ReplyFault::default();
+        for action in &self.plan.actions {
+            match *action {
+                FaultAction::Delay {
+                    shard: s,
+                    every,
+                    ms,
+                } if s == shard && reply.is_multiple_of(u64::from(every)) => {
+                    fault.delay = Some(Duration::from_millis(ms));
+                    self.delays.fetch_add(1, Ordering::Relaxed);
+                }
+                FaultAction::Dup { shard: s, every }
+                    if s == shard && reply.is_multiple_of(u64::from(every)) =>
+                {
+                    fault.duplicate = true;
+                    self.dups.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+        }
+        (!fault.is_noop()).then_some(fault)
+    }
+
+    /// The client-side `tear:every=N` cadence, if the plan has one.
+    #[must_use]
+    pub fn tear_every(&self) -> Option<u32> {
+        self.plan.actions.iter().find_map(|a| match a {
+            FaultAction::Tear { every } => Some(*every),
+            _ => None,
+        })
+    }
+
+    /// Faults actually fired so far.
+    pub fn counts(&self) -> ChaosCounts {
+        ChaosCounts {
+            kills: self.kills.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+            dups: self.dups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_round_trips_through_display() {
+        let text = "kill:shard=0@batch=5;stall:shard=1@cycle=20000,ms=800;tear:every=4;\
+                    delay:shard=0,every=7,ms=20;dup:shard=2,every=9";
+        let plan: FaultPlan = text.parse().expect("valid plan");
+        assert_eq!(plan.actions.len(), 5);
+        let reparsed: FaultPlan = plan.to_string().parse().expect("canonical form reparses");
+        assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn empty_and_whitespace_plans_are_empty() {
+        assert_eq!(FaultPlan::parse("").expect("ok").actions.len(), 0);
+        assert_eq!(FaultPlan::parse(" ; ; ").expect("ok").actions.len(), 0);
+    }
+
+    #[test]
+    fn malformed_clauses_name_the_problem() {
+        for (text, needle) in [
+            ("explode:shard=0@batch=1", "unknown fault verb"),
+            ("kill:shard=0", "missing `@batch="),
+            ("kill:batch=1", "missing `shard="),
+            ("stall:shard=0@batch=1", "missing `ms="),
+            ("tear:", "expected `key=value`"),
+            ("tear:every=0", "`every` must be >= 1"),
+            ("kill:shard=abc@batch=1", "not a number"),
+            ("kill:shard=0@batch=1,bogus=2", "unknown key"),
+            ("kill", "expected `verb:params`"),
+        ] {
+            let e = FaultPlan::parse(text).expect_err(text);
+            assert!(e.to_string().contains(needle), "{text}: {e}");
+        }
+    }
+
+    #[test]
+    fn kill_is_one_shot_and_shard_scoped() {
+        let inj = ChaosInjector::new("kill:shard=1@batch=3".parse().expect("plan"));
+        // Other shards never fire.
+        for _ in 0..10 {
+            assert_eq!(inj.worker_fault(0, 0), None);
+        }
+        // Shard 1: batches 1 and 2 pass, 3 fires, later batches don't.
+        assert_eq!(inj.worker_fault(1, 0), None);
+        assert_eq!(inj.worker_fault(1, 0), None);
+        assert_eq!(inj.worker_fault(1, 0), Some(WorkerFault::Panic));
+        assert_eq!(inj.worker_fault(1, 0), None);
+        assert_eq!(inj.counts().kills, 1);
+    }
+
+    #[test]
+    fn cycle_trigger_fires_once_past_threshold() {
+        let inj = ChaosInjector::new("stall:shard=0@cycle=1000,ms=50".parse().expect("plan"));
+        assert_eq!(inj.worker_fault(0, 999), None);
+        assert_eq!(
+            inj.worker_fault(0, 1000),
+            Some(WorkerFault::Stall(Duration::from_millis(50)))
+        );
+        assert_eq!(inj.worker_fault(0, 5000), None, "one-shot");
+        assert_eq!(inj.counts().stalls, 1);
+    }
+
+    #[test]
+    fn reply_faults_fire_on_cadence_and_merge() {
+        let inj = ChaosInjector::new(
+            "delay:shard=0,every=2,ms=5;dup:shard=0,every=4"
+                .parse()
+                .unwrap(),
+        );
+        let mut delays = 0;
+        let mut dups = 0;
+        for _ in 0..8 {
+            if let Some(fault) = inj.reply_fault(0) {
+                if fault.delay.is_some() {
+                    delays += 1;
+                }
+                if fault.duplicate {
+                    dups += 1;
+                }
+            }
+        }
+        assert_eq!((delays, dups), (4, 2));
+        // Reply 4 and 8 merged both faults into one ReplyFault.
+        assert_eq!(
+            inj.counts(),
+            ChaosCounts {
+                kills: 0,
+                stalls: 0,
+                delays: 4,
+                dups: 2
+            }
+        );
+        assert_eq!(inj.reply_fault(1), None, "other shards untouched");
+    }
+
+    #[test]
+    fn tear_cadence_is_exposed_for_clients() {
+        let inj = ChaosInjector::new("tear:every=4".parse().expect("plan"));
+        assert_eq!(inj.tear_every(), Some(4));
+        let none = ChaosInjector::new(FaultPlan::default());
+        assert_eq!(none.tear_every(), None);
+    }
+}

@@ -1,36 +1,64 @@
 //! A blocking client for the wire protocol — what `loadgen`, the bench
 //! suite, and the integration tests speak.
+//!
+//! Sockets carry explicit read/write timeouts from the moment they
+//! connect: a dead or wedged server surfaces as a typed
+//! [`ClientError::Timeout`] instead of hanging the caller forever.
+//! Responses whose request id does not match the in-flight request
+//! (duplicated replies under chaos, late answers racing a hedge on a
+//! reused connection) are skipped, bounded, rather than treated as
+//! protocol violations.
 
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::error::ProtocolError;
 use crate::framing::{read_frame, write_frame, ReadError};
 use crate::protocol::{AddBatch, Busy, ErrorFrame, Frame, SumBatch, TraceContext};
 
+/// Default socket read/write timeout.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How many mismatched (stale) response frames a read will skip before
+/// giving up on re-synchronizing the stream.
+const STALE_SKIP_MAX: usize = 8;
+
 /// The server's answer to a request, from the client's point of view.
+/// Every variant is a *delivered verdict* — transport and protocol
+/// failures are [`ClientError`]s instead.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
     /// The batch was executed.
     Sums(SumBatch),
     /// The batch was shed under load; retry is allowed.
     Busy(Busy),
+    /// The batch was accepted but not executed (its worker died or was
+    /// deposed); safe to retry (wire code 9).
+    Retryable(ErrorFrame),
+    /// The batch outwaited its client-stamped deadline budget and was
+    /// shed without executing (wire code 10).
+    DeadlineExceeded(ErrorFrame),
 }
 
-/// Why a request failed outright (distinct from [`Response::Busy`],
-/// which is a valid, retryable answer).
+/// Why a request failed outright (distinct from the non-[`Response::Sums`]
+/// responses, which are valid, typed answers).
 #[derive(Debug)]
 pub enum ClientError {
     /// Transport failure.
     Io(io::Error),
-    /// The server sent bytes that do not form a valid frame, or a frame
-    /// that makes no sense here (e.g. a response to a different
-    /// request id).
+    /// The server sent bytes that do not form a valid frame, or could
+    /// not be re-synchronized to the in-flight request id.
     Protocol(ProtocolError),
-    /// The server answered with a typed error frame.
+    /// The server answered with a typed error frame (other than the
+    /// retryable/deadline codes, which are [`Response`] variants).
     Server(ErrorFrame),
     /// The server closed the connection.
     Disconnected,
+    /// The socket timed out: no response within the read timeout. The
+    /// request may or may not have executed — retry with a fresh
+    /// attempt (or hedge) rather than assuming either way.
+    Timeout,
 }
 
 impl std::fmt::Display for ClientError {
@@ -40,6 +68,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::Server(e) => write!(f, "server error {}: {}", e.code, e.detail),
             ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Timeout => write!(f, "timed out waiting for the server"),
         }
     }
 }
@@ -48,7 +77,14 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> ClientError {
-        ClientError::Io(e)
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            ClientError::Timeout
+        } else {
+            ClientError::Io(e)
+        }
     }
 }
 
@@ -60,7 +96,8 @@ pub struct VlsaClient {
 }
 
 impl VlsaClient {
-    /// Connects to a server.
+    /// Connects to a server with [`DEFAULT_TIMEOUT`] read/write
+    /// timeouts.
     ///
     /// # Errors
     ///
@@ -68,6 +105,8 @@ impl VlsaClient {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<VlsaClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(DEFAULT_TIMEOUT))?;
+        stream.set_write_timeout(Some(DEFAULT_TIMEOUT))?;
         Ok(VlsaClient {
             stream,
             next_request_id: 0,
@@ -81,6 +120,15 @@ impl VlsaClient {
     pub fn with_request_id_base(mut self, base: u64) -> VlsaClient {
         self.next_request_id = base;
         self
+    }
+
+    /// Overrides the socket read timeout (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `setsockopt` failures.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
     }
 
     /// Sends one batch under an auto-assigned request id and waits for
@@ -129,29 +177,81 @@ impl VlsaClient {
         ops: &[(u64, u64)],
         trace: Option<TraceContext>,
     ) -> Result<Response, ClientError> {
-        write_frame(
-            &mut self.stream,
-            &Frame::AddBatch(AddBatch {
-                request_id,
-                nbits,
-                ops: ops.to_vec(),
-                trace,
-            }),
-        )?;
-        match read_frame(&mut self.stream) {
-            Ok(Frame::SumBatch(sums)) if sums.request_id == request_id => Ok(Response::Sums(sums)),
-            Ok(Frame::Busy(busy)) if busy.request_id == request_id => Ok(Response::Busy(busy)),
-            Ok(Frame::Error(e)) => Err(ClientError::Server(e)),
-            Ok(other) => Err(ClientError::Protocol(ProtocolError::UnexpectedFrame {
-                frame_type: other.frame_type(),
-            })),
-            Err(ReadError::Eof) => Err(ClientError::Disconnected),
-            Err(ReadError::IdleTimeout) => Err(ClientError::Io(io::Error::new(
-                io::ErrorKind::TimedOut,
-                "response timed out",
-            ))),
-            Err(ReadError::Io(e)) => Err(ClientError::Io(e)),
-            Err(ReadError::Protocol(e)) => Err(ClientError::Protocol(e)),
+        let mut request = AddBatch::new(request_id, nbits, ops.to_vec());
+        if let Some(tc) = trace {
+            request = request.with_trace(tc);
         }
+        self.send_request(&request)?;
+        self.read_response(request_id)
+    }
+
+    /// Sends a fully-built request (deadline, hedge, trace, and all)
+    /// without waiting for the answer. Pair with
+    /// [`VlsaClient::read_response`]; the retry layer splits the two to
+    /// hedge across connections.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (including a write [`ClientError::Timeout`]).
+    pub fn send_request(&mut self, request: &AddBatch) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &Frame::AddBatch(request.clone()))?;
+        Ok(())
+    }
+
+    /// Chaos hook: writes a length prefix promising a body that never
+    /// arrives, then drops the connection — a torn write, the way a
+    /// failing network produces one. The server must tear this
+    /// connection down cleanly without poisoning others.
+    pub fn tear(mut self) {
+        use std::io::Write;
+        let _ = self
+            .stream
+            .write_all(&[64, 0, 0, 0, crate::protocol::TYPE_ADD_BATCH, 1, 2]);
+        let _ = self.stream.flush();
+    }
+
+    /// Reads the response for `request_id`, skipping up to a bounded
+    /// number of stale frames for other ids (duplicated replies, late
+    /// answers racing a hedge).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn read_response(&mut self, request_id: u64) -> Result<Response, ClientError> {
+        for _ in 0..=STALE_SKIP_MAX {
+            match read_frame(&mut self.stream) {
+                Ok(Frame::SumBatch(sums)) if sums.request_id == request_id => {
+                    return Ok(Response::Sums(sums))
+                }
+                Ok(Frame::Busy(busy)) if busy.request_id == request_id => {
+                    return Ok(Response::Busy(busy))
+                }
+                // A response to some other request: a duplicate of an
+                // earlier answer or a late reply that lost its race.
+                // Skip it and keep reading.
+                Ok(Frame::SumBatch(_) | Frame::Busy(_)) => continue,
+                Ok(Frame::Error(e)) if e.code == ProtocolError::CODE_RETRYABLE => {
+                    return Ok(Response::Retryable(e))
+                }
+                Ok(Frame::Error(e)) if e.code == ProtocolError::CODE_DEADLINE_EXCEEDED => {
+                    return Ok(Response::DeadlineExceeded(e))
+                }
+                Ok(Frame::Error(e)) => return Err(ClientError::Server(e)),
+                Ok(other) => {
+                    return Err(ClientError::Protocol(ProtocolError::UnexpectedFrame {
+                        frame_type: other.frame_type(),
+                    }))
+                }
+                Err(ReadError::Eof) => return Err(ClientError::Disconnected),
+                Err(ReadError::IdleTimeout | ReadError::SlowFrame) => {
+                    return Err(ClientError::Timeout)
+                }
+                Err(ReadError::Io(e)) => return Err(e.into()),
+                Err(ReadError::Protocol(e)) => return Err(ClientError::Protocol(e)),
+            }
+        }
+        Err(ClientError::Protocol(ProtocolError::Malformed(format!(
+            "no response for request {request_id} within {STALE_SKIP_MAX} stale frames"
+        ))))
     }
 }

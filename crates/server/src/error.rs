@@ -45,6 +45,26 @@ pub enum ProtocolError {
     /// The optional tagged extension after the base body fields does
     /// not parse: unknown tag, zero trace id, or reserved flag bits.
     BadExtension(String),
+    /// The request was accepted but its shard worker died or was
+    /// deposed before answering; the request was **not** (completely)
+    /// executed and is safe to retry.
+    Retryable(String),
+    /// The request outwaited its client-stamped [`EXT_DEADLINE`]
+    /// budget inside the server and was shed without executing.
+    ///
+    /// [`EXT_DEADLINE`]: crate::protocol::EXT_DEADLINE
+    DeadlineExceeded {
+        /// The client's budget, µs.
+        budget_us: u32,
+        /// How long the request had already waited when shed, µs.
+        waited_us: u32,
+    },
+    /// A hedged copy whose `(key, seq)` was already accepted; this copy
+    /// was not executed (the first copy's answer stands).
+    DuplicateHedge,
+    /// The peer fed a frame slower than the per-frame deadline allows
+    /// (slow-loris); the connection is torn down.
+    SlowFrame,
 }
 
 impl ProtocolError {
@@ -59,8 +79,20 @@ impl ProtocolError {
             ProtocolError::UnexpectedFrame { .. } => 6,
             ProtocolError::Shutdown => 7,
             ProtocolError::BadExtension(_) => 8,
+            ProtocolError::Retryable(_) => 9,
+            ProtocolError::DeadlineExceeded { .. } => 10,
+            ProtocolError::DuplicateHedge => 11,
+            ProtocolError::SlowFrame => 12,
         }
     }
+
+    /// Code 9 ([`ProtocolError::Retryable`]) as seen on the wire.
+    pub const CODE_RETRYABLE: u16 = 9;
+    /// Code 10 ([`ProtocolError::DeadlineExceeded`]) as seen on the
+    /// wire.
+    pub const CODE_DEADLINE_EXCEEDED: u16 = 10;
+    /// Code 11 ([`ProtocolError::DuplicateHedge`]) as seen on the wire.
+    pub const CODE_DUPLICATE_HEDGE: u16 = 11;
 
     /// This error rendered as the `Error` frame the server sends back.
     pub fn to_frame(&self) -> ErrorFrame {
@@ -102,6 +134,24 @@ impl fmt::Display for ProtocolError {
             ProtocolError::BadExtension(detail) => {
                 write!(f, "bad frame extension: {detail}")
             }
+            ProtocolError::Retryable(detail) => {
+                write!(f, "not executed, safe to retry: {detail}")
+            }
+            ProtocolError::DeadlineExceeded {
+                budget_us,
+                waited_us,
+            } => {
+                write!(
+                    f,
+                    "deadline exceeded: budget {budget_us} us, waited {waited_us} us"
+                )
+            }
+            ProtocolError::DuplicateHedge => {
+                write!(f, "duplicate hedge: this (key, seq) was already accepted")
+            }
+            ProtocolError::SlowFrame => {
+                write!(f, "frame fed slower than the per-frame deadline")
+            }
         }
     }
 }
@@ -123,9 +173,19 @@ mod tests {
             ProtocolError::UnexpectedFrame { frame_type: 0x81 },
             ProtocolError::Shutdown,
             ProtocolError::BadExtension("bad tag".into()),
+            ProtocolError::Retryable("worker restarted".into()),
+            ProtocolError::DeadlineExceeded {
+                budget_us: 500,
+                waited_us: 900,
+            },
+            ProtocolError::DuplicateHedge,
+            ProtocolError::SlowFrame,
         ];
         let codes: Vec<u16> = errors.iter().map(ProtocolError::code).collect();
-        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        assert_eq!(ProtocolError::CODE_RETRYABLE, 9);
+        assert_eq!(ProtocolError::CODE_DEADLINE_EXCEEDED, 10);
+        assert_eq!(ProtocolError::CODE_DUPLICATE_HEDGE, 11);
         for e in &errors {
             let frame = e.to_frame();
             assert_eq!(frame.code, e.code());

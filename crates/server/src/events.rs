@@ -38,10 +38,15 @@ impl Default for EventLogConfig {
     }
 }
 
-/// One canonical wide event, as recorded by a shard worker per flushed
-/// batch.
+/// One canonical wide event: one per flushed batch (`kind: "batch"`,
+/// recorded by the shard worker), plus one per supervisor restart
+/// (`kind: "restart"`, recorded by the supervisor with the drained-job
+/// count) — so a worker loss is attributable from the same stream as
+/// the traffic it disturbed.
 #[derive(Clone, Debug)]
 pub struct WideEvent {
+    /// What happened: `batch` or `restart`.
+    pub kind: &'static str,
     /// Shard that ran the batch.
     pub shard: u16,
     /// Jobs (requests) in the batch.
@@ -72,6 +77,16 @@ pub struct WideEvent {
     pub slo_pages_firing: u64,
     /// Warn-severity SLO rules firing when the batch finished.
     pub slo_warns_firing: u64,
+    /// The worker generation that produced the event (bumped by each
+    /// supervisor restart; a `restart` event carries the *new*
+    /// generation).
+    pub generation: u64,
+    /// Requests shed past their deadline budget at this batch's
+    /// formation.
+    pub deadline_exceeded: u64,
+    /// Queued requests a `restart` event evacuated into `Retryable`
+    /// answers (0 for `batch` events).
+    pub retryable_drained: u64,
 }
 
 impl WideEvent {
@@ -79,6 +94,7 @@ impl WideEvent {
     pub fn to_json(&self, ts_us: u64) -> Json {
         let mut doc = Json::obj()
             .set("ts_us", ts_us)
+            .set("kind", self.kind)
             .set("shard", u64::from(self.shard))
             .set("requests", u64::from(self.requests))
             .set("ops", self.ops)
@@ -92,7 +108,10 @@ impl WideEvent {
             .set("residue_mismatches", self.residue_mismatches)
             .set("degraded", self.degraded)
             .set("slo_pages_firing", self.slo_pages_firing)
-            .set("slo_warns_firing", self.slo_warns_firing);
+            .set("slo_warns_firing", self.slo_warns_firing)
+            .set("generation", self.generation)
+            .set("deadline_exceeded", self.deadline_exceeded)
+            .set("retryable_drained", self.retryable_drained);
         if let Some(id) = self.trace_id {
             doc = doc.set("trace_id", id);
         }
@@ -220,6 +239,7 @@ mod tests {
 
     fn event(shard: u16, ops: u64) -> WideEvent {
         WideEvent {
+            kind: "batch",
             shard,
             requests: 1,
             ops,
@@ -235,6 +255,9 @@ mod tests {
             trace_id: None,
             slo_pages_firing: 0,
             slo_warns_firing: 0,
+            generation: 0,
+            deadline_exceeded: 0,
+            retryable_drained: 0,
         }
     }
 
@@ -284,10 +307,23 @@ mod tests {
         let mut e = event(3, 7);
         e.trace_id = Some(0xFACE);
         e.slo_pages_firing = 1;
+        e.generation = 2;
+        e.deadline_exceeded = 4;
+        e.retryable_drained = 6;
         let doc = e.to_json(1234);
         let parsed = Json::parse(&doc.to_string()).expect("valid JSON");
         assert_eq!(parsed.get("ts_us").and_then(Json::as_u64), Some(1234));
+        assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("batch"));
         assert_eq!(parsed.get("shard").and_then(Json::as_u64), Some(3));
+        assert_eq!(parsed.get("generation").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            parsed.get("deadline_exceeded").and_then(Json::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            parsed.get("retryable_drained").and_then(Json::as_u64),
+            Some(6)
+        );
         assert_eq!(parsed.get("ops").and_then(Json::as_u64), Some(7));
         assert_eq!(
             parsed.get("adder").and_then(Json::as_str),

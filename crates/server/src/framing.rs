@@ -8,6 +8,8 @@
 //! waiting, or report, respectively.
 
 use std::io::{self, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use crate::error::ProtocolError;
 use crate::protocol::{Frame, MAX_FRAME_LEN};
@@ -20,6 +22,10 @@ pub enum ReadError {
     /// A read timeout expired while waiting for the *first* byte of a
     /// frame — the connection is idle, not broken.
     IdleTimeout,
+    /// The peer started a frame but fed it slower than the per-frame
+    /// deadline allows (slow-loris); the connection should be torn
+    /// down with a typed error.
+    SlowFrame,
     /// A hard I/O failure, or a timeout/EOF in the middle of a frame
     /// (the stream can no longer be re-synchronized).
     Io(io::Error),
@@ -32,6 +38,7 @@ impl std::fmt::Display for ReadError {
         match self {
             ReadError::Eof => write!(f, "connection closed"),
             ReadError::IdleTimeout => write!(f, "idle read timeout"),
+            ReadError::SlowFrame => write!(f, "frame fed slower than the per-frame deadline"),
             ReadError::Io(e) => write!(f, "i/o error: {e}"),
             ReadError::Protocol(e) => write!(f, "protocol error: {e}"),
         }
@@ -89,6 +96,103 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, ReadError> {
     Frame::decode(frame[0], &frame[1..]).map_err(ReadError::Protocol)
 }
 
+/// Reads one frame from a TCP stream, bounding the lifetime of a
+/// *partial* frame: waiting for the first byte uses whatever read
+/// timeout the stream already carries (the idle policy), but once a
+/// frame has started, the rest of it must arrive within
+/// `frame_deadline` or the read fails with [`ReadError::SlowFrame`].
+///
+/// Without this bound, a slow-loris peer dripping one byte per idle
+/// window keeps a connection (and its buffer) pinned indefinitely —
+/// `read_exact` makes one byte of progress per timeout and never
+/// fails. The stream's original read timeout is restored on exit.
+///
+/// # Errors
+///
+/// As [`read_frame`], plus [`ReadError::SlowFrame`] when the frame
+/// outlives its deadline.
+pub fn read_frame_bounded(
+    stream: &TcpStream,
+    frame_deadline: Duration,
+) -> Result<Frame, ReadError> {
+    let mut first = [0u8; 1];
+    loop {
+        match (&mut &*stream).read(&mut first) {
+            Ok(0) => return Err(ReadError::Eof),
+            Ok(_) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Err(ReadError::IdleTimeout)
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    let start = Instant::now();
+    let idle_timeout = stream.read_timeout().ok().flatten();
+    let result = read_started_frame(stream, first[0], start, frame_deadline);
+    let _ = stream.set_read_timeout(idle_timeout);
+    result
+}
+
+/// The rest of [`read_frame_bounded`] once the first byte has arrived.
+fn read_started_frame(
+    stream: &TcpStream,
+    first: u8,
+    start: Instant,
+    deadline: Duration,
+) -> Result<Frame, ReadError> {
+    let mut len_buf = [first, 0, 0, 0];
+    read_exact_deadline(stream, &mut len_buf[1..], start, deadline)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 {
+        return Err(ReadError::Protocol(ProtocolError::Malformed(
+            "frame length 0 leaves no room for the type byte".into(),
+        )));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(ReadError::Protocol(ProtocolError::OversizedFrame { len }));
+    }
+    let mut frame = vec![0u8; len as usize];
+    read_exact_deadline(stream, &mut frame, start, deadline)?;
+    Frame::decode(frame[0], &frame[1..]).map_err(ReadError::Protocol)
+}
+
+/// `read_exact` that gives up once `start + deadline` passes, by
+/// shrinking the socket's read timeout to the remaining budget before
+/// each read.
+fn read_exact_deadline(
+    stream: &TcpStream,
+    buf: &mut [u8],
+    start: Instant,
+    deadline: Duration,
+) -> Result<(), ReadError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let Some(remaining) = deadline.checked_sub(start.elapsed()) else {
+            return Err(ReadError::SlowFrame);
+        };
+        // A zero SO_RCVTIMEO means "block forever"; keep at least 1 ms.
+        let _ = stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1))));
+        match (&mut &*stream).read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(ReadError::Io(io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "eof mid-frame",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if start.elapsed() >= deadline {
+                    return Err(ReadError::SlowFrame);
+                }
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,12 +201,7 @@ mod tests {
     #[test]
     fn frames_round_trip_through_a_stream() {
         let frames = vec![
-            Frame::AddBatch(AddBatch {
-                request_id: 1,
-                nbits: 32,
-                ops: vec![(3, 4)],
-                trace: None,
-            }),
+            Frame::AddBatch(AddBatch::new(1, 32, vec![(3, 4)])),
             Frame::Busy(Busy {
                 request_id: 1,
                 shard: 0,
@@ -148,13 +247,7 @@ mod tests {
 
     #[test]
     fn truncation_mid_frame_is_an_io_error() {
-        let full = Frame::AddBatch(AddBatch {
-            request_id: 1,
-            nbits: 32,
-            ops: vec![(3, 4)],
-            trace: None,
-        })
-        .encode();
+        let full = Frame::AddBatch(AddBatch::new(1, 32, vec![(3, 4)])).encode();
         // Cut the frame in half: the header promises more than arrives.
         let mut r = io::Cursor::new(full[..full.len() / 2].to_vec());
         assert!(matches!(read_frame(&mut r), Err(ReadError::Io(_))));

@@ -52,10 +52,23 @@
 //!         assert_eq!(sums.results[0].sum, 5);
 //!         assert_eq!(sums.results[1].sum, 30);
 //!     }
-//!     Response::Busy(_) => unreachable!("no load"),
+//!     other => unreachable!("no load, no faults: {other:?}"),
 //! }
 //! server.shutdown();
 //! ```
+//!
+//! ## Fault tolerance
+//!
+//! Each pool runs a supervisor thread ([`SupervisorConfig`]) that
+//! restarts dead or wedged shard workers, draining their queues into
+//! typed `Retryable` (code 9) frames — accepted work is never silently
+//! lost. Requests can carry a deadline budget (`EXT_DEADLINE`); expired
+//! ones are shed with typed `DeadlineExceeded` (code 10) frames instead
+//! of occupying batch slots. [`RetryClient`] adds client-side backoff,
+//! retry budgets, and hedged requests (deduplicated server-side by
+//! `(key, seq)`), and the `vlsa-chaos` crate injects planned faults
+//! through [`PoolHooks::chaos`] / `ServerConfig::chaos` to prove the
+//! whole loop under failure.
 
 pub mod protocol;
 
@@ -66,22 +79,25 @@ mod events;
 mod framing;
 mod obs;
 mod queue;
+mod retry;
 mod server;
 mod shard;
 mod slo;
 
 pub use batcher::{BatchPolicy, Batcher};
-pub use client::{ClientError, Response, VlsaClient};
+pub use client::{ClientError, Response, VlsaClient, DEFAULT_TIMEOUT};
 pub use error::ProtocolError;
 pub use events::{EventLog, EventLogConfig, WideEvent};
-pub use framing::{read_frame, write_frame, ReadError};
+pub use framing::{read_frame, read_frame_bounded, write_frame, ReadError};
 pub use obs::{ObsConfig, ServerObs};
 pub use protocol::{
-    AddBatch, Busy, ErrorFrame, Frame, OpResult, ServerTiming, SumBatch, TraceContext,
+    AddBatch, Busy, ErrorFrame, Frame, HedgeKey, OpResult, ServerTiming, SumBatch, TraceContext,
 };
 pub use queue::{Bounded, PushError};
+pub use retry::{Outcome, RetryClient, RetryPolicy, RetryStats};
 pub use server::{ServerConfig, ServerError, ServerStats, VlsaServer};
 pub use shard::{
     Job, JobTrace, PoolHooks, Reply, ShardConfig, ShardPool, ShardSnapshot, ShardStats,
+    SupervisorConfig,
 };
 pub use slo::{ServerSlo, SloVerdict};

@@ -15,19 +15,35 @@
 //! and the op paid the recovery bubble; bit 1 ([`FLAG_EXACT`]) — the
 //! exact path delivered the sum (escalation or degraded mode).
 //!
-//! ## Trace-context extension
+//! ## Tagged trailing extensions
 //!
-//! `AddBatch` and `SumBatch` bodies may carry one optional *tagged
-//! extension* after the base fields: a tag byte [`EXT_TRACE`] (`0x54`,
-//! `'T'`) followed by a fixed payload. On `AddBatch` the payload is a
-//! [`TraceContext`] (`trace_id u64, flags u8`) asking the server to
-//! sample this request; on `SumBatch` it is a [`ServerTiming`]
-//! (`trace_id u64, queue_us/linger_us/service_us/pace_us u32`) echoing
-//! the server-side latency decomposition so the client can subtract it
-//! from its observed round-trip and see the network/framing share.
+//! `AddBatch` and `SumBatch` bodies may carry *tagged extensions*
+//! after the base fields, each opened by a tag byte. Known tags have
+//! fixed payloads:
+//!
+//! - [`EXT_TRACE`] (`0x54`, `'T'`): on `AddBatch` a [`TraceContext`]
+//!   (`trace_id u64, flags u8`) asking the server to sample this
+//!   request; on `SumBatch` a [`ServerTiming`] (`trace_id u64,
+//!   queue_us/linger_us/service_us/pace_us u32`) echoing the
+//!   server-side latency decomposition.
+//! - [`EXT_DEADLINE`] (`0x44`, `'D'`, `AddBatch` only): a client-
+//!   stamped latency budget (`budget_us u32`). Requests that outwait
+//!   their budget inside the server are shed with a typed
+//!   `DeadlineExceeded` error frame instead of occupying a batch slot.
+//! - [`EXT_HEDGE`] (`0x48`, `'H'`, `AddBatch` only): a hedge identity
+//!   (`key u64, seq u32`). The server executes at most one request per
+//!   `(key, seq)`; duplicates get a typed `DuplicateHedge` error, so
+//!   clients can race a hedged copy without double-executing.
+//!
+//! Unrecognized tags in `0x80..=0xFF` are *skippable*: they carry a
+//! `len u8` followed by `len` payload bytes, are preserved verbatim
+//! through decode/encode, and never fail a frame — a newer peer can
+//! append extensions an older peer safely ignores. Unrecognized tags
+//! below `0x80` are a typed `BadExtension` error. Known tags may
+//! appear in any order but at most once each.
 //!
 //! Negotiation is implicit and backward compatible in both directions:
-//! frames without the extension are **byte-identical** to the
+//! frames without extensions are **byte-identical** to the
 //! pre-extension protocol (covered by golden-bytes tests), and the
 //! server only attaches timing to responses whose request carried a
 //! trace context — an untraced client never receives bytes it cannot
@@ -64,9 +80,34 @@ pub const FLAG_EXACT: u8 = 0b10;
 
 /// Tag byte of the optional trace-context extension (`'T'`).
 pub const EXT_TRACE: u8 = 0x54;
+/// Tag byte of the optional deadline extension (`'D'`, request-only).
+pub const EXT_DEADLINE: u8 = 0x44;
+/// Tag byte of the optional hedge-identity extension (`'H'`,
+/// request-only).
+pub const EXT_HEDGE: u8 = 0x48;
+/// First tag of the skippable range: unknown tags at or above this
+/// carry a `len u8` + payload and are preserved, not rejected.
+pub const EXT_SKIPPABLE_MIN: u8 = 0x80;
 /// [`TraceContext`] flag: the client asks the server to sample this
 /// request into its trace rings.
 pub const FLAG_TRACE_SAMPLED: u8 = 0b1;
+
+/// The hedge identity carried by [`EXT_HEDGE`]: the server executes at
+/// most one request per `(key, seq)` pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct HedgeKey {
+    /// Client-chosen dedup key shared by all copies of one logical
+    /// request (conventionally the trace id); must be nonzero.
+    pub key: u64,
+    /// Attempt number: 0 for the primary send, 1+ for hedges/retries
+    /// that are *allowed* to re-execute (a fresh `seq` is a fresh
+    /// logical attempt).
+    pub seq: u32,
+}
+
+/// An unrecognized skippable extension, preserved verbatim: the tag
+/// byte (`>= 0x80`) and its payload (at most 255 bytes).
+pub type UnknownExt = (u8, Vec<u8>);
 
 /// The optional trace context a client attaches to an [`AddBatch`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -133,6 +174,49 @@ pub struct AddBatch {
     /// Optional trace-context extension; `None` encodes byte-identically
     /// to the pre-extension protocol.
     pub trace: Option<TraceContext>,
+    /// Optional client-stamped latency budget ([`EXT_DEADLINE`]), µs.
+    pub deadline_us: Option<u32>,
+    /// Optional hedge identity ([`EXT_HEDGE`]) for server-side dedup.
+    pub hedge: Option<HedgeKey>,
+    /// Unrecognized skippable extensions, preserved in wire order.
+    pub unknown: Vec<UnknownExt>,
+}
+
+impl AddBatch {
+    /// An extension-free request (byte-identical to the pre-extension
+    /// protocol on the wire).
+    pub fn new(request_id: u64, nbits: u8, ops: Vec<(u64, u64)>) -> AddBatch {
+        AddBatch {
+            request_id,
+            nbits,
+            ops,
+            trace: None,
+            deadline_us: None,
+            hedge: None,
+            unknown: Vec::new(),
+        }
+    }
+
+    /// Attaches a trace context.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceContext) -> AddBatch {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches a latency budget in microseconds.
+    #[must_use]
+    pub fn with_deadline_us(mut self, budget_us: u32) -> AddBatch {
+        self.deadline_us = Some(budget_us);
+        self
+    }
+
+    /// Attaches a hedge identity for server-side dedup.
+    #[must_use]
+    pub fn with_hedge(mut self, key: u64, seq: u32) -> AddBatch {
+        self.hedge = Some(HedgeKey { key, seq });
+        self
+    }
 }
 
 /// One op's result inside a [`SumBatch`].
@@ -169,6 +253,8 @@ pub struct SumBatch {
     /// carried a sampled [`TraceContext`]; `None` encodes
     /// byte-identically to the pre-extension protocol.
     pub timing: Option<ServerTiming>,
+    /// Unrecognized skippable extensions, preserved in wire order.
+    pub unknown: Vec<UnknownExt>,
 }
 
 /// Explicit load-shed: the target shard's queue was full. The request
@@ -229,11 +315,21 @@ impl Frame {
                     put_u64(&mut body, a);
                     put_u64(&mut body, b);
                 }
+                if let Some(budget_us) = r.deadline_us {
+                    body.push(EXT_DEADLINE);
+                    put_u32(&mut body, budget_us);
+                }
+                if let Some(hedge) = r.hedge {
+                    body.push(EXT_HEDGE);
+                    put_u64(&mut body, hedge.key);
+                    put_u32(&mut body, hedge.seq);
+                }
                 if let Some(trace) = r.trace {
                     body.push(EXT_TRACE);
                     put_u64(&mut body, trace.trace_id);
                     body.push(trace.flags);
                 }
+                put_unknown_exts(&mut body, &r.unknown);
             }
             Frame::SumBatch(r) => {
                 put_u64(&mut body, r.request_id);
@@ -251,6 +347,7 @@ impl Frame {
                     put_u32(&mut body, timing.service_us);
                     put_u32(&mut body, timing.pace_us);
                 }
+                put_unknown_exts(&mut body, &r.unknown);
             }
             Frame::Busy(r) => {
                 put_u64(&mut body, r.request_id);
@@ -294,29 +391,55 @@ impl Frame {
                 for _ in 0..count {
                     ops.push((cur.u64()?, cur.u64()?));
                 }
-                let trace = if cur.is_empty() {
-                    None
-                } else {
-                    cur.extension_tag()?;
-                    let trace_id = cur.u64()?;
-                    let flags = cur.u8()?;
-                    if trace_id == 0 {
-                        return Err(ProtocolError::BadExtension(
-                            "trace_id 0 is the no-trace sentinel".into(),
-                        ));
+                let mut trace = None;
+                let mut deadline_us = None;
+                let mut hedge = None;
+                let mut unknown = Vec::new();
+                while !cur.is_empty() {
+                    let tag = cur.u8()?;
+                    match tag {
+                        EXT_TRACE => {
+                            reject_duplicate(tag, trace.is_some())?;
+                            let trace_id = cur.u64()?;
+                            let flags = cur.u8()?;
+                            if trace_id == 0 {
+                                return Err(ProtocolError::BadExtension(
+                                    "trace_id 0 is the no-trace sentinel".into(),
+                                ));
+                            }
+                            if flags & !FLAG_TRACE_SAMPLED != 0 {
+                                return Err(ProtocolError::BadExtension(format!(
+                                    "reserved trace flag bits set: 0b{flags:08b}"
+                                )));
+                            }
+                            trace = Some(TraceContext { trace_id, flags });
+                        }
+                        EXT_DEADLINE => {
+                            reject_duplicate(tag, deadline_us.is_some())?;
+                            deadline_us = Some(cur.u32()?);
+                        }
+                        EXT_HEDGE => {
+                            reject_duplicate(tag, hedge.is_some())?;
+                            let key = cur.u64()?;
+                            let seq = cur.u32()?;
+                            if key == 0 {
+                                return Err(ProtocolError::BadExtension(
+                                    "hedge key 0 is the no-hedge sentinel".into(),
+                                ));
+                            }
+                            hedge = Some(HedgeKey { key, seq });
+                        }
+                        _ => cur.skippable_ext(tag, &mut unknown)?,
                     }
-                    if flags & !FLAG_TRACE_SAMPLED != 0 {
-                        return Err(ProtocolError::BadExtension(format!(
-                            "reserved trace flag bits set: 0b{flags:08b}"
-                        )));
-                    }
-                    Some(TraceContext { trace_id, flags })
-                };
+                }
                 Frame::AddBatch(AddBatch {
                     request_id,
                     nbits,
                     ops,
                     trace,
+                    deadline_us,
+                    hedge,
+                    unknown,
                 })
             }
             TYPE_SUM_BATCH => {
@@ -333,29 +456,41 @@ impl Frame {
                         flags: cur.u8()?,
                     });
                 }
-                let timing = if cur.is_empty() {
-                    None
-                } else {
-                    cur.extension_tag()?;
-                    let timing = ServerTiming {
-                        trace_id: cur.u64()?,
-                        queue_us: cur.u32()?,
-                        linger_us: cur.u32()?,
-                        service_us: cur.u32()?,
-                        pace_us: cur.u32()?,
-                    };
-                    if timing.trace_id == 0 {
-                        return Err(ProtocolError::BadExtension(
-                            "trace_id 0 is the no-trace sentinel".into(),
-                        ));
+                let mut timing = None;
+                let mut unknown = Vec::new();
+                while !cur.is_empty() {
+                    let tag = cur.u8()?;
+                    match tag {
+                        EXT_TRACE => {
+                            reject_duplicate(tag, timing.is_some())?;
+                            let parsed = ServerTiming {
+                                trace_id: cur.u64()?,
+                                queue_us: cur.u32()?,
+                                linger_us: cur.u32()?,
+                                service_us: cur.u32()?,
+                                pace_us: cur.u32()?,
+                            };
+                            if parsed.trace_id == 0 {
+                                return Err(ProtocolError::BadExtension(
+                                    "trace_id 0 is the no-trace sentinel".into(),
+                                ));
+                            }
+                            timing = Some(parsed);
+                        }
+                        EXT_DEADLINE | EXT_HEDGE => {
+                            return Err(ProtocolError::BadExtension(format!(
+                                "request-only extension 0x{tag:02X} on a response frame"
+                            )));
+                        }
+                        _ => cur.skippable_ext(tag, &mut unknown)?,
                     }
-                    Some(timing)
-                };
+                }
                 Frame::SumBatch(SumBatch {
                     request_id,
                     shard,
                     results,
                     timing,
+                    unknown,
                 })
             }
             TYPE_BUSY => Frame::Busy(Busy {
@@ -381,6 +516,36 @@ impl Frame {
         cur.finish()?;
         Ok(frame)
     }
+}
+
+/// Appends preserved skippable extensions as `[tag][len u8][payload]`.
+/// Payloads longer than 255 bytes are truncated (the wire format
+/// cannot carry more; decode never produces such a payload).
+fn put_unknown_exts(out: &mut Vec<u8>, unknown: &[UnknownExt]) {
+    for (tag, payload) in unknown {
+        debug_assert!(
+            *tag >= EXT_SKIPPABLE_MIN,
+            "tag 0x{tag:02X} is not skippable"
+        );
+        debug_assert!(
+            payload.len() <= u8::MAX as usize,
+            "oversized skippable payload"
+        );
+        let len = payload.len().min(u8::MAX as usize);
+        out.push(*tag);
+        out.push(len as u8);
+        out.extend_from_slice(&payload[..len]);
+    }
+}
+
+/// A known extension tag may appear at most once per frame.
+fn reject_duplicate(tag: u8, seen: bool) -> Result<(), ProtocolError> {
+    if seen {
+        return Err(ProtocolError::BadExtension(format!(
+            "duplicate extension tag 0x{tag:02X}"
+        )));
+    }
+    Ok(())
 }
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
@@ -451,15 +616,21 @@ impl<'a> Cursor<'a> {
         self.buf.is_empty()
     }
 
-    /// Consumes the [`EXT_TRACE`] tag byte that opens an extension; any
-    /// other tag is a typed [`ProtocolError::BadExtension`].
-    fn extension_tag(&mut self) -> Result<(), ProtocolError> {
-        let tag = self.u8()?;
-        if tag != EXT_TRACE {
+    /// Handles a tag no known-extension arm claimed: skippable tags
+    /// (`>= 0x80`) are length-prefixed and preserved into `unknown`;
+    /// anything else is a typed [`ProtocolError::BadExtension`].
+    fn skippable_ext(
+        &mut self,
+        tag: u8,
+        unknown: &mut Vec<UnknownExt>,
+    ) -> Result<(), ProtocolError> {
+        if tag < EXT_SKIPPABLE_MIN {
             return Err(ProtocolError::BadExtension(format!(
                 "unknown extension tag 0x{tag:02X}"
             )));
         }
+        let len = self.u8()? as usize;
+        unknown.push((tag, self.take(len)?.to_vec()));
         Ok(())
     }
 
@@ -489,18 +660,12 @@ mod tests {
 
     #[test]
     fn all_frames_round_trip() {
-        round_trip(Frame::AddBatch(AddBatch {
-            request_id: 42,
-            nbits: 64,
-            ops: vec![(1, 2), (u64::MAX, 7)],
-            trace: None,
-        }));
-        round_trip(Frame::AddBatch(AddBatch {
-            request_id: 0,
-            nbits: 1,
-            ops: vec![],
-            trace: None,
-        }));
+        round_trip(Frame::AddBatch(AddBatch::new(
+            42,
+            64,
+            vec![(1, 2), (u64::MAX, 7)],
+        )));
+        round_trip(Frame::AddBatch(AddBatch::new(0, 1, vec![])));
         round_trip(Frame::SumBatch(SumBatch {
             request_id: 42,
             shard: 3,
@@ -512,6 +677,7 @@ mod tests {
                 },
             ],
             timing: None,
+            unknown: vec![],
         }));
         round_trip(Frame::Busy(Busy {
             request_id: 9,
@@ -570,12 +736,7 @@ mod tests {
 
     #[test]
     fn truncated_and_padded_bodies_are_typed() {
-        let frame = Frame::AddBatch(AddBatch {
-            request_id: 7,
-            nbits: 16,
-            ops: vec![(1, 2)],
-            trace: None,
-        });
+        let frame = Frame::AddBatch(AddBatch::new(7, 16, vec![(1, 2)]));
         let bytes = frame.encode();
         // Drop the last operand byte: count promises more than present.
         let short = Frame::decode(bytes[4], &bytes[5..bytes.len() - 1]);
@@ -607,12 +768,10 @@ mod tests {
 
     #[test]
     fn trace_extensions_round_trip() {
-        round_trip(Frame::AddBatch(AddBatch {
-            request_id: 42,
-            nbits: 64,
-            ops: vec![(1, 2)],
-            trace: Some(TraceContext::sampled(0xDEAD_BEEF_CAFE_F00D)),
-        }));
+        round_trip(Frame::AddBatch(
+            AddBatch::new(42, 64, vec![(1, 2)])
+                .with_trace(TraceContext::sampled(0xDEAD_BEEF_CAFE_F00D)),
+        ));
         round_trip(Frame::SumBatch(SumBatch {
             request_id: 42,
             shard: 1,
@@ -624,57 +783,154 @@ mod tests {
                 service_us: 77,
                 pace_us: 3000,
             }),
+            unknown: vec![],
         }));
+    }
+
+    #[test]
+    fn deadline_and_hedge_extensions_round_trip_in_any_combination() {
+        round_trip(Frame::AddBatch(
+            AddBatch::new(42, 64, vec![(1, 2)]).with_deadline_us(50_000),
+        ));
+        round_trip(Frame::AddBatch(
+            AddBatch::new(42, 64, vec![(1, 2)]).with_hedge(0xABCD, 1),
+        ));
+        round_trip(Frame::AddBatch(
+            AddBatch::new(42, 64, vec![(1, 2)])
+                .with_deadline_us(0)
+                .with_hedge(7, 0)
+                .with_trace(TraceContext::sampled(9)),
+        ));
+    }
+
+    #[test]
+    fn known_extensions_decode_in_any_order() {
+        // Hand-encode trace before deadline (the reverse of the
+        // canonical encode order) and check both are picked up.
+        let mut body = Vec::new();
+        put_u64(&mut body, 5);
+        body.push(32);
+        put_u32(&mut body, 0);
+        body.push(EXT_TRACE);
+        put_u64(&mut body, 77);
+        body.push(FLAG_TRACE_SAMPLED);
+        body.push(EXT_DEADLINE);
+        put_u32(&mut body, 1234);
+        let decoded = Frame::decode(TYPE_ADD_BATCH, &body).expect("decodes");
+        let Frame::AddBatch(req) = decoded else {
+            panic!("wrong frame");
+        };
+        assert_eq!(req.trace, Some(TraceContext::sampled(77)));
+        assert_eq!(req.deadline_us, Some(1234));
+    }
+
+    #[test]
+    fn duplicate_and_misplaced_known_extensions_are_typed() {
+        // Duplicate deadline.
+        let mut bytes = Frame::AddBatch(AddBatch::new(1, 32, vec![]).with_deadline_us(10)).encode();
+        bytes.push(EXT_DEADLINE);
+        put_u32(&mut bytes, 20);
+        let patched_len = ((bytes.len() - 4) as u32).to_le_bytes();
+        bytes[..4].copy_from_slice(&patched_len);
+        assert!(matches!(
+            Frame::decode(bytes[4], &bytes[5..]),
+            Err(ProtocolError::BadExtension(_))
+        ));
+        // Zero hedge key.
+        let mut body = Vec::new();
+        put_u64(&mut body, 1);
+        body.push(32);
+        put_u32(&mut body, 0);
+        body.push(EXT_HEDGE);
+        put_u64(&mut body, 0);
+        put_u32(&mut body, 0);
+        assert!(matches!(
+            Frame::decode(TYPE_ADD_BATCH, &body),
+            Err(ProtocolError::BadExtension(_))
+        ));
+        // Request-only extension on a response frame.
+        let mut body = Vec::new();
+        put_u64(&mut body, 1);
+        put_u16(&mut body, 0);
+        put_u32(&mut body, 0);
+        body.push(EXT_DEADLINE);
+        put_u32(&mut body, 10);
+        assert!(matches!(
+            Frame::decode(TYPE_SUM_BATCH, &body),
+            Err(ProtocolError::BadExtension(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_skippable_extensions_are_preserved_verbatim() {
+        let frame = Frame::AddBatch(AddBatch {
+            unknown: vec![(0x99, vec![1, 2, 3]), (0xF0, vec![]), (0x99, vec![4])],
+            ..AddBatch::new(3, 32, vec![(10, 11)])
+        });
+        round_trip(frame.clone());
+        // And they coexist with every known extension.
+        let Frame::AddBatch(base) = frame else {
+            panic!("wrong frame");
+        };
+        round_trip(Frame::AddBatch(
+            base.with_deadline_us(9)
+                .with_hedge(5, 2)
+                .with_trace(TraceContext::sampled(6)),
+        ));
+        round_trip(Frame::SumBatch(SumBatch {
+            request_id: 1,
+            shard: 0,
+            results: vec![],
+            timing: None,
+            unknown: vec![(0x80, vec![0xAB; 255])],
+        }));
+        // A truncated skippable payload is malformed, not silently
+        // accepted.
+        let mut body = Vec::new();
+        put_u64(&mut body, 1);
+        body.push(32);
+        put_u32(&mut body, 0);
+        body.push(0x99);
+        body.push(10); // promises 10 payload bytes
+        body.push(1); // delivers 1
+        assert!(matches!(
+            Frame::decode(TYPE_ADD_BATCH, &body),
+            Err(ProtocolError::Malformed(_))
+        ));
     }
 
     #[test]
     fn bad_trace_extensions_are_typed() {
         // Zero trace id.
-        let mut bytes = Frame::AddBatch(AddBatch {
-            request_id: 1,
-            nbits: 32,
-            ops: vec![],
-            trace: Some(TraceContext::sampled(7)),
-        })
-        .encode();
+        let mut bytes =
+            Frame::AddBatch(AddBatch::new(1, 32, vec![]).with_trace(TraceContext::sampled(7)))
+                .encode();
         bytes[5 + 8 + 1 + 4 + 1..5 + 8 + 1 + 4 + 1 + 8].fill(0);
         assert!(matches!(
             Frame::decode(bytes[4], &bytes[5..]),
             Err(ProtocolError::BadExtension(_))
         ));
         // Reserved flag bits.
-        let mut bytes = Frame::AddBatch(AddBatch {
-            request_id: 1,
-            nbits: 32,
-            ops: vec![],
-            trace: Some(TraceContext::sampled(7)),
-        })
-        .encode();
+        let mut bytes =
+            Frame::AddBatch(AddBatch::new(1, 32, vec![]).with_trace(TraceContext::sampled(7)))
+                .encode();
         *bytes.last_mut().expect("flags byte") = 0b1000_0010;
         assert!(matches!(
             Frame::decode(bytes[4], &bytes[5..]),
             Err(ProtocolError::BadExtension(_))
         ));
         // Truncated extension payload.
-        let bytes = Frame::AddBatch(AddBatch {
-            request_id: 1,
-            nbits: 32,
-            ops: vec![],
-            trace: Some(TraceContext::sampled(7)),
-        })
-        .encode();
+        let bytes =
+            Frame::AddBatch(AddBatch::new(1, 32, vec![]).with_trace(TraceContext::sampled(7)))
+                .encode();
         assert!(matches!(
             Frame::decode(bytes[4], &bytes[5..bytes.len() - 3]),
             Err(ProtocolError::Malformed(_))
         ));
         // Trailing garbage after a complete extension.
-        let mut bytes = Frame::AddBatch(AddBatch {
-            request_id: 1,
-            nbits: 32,
-            ops: vec![],
-            trace: Some(TraceContext::sampled(7)),
-        })
-        .encode();
+        let mut bytes =
+            Frame::AddBatch(AddBatch::new(1, 32, vec![]).with_trace(TraceContext::sampled(7)))
+                .encode();
         bytes.push(0xAA);
         assert!(matches!(
             Frame::decode(bytes[4], &bytes[5..]),

@@ -104,6 +104,15 @@ impl<T> Bounded<T> {
         self.inner.lock().expect("queue lock").closed
     }
 
+    /// Takes every queued item immediately, without blocking or
+    /// closing the queue. The supervisor uses this to evacuate a dead
+    /// worker's queue into typed `Retryable` answers before spawning
+    /// its replacement — the queue itself (and its producers) live on.
+    pub fn drain_now(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.items.drain(..).collect()
+    }
+
     /// Blocks for the first item, then drains greedily: items are taken
     /// while their cumulative weight (per `weigh`) stays within
     /// `max_weight`, lingering up to `linger` past the first item for
@@ -253,6 +262,17 @@ mod tests {
         let batch = q.pop_batch(10, |_| 1, Duration::ZERO);
         t.join().expect("closer");
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn drain_now_empties_without_closing() {
+        let q = Bounded::new(4);
+        q.try_push(1).expect("push");
+        q.try_push(2).expect("push");
+        assert_eq!(q.drain_now(), vec![1, 2]);
+        assert!(q.is_empty());
+        assert!(!q.is_closed());
+        assert_eq!(q.try_push(3), Ok(1), "queue stays usable after a drain");
     }
 
     #[test]

@@ -1,0 +1,500 @@
+//! Client-side resilience: retries with exponential backoff and
+//! jitter, a retry *budget* so a storm of failures cannot amplify
+//! itself, and optional hedged requests.
+//!
+//! ## Retry classes
+//!
+//! The wire protocol makes retry safety explicit. `Busy` and
+//! `Retryable` (code 9) answers mean the request was **not executed**
+//! — retrying cannot double-apply it. A timeout or torn connection is
+//! ambiguous, so every retry carries a fresh `(key, seq)` hedge
+//! identity when hedging is on: the server's dedup ring refuses a copy
+//! of an attempt it already accepted, which makes "resend after an
+//! ambiguous loss" safe too. `DeadlineExceeded` (code 10) is final by
+//! definition — the budget is gone; retrying would answer even later.
+//!
+//! ## Retry budget
+//!
+//! Backoff alone synchronizes clients into retry waves. The budget
+//! caps *total* retries to a fraction of total requests (plus a small
+//! floor so cold starts can retry at all): when the service is mostly
+//! healthy, every failure may retry; when it is mostly failing,
+//! retries are denied and failures surface fast instead of tripling
+//! the offered load.
+//!
+//! ## Hedging
+//!
+//! With [`RetryPolicy::hedge_after`] set, an attempt that has not
+//! answered within the hedge delay sends a *copy* (same `(key, seq)`)
+//! over a second connection under a different request id (so it routes
+//! to a different shard). Whichever answers first wins; the server's
+//! dedup ring guarantees at most one copy executes — a `DuplicateHedge`
+//! answer on the hedge path means the primary copy was accepted and is
+//! merely slow, so the client goes back to waiting for it.
+
+use std::io;
+use std::time::Duration;
+
+use crate::client::{ClientError, Response, VlsaClient, DEFAULT_TIMEOUT};
+use crate::error::ProtocolError;
+use crate::protocol::{AddBatch, SumBatch, TraceContext};
+
+/// Retry/hedge policy for a [`RetryClient`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Retries allowed as a fraction of requests issued (plus a floor
+    /// of 10 so a cold start can retry at all).
+    pub retry_budget_pct: f64,
+    /// Send a hedged copy if an attempt has not answered within this
+    /// delay; `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Stamp every attempt with this `EXT_DEADLINE` budget in
+    /// microseconds; `None` sends no deadline.
+    pub deadline_us: Option<u32>,
+    /// Chaos hook (the `tear:every=N` fault clause): tear the primary
+    /// connection mid-frame after every `N`th request sent, forcing the
+    /// retry path to recover over a fresh connection.
+    pub tear_every: Option<u32>,
+    /// Seed for backoff jitter and hedge keys (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+            retry_budget_pct: 0.2,
+            hedge_after: None,
+            deadline_us: None,
+            tear_every: None,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// The final verdict for one logical request, after retries and hedges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Executed; the sums arrived.
+    Answered {
+        /// The server's answer.
+        sums: SumBatch,
+        /// Attempts it took (1 = first try).
+        attempts: u32,
+        /// Whether the winning answer came over the hedge connection.
+        hedged_won: bool,
+    },
+    /// Shed (`Busy`) on the final attempt, or the retry budget denied
+    /// further attempts after a shed.
+    Shed,
+    /// The server shed it past its deadline budget — final, no retry.
+    DeadlineExceeded,
+    /// Retries exhausted (or denied by the budget) without an answer.
+    Failed(String),
+}
+
+/// Counters a [`RetryClient`] accumulates across requests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Logical requests issued.
+    pub requests: u64,
+    /// Retry attempts actually sent (not counting first attempts).
+    pub retries: u64,
+    /// Requests that failed first but were answered by a retry.
+    pub retried_successfully: u64,
+    /// Hedged copies sent.
+    pub hedges: u64,
+    /// Requests whose winning answer came over the hedge connection.
+    pub hedge_wins: u64,
+    /// `DeadlineExceeded` verdicts received.
+    pub deadline_exceeded: u64,
+    /// Typed `Retryable` answers seen (worker loss / restart drain).
+    pub retryable_seen: u64,
+    /// Retries denied by the retry budget.
+    pub budget_denied: u64,
+    /// Connections deliberately torn by the chaos hook.
+    pub torn: u64,
+}
+
+/// A [`VlsaClient`] wrapped in retry, backoff, budget, and hedging
+/// machinery. Reconnects transparently after transport failures.
+#[derive(Debug)]
+pub struct RetryClient {
+    addr: String,
+    primary: Option<VlsaClient>,
+    hedge_conn: Option<VlsaClient>,
+    policy: RetryPolicy,
+    rng: u64,
+    request_id_base: u64,
+    next_offset: u64,
+    id_stride: u64,
+    sends: u64,
+    stats: RetryStats,
+}
+
+impl RetryClient {
+    /// Connects to `addr` with the given policy. The address is kept
+    /// for reconnects after torn connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the initial connection failure.
+    pub fn connect(addr: &str, policy: RetryPolicy) -> io::Result<RetryClient> {
+        let primary = VlsaClient::connect(addr)?;
+        Ok(RetryClient {
+            addr: addr.to_string(),
+            primary: Some(primary),
+            hedge_conn: None,
+            policy,
+            rng: policy.seed | 1,
+            request_id_base: 0,
+            next_offset: 0,
+            id_stride: 1,
+            sends: 0,
+            stats: RetryStats::default(),
+        })
+    }
+
+    /// Seeds the request-id sequence (`base + n·stride`) — the shard
+    /// routing key, same contract as
+    /// [`VlsaClient::with_request_id_base`].
+    pub fn with_request_ids(mut self, base: u64, stride: u64) -> RetryClient {
+        self.request_id_base = base;
+        self.id_stride = stride.max(1);
+        self
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// One logical request: retries, backoff, budget, and hedging per
+    /// the policy. Transport failures are retried (with reconnects) up
+    /// to `max_attempts`; only a final, unretryable transport failure
+    /// surfaces as `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Hard protocol violations and unretryable server errors.
+    pub fn request(&mut self, nbits: u8, ops: &[(u64, u64)]) -> Result<Outcome, ClientError> {
+        self.request_traced(nbits, ops, None)
+    }
+
+    /// [`RetryClient::request`] with a trace context on every attempt.
+    ///
+    /// # Errors
+    ///
+    /// Hard protocol violations and unretryable server errors.
+    pub fn request_traced(
+        &mut self,
+        nbits: u8,
+        ops: &[(u64, u64)],
+        trace: Option<TraceContext>,
+    ) -> Result<Outcome, ClientError> {
+        self.stats.requests += 1;
+        let hedge_key = self.next_u64() | 1; // nonzero by construction
+        let mut last_failure = String::new();
+        let mut attempt = 0u32;
+        while attempt < self.policy.max_attempts {
+            attempt += 1;
+            if attempt > 1 {
+                if !self.budget_allows() {
+                    self.stats.budget_denied += 1;
+                    return Ok(Outcome::Failed(format!(
+                        "retry budget denied attempt {attempt}: {last_failure}"
+                    )));
+                }
+                self.stats.retries += 1;
+                std::thread::sleep(self.backoff(attempt));
+            }
+            let request_id = self.request_id_base + self.next_offset * self.id_stride;
+            self.next_offset += 1;
+            let mut request = AddBatch::new(request_id, nbits, ops.to_vec());
+            if let Some(tc) = trace {
+                request = request.with_trace(tc);
+            }
+            if let Some(budget_us) = self.policy.deadline_us {
+                request = request.with_deadline_us(budget_us);
+            }
+            if self.policy.hedge_after.is_some() {
+                // Fresh seq per attempt: an ambiguous loss is resent as
+                // a new attempt the dedup ring will accept, while a
+                // same-seq copy (the hedge) cannot double-execute.
+                request = request.with_hedge(hedge_key, attempt);
+            }
+            match self.attempt_once(&request) {
+                Ok(Response::Sums(sums)) => {
+                    if attempt > 1 {
+                        self.stats.retried_successfully += 1;
+                    }
+                    return Ok(Outcome::Answered {
+                        sums,
+                        attempts: attempt,
+                        hedged_won: false,
+                    });
+                }
+                Ok(Response::Busy(busy)) => {
+                    last_failure = format!("shed by shard {} (busy)", busy.shard);
+                }
+                Ok(Response::Retryable(e)) => {
+                    self.stats.retryable_seen += 1;
+                    last_failure = e.detail;
+                }
+                Ok(Response::DeadlineExceeded(_)) => {
+                    self.stats.deadline_exceeded += 1;
+                    return Ok(Outcome::DeadlineExceeded);
+                }
+                Err(HedgedError::HedgeWon { sums }) => {
+                    if attempt > 1 {
+                        self.stats.retried_successfully += 1;
+                    }
+                    self.stats.hedge_wins += 1;
+                    return Ok(Outcome::Answered {
+                        sums,
+                        attempts: attempt,
+                        hedged_won: true,
+                    });
+                }
+                Err(HedgedError::Client(ClientError::Timeout)) => {
+                    // The connection has an orphaned response in
+                    // flight; a fresh connection is cheaper than
+                    // re-synchronizing around it.
+                    self.primary = None;
+                    last_failure = "timed out".to_string();
+                }
+                Err(HedgedError::Client(ClientError::Disconnected | ClientError::Io(_))) => {
+                    self.primary = None;
+                    last_failure = "connection lost".to_string();
+                }
+                Err(HedgedError::Client(e)) => return Err(e),
+            }
+        }
+        Ok(match last_failure.as_str() {
+            s if s.contains("busy") => Outcome::Shed,
+            _ => Outcome::Failed(format!(
+                "{} attempts exhausted: {last_failure}",
+                self.policy.max_attempts
+            )),
+        })
+    }
+
+    /// One attempt: send on the primary, wait (hedging midway when
+    /// configured), and classify.
+    fn attempt_once(&mut self, request: &AddBatch) -> Result<Response, HedgedError> {
+        let primary = self.primary_conn().map_err(ClientError::Io)?;
+        primary.send_request(request).map_err(HedgedError::Client)?;
+        self.sends += 1;
+        if let Some(every) = self.policy.tear_every {
+            if self.sends.is_multiple_of(u64::from(every.max(1))) {
+                // The request is in flight; tearing here makes its fate
+                // ambiguous — exactly the loss the retry/hedge identity
+                // machinery must make safe to resend.
+                self.stats.torn += 1;
+                if let Some(client) = self.primary.take() {
+                    client.tear();
+                }
+                return Err(HedgedError::Client(ClientError::Disconnected));
+            }
+        }
+        let Some(hedge_after) = self.policy.hedge_after else {
+            let primary = self.primary.as_mut().expect("connected above");
+            return primary
+                .read_response(request.request_id)
+                .map_err(HedgedError::Client);
+        };
+        // Hedged wait: give the primary `hedge_after`, then race a copy
+        // over the second connection.
+        let primary = self.primary.as_mut().expect("connected above");
+        let _ = primary.set_read_timeout(Some(hedge_after));
+        let first = primary.read_response(request.request_id);
+        let _ = primary.set_read_timeout(Some(DEFAULT_TIMEOUT));
+        match first {
+            Err(ClientError::Timeout) => self.hedge(request),
+            other => other.map_err(HedgedError::Client),
+        }
+    }
+
+    /// Sends the hedged copy (same `(key, seq)`, different request id →
+    /// different shard) and resolves the race.
+    fn hedge(&mut self, request: &AddBatch) -> Result<Response, HedgedError> {
+        self.stats.hedges += 1;
+        let copy_id = request.request_id + 1; // adjacent id: another shard on multi-shard pools
+        let copy = AddBatch {
+            request_id: copy_id,
+            ..request.clone()
+        };
+        let hedged: Result<Response, ClientError> = (|| {
+            if self.hedge_conn.is_none() {
+                self.hedge_conn = Some(VlsaClient::connect(&self.addr)?);
+            }
+            let conn = self.hedge_conn.as_mut().expect("connected above");
+            conn.send_request(&copy)?;
+            conn.read_response(copy_id)
+        })();
+        match hedged {
+            Ok(Response::Sums(sums)) => {
+                // The copy executed: the primary's copy never reached
+                // the server. The primary connection may still produce
+                // a late frame; drop it rather than re-sync.
+                self.primary = None;
+                return Err(HedgedError::HedgeWon { sums });
+            }
+            Err(ClientError::Server(e)) if e.code == ProtocolError::CODE_DUPLICATE_HEDGE => {
+                // The primary's copy was accepted and is just slow —
+                // fall through and finish waiting for it.
+            }
+            // Any other hedge-path verdict (busy, torn hedge conn, …):
+            // the hedge is best-effort; fall back to the primary.
+            Ok(_) | Err(_) => {
+                self.hedge_conn = None;
+            }
+        }
+        let primary = self.primary.as_mut().expect("connected in attempt_once");
+        primary
+            .read_response(request.request_id)
+            .map_err(HedgedError::Client)
+    }
+
+    fn primary_conn(&mut self) -> io::Result<&mut VlsaClient> {
+        if self.primary.is_none() {
+            self.primary = Some(VlsaClient::connect(&self.addr)?);
+        }
+        Ok(self.primary.as_mut().expect("just connected"))
+    }
+
+    /// Whether the retry budget covers one more retry: total retries
+    /// stay under `pct × requests + 10`.
+    fn budget_allows(&self) -> bool {
+        let allowed = self
+            .policy
+            .retry_budget_pct
+            .mul_add(self.stats.requests as f64, 10.0);
+        (self.stats.retries as f64) < allowed
+    }
+
+    /// Exponential backoff with multiplicative jitter in `[0.5, 1.0]`.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(2).min(16);
+        let base = self.policy.base_backoff.saturating_mul(1 << exp);
+        let capped = base.min(self.policy.max_backoff);
+        let jitter = 0.5 + 0.5 * self.next_f64();
+        capped.mul_f64(jitter)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: tiny, seedable, good enough for jitter and keys.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Internal: an attempt's failure, or a win that arrived over the
+/// hedge connection.
+enum HedgedError {
+    Client(ClientError),
+    HedgeWon { sums: SumBatch },
+}
+
+impl From<ClientError> for HedgedError {
+    fn from(e: ClientError) -> HedgedError {
+        HedgedError::Client(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_respects_the_cap() {
+        let mut c = RetryClient {
+            addr: String::new(),
+            primary: None,
+            hedge_conn: None,
+            policy: RetryPolicy::default(),
+            rng: 7,
+            request_id_base: 0,
+            next_offset: 0,
+            id_stride: 1,
+            sends: 0,
+            stats: RetryStats::default(),
+        };
+        let b2 = c.backoff(2);
+        let b5 = c.backoff(5);
+        assert!(b2 >= Duration::from_millis(1), "{b2:?}");
+        assert!(b2 <= Duration::from_millis(2), "{b2:?}");
+        assert!(b5 >= Duration::from_millis(8), "jitter floor, got {b5:?}");
+        for attempt in 2..20 {
+            assert!(c.backoff(attempt) <= c.policy.max_backoff);
+        }
+    }
+
+    #[test]
+    fn budget_denies_when_retries_outrun_requests() {
+        let mut c = RetryClient {
+            addr: String::new(),
+            primary: None,
+            hedge_conn: None,
+            policy: RetryPolicy {
+                retry_budget_pct: 0.1,
+                ..RetryPolicy::default()
+            },
+            rng: 7,
+            request_id_base: 0,
+            next_offset: 0,
+            id_stride: 1,
+            sends: 0,
+            stats: RetryStats::default(),
+        };
+        // Cold start: the floor of 10 admits early retries.
+        c.stats.requests = 1;
+        assert!(c.budget_allows());
+        // 100 requests at 10% + floor 10 → 20 retries allowed.
+        c.stats.requests = 100;
+        c.stats.retries = 19;
+        assert!(c.budget_allows());
+        c.stats.retries = 20;
+        assert!(!c.budget_allows());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mk = |seed| RetryClient {
+            addr: String::new(),
+            primary: None,
+            hedge_conn: None,
+            policy: RetryPolicy {
+                seed,
+                ..RetryPolicy::default()
+            },
+            rng: seed | 1,
+            request_id_base: 0,
+            next_offset: 0,
+            id_stride: 1,
+            sends: 0,
+            stats: RetryStats::default(),
+        };
+        let (mut a, mut b) = (mk(42), mk(42));
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = mk(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -21,6 +21,7 @@
 //! | `/healthz` | liveness — 200 whenever the process can answer |
 //! | `/readyz` | readiness — 503 while shards are degraded or an SLO page is firing |
 
+use std::collections::{HashSet, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
@@ -30,6 +31,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use vlsa_chaos::ChaosInjector;
 use vlsa_core::SpecError;
 use vlsa_monitor::{exposition, query_param, AcceptLoop, HttpResponse, Route, ScrapeServer};
 use vlsa_telemetry::names::{labeled_multi, server as metric};
@@ -39,7 +41,7 @@ use vlsa_slo::Objectives;
 
 use crate::error::ProtocolError;
 use crate::events::{EventLog, EventLogConfig};
-use crate::framing::{read_frame, write_frame, ReadError};
+use crate::framing::{read_frame_bounded, write_frame, ReadError};
 use crate::obs::{ObsConfig, ServerObs};
 use crate::protocol::Frame;
 use crate::shard::{JobTrace, PoolHooks, Reply, ShardConfig, ShardPool};
@@ -65,6 +67,20 @@ pub struct ServerConfig {
     /// Idle read timeout per connection; bounds how long shutdown
     /// waits for connection threads to notice the stop flag.
     pub read_timeout: Duration,
+    /// Write timeout per connection socket: a peer that stops draining
+    /// its receive buffer cannot pin a connection thread forever.
+    pub write_timeout: Duration,
+    /// Total idle lifetime before a connection is reaped. A reaped
+    /// connection simply closes (there is no frame to answer); clients
+    /// reconnect. Zero disables reaping.
+    pub idle_max: Duration,
+    /// Per-frame feed deadline: once a frame's first byte arrives, the
+    /// rest must arrive within this budget or the connection is torn
+    /// down with a typed `SlowFrame` error (slow-loris defense).
+    pub frame_deadline: Duration,
+    /// Fault injector threaded into the shard workers and the reply
+    /// path; `None` (production) costs nothing.
+    pub chaos: Option<Arc<ChaosInjector>>,
     /// SLO objectives to enforce; `Some` wires an error-budget
     /// accountant into the shard workers and the submit path, serves
     /// `/slo`, and couples a firing correctness page to the shard
@@ -88,6 +104,10 @@ impl Default for ServerConfig {
             metrics: false,
             trace: ObsConfig::default(),
             read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(2),
+            idle_max: Duration::from_secs(60),
+            frame_deadline: Duration::from_secs(2),
+            chaos: None,
             slo: None,
             events: None,
             events_file: None,
@@ -135,6 +155,55 @@ pub struct ServerStats {
     pub connections: AtomicU64,
     /// Malformed/unexpected frames answered with a typed error frame.
     pub protocol_errors: AtomicU64,
+    /// Connections closed by the idle reaper.
+    pub idle_reaped: AtomicU64,
+    /// Connections torn down for feeding a frame slower than the
+    /// per-frame deadline.
+    pub slow_frames: AtomicU64,
+    /// Hedged copies refused because their `(key, seq)` was already
+    /// accepted.
+    pub hedge_duplicates: AtomicU64,
+}
+
+/// Server-side dedup for hedged requests: the first copy of a
+/// `(key, seq)` executes, later copies are refused with a typed
+/// `DuplicateHedge` frame without occupying a batch slot. A bounded
+/// FIFO of recent keys — hedges race each other by milliseconds, so a
+/// small window is enough, and an evicted key merely means a very late
+/// duplicate executes twice (same sums, never wrong answers).
+/// A hedge identity on the wire: the idempotency key and attempt seq.
+type HedgeId = (u64, u32);
+
+#[derive(Debug)]
+struct HedgeDedup {
+    cap: usize,
+    inner: Mutex<(HashSet<HedgeId>, VecDeque<HedgeId>)>,
+}
+
+impl HedgeDedup {
+    fn new(cap: usize) -> HedgeDedup {
+        HedgeDedup {
+            cap,
+            inner: Mutex::new((HashSet::new(), VecDeque::new())),
+        }
+    }
+
+    /// Whether this `(key, seq)` is the first copy seen (and is now
+    /// registered).
+    fn first_copy(&self, key: u64, seq: u32) -> bool {
+        let mut guard = self.inner.lock().expect("hedge dedup lock");
+        let (seen, order) = &mut *guard;
+        if !seen.insert((key, seq)) {
+            return false;
+        }
+        order.push_back((key, seq));
+        if order.len() > self.cap {
+            if let Some(oldest) = order.pop_front() {
+                seen.remove(&oldest);
+            }
+        }
+        true
+    }
 }
 
 /// The running service: accept loop + shard pool + trace state +
@@ -169,6 +238,7 @@ impl VlsaServer {
         let hooks = PoolHooks {
             slo: slo.clone(),
             events: events.clone(),
+            chaos: config.chaos.clone(),
         };
         let pool = Arc::new(ShardPool::start_with_hooks(
             &config.shard,
@@ -218,19 +288,24 @@ impl VlsaServer {
         } else {
             None
         };
+        let shared = Arc::new(ConnShared {
+            pool: Arc::clone(&pool),
+            stats: Arc::clone(&stats),
+            obs: Arc::clone(&obs),
+            stop: Arc::clone(&stop),
+            slo: slo.clone(),
+            chaos: config.chaos.clone(),
+            hedge: HedgeDedup::new(4096),
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            idle_max: config.idle_max,
+            frame_deadline: config.frame_deadline,
+        });
         let accept = AcceptLoop::spawn("vlsa-server-accept", &config.addr, {
-            let pool = Arc::clone(&pool);
-            let stats = Arc::clone(&stats);
-            let obs = Arc::clone(&obs);
-            let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
-            let read_timeout = config.read_timeout;
             Arc::new(move |stream: TcpStream| {
-                let pool = Arc::clone(&pool);
-                let stats = Arc::clone(&stats);
-                let obs = Arc::clone(&obs);
-                let stop = Arc::clone(&stop);
-                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(&shared);
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
                 if vlsa_telemetry::is_enabled() {
                     vlsa_telemetry::recorder()
                         .counter(metric::CONNECTIONS)
@@ -238,9 +313,7 @@ impl VlsaServer {
                 }
                 let handle = std::thread::Builder::new()
                     .name("vlsa-conn".to_string())
-                    .spawn(move || {
-                        serve_connection(stream, &pool, &stats, &obs, &stop, read_timeout)
-                    });
+                    .spawn(move || serve_connection(stream, &shared));
                 if let Ok(handle) = handle {
                     // Handles of finished connections accumulate until
                     // shutdown; fine at bench scale, and join-at-exit
@@ -484,12 +557,25 @@ fn observability_routes(
             }),
         ));
     }
-    routes.push(Route::exact(
-        "/healthz",
-        Arc::new(|_path: &str, _query: &str| {
-            HttpResponse::ok_json(Json::obj().set("ok", true).to_string())
-        }),
-    ));
+    {
+        // Liveness plus the supervisor's vital signs: a chaos run curls
+        // this through a shard kill to watch the restart land without
+        // the process restarting.
+        let pool = Arc::clone(&pool);
+        routes.push(Route::exact(
+            "/healthz",
+            Arc::new(move |_path: &str, _query: &str| {
+                HttpResponse::ok_json(
+                    Json::obj()
+                        .set("ok", true)
+                        .set("restarts", pool.restarts())
+                        .set("degraded_shards", pool.degraded_shards())
+                        .set("closing", pool.is_closing())
+                        .to_string(),
+                )
+            }),
+        ));
+    }
     {
         routes.push(Route::exact(
             "/readyz",
@@ -514,81 +600,60 @@ fn observability_routes(
     routes
 }
 
-/// One connection's protocol loop: read a frame, answer it, repeat.
-/// Every exit path is clean — a typed error frame where the protocol
-/// allows one, then teardown of *this* connection only.
-fn serve_connection(
-    mut stream: TcpStream,
-    pool: &ShardPool,
-    stats: &ServerStats,
-    obs: &ServerObs,
-    stop: &AtomicBool,
+/// Everything a connection thread needs, shared across all of them.
+#[derive(Debug)]
+struct ConnShared {
+    pool: Arc<ShardPool>,
+    stats: Arc<ServerStats>,
+    obs: Arc<ServerObs>,
+    stop: Arc<AtomicBool>,
+    slo: Option<Arc<ServerSlo>>,
+    chaos: Option<Arc<ChaosInjector>>,
+    hedge: HedgeDedup,
     read_timeout: Duration,
-) {
-    if stream.set_read_timeout(Some(read_timeout)).is_err() || stream.set_nodelay(true).is_err() {
-        return;
-    }
-    let note_protocol_error = |stats: &ServerStats| {
-        stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    write_timeout: Duration,
+    idle_max: Duration,
+    frame_deadline: Duration,
+}
+
+impl ConnShared {
+    fn note_protocol_error(&self) {
+        self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
         if vlsa_telemetry::is_enabled() {
             vlsa_telemetry::recorder()
                 .counter(metric::PROTOCOL_ERRORS)
                 .incr();
         }
-    };
+    }
+}
+
+/// One connection's protocol loop: read a frame, answer it, repeat.
+/// Every exit path is clean — a typed error frame where the protocol
+/// allows one, then teardown of *this* connection only.
+fn serve_connection(mut stream: TcpStream, shared: &ConnShared) {
+    if stream.set_read_timeout(Some(shared.read_timeout)).is_err()
+        || stream
+            .set_write_timeout(Some(shared.write_timeout))
+            .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let mut last_activity = Instant::now();
     loop {
-        if stop.load(Ordering::Relaxed) {
+        if shared.stop.load(Ordering::Relaxed) {
             break;
         }
-        match read_frame(&mut stream) {
+        match read_frame_bounded(&stream, shared.frame_deadline) {
             Ok(Frame::AddBatch(request)) => {
-                // The sampling decision: client-requested traces are
-                // always honored (and echoed on the wire); otherwise
-                // the server self-samples every Nth request with a
-                // generated id, ring-only — the response stays
-                // extension-free for untraced clients.
-                let trace = match request.trace {
-                    Some(tc) if tc.is_sampled() => Some(JobTrace {
-                        trace_id: tc.trace_id,
-                        echo: true,
-                        start_us: obs.now_us(),
-                    }),
-                    Some(_) => None,
-                    None => obs.should_self_sample().then(|| JobTrace {
-                        trace_id: obs.next_trace_id(),
-                        echo: false,
-                        start_us: obs.now_us(),
-                    }),
-                };
-                let (tx, rx) = channel();
-                let reply = match pool.submit_traced(request, tx, trace) {
-                    Ok(()) => match rx.recv() {
-                        Ok(reply) => reply,
-                        // The worker dropped the reply sender without
-                        // answering: shutdown raced the request.
-                        Err(_) => Reply {
-                            frame: Frame::Error(ProtocolError::Shutdown.to_frame()),
-                            trace: None,
-                        },
-                    },
-                    Err(frame) => Reply {
-                        frame: *frame,
-                        trace: None,
-                    },
-                };
-                let write_start = Instant::now();
-                let wrote = write_frame(&mut stream, &reply.frame).is_ok();
-                if let Some(mut rt) = reply.trace {
-                    rt.write_us = write_start.elapsed().as_micros().min(u32::MAX as u128) as u32;
-                    obs.record(rt);
-                }
-                if !wrote {
+                last_activity = Instant::now();
+                if !answer_request(&mut stream, shared, request) {
                     break;
                 }
             }
             Ok(frame) => {
                 // Well-formed, but clients may only send requests.
-                note_protocol_error(stats);
+                shared.note_protocol_error();
                 let err = ProtocolError::UnexpectedFrame {
                     frame_type: frame.frame_type(),
                 };
@@ -596,16 +661,142 @@ fn serve_connection(
                 break;
             }
             Err(ReadError::Eof) => break,
-            Err(ReadError::IdleTimeout) => continue,
+            Err(ReadError::IdleTimeout) => {
+                // Idle at a frame boundary: keep waiting until the
+                // cumulative idle lifetime runs out, then reap. There
+                // is no frame to answer — the peer just went quiet.
+                if !shared.idle_max.is_zero() && last_activity.elapsed() >= shared.idle_max {
+                    shared.stats.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                    if vlsa_telemetry::is_enabled() {
+                        vlsa_telemetry::recorder()
+                            .counter(metric::IDLE_REAPED)
+                            .incr();
+                    }
+                    break;
+                }
+            }
+            Err(ReadError::SlowFrame) => {
+                // A started frame outlived its feed deadline: the peer
+                // is slow-lorising (or broken). Typed error, teardown.
+                shared.stats.slow_frames.fetch_add(1, Ordering::Relaxed);
+                if vlsa_telemetry::is_enabled() {
+                    vlsa_telemetry::recorder()
+                        .counter(metric::SLOW_FRAMES)
+                        .incr();
+                }
+                shared.note_protocol_error();
+                let _ = write_frame(
+                    &mut stream,
+                    &Frame::Error(ProtocolError::SlowFrame.to_frame()),
+                );
+                break;
+            }
             // Mid-frame truncation or a dead socket: nothing to answer.
             Err(ReadError::Io(_)) => break,
             Err(ReadError::Protocol(e)) => {
                 // The stream cannot be re-synchronized after a framing
                 // error; answer with the typed error and tear down.
-                note_protocol_error(stats);
+                shared.note_protocol_error();
                 let _ = write_frame(&mut stream, &Frame::Error(e.to_frame()));
                 break;
             }
         }
     }
+}
+
+/// Answers one `AddBatch`: hedge dedup, submit, await the worker (or
+/// map its loss to a typed `Retryable`), inject planned reply faults,
+/// write. Returns whether the connection is still usable.
+fn answer_request(
+    stream: &mut TcpStream,
+    shared: &ConnShared,
+    request: crate::protocol::AddBatch,
+) -> bool {
+    let obs = &shared.obs;
+    let request_id = request.request_id;
+    // Hedged copies: only the first (key, seq) executes; later copies
+    // are refused typed, without occupying a batch slot. A fresh seq is
+    // a fresh logical attempt and executes normally.
+    if let Some(h) = request.hedge {
+        if !shared.hedge.first_copy(h.key, h.seq) {
+            shared
+                .stats
+                .hedge_duplicates
+                .fetch_add(1, Ordering::Relaxed);
+            if vlsa_telemetry::is_enabled() {
+                vlsa_telemetry::recorder()
+                    .counter(metric::HEDGE_DUPLICATES)
+                    .incr();
+            }
+            if let Some(slo) = &shared.slo {
+                slo.record_hedge_duplicate();
+            }
+            return write_frame(
+                stream,
+                &Frame::Error(ProtocolError::DuplicateHedge.to_frame()),
+            )
+            .is_ok();
+        }
+    }
+    // The sampling decision: client-requested traces are always
+    // honored (and echoed on the wire); otherwise the server
+    // self-samples every Nth request with a generated id, ring-only —
+    // the response stays extension-free for untraced clients.
+    let trace = match request.trace {
+        Some(tc) if tc.is_sampled() => Some(JobTrace {
+            trace_id: tc.trace_id,
+            echo: true,
+            start_us: obs.now_us(),
+        }),
+        Some(_) => None,
+        None => obs.should_self_sample().then(|| JobTrace {
+            trace_id: obs.next_trace_id(),
+            echo: false,
+            start_us: obs.now_us(),
+        }),
+    };
+    let (tx, rx) = channel();
+    let reply = match shared.pool.submit_traced(request, tx, trace) {
+        Ok(()) => match rx.recv() {
+            Ok(reply) => reply,
+            // The worker dropped the reply sender without answering.
+            // During shutdown that is the drain racing the request;
+            // otherwise the worker died holding it — the request was
+            // not executed and is safe to retry.
+            Err(_) => Reply {
+                frame: if shared.pool.is_closing() || shared.stop.load(Ordering::Relaxed) {
+                    Frame::Error(ProtocolError::Shutdown.to_frame())
+                } else {
+                    shared.pool.retryable_frame(request_id)
+                },
+                trace: None,
+            },
+        },
+        Err(frame) => Reply {
+            frame: *frame,
+            trace: None,
+        },
+    };
+    // Planned response-side chaos: delay and/or duplicate this reply.
+    // Clients must tolerate both — a delayed answer races its hedge,
+    // a duplicated one exercises stale-frame skipping.
+    let fault = shared
+        .chaos
+        .as_ref()
+        .and_then(|chaos| chaos.reply_fault(shared.pool.route(request_id) as u16));
+    if let Some(fault) = &fault {
+        if let Some(delay) = fault.delay {
+            std::thread::sleep(delay);
+        }
+    }
+    let write_start = Instant::now();
+    let mut wrote = write_frame(stream, &reply.frame).is_ok();
+    if wrote && fault.is_some_and(|f| f.duplicate) {
+        wrote = write_frame(stream, &reply.frame).is_ok();
+    }
+    if let Some(mut rt) = reply.trace {
+        rt.write_us = write_start.elapsed().as_micros().min(u32::MAX as u128) as u32;
+        obs.record(rt);
+    }
+    wrote
 }

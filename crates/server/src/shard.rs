@@ -1,11 +1,34 @@
 //! The shard pool: one `ResilientPipeline` worker thread per shard,
-//! operands routed by request id.
+//! operands routed by request id, supervised for fault recovery.
 //!
 //! Each shard owns a bounded job queue ([`crate::queue::Bounded`]), an
 //! adaptive [`crate::batcher::Batcher`], a `ResilientPipeline`, and —
 //! optionally — a live `ConformanceMonitor` wired to the shard's
 //! degrade flag, so traffic drift on one shard flips *that shard* to
 //! the exact path while the others keep speculating.
+//!
+//! ## Supervision
+//!
+//! A pool-level supervisor thread watches every shard worker through a
+//! [`ShardHealth`] heartbeat. Two failure modes are detected: a **dead**
+//! worker (the thread panicked — its liveness latch clears on unwind)
+//! and a **wedged** worker (alive but making no batch progress while
+//! work is pending, past [`SupervisorConfig::wedge_timeout`]). Either
+//! way the supervisor bumps the shard's *generation* (deposing the old
+//! worker, which refuses any jobs it still holds with typed `Retryable`
+//! frames when it wakes), evacuates the queue into `Retryable` answers
+//! — accepted work is never silently lost — and spawns a replacement
+//! worker on the *same* queue. The degrade latch is shared state, so a
+//! shard that had degraded to the exact adder stays degraded across the
+//! restart.
+//!
+//! ## Deadlines
+//!
+//! Jobs whose request carries an `EXT_DEADLINE` budget are checked when
+//! their batch is formed: a job that has already outwaited its budget
+//! is answered with a typed `DeadlineExceeded` frame instead of
+//! occupying batch compute — under overload this sheds exactly the
+//! requests whose answers would arrive too late to matter.
 //!
 //! ## Modeled device time
 //!
@@ -23,6 +46,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use vlsa_chaos::{ChaosInjector, WorkerFault};
 use vlsa_core::{SpecError, SpeculativeAdder};
 use vlsa_monitor::{ConformanceMonitor, MonitorConfig};
 use vlsa_pipeline::{ResilienceConfig, ResilientPipeline};
@@ -38,6 +62,29 @@ use crate::protocol::{
 };
 use crate::queue::{Bounded, PushError};
 use crate::slo::ServerSlo;
+
+/// Watchdog policy for the pool's supervisor thread.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorConfig {
+    /// Whether a supervisor thread runs at all. Off, a dead shard stays
+    /// dead (the pre-supervision behavior).
+    pub enabled: bool,
+    /// How often the supervisor inspects shard health.
+    pub poll: Duration,
+    /// A worker that is alive but has made no batch progress for this
+    /// long *while work is pending* is declared wedged and deposed.
+    pub wedge_timeout: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            enabled: true,
+            poll: Duration::from_millis(20),
+            wedge_timeout: Duration::from_secs(1),
+        }
+    }
+}
 
 /// Per-shard configuration, shared by every shard in a pool.
 #[derive(Clone, Debug)]
@@ -58,6 +105,8 @@ pub struct ShardConfig {
     /// Ops per conformance-monitor window; `None` runs without a
     /// monitor.
     pub monitor_window_ops: Option<u64>,
+    /// Supervisor watchdog policy.
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for ShardConfig {
@@ -70,6 +119,7 @@ impl Default for ShardConfig {
             batch: BatchPolicy::default(),
             cycle_ns: 0,
             monitor_window_ops: None,
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -130,6 +180,13 @@ pub struct ShardStats {
     pub batches: AtomicU64,
     /// Requests shed with a `Busy` frame.
     pub shed: AtomicU64,
+    /// Requests answered with a typed `Retryable` frame (worker died or
+    /// was deposed before executing them).
+    pub retryable: AtomicU64,
+    /// Requests shed with a typed `DeadlineExceeded` frame.
+    pub deadline_exceeded: AtomicU64,
+    /// Times the supervisor restarted this shard's worker.
+    pub restarts: AtomicU64,
     /// Whether this shard has latched into degraded mode.
     pub degraded: AtomicBool,
 }
@@ -149,6 +206,12 @@ pub struct ShardSnapshot {
     pub batches: u64,
     /// Requests shed.
     pub shed: u64,
+    /// Requests answered `Retryable`.
+    pub retryable: u64,
+    /// Requests shed past their deadline.
+    pub deadline_exceeded: u64,
+    /// Supervisor restarts.
+    pub restarts: u64,
     /// Degraded-mode latch.
     pub degraded: bool,
 }
@@ -162,37 +225,100 @@ impl ShardStats {
             exact_ops: self.exact_ops.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            retryable: self.retryable.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
 }
 
-struct Shard {
+/// The liveness/progress contract between one shard's worker and the
+/// supervisor. Plain atomics: the worker touches them on its hot path,
+/// the supervisor polls.
+#[derive(Debug, Default)]
+pub struct ShardHealth {
+    /// Milliseconds since the pool epoch at the worker's last sign of
+    /// progress.
+    last_progress_ms: AtomicU64,
+    /// Jobs the worker currently holds outside the queue.
+    in_flight: AtomicU64,
+    /// Cleared (on unwind or exit) by the owning generation's guard;
+    /// false means the worker thread is gone.
+    alive: AtomicBool,
+    /// The generation currently entitled to the shard. A worker that
+    /// observes a newer generation is deposed: it refuses held jobs
+    /// with `Retryable` and exits.
+    generation: AtomicU64,
+}
+
+impl ShardHealth {
+    fn touch(&self, epoch: Instant) {
+        self.last_progress_ms
+            .store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Clears the liveness latch when the owning worker unwinds or
+/// returns — but only if it still owns the shard (a deposed worker
+/// must not mark its successor dead).
+struct AliveGuard {
+    health: Arc<ShardHealth>,
+    generation: u64,
+}
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        if self.health.generation.load(Ordering::SeqCst) == self.generation {
+            self.health.alive.store(false, Ordering::SeqCst);
+        }
+    }
+}
+
+struct ShardRuntime {
     queue: Arc<Bounded<Job>>,
     stats: Arc<ShardStats>,
     degrade: Arc<AtomicBool>,
+    health: Arc<ShardHealth>,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
 
-/// Optional observability couplings threaded through the pool: the SLO
-/// accountant (fed sheds on the submit path and per-batch evidence by
-/// workers) and the canonical wide-event log (one record per flushed
-/// batch).
+/// Optional observability/fault couplings threaded through the pool:
+/// the SLO accountant (fed sheds on the submit path and per-batch
+/// evidence by workers), the canonical wide-event log (one record per
+/// flushed batch, plus restart records), and a chaos injector whose
+/// planned worker faults land inside the batch loop.
 #[derive(Clone, Debug, Default)]
 pub struct PoolHooks {
     /// SLO accountant shared with the scrape endpoint.
     pub slo: Option<Arc<ServerSlo>>,
     /// Wide-event log shared with the `/events` endpoint.
     pub events: Option<Arc<EventLog>>,
+    /// Fault injector; `None` (production) costs nothing.
+    pub chaos: Option<Arc<ChaosInjector>>,
+}
+
+/// Everything the shards and the supervisor share.
+struct PoolInner {
+    config: ShardConfig,
+    shards: Vec<ShardRuntime>,
+    degraded_total: Arc<AtomicU64>,
+    hooks: PoolHooks,
+    /// Time base for heartbeat arithmetic.
+    epoch: Instant,
+    /// Raised at the start of shutdown; the supervisor stops deposing.
+    closing: AtomicBool,
+    /// Deposed-but-unjoinable workers (wedged ones we could not wait
+    /// for at restart time); joined at shutdown.
+    graveyard: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// The pool of shard workers. Submitting routes by
 /// `request_id % shards`; shutdown closes every queue, drains what was
 /// already accepted, and joins the workers.
 pub struct ShardPool {
-    shards: Vec<Shard>,
-    degraded_total: Arc<AtomicU64>,
-    hooks: PoolHooks,
+    inner: Arc<PoolInner>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl ShardPool {
@@ -212,7 +338,8 @@ impl ShardPool {
     }
 
     /// [`ShardPool::start`] with observability hooks: an SLO accountant
-    /// and/or a wide-event log shared with the serving layer.
+    /// and/or a wide-event log shared with the serving layer, and/or a
+    /// chaos injector.
     ///
     /// # Errors
     ///
@@ -230,58 +357,53 @@ impl ShardPool {
         assert!(shards > 0, "a pool needs at least one shard");
         // Validate once up front so workers can't die on a bad config.
         SpeculativeAdder::new(config.nbits, config.window)?;
-        let degraded_total = Arc::new(AtomicU64::new(0));
         let mut built = Vec::with_capacity(shards);
-        for shard_id in 0..shards {
-            let queue = Arc::new(Bounded::new(config.queue_capacity));
-            let stats = Arc::new(ShardStats::default());
-            let degrade = Arc::new(AtomicBool::new(false));
-            let batcher = Batcher::new(Arc::clone(&queue), config.batch, |job: &Job| {
-                job.request.ops.len().max(1)
-            });
-            let worker = std::thread::Builder::new()
-                .name(format!("vlsa-shard-{shard_id}"))
-                .spawn({
-                    let config = config.clone();
-                    let stats = Arc::clone(&stats);
-                    let degrade = Arc::clone(&degrade);
-                    let degraded_total = Arc::clone(&degraded_total);
-                    let hooks = hooks.clone();
-                    move || {
-                        worker_loop(
-                            shard_id as u16,
-                            config,
-                            batcher,
-                            stats,
-                            degrade,
-                            degraded_total,
-                            hooks,
-                        )
-                    }
-                })
-                .expect("spawn shard worker");
-            built.push(Shard {
-                queue,
-                stats,
-                degrade,
-                worker: Mutex::new(Some(worker)),
+        for _ in 0..shards {
+            built.push(ShardRuntime {
+                queue: Arc::new(Bounded::new(config.queue_capacity)),
+                stats: Arc::new(ShardStats::default()),
+                degrade: Arc::new(AtomicBool::new(false)),
+                health: Arc::new(ShardHealth::default()),
+                worker: Mutex::new(None),
             });
         }
-        Ok(ShardPool {
+        let inner = Arc::new(PoolInner {
+            config: config.clone(),
             shards: built,
-            degraded_total,
+            degraded_total: Arc::new(AtomicU64::new(0)),
             hooks,
+            epoch: Instant::now(),
+            closing: AtomicBool::new(false),
+            graveyard: Mutex::new(Vec::new()),
+        });
+        for shard_id in 0..shards {
+            let shard = &inner.shards[shard_id];
+            shard.health.alive.store(true, Ordering::SeqCst);
+            shard.health.touch(inner.epoch);
+            let handle = spawn_worker(&inner, shard_id, 0);
+            *shard.worker.lock().expect("worker lock") = Some(handle);
+        }
+        let supervisor = config.supervisor.enabled.then(|| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("vlsa-supervisor".to_string())
+                .spawn(move || supervisor_loop(&inner))
+                .expect("spawn supervisor")
+        });
+        Ok(ShardPool {
+            inner,
+            supervisor: Mutex::new(supervisor),
         })
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.inner.shards.len()
     }
 
     /// The shard a request id routes to.
     pub fn route(&self, request_id: u64) -> usize {
-        (request_id % self.shards.len() as u64) as usize
+        (request_id % self.inner.shards.len() as u64) as usize
     }
 
     /// Routes and enqueues a request. On backpressure the request is
@@ -309,7 +431,7 @@ impl ShardPool {
         trace: Option<JobTrace>,
     ) -> Result<(), Box<Frame>> {
         let shard_id = self.route(request.request_id);
-        let shard = &self.shards[shard_id];
+        let shard = &self.inner.shards[shard_id];
         let request_id = request.request_id;
         let job = Job {
             request,
@@ -326,7 +448,7 @@ impl ShardPool {
                 }
                 // A shed is a request the service declined to answer:
                 // it burns availability budget.
-                if let Some(slo) = &self.hooks.slo {
+                if let Some(slo) = &self.inner.hooks.slo {
                     slo.record_shed(1);
                 }
                 Err(Box::new(Frame::Busy(Busy {
@@ -343,13 +465,13 @@ impl ShardPool {
 
     /// A shard's counters.
     pub fn stats(&self, shard: usize) -> ShardSnapshot {
-        self.shards[shard].stats.snapshot()
+        self.inner.shards[shard].stats.snapshot()
     }
 
     /// Counters summed across all shards.
     pub fn totals(&self) -> ShardSnapshot {
         let mut total = ShardSnapshot::default();
-        for shard in &self.shards {
+        for shard in &self.inner.shards {
             let s = shard.stats.snapshot();
             total.requests += s.requests;
             total.ops += s.ops;
@@ -357,6 +479,9 @@ impl ShardPool {
             total.exact_ops += s.exact_ops;
             total.batches += s.batches;
             total.shed += s.shed;
+            total.retryable += s.retryable;
+            total.deadline_exceeded += s.deadline_exceeded;
+            total.restarts += s.restarts;
             total.degraded |= s.degraded;
         }
         total
@@ -364,31 +489,79 @@ impl ShardPool {
 
     /// Current depth of a shard's queue.
     pub fn queue_depth(&self, shard: usize) -> usize {
-        self.shards[shard].queue.len()
+        self.inner.shards[shard].queue.len()
     }
 
     /// A shard's degrade flag — the coupling point for an external
     /// monitor or an operator switch; raising it flips that shard to
     /// the exact path before its next op.
     pub fn degrade_flag(&self, shard: usize) -> Arc<AtomicBool> {
-        Arc::clone(&self.shards[shard].degrade)
+        Arc::clone(&self.inner.shards[shard].degrade)
     }
 
     /// Shards currently latched into degraded mode.
     pub fn degraded_shards(&self) -> u64 {
-        self.degraded_total.load(Ordering::Relaxed)
+        self.inner.degraded_total.load(Ordering::Relaxed)
+    }
+
+    /// Supervisor restarts across all shards.
+    pub fn restarts(&self) -> u64 {
+        self.totals().restarts
+    }
+
+    /// Whether [`ShardPool::shutdown`] has begun. The serving layer
+    /// uses this to tell a worker loss (answer `Retryable`) from a
+    /// drain (answer `Shutdown`).
+    pub fn is_closing(&self) -> bool {
+        self.inner.closing.load(Ordering::Relaxed)
+    }
+
+    /// Counts and builds the typed `Retryable` answer for a request
+    /// whose reply channel died with its worker (the job was in flight
+    /// when the worker was killed). The supervisor handles *queued*
+    /// jobs itself; this is the connection thread's path for in-flight
+    /// ones.
+    pub fn retryable_frame(&self, request_id: u64) -> Frame {
+        let shard_id = self.route(request_id);
+        let shard = &self.inner.shards[shard_id];
+        shard.stats.retryable.fetch_add(1, Ordering::Relaxed);
+        if vlsa_telemetry::is_enabled() {
+            vlsa_telemetry::recorder().counter(metric::RETRYABLE).incr();
+        }
+        if let Some(slo) = &self.inner.hooks.slo {
+            slo.record_retryable(1);
+        }
+        Frame::Error(
+            ProtocolError::Retryable(format!("shard {shard_id} worker lost mid-request"))
+                .to_frame(),
+        )
     }
 
     /// Closes every queue, lets the workers drain what was accepted,
-    /// and joins them. Idempotent; also runs on drop.
+    /// and joins them (plus the supervisor). Idempotent; also runs on
+    /// drop.
     pub fn shutdown(&self) {
-        for shard in &self.shards {
+        self.inner.closing.store(true, Ordering::SeqCst);
+        for shard in &self.inner.shards {
             shard.queue.close();
         }
-        for shard in &self.shards {
+        for shard in &self.inner.shards {
             if let Some(handle) = shard.worker.lock().expect("worker lock").take() {
                 let _ = handle.join();
             }
+        }
+        if let Some(handle) = self.supervisor.lock().expect("supervisor lock").take() {
+            let _ = handle.join();
+        }
+        let deposed: Vec<JoinHandle<()>> = self
+            .inner
+            .graveyard
+            .lock()
+            .expect("graveyard lock")
+            .drain(..)
+            .collect();
+        for handle in deposed {
+            let _ = handle.join();
         }
     }
 }
@@ -402,10 +575,141 @@ impl Drop for ShardPool {
 impl std::fmt::Debug for ShardPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardPool")
-            .field("shards", &self.shards.len())
+            .field("shards", &self.inner.shards.len())
             .field("degraded", &self.degraded_shards())
+            .field("restarts", &self.restarts())
             .finish()
     }
+}
+
+/// Spawns the `generation`th worker for `shard_id` over the shard's
+/// existing queue. Used at pool start (generation 0) and by the
+/// supervisor for replacements.
+fn spawn_worker(inner: &Arc<PoolInner>, shard_id: usize, generation: u64) -> JoinHandle<()> {
+    let shard = &inner.shards[shard_id];
+    let batcher = Batcher::new(Arc::clone(&shard.queue), inner.config.batch, |job: &Job| {
+        job.request.ops.len().max(1)
+    });
+    let ctx = WorkerCtx {
+        shard_id: shard_id as u16,
+        generation,
+        config: inner.config.clone(),
+        stats: Arc::clone(&shard.stats),
+        degrade: Arc::clone(&shard.degrade),
+        degraded_total: Arc::clone(&inner.degraded_total),
+        health: Arc::clone(&shard.health),
+        epoch: inner.epoch,
+        hooks: inner.hooks.clone(),
+    };
+    std::thread::Builder::new()
+        .name(format!("vlsa-shard-{shard_id}"))
+        .spawn(move || worker_loop(&ctx, &batcher))
+        .expect("spawn shard worker")
+}
+
+/// The supervisor: polls shard health, deposes dead/wedged workers,
+/// evacuates their queues into `Retryable` answers, and spawns
+/// replacements.
+fn supervisor_loop(inner: &Arc<PoolInner>) {
+    let poll = inner.config.supervisor.poll;
+    let wedge_ms = inner.config.supervisor.wedge_timeout.as_millis() as u64;
+    while !inner.closing.load(Ordering::Relaxed) {
+        std::thread::sleep(poll);
+        for shard_id in 0..inner.shards.len() {
+            if inner.closing.load(Ordering::Relaxed) {
+                return;
+            }
+            let shard = &inner.shards[shard_id];
+            let dead = !shard.health.alive.load(Ordering::SeqCst);
+            let pending =
+                shard.health.in_flight.load(Ordering::Relaxed) > 0 || !shard.queue.is_empty();
+            let now_ms = inner.epoch.elapsed().as_millis() as u64;
+            let stalled_ms =
+                now_ms.saturating_sub(shard.health.last_progress_ms.load(Ordering::Relaxed));
+            let wedged = !dead && pending && stalled_ms > wedge_ms;
+            if dead || wedged {
+                restart_shard(inner, shard_id, dead);
+            }
+        }
+    }
+}
+
+/// Deposes `shard_id`'s current worker and brings up its successor.
+fn restart_shard(inner: &Arc<PoolInner>, shard_id: usize, dead: bool) {
+    let shard = &inner.shards[shard_id];
+    let mut slot = shard.worker.lock().expect("worker lock");
+    // Bump the generation first: from here the old worker (if it ever
+    // wakes) knows it has been deposed and refuses its held jobs.
+    let new_generation = shard.health.generation.fetch_add(1, Ordering::SeqCst) + 1;
+    if let Some(handle) = slot.take() {
+        if dead {
+            // The thread is gone (panicked); reap it. `join` returns
+            // the panic payload, which is exactly what we expect.
+            let _ = handle.join();
+        } else {
+            // Wedged: the thread may sleep for a long time yet. Park
+            // the handle; shutdown joins it.
+            inner.graveyard.lock().expect("graveyard lock").push(handle);
+        }
+    }
+    // Evacuate queued (not-yet-started) jobs into typed Retryable
+    // answers so accepted work is never silently lost.
+    let drained = shard.queue.drain_now();
+    let drained_n = drained.len() as u64;
+    for job in drained {
+        let frame = Frame::Error(
+            ProtocolError::Retryable(format!("shard {shard_id} worker restarted")).to_frame(),
+        );
+        let _ = job.reply.send(Reply { frame, trace: None });
+    }
+    shard.stats.restarts.fetch_add(1, Ordering::Relaxed);
+    shard
+        .stats
+        .retryable
+        .fetch_add(drained_n, Ordering::Relaxed);
+    if vlsa_telemetry::is_enabled() {
+        let rec = vlsa_telemetry::recorder();
+        rec.counter(metric::RESTARTS).incr();
+        rec.counter(metric::RETRYABLE).add(drained_n);
+    }
+    if let Some(slo) = &inner.hooks.slo {
+        slo.record_restart(drained_n);
+    }
+    let degraded = shard.stats.degraded.load(Ordering::Relaxed);
+    if let Some(events) = &inner.hooks.events {
+        let verdict = inner
+            .hooks
+            .slo
+            .as_ref()
+            .map(|slo| slo.verdict())
+            .unwrap_or_default();
+        events.emit(&WideEvent {
+            kind: "restart",
+            shard: shard_id as u16,
+            requests: 0,
+            ops: 0,
+            cycles: 0,
+            wait_us: 0,
+            service_us: 0,
+            pace_us: 0,
+            adder: if degraded { "exact" } else { "speculative" },
+            stalls: 0,
+            exact_ops: 0,
+            residue_mismatches: 0,
+            degraded,
+            trace_id: None,
+            slo_pages_firing: verdict.pages_firing,
+            slo_warns_firing: verdict.warns_firing,
+            generation: new_generation,
+            deadline_exceeded: 0,
+            retryable_drained: drained_n,
+        });
+    }
+    // Fresh heartbeat so the replacement is not instantly "wedged".
+    shard.health.in_flight.store(0, Ordering::Relaxed);
+    shard.health.touch(inner.epoch);
+    shard.health.alive.store(true, Ordering::SeqCst);
+    *slot = Some(spawn_worker(inner, shard_id, new_generation));
 }
 
 /// Telemetry handles a worker resolves once and updates lock-free.
@@ -415,6 +719,7 @@ struct ShardMetrics {
     stalls: Arc<vlsa_telemetry::Counter>,
     exact_ops: Arc<vlsa_telemetry::Counter>,
     batches: Arc<vlsa_telemetry::Counter>,
+    deadline_exceeded: Arc<vlsa_telemetry::Counter>,
     batch_ops: Arc<vlsa_telemetry::Histogram>,
     latency: Arc<vlsa_telemetry::Histogram>,
     queue_depth: Arc<vlsa_telemetry::Gauge>,
@@ -433,6 +738,7 @@ impl ShardMetrics {
             stalls: rec.counter(metric::STALLS),
             exact_ops: rec.counter(metric::EXACT_OPS),
             batches: rec.counter(metric::BATCHES),
+            deadline_exceeded: rec.counter(metric::DEADLINE_EXCEEDED),
             batch_ops: rec.histogram(metric::BATCH_OPS, DEFAULT_BUCKETS),
             latency: rec.histogram(
                 &labeled(metric::REQUEST_LATENCY_US, "shard", shard),
@@ -447,22 +753,88 @@ impl ShardMetrics {
     }
 }
 
-fn worker_loop(
+/// Everything one worker generation needs, bundled for `spawn_worker`.
+struct WorkerCtx {
     shard_id: u16,
+    generation: u64,
     config: ShardConfig,
-    batcher: Batcher<Job>,
     stats: Arc<ShardStats>,
     degrade: Arc<AtomicBool>,
     degraded_total: Arc<AtomicU64>,
+    health: Arc<ShardHealth>,
+    epoch: Instant,
     hooks: PoolHooks,
-) {
+}
+
+impl WorkerCtx {
+    /// Whether a newer generation owns the shard now.
+    fn deposed(&self) -> bool {
+        self.health.generation.load(Ordering::SeqCst) != self.generation
+    }
+
+    /// Answers jobs this (deposed) worker holds with typed `Retryable`
+    /// frames — it no longer owns the shard, and the jobs were not
+    /// executed.
+    fn refuse_jobs(&self, jobs: Vec<Job>) {
+        let n = jobs.len() as u64;
+        for job in jobs {
+            let frame = Frame::Error(
+                ProtocolError::Retryable(format!(
+                    "shard {} worker deposed before executing",
+                    self.shard_id
+                ))
+                .to_frame(),
+            );
+            let _ = job.reply.send(Reply { frame, trace: None });
+        }
+        self.stats.retryable.fetch_add(n, Ordering::Relaxed);
+        if vlsa_telemetry::is_enabled() {
+            vlsa_telemetry::recorder().counter(metric::RETRYABLE).add(n);
+        }
+        if let Some(slo) = &self.hooks.slo {
+            slo.record_retryable(n);
+        }
+        self.health.in_flight.store(0, Ordering::Relaxed);
+    }
+
+    /// Sheds one job that outwaited its deadline budget with a typed
+    /// `DeadlineExceeded` frame.
+    fn shed_expired(
+        &self,
+        job: Job,
+        budget_us: u32,
+        waited_us: u32,
+        metrics: Option<&ShardMetrics>,
+    ) {
+        let frame = Frame::Error(
+            ProtocolError::DeadlineExceeded {
+                budget_us,
+                waited_us,
+            }
+            .to_frame(),
+        );
+        let _ = job.reply.send(Reply { frame, trace: None });
+        self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = metrics {
+            m.deadline_exceeded.incr();
+        }
+        if let Some(slo) = &self.hooks.slo {
+            slo.record_deadline_exceeded(1);
+        }
+    }
+}
+
+fn worker_loop(ctx: &WorkerCtx, batcher: &Batcher<Job>) {
+    let shard_id = ctx.shard_id;
+    let config = &ctx.config;
+    let stats = &ctx.stats;
     let adder = SpeculativeAdder::new(config.nbits, config.window).expect("validated in start");
     let mut pipeline = ResilientPipeline::new(adder, config.resilience);
-    pipeline.set_degrade_signal(Arc::clone(&degrade));
+    pipeline.set_degrade_signal(Arc::clone(&ctx.degrade));
     let mut monitor = config.monitor_window_ops.map(|window_ops| {
         let mc = MonitorConfig::new(config.nbits, config.window).with_window_ops(window_ops);
         let mut m = ConformanceMonitor::new(mc);
-        m.set_degrade_signal(Arc::clone(&degrade));
+        m.set_degrade_signal(Arc::clone(&ctx.degrade));
         m
     });
     let metrics = vlsa_telemetry::is_enabled().then(|| ShardMetrics::resolve(shard_id));
@@ -480,11 +852,19 @@ fn worker_loop(
     } else {
         (1u64 << config.nbits) - 1
     };
+    // Clears the liveness latch when this worker unwinds (panic) or
+    // returns, unless a successor already took over.
+    let _alive = AliveGuard {
+        health: Arc::clone(&ctx.health),
+        generation: ctx.generation,
+    };
     // The modeled device clock: the instant the device finished its
     // last batch.
     let mut device_free = Instant::now();
     let mut total_cycles = 0u64;
-    let mut was_degraded = false;
+    // The degrade latch survives restarts: a successor of a degraded
+    // worker must not re-count the shard into `degraded_total`.
+    let mut was_degraded = stats.degraded.load(Ordering::Relaxed);
     // Conformance alerts are cumulative on the monitor; the SLO
     // correctness feed wants per-batch deltas.
     let mut seen_alerts = 0usize;
@@ -496,6 +876,60 @@ fn worker_loop(
         };
         if jobs.is_empty() {
             break; // closed and drained
+        }
+        ctx.health.touch(ctx.epoch);
+        ctx.health
+            .in_flight
+            .store(jobs.len() as u64, Ordering::Relaxed);
+        if ctx.deposed() {
+            ctx.refuse_jobs(jobs);
+            break;
+        }
+        // Planned chaos lands here: after the batch is held (so a kill
+        // is a genuine mid-batch loss) and before compute.
+        if let Some(chaos) = &ctx.hooks.chaos {
+            match chaos.worker_fault(shard_id, total_cycles) {
+                Some(WorkerFault::Panic) => {
+                    panic!("chaos: injected kill of shard {shard_id} worker (mid-batch)")
+                }
+                Some(WorkerFault::Stall(wedge)) => {
+                    // Deliberately no heartbeat: this is the wedge the
+                    // watchdog exists to catch.
+                    std::thread::sleep(wedge);
+                    if ctx.deposed() {
+                        ctx.refuse_jobs(jobs);
+                        break;
+                    }
+                    ctx.health.touch(ctx.epoch);
+                }
+                None => {}
+            }
+        }
+        // Deadline check at batch formation: a job that already
+        // outwaited its client-stamped budget is answered with a typed
+        // DeadlineExceeded instead of occupying compute.
+        let mut batch_deadline_shed = 0u64;
+        let mut kept = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            match job.request.deadline_us {
+                Some(budget_us) => {
+                    let waited_us = us32(job.enqueued.elapsed());
+                    if u64::from(waited_us) > u64::from(budget_us) {
+                        ctx.shed_expired(job, budget_us, waited_us, metrics.as_ref());
+                        batch_deadline_shed += 1;
+                    } else {
+                        kept.push(job);
+                    }
+                }
+                None => kept.push(job),
+            }
+        }
+        let jobs = kept;
+        if jobs.is_empty() {
+            // The whole batch expired; an all-shed batch is progress,
+            // not an exit condition.
+            ctx.health.in_flight.store(0, Ordering::Relaxed);
+            continue;
         }
         let batch_ready = Instant::now();
         let batch_start_cycle = total_cycles;
@@ -538,6 +972,7 @@ fn worker_loop(
                 }
             }
             let compute_end = Instant::now();
+            ctx.health.touch(ctx.epoch);
             last_compute_end = compute_end;
             batch_cycles += batch.stats.cycles;
             batch_ops += batch.stats.ops;
@@ -607,7 +1042,9 @@ fn worker_loop(
 
         // Pace to the modeled device: this batch completes
         // batch_cycles × cycle_ns after the device last went free (or
-        // after compute began, if the device sat idle).
+        // after compute began, if the device sat idle). Sleep in
+        // bounded slices so the heartbeat keeps beating — a long
+        // modeled pace is progress, not a wedge.
         if config.cycle_ns > 0 {
             let _in_pace = stack.push(f_pace);
             let now = Instant::now();
@@ -615,17 +1052,22 @@ fn worker_loop(
                 device_free = now;
             }
             device_free += Duration::from_nanos(batch_cycles.saturating_mul(config.cycle_ns));
-            let now = Instant::now();
-            if device_free > now {
-                std::thread::sleep(device_free - now);
+            let mut now = Instant::now();
+            while device_free > now {
+                std::thread::sleep((device_free - now).min(Duration::from_millis(100)));
+                ctx.health.touch(ctx.epoch);
+                now = Instant::now();
             }
         }
 
         // Replies go out only once the modeled device is done, so the
-        // measured latency includes the modeled service time.
+        // measured latency includes the modeled service time. A reply
+        // whose request expired during compute/pacing still gets its
+        // sums — it was executed; deadline shedding only covers work
+        // not yet started.
         let dispatch = Instant::now();
         let _in_reply = stack.push(f_reply);
-        let latency_threshold_us = hooks.slo.as_ref().map(|slo| slo.latency_threshold_us());
+        let latency_threshold_us = ctx.hooks.slo.as_ref().map(|slo| slo.latency_threshold_us());
         let (mut lat_good, mut lat_bad) = (0u64, 0u64);
         for pending in replies {
             let latency_us = pending.enqueued.elapsed().as_micros() as u64;
@@ -658,18 +1100,21 @@ fn worker_loop(
                 shard: shard_id,
                 results: pending.results,
                 timing,
+                unknown: Vec::new(),
             });
             // A send error means the client vanished; its result dies
             // with the channel, which is fine — the op was still
             // executed and accounted.
             let _ = pending.reply.send(Reply { frame, trace });
         }
+        ctx.health.in_flight.store(0, Ordering::Relaxed);
+        ctx.health.touch(ctx.epoch);
 
-        let degraded_now = degrade.load(Ordering::Relaxed) || pipeline.is_degraded();
+        let degraded_now = ctx.degrade.load(Ordering::Relaxed) || pipeline.is_degraded();
         if degraded_now && !was_degraded {
             was_degraded = true;
             stats.degraded.store(true, Ordering::Relaxed);
-            degraded_total.fetch_add(1, Ordering::Relaxed);
+            ctx.degraded_total.fetch_add(1, Ordering::Relaxed);
         }
 
         // Feed the SLO accountant: availability good = every request
@@ -686,7 +1131,8 @@ fn worker_loop(
         // cycle period (1 ns/cycle when unpaced, keeping the clock
         // monotone and deterministic in tests).
         let now_ns = total_cycles.saturating_mul(config.cycle_ns.max(1));
-        let verdict = hooks
+        let verdict = ctx
+            .hooks
             .slo
             .as_ref()
             .map(|slo| {
@@ -702,8 +1148,9 @@ fn worker_loop(
                 )
             })
             .unwrap_or_default();
-        if let Some(events) = &hooks.events {
+        if let Some(events) = &ctx.hooks.events {
             events.emit(&WideEvent {
+                kind: "batch",
                 shard: shard_id,
                 requests: batch_requests.min(u64::from(u32::MAX)) as u32,
                 ops: batch_ops,
@@ -719,6 +1166,9 @@ fn worker_loop(
                 trace_id: first_trace_id,
                 slo_pages_firing: verdict.pages_firing,
                 slo_warns_firing: verdict.warns_firing,
+                generation: ctx.generation,
+                deadline_exceeded: batch_deadline_shed,
+                retryable_drained: 0,
             });
         }
 
@@ -732,7 +1182,7 @@ fn worker_loop(
                 }
             }
             m.degraded_shards
-                .set(degraded_total.load(Ordering::Relaxed) as f64);
+                .set(ctx.degraded_total.load(Ordering::Relaxed) as f64);
         }
         if let Some(rec) = &spans {
             rec.record(
@@ -777,22 +1227,23 @@ fn request_mask(nbits: u8) -> u64 {
 mod tests {
     use super::*;
     use std::sync::mpsc::channel;
+    use vlsa_chaos::FaultPlan;
 
     fn submit_and_wait(pool: &ShardPool, request_id: u64, ops: Vec<(u64, u64)>) -> SumBatch {
         let (tx, rx) = channel();
-        pool.submit(
-            AddBatch {
-                request_id,
-                nbits: 32,
-                ops,
-                trace: None,
-            },
-            tx,
-        )
-        .expect("accepted");
+        pool.submit(AddBatch::new(request_id, 32, ops), tx)
+            .expect("accepted");
         match rx.recv().expect("reply").frame {
             Frame::SumBatch(s) => s,
             other => panic!("expected sums, got {other:?}"),
+        }
+    }
+
+    fn fast_supervisor() -> SupervisorConfig {
+        SupervisorConfig {
+            enabled: true,
+            poll: Duration::from_millis(5),
+            wedge_timeout: Duration::from_millis(60),
         }
     }
 
@@ -819,6 +1270,9 @@ mod tests {
         assert_eq!(totals.requests, 6);
         assert_eq!(totals.ops, 12);
         assert_eq!(totals.shed, 0);
+        assert_eq!(totals.restarts, 0);
+        assert_eq!(totals.retryable, 0);
+        assert_eq!(totals.deadline_exceeded, 0);
         pool.shutdown();
     }
 
@@ -847,12 +1301,7 @@ mod tests {
         let mut receivers = Vec::new();
         let (tx, rx) = channel();
         pool.submit(
-            AddBatch {
-                request_id: 0,
-                nbits: 32,
-                ops: vec![(1, 2); 200], // ≥ 200 modeled ms of pacing
-                trace: None,
-            },
+            AddBatch::new(0, 32, vec![(1, 2); 200]), // ≥ 200 modeled ms of pacing
             tx,
         )
         .expect("empty queue accepts");
@@ -861,15 +1310,7 @@ mod tests {
         let mut busy = 0;
         for id in 1..=20u64 {
             let (tx, rx) = channel();
-            match pool.submit(
-                AddBatch {
-                    request_id: id,
-                    nbits: 32,
-                    ops: vec![(1, 2)],
-                    trace: None,
-                },
-                tx,
-            ) {
+            match pool.submit(AddBatch::new(id, 32, vec![(1, 2)]), tx) {
                 Ok(()) => receivers.push(rx),
                 Err(frame) => match *frame {
                     Frame::Busy(b) => {
@@ -907,17 +1348,10 @@ mod tests {
         )
         .expect("valid config");
         pool.shutdown();
+        assert!(pool.is_closing());
         let (tx, _rx) = channel();
         let err = pool
-            .submit(
-                AddBatch {
-                    request_id: 1,
-                    nbits: 32,
-                    ops: vec![(1, 2)],
-                    trace: None,
-                },
-                tx,
-            )
+            .submit(AddBatch::new(1, 32, vec![(1, 2)]), tx)
             .expect_err("closed");
         match *err {
             Frame::Error(e) => assert_eq!(e.code, ProtocolError::Shutdown.code()),
@@ -951,6 +1385,213 @@ mod tests {
     }
 
     #[test]
+    fn a_killed_worker_is_restarted_and_the_shard_answers_again() {
+        let chaos = Arc::new(ChaosInjector::new(
+            "kill:shard=0@batch=2".parse::<FaultPlan>().expect("plan"),
+        ));
+        let pool = ShardPool::start_with_hooks(
+            &ShardConfig {
+                nbits: 32,
+                window: 16,
+                supervisor: fast_supervisor(),
+                ..ShardConfig::default()
+            },
+            2,
+            PoolHooks {
+                chaos: Some(Arc::clone(&chaos)),
+                ..PoolHooks::default()
+            },
+        )
+        .expect("valid config");
+        // Batch 1 on shard 0 is fine.
+        assert_eq!(submit_and_wait(&pool, 0, vec![(1, 2)]).results[0].sum, 3);
+        // Batch 2 trips the kill: the worker panics holding the job, so
+        // the reply channel dies — the serving layer maps that to a
+        // typed Retryable for the in-flight request.
+        let (tx, rx) = channel();
+        pool.submit(AddBatch::new(2, 32, vec![(5, 6)]), tx)
+            .expect("accepted");
+        assert!(rx.recv().is_err(), "sender died with the worker");
+        let retry = pool.retryable_frame(2);
+        match retry {
+            Frame::Error(e) => assert_eq!(e.code, ProtocolError::CODE_RETRYABLE),
+            other => panic!("expected retryable, got {other:?}"),
+        }
+        // The supervisor notices and restarts; the shard answers again
+        // without a process (or pool) restart.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.stats(0).restarts == 0 {
+            assert!(Instant::now() < deadline, "supervisor never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(submit_and_wait(&pool, 4, vec![(10, 20)]).results[0].sum, 30);
+        assert_eq!(chaos.counts().kills, 1);
+        assert_eq!(pool.restarts(), 1);
+        assert!(pool.totals().retryable >= 1, "the lost job was accounted");
+        // Shard 1 never noticed.
+        assert_eq!(submit_and_wait(&pool, 1, vec![(2, 3)]).results[0].sum, 5);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn a_wedged_worker_trips_the_watchdog_and_queued_work_is_refused_typed() {
+        let chaos = Arc::new(ChaosInjector::new(
+            "stall:shard=0@batch=1,ms=400"
+                .parse::<FaultPlan>()
+                .expect("plan"),
+        ));
+        let pool = ShardPool::start_with_hooks(
+            &ShardConfig {
+                nbits: 32,
+                window: 16,
+                supervisor: fast_supervisor(),
+                ..ShardConfig::default()
+            },
+            1,
+            PoolHooks {
+                chaos: Some(Arc::clone(&chaos)),
+                ..PoolHooks::default()
+            },
+        )
+        .expect("valid config");
+        // Job 1 is held by the stalled worker; job 2 (submitted while
+        // it sleeps) sits in the queue.
+        let (tx1, rx1) = channel();
+        pool.submit(AddBatch::new(0, 32, vec![(1, 2)]), tx1)
+            .expect("accepted");
+        std::thread::sleep(Duration::from_millis(30)); // let batch 1 form alone
+        let (tx2, rx2) = channel();
+        pool.submit(AddBatch::new(1, 32, vec![(3, 4)]), tx2)
+            .expect("accepted");
+        // The watchdog deposes the wedged worker and evacuates job 2.
+        let frame2 = rx2
+            .recv_timeout(Duration::from_secs(5))
+            .expect("queued job answered by the supervisor")
+            .frame;
+        match frame2 {
+            Frame::Error(e) => assert_eq!(e.code, ProtocolError::CODE_RETRYABLE),
+            other => panic!("expected retryable, got {other:?}"),
+        }
+        // The deposed worker wakes, sees the new generation, and
+        // refuses the job it still holds — typed, never silent.
+        let frame1 = rx1
+            .recv_timeout(Duration::from_secs(5))
+            .expect("held job answered by the deposed worker")
+            .frame;
+        match frame1 {
+            Frame::Error(e) => assert_eq!(e.code, ProtocolError::CODE_RETRYABLE),
+            other => panic!("expected retryable, got {other:?}"),
+        }
+        // The replacement answers new traffic.
+        assert_eq!(submit_and_wait(&pool, 2, vec![(7, 8)]).results[0].sum, 15);
+        let totals = pool.totals();
+        assert_eq!(totals.restarts, 1);
+        assert!(totals.retryable >= 2, "{totals:?}");
+        assert_eq!(chaos.counts().stalls, 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn the_degrade_latch_survives_a_worker_restart() {
+        let chaos = Arc::new(ChaosInjector::new(
+            "kill:shard=0@batch=2".parse::<FaultPlan>().expect("plan"),
+        ));
+        let pool = ShardPool::start_with_hooks(
+            &ShardConfig {
+                nbits: 32,
+                window: 16,
+                supervisor: fast_supervisor(),
+                ..ShardConfig::default()
+            },
+            1,
+            PoolHooks {
+                chaos: Some(chaos),
+                ..PoolHooks::default()
+            },
+        )
+        .expect("valid config");
+        pool.degrade_flag(0).store(true, Ordering::Relaxed);
+        // Batch 1 latches the degrade state.
+        assert!(submit_and_wait(&pool, 0, vec![(1, 2)]).results[0].exact_path());
+        assert_eq!(pool.degraded_shards(), 1);
+        // Batch 2 kills the worker; wait for the restart.
+        let (tx, rx) = channel();
+        pool.submit(AddBatch::new(1, 32, vec![(5, 6)]), tx)
+            .expect("accepted");
+        let _ = rx.recv(); // dies with the worker
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.stats(0).restarts == 0 {
+            assert!(Instant::now() < deadline, "supervisor never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The successor is still degraded (shared latch), and the shard
+        // is not double-counted.
+        let sums = submit_and_wait(&pool, 2, vec![(10, 20)]);
+        assert!(sums.results[0].exact_path(), "degrade latch survived");
+        assert_eq!(pool.degraded_shards(), 1, "no double count across restart");
+        assert!(pool.stats(0).degraded);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_with_a_typed_frame() {
+        // Park the worker in modeled pacing with a fat first request,
+        // then enqueue a request with a 1 ms budget — by the time the
+        // worker forms its next batch, the budget is long gone.
+        let pool = ShardPool::start(
+            &ShardConfig {
+                nbits: 32,
+                window: 16,
+                cycle_ns: 1_000_000, // 1 ms per cycle
+                batch: BatchPolicy {
+                    max_ops: 1,
+                    linger: Duration::ZERO,
+                },
+                ..ShardConfig::default()
+            },
+            1,
+        )
+        .expect("valid config");
+        let (tx, rx_fat) = channel();
+        pool.submit(AddBatch::new(0, 32, vec![(1, 2); 100]), tx)
+            .expect("accepted");
+        std::thread::sleep(Duration::from_millis(10)); // worker is pacing now
+        let (tx, rx) = channel();
+        pool.submit(
+            AddBatch::new(1, 32, vec![(3, 4)]).with_deadline_us(1_000),
+            tx,
+        )
+        .expect("accepted");
+        let frame = rx.recv().expect("answered").frame;
+        match frame {
+            Frame::Error(e) => {
+                assert_eq!(e.code, ProtocolError::CODE_DEADLINE_EXCEEDED);
+                assert!(e.detail.contains("budget 1000"), "{}", e.detail);
+            }
+            other => panic!("expected deadline exceeded, got {other:?}"),
+        }
+        // The fat request (no deadline) still gets real sums.
+        assert!(matches!(
+            rx_fat.recv().expect("answered").frame,
+            Frame::SumBatch(_)
+        ));
+        let totals = pool.totals();
+        assert_eq!(totals.deadline_exceeded, 1);
+        // And a request with a generous budget is served normally.
+        let (tx, rx) = channel();
+        pool.submit(
+            AddBatch::new(2, 32, vec![(5, 6)]).with_deadline_us(30_000_000),
+            tx,
+        )
+        .expect("accepted");
+        assert!(matches!(
+            rx.recv().expect("reply").frame,
+            Frame::SumBatch(_)
+        ));
+        pool.shutdown();
+    }
+
+    #[test]
     fn traced_jobs_come_back_with_a_contiguous_phase_decomposition() {
         let pool = ShardPool::start(
             &ShardConfig {
@@ -965,12 +1606,7 @@ mod tests {
         let (tx, rx) = channel();
         let submitted = Instant::now();
         pool.submit_traced(
-            AddBatch {
-                request_id: 5,
-                nbits: 32,
-                ops: vec![(1, 2); 256],
-                trace: None,
-            },
+            AddBatch::new(5, 32, vec![(1, 2); 256]),
             tx,
             Some(JobTrace {
                 trace_id: 0xFACE,
@@ -1010,12 +1646,7 @@ mod tests {
         // echo: false keeps the wire clean but still returns the trace.
         let (tx, rx) = channel();
         pool.submit_traced(
-            AddBatch {
-                request_id: 6,
-                nbits: 32,
-                ops: vec![(3, 4)],
-                trace: None,
-            },
+            AddBatch::new(6, 32, vec![(3, 4)]),
             tx,
             Some(JobTrace {
                 trace_id: 0xBEEF,
@@ -1050,6 +1681,7 @@ mod tests {
             PoolHooks {
                 slo: Some(Arc::clone(&slo)),
                 events: Some(Arc::clone(&events)),
+                chaos: None,
             },
         )
         .expect("valid config");
@@ -1065,10 +1697,12 @@ mod tests {
         let jsonl = events.last_jsonl(16);
         let last = jsonl.lines().last().expect("at least one event");
         let doc = Json::parse(last).expect("valid JSON line");
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("batch"));
         assert_eq!(doc.get("shard").and_then(Json::as_u64), Some(0));
         assert_eq!(doc.get("adder").and_then(Json::as_str), Some("speculative"));
         assert!(doc.get("ops").and_then(Json::as_u64).unwrap_or(0) >= 1);
         assert_eq!(doc.get("slo_pages_firing").and_then(Json::as_u64), Some(0));
+        assert_eq!(doc.get("generation").and_then(Json::as_u64), Some(0));
 
         // The SLO accountant saw the answered requests: its modeled
         // clock advanced and nothing is burning on a healthy stream.

@@ -34,6 +34,15 @@ pub struct ServerSlo {
     pages: AtomicU64,
     warns: AtomicU64,
     latency_threshold_us: u64,
+    /// Supervisor restarts (robustness counters, surfaced on `/slo` so
+    /// a burn can be attributed to fault recovery at a glance).
+    restarts: AtomicU64,
+    /// Requests answered `Retryable` (drained or refused, not executed).
+    retryable: AtomicU64,
+    /// Requests shed past their deadline budget.
+    deadline_exceeded: AtomicU64,
+    /// Hedged duplicates refused by the dedup ring.
+    hedge_duplicates: AtomicU64,
 }
 
 impl ServerSlo {
@@ -46,6 +55,10 @@ impl ServerSlo {
             pages: AtomicU64::new(0),
             warns: AtomicU64::new(0),
             latency_threshold_us,
+            restarts: AtomicU64::new(0),
+            retryable: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            hedge_duplicates: AtomicU64::new(0),
         }
     }
 
@@ -119,6 +132,61 @@ impl ServerSlo {
         verdict
     }
 
+    /// Records a supervisor restart plus the `drained` queued requests
+    /// it evacuated into `Retryable` answers. A drained request never
+    /// got a real answer: it burns availability budget like a shed.
+    pub fn record_restart(&self, drained: u64) {
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        self.retryable.fetch_add(drained, Ordering::Relaxed);
+        if drained > 0 {
+            let now = self.clock_ns.load(Ordering::Relaxed);
+            let mut engine = self.engine.lock().expect("slo engine lock");
+            engine.record_availability(now, 0, drained);
+            engine.evaluate(now);
+            self.cache_firing(&engine);
+        }
+    }
+
+    /// Records `n` requests answered `Retryable` outside a restart
+    /// drain (in-flight losses, deposed-worker refusals) against the
+    /// availability budget.
+    pub fn record_retryable(&self, n: u64) {
+        self.retryable.fetch_add(n, Ordering::Relaxed);
+        if n > 0 {
+            let now = self.clock_ns.load(Ordering::Relaxed);
+            let mut engine = self.engine.lock().expect("slo engine lock");
+            engine.record_availability(now, 0, n);
+            engine.evaluate(now);
+            self.cache_firing(&engine);
+        }
+    }
+
+    /// Records `n` requests shed past their deadline budget. A
+    /// deadline shed is an availability-bad event: the service declined
+    /// to answer usefully.
+    pub fn record_deadline_exceeded(&self, n: u64) {
+        self.deadline_exceeded.fetch_add(n, Ordering::Relaxed);
+        if n > 0 {
+            let now = self.clock_ns.load(Ordering::Relaxed);
+            let mut engine = self.engine.lock().expect("slo engine lock");
+            engine.record_availability(now, 0, n);
+            engine.evaluate(now);
+            self.cache_firing(&engine);
+        }
+    }
+
+    /// Records a refused hedge duplicate. Counter only: the client
+    /// already has (or will get) the first copy's answer, so the
+    /// request was served — no budget burns.
+    pub fn record_hedge_duplicate(&self) {
+        self.hedge_duplicates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Supervisor restarts recorded so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
     /// Firing counts without taking the engine lock.
     pub fn verdict(&self) -> SloVerdict {
         SloVerdict {
@@ -128,10 +196,24 @@ impl ServerSlo {
     }
 
     /// Full status document (`/slo`): per-objective burn rates, budget
-    /// consumption, rule states, and recent alert transitions.
+    /// consumption, rule states, recent alert transitions, and the
+    /// robustness counters (restarts, retryable, deadline sheds, hedge
+    /// duplicates) so a burning budget is attributable to fault
+    /// recovery without leaving the endpoint.
     pub fn status_json(&self) -> Json {
         let now = self.clock_ns.load(Ordering::Relaxed);
-        self.engine.lock().expect("slo engine lock").status(now)
+        let status = self.engine.lock().expect("slo engine lock").status(now);
+        status
+            .set("restarts", self.restarts.load(Ordering::Relaxed))
+            .set("retryable", self.retryable.load(Ordering::Relaxed))
+            .set(
+                "deadline_exceeded",
+                self.deadline_exceeded.load(Ordering::Relaxed),
+            )
+            .set(
+                "hedge_duplicates",
+                self.hedge_duplicates.load(Ordering::Relaxed),
+            )
     }
 }
 

@@ -37,7 +37,7 @@ fn assert_still_serving(server: &VlsaServer) {
     let mut client = VlsaClient::connect(server.addr()).expect("connect");
     match client.add_batch(16, &[(40, 2)]).expect("request") {
         Response::Sums(sums) => assert_eq!(sums.results[0].sum, 42),
-        Response::Busy(_) => panic!("no load, must not shed"),
+        other => panic!("no load, no faults: {other:?}"),
     }
 }
 
@@ -157,7 +157,7 @@ fn mid_frame_disconnect_tears_down_cleanly_and_others_keep_serving() {
     std::thread::sleep(Duration::from_millis(100));
     match healthy.add_batch(32, &[(5, 6)]).expect("request") {
         Response::Sums(sums) => assert_eq!(sums.results[0].sum, 11),
-        Response::Busy(_) => panic!("no load, must not shed"),
+        other => panic!("no load, no faults: {other:?}"),
     }
     // Mid-frame disconnects are transport failures, not protocol
     // errors: nothing to answer, nobody to answer it to.
@@ -175,6 +175,7 @@ fn a_client_sending_a_response_frame_is_told_off_and_disconnected() {
         shard: 0,
         results: Vec::new(),
         timing: None,
+        unknown: Vec::new(),
     });
     let bytes = frame.encode();
     stream.write_all(&bytes).expect("write");
@@ -204,7 +205,7 @@ fn disconnect_between_requests_is_a_clean_eof_not_an_error() {
         let mut client = VlsaClient::connect(server.addr()).expect("connect");
         match client.add_batch(8, &[(1, 2)]).expect("request") {
             Response::Sums(sums) => assert_eq!(sums.results[0].sum, 3),
-            Response::Busy(_) => panic!("no load, must not shed"),
+            other => panic!("no load, no faults: {other:?}"),
         }
     } // hang up politely between frames
     std::thread::sleep(Duration::from_millis(100));
@@ -230,7 +231,8 @@ fn shutdown_answers_inflight_requests_instead_of_dropping_them() {
                     assert_eq!(sums.results[0].sum, i + 1);
                     answered += 1;
                 }
-                Ok(Response::Busy(_)) => {}
+                Ok(Response::Busy(_) | Response::Retryable(_)) => {}
+                Ok(other) => panic!("unexpected response: {other:?}"),
                 // Typed shutdown error or disconnect: the server is
                 // going away; both are clean ends.
                 Err(_) => break,

@@ -1,0 +1,249 @@
+//! Fault injection against a live server, over the real wire: a killed
+//! shard worker must be restarted by the supervisor and remain
+//! observable the whole way (`/healthz`, `/slo`, `/events`), a retrying
+//! client must land every request across the loss, hedged duplicates
+//! must be refused by the dedup ring, and an expired deadline must be
+//! attributable from the wide-event stream down to the span tree —
+//! the operator-facing walk the robustness counters exist for.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use vlsa_chaos::{ChaosInjector, FaultPlan};
+use vlsa_server::{
+    AddBatch, EventLogConfig, Frame, Outcome, ProtocolError, Response, RetryClient, RetryPolicy,
+    ServerConfig, ShardConfig, TraceContext, VlsaClient, VlsaServer,
+};
+use vlsa_slo::Objectives;
+use vlsa_telemetry::Json;
+
+fn get(server: &VlsaServer, path: &str) -> (u16, String) {
+    let addr = server.metrics_addr().expect("metrics enabled");
+    vlsa_monitor::http_get(addr, path, Duration::from_secs(10)).expect("http")
+}
+
+#[test]
+fn a_killed_worker_is_restarted_and_retries_land_every_request() {
+    let plan: FaultPlan = "kill:shard=0@batch=2".parse().expect("plan");
+    let injector = Arc::new(ChaosInjector::new(plan));
+    let mut server = VlsaServer::start(ServerConfig {
+        shards: 1,
+        metrics: true,
+        slo: Some(Objectives::demo()),
+        events: Some(EventLogConfig::default()),
+        chaos: Some(Arc::clone(&injector)),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+
+    let mut client = RetryClient::connect(
+        &server.addr().to_string(),
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        },
+    )
+    .expect("connect");
+    for i in 0..40u64 {
+        match client.request(32, &[(i, 100)]).expect("verdict") {
+            Outcome::Answered { sums, .. } => {
+                assert_eq!(sums.results[0].sum, i + 100);
+            }
+            other => panic!("request {i} lost across the kill: {other:?}"),
+        }
+    }
+    let stats = client.stats();
+    assert_eq!(injector.counts().kills, 1, "the planned kill must fire");
+    assert!(
+        stats.retried_successfully >= 1,
+        "the in-flight request must be recovered by a retry: {stats:?}"
+    );
+
+    // The loss is visible on every operator surface.
+    let totals = server.pool().totals();
+    assert!(totals.restarts >= 1, "supervisor must have restarted");
+
+    let (status, body) = get(&server, "/healthz");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).expect("json");
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+    assert!(
+        doc.get("restarts").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "/healthz must carry the restart count: {body}"
+    );
+
+    let (status, body) = get(&server, "/slo");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).expect("json");
+    assert!(
+        doc.get("restarts").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "/slo must attribute the burn to fault recovery: {body}"
+    );
+    assert!(
+        doc.get("retryable").and_then(Json::as_u64).is_some(),
+        "/slo must carry the retryable counter: {body}"
+    );
+
+    let (status, body) = get(&server, "/events?n=500");
+    assert_eq!(status, 200);
+    let restart_event = body
+        .lines()
+        .map(|line| Json::parse(line).expect("event line"))
+        .find(|doc| doc.get("kind").and_then(Json::as_str) == Some("restart"))
+        .expect("the restart must be in the wide-event stream");
+    assert!(
+        restart_event
+            .get("generation")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 1,
+        "a restart event carries the new worker generation: {restart_event}"
+    );
+    assert!(
+        restart_event.get("retryable_drained").is_some(),
+        "a restart event accounts for its drained queue: {restart_event}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn hedged_duplicates_are_refused_by_the_dedup_ring() {
+    let mut server = VlsaServer::start(ServerConfig::default()).expect("start");
+    let mut client = VlsaClient::connect(server.addr()).expect("connect");
+
+    // The primary copy executes…
+    client
+        .send_request(&AddBatch::new(1, 32, vec![(2, 3)]).with_hedge(0xFEED, 0))
+        .expect("send");
+    match client.read_response(1).expect("response") {
+        Response::Sums(sums) => assert_eq!(sums.results[0].sum, 5),
+        other => panic!("primary copy must execute: {other:?}"),
+    }
+
+    // …a byte-identical duplicate of the same (key, seq) is refused…
+    client
+        .send_request(&AddBatch::new(2, 32, vec![(2, 3)]).with_hedge(0xFEED, 0))
+        .expect("send");
+    match client.read_response(2) {
+        Err(vlsa_server::ClientError::Server(e)) => {
+            assert_eq!(e.code, ProtocolError::CODE_DUPLICATE_HEDGE);
+        }
+        other => panic!("duplicate (key, seq) must be refused: {other:?}"),
+    }
+
+    // …and a fresh seq under the same key is a fresh logical attempt.
+    client
+        .send_request(&AddBatch::new(3, 32, vec![(4, 5)]).with_hedge(0xFEED, 1))
+        .expect("send");
+    match client.read_response(3).expect("response") {
+        Response::Sums(sums) => assert_eq!(sums.results[0].sum, 9),
+        other => panic!("fresh seq must execute: {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn deadline_sheds_and_traces_walk_from_the_event_stream() {
+    // A slow modeled device (1 ms/cycle) so a parked worker makes
+    // queued deadlines genuinely expire.
+    let mut server = VlsaServer::start(ServerConfig {
+        shards: 1,
+        shard: ShardConfig {
+            cycle_ns: 1_000_000,
+            ..ShardConfig::default()
+        },
+        metrics: true,
+        slo: Some(Objectives::demo()),
+        events: Some(EventLogConfig::default()),
+        ..ServerConfig::default()
+    })
+    .expect("start");
+
+    // A traced request first: its id must be walkable from the event
+    // stream to the span tree.
+    const TRACE_ID: u64 = 0xC0FFEE;
+    let mut client = VlsaClient::connect(server.addr()).expect("connect");
+    let response = client
+        .request_traced(1, 32, &[(1, 2)], Some(TraceContext::sampled(TRACE_ID)))
+        .expect("request");
+    assert!(matches!(response, Response::Sums(_)));
+
+    // Park the worker in its pacing sleep with a heavy batch, then
+    // queue one request with a 1 ms budget and one without; the batch
+    // forms after ~300 modeled ms, shedding the first and serving the
+    // second.
+    let (tx, rx_heavy) = std::sync::mpsc::channel();
+    server
+        .pool()
+        .submit(AddBatch::new(2, 32, vec![(1, 2); 300]), tx)
+        .expect("empty queue accepts");
+    std::thread::sleep(Duration::from_millis(50));
+    let (tx, rx_expired) = std::sync::mpsc::channel();
+    server
+        .pool()
+        .submit(
+            AddBatch::new(4, 32, vec![(3, 4)]).with_deadline_us(1_000),
+            tx,
+        )
+        .expect("queued");
+    let (tx, rx_kept) = std::sync::mpsc::channel();
+    server
+        .pool()
+        .submit(AddBatch::new(6, 32, vec![(5, 6)]), tx)
+        .expect("queued");
+
+    match rx_expired.recv().expect("reply").frame {
+        Frame::Error(e) => assert_eq!(e.code, ProtocolError::CODE_DEADLINE_EXCEEDED),
+        other => panic!("expired request must be shed typed: {other:?}"),
+    }
+    match rx_kept.recv().expect("reply").frame {
+        Frame::SumBatch(sums) => assert_eq!(sums.results[0].sum, 11),
+        other => panic!("in-budget request must be served: {other:?}"),
+    }
+    drop(rx_heavy);
+
+    // /slo carries the typed shed…
+    let (status, body) = get(&server, "/slo");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).expect("json");
+    assert!(
+        doc.get("deadline_exceeded")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 1,
+        "/slo must count the deadline shed: {body}"
+    );
+
+    // …the wide-event stream attributes it to its batch…
+    let (status, body) = get(&server, "/events?n=500");
+    assert_eq!(status, 200);
+    let events: Vec<Json> = body
+        .lines()
+        .map(|line| Json::parse(line).expect("event line"))
+        .collect();
+    assert!(
+        events.iter().any(|doc| {
+            doc.get("deadline_exceeded")
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                >= 1
+        }),
+        "an event must carry the deadline shed: {body}"
+    );
+
+    // …and the traced request's event walks to its span tree.
+    let traced_event = events
+        .iter()
+        .find(|doc| doc.get("trace_id").and_then(Json::as_u64) == Some(TRACE_ID))
+        .expect("the traced batch must be in the event stream");
+    let id = traced_event
+        .get("trace_id")
+        .and_then(Json::as_u64)
+        .expect("trace id");
+    let (status, body) = get(&server, &format!("/trace/{id}"));
+    assert_eq!(status, 200, "event trace id must resolve to a span tree");
+    assert!(body.contains("spans"), "span tree body: {body}");
+    server.shutdown();
+}

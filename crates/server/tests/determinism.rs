@@ -74,16 +74,8 @@ fn run_through_pool(ops: &[(u64, u64)], shards: usize) -> Vec<OpResult> {
     let mut receivers = Vec::with_capacity(chunks.len());
     for (id, chunk) in chunks.iter().enumerate() {
         let (tx, rx) = channel();
-        pool.submit(
-            AddBatch {
-                request_id: id as u64,
-                nbits: NBITS as u8,
-                ops: chunk.to_vec(),
-                trace: None,
-            },
-            tx,
-        )
-        .expect("queue capacity covers all outstanding requests");
+        pool.submit(AddBatch::new(id as u64, NBITS as u8, chunk.to_vec()), tx)
+            .expect("queue capacity covers all outstanding requests");
         receivers.push(rx);
     }
     let mut results = Vec::with_capacity(ops.len());
@@ -177,6 +169,7 @@ fn full_server_with_concurrent_clients_matches_sequential_execution() {
                                 break;
                             }
                             Response::Busy(_) => std::thread::yield_now(),
+                            other => panic!("unexpected response: {other:?}"),
                         }
                     }
                 }

@@ -1,0 +1,191 @@
+//! Property tests for the tagged trailing-extension wire format.
+//!
+//! The extension scheme must hold three promises at once:
+//!
+//! 1. **Round-trip fidelity** — any mix of known extensions
+//!    (`EXT_TRACE`, `EXT_DEADLINE`, `EXT_HEDGE`) and unknown skippable
+//!    TLVs (`tag >= 0x80`) survives encode → decode unchanged,
+//!    including the wire order of the unknown tail.
+//! 2. **Coexistence** — `EXT_DEADLINE` composes with `EXT_TRACE` and
+//!    with extension tags this build has never heard of; a frame
+//!    carrying all of them decodes every field intact.
+//! 3. **Compatibility** — an extension-free frame is byte-identical to
+//!    the pre-extension protocol, so old clients and old captures keep
+//!    parsing forever.
+
+use proptest::prelude::*;
+use vlsa_server::protocol::{EXT_SKIPPABLE_MIN, TYPE_ADD_BATCH, TYPE_SUM_BATCH};
+use vlsa_server::{AddBatch, Frame, OpResult, ServerTiming, SumBatch, TraceContext};
+
+/// Encode → split prefix → decode, asserting the length prefix is
+/// consistent on the way through.
+fn roundtrip(frame: &Frame) -> Frame {
+    let bytes = frame.encode();
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4-byte prefix")) as usize;
+    assert_eq!(len, bytes.len() - 4, "length prefix covers type + body");
+    Frame::decode(bytes[4], &bytes[5..]).expect("self-encoded frame decodes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn addbatch_roundtrips_with_any_extension_mix(
+        request_id in any::<u64>(),
+        nbits in 1u8..=64,
+        ops in proptest::collection::vec(any::<(u64, u64)>(), 0..6),
+        has_trace in any::<bool>(),
+        trace_id in 1u64..,
+        deadline in any::<bool>(),
+        budget_us in any::<u32>(),
+        has_hedge in any::<bool>(),
+        hedge_key in 1u64..,
+        hedge_seq in any::<u32>(),
+        tags in proptest::collection::vec(EXT_SKIPPABLE_MIN..=u8::MAX, 0..4),
+        payload in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut request = AddBatch::new(request_id, nbits, ops);
+        if has_trace {
+            request = request.with_trace(TraceContext::sampled(trace_id));
+        }
+        if deadline {
+            request = request.with_deadline_us(budget_us);
+        }
+        if has_hedge {
+            request = request.with_hedge(hedge_key, hedge_seq);
+        }
+        // Every unknown tag carries the same generated payload; what
+        // matters is that tag order and bytes survive verbatim.
+        request.unknown = tags.iter().map(|&t| (t, payload.clone())).collect();
+        let frame = Frame::AddBatch(request);
+        prop_assert_eq!(roundtrip(&frame), frame);
+    }
+
+    #[test]
+    fn sumbatch_roundtrips_with_unknown_extensions(
+        request_id in any::<u64>(),
+        shard in any::<u16>(),
+        sums in proptest::collection::vec(any::<u64>(), 0..6),
+        traced in any::<bool>(),
+        trace_id in 1u64..,
+        tags in proptest::collection::vec(EXT_SKIPPABLE_MIN..=u8::MAX, 0..4),
+        payload in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let response = SumBatch {
+            request_id,
+            shard,
+            results: sums
+                .into_iter()
+                .map(|sum| OpResult { sum, flags: 0 })
+                .collect(),
+            timing: traced.then_some(ServerTiming {
+                trace_id,
+                queue_us: 1,
+                linger_us: 2,
+                service_us: 3,
+                pace_us: 4,
+            }),
+            unknown: tags.iter().map(|&t| (t, payload.clone())).collect(),
+        };
+        let frame = Frame::SumBatch(response);
+        prop_assert_eq!(roundtrip(&frame), frame);
+    }
+
+    #[test]
+    fn extension_free_frames_are_byte_identical_to_the_legacy_layout(
+        request_id in any::<u64>(),
+        nbits in 1u8..=64,
+        ops in proptest::collection::vec(any::<(u64, u64)>(), 0..6),
+    ) {
+        // Hand-build the pre-extension wire layout…
+        let mut expected = Vec::new();
+        expected.extend_from_slice(&(14 + 16 * ops.len() as u32).to_le_bytes());
+        expected.push(TYPE_ADD_BATCH);
+        expected.extend_from_slice(&request_id.to_le_bytes());
+        expected.push(nbits);
+        expected.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+        for &(a, b) in &ops {
+            expected.extend_from_slice(&a.to_le_bytes());
+            expected.extend_from_slice(&b.to_le_bytes());
+        }
+        // …and the encoder must produce exactly those bytes: a request
+        // with no extensions carries zero extension overhead.
+        let frame = Frame::AddBatch(AddBatch::new(request_id, nbits, ops));
+        prop_assert_eq!(frame.encode(), expected);
+    }
+
+    #[test]
+    fn deadline_coexists_with_trace_and_unknown_tails(
+        budget_us in any::<u32>(),
+        trace_id in 1u64..,
+        tag in EXT_SKIPPABLE_MIN..=u8::MAX,
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut request = AddBatch::new(7, 32, vec![(1, 2), (3, 4)])
+            .with_deadline_us(budget_us)
+            .with_trace(TraceContext::sampled(trace_id));
+        request.unknown = vec![(tag, payload.clone())];
+        let Frame::AddBatch(decoded) = roundtrip(&Frame::AddBatch(request)) else {
+            return Err(TestCaseError::fail("decoded to a different frame type"));
+        };
+        prop_assert_eq!(decoded.deadline_us, Some(budget_us));
+        prop_assert_eq!(decoded.trace, Some(TraceContext::sampled(trace_id)));
+        prop_assert_eq!(decoded.unknown, vec![(tag, payload)]);
+    }
+
+    #[test]
+    fn raw_appended_tlvs_decode_and_are_preserved_in_order(
+        tags in proptest::collection::vec(EXT_SKIPPABLE_MIN..=u8::MAX, 1..4),
+        payload in proptest::collection::vec(any::<u8>(), 0..12),
+    ) {
+        // Distinct payload per TLV (a shrinking prefix of `payload`) so
+        // order preservation has teeth.
+        let tlvs: Vec<(u8, Vec<u8>)> = tags
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, payload[..payload.len().saturating_sub(i)].to_vec()))
+            .collect();
+        // Simulate a *newer* client appending extensions this build has
+        // never seen: splice raw TLVs onto an extension-free frame and
+        // repair the length prefix, exactly as a foreign encoder would.
+        let mut bytes = Frame::AddBatch(AddBatch::new(9, 16, vec![(5, 6)])).encode();
+        for (tag, payload) in &tlvs {
+            bytes.push(*tag);
+            bytes.push(payload.len() as u8);
+            bytes.extend_from_slice(payload);
+        }
+        let patched_len = ((bytes.len() - 4) as u32).to_le_bytes();
+        bytes[..4].copy_from_slice(&patched_len);
+        let Frame::AddBatch(decoded) =
+            Frame::decode(bytes[4], &bytes[5..]).expect("skippable tail decodes")
+        else {
+            return Err(TestCaseError::fail("decoded to a different frame type"));
+        };
+        prop_assert_eq!(decoded.unknown, tlvs);
+        prop_assert_eq!(decoded.request_id, 9);
+        prop_assert_eq!(decoded.ops, vec![(5, 6)]);
+    }
+}
+
+/// The frozen golden bytes: one op, no extensions, 34 bytes exactly —
+/// any drift here breaks deployed clients.
+#[test]
+fn golden_addbatch_is_34_bytes() {
+    let bytes = Frame::AddBatch(AddBatch::new(1, 64, vec![(2, 3)])).encode();
+    assert_eq!(bytes.len(), 34);
+}
+
+/// And the extension-free SumBatch golden: one result, 28 bytes.
+#[test]
+fn golden_sumbatch_is_28_bytes() {
+    let bytes = Frame::SumBatch(SumBatch {
+        request_id: 1,
+        shard: 0,
+        results: vec![OpResult { sum: 5, flags: 0 }],
+        timing: None,
+        unknown: Vec::new(),
+    })
+    .encode();
+    assert_eq!(bytes.len(), 28);
+    assert_eq!(bytes[4], TYPE_SUM_BATCH);
+}

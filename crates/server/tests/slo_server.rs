@@ -19,12 +19,7 @@ fn get(server: &VlsaServer, path: &str) -> (u16, String) {
 }
 
 fn heavy_request(request_id: u64, ops: usize) -> AddBatch {
-    AddBatch {
-        request_id,
-        nbits: 32,
-        ops: vec![(1, 2); ops],
-        trace: None,
-    }
+    AddBatch::new(request_id, 32, vec![(1, 2); ops])
 }
 
 #[test]

@@ -94,12 +94,7 @@ const GOLDEN_SUM_BATCH: [u8; 28] = [
 
 #[test]
 fn extension_free_frames_are_byte_identical_to_the_pre_extension_protocol() {
-    let add = Frame::AddBatch(AddBatch {
-        request_id: 7,
-        nbits: 16,
-        ops: vec![(1, 2)],
-        trace: None,
-    });
+    let add = Frame::AddBatch(AddBatch::new(7, 16, vec![(1, 2)]));
     assert_eq!(add.encode(), GOLDEN_ADD_BATCH, "AddBatch wire drift");
     assert_eq!(
         Frame::decode(GOLDEN_ADD_BATCH[4], &GOLDEN_ADD_BATCH[5..]).expect("golden decodes"),
@@ -114,6 +109,7 @@ fn extension_free_frames_are_byte_identical_to_the_pre_extension_protocol() {
             flags: protocol::FLAG_STALLED,
         }],
         timing: None,
+        unknown: Vec::new(),
     });
     assert_eq!(sum.encode(), GOLDEN_SUM_BATCH, "SumBatch wire drift");
     assert_eq!(
@@ -155,12 +151,9 @@ fn extension_free_frames_are_byte_identical_to_the_pre_extension_protocol() {
 fn a_traced_add_batch_is_the_golden_frame_plus_the_tagged_extension() {
     // The extension is strictly additive: the traced encoding starts
     // with the untraced body bytes (only the length prefix differs).
-    let traced = Frame::AddBatch(AddBatch {
-        request_id: 7,
-        nbits: 16,
-        ops: vec![(1, 2)],
-        trace: Some(TraceContext::sampled(0x0102_0304_0506_0708)),
-    })
+    let traced = Frame::AddBatch(
+        AddBatch::new(7, 16, vec![(1, 2)]).with_trace(TraceContext::sampled(0x0102_0304_0506_0708)),
+    )
     .encode();
     assert_eq!(traced[4..], {
         let mut expected = GOLDEN_ADD_BATCH[4..].to_vec();
@@ -195,22 +188,19 @@ fn send_raw(server: &VlsaServer, bytes: &[u8]) -> Frame {
 #[test]
 fn garbage_and_oversized_trace_extensions_get_typed_errors_over_the_wire() {
     let mut server = start_server();
-    let base = Frame::AddBatch(AddBatch {
-        request_id: 4,
-        nbits: 32,
-        ops: vec![(1, 2)],
-        trace: Some(TraceContext::sampled(7)),
-    })
-    .encode();
+    let base =
+        Frame::AddBatch(AddBatch::new(4, 32, vec![(1, 2)]).with_trace(TraceContext::sampled(7)))
+            .encode();
     // Offsets inside the encoded frame: prefix 4, type 1, request_id 8,
     // nbits 1, count 4, one op 16 → the extension tag sits at 34.
     let ext_tag = 4 + 1 + 8 + 1 + 4 + 16;
     assert_eq!(base[ext_tag], protocol::EXT_TRACE);
     let bad_extension = ProtocolError::BadExtension(String::new()).code();
 
-    // Unknown extension tag.
+    // Unknown non-skippable extension tag (tags below 0x80 must be
+    // understood; 0x80 and up are length-prefixed and skippable).
     let mut unknown_tag = base.clone();
-    unknown_tag[ext_tag] = 0x99;
+    unknown_tag[ext_tag] = 0x13;
     // Zero trace id (the no-trace sentinel must never travel).
     let mut zero_id = base.clone();
     zero_id[ext_tag + 1..ext_tag + 9].fill(0);
@@ -253,11 +243,23 @@ fn garbage_and_oversized_trace_extensions_get_typed_errors_over_the_wire() {
         other => panic!("truncated extension: expected error frame, got {other:?}"),
     }
 
+    // A well-formed *skippable* TLV extension (tag ≥ 0x80) is not an
+    // error: the server ignores what it does not understand and
+    // answers the sums.
+    let mut skippable = base.clone();
+    skippable.extend_from_slice(&[0x99, 2, 0xAB, 0xCD]);
+    let new_len = (skippable.len() - 4) as u32;
+    skippable[..4].copy_from_slice(&new_len.to_le_bytes());
+    match send_raw(&server, &skippable) {
+        Frame::SumBatch(sums) => assert_eq!(sums.results[0].sum, 3),
+        other => panic!("skippable extension: expected sums, got {other:?}"),
+    }
+
     // None of it poisoned the server for well-behaved clients.
     let mut client = VlsaClient::connect(server.addr()).expect("connect");
     match client.add_batch(16, &[(40, 2)]).expect("request") {
         Response::Sums(sums) => assert_eq!(sums.results[0].sum, 42),
-        Response::Busy(_) => panic!("no load, must not shed"),
+        other => panic!("no load, no faults: {other:?}"),
     }
     server.shutdown();
 }

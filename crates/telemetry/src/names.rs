@@ -131,6 +131,22 @@ pub mod server {
     pub const EVENTS_EMITTED: &str = "vlsa.server.events_emitted";
     /// Wide events dropped by the emission rate limiter.
     pub const EVENTS_DROPPED: &str = "vlsa.server.events_dropped";
+    /// Shard workers restarted by the supervisor (dead or wedged).
+    pub const RESTARTS: &str = "vlsa.server.restarts";
+    /// Requests answered with a typed `Retryable` frame: accepted but
+    /// not executed because their worker died or was deposed.
+    pub const RETRYABLE: &str = "vlsa.server.retryable";
+    /// Requests shed with a typed `DeadlineExceeded` frame after
+    /// outwaiting their client-stamped budget.
+    pub const DEADLINE_EXCEEDED: &str = "vlsa.server.deadline_exceeded";
+    /// Hedged request copies refused because their `(key, seq)` was
+    /// already accepted on another connection.
+    pub const HEDGE_DUPLICATES: &str = "vlsa.server.hedge_duplicates";
+    /// Connections closed by the idle reaper.
+    pub const IDLE_REAPED: &str = "vlsa.server.idle_reaped";
+    /// Connections torn down for feeding a frame slower than the
+    /// per-frame deadline (slow-loris defense).
+    pub const SLOW_FRAMES: &str = "vlsa.server.slow_frames";
 }
 
 /// `vlsa.slo.*` — the SLO error-budget engine (`vlsa-slo`): burn-rate
