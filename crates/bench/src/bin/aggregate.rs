@@ -17,8 +17,10 @@
 //!
 //! Routes served: `/metrics` (Prometheus exposition of the merged
 //! fleet registry), `/snapshot` (sweep metadata + merged series),
-//! `/slo` (fleet error-budget status), `/healthz`, `/readyz` (503
-//! while targets are down or a fleet SLO page fires).
+//! `/slo` (fleet error-budget status), `/query` + `/series` (range
+//! queries and retention stats of the embedded fleet history — one
+//! ingest tick per sweep), `/healthz`, `/readyz` (503 while targets
+//! are down or a fleet SLO page fires).
 
 use std::path::PathBuf;
 use std::time::Duration;

@@ -15,7 +15,8 @@
 //! `--addr-file <path>` / `--metrics-addr-file <path>` (write the
 //! bound addresses for scripts), `--metrics` (mount the Prometheus
 //! endpoint, plus `/snapshot`, `/exemplars`, `/trace/{id}`,
-//! `/profile`, `/healthz`, and `/readyz`), `--queue-capacity <n>`
+//! `/profile`, `/query` + `/series` over the embedded metrics
+//! history, `/healthz`, and `/readyz`), `--queue-capacity <n>`
 //! (per-shard admission queue depth), `--slo demo|standard` (enable
 //! the SLO engine and the `/slo` route; `demo` compresses the burn
 //! windows for scripted tests), `--events` / `--events-file <path>`

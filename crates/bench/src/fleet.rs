@@ -15,8 +15,18 @@
 //! | `/metrics` | Prometheus exposition of the merged fleet registry |
 //! | `/snapshot` | sweep metadata + the merged registry as JSON |
 //! | `/slo` | fleet error-budget and burn-rate status |
+//! | `/query` | range queries over the fleet's metrics *history* |
+//! | `/series` | retention and compression stats of the fleet store |
 //! | `/healthz` | liveness of the aggregator itself |
 //! | `/readyz` | 503 while targets are down or a fleet SLO page fires |
+//!
+//! Every sweep is also appended to an embedded [`Tsdb`]: the merged
+//! registry becomes one ingest tick on a wall-clock axis (µs since the
+//! aggregator started), recording rules materialize fleet throughput,
+//! shed rate, worst-shard p999, and pages-firing as first-class
+//! series, and `/query` answers the same `rate()` / `increase()` /
+//! `quantile()` expressions a per-process server answers — but for
+//! the fleet.
 //!
 //! Because each sweep rebuilds the fleet registry from absolute
 //! per-process counters, fleet counters are monotone while every
@@ -31,9 +41,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use vlsa_monitor::{exposition, http_get, HttpResponse, Route, ScrapeServer};
+use vlsa_server::answer_query;
 use vlsa_slo::{Objectives, SloEngine};
-use vlsa_telemetry::names::{fleet as fleet_metric, monitor, resilience, server, split_labels};
+use vlsa_telemetry::names::{
+    fleet as fleet_metric, monitor, recorded, resilience, server, slo as slo_metric, split_labels,
+};
 use vlsa_telemetry::{Histogram, Json, Registry};
+use vlsa_tsdb::{RecordingRule, Tsdb, TsdbConfig};
 
 /// Aggregator configuration.
 #[derive(Clone, Debug)]
@@ -49,6 +63,8 @@ pub struct FleetConfig {
     pub objectives: Objectives,
     /// Listen address for the aggregator's own scrape server.
     pub listen: String,
+    /// Retention budget of the embedded fleet-history store.
+    pub tsdb: TsdbConfig,
 }
 
 impl Default for FleetConfig {
@@ -59,6 +75,7 @@ impl Default for FleetConfig {
             timeout: Duration::from_secs(2),
             objectives: Objectives::demo(),
             listen: "127.0.0.1:0".to_string(),
+            tsdb: TsdbConfig::default(),
         }
     }
 }
@@ -219,6 +236,7 @@ impl FleetSlo {
 struct Shared {
     registry: Mutex<Arc<Registry>>,
     slo: Mutex<FleetSlo>,
+    tsdb: Arc<Tsdb>,
     epoch: Instant,
     targets: Vec<SocketAddr>,
     timeout: Duration,
@@ -253,10 +271,27 @@ impl Shared {
             .registry
             .gauge(fleet_metric::TARGETS_UP)
             .set(sweep.up as f64);
-        self.slo
-            .lock()
-            .expect("fleet slo lock")
-            .observe_at(now_ns, &sweep.registry);
+        {
+            let mut slo = self.slo.lock().expect("fleet slo lock");
+            slo.observe_at(now_ns, &sweep.registry);
+            // The fleet SLO engine reports into the process-global
+            // recorder; restating its verdicts in the sweep registry
+            // makes the merged view (and therefore the history below)
+            // self-contained.
+            sweep
+                .registry
+                .gauge(slo_metric::PAGES_FIRING)
+                .set(slo.pages_firing() as f64);
+            sweep
+                .registry
+                .gauge(slo_metric::WARNS_FIRING)
+                .set(slo.warns_firing() as f64);
+        }
+        // Append the sweep to the fleet history. The axis is wall time
+        // since the aggregator started; max() keeps it strictly
+        // monotone even if two sweeps land in the same microsecond.
+        let now_us = (now_ns / 1_000).max(self.tsdb.last_ingest_us() + 1);
+        self.tsdb.ingest_registry(&sweep.registry, now_us);
         *self.registry.lock().expect("fleet registry lock") = sweep.registry;
     }
 
@@ -284,9 +319,18 @@ impl Aggregator {
     ///
     /// Propagates socket-setup failures from the scrape server.
     pub fn start(config: FleetConfig) -> std::io::Result<Aggregator> {
+        let tsdb = Arc::new(Tsdb::new(config.tsdb));
+        for (name, expr) in fleet_recording_rules() {
+            tsdb.add_rule(RecordingRule {
+                name: name.to_string(),
+                expr: expr.to_string(),
+            })
+            .expect("fleet recording rules parse");
+        }
         let shared = Arc::new(Shared {
             registry: Mutex::new(Arc::new(Registry::new())),
             slo: Mutex::new(FleetSlo::new(config.objectives.clone())),
+            tsdb,
             epoch: Instant::now(),
             targets: config.targets.clone(),
             timeout: config.timeout,
@@ -338,6 +382,11 @@ impl Aggregator {
         Arc::clone(&self.shared.registry.lock().expect("fleet registry lock"))
     }
 
+    /// The embedded fleet-history store (one ingest tick per sweep).
+    pub fn tsdb(&self) -> &Arc<Tsdb> {
+        &self.shared.tsdb
+    }
+
     /// Fleet SLO pages currently firing.
     pub fn pages_firing(&self) -> usize {
         self.shared
@@ -367,6 +416,25 @@ impl Drop for Aggregator {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// The recording rules every aggregator registers: fleet throughput
+/// and shed rates, the worst shard's tail across the whole fleet, and
+/// whether any fleet SLO page fired — windows sized for the default
+/// 500 ms sweep cadence on a wall-clock axis.
+fn fleet_recording_rules() -> &'static [(&'static str, &'static str)] {
+    &[
+        (recorded::OPS_PER_SEC, "rate(vlsa.server.ops[10s])"),
+        (recorded::SHED_PER_SEC, "rate(vlsa.server.shed[10s])"),
+        (
+            recorded::P999_US,
+            "quantile(0.999, vlsa.server.request_latency_us[30s])",
+        ),
+        (
+            recorded::PAGES_FIRING,
+            "max_over_time(vlsa.slo.pages_firing[30s])",
+        ),
+    ]
 }
 
 fn routes(shared: &Arc<Shared>) -> Vec<Route> {
@@ -414,6 +482,22 @@ fn routes(shared: &Arc<Shared>) -> Vec<Route> {
             "/slo",
             Arc::new(move |_path: &str, _query: &str| {
                 HttpResponse::ok_json(shared.status_json().to_string())
+            }),
+        ));
+    }
+    {
+        let shared = Arc::clone(shared);
+        routes.push(Route::exact(
+            "/query",
+            Arc::new(move |_path: &str, query: &str| answer_query(&shared.tsdb, query)),
+        ));
+    }
+    {
+        let shared = Arc::clone(shared);
+        routes.push(Route::exact(
+            "/series",
+            Arc::new(move |_path: &str, _query: &str| {
+                HttpResponse::ok_json(shared.tsdb.stats_json().to_string())
             }),
         ));
     }
@@ -532,6 +616,97 @@ mod tests {
             "recovered fleet must clear: {}",
             slo.status(140 * sec)
         );
+    }
+
+    #[test]
+    fn fleet_sweeps_build_queryable_history() {
+        use vlsa_tsdb::{eval_range, Expr};
+
+        // A synthetic member process whose request counter advances by
+        // 100 on every scrape.
+        let scrapes = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&scrapes);
+        let target = ScrapeServer::with_routes(
+            "127.0.0.1:0",
+            vec![Route::exact(
+                "/snapshot",
+                Arc::new(move |_path: &str, _query: &str| {
+                    let n = counter.fetch_add(1, Ordering::Relaxed) + 1;
+                    let body = Json::obj()
+                        .set("metrics", process_snapshot(n * 100, 0, &[100, 200]))
+                        .to_string();
+                    HttpResponse::ok_json(body)
+                }),
+            )],
+        )
+        .expect("target scrape server");
+
+        let mut agg = Aggregator::start(FleetConfig {
+            targets: vec![target.addr()],
+            // The worker sweeps once at start; every further sweep is
+            // driven explicitly so the history is deterministic.
+            interval: Duration::from_secs(3600),
+            ..FleetConfig::default()
+        })
+        .expect("aggregator");
+        for _ in 0..500 {
+            if agg.tsdb().ingest_ticks() >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(agg.tsdb().ingest_ticks() >= 1, "first sweep never ingested");
+        for _ in 0..5 {
+            agg.sweep_once();
+        }
+
+        // Six scrapes saw requests = 100..=600; the increase over the
+        // whole run is therefore exactly 500.
+        let db = agg.tsdb();
+        let end = db.last_ingest_us();
+        let expr = Expr::parse("increase(vlsa.server.requests[1h])").expect("expr");
+        let results = eval_range(db, &expr, end, end, 1).expect("eval");
+        assert_eq!(results.len(), 1);
+        let got = results[0].points.last().expect("a final point").1;
+        assert_eq!(got, 500.0, "fleet history diverged from scrape accounting");
+
+        // The same answer is served over HTTP, like an operator would
+        // ask for it.
+        let (status, body) = http_get(
+            agg.addr(),
+            "/query?expr=increase(vlsa.server.requests%5B1h%5D)",
+            Duration::from_secs(2),
+        )
+        .expect("query aggregator");
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).expect("valid /query JSON");
+        let results = doc.get("results").and_then(Json::as_arr).expect("results");
+        assert_eq!(results.len(), 1, "{body}");
+        let (status, body) =
+            http_get(agg.addr(), "/series", Duration::from_secs(2)).expect("series stats");
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).expect("valid /series JSON");
+        let series = doc
+            .get("total")
+            .and_then(|t| t.get("series"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        assert!(series > 0, "{body}");
+
+        // Recording rules materialized fleet throughput and the SLO
+        // verdict as first-class series.
+        let names = db.series_names();
+        assert!(
+            names.iter().any(|n| n == recorded::OPS_PER_SEC),
+            "missing recorded fleet throughput in {names:?}"
+        );
+        assert!(
+            names
+                .iter()
+                .any(|n| n.starts_with(slo_metric::PAGES_FIRING)),
+            "fleet SLO verdict not ingested in {names:?}"
+        );
+        agg.shutdown();
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod chaosbench;
 pub mod fleet;
 pub mod metrics;
 pub mod monitorbin;
+pub mod regress;
 pub mod report;
 pub mod serverbench;
 pub mod slobench;

@@ -198,11 +198,23 @@ impl Report {
 
     /// Writes the document to `path` (pretty enough: one line).
     ///
+    /// The write is durable and atomic: the bytes go to a temporary
+    /// file in the same directory, are fsynced, and only then renamed
+    /// over `path` — a crash mid-write (or a reader racing the writer,
+    /// like the CI regression gate) can never observe a torn
+    /// `BENCH_*.json`.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, format!("{}\n", self.to_json()))
+        use std::io::Write as _;
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(format!("{}\n", self.to_json()).as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
     }
 
     /// Writes to `path` if one was requested, reporting the destination
@@ -298,6 +310,32 @@ mod tests {
             other => panic!("expected BadValue, got {other:?}"),
         }
         assert!(err.to_string().contains("invalid value `many` for --ops"));
+    }
+
+    #[test]
+    fn write_replaces_the_target_atomically_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("vlsa-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("BENCH_demo.json");
+        std::fs::write(&path, "{\"stale\": true}\n").expect("seed stale file");
+
+        let mut report = Report::new("demo");
+        report.push_row(Json::obj().set("ok", true));
+        report.write(&path).expect("atomic write");
+
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("report").and_then(Json::as_str), Some("demo"));
+        // The temporary file was renamed away, not left beside the
+        // report.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("list dir")
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|name| name != "BENCH_demo.json")
+            .collect();
+        assert!(leftovers.is_empty(), "leftover temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).expect("clean up");
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! The committed regression-gate fixtures must keep meaning what CI
+//! assumes they mean: the jittered pair passes, the deliberately
+//! regressed pair fails on both gated metrics. If the gate's noise
+//! model or the fixtures change incompatibly, this catches it before
+//! the `tsdb-smoke` job does.
+
+use vlsa_bench::regress::{compare_texts, GateConfig};
+
+const BASELINE: &str = include_str!("fixtures/regress_baseline.json");
+const PASS: &str = include_str!("fixtures/regress_candidate_pass.json");
+const REGRESSED: &str = include_str!("fixtures/regress_candidate_regressed.json");
+
+#[test]
+fn the_jittered_fixture_passes_the_gate() {
+    let outcome =
+        compare_texts(BASELINE, PASS, &GateConfig::default()).expect("fixtures well-formed");
+    assert!(
+        !outcome.failed(),
+        "jitter flagged as regression: {:?}",
+        outcome.regressions()
+    );
+    assert!(outcome.missing.is_empty());
+    // Every baseline row was checked on both metrics.
+    assert_eq!(outcome.checks.len(), 10);
+}
+
+#[test]
+fn the_regressed_fixture_fails_on_both_metrics() {
+    let outcome =
+        compare_texts(BASELINE, REGRESSED, &GateConfig::default()).expect("fixtures well-formed");
+    assert!(outcome.failed());
+    let metrics: std::collections::BTreeSet<&str> =
+        outcome.regressions().iter().map(|c| c.metric).collect();
+    assert!(metrics.contains("throughput_ops_s"), "{metrics:?}");
+    assert!(metrics.contains("p999_us"), "{metrics:?}");
+    // The wide regression must be flagged on every row, not just one:
+    // the improving-side noise estimate cannot be inflated by it.
+    let throughput_flags = outcome
+        .regressions()
+        .iter()
+        .filter(|c| c.metric == "throughput_ops_s")
+        .count();
+    assert_eq!(throughput_flags, 5);
+}
+
+#[test]
+fn the_baseline_passes_against_itself() {
+    let outcome =
+        compare_texts(BASELINE, BASELINE, &GateConfig::default()).expect("fixtures well-formed");
+    assert!(!outcome.failed());
+    assert!(outcome.checks.iter().all(|c| c.worseness == 0.0));
+}

@@ -61,6 +61,6 @@ pub use conformance::{CusumTracker, SpectrumBin, SpectrumModel};
 pub use monitor::{ConformanceMonitor, MonitorConfig, WindowReport};
 pub use prom::{exposition, sanitize_name};
 pub use server::{
-    http_get, query_param, write_addr_file, AcceptLoop, BodyFn, ConnFn, HttpResponse, Route,
-    RouteFn, ScrapeServer,
+    http_get, percent_decode, query_param, write_addr_file, AcceptLoop, BodyFn, ConnFn,
+    HttpResponse, Route, RouteFn, ScrapeServer,
 };

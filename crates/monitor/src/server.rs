@@ -431,13 +431,46 @@ fn read_request_path(stream: &mut TcpStream) -> io::Result<Option<(String, Strin
 
 /// Parses a `key=value&key=value` query string, returning the value of
 /// `key` if present — enough for the diagnostics endpoints
-/// (`/profile?seconds=2&hz=97`); no percent-decoding.
+/// (`/profile?seconds=2&hz=97`); no percent-decoding (see
+/// [`percent_decode`] for parameters that need it, like `/query?expr=`).
 pub fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
     query
         .split('&')
         .filter_map(|pair| pair.split_once('='))
         .find(|(k, _)| *k == key)
         .map(|(_, v)| v)
+}
+
+/// Decodes `%XX` escapes and `+`-as-space in a query-string value.
+/// Malformed escapes (truncated or non-hex) are passed through
+/// literally rather than rejected — diagnostics endpoints prefer a
+/// best-effort parse over a 400 for a stray `%`.
+pub fn percent_decode(value: &str) -> String {
+    let bytes = value.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    let h = std::str::from_utf8(h).ok()?;
+                    u8::from_str_radix(h, 16).ok()
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                        continue;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 #[cfg(test)]
@@ -564,6 +597,17 @@ mod tests {
         assert_eq!(query_param("seconds=2", "hz"), None);
         assert_eq!(query_param("", "hz"), None);
         assert_eq!(query_param("noequals", "noequals"), None);
+    }
+
+    #[test]
+    fn percent_decoding_handles_escapes_and_garbage() {
+        assert_eq!(percent_decode("rate(x%5B1s%5D)"), "rate(x[1s])");
+        assert_eq!(percent_decode("a+b%20c"), "a b c");
+        assert_eq!(percent_decode("x%7Bshard%3D0%7D"), "x{shard=0}");
+        // Malformed escapes pass through instead of erroring.
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("plain"), "plain");
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Structural conformance of the `/metrics` exposition against the
+//! Prometheus text-format rules a scraper relies on:
+//!
+//! - every sample belongs to a family announced by a `# HELP` +
+//!   `# TYPE` pair, HELP first, emitted exactly once per family;
+//! - histogram `le` buckets appear in increasing numeric order with
+//!   cumulative non-decreasing counts, terminated by exactly one
+//!   `+Inf` bucket whose value equals the family's `_count`;
+//! - every sample line parses as `name{labels} value` with a legal
+//!   metric name and a numeric value.
+//!
+//! Rather than grepping for a handful of known lines, this walks the
+//! whole document produced by a registry with every instrument shape
+//! the server actually registers.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vlsa_monitor::exposition;
+use vlsa_telemetry::names::{labeled, labeled_multi};
+use vlsa_telemetry::{Registry, DEFAULT_BUCKETS};
+
+fn realistic_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("vlsa.server.requests").add(1234);
+    r.counter("vlsa.server.shed").add(5);
+    for shard in 0..4 {
+        r.counter(&labeled("vlsa.server.ops", "shard", shard))
+            .add(1000 + shard as u64);
+        r.gauge(&labeled("vlsa.server.queue_depth", "shard", shard))
+            .set(shard as f64);
+        let h = r.histogram(
+            &labeled("vlsa.server.request_latency_us", "shard", shard),
+            DEFAULT_BUCKETS,
+        );
+        for i in 0..100u64 {
+            h.record(i * 97 + shard as u64);
+        }
+        h.record(u64::MAX); // land one sample in the overflow bucket
+    }
+    r.gauge("vlsa.slo.pages_firing").set(0.0);
+    r.gauge(&labeled_multi(
+        "vlsa.server.build_info",
+        &[("version", "0.1.0"), ("shards", "4")],
+    ))
+    .set(1.0);
+    r.gauge("vlsa.monitor.chi2").set(3.75);
+    r
+}
+
+/// Splits a sample line into `(name, labels, value)`.
+fn parse_sample(line: &str) -> (String, Vec<(String, String)>, f64) {
+    let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+        panic!("sample line has no value separator: {line:?}");
+    });
+    let value: f64 = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v.parse().unwrap_or_else(|_| {
+            panic!("sample value is not numeric: {line:?}");
+        }),
+    };
+    let (name, labels) = match series.split_once('{') {
+        None => (series.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').unwrap_or_else(|| {
+                panic!("unterminated label set: {line:?}");
+            });
+            let labels = body
+                .split(',')
+                .map(|pair| {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .unwrap_or_else(|| panic!("label without '=': {line:?}"));
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .unwrap_or_else(|| panic!("unquoted label value: {line:?}"));
+                    (k.to_string(), v.to_string())
+                })
+                .collect();
+            (name.to_string(), labels)
+        }
+    };
+    assert!(
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            && !name.starts_with(|c: char| c.is_ascii_digit()),
+        "illegal metric name in {line:?}"
+    );
+    (name, labels, value)
+}
+
+/// The family a sample belongs to: histogram samples carry `_bucket`,
+/// `_sum`, or `_count` suffixes on top of the family name.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    if types.contains_key(name) {
+        return name;
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            if types.get(stripped).is_some_and(|k| k == "histogram") {
+                return stripped;
+            }
+        }
+    }
+    panic!("sample {name:?} has no matching # TYPE header");
+}
+
+#[test]
+fn every_series_is_announced_and_buckets_are_ordered() {
+    let text = exposition(&realistic_registry());
+
+    // Pass 1: collect headers, reject duplicates, require HELP→TYPE.
+    let mut helps = BTreeSet::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let family = rest.split(' ').next().expect("HELP names a family");
+            assert!(helps.insert(family.to_string()), "duplicate HELP: {family}");
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let family = parts.next().expect("TYPE names a family");
+            let kind = parts.next().expect("TYPE states a kind");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown kind {kind} for {family}"
+            );
+            assert!(helps.contains(family), "TYPE before HELP for {family}");
+            assert!(
+                types.insert(family.to_string(), kind.to_string()).is_none(),
+                "duplicate TYPE: {family}"
+            );
+        }
+    }
+    assert_eq!(helps.len(), types.len(), "every HELP must pair with a TYPE");
+
+    // Pass 2: every sample belongs to an announced family; collect
+    // histogram buckets per (family, non-le labels) group.
+    type Group = (String, Vec<(String, String)>);
+    let mut buckets: BTreeMap<Group, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<Group, f64> = BTreeMap::new();
+    let mut samples = 0usize;
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        assert!(!line.trim().is_empty(), "blank line in exposition");
+        let (name, labels, value) = parse_sample(line);
+        let family = family_of(&name, &types).to_string();
+        samples += 1;
+        let kind = &types[&family];
+        if kind == "counter" {
+            assert!(
+                family.ends_with("_total"),
+                "counter family without _total: {family}"
+            );
+        }
+        if name == format!("{family}_bucket") {
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("bucket without le: {line:?}"));
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().unwrap_or_else(|_| {
+                    panic!("non-numeric le {le:?} in {line:?}");
+                })
+            };
+            let rest: Vec<(String, String)> =
+                labels.into_iter().filter(|(k, _)| k != "le").collect();
+            buckets
+                .entry((family, rest))
+                .or_default()
+                .push((bound, value));
+        } else if name == format!("{family}_count") {
+            counts.insert((family, labels), value);
+        }
+    }
+    assert!(samples > 0, "exposition rendered no samples");
+
+    // Pass 3: per histogram group — strictly increasing bounds,
+    // cumulative counts, exactly one terminal +Inf equal to _count.
+    assert!(!buckets.is_empty(), "registry histograms were not rendered");
+    for (group, series) in &buckets {
+        let infs = series.iter().filter(|(b, _)| b.is_infinite()).count();
+        assert_eq!(infs, 1, "{group:?}: want exactly one +Inf bucket");
+        assert!(
+            series.last().expect("nonempty").0.is_infinite(),
+            "{group:?}: +Inf bucket must be terminal"
+        );
+        for pair in series.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "{group:?}: le bounds out of order ({} then {})",
+                pair[0].0,
+                pair[1].0
+            );
+            assert!(
+                pair[0].1 <= pair[1].1,
+                "{group:?}: bucket counts not cumulative"
+            );
+        }
+        let count = counts
+            .get(group)
+            .unwrap_or_else(|| panic!("{group:?}: histogram without _count"));
+        assert_eq!(
+            series.last().expect("nonempty").1,
+            *count,
+            "{group:?}: +Inf bucket must equal _count"
+        );
+    }
+}

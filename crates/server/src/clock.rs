@@ -1,0 +1,55 @@
+//! The process-wide modeled clock.
+//!
+//! Shard workers account time as `total_cycles × cycle_ns` — the same
+//! deterministic device-time base the SLO engine runs on. This module
+//! folds those per-shard clocks into one monotonic process clock (a
+//! `fetch_max` per batch, so it never goes backwards even though
+//! shards progress unevenly), giving every consumer of "now" — the
+//! wide-event rate limiter, the time-series self-scraper — a time base
+//! that is deterministic under test and consistent across the
+//! observability stack.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic modeled time in nanoseconds, folded across shards.
+#[derive(Debug, Default)]
+pub struct ModeledClock {
+    ns: AtomicU64,
+}
+
+impl ModeledClock {
+    /// A clock at modeled time zero.
+    pub fn new() -> ModeledClock {
+        ModeledClock::default()
+    }
+
+    /// Fold a shard's modeled time in; the clock only moves forward.
+    pub fn advance_to(&self, ns: u64) {
+        self.ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Current modeled time, nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+
+    /// Current modeled time, microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_ns() / 1_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_monotonically_across_unordered_advances() {
+        let clock = ModeledClock::new();
+        clock.advance_to(5_000);
+        clock.advance_to(3_000); // a slower shard reports older time
+        assert_eq!(clock.now_ns(), 5_000);
+        clock.advance_to(9_500);
+        assert_eq!(clock.now_us(), 9);
+    }
+}

@@ -4,28 +4,34 @@
 //! counters, each flushed batch emits a single wide record carrying
 //! everything known about it — shard, sizes, timing phases, adder
 //! class, error-recovery counts, the trace id when sampled, and the SLO
-//! verdict at emission time. Records are rate-limited (wall clock,
-//! token-per-second window), ring-buffered for the `/events?n=`
-//! endpoint, and optionally appended to a JSONL file.
+//! verdict at emission time. Records are rate-limited per *modeled*
+//! second (the same [`ModeledClock`] the SLO engine and the tsdb
+//! self-scraper run on, so rate behavior is deterministic under test),
+//! ring-buffered for the `/events?n=` endpoint, and optionally appended
+//! to a JSONL file. Only high-volume `batch` records are subject to the
+//! limiter — rare lifecycle records (`restart`) always land, because
+//! dropping the one event that explains an incident would defeat the
+//! log's purpose.
 
 use std::collections::VecDeque;
 use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
 
 use vlsa_telemetry::names::server as metric;
 use vlsa_telemetry::Json;
+
+use crate::clock::ModeledClock;
 
 /// Retention and rate-limit policy for the wide-event log.
 #[derive(Clone, Copy, Debug)]
 pub struct EventLogConfig {
     /// Ring capacity in events; older events are evicted.
     pub capacity: usize,
-    /// Maximum events accepted per wall-clock second; the rest are
-    /// counted as dropped (`vlsa.server.events_dropped`), never
-    /// blocked on.
+    /// Maximum `batch` events accepted per modeled second; the rest
+    /// are counted as dropped (`vlsa.server.events_dropped`), never
+    /// blocked on. Lifecycle events (`restart`) bypass the limiter.
     pub per_sec: u32,
 }
 
@@ -133,18 +139,27 @@ struct Ring {
 #[derive(Debug)]
 pub struct EventLog {
     config: EventLogConfig,
-    epoch: Instant,
+    clock: Arc<ModeledClock>,
     ring: Mutex<Ring>,
     emitted: AtomicU64,
     dropped: AtomicU64,
 }
 
 impl EventLog {
-    /// An event log with the given policy, ring-only.
+    /// An event log with the given policy, ring-only, timed by its own
+    /// modeled clock (which stays at zero unless someone advances it —
+    /// deterministic by construction; the server shares the pool's
+    /// clock via [`EventLog::with_clock`]).
     pub fn new(config: EventLogConfig) -> EventLog {
+        EventLog::with_clock(config, Arc::new(ModeledClock::new()))
+    }
+
+    /// An event log timed by a shared modeled clock (the server passes
+    /// the shard pool's, advanced by every worker batch).
+    pub fn with_clock(config: EventLogConfig, clock: Arc<ModeledClock>) -> EventLog {
         EventLog {
             config,
-            epoch: Instant::now(),
+            clock,
             ring: Mutex::new(Ring {
                 lines: VecDeque::with_capacity(config.capacity),
                 window_sec: 0,
@@ -163,24 +178,43 @@ impl EventLog {
     ///
     /// Propagates file-creation errors.
     pub fn with_file(config: EventLogConfig, path: &Path) -> std::io::Result<EventLog> {
-        let log = EventLog::new(config);
+        EventLog::with_clock_and_file(config, Arc::new(ModeledClock::new()), path)
+    }
+
+    /// Shared clock plus a JSONL file sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn with_clock_and_file(
+        config: EventLogConfig,
+        clock: Arc<ModeledClock>,
+        path: &Path,
+    ) -> std::io::Result<EventLog> {
+        let log = EventLog::with_clock(config, clock);
         let file = std::io::BufWriter::new(std::fs::File::create(path)?);
         log.ring.lock().expect("event ring lock").file = Some(file);
         Ok(log)
     }
 
-    /// Records one wide event, subject to the per-second rate limit.
+    /// The clock this log stamps and rate-limits with.
+    pub fn clock(&self) -> &Arc<ModeledClock> {
+        &self.clock
+    }
+
+    /// Records one wide event. `batch` events are subject to the
+    /// per-modeled-second rate limit; lifecycle events bypass it.
     /// Returns whether the event was accepted.
     pub fn emit(&self, event: &WideEvent) -> bool {
-        let now = self.epoch.elapsed();
-        let sec = now.as_secs();
-        let ts_us = now.as_micros().min(u128::from(u64::MAX)) as u64;
+        let ts_us = self.clock.now_us();
+        let sec = ts_us / 1_000_000;
         let mut ring = self.ring.lock().expect("event ring lock");
         if ring.window_sec != sec {
             ring.window_sec = sec;
             ring.window_count = 0;
         }
-        if ring.window_count >= self.config.per_sec {
+        let limited = event.kind == "batch";
+        if limited && ring.window_count >= self.config.per_sec {
             drop(ring);
             self.dropped.fetch_add(1, Ordering::Relaxed);
             if vlsa_telemetry::is_enabled() {
@@ -190,7 +224,9 @@ impl EventLog {
             }
             return false;
         }
-        ring.window_count += 1;
+        if limited {
+            ring.window_count += 1;
+        }
         let line = event.to_json(ts_us).to_string();
         if ring.lines.len() == self.config.capacity {
             ring.lines.pop_front();
@@ -300,6 +336,55 @@ mod tests {
         assert_eq!(accepted, 10, "exactly the per-second budget");
         assert_eq!(log.dropped(), 40);
         assert_eq!(log.last_jsonl(100).lines().count(), 10);
+    }
+
+    #[test]
+    fn rate_limit_windows_follow_the_modeled_clock() {
+        // The limiter is deterministic under an injected clock: the
+        // budget refills exactly when *modeled* time crosses a second
+        // boundary, regardless of wall time.
+        let clock = Arc::new(ModeledClock::new());
+        let log = EventLog::with_clock(
+            EventLogConfig {
+                capacity: 100,
+                per_sec: 2,
+            },
+            Arc::clone(&clock),
+        );
+        assert!(log.emit(&event(0, 1)));
+        assert!(log.emit(&event(0, 2)));
+        assert!(!log.emit(&event(0, 3)), "budget spent at modeled t=0");
+        // 999.999ms in: still the same modeled second.
+        clock.advance_to(999_999_000);
+        assert!(!log.emit(&event(0, 4)));
+        // Crossing into modeled second 1 refills the budget.
+        clock.advance_to(1_000_000_000);
+        assert!(log.emit(&event(0, 5)));
+        assert_eq!(log.dropped(), 2);
+        // Accepted events are stamped with modeled time.
+        let tail = log.last_jsonl(1);
+        let doc = Json::parse(tail.trim()).expect("valid JSON line");
+        assert_eq!(doc.get("ts_us").and_then(Json::as_u64), Some(1_000_000));
+    }
+
+    #[test]
+    fn restart_events_bypass_the_rate_limit() {
+        let log = EventLog::new(EventLogConfig {
+            capacity: 100,
+            per_sec: 1,
+        });
+        assert!(log.emit(&event(0, 1)));
+        assert!(!log.emit(&event(0, 2)), "batch budget exhausted");
+        let mut restart = event(0, 0);
+        restart.kind = "restart";
+        restart.retryable_drained = 3;
+        assert!(
+            log.emit(&restart),
+            "lifecycle events must land even when batches are shedding"
+        );
+        // And they don't consume the batch budget either.
+        assert!(!log.emit(&event(0, 3)));
+        assert_eq!(log.emitted(), 2);
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod protocol;
 
 mod batcher;
 mod client;
+mod clock;
 mod error;
 mod events;
 mod framing;
@@ -86,6 +87,7 @@ mod slo;
 
 pub use batcher::{BatchPolicy, Batcher};
 pub use client::{ClientError, Response, VlsaClient, DEFAULT_TIMEOUT};
+pub use clock::ModeledClock;
 pub use error::ProtocolError;
 pub use events::{EventLog, EventLogConfig, WideEvent};
 pub use framing::{read_frame, read_frame_bounded, write_frame, ReadError};
@@ -95,7 +97,7 @@ pub use protocol::{
 };
 pub use queue::{Bounded, PushError};
 pub use retry::{Outcome, RetryClient, RetryPolicy, RetryStats};
-pub use server::{ServerConfig, ServerError, ServerStats, VlsaServer};
+pub use server::{answer_query, ServerConfig, ServerError, ServerStats, VlsaServer};
 pub use shard::{
     Job, JobTrace, PoolHooks, Reply, ShardConfig, ShardPool, ShardSnapshot, ShardStats,
     SupervisorConfig,

@@ -18,6 +18,8 @@
 //! | `/profile?seconds=N&hz=H` | folded stacks from the sampling profiler (`?format=json` for JSON; one session at a time, 429 otherwise) |
 //! | `/slo` | error-budget and burn-rate status per objective |
 //! | `/events?n=N` | the newest N canonical wide events, JSONL |
+//! | `/query?expr=&range=` | range evaluation over the embedded metrics history (`rate`, `increase`, `avg/max_over_time`, `quantile`) |
+//! | `/series` | per-series retention/compression stats of the embedded store |
 //! | `/healthz` | liveness — 200 whenever the process can answer |
 //! | `/readyz` | readiness — 503 while shards are degraded or an SLO page is firing |
 
@@ -33,12 +35,17 @@ use std::time::{Duration, Instant};
 
 use vlsa_chaos::ChaosInjector;
 use vlsa_core::SpecError;
-use vlsa_monitor::{exposition, query_param, AcceptLoop, HttpResponse, Route, ScrapeServer};
-use vlsa_telemetry::names::{labeled_multi, server as metric};
+use vlsa_monitor::{
+    exposition, percent_decode, query_param, AcceptLoop, HttpResponse, Route, ScrapeServer,
+};
+use vlsa_telemetry::names::{labeled_multi, recorded, server as metric};
 use vlsa_telemetry::Json;
+use vlsa_tsdb::{eval_range, parse_duration_us, range_response_json, Expr, QueryError};
+use vlsa_tsdb::{RecordingRule, Tsdb, TsdbConfig};
 
 use vlsa_slo::Objectives;
 
+use crate::clock::ModeledClock;
 use crate::error::ProtocolError;
 use crate::events::{EventLog, EventLogConfig};
 use crate::framing::{read_frame_bounded, write_frame, ReadError};
@@ -93,6 +100,13 @@ pub struct ServerConfig {
     /// Mirror accepted wide events to a JSONL file (requires
     /// [`ServerConfig::events`]).
     pub events_file: Option<PathBuf>,
+    /// Embedded time-series store policy. When `Some` *and*
+    /// [`ServerConfig::metrics`] is on, the server self-ingests every
+    /// telemetry registry snapshot into a `vlsa-tsdb` store on a
+    /// modeled-time cadence, evaluates the default recording rules on
+    /// each tick, and mounts `/query` and `/series`. On by default:
+    /// turning metrics on buys history, not just instantaneous scrape.
+    pub tsdb: Option<TsdbConfig>,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +125,7 @@ impl Default for ServerConfig {
             slo: None,
             events: None,
             events_file: None,
+            tsdb: Some(TsdbConfig::default()),
         }
     }
 }
@@ -216,6 +231,8 @@ pub struct VlsaServer {
     obs: Arc<ServerObs>,
     slo: Option<Arc<ServerSlo>>,
     events: Option<Arc<EventLog>>,
+    tsdb: Option<Arc<Tsdb>>,
+    ingest: Option<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
@@ -230,15 +247,24 @@ impl VlsaServer {
     /// [`ServerError::Io`] for socket failures.
     pub fn start(config: ServerConfig) -> Result<VlsaServer, ServerError> {
         let slo = config.slo.clone().map(|obj| Arc::new(ServerSlo::new(obj)));
+        // One modeled clock for the whole process: folded forward by
+        // every shard batch, read by the event log's rate limiter and
+        // the tsdb self-scraper.
+        let clock = Arc::new(ModeledClock::new());
         let events = match (config.events, &config.events_file) {
-            (Some(ev), Some(path)) => Some(Arc::new(EventLog::with_file(ev, path)?)),
-            (Some(ev), None) => Some(Arc::new(EventLog::new(ev))),
+            (Some(ev), Some(path)) => Some(Arc::new(EventLog::with_clock_and_file(
+                ev,
+                Arc::clone(&clock),
+                path,
+            )?)),
+            (Some(ev), None) => Some(Arc::new(EventLog::with_clock(ev, Arc::clone(&clock)))),
             (None, _) => None,
         };
         let hooks = PoolHooks {
             slo: slo.clone(),
             events: events.clone(),
             chaos: config.chaos.clone(),
+            clock: Arc::clone(&clock),
         };
         let pool = Arc::new(ShardPool::start_with_hooks(
             &config.shard,
@@ -274,6 +300,29 @@ impl VlsaServer {
                 ))
                 .set(1.0);
         }
+        // The embedded metrics history rides with the HTTP mount: the
+        // store exists to be queried, and the scrape loop's registry is
+        // only populated when telemetry is recording anyway.
+        let tsdb = match (&config.tsdb, config.metrics) {
+            (Some(cfg), true) => {
+                // Zero baselines must exist before the first ingest
+                // tick, or increase() over the run misses early ops.
+                crate::shard::warm_metrics(config.shards);
+                let db = Arc::new(Tsdb::new(*cfg));
+                for (name, expr) in default_recording_rules() {
+                    db.add_rule(RecordingRule {
+                        name: name.to_string(),
+                        expr: expr.to_string(),
+                    })
+                    .expect("default recording rules parse");
+                }
+                Some(db)
+            }
+            _ => None,
+        };
+        let ingest = tsdb
+            .as_ref()
+            .map(|db| spawn_ingest(Arc::clone(db), Arc::clone(&clock), Arc::clone(&stop)));
         let scrape = if config.metrics {
             Some(ScrapeServer::with_routes(
                 "127.0.0.1:0",
@@ -283,6 +332,7 @@ impl VlsaServer {
                     Arc::clone(&pool),
                     slo.clone(),
                     events.clone(),
+                    tsdb.clone(),
                 ),
             )?)
         } else {
@@ -330,6 +380,8 @@ impl VlsaServer {
             obs,
             slo,
             events,
+            tsdb,
+            ingest,
             stop,
             conns,
         })
@@ -370,6 +422,12 @@ impl VlsaServer {
         self.events.as_ref()
     }
 
+    /// The embedded time-series store, when [`ServerConfig::tsdb`] and
+    /// [`ServerConfig::metrics`] are both set.
+    pub fn tsdb(&self) -> Option<&Arc<Tsdb>> {
+        self.tsdb.as_ref()
+    }
+
     /// Graceful stop: no new connections, accepted requests drain and
     /// get their replies, then workers and connection threads join.
     /// Idempotent; also runs on drop.
@@ -380,6 +438,13 @@ impl VlsaServer {
         // accepted, so blocked connections get their replies before
         // their threads notice the stop flag.
         self.pool.shutdown();
+        // The ingest thread takes its final snapshot after the pool has
+        // drained, so the last tick carries the complete run's counters
+        // — post-shutdown queries (and the CI accounting gate) see
+        // everything the server did.
+        if let Some(ingest) = self.ingest.take() {
+            let _ = ingest.join();
+        }
         let handles: Vec<JoinHandle<()>> =
             std::mem::take(&mut *self.conns.lock().expect("conns lock"));
         for handle in handles {
@@ -407,6 +472,137 @@ impl std::fmt::Debug for VlsaServer {
     }
 }
 
+/// The recording rules every server registers: fleet throughput and
+/// shed rates, the worst-shard tail, and the SLO/conformance verdicts
+/// — so burn rates and chi-square/CUSUM statistics become *history*,
+/// not just instantaneous gauges.
+fn default_recording_rules() -> &'static [(&'static str, &'static str)] {
+    &[
+        (recorded::OPS_PER_SEC, "rate(vlsa.server.ops[1s])"),
+        (recorded::SHED_PER_SEC, "rate(vlsa.server.shed[1s])"),
+        (
+            recorded::P999_US,
+            "quantile(0.999, vlsa.server.request_latency_us[10s])",
+        ),
+        (
+            recorded::BURN_RATE_MAX,
+            "max_over_time(vlsa.slo.burn_rate[10s])",
+        ),
+        (
+            recorded::PAGES_FIRING,
+            "max_over_time(vlsa.slo.pages_firing[10s])",
+        ),
+        (recorded::CHI2_MAX, "max_over_time(vlsa.monitor.chi2[1m])"),
+        (recorded::CUSUM_MAX, "max_over_time(vlsa.monitor.cusum[1m])"),
+    ]
+}
+
+/// The self-scrape loop: polls on a short wall interval, but *samples
+/// on the modeled-time axis* — a tick is taken only when modeled time
+/// has advanced past the last ingest, so timestamps are deterministic
+/// functions of the work the shards did, an idle server appends
+/// nothing, and a loaded one gets a snapshot per poll. The final tick
+/// (after the pool drains) captures the complete run.
+fn spawn_ingest(db: Arc<Tsdb>, clock: Arc<ModeledClock>, stop: Arc<AtomicBool>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("vlsa-tsdb-ingest".to_string())
+        .spawn(move || {
+            let mut last_append = Instant::now();
+            loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let now_us = clock.now_us();
+                if now_us > db.last_ingest_us() || db.ingest_ticks() == 0 {
+                    // Resolve the recorder per tick: a scoped registry
+                    // (tests) can come and go under us.
+                    db.ingest_registry(&vlsa_telemetry::recorder(), now_us);
+                    last_append = Instant::now();
+                } else if last_append.elapsed() >= Duration::from_millis(250) {
+                    // Idle heartbeat: the modeled clock pauses between
+                    // runs, but a snapshot taken mid-batch may have
+                    // missed counter increments that landed after the
+                    // final clock advance. Re-sampling one µs past the
+                    // last tick converges the history to the true
+                    // closing totals while the server sits idle.
+                    db.ingest_registry(&vlsa_telemetry::recorder(), db.last_ingest_us() + 1);
+                    last_append = Instant::now();
+                }
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            // Final snapshot strictly after every earlier tick, so the
+            // run's closing counter values are always queryable.
+            let now_us = clock.now_us().max(db.last_ingest_us() + 1);
+            db.ingest_registry(&vlsa_telemetry::recorder(), now_us);
+        })
+        .expect("spawn tsdb ingest thread")
+}
+
+/// The `/query?expr=&range=` handler body, shared with the fleet
+/// aggregator: evaluates a range expression against a store and shapes
+/// the JSON response (400 for a bad expression or parameters).
+///
+/// Parameters: `expr` (required, percent-encoded welcome), `start`/
+/// `end` (µs of the store's time axis; `end` defaults to the newest
+/// ingest, `start` to `end − range` or 0), `range` and `step` as
+/// `30s`-style durations (`step` defaults to ~240 instants).
+pub fn answer_query(db: &Tsdb, query: &str) -> HttpResponse {
+    let Some(raw_expr) = query_param(query, "expr") else {
+        return HttpResponse::bad_request(
+            "missing ?expr= (e.g. /query?expr=rate(vlsa.server.ops[1s])&range=30s)".to_string(),
+        );
+    };
+    let expr_text = percent_decode(raw_expr);
+    let expr = match Expr::parse(&expr_text) {
+        Ok(expr) => expr,
+        Err(e) => return HttpResponse::bad_request(format!("{e}")),
+    };
+    let parse_ts = |key: &str| -> Result<Option<u64>, HttpResponse> {
+        match query_param(query, key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| HttpResponse::bad_request(format!("bad ?{key}= (want µs): {v:?}"))),
+        }
+    };
+    let (start_param, end_param) = match (parse_ts("start"), parse_ts("end")) {
+        (Ok(s), Ok(e)) => (s, e),
+        (Err(resp), _) | (_, Err(resp)) => return resp,
+    };
+    let end = end_param.unwrap_or_else(|| db.last_ingest_us());
+    let start = match (start_param, query_param(query, "range")) {
+        (Some(s), _) => s,
+        (None, Some(r)) => match parse_duration_us(&percent_decode(r)) {
+            Ok(range) => end.saturating_sub(range),
+            Err(e) => return HttpResponse::bad_request(format!("bad ?range=: {e}")),
+        },
+        (None, None) => 0,
+    };
+    if start > end {
+        return HttpResponse::bad_request(format!("empty time range: start {start} > end {end}"));
+    }
+    let step = match query_param(query, "step") {
+        Some(s) => match parse_duration_us(&percent_decode(s)) {
+            Ok(step) => step.max(1),
+            Err(e) => return HttpResponse::bad_request(format!("bad ?step=: {e}")),
+        },
+        // Default to ~240 evaluation instants across the range.
+        None => ((end - start) / 240).max(1),
+    };
+    match eval_range(db, &expr, start, end, step) {
+        Ok(results) => HttpResponse::ok_json(
+            range_response_json(&expr_text, start, end, step, &results).to_string(),
+        ),
+        Err(e @ QueryError::Parse(_)) => HttpResponse::bad_request(format!("{e}")),
+        Err(e @ QueryError::Decode(_)) => HttpResponse {
+            status: 500,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: format!("{e}\n"),
+        },
+    }
+}
+
 /// The HTTP observability route table (see the module docs for the
 /// full list). The scrape server serves each connection on its own
 /// thread, so `/profile` — which blocks for the requested duration by
@@ -418,6 +614,7 @@ fn observability_routes(
     pool: Arc<ShardPool>,
     slo: Option<Arc<ServerSlo>>,
     events: Option<Arc<EventLog>>,
+    tsdb: Option<Arc<Tsdb>>,
 ) -> Vec<Route> {
     let registry = vlsa_telemetry::recorder();
     let build_info = Json::obj()
@@ -553,6 +750,29 @@ fn observability_routes(
                 }
                 None => HttpResponse::not_found(
                     "wide events are not enabled on this server".to_string(),
+                ),
+            }),
+        ));
+    }
+    {
+        let tsdb = tsdb.clone();
+        routes.push(Route::exact(
+            "/query",
+            Arc::new(move |_path: &str, query: &str| match &tsdb {
+                Some(db) => answer_query(db, query),
+                None => HttpResponse::not_found(
+                    "the time-series store is not enabled on this server".to_string(),
+                ),
+            }),
+        ));
+    }
+    {
+        routes.push(Route::exact(
+            "/series",
+            Arc::new(move |_path: &str, _query: &str| match &tsdb {
+                Some(db) => HttpResponse::ok_json(db.stats_json().to_string()),
+                None => HttpResponse::not_found(
+                    "the time-series store is not enabled on this server".to_string(),
                 ),
             }),
         ));

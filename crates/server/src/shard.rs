@@ -55,6 +55,7 @@ use vlsa_telemetry::DEFAULT_BUCKETS;
 use vlsa_trace::{RequestTrace, TraceEvent};
 
 use crate::batcher::{BatchPolicy, Batcher};
+use crate::clock::ModeledClock;
 use crate::error::ProtocolError;
 use crate::events::{EventLog, WideEvent};
 use crate::protocol::{
@@ -296,6 +297,9 @@ pub struct PoolHooks {
     pub events: Option<Arc<EventLog>>,
     /// Fault injector; `None` (production) costs nothing.
     pub chaos: Option<Arc<ChaosInjector>>,
+    /// Process-wide modeled clock, folded forward by every flushed
+    /// batch (always present; a fresh clock costs one atomic).
+    pub clock: Arc<ModeledClock>,
 }
 
 /// Everything the shards and the supervisor share.
@@ -753,6 +757,21 @@ impl ShardMetrics {
     }
 }
 
+/// Pre-creates every per-shard instrument (plus the lazily-resolved
+/// shed counter) at zero. Workers resolve their own handles at spawn,
+/// which races the embedded history's first ingest tick — warming the
+/// registry first guarantees the t=0 snapshot carries zero baselines,
+/// so `increase()` over the whole run counts from the true start.
+pub(crate) fn warm_metrics(shards: usize) {
+    if !vlsa_telemetry::is_enabled() {
+        return;
+    }
+    for shard in 0..shards {
+        drop(ShardMetrics::resolve(shard as u16));
+    }
+    vlsa_telemetry::recorder().counter(metric::SHED);
+}
+
 /// Everything one worker generation needs, bundled for `spawn_worker`.
 struct WorkerCtx {
     shard_id: u16,
@@ -1131,6 +1150,7 @@ fn worker_loop(ctx: &WorkerCtx, batcher: &Batcher<Job>) {
         // cycle period (1 ns/cycle when unpaced, keeping the clock
         // monotone and deterministic in tests).
         let now_ns = total_cycles.saturating_mul(config.cycle_ns.max(1));
+        ctx.hooks.clock.advance_to(now_ns);
         let verdict = ctx
             .hooks
             .slo
@@ -1681,7 +1701,7 @@ mod tests {
             PoolHooks {
                 slo: Some(Arc::clone(&slo)),
                 events: Some(Arc::clone(&events)),
-                chaos: None,
+                ..PoolHooks::default()
             },
         )
         .expect("valid config");

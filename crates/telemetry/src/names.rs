@@ -171,6 +171,31 @@ pub mod slo {
     pub const WARNS_FIRING: &str = "vlsa.slo.warns_firing";
 }
 
+/// `vlsa.recorded.*` — series produced by the embedded time-series
+/// store's recording rules (`vlsa-tsdb`): derived views materialized on
+/// every ingest tick so dashboards and the regression gate read
+/// pre-computed answers instead of re-evaluating expressions.
+pub mod recorded {
+    /// Fleet ops/second — `rate(vlsa.server.ops[1s])` summed over shards.
+    pub const OPS_PER_SEC: &str = "vlsa.recorded.ops_per_sec";
+    /// Fleet sheds/second — `rate(vlsa.server.shed[1s])`.
+    pub const SHED_PER_SEC: &str = "vlsa.recorded.shed_per_sec";
+    /// Worst-shard p999 request latency (µs) —
+    /// `quantile(0.999, vlsa.server.request_latency_us[10s])`.
+    pub const P999_US: &str = "vlsa.recorded.p999_us";
+    /// Worst SLO burn rate — `max_over_time(vlsa.slo.burn_rate[10s])`.
+    pub const BURN_RATE_MAX: &str = "vlsa.recorded.burn_rate_max";
+    /// Page-severity SLO rules firing —
+    /// `max_over_time(vlsa.slo.pages_firing[10s])`.
+    pub const PAGES_FIRING: &str = "vlsa.recorded.pages_firing";
+    /// Worst conformance-monitor chi-square statistic —
+    /// `max_over_time(vlsa.monitor.chi2[1m])`.
+    pub const CHI2_MAX: &str = "vlsa.recorded.chi2_max";
+    /// Worst conformance-monitor CUSUM statistic —
+    /// `max_over_time(vlsa.monitor.cusum[1m])`.
+    pub const CUSUM_MAX: &str = "vlsa.recorded.cusum_max";
+}
+
 /// `vlsa.fleet.*` — the fleet aggregator (`vlsa-bench`'s `aggregate`
 /// bin): scrape-loop health over the target processes.
 pub mod fleet {

@@ -1,0 +1,173 @@
+//! MSB-first bit-level I/O for the Gorilla-style codec.
+//!
+//! Both halves of the codec ([`crate::codec`]) speak in individual bits
+//! and small variable-width integers, so the writer packs MSB-first
+//! into a `Vec<u8>` and the reader walks the same layout with a
+//! typed error on truncation — corrupted streams must surface as
+//! [`DecodeError`](crate::codec::DecodeError), never as a panic.
+
+/// Append-only MSB-first bit buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the final byte (0..=7). 0 means the last
+    /// byte is full (or the buffer is empty).
+    used: u8,
+}
+
+impl BitWriter {
+    /// Create an empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> u64 {
+        if self.used == 0 {
+            self.bytes.len() as u64 * 8
+        } else {
+            (self.bytes.len() as u64 - 1) * 8 + u64::from(self.used)
+        }
+    }
+
+    /// Number of bytes the packed stream occupies (final partial byte
+    /// is zero-padded).
+    pub fn len_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Append a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("push_bit allocated a byte");
+            *last |= 1 << (7 - self.used);
+        }
+        self.used = (self.used + 1) % 8;
+    }
+
+    /// Append the low `width` bits of `value`, MSB first. `width` may
+    /// be 0..=64; bits above `width` are ignored.
+    pub fn push_bits(&mut self, value: u64, width: u8) {
+        debug_assert!(width <= 64);
+        for i in (0..width).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Consume the writer, returning the packed bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrow the packed bytes (final byte may be partially used).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Cursor over a packed bit stream produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit to read, counted from the start of the stream.
+    pos: u64,
+    /// Total number of valid bits (callers pass this so zero-padding
+    /// in the final byte is never misread as data).
+    len: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wrap `bytes`, of which only the first `len_bits` bits are valid.
+    pub fn new(bytes: &'a [u8], len_bits: u64) -> BitReader<'a> {
+        let cap = bytes.len() as u64 * 8;
+        BitReader {
+            bytes,
+            pos: 0,
+            len: len_bits.min(cap),
+        }
+    }
+
+    /// Bits left to read.
+    pub fn remaining(&self) -> u64 {
+        self.len - self.pos
+    }
+
+    /// Read one bit; `None` when the stream is exhausted.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.len {
+            return None;
+        }
+        let byte = self.bytes[(self.pos / 8) as usize];
+        let bit = (byte >> (7 - (self.pos % 8) as u8)) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Read `width` bits MSB-first into the low bits of a `u64`;
+    /// `None` if fewer than `width` bits remain.
+    pub fn read_bits(&mut self, width: u8) -> Option<u64> {
+        debug_assert!(width <= 64);
+        if self.remaining() < u64::from(width) {
+            return None;
+        }
+        let mut out = 0u64;
+        for _ in 0..width {
+            out = (out << 1) | u64::from(self.read_bit()?);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        w.push_bits(0b1011, 4);
+        w.push_bits(u64::MAX, 64);
+        w.push_bits(0, 14);
+        w.push_bits(0x5a5a, 16);
+        let len = w.len_bits();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_bits(4), Some(0b1011));
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+        assert_eq!(r.read_bits(14), Some(0));
+        assert_eq!(r.read_bits(16), Some(0x5a5a));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn padding_bits_are_not_readable() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b101, 3);
+        let len = w.len_bits();
+        assert_eq!(len, 3);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 1);
+        let mut r = BitReader::new(&bytes, len);
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bit(), None);
+        // Asking for more than remains fails without consuming.
+        let mut r2 = BitReader::new(&bytes, len);
+        assert_eq!(r2.read_bits(4), None);
+        assert_eq!(r2.read_bits(3), Some(0b101));
+    }
+
+    #[test]
+    fn len_claims_beyond_buffer_are_clamped() {
+        let bytes = [0xffu8];
+        let mut r = BitReader::new(&bytes, 1000);
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.read_bits(8), Some(0xff));
+        assert_eq!(r.read_bit(), None);
+    }
+}

@@ -1,0 +1,470 @@
+//! Gorilla-style stream codec: delta-of-delta timestamps and XOR
+//! floats.
+//!
+//! The two encoders are independent bit streams (unlike the original
+//! Gorilla paper, which interleaves one stream per block) so that a
+//! downsampled aggregate chunk can share a single timestamp stream
+//! across its five value streams (`count`/`sum`/`min`/`max`/`last`)
+//! while reusing exactly the same codec. Each stream pads to a byte
+//! boundary independently; with hundreds of samples per chunk the
+//! padding is noise.
+//!
+//! ## Timestamp layout
+//!
+//! Timestamps are `u64` microseconds and must be non-decreasing. The
+//! first sample is 64 raw bits; every later sample encodes the
+//! zigzagged delta-of-delta `dod = delta - prev_delta` in one of five
+//! prefix-coded buckets (wider than Gorilla's because our resolution
+//! is µs of modeled time, not wall seconds):
+//!
+//! | prefix | payload | covers |
+//! |--------|---------|--------|
+//! | `0`    | —       | `dod == 0` (perfectly regular cadence) |
+//! | `10`   | 14 bits | zigzag(dod) < 2^14 (~±8 ms jitter) |
+//! | `110`  | 24 bits | zigzag(dod) < 2^24 (~±8 s jitter) |
+//! | `1110` | 32 bits | zigzag(dod) < 2^32 (~±35 min jitter) |
+//! | `1111` | 64 bits | raw *delta* (escape hatch; resets the dod chain) |
+//!
+//! ## Value layout
+//!
+//! Classic Gorilla XOR: first value is 64 raw bits; afterwards
+//! `x = bits(v) ^ bits(prev)`. `x == 0` emits `0`; an XOR fitting the
+//! previous leading/trailing window emits `10` + meaningful bits; a
+//! new window emits `11` + 5-bit leading-zero count (clamped to 31) +
+//! 6-bit `(meaningful_len - 1)` + meaningful bits. Values round-trip
+//! **bit-identically** — NaN payloads, ±Inf, negative zero, and
+//! denormals all survive because the codec never interprets the f64.
+
+use crate::bits::{BitReader, BitWriter};
+
+/// Typed decode failure. Corrupted or truncated streams surface here —
+/// never as a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bit stream ended in the middle of sample `sample` (0-based).
+    UnexpectedEnd {
+        /// Which stream was being decoded ("timestamps" or "values").
+        stream: &'static str,
+        /// Index of the sample whose encoding was cut short.
+        sample: usize,
+    },
+    /// A decoded timestamp went backwards — impossible output from the
+    /// encoder, so the stream bytes must be corrupt.
+    TimestampRegression {
+        /// Index of the offending sample.
+        sample: usize,
+    },
+    /// An XOR window descriptor was self-inconsistent (leading +
+    /// meaningful bits exceed 64) — impossible output from the
+    /// encoder, so the stream bytes must be corrupt.
+    InvalidWindow {
+        /// Index of the offending sample.
+        sample: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd { stream, sample } => {
+                write!(f, "{stream} stream truncated at sample {sample}")
+            }
+            DecodeError::TimestampRegression { sample } => {
+                write!(
+                    f,
+                    "decoded timestamp regressed at sample {sample} (corrupt stream)"
+                )
+            }
+            DecodeError::InvalidWindow { sample } => {
+                write!(f, "invalid XOR window at sample {sample} (corrupt stream)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn zigzag(v: i128) -> u128 {
+    ((v << 1) ^ (v >> 127)) as u128
+}
+
+fn unzigzag(v: u128) -> i128 {
+    ((v >> 1) as i128) ^ -((v & 1) as i128)
+}
+
+/// Streaming delta-of-delta encoder for non-decreasing `u64`
+/// microsecond timestamps.
+#[derive(Debug, Default, Clone)]
+pub struct TsEncoder {
+    bits: BitWriter,
+    prev_ts: u64,
+    prev_delta: u64,
+    count: usize,
+}
+
+impl TsEncoder {
+    /// Create an empty encoder.
+    pub fn new() -> TsEncoder {
+        TsEncoder::default()
+    }
+
+    /// Samples encoded so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Bits used so far.
+    pub fn len_bits(&self) -> u64 {
+        self.bits.len_bits()
+    }
+
+    /// Packed bytes so far (final byte may be partial).
+    pub fn as_bytes(&self) -> &[u8] {
+        self.bits.as_bytes()
+    }
+
+    /// Append a timestamp. Returns `false` (and encodes nothing) if
+    /// `ts_us` is smaller than the previous timestamp.
+    pub fn append(&mut self, ts_us: u64) -> bool {
+        if self.count == 0 {
+            self.bits.push_bits(ts_us, 64);
+            self.prev_ts = ts_us;
+            self.prev_delta = 0;
+            self.count = 1;
+            return true;
+        }
+        if ts_us < self.prev_ts {
+            return false;
+        }
+        let delta = ts_us - self.prev_ts;
+        let dod = delta as i128 - self.prev_delta as i128;
+        let zz = zigzag(dod);
+        if zz == 0 {
+            self.bits.push_bit(false);
+        } else if zz < (1 << 14) {
+            self.bits.push_bits(0b10, 2);
+            self.bits.push_bits(zz as u64, 14);
+        } else if zz < (1 << 24) {
+            self.bits.push_bits(0b110, 3);
+            self.bits.push_bits(zz as u64, 24);
+        } else if zz < (1 << 32) {
+            self.bits.push_bits(0b1110, 4);
+            self.bits.push_bits(zz as u64, 32);
+        } else {
+            // Escape: raw delta, resetting the dod chain.
+            self.bits.push_bits(0b1111, 4);
+            self.bits.push_bits(delta, 64);
+        }
+        self.prev_ts = ts_us;
+        self.prev_delta = delta;
+        self.count += 1;
+        true
+    }
+
+    /// Seal the stream, returning `(bytes, len_bits, count)`.
+    pub fn finish(self) -> (Vec<u8>, u64, usize) {
+        let len = self.bits.len_bits();
+        (self.bits.into_bytes(), len, self.count)
+    }
+}
+
+/// Decode `count` timestamps from a packed delta-of-delta stream.
+pub fn decode_ts(bytes: &[u8], len_bits: u64, count: usize) -> Result<Vec<u64>, DecodeError> {
+    let mut r = BitReader::new(bytes, len_bits);
+    let mut out = Vec::with_capacity(count);
+    let mut prev_ts = 0u64;
+    let mut prev_delta = 0u64;
+    for i in 0..count {
+        let end = DecodeError::UnexpectedEnd {
+            stream: "timestamps",
+            sample: i,
+        };
+        if i == 0 {
+            prev_ts = r.read_bits(64).ok_or(end)?;
+            out.push(prev_ts);
+            continue;
+        }
+        let delta = if !r.read_bit().ok_or(end.clone())? {
+            // '0' → dod == 0
+            prev_delta
+        } else {
+            let width = if !r.read_bit().ok_or(end.clone())? {
+                14 // '10'
+            } else if !r.read_bit().ok_or(end.clone())? {
+                24 // '110'
+            } else if !r.read_bit().ok_or(end.clone())? {
+                32 // '1110'
+            } else {
+                0 // '1111' → raw 64-bit delta
+            };
+            if width == 0 {
+                r.read_bits(64).ok_or(end.clone())?
+            } else {
+                let zz = r.read_bits(width).ok_or(end.clone())?;
+                let dod = unzigzag(zz as u128);
+                let next = prev_delta as i128 + dod;
+                if !(0..=u64::MAX as i128).contains(&next) {
+                    return Err(DecodeError::TimestampRegression { sample: i });
+                }
+                next as u64
+            }
+        };
+        let ts = prev_ts
+            .checked_add(delta)
+            .ok_or(DecodeError::TimestampRegression { sample: i })?;
+        out.push(ts);
+        prev_ts = ts;
+        prev_delta = delta;
+    }
+    Ok(out)
+}
+
+/// Streaming XOR encoder for `f64` values (bit-identical round trips).
+#[derive(Debug, Default, Clone)]
+pub struct ValEncoder {
+    bits: BitWriter,
+    prev: u64,
+    leading: u8,
+    meaningful: u8,
+    window_set: bool,
+    count: usize,
+}
+
+impl ValEncoder {
+    /// Create an empty encoder.
+    pub fn new() -> ValEncoder {
+        ValEncoder::default()
+    }
+
+    /// Samples encoded so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Bits used so far.
+    pub fn len_bits(&self) -> u64 {
+        self.bits.len_bits()
+    }
+
+    /// Packed bytes so far (final byte may be partial).
+    pub fn as_bytes(&self) -> &[u8] {
+        self.bits.as_bytes()
+    }
+
+    /// Append a value. Never fails; NaN/±Inf/denormals are stored by
+    /// bit pattern.
+    pub fn append(&mut self, value: f64) {
+        let bits = value.to_bits();
+        if self.count == 0 {
+            self.bits.push_bits(bits, 64);
+            self.prev = bits;
+            self.count = 1;
+            return;
+        }
+        let xor = bits ^ self.prev;
+        if xor == 0 {
+            self.bits.push_bit(false);
+        } else {
+            let leading = (xor.leading_zeros() as u8).min(31);
+            let trailing = xor.trailing_zeros() as u8;
+            let meaningful = 64 - leading - trailing;
+            let fits_prev = self.window_set
+                && leading >= self.leading
+                && 64 - self.leading - self.meaningful <= trailing;
+            if fits_prev {
+                // '10' + meaningful bits in the previous window.
+                self.bits.push_bits(0b10, 2);
+                let shift = 64 - self.leading - self.meaningful;
+                self.bits.push_bits(xor >> shift, self.meaningful);
+            } else {
+                // '11' + 5-bit leading + 6-bit (len-1) + bits.
+                self.bits.push_bits(0b11, 2);
+                self.bits.push_bits(u64::from(leading), 5);
+                self.bits.push_bits(u64::from(meaningful - 1), 6);
+                self.bits.push_bits(xor >> trailing, meaningful);
+                self.leading = leading;
+                self.meaningful = meaningful;
+                self.window_set = true;
+            }
+        }
+        self.prev = bits;
+        self.count += 1;
+    }
+
+    /// Seal the stream, returning `(bytes, len_bits, count)`.
+    pub fn finish(self) -> (Vec<u8>, u64, usize) {
+        let len = self.bits.len_bits();
+        (self.bits.into_bytes(), len, self.count)
+    }
+}
+
+/// Decode `count` values from a packed XOR stream.
+pub fn decode_vals(bytes: &[u8], len_bits: u64, count: usize) -> Result<Vec<f64>, DecodeError> {
+    let mut r = BitReader::new(bytes, len_bits);
+    let mut out = Vec::with_capacity(count);
+    let mut prev = 0u64;
+    let mut leading = 0u8;
+    let mut meaningful = 0u8;
+    for i in 0..count {
+        let end = DecodeError::UnexpectedEnd {
+            stream: "values",
+            sample: i,
+        };
+        if i == 0 {
+            prev = r.read_bits(64).ok_or(end)?;
+            out.push(f64::from_bits(prev));
+            continue;
+        }
+        if !r.read_bit().ok_or(end.clone())? {
+            // '0' → identical value.
+            out.push(f64::from_bits(prev));
+            continue;
+        }
+        if r.read_bit().ok_or(end.clone())? {
+            // '11' → new window.
+            leading = r.read_bits(5).ok_or(end.clone())? as u8;
+            meaningful = r.read_bits(6).ok_or(end.clone())? as u8 + 1;
+            if u32::from(leading) + u32::from(meaningful) > 64 {
+                return Err(DecodeError::InvalidWindow { sample: i });
+            }
+        }
+        if meaningful == 0 {
+            // A '10' control before any '11' established a window can
+            // only come from a corrupt stream (the encoder never emits
+            // it); the payload is zero-width, so decode as a repeat.
+            out.push(f64::from_bits(prev));
+            continue;
+        }
+        let payload = r.read_bits(meaningful).ok_or(end)?;
+        let shift = 64 - leading - meaningful;
+        let bits = prev ^ (payload << shift);
+        out.push(f64::from_bits(bits));
+        prev = bits;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_ts(ts: &[u64]) {
+        let mut enc = TsEncoder::new();
+        for &t in ts {
+            assert!(enc.append(t));
+        }
+        let (bytes, len, count) = enc.finish();
+        assert_eq!(count, ts.len());
+        let got = decode_ts(&bytes, len, count).expect("decode");
+        assert_eq!(got, ts);
+    }
+
+    fn roundtrip_vals(vals: &[f64]) {
+        let mut enc = ValEncoder::new();
+        for &v in vals {
+            enc.append(v);
+        }
+        let (bytes, len, count) = enc.finish();
+        let got = decode_vals(&bytes, len, count).expect("decode");
+        let want: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+        let have: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(have, want);
+    }
+
+    #[test]
+    fn regular_cadence_costs_one_bit_per_sample() {
+        let ts: Vec<u64> = (0..1000).map(|i| 1_000_000 + i * 10_000).collect();
+        let mut enc = TsEncoder::new();
+        for &t in &ts {
+            enc.append(t);
+        }
+        // 64 raw + 27 bits for the first delta ('110' bucket: zigzag
+        // of 10ms needs 15 bits) + 1 bit for each of the remaining 998
+        // dod-zero samples.
+        assert!(enc.len_bits() <= 64 + 27 + 998, "len = {}", enc.len_bits());
+        let (bytes, len, count) = enc.finish();
+        assert_eq!(decode_ts(&bytes, len, count).unwrap(), ts);
+    }
+
+    #[test]
+    fn jittery_and_escape_deltas_round_trip() {
+        roundtrip_ts(&[0]);
+        roundtrip_ts(&[u64::MAX]);
+        roundtrip_ts(&[5, 5, 5, 5]);
+        roundtrip_ts(&[0, 1, 3, 6, 10, 1_000_000, 1_000_001, u64::MAX]);
+        roundtrip_ts(&[1 << 40, (1 << 40) + (1 << 33), (1 << 41) + 17]);
+    }
+
+    #[test]
+    fn non_monotonic_timestamp_is_rejected() {
+        let mut enc = TsEncoder::new();
+        assert!(enc.append(100));
+        assert!(!enc.append(99));
+        assert!(enc.append(100)); // equal is allowed
+        assert_eq!(enc.count(), 2);
+    }
+
+    #[test]
+    fn constant_values_cost_one_bit_per_sample() {
+        let mut enc = ValEncoder::new();
+        for _ in 0..1000 {
+            enc.append(42.0);
+        }
+        assert!(enc.len_bits() <= 64 + 999 + 8, "len = {}", enc.len_bits());
+    }
+
+    #[test]
+    fn special_values_round_trip_bit_identically() {
+        roundtrip_vals(&[0.0]);
+        roundtrip_vals(&[
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest denormal
+            f64::MAX,
+            f64::MIN,
+            1.0,
+            1.0000000000000002,
+        ]);
+        // A NaN with a payload survives.
+        roundtrip_vals(&[f64::from_bits(0x7ff8_0000_dead_beef), 1.0]);
+    }
+
+    #[test]
+    fn truncated_streams_fail_with_typed_error() {
+        let mut enc = ValEncoder::new();
+        for v in [1.0, 2.5, -7.25, 1e300] {
+            enc.append(v);
+        }
+        let (bytes, len, count) = enc.finish();
+        // Claiming more samples than were encoded must error, not panic.
+        let err = decode_vals(&bytes, len, count + 1).unwrap_err();
+        assert!(matches!(
+            err,
+            DecodeError::UnexpectedEnd {
+                stream: "values",
+                ..
+            }
+        ));
+        // Chopping the byte stream mid-sample must error too.
+        let err = decode_vals(&bytes[..bytes.len() / 2], len, count).unwrap_err();
+        assert!(matches!(err, DecodeError::UnexpectedEnd { .. }));
+
+        let mut tenc = TsEncoder::new();
+        for t in [10, 20, 1_000_000] {
+            tenc.append(t);
+        }
+        let (tbytes, tlen, tcount) = tenc.finish();
+        let err = decode_ts(&tbytes[..4], tlen, tcount).unwrap_err();
+        assert!(matches!(
+            err,
+            DecodeError::UnexpectedEnd {
+                stream: "timestamps",
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,56 @@
+//! # vlsa-tsdb
+//!
+//! Embedded Gorilla-style time-series store for VLSA telemetry: the
+//! historical memory behind every point-in-time observability surface
+//! (`/metrics`, `/snapshot`, `/slo`). Point scrapes answer *what is*;
+//! this crate answers *what happened* — drift ramps, burn-rate
+//! trajectories, and throughput regressions are reconstructible after
+//! the fact via `/query`.
+//!
+//! ## Pieces
+//!
+//! - [`bits`] — MSB-first bit I/O shared by both codec halves.
+//! - [`codec`] — delta-of-delta timestamps + XOR floats; bit-identical
+//!   round trips (NaN payloads, ±Inf, denormals) and typed
+//!   [`DecodeError`]s on corrupt streams, never panics.
+//! - [`series`] — per-series chunked storage: an open compressing
+//!   chunk, a byte-budgeted ring of sealed chunks, and staged
+//!   downsampling raw → 10s → 1m of modeled time.
+//! - [`store`] — the [`Tsdb`]: named series, whole-[`Registry`]
+//!   ingestion (histograms fan out into cumulative `#le=` bucket
+//!   series), retention stats, and [`RecordingRule`]s evaluated on
+//!   every ingest tick.
+//! - [`query`] — a tiny PromQL-flavored engine: `rate`, `increase`,
+//!   `avg_over_time`, `max_over_time`, and histogram `quantile`, all
+//!   counter-reset aware, evaluated on a grid of modeled-time
+//!   instants.
+//!
+//! ## Design rules
+//!
+//! - **Modeled time.** All timestamps are µs of the same modeled clock
+//!   the SLO engine runs on (`total_cycles × cycle_ns` folded across
+//!   shards), so retention windows, downsampling buckets, and query
+//!   results are deterministic under test.
+//! - **Fixed memory.** Retention is a per-series byte budget, not a
+//!   sample count: when the sealed ring overflows, the oldest chunk is
+//!   dropped whole and the drop is counted. Nothing ever blocks or
+//!   reallocates unboundedly on the ingest path.
+//! - **No dependencies.** Std-only, like every other crate in the
+//!   workspace.
+//!
+//! [`Registry`]: vlsa_telemetry::Registry
+//! [`DecodeError`]: codec::DecodeError
+
+pub mod bits;
+pub mod codec;
+pub mod query;
+pub mod series;
+pub mod store;
+
+pub use codec::DecodeError;
+pub use query::{
+    eval_instant, eval_range, parse_duration_us, range_response_json, Expr, QueryError, Selector,
+    SeriesResult,
+};
+pub use series::{AggSample, Resolution, Sample, SeriesBudget};
+pub use store::{RecordingRule, Tsdb, TsdbConfig};

@@ -1,0 +1,580 @@
+//! Range-query engine: a tiny PromQL-flavored expression language
+//! over the store.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr     := selector
+//!           | "rate" "(" ranged ")"
+//!           | "increase" "(" ranged ")"
+//!           | "avg_over_time" "(" ranged ")"
+//!           | "max_over_time" "(" ranged ")"
+//!           | "quantile" "(" float "," ranged ")"
+//! ranged   := selector "[" duration "]"
+//! selector := name ( "{" label ("," label)* "}" )?
+//! label    := key "=" value
+//! duration := integer ("us" | "ms" | "s" | "m" | "h")
+//! ```
+//!
+//! Selectors use `{key=value}` matchers instead of the registry's
+//! literal `#key=value` suffix because `#` starts a URI fragment and
+//! would be stripped from `?expr=` by any HTTP client. A bare name
+//! matches every label variant of that base, so `rate(vlsa.server.ops[1s])`
+//! is the fleet rate summed over shards when evaluated as an instant.
+//!
+//! `rate`/`increase` are counter-reset aware (a decrease is treated as
+//! a restart from zero) and use the last sample at-or-before the
+//! window start as the baseline, so the increase over a window is
+//! exact — no Prometheus-style extrapolation. `quantile(q, h[w])`
+//! computes a histogram quantile from the cumulative `#le=` bucket
+//! series, linearly interpolating inside the winning bucket.
+
+use vlsa_telemetry::json::Json;
+use vlsa_telemetry::names::{labeled_multi, split_labels};
+
+use crate::codec::DecodeError;
+use crate::series::AggSample;
+use crate::store::Tsdb;
+
+/// Typed query failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The expression did not parse.
+    Parse(String),
+    /// A compressed chunk failed to decode.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse(msg) => write!(f, "query parse error: {msg}"),
+            QueryError::Decode(e) => write!(f, "query decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<DecodeError> for QueryError {
+    fn from(e: DecodeError) -> QueryError {
+        QueryError::Decode(e)
+    }
+}
+
+/// A series selector: base name, label matchers, optional window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selector {
+    /// Base metric name (without labels).
+    pub base: String,
+    /// Label matchers; matched series must carry all of them.
+    pub labels: Vec<(String, String)>,
+    /// Lookback window in µs (present inside function calls).
+    pub window_us: Option<u64>,
+}
+
+/// A parsed query expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Raw samples of every matching series.
+    Selector(Selector),
+    /// Per-second increase over the window, counter-reset aware.
+    Rate(Selector),
+    /// Absolute increase over the window, counter-reset aware.
+    Increase(Selector),
+    /// Mean of raw values over the window (downsample-aware).
+    AvgOverTime(Selector),
+    /// Max of raw values over the window (downsample-aware).
+    MaxOverTime(Selector),
+    /// Histogram quantile from cumulative `#le=` bucket series.
+    Quantile(f64, Selector),
+}
+
+impl Expr {
+    /// Parse an expression.
+    pub fn parse(input: &str) -> Result<Expr, QueryError> {
+        let s = input.trim();
+        for (name, needs_q) in [
+            ("rate", false),
+            ("increase", false),
+            ("avg_over_time", false),
+            ("max_over_time", false),
+            ("quantile", true),
+        ] {
+            let Some(rest) = s.strip_prefix(name) else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            let Some(args) = rest.strip_prefix('(') else {
+                continue;
+            };
+            let Some(args) = args.strip_suffix(')') else {
+                return Err(QueryError::Parse(format!("{name}: missing closing ')'")));
+            };
+            if needs_q {
+                let (q_str, sel_str) = args.split_once(',').ok_or_else(|| {
+                    QueryError::Parse("quantile needs two arguments: q, selector[window]".into())
+                })?;
+                let q: f64 = q_str
+                    .trim()
+                    .parse()
+                    .map_err(|_| QueryError::Parse(format!("bad quantile {:?}", q_str.trim())))?;
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(QueryError::Parse(format!("quantile {q} outside [0, 1]")));
+                }
+                let sel = parse_selector(sel_str, true)?;
+                return Ok(Expr::Quantile(q, sel));
+            }
+            let sel = parse_selector(args, true)?;
+            return Ok(match name {
+                "rate" => Expr::Rate(sel),
+                "increase" => Expr::Increase(sel),
+                "avg_over_time" => Expr::AvgOverTime(sel),
+                _ => Expr::MaxOverTime(sel),
+            });
+        }
+        Ok(Expr::Selector(parse_selector(s, false)?))
+    }
+
+    /// Lookback window, if the expression has one.
+    pub fn window_us(&self) -> Option<u64> {
+        match self {
+            Expr::Selector(s) => s.window_us,
+            Expr::Rate(s)
+            | Expr::Increase(s)
+            | Expr::AvgOverTime(s)
+            | Expr::MaxOverTime(s)
+            | Expr::Quantile(_, s) => s.window_us,
+        }
+    }
+}
+
+/// Parse `30s`-style durations into µs.
+pub fn parse_duration_us(s: &str) -> Result<u64, QueryError> {
+    let s = s.trim();
+    let bad = || QueryError::Parse(format!("bad duration {s:?} (want e.g. 500ms, 30s, 5m)"));
+    let (digits, unit): (String, String) = {
+        let split = s.find(|c: char| !c.is_ascii_digit()).ok_or_else(bad)?;
+        (s[..split].to_string(), s[split..].to_string())
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    let mult = match unit.as_str() {
+        "us" => 1,
+        "ms" => 1_000,
+        "s" => 1_000_000,
+        "m" => 60_000_000,
+        "h" => 3_600_000_000,
+        _ => return Err(bad()),
+    };
+    n.checked_mul(mult).ok_or_else(bad)
+}
+
+fn parse_selector(input: &str, window_required: bool) -> Result<Selector, QueryError> {
+    let s = input.trim();
+    let (body, window_us) = match s.split_once('[') {
+        Some((body, win)) => {
+            let win = win
+                .strip_suffix(']')
+                .ok_or_else(|| QueryError::Parse("missing closing ']'".into()))?;
+            (body.trim(), Some(parse_duration_us(win)?))
+        }
+        None => (s, None),
+    };
+    if window_required && window_us.is_none() {
+        return Err(QueryError::Parse(format!(
+            "selector {body:?} needs a [window]"
+        )));
+    }
+    let (base, labels) = match body.split_once('{') {
+        Some((base, rest)) => {
+            let rest = rest
+                .strip_suffix('}')
+                .ok_or_else(|| QueryError::Parse("missing closing '}'".into()))?;
+            let mut labels = Vec::new();
+            for pair in rest.split(',') {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    continue;
+                }
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| QueryError::Parse(format!("bad label matcher {pair:?}")))?;
+                labels.push((k.trim().to_string(), v.trim().to_string()));
+            }
+            (base.trim(), labels)
+        }
+        None => (body, Vec::new()),
+    };
+    if base.is_empty()
+        || !base
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | ':' | '-'))
+    {
+        return Err(QueryError::Parse(format!("bad metric name {base:?}")));
+    }
+    Ok(Selector {
+        base: base.to_string(),
+        labels,
+        window_us,
+    })
+}
+
+/// One evaluated series: full name and `(ts_us, value)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesResult {
+    /// Full series name (base plus `#k=v` labels).
+    pub name: String,
+    /// Evaluated points, ascending by timestamp. Values are finite.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// Evaluate `expr` on a grid of instants `start, start+step, ..= end`.
+///
+/// A plain selector ignores the grid and returns the actual retained
+/// samples in `[start, end]` — raw history, not a resampling.
+pub fn eval_range(
+    db: &Tsdb,
+    expr: &Expr,
+    start: u64,
+    end: u64,
+    step: u64,
+) -> Result<Vec<SeriesResult>, QueryError> {
+    let step = step.max(1);
+    match expr {
+        Expr::Selector(sel) => {
+            let mut out = Vec::new();
+            for name in db.matching_series(&sel.base, &sel.labels) {
+                let rows = db.select(&name, start, end)?;
+                let points: Vec<(u64, f64)> = rows
+                    .iter()
+                    .filter(|r| r.last.is_finite())
+                    .map(|r| (r.ts_us, r.last))
+                    .collect();
+                out.push(SeriesResult { name, points });
+            }
+            Ok(out)
+        }
+        Expr::Rate(sel) | Expr::Increase(sel) => {
+            let window = sel.window_us.unwrap_or(0).max(1);
+            let per_second = matches!(expr, Expr::Rate(_));
+            let mut out = Vec::new();
+            for name in db.matching_series(&sel.base, &sel.labels) {
+                let rows = db.select(&name, start.saturating_sub(window), end)?;
+                let mut points = Vec::new();
+                for t in instants(start, end, step) {
+                    if let Some(mut v) = increase_over(&rows, t.saturating_sub(window), t) {
+                        if per_second {
+                            v /= window as f64 / 1e6;
+                        }
+                        if v.is_finite() {
+                            points.push((t, v));
+                        }
+                    }
+                }
+                out.push(SeriesResult { name, points });
+            }
+            Ok(out)
+        }
+        Expr::AvgOverTime(sel) | Expr::MaxOverTime(sel) => {
+            let window = sel.window_us.unwrap_or(0).max(1);
+            let avg = matches!(expr, Expr::AvgOverTime(_));
+            let mut out = Vec::new();
+            for name in db.matching_series(&sel.base, &sel.labels) {
+                let rows = db.select(&name, start.saturating_sub(window), end)?;
+                let mut points = Vec::new();
+                for t in instants(start, end, step) {
+                    let w = window_rows(&rows, t.saturating_sub(window), t);
+                    let v = if avg {
+                        let count: f64 = w.iter().map(|r| r.count).sum();
+                        if count <= 0.0 {
+                            continue;
+                        }
+                        w.iter().map(|r| r.sum).sum::<f64>() / count
+                    } else {
+                        match w.iter().map(|r| r.max).fold(f64::NEG_INFINITY, f64::max) {
+                            m if m.is_finite() => m,
+                            _ => continue,
+                        }
+                    };
+                    if v.is_finite() {
+                        points.push((t, v));
+                    }
+                }
+                out.push(SeriesResult { name, points });
+            }
+            Ok(out)
+        }
+        Expr::Quantile(q, sel) => eval_quantile(db, *q, sel, start, end, step),
+    }
+}
+
+/// Evaluate `expr` at a single instant, folding across matching series
+/// with the aggregation that preserves the expression's meaning:
+/// additive expressions (selectors, `rate`, `increase`) sum — a rule
+/// over per-shard counters records the fleet total — while order
+/// statistics (`max_over_time`, `quantile`) take the max (the worst
+/// shard; summing per-shard p999s would be meaningless) and
+/// `avg_over_time` takes the mean. `None` when no series produced a
+/// value. This is what recording rules call on every ingest tick.
+pub fn eval_instant(db: &Tsdb, expr: &Expr, t: u64) -> Result<Option<f64>, QueryError> {
+    let mut values = Vec::new();
+    match expr {
+        Expr::Selector(sel) => {
+            // Instant value of a selector: last sample at or before `t`.
+            for name in db.matching_series(&sel.base, &sel.labels) {
+                let rows = db.select(&name, 0, t)?;
+                if let Some(last) = rows.last() {
+                    if last.last.is_finite() {
+                        values.push(last.last);
+                    }
+                }
+            }
+        }
+        _ => {
+            for r in eval_range(db, expr, t, t, 1)? {
+                values.extend(r.points.iter().map(|&(_, v)| v));
+            }
+        }
+    }
+    if values.is_empty() {
+        return Ok(None);
+    }
+    let folded = match expr {
+        Expr::Selector(_) | Expr::Rate(_) | Expr::Increase(_) => values.iter().sum(),
+        Expr::AvgOverTime(_) => values.iter().sum::<f64>() / values.len() as f64,
+        Expr::MaxOverTime(_) | Expr::Quantile(..) => {
+            values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    };
+    Ok(Some(folded))
+}
+
+fn eval_quantile(
+    db: &Tsdb,
+    q: f64,
+    sel: &Selector,
+    start: u64,
+    end: u64,
+    step: u64,
+) -> Result<Vec<SeriesResult>, QueryError> {
+    let window = sel.window_us.unwrap_or(0).max(1);
+    // Collect the cumulative bucket series, grouped by non-`le` labels.
+    type BucketGroup = Vec<(f64, Vec<AggSample>)>;
+    let mut groups: Vec<(String, BucketGroup)> = Vec::new();
+    for name in db.matching_series(&sel.base, &sel.labels) {
+        let (base, labels) = split_labels(&name);
+        let Some(le) = labels.iter().find(|(k, _)| *k == "le").map(|(_, v)| *v) else {
+            continue;
+        };
+        let bound = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            match le.parse::<f64>() {
+                Ok(b) => b,
+                Err(_) => continue,
+            }
+        };
+        let rest: Vec<(&str, &str)> = labels.iter().copied().filter(|(k, _)| *k != "le").collect();
+        let group_name = labeled_multi(base, &rest);
+        let rows = db.select(&name, start.saturating_sub(window), end)?;
+        match groups.iter_mut().find(|(g, _)| *g == group_name) {
+            Some((_, buckets)) => buckets.push((bound, rows)),
+            None => groups.push((group_name, vec![(bound, rows)])),
+        }
+    }
+    let mut out = Vec::new();
+    for (group_name, mut buckets) in groups {
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut points = Vec::new();
+        for t in instants(start, end, step) {
+            let t0 = t.saturating_sub(window);
+            // Per-bucket increase over the window; cumulative in `le`.
+            let mut cum: Vec<(f64, f64)> = Vec::with_capacity(buckets.len());
+            for (bound, rows) in &buckets {
+                let inc = increase_over(rows, t0, t).unwrap_or(0.0);
+                cum.push((*bound, inc.max(0.0)));
+            }
+            let total = cum
+                .iter()
+                .find(|(b, _)| b.is_infinite())
+                .map(|(_, c)| *c)
+                .unwrap_or_else(|| cum.last().map(|(_, c)| *c).unwrap_or(0.0));
+            if total <= 0.0 {
+                continue;
+            }
+            let rank = q.clamp(0.0, 1.0) * total;
+            let mut prev_bound = 0.0;
+            let mut prev_cum = 0.0;
+            let mut value = None;
+            for &(bound, c) in cum.iter().filter(|(b, _)| b.is_finite()) {
+                if c >= rank && c > prev_cum {
+                    let frac = (rank - prev_cum) / (c - prev_cum);
+                    value = Some(prev_bound + frac * (bound - prev_bound));
+                    break;
+                }
+                prev_bound = bound;
+                prev_cum = c;
+            }
+            // The quantile fell in the +Inf bucket: report the largest
+            // finite bound (all we can say is "at least this").
+            let v = value.unwrap_or(prev_bound);
+            if v.is_finite() {
+                points.push((t, v));
+            }
+        }
+        out.push(SeriesResult {
+            name: group_name,
+            points,
+        });
+    }
+    Ok(out)
+}
+
+fn instants(start: u64, end: u64, step: u64) -> impl Iterator<Item = u64> {
+    let step = step.max(1);
+    let mut t = start;
+    let mut done = false;
+    let mut last_emitted = None;
+    std::iter::from_fn(move || {
+        if done {
+            return None;
+        }
+        if t > end {
+            // `end` is always the final evaluation instant, even when
+            // the range is not a step multiple: the closing point of a
+            // range query must reflect the latest ingested data, not
+            // stop one partial step short of it.
+            done = true;
+            return (last_emitted.is_some_and(|l| l < end)).then_some(end);
+        }
+        let cur = t;
+        last_emitted = Some(cur);
+        match t.checked_add(step) {
+            Some(next) => t = next,
+            None => done = true,
+        }
+        Some(cur)
+    })
+}
+
+/// Rows with `t0 < ts <= t1` (the half-open lookback window).
+fn window_rows(rows: &[AggSample], t0: u64, t1: u64) -> &[AggSample] {
+    let lo = rows.partition_point(|r| r.ts_us <= t0);
+    let hi = rows.partition_point(|r| r.ts_us <= t1);
+    &rows[lo..hi]
+}
+
+/// Counter increase over `(t0, t1]`, reset-aware. Uses the last sample
+/// at-or-before `t0` as the baseline when available; with no baseline
+/// at least two in-window samples are required (in-window growth only).
+fn increase_over(rows: &[AggSample], t0: u64, t1: u64) -> Option<f64> {
+    let lo = rows.partition_point(|r| r.ts_us <= t0);
+    let hi = rows.partition_point(|r| r.ts_us <= t1);
+    let window = &rows[lo..hi];
+    if window.is_empty() {
+        return None;
+    }
+    let (mut prev, rest): (f64, &[AggSample]) = if lo > 0 {
+        (rows[lo - 1].last, window)
+    } else if window.len() >= 2 {
+        (window[0].last, &window[1..])
+    } else {
+        return None;
+    };
+    let mut total = 0.0;
+    for r in rest {
+        let cur = r.last;
+        if cur >= prev {
+            total += cur - prev;
+        } else {
+            // Counter reset: the process restarted from zero.
+            total += cur;
+        }
+        prev = cur;
+    }
+    Some(total)
+}
+
+/// Shape a `/query` response document.
+pub fn range_response_json(
+    expr: &str,
+    start: u64,
+    end: u64,
+    step: u64,
+    results: &[SeriesResult],
+) -> Json {
+    let arr = results
+        .iter()
+        .map(|r| {
+            let points = r
+                .points
+                .iter()
+                .map(|&(t, v)| Json::Arr(vec![Json::Num(t as f64), Json::Num(v)]))
+                .collect();
+            Json::obj()
+                .set("series", r.name.as_str())
+                .set("points", Json::Arr(points))
+        })
+        .collect();
+    Json::obj()
+        .set("expr", expr)
+        .set("start_us", start as f64)
+        .set("end_us", end as f64)
+        .set("step_us", step as f64)
+        .set("results", Json::Arr(arr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_form() {
+        assert_eq!(
+            Expr::parse("vlsa.server.ops").unwrap(),
+            Expr::Selector(Selector {
+                base: "vlsa.server.ops".into(),
+                labels: vec![],
+                window_us: None
+            })
+        );
+        let e = Expr::parse("rate(vlsa.server.ops{shard=0}[10s])").unwrap();
+        match e {
+            Expr::Rate(sel) => {
+                assert_eq!(sel.base, "vlsa.server.ops");
+                assert_eq!(sel.labels, vec![("shard".to_string(), "0".to_string())]);
+                assert_eq!(sel.window_us, Some(10_000_000));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        let e = Expr::parse("quantile(0.999, vlsa.server.request_latency_us[5m])").unwrap();
+        match e {
+            Expr::Quantile(q, sel) => {
+                assert_eq!(q, 0.999);
+                assert_eq!(sel.window_us, Some(300_000_000));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(
+            Expr::parse("rate(x)").is_err(),
+            "window required inside rate()"
+        );
+        assert!(Expr::parse("quantile(1.5, x[1s])").is_err());
+        assert!(
+            Expr::parse("nope(x[1s])").is_err(),
+            "unknown function is not a metric name"
+        );
+        assert!(Expr::parse("").is_err());
+    }
+
+    #[test]
+    fn durations_parse() {
+        assert_eq!(parse_duration_us("250us").unwrap(), 250);
+        assert_eq!(parse_duration_us("250ms").unwrap(), 250_000);
+        assert_eq!(parse_duration_us("30s").unwrap(), 30_000_000);
+        assert_eq!(parse_duration_us("5m").unwrap(), 300_000_000);
+        assert_eq!(parse_duration_us("1h").unwrap(), 3_600_000_000);
+        assert!(parse_duration_us("5 parsecs").is_err());
+        assert!(parse_duration_us("-3s").is_err());
+    }
+}

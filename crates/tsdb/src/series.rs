@@ -1,0 +1,587 @@
+//! Per-series storage: an open compressing chunk plus a ring of sealed
+//! chunks, with staged downsampling raw → 10s → 1m.
+//!
+//! Memory is fixed per series: when the sealed ring exceeds its byte
+//! budget the oldest chunk is dropped whole. Downsampled resolutions
+//! have their own (smaller) budgets, so a series retains a short
+//! high-resolution window and a much longer low-resolution tail — the
+//! classic telemetry trade.
+//!
+//! All timestamps are microseconds of *modeled* time (the same clock
+//! the SLO engine runs on), so retention windows are deterministic
+//! under test.
+
+use std::collections::VecDeque;
+
+use crate::codec::{decode_ts, decode_vals, DecodeError, TsEncoder, ValEncoder};
+
+/// Samples per raw chunk before it is sealed.
+pub const RAW_CHUNK_SAMPLES: usize = 512;
+/// Samples per aggregate chunk before it is sealed.
+pub const AGG_CHUNK_SAMPLES: usize = 256;
+/// Width of the first downsampling stage: 10 seconds of modeled time.
+pub const STEP_10S_US: u64 = 10_000_000;
+/// Width of the second downsampling stage: 1 minute of modeled time.
+pub const STEP_1M_US: u64 = 60_000_000;
+
+/// One raw observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Modeled-time microseconds.
+    pub ts_us: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// One downsampled bucket. Raw samples lift into this shape with
+/// `count = 1` and `sum = min = max = last = value`, so the query
+/// engine evaluates every resolution uniformly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggSample {
+    /// Bucket *end* in modeled-time microseconds.
+    pub ts_us: u64,
+    /// Number of raw samples folded into the bucket.
+    pub count: f64,
+    /// Sum of raw values.
+    pub sum: f64,
+    /// Minimum raw value.
+    pub min: f64,
+    /// Maximum raw value.
+    pub max: f64,
+    /// Last raw value (what `rate`/`increase` use for counters).
+    pub last: f64,
+}
+
+impl AggSample {
+    fn from_raw(s: Sample) -> AggSample {
+        AggSample {
+            ts_us: s.ts_us,
+            count: 1.0,
+            sum: s.value,
+            min: s.value,
+            max: s.value,
+            last: s.value,
+        }
+    }
+}
+
+/// A sealed, immutable compressed chunk: one timestamp stream plus one
+/// (raw) or five (aggregate) value streams.
+#[derive(Debug, Clone)]
+struct SealedChunk {
+    start_ts: u64,
+    end_ts: u64,
+    count: usize,
+    ts_bytes: Vec<u8>,
+    ts_bits: u64,
+    vals: Vec<(Vec<u8>, u64)>,
+}
+
+impl SealedChunk {
+    fn bytes(&self) -> usize {
+        self.ts_bytes.len() + self.vals.iter().map(|(b, _)| b.len()).sum::<usize>()
+    }
+}
+
+/// An open chunk still accepting appends.
+#[derive(Debug, Default, Clone)]
+struct OpenChunk {
+    ts: TsEncoder,
+    vals: Vec<ValEncoder>,
+    start_ts: u64,
+    end_ts: u64,
+}
+
+impl OpenChunk {
+    fn with_streams(n: usize) -> OpenChunk {
+        OpenChunk {
+            vals: vec![ValEncoder::new(); n],
+            ..OpenChunk::default()
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.ts.as_bytes().len() + self.vals.iter().map(|v| v.as_bytes().len()).sum::<usize>()
+    }
+
+    fn seal(self) -> SealedChunk {
+        let count = self.ts.count();
+        let (ts_bytes, ts_bits, _) = self.ts.finish();
+        let vals = self
+            .vals
+            .into_iter()
+            .map(|v| {
+                let (b, bits, _) = v.finish();
+                (b, bits)
+            })
+            .collect();
+        SealedChunk {
+            start_ts: self.start_ts,
+            end_ts: self.end_ts,
+            count,
+            ts_bytes,
+            ts_bits,
+            vals,
+        }
+    }
+}
+
+/// Chunked storage for one series at one resolution: `streams` value
+/// streams sharing a timestamp stream.
+#[derive(Debug, Clone)]
+pub(crate) struct ChunkedSeries {
+    open: OpenChunk,
+    sealed: VecDeque<SealedChunk>,
+    streams: usize,
+    chunk_samples: usize,
+    max_bytes: usize,
+    samples: u64,
+    dropped_samples: u64,
+    last_ts: Option<u64>,
+}
+
+impl ChunkedSeries {
+    pub(crate) fn new(streams: usize, chunk_samples: usize, max_bytes: usize) -> ChunkedSeries {
+        ChunkedSeries {
+            open: OpenChunk::with_streams(streams),
+            sealed: VecDeque::new(),
+            streams,
+            chunk_samples,
+            max_bytes,
+            samples: 0,
+            dropped_samples: 0,
+            last_ts: None,
+        }
+    }
+
+    /// Append one timestamp plus one value per stream. Returns `false`
+    /// for out-of-order timestamps (strictly increasing required).
+    pub(crate) fn append(&mut self, ts_us: u64, values: &[f64]) -> bool {
+        debug_assert_eq!(values.len(), self.streams);
+        if self.last_ts.is_some_and(|last| ts_us <= last) {
+            return false;
+        }
+        if self.open.ts.count() == 0 {
+            self.open.start_ts = ts_us;
+        }
+        if !self.open.ts.append(ts_us) {
+            return false;
+        }
+        for (enc, &v) in self.open.vals.iter_mut().zip(values) {
+            enc.append(v);
+        }
+        self.open.end_ts = ts_us;
+        self.last_ts = Some(ts_us);
+        self.samples += 1;
+        if self.open.ts.count() >= self.chunk_samples {
+            let full = std::mem::replace(&mut self.open, OpenChunk::with_streams(self.streams));
+            self.sealed.push_back(full.seal());
+            self.enforce_budget();
+        }
+        true
+    }
+
+    fn enforce_budget(&mut self) {
+        let mut sealed_bytes: usize = self.sealed.iter().map(SealedChunk::bytes).sum();
+        while self.sealed.len() > 1 && sealed_bytes > self.max_bytes {
+            if let Some(old) = self.sealed.pop_front() {
+                sealed_bytes -= old.bytes();
+                self.dropped_samples += old.count as u64;
+            }
+        }
+    }
+
+    /// Compressed bytes currently held (sealed + open).
+    pub(crate) fn bytes(&self) -> usize {
+        self.sealed.iter().map(SealedChunk::bytes).sum::<usize>() + self.open.bytes()
+    }
+
+    /// Samples currently retained.
+    pub(crate) fn retained_samples(&self) -> u64 {
+        self.sealed.iter().map(|c| c.count as u64).sum::<u64>() + self.open.ts.count() as u64
+    }
+
+    /// Samples ever appended (including since-evicted ones).
+    pub(crate) fn total_samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Samples dropped by ring retention.
+    pub(crate) fn dropped_samples(&self) -> u64 {
+        self.dropped_samples
+    }
+
+    /// Timestamp of the newest sample, if any.
+    pub(crate) fn last_ts(&self) -> Option<u64> {
+        self.last_ts
+    }
+
+    /// Timestamp of the oldest retained sample, if any.
+    pub(crate) fn first_ts(&self) -> Option<u64> {
+        if let Some(first) = self.sealed.front() {
+            return Some(first.start_ts);
+        }
+        if self.open.ts.count() > 0 {
+            return Some(self.open.start_ts);
+        }
+        None
+    }
+
+    /// Decode every retained sample whose timestamp lies in
+    /// `[start, end]`, as aggregate rows (`stream` values per row).
+    pub(crate) fn select(&self, start: u64, end: u64) -> Result<Vec<(u64, Vec<f64>)>, DecodeError> {
+        let mut out = Vec::new();
+        for chunk in &self.sealed {
+            if chunk.end_ts < start || chunk.start_ts > end {
+                continue;
+            }
+            let ts = decode_ts(&chunk.ts_bytes, chunk.ts_bits, chunk.count)?;
+            let mut cols = Vec::with_capacity(chunk.vals.len());
+            for (bytes, bits) in &chunk.vals {
+                cols.push(decode_vals(bytes, *bits, chunk.count)?);
+            }
+            push_rows(&mut out, &ts, &cols, start, end);
+        }
+        let open_count = self.open.ts.count();
+        if open_count > 0 && self.open.end_ts >= start && self.open.start_ts <= end {
+            let ts = decode_ts(self.open.ts.as_bytes(), self.open.ts.len_bits(), open_count)?;
+            let mut cols = Vec::with_capacity(self.open.vals.len());
+            for enc in &self.open.vals {
+                cols.push(decode_vals(enc.as_bytes(), enc.len_bits(), open_count)?);
+            }
+            push_rows(&mut out, &ts, &cols, start, end);
+        }
+        Ok(out)
+    }
+}
+
+fn push_rows(out: &mut Vec<(u64, Vec<f64>)>, ts: &[u64], cols: &[Vec<f64>], start: u64, end: u64) {
+    for (i, &t) in ts.iter().enumerate() {
+        if t < start || t > end {
+            continue;
+        }
+        out.push((t, cols.iter().map(|c| c[i]).collect()));
+    }
+}
+
+/// In-flight downsampling bucket.
+#[derive(Debug, Clone, Copy)]
+struct AggAcc {
+    bucket: u64,
+    count: f64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    last: f64,
+}
+
+impl AggAcc {
+    fn start(bucket: u64, s: AggSample) -> AggAcc {
+        AggAcc {
+            bucket,
+            count: s.count,
+            sum: s.sum,
+            min: s.min,
+            max: s.max,
+            last: s.last,
+        }
+    }
+
+    fn fold(&mut self, s: AggSample) {
+        self.count += s.count;
+        self.sum += s.sum;
+        self.min = self.min.min(s.min);
+        self.max = self.max.max(s.max);
+        self.last = s.last;
+    }
+
+    fn emit(&self, step_us: u64) -> AggSample {
+        AggSample {
+            // Stamp at the bucket end so downsampled points never sort
+            // ahead of the raw samples that produced them.
+            ts_us: (self.bucket + 1).saturating_mul(step_us),
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            last: self.last,
+        }
+    }
+}
+
+/// One series at every resolution: raw storage plus the 10s and 1m
+/// downsampled stages and their in-flight accumulators.
+#[derive(Debug, Clone)]
+pub(crate) struct MultiResSeries {
+    pub(crate) raw: ChunkedSeries,
+    pub(crate) ds10: ChunkedSeries,
+    pub(crate) ds60: ChunkedSeries,
+    acc10: Option<AggAcc>,
+    acc60: Option<AggAcc>,
+}
+
+/// Per-resolution byte budgets for one series.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesBudget {
+    /// Sealed-ring byte budget for raw samples.
+    pub raw_bytes: usize,
+    /// Sealed-ring byte budget for the 10s resolution.
+    pub ds10_bytes: usize,
+    /// Sealed-ring byte budget for the 1m resolution.
+    pub ds60_bytes: usize,
+}
+
+impl Default for SeriesBudget {
+    fn default() -> SeriesBudget {
+        SeriesBudget {
+            raw_bytes: 8 * 1024,
+            ds10_bytes: 4 * 1024,
+            ds60_bytes: 4 * 1024,
+        }
+    }
+}
+
+impl MultiResSeries {
+    pub(crate) fn new(budget: SeriesBudget) -> MultiResSeries {
+        MultiResSeries {
+            raw: ChunkedSeries::new(1, RAW_CHUNK_SAMPLES, budget.raw_bytes),
+            ds10: ChunkedSeries::new(5, AGG_CHUNK_SAMPLES, budget.ds10_bytes),
+            ds60: ChunkedSeries::new(5, AGG_CHUNK_SAMPLES, budget.ds60_bytes),
+            acc10: None,
+            acc60: None,
+        }
+    }
+
+    /// Append a raw sample, cascading through the downsampling stages.
+    /// Returns `false` (sample ignored) for out-of-order timestamps.
+    pub(crate) fn append(&mut self, ts_us: u64, value: f64) -> bool {
+        if !self.raw.append(ts_us, &[value]) {
+            return false;
+        }
+        let lifted = AggSample::from_raw(Sample { ts_us, value });
+        if let Some(flushed10) = fold_stage(&mut self.acc10, lifted, ts_us, STEP_10S_US) {
+            append_agg(&mut self.ds10, flushed10);
+            // Key the minute bucket by the closed 10s bucket's start
+            // (its emit timestamp is the bucket *end*, which can land
+            // exactly on a minute boundary and must not roll over).
+            let at = flushed10.ts_us.saturating_sub(STEP_10S_US);
+            if let Some(flushed60) = fold_stage(&mut self.acc60, flushed10, at, STEP_1M_US) {
+                append_agg(&mut self.ds60, flushed60);
+            }
+        }
+        true
+    }
+
+    /// Read samples in `[start, end]` at a resolution, lifting raw
+    /// rows into [`AggSample`]s. The open accumulator is included as a
+    /// synthetic trailing bucket so fresh data is queryable before the
+    /// bucket closes.
+    pub(crate) fn select(
+        &self,
+        res: Resolution,
+        start: u64,
+        end: u64,
+    ) -> Result<Vec<AggSample>, DecodeError> {
+        let (series, acc, step) = match res {
+            Resolution::Raw => {
+                let rows = self.raw.select(start, end)?;
+                return Ok(rows
+                    .into_iter()
+                    .map(|(ts_us, v)| AggSample::from_raw(Sample { ts_us, value: v[0] }))
+                    .collect());
+            }
+            Resolution::Ten => (&self.ds10, self.acc10, STEP_10S_US),
+            Resolution::Minute => (
+                &self.ds60,
+                combined_acc60(self.acc60, self.acc10),
+                STEP_1M_US,
+            ),
+        };
+        let rows = series.select(start, end)?;
+        let mut out: Vec<AggSample> = rows
+            .into_iter()
+            .map(|(ts_us, v)| AggSample {
+                ts_us,
+                count: v[0],
+                sum: v[1],
+                min: v[2],
+                max: v[3],
+                last: v[4],
+            })
+            .collect();
+        if let Some(acc) = acc {
+            let pending = acc.emit(step);
+            let fresh = out.last().is_none_or(|l| pending.ts_us > l.ts_us);
+            if fresh && pending.ts_us >= start && acc.bucket.saturating_mul(step) <= end {
+                out.push(pending);
+            }
+        }
+        Ok(out)
+    }
+
+    /// First retained timestamp at a resolution.
+    pub(crate) fn first_ts(&self, res: Resolution) -> Option<u64> {
+        match res {
+            Resolution::Raw => self.raw.first_ts(),
+            Resolution::Ten => self.ds10.first_ts().or_else(|| self.raw.first_ts()),
+            Resolution::Minute => self.ds60.first_ts().or_else(|| self.raw.first_ts()),
+        }
+    }
+
+    /// Total compressed bytes across resolutions.
+    pub(crate) fn bytes(&self) -> usize {
+        self.raw.bytes() + self.ds10.bytes() + self.ds60.bytes()
+    }
+}
+
+fn combined_acc60(acc60: Option<AggAcc>, acc10: Option<AggAcc>) -> Option<AggAcc> {
+    // The minute accumulator only sees *closed* 10s buckets; fold the
+    // open 10s bucket in so the synthetic trailing minute is current.
+    match (acc60, acc10) {
+        (Some(mut a60), Some(a10)) => {
+            a60.fold(a10.emit(STEP_10S_US));
+            Some(a60)
+        }
+        (Some(a60), None) => Some(a60),
+        (None, Some(a10)) => {
+            let s = a10.emit(STEP_10S_US);
+            let bucket = a10.bucket.saturating_mul(STEP_10S_US) / STEP_1M_US;
+            Some(AggAcc::start(bucket, s))
+        }
+        (None, None) => None,
+    }
+}
+
+fn fold_stage(acc: &mut Option<AggAcc>, s: AggSample, at: u64, step_us: u64) -> Option<AggSample> {
+    // Buckets are keyed by `at`, the *start* timestamp of the data
+    // that fed them: for the 10s stage that is the raw sample's own
+    // timestamp, for the 1m stage the start of the closed 10s bucket.
+    let bucket = at / step_us;
+    match acc {
+        None => {
+            *acc = Some(AggAcc::start(bucket, s));
+            None
+        }
+        Some(a) if a.bucket == bucket => {
+            a.fold(s);
+            None
+        }
+        Some(a) => {
+            let flushed = a.emit(step_us);
+            *acc = Some(AggAcc::start(bucket, s));
+            Some(flushed)
+        }
+    }
+}
+
+fn append_agg(series: &mut ChunkedSeries, s: AggSample) {
+    series.append(s.ts_us, &[s.count, s.sum, s.min, s.max, s.last]);
+}
+
+/// Storage resolution of a query or a retained stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Every ingested sample.
+    Raw,
+    /// 10-second downsampled buckets.
+    Ten,
+    /// 1-minute downsampled buckets.
+    Minute,
+}
+
+impl Resolution {
+    /// Short stable name used in JSON output and query params.
+    pub fn name(self) -> &'static str {
+        match self {
+            Resolution::Raw => "raw",
+            Resolution::Ten => "10s",
+            Resolution::Minute => "1m",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_and_reads_back_in_range() {
+        let mut s = MultiResSeries::new(SeriesBudget::default());
+        for i in 0..100u64 {
+            assert!(s.append(i * 1_000, i as f64));
+        }
+        let rows = s.select(Resolution::Raw, 10_000, 19_999).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].ts_us, 10_000);
+        assert_eq!(rows[0].last, 10.0);
+        assert_eq!(rows[9].ts_us, 19_000);
+    }
+
+    #[test]
+    fn rejects_out_of_order_and_duplicate_timestamps() {
+        let mut s = MultiResSeries::new(SeriesBudget::default());
+        assert!(s.append(100, 1.0));
+        assert!(!s.append(100, 2.0));
+        assert!(!s.append(99, 3.0));
+        assert!(s.append(101, 4.0));
+        assert_eq!(s.raw.total_samples(), 2);
+    }
+
+    #[test]
+    fn downsamples_into_ten_second_buckets() {
+        let mut s = MultiResSeries::new(SeriesBudget::default());
+        // 25s of 1s-cadence data: buckets [0,10), [10,20) close.
+        for i in 0..25u64 {
+            s.append(i * 1_000_000, i as f64);
+        }
+        let rows = s.select(Resolution::Ten, 0, u64::MAX).unwrap();
+        // Two closed buckets plus the synthetic open one.
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].ts_us, STEP_10S_US);
+        assert_eq!(rows[0].count, 10.0);
+        assert_eq!(rows[0].sum, 45.0);
+        assert_eq!(rows[0].min, 0.0);
+        assert_eq!(rows[0].max, 9.0);
+        assert_eq!(rows[0].last, 9.0);
+        assert_eq!(rows[1].count, 10.0);
+        assert_eq!(rows[1].last, 19.0);
+        assert_eq!(rows[2].count, 5.0);
+        assert_eq!(rows[2].last, 24.0);
+    }
+
+    #[test]
+    fn minute_stage_combines_ten_second_buckets() {
+        let mut s = MultiResSeries::new(SeriesBudget::default());
+        // 130s of data at 1s cadence → two full minutes close.
+        for i in 0..130u64 {
+            s.append(i * 1_000_000, 1.0);
+        }
+        let rows = s.select(Resolution::Minute, 0, u64::MAX).unwrap();
+        assert!(rows.len() >= 2, "rows = {rows:?}");
+        assert_eq!(rows[0].ts_us, STEP_1M_US);
+        assert_eq!(rows[0].count, 60.0);
+        assert_eq!(rows[0].sum, 60.0);
+        // The second minute has not closed on disk, so it surfaces as
+        // the synthetic trailing bucket: samples 60..129 inclusive.
+        assert_eq!(rows[1].ts_us, 2 * STEP_1M_US);
+        assert_eq!(rows[1].count, 70.0);
+    }
+
+    #[test]
+    fn ring_retention_drops_oldest_chunks_only() {
+        let mut s = ChunkedSeries::new(1, 64, 256);
+        let mut rng_v = 1.0f64;
+        for i in 0..10_000u64 {
+            rng_v = (rng_v * 1.1) % 1e6 + i as f64;
+            assert!(s.append(i, &[rng_v]));
+        }
+        assert!(s.bytes() <= 256 + 2048, "bytes = {}", s.bytes());
+        assert!(s.dropped_samples() > 0);
+        assert_eq!(s.total_samples(), 10_000);
+        // Whatever remains is the newest contiguous suffix.
+        let rows = s.select(0, u64::MAX).unwrap();
+        assert_eq!(rows.last().unwrap().0, 9_999);
+        let first = rows.first().unwrap().0;
+        assert_eq!(rows.len() as u64, 10_000 - first);
+    }
+}

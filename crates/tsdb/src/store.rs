@@ -1,0 +1,433 @@
+//! The embedded store: named series, registry ingestion, retention
+//! stats, and recording rules evaluated on ingest.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use vlsa_telemetry::json::Json;
+use vlsa_telemetry::names::{labeled, split_labels};
+use vlsa_telemetry::Registry;
+
+use crate::codec::DecodeError;
+use crate::query::{eval_instant, Expr, QueryError};
+use crate::series::{AggSample, MultiResSeries, Resolution, SeriesBudget};
+
+/// Store-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TsdbConfig {
+    /// Per-series, per-resolution byte budgets.
+    pub budget: SeriesBudget,
+    /// Hard cap on distinct series (protects against label explosions;
+    /// appends to new names beyond the cap are rejected and counted).
+    pub max_series: usize,
+}
+
+impl Default for TsdbConfig {
+    fn default() -> TsdbConfig {
+        TsdbConfig {
+            budget: SeriesBudget::default(),
+            max_series: 8192,
+        }
+    }
+}
+
+/// A declarative recording rule: `expr` is evaluated at every ingest
+/// tick and the result appended to the series `name`. When the
+/// expression matches several series the values are summed, so a rule
+/// over per-shard counters records the fleet view.
+#[derive(Debug, Clone)]
+pub struct RecordingRule {
+    /// Output series name.
+    pub name: String,
+    /// Source expression, e.g. `rate(vlsa.server.ops[1s])`.
+    pub expr: String,
+}
+
+struct CompiledRule {
+    name: String,
+    expr: Expr,
+    source: String,
+}
+
+#[derive(Default)]
+struct Inner {
+    series: BTreeMap<String, MultiResSeries>,
+    rejected_appends: u64,
+    rejected_series: u64,
+    last_ingest_us: u64,
+    ingest_ticks: u64,
+}
+
+/// Thread-safe embedded time-series store.
+///
+/// All timestamps are microseconds of modeled time; appends must be
+/// strictly increasing per series (out-of-order samples are rejected
+/// and counted, never silently reordered).
+pub struct Tsdb {
+    inner: Mutex<Inner>,
+    rules: Mutex<Vec<CompiledRule>>,
+    config: TsdbConfig,
+}
+
+impl std::fmt::Debug for Tsdb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("tsdb lock");
+        f.debug_struct("Tsdb")
+            .field("series", &inner.series.len())
+            .field("ingest_ticks", &inner.ingest_ticks)
+            .field("last_ingest_us", &inner.last_ingest_us)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Tsdb {
+    fn default() -> Tsdb {
+        Tsdb::new(TsdbConfig::default())
+    }
+}
+
+impl Tsdb {
+    /// Create a store with the given budgets.
+    pub fn new(config: TsdbConfig) -> Tsdb {
+        Tsdb {
+            inner: Mutex::new(Inner::default()),
+            rules: Mutex::new(Vec::new()),
+            config,
+        }
+    }
+
+    /// Register a recording rule. Returns `Err` if the expression does
+    /// not parse; rules are evaluated in registration order on every
+    /// [`ingest_registry`](Tsdb::ingest_registry) tick.
+    pub fn add_rule(&self, rule: RecordingRule) -> Result<(), QueryError> {
+        let expr = Expr::parse(&rule.expr)?;
+        self.rules
+            .lock()
+            .expect("tsdb rules lock")
+            .push(CompiledRule {
+                name: rule.name,
+                expr,
+                source: rule.expr,
+            });
+        Ok(())
+    }
+
+    /// Registered recording rules as `(name, expr)` pairs.
+    pub fn rules(&self) -> Vec<(String, String)> {
+        self.rules
+            .lock()
+            .expect("tsdb rules lock")
+            .iter()
+            .map(|r| (r.name.clone(), r.source.clone()))
+            .collect()
+    }
+
+    /// Append one sample. Returns `false` if the sample was rejected
+    /// (out-of-order timestamp or series cap reached).
+    pub fn append(&self, name: &str, ts_us: u64, value: f64) -> bool {
+        let mut inner = self.inner.lock().expect("tsdb lock");
+        self.append_locked(&mut inner, name, ts_us, value)
+    }
+
+    fn append_locked(&self, inner: &mut Inner, name: &str, ts_us: u64, value: f64) -> bool {
+        if !inner.series.contains_key(name) {
+            if inner.series.len() >= self.config.max_series {
+                inner.rejected_series += 1;
+                return false;
+            }
+            inner
+                .series
+                .insert(name.to_string(), MultiResSeries::new(self.config.budget));
+        }
+        let series = inner.series.get_mut(name).expect("series just ensured");
+        let ok = series.append(ts_us, value);
+        if !ok {
+            inner.rejected_appends += 1;
+        }
+        ok
+    }
+
+    /// Ingest a whole registry snapshot at one instant: every counter
+    /// and gauge becomes a series under its own name; every histogram
+    /// fans out into cumulative `#le=<bound>` bucket series (terminal
+    /// `#le=+Inf` equals the total count) plus an `#agg=sum` series.
+    /// Afterwards, every recording rule is evaluated at `ts_us` and
+    /// its result appended.
+    pub fn ingest_registry(&self, registry: &Registry, ts_us: u64) {
+        {
+            let mut inner = self.inner.lock().expect("tsdb lock");
+            for (name, counter) in registry.counters() {
+                self.append_locked(&mut inner, &name, ts_us, counter.get() as f64);
+            }
+            for (name, gauge) in registry.gauges() {
+                self.append_locked(&mut inner, &name, ts_us, gauge.get());
+            }
+            for (name, histogram) in registry.histograms() {
+                let mut cumulative = 0u64;
+                for (bound, count) in histogram.buckets() {
+                    cumulative += count;
+                    let series = labeled(&name, "le", bound);
+                    self.append_locked(&mut inner, &series, ts_us, cumulative as f64);
+                }
+                let series = labeled(&name, "le", "+Inf");
+                self.append_locked(&mut inner, &series, ts_us, histogram.count() as f64);
+                let series = labeled(&name, "agg", "sum");
+                self.append_locked(&mut inner, &series, ts_us, histogram.sum() as f64);
+            }
+            inner.last_ingest_us = inner.last_ingest_us.max(ts_us);
+            inner.ingest_ticks += 1;
+        }
+        self.eval_rules(ts_us);
+    }
+
+    fn eval_rules(&self, ts_us: u64) {
+        // Snapshot the rules so evaluation (which re-locks `inner` via
+        // the query engine) never holds both locks at once.
+        let rules: Vec<(String, Expr)> = {
+            let guard = self.rules.lock().expect("tsdb rules lock");
+            guard
+                .iter()
+                .map(|r| (r.name.clone(), r.expr.clone()))
+                .collect()
+        };
+        for (name, expr) in rules {
+            if let Ok(Some(value)) = eval_instant(self, &expr, ts_us) {
+                if value.is_finite() {
+                    self.append(&name, ts_us, value);
+                }
+            }
+        }
+    }
+
+    /// Newest ingest timestamp (µs of modeled time).
+    pub fn last_ingest_us(&self) -> u64 {
+        self.inner.lock().expect("tsdb lock").last_ingest_us
+    }
+
+    /// Number of completed ingest ticks.
+    pub fn ingest_ticks(&self) -> u64 {
+        self.inner.lock().expect("tsdb lock").ingest_ticks
+    }
+
+    /// All series names, sorted.
+    pub fn series_names(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .expect("tsdb lock")
+            .series
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Series whose base name matches `base` and whose labels are a
+    /// superset of `labels`.
+    pub fn matching_series(&self, base: &str, labels: &[(String, String)]) -> Vec<String> {
+        let inner = self.inner.lock().expect("tsdb lock");
+        inner
+            .series
+            .keys()
+            .filter(|name| {
+                let (b, have) = split_labels(name);
+                b == base
+                    && labels
+                        .iter()
+                        .all(|(k, v)| have.iter().any(|(hk, hv)| hk == k && hv == v))
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Read samples for one series in `[start, end]`, automatically
+    /// choosing the finest resolution that still covers `start` (raw
+    /// if retained, else 10s, else 1m).
+    pub fn select(&self, name: &str, start: u64, end: u64) -> Result<Vec<AggSample>, DecodeError> {
+        let inner = self.inner.lock().expect("tsdb lock");
+        let Some(series) = inner.series.get(name) else {
+            return Ok(Vec::new());
+        };
+        let res = choose_resolution(series, start);
+        series.select(res, start, end)
+    }
+
+    /// The resolution [`select`](Tsdb::select) would use for a query
+    /// starting at `start`.
+    pub fn resolution_for(&self, name: &str, start: u64) -> Option<Resolution> {
+        let inner = self.inner.lock().expect("tsdb lock");
+        inner.series.get(name).map(|s| choose_resolution(s, start))
+    }
+
+    /// Store-wide stats document served by `/series`.
+    pub fn stats_json(&self) -> Json {
+        let inner = self.inner.lock().expect("tsdb lock");
+        let mut series_arr = Vec::new();
+        let mut total_bytes = 0usize;
+        let mut total_retained = 0u64;
+        let mut total_samples = 0u64;
+        for (name, s) in &inner.series {
+            let bytes = s.bytes();
+            let retained = s.raw.retained_samples();
+            total_bytes += bytes;
+            total_retained += retained + s.ds10.retained_samples() + s.ds60.retained_samples();
+            total_samples += s.raw.total_samples();
+            let mut doc = Json::obj()
+                .set("name", name.as_str())
+                .set("samples", s.raw.total_samples() as f64)
+                .set("retained_raw", retained as f64)
+                .set("retained_10s", s.ds10.retained_samples() as f64)
+                .set("retained_1m", s.ds60.retained_samples() as f64)
+                .set("dropped_raw", s.raw.dropped_samples() as f64)
+                .set("bytes", bytes as f64);
+            if let Some(first) = s.first_ts(Resolution::Raw) {
+                doc = doc.set("first_ts_us", first as f64);
+            }
+            if let Some(last) = s.raw.last_ts() {
+                doc = doc.set("last_ts_us", last as f64);
+            }
+            series_arr.push(doc);
+        }
+        // Raw cost of the *retained* samples as uncompressed
+        // (u64 timestamp, f64 value) pairs.
+        let raw_equiv = total_retained.saturating_mul(16);
+        let ratio = if total_bytes > 0 {
+            raw_equiv as f64 / total_bytes as f64
+        } else {
+            0.0
+        };
+        Json::obj().set("series", Json::Arr(series_arr)).set(
+            "total",
+            Json::obj()
+                .set("series", inner.series.len() as f64)
+                .set("ingested_samples", total_samples as f64)
+                .set("retained_samples", total_retained as f64)
+                .set("bytes", total_bytes as f64)
+                .set("raw_equiv_bytes", raw_equiv as f64)
+                .set("compression_ratio", ratio)
+                .set("rejected_appends", inner.rejected_appends as f64)
+                .set("rejected_series", inner.rejected_series as f64)
+                .set("ingest_ticks", inner.ingest_ticks as f64)
+                .set("last_ingest_us", inner.last_ingest_us as f64),
+        )
+    }
+
+    /// `(retained_samples, compressed_bytes)` across all series and
+    /// resolutions — the compression-ratio inputs.
+    pub fn footprint(&self) -> (u64, usize) {
+        let inner = self.inner.lock().expect("tsdb lock");
+        let mut samples = 0u64;
+        let mut bytes = 0usize;
+        for s in inner.series.values() {
+            samples +=
+                s.raw.retained_samples() + s.ds10.retained_samples() + s.ds60.retained_samples();
+            bytes += s.bytes();
+        }
+        (samples, bytes)
+    }
+}
+
+fn choose_resolution(series: &MultiResSeries, start: u64) -> Resolution {
+    let covers = |first: Option<u64>| first.is_some_and(|f| f <= start);
+    if series.raw.dropped_samples() == 0 || covers(series.raw.first_ts()) {
+        return Resolution::Raw;
+    }
+    if covers(series.ds10.first_ts()) {
+        return Resolution::Ten;
+    }
+    if covers(series.ds60.first_ts()) {
+        return Resolution::Minute;
+    }
+    // Nothing covers `start`; fall back to whichever reaches furthest
+    // back in time.
+    let mut best = (Resolution::Raw, series.raw.first_ts().unwrap_or(u64::MAX));
+    for (res, first) in [
+        (Resolution::Ten, series.ds10.first_ts()),
+        (Resolution::Minute, series.ds60.first_ts()),
+    ] {
+        let first = first.unwrap_or(u64::MAX);
+        if first < best.1 {
+            best = (res, first);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsa_telemetry::Registry;
+
+    #[test]
+    fn ingests_counters_gauges_and_histogram_buckets() {
+        let reg = Registry::new();
+        reg.counter("vlsa.test.ops").add(100);
+        reg.gauge("vlsa.test.depth").set(7.5);
+        let h = reg.histogram("vlsa.test.lat_us", &[10, 100, 1000]);
+        h.record(5);
+        h.record(50);
+        h.record(5000);
+
+        let db = Tsdb::default();
+        db.ingest_registry(&reg, 1_000_000);
+        let names = db.series_names();
+        assert!(names.contains(&"vlsa.test.ops".to_string()));
+        assert!(names.contains(&"vlsa.test.depth".to_string()));
+        assert!(names.contains(&"vlsa.test.lat_us#le=10".to_string()));
+        assert!(names.contains(&"vlsa.test.lat_us#le=+Inf".to_string()));
+        assert!(names.contains(&"vlsa.test.lat_us#agg=sum".to_string()));
+
+        let rows = db.select("vlsa.test.lat_us#le=+Inf", 0, u64::MAX).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].last, 3.0);
+        let rows = db.select("vlsa.test.lat_us#le=100", 0, u64::MAX).unwrap();
+        assert_eq!(rows[0].last, 2.0); // cumulative: 5 and 50
+    }
+
+    #[test]
+    fn out_of_order_appends_are_rejected_and_counted() {
+        let db = Tsdb::default();
+        assert!(db.append("s", 100, 1.0));
+        assert!(!db.append("s", 100, 2.0));
+        assert!(!db.append("s", 50, 3.0));
+        let stats = db.stats_json();
+        let total = stats.get("total").unwrap();
+        assert_eq!(
+            total.get("rejected_appends").and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn series_cap_is_enforced() {
+        let db = Tsdb::new(TsdbConfig {
+            max_series: 2,
+            ..TsdbConfig::default()
+        });
+        assert!(db.append("a", 1, 1.0));
+        assert!(db.append("b", 1, 1.0));
+        assert!(!db.append("c", 1, 1.0));
+        let stats = db.stats_json();
+        let total = stats.get("total").unwrap();
+        assert_eq!(total.get("rejected_series").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn recording_rules_append_on_ingest() {
+        let reg = Registry::new();
+        let db = Tsdb::default();
+        db.add_rule(RecordingRule {
+            name: "vlsa.recorded.ops_rate".into(),
+            expr: "rate(vlsa.test.ops[1s])".into(),
+        })
+        .unwrap();
+        for tick in 1..=5u64 {
+            reg.counter("vlsa.test.ops").add(1000);
+            db.ingest_registry(&reg, tick * 1_000_000);
+        }
+        let rows = db.select("vlsa.recorded.ops_rate", 0, u64::MAX).unwrap();
+        assert!(!rows.is_empty());
+        // 1000 counts per modeled second → rate 1000/s once warmed up.
+        let last = rows.last().unwrap().last;
+        assert!((last - 1000.0).abs() < 1.0, "rate = {last}");
+    }
+}

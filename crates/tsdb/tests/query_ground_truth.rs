@@ -1,0 +1,183 @@
+//! Query correctness against hand-computed ground truth. Expected
+//! values are written as the same arithmetic the engine is specified
+//! to perform, so equality is exact (`==` on f64), not approximate.
+
+use vlsa_telemetry::Registry;
+use vlsa_tsdb::{eval_range, Expr, SeriesBudget, Tsdb, TsdbConfig};
+
+const S: u64 = 1_000_000; // one second of modeled time, in µs
+
+fn eval_one(db: &Tsdb, expr: &str, t: u64) -> Vec<(u64, f64)> {
+    let expr = Expr::parse(expr).expect("expr parses");
+    let mut results = eval_range(db, &expr, t, t, 1).expect("eval");
+    assert_eq!(results.len(), 1, "expected exactly one series: {results:?}");
+    results.remove(0).points
+}
+
+#[test]
+fn rate_and_increase_match_hand_computation() {
+    let db = Tsdb::default();
+    for (i, v) in [0.0, 10.0, 30.0, 60.0, 100.0].into_iter().enumerate() {
+        db.append("c", (i as u64 + 1) * S, v);
+    }
+    // Window (3s, 5s]: baseline is the sample at 3s (value 30);
+    // in-window samples 60 and 100 → increase 70, rate 70 / 2s.
+    let points = eval_one(&db, "increase(c[2s])", 5 * S);
+    assert_eq!(points, vec![(5 * S, (60.0 - 30.0) + (100.0 - 60.0))]);
+    let points = eval_one(&db, "rate(c[2s])", 5 * S);
+    assert_eq!(
+        points,
+        vec![(5 * S, ((60.0 - 30.0) + (100.0 - 60.0)) / 2.0)]
+    );
+}
+
+#[test]
+fn increase_is_counter_reset_aware() {
+    let db = Tsdb::default();
+    for (i, v) in [0.0, 10.0, 20.0, 5.0, 15.0].into_iter().enumerate() {
+        db.append("c", (i as u64 + 1) * S, v);
+    }
+    // 0→10→20→(reset)→5→15: the reset contributes the post-restart
+    // absolute value (5), so total = 10 + 10 + 5 + 10.
+    let points = eval_one(&db, "increase(c[4s])", 5 * S);
+    assert_eq!(points, vec![(5 * S, 10.0 + 10.0 + 5.0 + 10.0)]);
+}
+
+#[test]
+fn rate_with_no_baseline_uses_in_window_growth_only() {
+    let db = Tsdb::default();
+    db.append("c", 10 * S, 100.0);
+    db.append("c", 11 * S, 250.0);
+    // Window (9s, 12s] contains both samples but nothing precedes it:
+    // only the observed in-window growth counts.
+    let points = eval_one(&db, "increase(c[3s])", 12 * S);
+    assert_eq!(points, vec![(12 * S, 250.0 - 100.0)]);
+    // A single sample and no baseline is unanswerable → no point.
+    let db2 = Tsdb::default();
+    db2.append("c", 10 * S, 100.0);
+    let points = eval_one(&db2, "increase(c[3s])", 12 * S);
+    assert_eq!(points, vec![]);
+}
+
+#[test]
+fn avg_and_max_over_time_match_hand_computation() {
+    let db = Tsdb::default();
+    for (i, v) in [2.0, 4.0, 6.0].into_iter().enumerate() {
+        db.append("g", (i as u64 + 1) * S, v);
+    }
+    let points = eval_one(&db, "avg_over_time(g[3s])", 3 * S);
+    assert_eq!(points, vec![(3 * S, (2.0 + 4.0 + 6.0) / 3.0)]);
+    let points = eval_one(&db, "max_over_time(g[3s])", 3 * S);
+    assert_eq!(points, vec![(3 * S, 6.0)]);
+    // Window (2s, 3s] only sees the last two samples? No — half-open
+    // on the left: samples at exactly t-W are excluded.
+    let points = eval_one(&db, "avg_over_time(g[1s])", 3 * S);
+    assert_eq!(points, vec![(3 * S, 6.0)]);
+}
+
+#[test]
+fn histogram_quantile_matches_hand_interpolation() {
+    let reg = Registry::new();
+    let h = reg.histogram("lat", &[100, 1000, 10000]);
+    let db = Tsdb::default();
+    // Tick 1: empty baseline.
+    db.ingest_registry(&reg, S);
+    // Tick 2: 90 fast, 9 medium, 1 slow.
+    for _ in 0..90 {
+        h.record(50);
+    }
+    for _ in 0..9 {
+        h.record(500);
+    }
+    h.record(5000);
+    db.ingest_registry(&reg, 2 * S);
+
+    // Cumulative bucket increases over (−3s, 2s]: le=100 → 90,
+    // le=1000 → 99, le=10000 → 100, +Inf → 100.
+    let q50 = eval_one(&db, "quantile(0.5, lat[5s])", 2 * S);
+    let rank = 0.5 * 100.0;
+    assert_eq!(
+        q50,
+        vec![(2 * S, 0.0 + (rank - 0.0) / (90.0 - 0.0) * (100.0 - 0.0))]
+    );
+
+    let q95 = eval_one(&db, "quantile(0.95, lat[5s])", 2 * S);
+    let rank = 0.95 * 100.0;
+    assert_eq!(
+        q95,
+        vec![(
+            2 * S,
+            100.0 + (rank - 90.0) / (99.0 - 90.0) * (1000.0 - 100.0)
+        )]
+    );
+
+    let q999 = eval_one(&db, "quantile(0.999, lat[5s])", 2 * S);
+    let rank = 0.999 * 100.0;
+    assert_eq!(
+        q999,
+        vec![(
+            2 * S,
+            1000.0 + (rank - 99.0) / (100.0 - 99.0) * (10000.0 - 1000.0)
+        )]
+    );
+}
+
+#[test]
+fn label_matchers_select_and_group() {
+    let db = Tsdb::default();
+    db.append("ops#shard=0", S, 10.0);
+    db.append("ops#shard=1", S, 20.0);
+    db.append("ops#shard=0", 2 * S, 30.0);
+    db.append("ops#shard=1", 2 * S, 60.0);
+    // Bare name matches both shards.
+    let expr = Expr::parse("increase(ops[2s])").unwrap();
+    let results = eval_range(&db, &expr, 2 * S, 2 * S, 1).unwrap();
+    assert_eq!(results.len(), 2);
+    // Labeled matcher narrows to one.
+    let points = eval_one(&db, "increase(ops{shard=1}[2s])", 2 * S);
+    assert_eq!(points, vec![(2 * S, 60.0 - 20.0)]);
+}
+
+#[test]
+fn selector_returns_raw_history() {
+    let db = Tsdb::default();
+    for i in 1..=5u64 {
+        db.append("g", i * S, i as f64);
+    }
+    let expr = Expr::parse("g").unwrap();
+    let results = eval_range(&db, &expr, 2 * S, 4 * S, 1).unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(
+        results[0].points,
+        vec![(2 * S, 2.0), (3 * S, 3.0), (4 * S, 4.0)]
+    );
+}
+
+#[test]
+fn evicted_raw_history_falls_back_to_downsampled_resolutions() {
+    let db = Tsdb::new(TsdbConfig {
+        budget: SeriesBudget {
+            raw_bytes: 512,
+            ds10_bytes: 64 * 1024,
+            ds60_bytes: 64 * 1024,
+        },
+        ..TsdbConfig::default()
+    });
+    // 20000 samples at 0.5s cadence (~2.8 modeled hours) with a noisy
+    // value so raw chunks fill and the ring evicts.
+    let mut v = 0.0f64;
+    for i in 0..20_000u64 {
+        v += ((i * 2_654_435_761) % 1000) as f64 / 1000.0;
+        db.append("c", i * S / 2, v);
+    }
+    use vlsa_tsdb::Resolution;
+    let res = db.resolution_for("c", 0).expect("series exists");
+    assert_ne!(res, Resolution::Raw, "raw ring must have evicted");
+    // The counter increase over the whole run survives downsampling
+    // to within the first (evicted) minute's growth: values grow by
+    // < 1.0 per sample, 120 samples per minute.
+    let expr = Expr::parse("increase(c[3h])").unwrap();
+    let results = eval_range(&db, &expr, 10_000 * S, 10_000 * S, 1).unwrap();
+    let inc = results[0].points[0].1;
+    assert!(inc > v - 121.0 && inc <= v, "increase = {inc}, total = {v}");
+}
