@@ -1,0 +1,272 @@
+//! Word-wide ACA arithmetic over one transposed block.
+//!
+//! Input: position-major words from [`crate::transpose`] — word `i`
+//! carries bit `i` of up to 64 independent operand pairs. Every step of
+//! the scalar ACA then becomes one machine op applied to all lanes at
+//! once:
+//!
+//! - **P/G strip** — `p[i] = a[i] ^ b[i]`, `g[i] = a[i] & b[i]`.
+//! - **k-window carries** — the carry into bit `i` of lane `l` is the
+//!   group-generate of the window span `[i-k, i-1]` (clamped at bit 0).
+//!   Spans are built by the usual doubling recurrence on `(G, P)` lane
+//!   words (`G = hi_g | hi_p & lo_g`, `P = hi_p & lo_p`), assembling an
+//!   arbitrary width `k` from the binary decomposition of `k`.
+//! - **ER detector** — lane `l` speculates wrong only if some full
+//!   `k`-wide span is all-propagate, so the fired-lane mask is the OR
+//!   of the full-width window-`P` words. This is exactly the
+//!   longest-run-of-propagates ≥ `k` test the scalar detector runs
+//!   (`P` and `G` are exclusive: `a^b` and `a&b` cannot both be set).
+//! - **Exact recovery** — a Kogge–Stone inclusive `(G, P)` prefix scan
+//!   resolves every lane's true carry chain: the doubling levels run
+//!   until the span covers `[0, i]`, the word-level analogue of
+//!   tfhe-rs's Generated/Propagated/None carry prefix-sum (a span with
+//!   `G` set is Generated, `P` set is Propagated, neither is None; the
+//!   combine `hi ⊕ lo = if hi is Propagated { lo } else { hi }` is the
+//!   same associative operator expressed on mask words).
+//!
+//! Everything here is branch-free straight-line bit logic; the per-op
+//! cost is `O(nbits log nbits)` machine ops *divided by 64 lanes*.
+
+use crate::transpose::LANES;
+
+/// Maximum operand width in bits (one position word per bit).
+pub const MAX_NBITS: usize = 64;
+
+/// Word-wide results for one transposed block.
+///
+/// Sums are still position-major (untranspose to recover lane values);
+/// the single-bit-per-lane outputs are plain lane masks.
+#[derive(Debug, Clone)]
+pub struct BlockVerdict {
+    /// Speculative (windowed) sums, position-major.
+    pub spec_sum: [u64; LANES],
+    /// Exact sums, position-major.
+    pub exact_sum: [u64; LANES],
+    /// Lanes whose `ER` detector fired.
+    pub er: u64,
+    /// Speculative carry-out per lane.
+    pub spec_cout: u64,
+    /// Exact carry-out per lane.
+    pub exact_cout: u64,
+}
+
+/// One `(G, P)` span per bit position, all lanes in parallel.
+#[derive(Clone, Copy)]
+struct Strip {
+    g: [u64; LANES],
+    p: [u64; LANES],
+}
+
+impl Strip {
+    /// Extends each position's span by gluing `self` (the significant
+    /// half, ending at `i`) onto the span ending `width` positions
+    /// lower. Positions below `width` keep their zero-clamped span:
+    /// they already reach bit 0.
+    fn extend(&self, lower: &Strip, width: usize, nbits: usize) -> Strip {
+        let mut out = *self;
+        for i in width..nbits {
+            out.g[i] = self.g[i] | self.p[i] & lower.g[i - width];
+            out.p[i] = self.p[i] & lower.p[i - width];
+        }
+        out
+    }
+}
+
+/// Runs the full sliced ACA on one transposed block.
+///
+/// `a` and `b` are position-major with every lane already masked to
+/// `nbits`; words at positions ≥ `nbits` are ignored. Unoccupied lanes
+/// are all-zero and produce all-zero outputs.
+///
+/// # Panics
+/// If `nbits` is 0 or exceeds [`MAX_NBITS`], or `window` is 0.
+pub fn run_block(a: &[u64; LANES], b: &[u64; LANES], nbits: usize, window: usize) -> BlockVerdict {
+    assert!((1..=MAX_NBITS).contains(&nbits), "nbits={nbits}");
+    assert!(window >= 1, "window={window}");
+
+    let mut base = Strip {
+        g: [0; LANES],
+        p: [0; LANES],
+    };
+    for i in 0..nbits {
+        base.p[i] = a[i] ^ b[i];
+        base.g[i] = a[i] & b[i];
+    }
+    let p = base.p;
+
+    // Doubling ladder: levels[d] holds the span of width 2^d ending at
+    // each position (clamped at bit 0). The ladder runs until one level
+    // covers the whole operand — its top *is* the Kogge–Stone inclusive
+    // prefix the exact path needs — and the intermediate rungs are the
+    // power-of-two pieces the window assembly composes.
+    let mut levels = vec![base];
+    let mut width = 1;
+    while width < nbits {
+        let last = levels.last().expect("ladder has a base level");
+        levels.push(last.extend(last, width, nbits));
+        width *= 2;
+    }
+
+    // Window span of width `k`: glue the power-of-two pieces of `k`'s
+    // binary decomposition, most significant first (closest to the
+    // span's top end). Widths ≥ nbits saturate to the full prefix.
+    let win = {
+        let k = window.min(nbits);
+        let mut acc: Option<(Strip, usize)> = None;
+        for d in (0..levels.len()).rev() {
+            if k >> d & 1 == 0 {
+                continue;
+            }
+            acc = Some(match acc {
+                None => (levels[d], 1 << d),
+                Some((hi, w)) => (hi.extend(&levels[d], w, nbits), w + (1 << d)),
+            });
+        }
+        acc.expect("window >= 1 has at least one set bit").0
+    };
+    let prefix = levels.last().expect("ladder has a top level");
+
+    // Carries: the carry into bit i is the group-generate of the span
+    // ending at i-1 (window-clamped for the speculative path, full
+    // prefix for the exact path); the carry into bit 0 is zero.
+    let mut spec_sum = [0u64; LANES];
+    let mut exact_sum = [0u64; LANES];
+    spec_sum[0] = p[0];
+    exact_sum[0] = p[0];
+    for i in 1..nbits {
+        spec_sum[i] = p[i] ^ win.g[i - 1];
+        exact_sum[i] = p[i] ^ prefix.g[i - 1];
+    }
+
+    // ER: any full-width all-propagate window. Spans ending below
+    // window-1 are clamped short and must not count — a propagate run
+    // shorter than the window cannot defeat the assumed-zero carry.
+    let mut er = 0u64;
+    if window <= nbits {
+        for i in (window - 1)..nbits {
+            er |= win.p[i];
+        }
+    }
+
+    BlockVerdict {
+        spec_sum,
+        exact_sum,
+        er,
+        spec_cout: win.g[nbits - 1],
+        exact_cout: prefix.g[nbits - 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transpose::{transpose_block, untranspose_block};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use vlsa_core::windowed_add_u64;
+    use vlsa_runstats::longest_one_run_u64;
+
+    fn mask(nbits: usize) -> u64 {
+        if nbits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << nbits) - 1
+        }
+    }
+
+    fn check_block(ops: &[(u64, u64)], nbits: usize, window: usize) {
+        let masked: Vec<(u64, u64)> = ops
+            .iter()
+            .map(|&(x, y)| (x & mask(nbits), y & mask(nbits)))
+            .collect();
+        let (ta, tb) = transpose_block(&masked);
+        let v = run_block(&ta, &tb, nbits, window);
+        let spec = untranspose_block(&v.spec_sum, masked.len());
+        let exact = untranspose_block(&v.exact_sum, masked.len());
+        for (lane, &(x, y)) in masked.iter().enumerate() {
+            let (want_spec, want_spec_cout) = windowed_add_u64(x, y, nbits, window);
+            let full = x as u128 + y as u128;
+            let want_exact = (full as u64) & mask(nbits);
+            let want_exact_cout = full >> nbits != 0;
+            let want_er = longest_one_run_u64(x ^ y) as usize >= window;
+            let ctx = format!("nbits={nbits} window={window} lane={lane} a={x:#x} b={y:#x}");
+            assert_eq!(spec[lane], want_spec, "spec sum {ctx}");
+            assert_eq!(exact[lane], want_exact, "exact sum {ctx}");
+            assert_eq!(v.er >> lane & 1 == 1, want_er, "er {ctx}");
+            assert_eq!(
+                v.spec_cout >> lane & 1 == 1,
+                want_spec_cout,
+                "spec cout {ctx}"
+            );
+            assert_eq!(
+                v.exact_cout >> lane & 1 == 1,
+                want_exact_cout,
+                "exact cout {ctx}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_tiny_widths_all_windows() {
+        for nbits in 1..=6 {
+            for window in 1..=nbits {
+                let m = mask(nbits);
+                let all: Vec<u64> = (0..=m).collect();
+                for &x in &all {
+                    let ops: Vec<(u64, u64)> = all.iter().map(|&y| (x, y)).collect();
+                    for chunk in ops.chunks(LANES) {
+                        check_block(chunk, nbits, window);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_blocks_across_widths_and_windows() {
+        let mut rng = StdRng::seed_from_u64(0xACA64);
+        for &nbits in &[8usize, 16, 32, 64] {
+            for &window in &[1usize, 2, 4, 8, 24, 63, 64] {
+                if window > nbits {
+                    continue;
+                }
+                for lanes in [1usize, 17, 64] {
+                    let ops: Vec<(u64, u64)> = (0..lanes).map(|_| (rng.gen(), rng.gen())).collect();
+                    check_block(&ops, nbits, window);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_long_carry_chains() {
+        // All-propagate, generate-at-bit-0, and alternating patterns:
+        // the cases where windowed and exact carries disagree hardest.
+        let ops = [
+            (u64::MAX, 1),
+            (u64::MAX - 1, 1),
+            (0x5555_5555_5555_5555, 0xAAAA_AAAA_AAAA_AAAA),
+            (0xFFFF_0000_FFFF_0000, 0x0000_FFFF_0001_0000),
+            (1u64 << 63, 1u64 << 63),
+            (0, 0),
+        ];
+        for nbits in [8usize, 32, 64] {
+            for window in [2usize, 4, 8] {
+                check_block(&ops, nbits, window);
+            }
+        }
+    }
+
+    #[test]
+    fn window_wider_than_operand_never_fires() {
+        let ops = [(u64::MAX, 1u64), (0xFF, 0xFF)];
+        let masked: Vec<(u64, u64)> = ops.iter().map(|&(x, y)| (x & 0xFF, y & 0xFF)).collect();
+        let (ta, tb) = transpose_block(&masked);
+        let v = run_block(&ta, &tb, 8, 9);
+        assert_eq!(v.er, 0);
+        // With the window clamped to the full width the speculative
+        // path degenerates to the exact one.
+        assert_eq!(v.spec_sum, v.exact_sum);
+        assert_eq!(v.spec_cout, v.exact_cout);
+    }
+}

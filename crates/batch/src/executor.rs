@@ -1,0 +1,354 @@
+//! The pluggable batch-execution boundary.
+//!
+//! A [`BatchExecutor`] turns a slice of operand pairs into per-op
+//! [`OpVerdict`]s: everything the resilience layer needs to replay its
+//! per-op state machine (speculative sum, exact sum, `ER` flag, both
+//! carry-outs) without caring how the arithmetic was scheduled.
+//!
+//! Two implementations ship:
+//!
+//! - [`ScalarExecutor`] — today's one-op-at-a-time loop, kept as the
+//!   conformance oracle. Deliberately free of telemetry so oracle runs
+//!   measure the arithmetic, not the instrumentation.
+//! - [`SlicedExecutor`] — the transposed engine: chunks the batch into
+//!   64-lane blocks, transposes, runs the word-wide ACA, untransposes.
+//!   Optionally fans blocks out across a [`WorkerPool`]. Records
+//!   `vlsa.batch.*` phase counters and the lane-occupancy histogram
+//!   when telemetry is enabled.
+
+use crate::engine::run_block;
+use crate::pool::WorkerPool;
+use crate::transpose::{transpose_block, untranspose_block, LANES};
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Instant;
+use vlsa_telemetry::names::batch as metric;
+use vlsa_telemetry::DEFAULT_BUCKETS;
+
+/// Which [`BatchExecutor`] a component should run.
+///
+/// Parsed from `--backend scalar|sliced`; [`Default`] is
+/// [`Backend::Scalar`], today's behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// One op at a time through the scalar ACA model.
+    #[default]
+    Scalar,
+    /// 64 ops per machine word through the transposed engine.
+    Sliced,
+}
+
+impl Backend {
+    /// The flag spelling, also used as the `backend` label/column value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Sliced => "sliced",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Backend, String> {
+        match s {
+            "scalar" => Ok(Backend::Scalar),
+            "sliced" => Ok(Backend::Sliced),
+            other => Err(format!("unknown backend {other:?} (scalar|sliced)")),
+        }
+    }
+}
+
+/// Everything the resilience layer needs to know about one addition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpVerdict {
+    /// Speculative (windowed) sum, masked to the executor's width.
+    pub spec: u64,
+    /// Exact sum, masked to the executor's width.
+    pub exact: u64,
+    /// Whether the `ER` detector fired (speculation may be wrong).
+    pub er: bool,
+    /// Speculative carry-out.
+    pub spec_cout: bool,
+    /// Exact carry-out.
+    pub exact_cout: bool,
+}
+
+/// A strategy for executing a batch of independent additions.
+///
+/// Implementations mask operands to their configured width themselves,
+/// and must be bit-identical to [`ScalarExecutor`] in every `OpVerdict`
+/// field — the conformance proptests enforce this.
+pub trait BatchExecutor: Send + Sync + std::fmt::Debug {
+    /// Short identifier (`"scalar"` / `"sliced"`), used in telemetry
+    /// and bench rows.
+    fn name(&self) -> &'static str;
+
+    /// Operand width in bits.
+    fn nbits(&self) -> usize;
+
+    /// Speculation window `k`.
+    fn window(&self) -> usize;
+
+    /// Executes every op, preserving order.
+    fn execute(&self, ops: &[(u64, u64)]) -> Vec<OpVerdict>;
+}
+
+/// Builds the executor for `backend` (no pool attached).
+pub fn executor_for(backend: Backend, nbits: usize, window: usize) -> Arc<dyn BatchExecutor> {
+    match backend {
+        Backend::Scalar => Arc::new(ScalarExecutor::new(nbits, window)),
+        Backend::Sliced => Arc::new(SlicedExecutor::new(nbits, window)),
+    }
+}
+
+fn width_mask(nbits: usize) -> u64 {
+    if nbits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << nbits) - 1
+    }
+}
+
+/// The conformance oracle: the same per-op scalar loop the pipeline
+/// has always run, minus telemetry.
+#[derive(Debug, Clone)]
+pub struct ScalarExecutor {
+    nbits: usize,
+    window: usize,
+}
+
+impl ScalarExecutor {
+    /// # Panics
+    /// If `nbits` is 0 or exceeds 64, or `window` is 0.
+    pub fn new(nbits: usize, window: usize) -> ScalarExecutor {
+        assert!((1..=64).contains(&nbits), "nbits={nbits}");
+        assert!(window >= 1, "window={window}");
+        ScalarExecutor { nbits, window }
+    }
+}
+
+impl BatchExecutor for ScalarExecutor {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn nbits(&self) -> usize {
+        self.nbits
+    }
+
+    fn window(&self) -> usize {
+        self.window
+    }
+
+    fn execute(&self, ops: &[(u64, u64)]) -> Vec<OpVerdict> {
+        let mask = width_mask(self.nbits);
+        ops.iter()
+            .map(|&(a, b)| {
+                let (a, b) = (a & mask, b & mask);
+                let (spec, spec_cout) = vlsa_core::windowed_add_u64(a, b, self.nbits, self.window);
+                let full = a as u128 + b as u128;
+                let exact = (full as u64) & mask;
+                let exact_cout = full >> self.nbits != 0;
+                let er = vlsa_runstats::longest_one_run_u64(a ^ b) as usize >= self.window;
+                OpVerdict {
+                    spec,
+                    exact,
+                    er,
+                    spec_cout,
+                    exact_cout,
+                }
+            })
+            .collect()
+    }
+}
+
+/// The transposed engine: 64 additions per machine word.
+#[derive(Debug, Clone)]
+pub struct SlicedExecutor {
+    nbits: usize,
+    window: usize,
+    pool: Option<Arc<WorkerPool>>,
+}
+
+impl SlicedExecutor {
+    /// # Panics
+    /// If `nbits` is 0 or exceeds 64, or `window` is 0.
+    pub fn new(nbits: usize, window: usize) -> SlicedExecutor {
+        assert!((1..=64).contains(&nbits), "nbits={nbits}");
+        assert!(window >= 1, "window={window}");
+        SlicedExecutor {
+            nbits,
+            window,
+            pool: None,
+        }
+    }
+
+    /// Attaches a work-stealing pool; batches large enough to fill
+    /// several blocks are then split across its workers.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> SlicedExecutor {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Executes the ops of one ≤64-lane block, timing each phase.
+    ///
+    /// Returns `(verdicts, transpose_ns, compute_ns, untranspose_ns)`
+    /// so callers (including pool workers on other threads) can
+    /// aggregate phase costs without touching telemetry themselves.
+    pub(crate) fn run_chunk(
+        nbits: usize,
+        window: usize,
+        ops: &[(u64, u64)],
+    ) -> (Vec<OpVerdict>, u64, u64, u64) {
+        debug_assert!(!ops.is_empty() && ops.len() <= LANES);
+        let mask = width_mask(nbits);
+        let masked: Vec<(u64, u64)> = ops.iter().map(|&(a, b)| (a & mask, b & mask)).collect();
+
+        let t0 = Instant::now();
+        let (ta, tb) = transpose_block(&masked);
+        let t1 = Instant::now();
+        let block = run_block(&ta, &tb, nbits, window);
+        let t2 = Instant::now();
+        let spec = untranspose_block(&block.spec_sum, masked.len());
+        let exact = untranspose_block(&block.exact_sum, masked.len());
+        let verdicts = (0..masked.len())
+            .map(|lane| OpVerdict {
+                spec: spec[lane],
+                exact: exact[lane],
+                er: block.er >> lane & 1 == 1,
+                spec_cout: block.spec_cout >> lane & 1 == 1,
+                exact_cout: block.exact_cout >> lane & 1 == 1,
+            })
+            .collect();
+        let t3 = Instant::now();
+        (
+            verdicts,
+            t1.duration_since(t0).as_nanos() as u64,
+            t2.duration_since(t1).as_nanos() as u64,
+            t3.duration_since(t2).as_nanos() as u64,
+        )
+    }
+
+    fn record(&self, ops: usize, blocks: &[usize], phase_ns: (u64, u64, u64)) {
+        if !vlsa_telemetry::is_enabled() {
+            return;
+        }
+        let rec = vlsa_telemetry::recorder();
+        rec.counter(metric::OPS).add(ops as u64);
+        rec.counter(metric::BLOCKS).add(blocks.len() as u64);
+        rec.counter(metric::TRANSPOSE_NS).add(phase_ns.0);
+        rec.counter(metric::COMPUTE_NS).add(phase_ns.1);
+        rec.counter(metric::UNTRANSPOSE_NS).add(phase_ns.2);
+        let occupancy = rec.histogram(metric::LANE_OCCUPANCY, DEFAULT_BUCKETS);
+        for &lanes in blocks {
+            occupancy.record(lanes as u64);
+        }
+    }
+}
+
+impl BatchExecutor for SlicedExecutor {
+    fn name(&self) -> &'static str {
+        "sliced"
+    }
+
+    fn nbits(&self) -> usize {
+        self.nbits
+    }
+
+    fn window(&self) -> usize {
+        self.window
+    }
+
+    fn execute(&self, ops: &[(u64, u64)]) -> Vec<OpVerdict> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let occupancies: Vec<usize> = ops.chunks(LANES).map(<[_]>::len).collect();
+        // A pool only pays off once there are enough blocks to split;
+        // small flushes run inline on the shard worker.
+        let verdicts;
+        let mut phase_ns = (0u64, 0u64, 0u64);
+        match &self.pool {
+            Some(pool) if occupancies.len() >= 2 => {
+                let (v, ns) = pool.execute(self.nbits, self.window, ops);
+                verdicts = v;
+                phase_ns = ns;
+            }
+            _ => {
+                let mut out = Vec::with_capacity(ops.len());
+                for chunk in ops.chunks(LANES) {
+                    let (v, t_ns, c_ns, u_ns) =
+                        SlicedExecutor::run_chunk(self.nbits, self.window, chunk);
+                    out.extend(v);
+                    phase_ns.0 += t_ns;
+                    phase_ns.1 += c_ns;
+                    phase_ns.2 += u_ns;
+                }
+                verdicts = out;
+            }
+        }
+        self.record(ops.len(), &occupancies, phase_ns);
+        verdicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn backend_parses_and_prints() {
+        assert_eq!("scalar".parse::<Backend>().unwrap(), Backend::Scalar);
+        assert_eq!("sliced".parse::<Backend>().unwrap(), Backend::Sliced);
+        assert!("vector".parse::<Backend>().is_err());
+        assert_eq!(Backend::default(), Backend::Scalar);
+        assert_eq!(Backend::Sliced.to_string(), "sliced");
+    }
+
+    #[test]
+    fn executors_agree_on_a_mixed_batch() {
+        let mut rng = StdRng::seed_from_u64(0xE_ACA);
+        for &(nbits, window) in &[(64usize, 8usize), (32, 4), (16, 2), (8, 3)] {
+            let scalar = ScalarExecutor::new(nbits, window);
+            let sliced = SlicedExecutor::new(nbits, window);
+            // 150 ops: two full blocks plus a ragged 22-lane tail.
+            let mut ops: Vec<(u64, u64)> = (0..150).map(|_| (rng.gen(), rng.gen())).collect();
+            ops.push((u64::MAX, 1)); // worst-case carry chain
+            ops.push((0, 0));
+            assert_eq!(
+                scalar.execute(&ops),
+                sliced.execute(&ops),
+                "n={nbits} k={window}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_yields_no_verdicts() {
+        assert!(SlicedExecutor::new(64, 8).execute(&[]).is_empty());
+        assert!(ScalarExecutor::new(64, 8).execute(&[]).is_empty());
+    }
+
+    #[test]
+    fn sliced_records_phase_and_occupancy_telemetry() {
+        let scope = vlsa_telemetry::ScopedRecorder::install();
+        let sliced = SlicedExecutor::new(64, 8);
+        let ops: Vec<(u64, u64)> = (0..100).map(|i| (i, i * 3)).collect();
+        sliced.execute(&ops);
+        let reg = scope.registry();
+        assert_eq!(reg.counter_value(metric::OPS), 100);
+        assert_eq!(reg.counter_value(metric::BLOCKS), 2);
+        let occupancy = reg.histogram(metric::LANE_OCCUPANCY, DEFAULT_BUCKETS);
+        assert_eq!(occupancy.count(), 2); // one full word, one 36-lane tail
+    }
+}

@@ -1,0 +1,156 @@
+//! 64×64 bit-matrix transposition between lane order and position order.
+//!
+//! The sliced engine works on *position-major* words: word `i` of a
+//! block holds bit `i` of up to [`LANES`] independent operands, one
+//! operand per bit lane. Getting into (and out of) that layout is a
+//! 64×64 bit-matrix transpose, done with the classic recursive
+//! block-swap (Hacker's Delight §7-3): swap ever-smaller off-diagonal
+//! sub-blocks with masked shift/XOR, 6 rounds total, no per-bit loops.
+//!
+//! Conventions: row `r` of the matrix is `m[r]`, column `c` is bit `c`
+//! (LSB = column 0). [`transpose64`] performs the main-diagonal
+//! transpose `out[r] bit c == in[c] bit r`, which makes it its own
+//! inverse — untransposing is just transposing again.
+
+/// Lanes per block: one operand per bit of a machine word.
+pub const LANES: usize = 64;
+
+/// In-place main-diagonal transpose of a 64×64 bit matrix:
+/// afterwards `m[r]` bit `c` equals the old `m[c]` bit `r`.
+///
+/// Involution: applying it twice restores the input.
+pub fn transpose64(m: &mut [u64; LANES]) {
+    // Round j swaps the (upper-rows, high-columns) quarter of each
+    // 2j×2j block with its (lower-rows, low-columns) mirror. The
+    // diagonal quarters stay put, so this is the main-diagonal
+    // transpose (not the anti-diagonal variant HD prints).
+    let mut j = 32;
+    let mut mask: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        // Visit every row index whose bit `j` is clear: the upper row
+        // of each row pair at this block size.
+        let mut k = 0;
+        while k < LANES {
+            let t = ((m[k] >> j) ^ m[k + j]) & mask;
+            m[k] ^= t << j;
+            m[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
+/// Transposes up to [`LANES`] operand pairs into position-major words.
+///
+/// Lane `l` carries `ops[l]`; unoccupied lanes are zero. In the
+/// returned `(a, b)`, word `i` holds bit `i` of every lane's operand:
+/// `a[i] >> l & 1 == ops[l].0 >> i & 1`.
+///
+/// # Panics
+/// If `ops` is empty or holds more than [`LANES`] pairs.
+pub fn transpose_block(ops: &[(u64, u64)]) -> ([u64; LANES], [u64; LANES]) {
+    assert!(
+        !ops.is_empty() && ops.len() <= LANES,
+        "block must hold 1..=64 lanes, got {}",
+        ops.len()
+    );
+    let mut a = [0u64; LANES];
+    let mut b = [0u64; LANES];
+    for (lane, &(x, y)) in ops.iter().enumerate() {
+        a[lane] = x;
+        b[lane] = y;
+    }
+    transpose64(&mut a);
+    transpose64(&mut b);
+    (a, b)
+}
+
+/// Inverse of [`transpose_block`] for a single value matrix: recovers
+/// the first `lanes` lane-order values from position-major `words`.
+///
+/// # Panics
+/// If `lanes` is zero or exceeds [`LANES`].
+pub fn untranspose_block(words: &[u64; LANES], lanes: usize) -> Vec<u64> {
+    assert!(
+        (1..=LANES).contains(&lanes),
+        "block must hold 1..=64 lanes, got {lanes}"
+    );
+    let mut m = *words;
+    transpose64(&mut m);
+    m[..lanes].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Bit-at-a-time reference transpose.
+    fn reference_transpose(m: &[u64; LANES]) -> [u64; LANES] {
+        let mut out = [0u64; LANES];
+        for (r, row) in m.iter().enumerate() {
+            for (c, col) in out.iter_mut().enumerate() {
+                if row >> c & 1 == 1 {
+                    *col |= 1 << r;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_the_bitwise_reference() {
+        let mut rng = StdRng::seed_from_u64(0x7_2A5);
+        for _ in 0..64 {
+            let input: [u64; LANES] = std::array::from_fn(|_| rng.gen());
+            let mut fast = input;
+            transpose64(&mut fast);
+            assert_eq!(fast, reference_transpose(&input));
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution() {
+        let mut rng = StdRng::seed_from_u64(0x00D0_0D1E);
+        let input: [u64; LANES] = std::array::from_fn(|_| rng.gen());
+        let mut twice = input;
+        transpose64(&mut twice);
+        transpose64(&mut twice);
+        assert_eq!(twice, input);
+    }
+
+    #[test]
+    fn identity_and_single_bit_matrices() {
+        // Identity matrix transposes to itself.
+        let mut ident: [u64; LANES] = std::array::from_fn(|i| 1 << i);
+        let expect = ident;
+        transpose64(&mut ident);
+        assert_eq!(ident, expect);
+        // A lone bit at (r, c) moves to (c, r).
+        let mut lone = [0u64; LANES];
+        lone[5] = 1 << 17;
+        transpose64(&mut lone);
+        let mut expect = [0u64; LANES];
+        expect[17] = 1 << 5;
+        assert_eq!(lone, expect);
+    }
+
+    #[test]
+    fn block_round_trip_recovers_ragged_lanes() {
+        let mut rng = StdRng::seed_from_u64(0x000B_10C5);
+        for lanes in [1usize, 2, 3, 31, 32, 33, 63, 64] {
+            let ops: Vec<(u64, u64)> = (0..lanes).map(|_| (rng.gen(), rng.gen())).collect();
+            let (ta, tb) = transpose_block(&ops);
+            // Spot-check the layout claim: word i bit l == lane l bit i.
+            assert_eq!(ta[0] & 1, ops[0].0 & 1);
+            let back_a = untranspose_block(&ta, lanes);
+            let back_b = untranspose_block(&tb, lanes);
+            for (l, &(x, y)) in ops.iter().enumerate() {
+                assert_eq!(back_a[l], x, "lanes={lanes} lane={l}");
+                assert_eq!(back_b[l], y, "lanes={lanes} lane={l}");
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! The bit-sliced executor benchmark behind `BENCH_batch.json` (see
+//! `vlsa_bench::batchbench` for the methodology).
+//!
+//! Usage:
+//!   cargo run --release -p vlsa-bench --bin batch -- \
+//!       --json BENCH_batch.json [--gate 10] [--ops 65536] [--repeats 5]
+//!
+//! Flags: `--ops <n>` operands per timed batch (default 65536),
+//! `--repeats <n>` best-of repetitions (default 5), `--gate <x>` exit
+//! nonzero unless every executor row's sliced-over-scalar speedup is
+//! at least `x` (default 0 = report only; CI gates at 4, the committed
+//! report documents the full local win).
+
+use std::process::ExitCode;
+
+use vlsa_bench::batchbench::{min_speedup, run_batch_bench, BATCH_OPS, REPEATS};
+use vlsa_bench::report::{args_without_json, parse_arg, split_value_flag, ArgError};
+
+fn main() -> ExitCode {
+    let (args, json_path) = args_without_json().unwrap_or_else(|e| e.exit());
+    let split = |args, flag| split_value_flag(args, flag).unwrap_or_else(|e: ArgError| e.exit());
+    let (args, ops) = split(args, "ops");
+    let (args, repeats) = split(args, "repeats");
+    let (args, gate) = split(args, "gate");
+    if let Some(unexpected) = args.get(1) {
+        ArgError::Unexpected {
+            arg: unexpected.clone(),
+        }
+        .exit();
+    }
+    let parsed = |flag: &str, value: Option<String>, default: u64| {
+        value.map_or(default, |v| {
+            parse_arg(flag, &v).unwrap_or_else(|e| e.exit())
+        })
+    };
+    let ops = parsed("--ops", ops, BATCH_OPS as u64) as usize;
+    let repeats = (parsed("--repeats", repeats, REPEATS as u64) as usize).max(1);
+    let gate: f64 = gate.map_or(0.0, |v| {
+        parse_arg("--gate", &v).unwrap_or_else(|e: ArgError| e.exit())
+    });
+
+    let report = run_batch_bench(ops, repeats);
+    report.write_if(&json_path);
+
+    let worst = min_speedup(&report);
+    println!("minimum sliced/scalar speedup: {worst:.1}x (gate {gate:.1}x)");
+    if worst < gate {
+        eprintln!("FAILED: speedup {worst:.1}x is below the {gate:.1}x gate");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -3,14 +3,19 @@
 //! Two modes:
 //!
 //! - **Sweep** (default, no `--addr`): starts in-process servers at
-//!   shard counts 1/2/4/8 plus a deliberate overload point, drives each
-//!   over real TCP, prints the table, and writes `BENCH_server.json`
-//!   with `--json`. This is the source of the committed benchmark.
+//!   shard counts 1/2/4/8 — each count once per execution backend
+//!   (scalar and sliced) — plus a deliberate overload point, drives
+//!   each over real TCP, prints the table, and writes
+//!   `BENCH_server.json` with `--json`; every row carries a `backend`
+//!   column that is part of its identity in the `regress` gate.
+//!   `--backend scalar|sliced` restricts the sweep to one backend's
+//!   rows. This is the source of the committed benchmark.
 //! - **Targeted** (`--addr <host:port>`): drives an external server
 //!   (see the `serve` binary) with one open-loop load run and reports
 //!   delivered throughput, latency quantiles, shed and stall rates.
-//!   Exits nonzero on any transport/protocol error or silent drop —
-//!   the CI smoke gate.
+//!   `--backend` here only annotates the report row with the backend
+//!   the target server was started with. Exits nonzero on any
+//!   transport/protocol error or silent drop — the CI smoke gate.
 //! - **Observability** (`--obs`): the tracing-overhead and
 //!   critical-path benchmark behind `BENCH_obs.json` — one run with
 //!   tracing fully off versus one at the default rates, then a
@@ -43,7 +48,9 @@
 //!       --ops 64 --mix mixed --rate 500000 --trace-every 8 \
 //!       --retries 5 --tear-every 7 --deadline-us 100000
 //!
-//! Flags (targeted mode): `--connections <n>` (default 16),
+//! Flags (targeted mode): `--backend scalar|sliced` (annotate the
+//! report row; sweep mode uses it as a filter instead),
+//! `--connections <n>` (default 16),
 //! `--requests <n>` per connection (default 150), `--ops <n>` per
 //! request (default 64), `--n <bits>` (default 32), `--mix
 //! uniform|biased|adversarial|mixed` (default mixed), `--rate <ops/s>`
@@ -68,7 +75,7 @@ use vlsa_bench::serverbench::{
     run_load, run_obs_bench, run_sweep, sample_at_quantile, standard_sweep, LoadConfig, Mix,
 };
 use vlsa_bench::slobench::{checks_pass, run_slo_bench};
-use vlsa_server::RetryPolicy;
+use vlsa_server::{Backend, RetryPolicy};
 use vlsa_telemetry::Json;
 
 fn main() -> ExitCode {
@@ -79,6 +86,7 @@ fn main() -> ExitCode {
     let (args, requests) = split(args, "requests");
     let (args, ops) = split(args, "ops");
     let (args, nbits) = split(args, "n");
+    let (args, backend) = split(args, "backend");
     let (args, mix) = split(args, "mix");
     let (args, rate) = split(args, "rate");
     let (args, seed) = split(args, "seed");
@@ -138,9 +146,18 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let backend =
+        backend.map(|v| parse_arg::<Backend>("--backend", &v).unwrap_or_else(|e| e.exit()));
+
     let Some(addr) = addr else {
-        // Sweep mode: the committed BENCH_server.json.
-        let report = run_sweep(&standard_sweep()).unwrap_or_else(|e| {
+        // Sweep mode: the committed BENCH_server.json. With --backend,
+        // only that backend's rows run (CI smokes each one cheaply);
+        // the committed report always comes from the full sweep.
+        let mut points = standard_sweep();
+        if let Some(backend) = backend {
+            points.retain(|p| p.backend == backend);
+        }
+        let report = run_sweep(&points).unwrap_or_else(|e| {
             eprintln!("error: sweep failed: {e}");
             std::process::exit(1);
         });
@@ -228,6 +245,7 @@ fn main() -> ExitCode {
     report.set("addr", addr.to_string());
     report.push_row(
         Json::obj()
+            .set("backend", backend.unwrap_or_default().as_str())
             .set("connections", config.connections as u64)
             .set("mix", config.mix.to_string())
             .set("target_ops_s", config.target_ops_per_sec)

@@ -571,6 +571,45 @@ mod tests {
     }
 
     #[test]
+    fn build_info_backend_labels_survive_fleet_aggregation() {
+        use vlsa_telemetry::names::labeled_multi;
+
+        // Two member processes running different execution backends.
+        // Their `build_info` gauges differ only in the `backend` label,
+        // so the merge must keep them as distinct series: an operator
+        // at the fleet view can tell which members run which backend.
+        let member = |backend: &str| {
+            let r = Registry::new();
+            r.gauge(&labeled_multi(
+                server::BUILD_INFO,
+                &[("version", "0.1.0"), ("backend", backend)],
+            ))
+            .set(1.0);
+            r.snapshot()
+        };
+        let fleet = Registry::new();
+        fleet.merge_snapshot(&member("scalar")).expect("merge");
+        fleet.merge_snapshot(&member("sliced")).expect("merge");
+
+        let backends: Vec<String> = fleet
+            .gauges()
+            .into_iter()
+            .filter(|(name, _)| split_labels(name).0 == server::BUILD_INFO)
+            .filter_map(|(name, g)| {
+                assert_eq!(g.get(), 1.0, "{name}: build_info is a constant 1");
+                split_labels(&name)
+                    .1
+                    .iter()
+                    .find(|(k, _)| *k == "backend")
+                    .map(|(_, v)| (*v).to_string())
+            })
+            .collect();
+        let mut backends = backends;
+        backends.sort();
+        assert_eq!(backends, ["scalar", "sliced"]);
+    }
+
+    #[test]
     fn fleet_slo_pages_on_a_fleet_wide_shed_storm_and_clears() {
         let mut slo = FleetSlo::new(Objectives::demo());
         let sec = 1_000_000_000u64;

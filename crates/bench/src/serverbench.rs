@@ -20,8 +20,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vlsa_pipeline::{adversarial_operands, biased_operands, random_operands};
 use vlsa_server::{
-    AddBatch, ObsConfig, Outcome, Response, RetryClient, RetryPolicy, ServerConfig, ServerTiming,
-    ShardConfig, TraceContext, VlsaClient, VlsaServer,
+    AddBatch, Backend, ObsConfig, Outcome, Response, RetryClient, RetryPolicy, ServerConfig,
+    ServerTiming, ShardConfig, TraceContext, VlsaClient, VlsaServer,
 };
 use vlsa_telemetry::{Histogram, Json};
 
@@ -453,6 +453,10 @@ pub struct SweepPoint {
     pub queue_capacity: usize,
     /// Row label in the report (`"nominal"` / `"overload"`).
     pub label: &'static str,
+    /// Execution backend for every shard in this row. Part of the row's
+    /// identity in the regression gate: scalar and sliced rows are
+    /// tracked (and gated) independently.
+    pub backend: Backend,
     /// Load to offer.
     pub load: LoadConfig,
 }
@@ -474,17 +478,23 @@ pub fn standard_sweep() -> Vec<SweepPoint> {
     };
     let mut points: Vec<SweepPoint> = [1usize, 2, 4, 8]
         .into_iter()
-        .map(|shards| SweepPoint {
-            shards,
-            queue_capacity: 64,
-            label: "nominal",
-            load: traced.clone(),
+        .flat_map(|shards| {
+            // Both backends at every nominal shard count: the sweep's
+            // scaling story must hold whichever executor serves it.
+            [Backend::Scalar, Backend::Sliced].map(|backend| SweepPoint {
+                shards,
+                queue_capacity: 64,
+                label: "nominal",
+                backend,
+                load: traced.clone(),
+            })
         })
         .collect();
     points.push(SweepPoint {
         shards: 2,
         queue_capacity: 2,
         label: "overload",
+        backend: Backend::Scalar,
         load: LoadConfig {
             connections: 32,
             requests_per_conn: 60,
@@ -507,6 +517,7 @@ pub fn run_point(point: &SweepPoint) -> std::io::Result<Json> {
             nbits: 64,
             cycle_ns: SWEEP_CYCLE_NS,
             queue_capacity: point.queue_capacity,
+            backend: point.backend,
             ..ShardConfig::default()
         },
         ..ServerConfig::default()
@@ -536,6 +547,7 @@ pub fn run_point(point: &SweepPoint) -> std::io::Result<Json> {
         |p: f64| sample_at_quantile(&result.traced, p).map_or(0u64, |s| s.timing.total_us());
     Ok(Json::obj()
         .set("label", point.label)
+        .set("backend", point.backend.as_str())
         .set("shards", point.shards as u64)
         .set("queue_capacity", point.queue_capacity as u64)
         .set("connections", point.load.connections as u64)
@@ -574,15 +586,25 @@ pub fn run_sweep(points: &[SweepPoint]) -> std::io::Result<Report> {
     let mut report = Report::new("server");
     report.set("cycle_ns", SWEEP_CYCLE_NS);
     println!(
-        "{:>9} | {:>6} {:>5} | {:>12} {:>9} {:>9} {:>9} | {:>9} {:>9}",
-        "label", "shards", "conns", "ops/s", "p50 us", "p99 us", "p999 us", "shed", "stall"
+        "{:>9} {:>7} | {:>6} {:>5} | {:>12} {:>9} {:>9} {:>9} | {:>9} {:>9}",
+        "label",
+        "backend",
+        "shards",
+        "conns",
+        "ops/s",
+        "p50 us",
+        "p99 us",
+        "p999 us",
+        "shed",
+        "stall"
     );
     for point in points {
         let row = run_point(point)?;
         let f = |k: &str| row.get(k).and_then(Json::as_f64).unwrap_or(0.0);
         println!(
-            "{:>9} | {:>6} {:>5} | {:>12.0} {:>9.0} {:>9.0} {:>9.0} | {:>8.1}% {:>8.2}%",
+            "{:>9} {:>7} | {:>6} {:>5} | {:>12.0} {:>9.0} {:>9.0} {:>9.0} | {:>8.1}% {:>8.2}%",
             point.label,
+            point.backend.as_str(),
             point.shards,
             point.load.connections,
             f("throughput_ops_s"),
@@ -728,6 +750,7 @@ mod tests {
             shards: 2,
             queue_capacity: 64,
             label: "test",
+            backend: Backend::Scalar,
             load: LoadConfig {
                 connections: 4,
                 requests_per_conn: 8,
@@ -750,6 +773,7 @@ mod tests {
             shards: 2,
             queue_capacity: 64,
             label: "test-traced",
+            backend: Backend::Sliced,
             load: LoadConfig {
                 connections: 4,
                 requests_per_conn: 8,
@@ -824,6 +848,7 @@ mod tests {
             shards: 1,
             queue_capacity: 1,
             label: "test-overload",
+            backend: Backend::Scalar,
             load: LoadConfig {
                 connections: 16,
                 requests_per_conn: 10,

@@ -103,3 +103,4 @@ pub use shard::{
     SupervisorConfig,
 };
 pub use slo::{ServerSlo, SloVerdict};
+pub use vlsa_batch::Backend;
